@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses (bench/e*). Each bench
+ * binary reproduces one table/figure-level claim of the paper; see
+ * DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
+ * paper-vs-measured results.
+ */
+
+#ifndef FB_BENCH_COMMON_HH
+#define FB_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <string>
+
+#include "core/fuzzy_barrier.hh"
+#include "core/barrierprogs.hh"
+#include "support/table.hh"
+
+namespace fb::bench
+{
+
+/** Assemble or abort: bench programs are generated, so failure is a
+ * harness bug. */
+inline isa::Program
+assembleOrDie(const std::string &src)
+{
+    isa::Program prog;
+    std::string err;
+    if (!isa::Assembler::assemble(src, prog, err)) {
+        std::fprintf(stderr, "bench assembly failed: %s\n", err.c_str());
+        std::exit(1);
+    }
+    return prog;
+}
+
+/** Simulated clock period used when reporting microseconds: the
+ * Encore Multimax's NS32032 processors ran at 10 MHz, so one cycle is
+ * 0.1 us. Only E1 reports in microseconds; everything else uses raw
+ * cycles. */
+constexpr double usPerCycle = 0.1;
+
+/** Sum of stalled episodes over all processors. */
+inline std::uint64_t
+totalStalledEpisodes(const sim::RunResult &r)
+{
+    std::uint64_t total = 0;
+    for (const auto &p : r.perProcessor)
+        total += p.stalledEpisodes;
+    return total;
+}
+
+/** Sum of context switches over all processors. */
+inline std::uint64_t
+totalContextSwitches(const sim::RunResult &r)
+{
+    std::uint64_t total = 0;
+    for (const auto &p : r.perProcessor)
+        total += p.contextSwitches;
+    return total;
+}
+
+/** Print the standard bench footer naming the claim reproduced. */
+inline void
+printClaim(const char *claim)
+{
+    std::printf("\npaper claim: %s\n", claim);
+}
+
+} // namespace fb::bench
+
+#endif // FB_BENCH_COMMON_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Experiment E10 — google-benchmark microbenchmarks of the real-thread
+ * split-phase barrier implementations (the section 8 software
+ * approach, modern edition): point synchronization cost per episode
+ * for each algorithm, and the split (arrive / overlapped work / wait)
+ * against the same work done after a point barrier.
+ *
+ * Note: on an oversubscribed host (fewer cores than threads) absolute
+ * numbers are dominated by scheduling; the relative effect of
+ * overlapping work inside the barrier region is still visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "swbarrier/factory.hh"
+
+namespace
+{
+
+using fb::sw::BarrierKind;
+using fb::sw::makeBarrier;
+
+/** Run one barrier episode per iteration across T-1 helper threads
+ * plus the benchmark thread. */
+void
+runEpisodes(benchmark::State &state, BarrierKind kind, int threads,
+            int region_work)
+{
+    auto bar = makeBarrier(kind, threads);
+    // Threads proceed in barrier lockstep, so shutdown is an agreed
+    // final episode number: after its measured loop the main thread
+    // publishes last_episode = E+1 (strictly before arriving for
+    // episode E+1), runs that one extra episode, and every helper —
+    // which cannot be past episode E at that point — observes the
+    // bound at its next boundary and exits after the same episode.
+    constexpr long kNoLimit = std::numeric_limits<long>::max();
+    std::atomic<long> last_episode{kNoLimit};
+
+    auto body = [&](int tid) {
+        bar->arrive(tid);
+        long local = 0;
+        for (int k = 0; k < region_work; ++k)
+            local += k;
+        benchmark::DoNotOptimize(local);
+        bar->wait(tid);
+    };
+
+    std::vector<std::thread> helpers;
+    for (int t = 1; t < threads; ++t) {
+        helpers.emplace_back([&, t] {
+            for (long e = 1;
+                 e <= last_episode.load(std::memory_order_acquire); ++e)
+                body(t);
+        });
+    }
+
+    long episodes = 0;
+    for (auto _ : state) {
+        body(0);
+        ++episodes;
+    }
+
+    last_episode.store(episodes + 1, std::memory_order_release);
+    body(0);  // the agreed final episode
+    for (auto &h : helpers)
+        h.join();
+}
+
+void
+BM_PointBarrier(benchmark::State &state)
+{
+    auto kind = static_cast<BarrierKind>(state.range(0));
+    int threads = static_cast<int>(state.range(1));
+    runEpisodes(state, kind, threads, 0);
+    state.SetLabel(fb::sw::barrierKindName(kind));
+}
+
+void
+BM_FuzzyBarrierWithRegionWork(benchmark::State &state)
+{
+    auto kind = static_cast<BarrierKind>(state.range(0));
+    int threads = static_cast<int>(state.range(1));
+    // 2000 iterations of region work overlap the synchronization.
+    runEpisodes(state, kind, threads, 2000);
+    state.SetLabel(fb::sw::barrierKindName(kind));
+}
+
+} // namespace
+
+BENCHMARK(BM_PointBarrier)
+    ->ArgsProduct({{static_cast<long>(BarrierKind::Centralized),
+                    static_cast<long>(BarrierKind::Tree),
+                    static_cast<long>(BarrierKind::Dissemination),
+                    static_cast<long>(BarrierKind::Std)},
+                   {2, 4}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_FuzzyBarrierWithRegionWork)
+    ->ArgsProduct({{static_cast<long>(BarrierKind::Centralized),
+                    static_cast<long>(BarrierKind::Dissemination)},
+                   {2, 4}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Experiment E3 — Figs. 9/10: lexically forward dependences.
+ *
+ * The loop a[j][i] = a[j-1][i-1] + i*j, outer loop unrolled once,
+ * needs two barriers per unrolled iteration: one for the lexically
+ * forward dependence (processor i reads a[j][i-1] from processor
+ * i-1), one for the loop-carried dependence. The Fig. 10 reordered
+ * code pushes all address arithmetic into the two barrier regions,
+ * so "the code is tolerant of significant drift in execution of
+ * different streams". The baseline uses single-NOP (point) barrier
+ * regions at the same two synchronization points.
+ *
+ * Correctness is checked against the exact host-side recurrence on
+ * every run — both versions must produce identical arrays.
+ */
+
+#include "common.hh"
+
+namespace
+{
+
+using namespace fb;
+using namespace fb::bench;
+
+} // namespace
+
+int
+main()
+{
+    fb::Table table("E3 (Figs. 9/10): two-barrier loop, reordered "
+                    "regions vs point barriers, under drift");
+    table.setHeader({"procs", "jitter", "version", "correct",
+                     "stalled episodes", "wait cycles", "total cycles"});
+
+    for (int n : {2, 4, 8}) {
+        for (double jitter : {0.0, 2.0, 5.0}) {
+            core::LexForwardWorkload wl(n, 20);
+            sim::MachineConfig cfg;
+            cfg.numProcessors = n;
+            cfg.memWords = 1 << 15;
+            cfg.jitterMean = jitter;
+            cfg.seed = 31337;
+
+            auto fuzzy = core::runLexForward(wl, cfg, true);
+            auto point = core::runLexForward(wl, cfg, false);
+
+            table.row()
+                .cell(static_cast<std::int64_t>(n))
+                .cell(jitter, 1)
+                .cell("point")
+                .cell(point.correct ? "yes" : "NO")
+                .cell(totalStalledEpisodes(point.result))
+                .cell(point.result.totalBarrierWait())
+                .cell(point.result.cycles);
+            table.row()
+                .cell(static_cast<std::int64_t>(n))
+                .cell(jitter, 1)
+                .cell("fig10-reordered")
+                .cell(fuzzy.correct ? "yes" : "NO")
+                .cell(totalStalledEpisodes(fuzzy.result))
+                .cell(fuzzy.result.totalBarrierWait())
+                .cell(fuzzy.result.cycles);
+        }
+    }
+    table.print(std::cout);
+
+    printClaim("the barrier regions for the loop contain a substantial "
+               "number of instructions and hence the code is tolerant of "
+               "significant drift in execution of different streams "
+               "(section 7.2); both versions compute identical results");
+    return 0;
+}

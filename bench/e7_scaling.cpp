@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Experiment E7 — section 1's scaling claims.
+ *
+ * "The synchronization overhead increases linearly, or for the best
+ * possible software implementation, logarithmically with the number
+ * of processors synchronizing at the barrier." The hardware fuzzy
+ * barrier detects readiness with no instruction overhead, so its
+ * per-episode cost is O(1).
+ *
+ * All four implementations run on the same simulated machine model:
+ * the software barriers are actual spin-barrier code in the machine's
+ * ISA (shared counter + sense flag; dissemination flags), the
+ * hardware ones use the barrier network. Reported cost is the cycles
+ * per episode beyond the loop's pure work time.
+ */
+
+#include "common.hh"
+
+namespace
+{
+
+using namespace fb;
+using namespace fb::bench;
+
+constexpr int kEpisodes = 40;
+constexpr int kWork = 20;
+
+double
+perEpisodeCost(core::SimBarrierKind kind, int procs)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcessors = procs;
+    cfg.memWords = 1 << 14;
+    cfg.maxCycles = 500'000'000;
+    // Banked interconnect: only same-word accesses serialize, the
+    // setting of the hot-spot analysis [Yew/Tzeng/Lawrie] where the
+    // dissemination barrier achieves its logarithmic latency. (E8
+    // uses the single shared bus instead and shows what happens when
+    // everything serializes.)
+    cfg.busKind = sim::BusKind::Banked;
+    sim::Machine machine(cfg);
+    for (int p = 0; p < procs; ++p)
+        machine.loadProgram(
+            p, core::buildBarrierLoop(kind, procs, p, kEpisodes, kWork,
+                                      /*region_instrs=*/4));
+    auto r = machine.run();
+    if (r.deadlocked || r.timedOut) {
+        std::fprintf(stderr, "E7 run failed for %s at P=%d\n",
+                     core::simBarrierKindName(kind), procs);
+        std::exit(1);
+    }
+    // Baseline: a single processor executing the same loop without
+    // any partner to wait for still pays the barrier's instruction
+    // overhead, so subtract the pure work + loop control instead.
+    double ideal = static_cast<double>(kEpisodes) * (kWork + 3) + 8;
+    return (static_cast<double>(r.cycles) - ideal) /
+           static_cast<double>(kEpisodes);
+}
+
+} // namespace
+
+int
+main()
+{
+    fb::Table table("E7 (section 1): per-episode barrier cost vs "
+                    "processor count (cycles beyond work)");
+    table.setHeader({"procs", "sw-centralized", "sw-dissemination",
+                     "hw-point", "hw-fuzzy"});
+
+    for (int procs : {2, 4, 8, 16, 32, 64}) {
+        table.row()
+            .cell(static_cast<std::int64_t>(procs))
+            .cell(perEpisodeCost(core::SimBarrierKind::Centralized,
+                                 procs),
+                  1)
+            .cell(perEpisodeCost(core::SimBarrierKind::Dissemination,
+                                 procs),
+                  1)
+            .cell(perEpisodeCost(core::SimBarrierKind::HardwarePoint,
+                                 procs),
+                  1)
+            .cell(perEpisodeCost(core::SimBarrierKind::HardwareFuzzy,
+                                 procs),
+                  1);
+    }
+    table.print(std::cout);
+
+    printClaim("software barrier cost grows linearly (centralized "
+               "counter: serialized bus traffic) or logarithmically "
+               "(dissemination) with processors; the hardware mechanism "
+               "stays O(1) — near-zero extra cycles per episode");
+    return 0;
+}

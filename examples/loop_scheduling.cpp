@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Static and run-time loop scheduling (paper sections 7.3 and 7.4):
+ * prints the Fig. 11 rotating static schedule and the Fig. 12
+ * multi-version roles under guided self-scheduling.
+ */
+
+#include <cstdio>
+
+#include "core/fuzzy_barrier.hh"
+
+int
+main()
+{
+    using namespace fb::sched;
+    using fb::compiler::iterationRoleName;
+    using fb::compiler::roleFor;
+
+    // ---- Fig. 11: 4 iterations on 3 processors ----
+    std::printf("Fig. 11 — static scheduling, 4 iterations on 3 "
+                "processors, extra iteration rotating:\n");
+    for (int outer = 0; outer < 3; ++outer) {
+        auto a = rotatingSchedule(4, 3, outer);
+        std::printf("  outer %d:", outer);
+        for (int p = 0; p < 3; ++p) {
+            std::printf("  P%d={", p);
+            for (std::size_t k = 0; k < a[static_cast<std::size_t>(p)]
+                                            .size();
+                 ++k)
+                std::printf("%s%d", k ? "," : "",
+                            a[static_cast<std::size_t>(p)][k]);
+            std::printf("}");
+        }
+        std::printf("\n");
+    }
+    std::printf("  over 3 outer iterations every processor runs 4 "
+                "iterations: balanced.\n\n");
+
+    // ---- Fig. 12: run-time scheduling with multiple versions ----
+    std::printf("Fig. 12 — guided self-scheduling of 20 iterations on 4 "
+                "processors,\nwith the multi-version role of each "
+                "iteration:\n");
+    auto gss = guidedSelfSchedule(20, 4);
+    for (int p = 0; p < 4; ++p) {
+        const auto &mine = gss[static_cast<std::size_t>(p)];
+        std::printf("  P%d:", p);
+        for (std::size_t k = 0; k < mine.size(); ++k) {
+            auto role = roleFor(k == 0, k + 1 == mine.size());
+            std::printf(" %d(%s)", mine[k], iterationRoleName(role));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n  'first' iterations start with a barrier region, "
+                "'last' end with one,\n  'middle' carry no barrier "
+                "code (compiled as separate loop versions).\n\n");
+
+    // ---- Chunk sizes under GSS vs fixed chunks ----
+    std::printf("load balance (max-min iterations per processor):\n");
+    for (int iters : {16, 17, 100}) {
+        auto block = blockSchedule(iters, 4);
+        auto chunk = chunkSelfSchedule(iters, 4, 2);
+        auto guided = guidedSelfSchedule(iters, 4);
+        std::printf("  %3d iters: block=%d chunk2=%d guided=%d\n", iters,
+                    maxLoad(block) - minLoad(block),
+                    maxLoad(chunk) - minLoad(chunk),
+                    maxLoad(guided) - minLoad(guided));
+    }
+    return 0;
+}

@@ -1,0 +1,121 @@
+#include "barrier/network.hh"
+
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace fb::barrier
+{
+
+BarrierNetwork::BarrierNetwork(int num_processors,
+                               std::uint32_t sync_latency)
+    : _syncLatency(sync_latency),
+      _deliverAt(static_cast<std::size_t>(num_processors),
+                 std::numeric_limits<std::uint64_t>::max())
+{
+    FB_ASSERT(num_processors > 0, "need at least one processor");
+    _units.reserve(static_cast<std::size_t>(num_processors));
+    for (int p = 0; p < num_processors; ++p)
+        _units.emplace_back(num_processors, p);
+}
+
+BarrierUnit &
+BarrierNetwork::unit(int p)
+{
+    FB_ASSERT(p >= 0 && p < numProcessors(), "processor index " << p
+                                                                << " bad");
+    return _units[static_cast<std::size_t>(p)];
+}
+
+const BarrierUnit &
+BarrierNetwork::unit(int p) const
+{
+    FB_ASSERT(p >= 0 && p < numProcessors(), "processor index " << p
+                                                                << " bad");
+    return _units[static_cast<std::size_t>(p)];
+}
+
+bool
+BarrierNetwork::groupComplete(int p) const
+{
+    const BarrierUnit &u = _units[static_cast<std::size_t>(p)];
+    if (!u.readySignal())
+        return false;
+    for (int q = 0; q < numProcessors(); ++q) {
+        if (!u.mask().test(static_cast<std::size_t>(q)))
+            continue;
+        const BarrierUnit &other = _units[static_cast<std::size_t>(q)];
+        if (!other.readySignal() || other.tag() != u.tag())
+            return false;
+    }
+    return true;
+}
+
+int
+BarrierNetwork::evaluate(std::uint64_t now)
+{
+    constexpr std::uint64_t none =
+        std::numeric_limits<std::uint64_t>::max();
+
+    // Phase 1: latch which processors see a complete group, based on
+    // this cycle's broadcast signals, and start the propagation
+    // clock for groups that just completed.
+    std::vector<bool> complete(static_cast<std::size_t>(numProcessors()));
+    for (int p = 0; p < numProcessors(); ++p) {
+        complete[static_cast<std::size_t>(p)] = groupComplete(p);
+        auto &at = _deliverAt[static_cast<std::size_t>(p)];
+        if (complete[static_cast<std::size_t>(p)] && at == none)
+            at = now + _syncLatency;
+    }
+
+    // Phase 2: deliver synchronization simultaneously once the
+    // broadcast has propagated.
+    int delivered = 0;
+    bool any_event = false;
+    for (int p = 0; p < numProcessors(); ++p) {
+        auto &at = _deliverAt[static_cast<std::size_t>(p)];
+        if (complete[static_cast<std::size_t>(p)] && at != none &&
+            now >= at) {
+            _units[static_cast<std::size_t>(p)].deliverSync();
+            at = none;
+            ++delivered;
+            any_event = true;
+        }
+    }
+    if (any_event)
+        ++_syncEvents;
+    return delivered;
+}
+
+bool
+BarrierNetwork::deliveryPending() const
+{
+    for (auto at : _deliverAt) {
+        if (at != std::numeric_limits<std::uint64_t>::max())
+            return true;
+    }
+    return false;
+}
+
+bool
+BarrierNetwork::wouldDeadlock(const std::vector<bool> &halted) const
+{
+    // Deadlock: at least one processor is waiting (ready or stalled),
+    // every non-halted processor is waiting, and no waiting group is
+    // complete. Halted partners can never arrive, and mutual waits
+    // with mismatched tags (Fig. 2) never resolve.
+    bool any_waiting = false;
+    for (int p = 0; p < numProcessors(); ++p) {
+        const BarrierUnit &u = _units[static_cast<std::size_t>(p)];
+        if (halted[static_cast<std::size_t>(p)])
+            continue;
+        if (!u.readySignal())
+            return false;  // someone can still make progress
+        any_waiting = true;
+        if (groupComplete(p))
+            return false;  // sync will be delivered
+    }
+    return any_waiting;
+}
+
+} // namespace fb::barrier

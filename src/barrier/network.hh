@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The broadcast synchronization network connecting all barrier units.
+ */
+
+#ifndef FB_BARRIER_NETWORK_HH
+#define FB_BARRIER_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "barrier/unit.hh"
+#include "support/stats.hh"
+
+namespace fb::barrier
+{
+
+/**
+ * Models the dedicated wires of the hardware fuzzy barrier: every
+ * processor broadcasts its readiness signal and tag; identical
+ * combinational logic in every processor evaluates whether its
+ * synchronization group is complete. Because all processors share a
+ * common clock, all members of a group observe the completed AND in
+ * the same cycle and "simultaneously discover the occurrence of
+ * synchronization" (paper section 6).
+ *
+ * Synchronization never touches shared memory, so the network also
+ * serves experiment E8: it counts sync events so the benches can show
+ * zero hot-spot memory traffic for the hardware mechanism.
+ */
+class BarrierNetwork
+{
+  public:
+    /**
+     * Create @p num_processors barrier units.
+     *
+     * @param sync_latency cycles between a group's AND becoming true
+     *        and the members observing synchronization — the
+     *        propagation delay of the broadcast wires. Section 6
+     *        notes the interconnect grows with the processor count;
+     *        larger machines would pay more here. All members still
+     *        observe the delivery in the same cycle.
+     */
+    explicit BarrierNetwork(int num_processors,
+                            std::uint32_t sync_latency = 0);
+
+    /** Number of processors. */
+    int numProcessors() const { return static_cast<int>(_units.size()); }
+
+    /** Access processor @p p's unit. */
+    BarrierUnit &unit(int p);
+    const BarrierUnit &unit(int p) const;
+
+    /**
+     * Evaluate the combinational sync logic for cycle @p now.
+     * For every participating, ready processor p, synchronization is
+     * delivered iff every processor q in p's mask is ready with a
+     * matching tag — sync_latency cycles after the AND first became
+     * true. The evaluation is two-phase (signals are latched, then
+     * sync is delivered), so all members of a group synchronize in
+     * the same call, exactly like the common-clock hardware.
+     *
+     * @return number of processors that synchronized this cycle.
+     */
+    int evaluate(std::uint64_t now = 0);
+
+    /** True if some group's sync is in flight (latency not elapsed).
+     * The machine counts this as progress for deadlock detection. */
+    bool deliveryPending() const;
+
+    /** Completed group synchronizations (each group counts once). */
+    std::uint64_t syncEvents() const { return _syncEvents; }
+
+    /**
+     * True if every participating non-crossed processor is stalled or
+     * ready and none can make progress — used with processor halt
+     * status for deadlock detection (the Fig. 2 scenario).
+     */
+    bool wouldDeadlock(const std::vector<bool> &halted) const;
+
+  private:
+    bool groupComplete(int p) const;
+
+    std::vector<BarrierUnit> _units;
+    std::uint32_t _syncLatency;
+    /** Cycle at which processor p's pending sync delivers
+     * (UINT64_MAX = none). */
+    std::vector<std::uint64_t> _deliverAt;
+    std::uint64_t _syncEvents = 0;
+};
+
+} // namespace fb::barrier
+
+#endif // FB_BARRIER_NETWORK_HH

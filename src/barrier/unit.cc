@@ -1,0 +1,97 @@
+#include "barrier/unit.hh"
+
+#include "support/logging.hh"
+
+namespace fb::barrier
+{
+
+BarrierUnit::BarrierUnit(int num_processors, int self)
+    : _numProcessors(num_processors), _self(self),
+      _mask(static_cast<std::size_t>(num_processors))
+{
+    FB_ASSERT(num_processors > 0, "need at least one processor");
+    FB_ASSERT(self >= 0 && self < num_processors,
+              "self index out of range");
+}
+
+void
+BarrierUnit::setMask(std::uint64_t bits)
+{
+    FB_ASSERT(_numProcessors <= 64, "word mask limited to 64 processors");
+    for (int p = 0; p < _numProcessors; ++p)
+        _mask.set(static_cast<std::size_t>(p),
+                  (bits >> p & 1) != 0 && p != _self);
+}
+
+void
+BarrierUnit::setMaskBit(int processor, bool value)
+{
+    FB_ASSERT(processor >= 0 && processor < _numProcessors,
+              "mask bit out of range");
+    if (processor == _self)
+        return;  // a processor never synchronizes with itself
+    _mask.set(static_cast<std::size_t>(processor), value);
+}
+
+void
+BarrierUnit::arrive()
+{
+    if (!participating())
+        return;
+    FB_ASSERT(_state == BarrierState::NonBarrier,
+              "arrive() in state " << barrierStateName(_state));
+    _state = BarrierState::Ready;
+    _stalledThisEpisode = false;
+}
+
+bool
+BarrierUnit::mayCross() const
+{
+    if (!participating())
+        return true;
+    // A core that never armed this episode (no region instructions
+    // executed, e.g. it branched around the region) is simply in
+    // NonBarrier and may continue.
+    return _state == BarrierState::NonBarrier ||
+           _state == BarrierState::Synced;
+}
+
+void
+BarrierUnit::cross()
+{
+    if (!participating())
+        return;
+    if (_state == BarrierState::NonBarrier)
+        return;
+    FB_ASSERT(_state == BarrierState::Synced,
+              "cross() in state " << barrierStateName(_state));
+    _state = BarrierState::NonBarrier;
+}
+
+void
+BarrierUnit::noteStalled()
+{
+    FB_ASSERT(participating(), "stall without participation");
+    FB_ASSERT(_state == BarrierState::Ready ||
+                  _state == BarrierState::Stalled,
+              "noteStalled() in state " << barrierStateName(_state));
+    if (_state == BarrierState::Ready) {
+        _state = BarrierState::Stalled;
+        if (!_stalledThisEpisode) {
+            _stalledThisEpisode = true;
+            ++_stalledEpisodes;
+        }
+    }
+}
+
+void
+BarrierUnit::deliverSync()
+{
+    FB_ASSERT(_state == BarrierState::Ready ||
+                  _state == BarrierState::Stalled,
+              "deliverSync() in state " << barrierStateName(_state));
+    _state = BarrierState::Synced;
+    ++_episodes;
+}
+
+} // namespace fb::barrier

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Per-processor fuzzy-barrier hardware: state machine plus the
+ * internal register holding the current tag and participation mask.
+ */
+
+#ifndef FB_BARRIER_UNIT_HH
+#define FB_BARRIER_UNIT_HH
+
+#include <cstdint>
+
+#include "barrier/state.hh"
+#include "support/bitvector.hh"
+#include "support/stats.hh"
+
+namespace fb::barrier
+{
+
+/**
+ * The barrier hardware replicated in each processor (paper section 6).
+ *
+ * The unit is driven by two parties: the processor core, which reports
+ * region entry/exit events derived from the instruction stream, and
+ * the BarrierNetwork, which evaluates the broadcast AND once per cycle
+ * and delivers synchronization. "No explicit reset is required as the
+ * state machine returns to the start state when a processor is ready
+ * to synchronize again."
+ */
+class BarrierUnit
+{
+  public:
+    /**
+     * @param num_processors total processors in the system (mask width)
+     * @param self this processor's index
+     */
+    BarrierUnit(int num_processors, int self);
+
+    /** This processor's index. */
+    int self() const { return _self; }
+
+    /** Current FSM state. */
+    BarrierState state() const { return _state; }
+
+    /**
+     * Set the barrier tag. Tag 0 means "not participating in barrier
+     * synchronization"; with an m-bit tag the system supports 2^m - 1
+     * logical barriers.
+     */
+    void setTag(std::uint32_t tag) { _tag = tag; }
+
+    /** Current tag. */
+    std::uint32_t tag() const { return _tag; }
+
+    /** True if this unit takes part in barrier synchronization. */
+    bool participating() const { return _tag != 0; }
+
+    /** Set the participation mask from a bit-per-processor word. */
+    void setMask(std::uint64_t bits);
+
+    /** Set one mask bit. */
+    void setMaskBit(int processor, bool value = true);
+
+    /** The participation mask (bit q = synchronize with processor q). */
+    const BitVector &mask() const { return _mask; }
+
+    /**
+     * The core is ready to synchronize: it has exited the non-barrier
+     * region preceding a barrier region. Legal from NonBarrier (new
+     * episode). A non-participating unit stays in NonBarrier.
+     */
+    void arrive();
+
+    /**
+     * True if the core may execute a non-barrier instruction after a
+     * region, i.e. synchronization has occurred (or the unit is not
+     * participating / was never armed).
+     */
+    bool mayCross() const;
+
+    /**
+     * The core executed the first non-barrier instruction after the
+     * region. Legal only when mayCross(); returns the FSM to
+     * NonBarrier.
+     */
+    void cross();
+
+    /**
+     * The core wants to leave the region but synchronization has not
+     * occurred; records the stall state.
+     */
+    void noteStalled();
+
+    /** Asserted readiness signal broadcast to the other processors. */
+    bool readySignal() const
+    {
+        return _state == BarrierState::Ready ||
+               _state == BarrierState::Stalled;
+    }
+
+    /** Called by the network when the group AND is satisfied. */
+    void deliverSync();
+
+    /** Number of completed barrier episodes. */
+    std::uint64_t episodes() const { return _episodes; }
+
+    /** Number of episodes in which this processor had to stall. */
+    std::uint64_t stalledEpisodes() const { return _stalledEpisodes; }
+
+    /** Total cycles spent in the Stalled state. */
+    std::uint64_t stallCycles() const { return _stallCycles; }
+
+    /** Account one cycle spent stalled (called by the core). */
+    void tickStalled() { ++_stallCycles; }
+
+  private:
+    int _numProcessors;
+    int _self;
+    BarrierState _state = BarrierState::NonBarrier;
+    std::uint32_t _tag = 0;
+    BitVector _mask;
+
+    std::uint64_t _episodes = 0;
+    std::uint64_t _stalledEpisodes = 0;
+    std::uint64_t _stallCycles = 0;
+    bool _stalledThisEpisode = false;
+};
+
+} // namespace fb::barrier
+
+#endif // FB_BARRIER_UNIT_HH

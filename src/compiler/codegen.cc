@@ -1,0 +1,366 @@
+#include "compiler/codegen.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace fb::compiler
+{
+
+using ir::Operand;
+using ir::TacInstr;
+using ir::TacOp;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace
+{
+
+/** Registers reserved for constant materialization. */
+constexpr int scratch0 = 29;
+constexpr int scratch1 = 30;
+/** Highest register usable for temporaries. */
+constexpr int tempHigh = 28;
+
+Opcode
+aluOpFor(TacOp op)
+{
+    switch (op) {
+      case TacOp::Add: return Opcode::ADD;
+      case TacOp::Sub: return Opcode::SUB;
+      case TacOp::Mul: return Opcode::MUL;
+      case TacOp::Div: return Opcode::DIV;
+      default: panic("not an ALU TacOp");
+    }
+}
+
+} // namespace
+
+CodeEmitter::CodeEmitter(CodegenOptions opts) : _opts(std::move(opts)) {}
+
+void
+CodeEmitter::append(Instruction instr, bool in_region)
+{
+    instr.inRegion = in_region;
+    _program.append(instr, in_region ? _opts.barrierId : -1);
+}
+
+void
+CodeEmitter::emitPrologue()
+{
+    append(Instruction::settag(_opts.tag), false);
+    append(Instruction::setmask(static_cast<std::int64_t>(_opts.mask)),
+           false);
+    for (const auto &[name, addr] : _opts.baseAddresses)
+        append(Instruction::li(persistentReg(name), addr), false);
+}
+
+int
+CodeEmitter::persistentReg(const std::string &name)
+{
+    auto it = _persistent.find(name);
+    if (it != _persistent.end())
+        return it->second;
+    FB_ASSERT(_nextPersistent <= tempHigh,
+              "out of persistent registers for '" << name << "'");
+    int reg = _nextPersistent++;
+    _persistent.emplace(name, reg);
+    return reg;
+}
+
+int
+CodeEmitter::tempReg(int id, bool create)
+{
+    auto it = _temps.find(id);
+    if (it != _temps.end())
+        return it->second;
+    FB_ASSERT(create, "temp T" << id << " read before being written");
+    int reg;
+    if (!_freeRegs.empty()) {
+        reg = _freeRegs.back();
+        _freeRegs.pop_back();
+    } else {
+        FB_ASSERT(_nextPersistent <= tempHigh,
+                  "out of registers for temporaries");
+        reg = _nextPersistent++;
+    }
+    _temps.emplace(id, reg);
+    return reg;
+}
+
+void
+CodeEmitter::freeTemp(int id)
+{
+    auto it = _temps.find(id);
+    if (it == _temps.end())
+        return;
+    _freeRegs.push_back(it->second);
+    _temps.erase(it);
+}
+
+int
+CodeEmitter::materialize(std::int64_t value, bool in_region)
+{
+    // Two scratch registers alternate so a binary op can hold two
+    // distinct constants at once.
+    int reg = _scratchToggle == 0 ? scratch0 : scratch1;
+    _scratchToggle ^= 1;
+    append(Instruction::li(reg, value), in_region);
+    return reg;
+}
+
+int
+CodeEmitter::readReg(const Operand &op, bool in_region)
+{
+    switch (op.kind()) {
+      case ir::OperandKind::Temp:
+        return tempReg(op.tempId(), false);
+      case ir::OperandKind::Var:
+        return persistentReg(op.name());
+      case ir::OperandKind::Base: {
+        FB_ASSERT(_opts.baseAddresses.count(op.name()),
+                  "array base '" << op.name()
+                                 << "' missing from CodegenOptions");
+        return persistentReg(op.name());
+      }
+      case ir::OperandKind::Const:
+        return materialize(op.value(), in_region);
+      case ir::OperandKind::None:
+        panic("reading the empty operand");
+    }
+    panic("unreachable");
+}
+
+void
+CodeEmitter::emitBlock(const ir::Block &block, int force_region)
+{
+    // Last use of each temp inside this block, so registers recycle.
+    std::map<int, std::size_t> last_use;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        const TacInstr &instr = block.at(i);
+        for (const Operand &r : readsOf(instr))
+            if (r.isTemp())
+                last_use[r.tempId()] = i;
+        Operand w = writeOf(instr);
+        if (w.isTemp())
+            last_use[w.tempId()] = i;
+    }
+
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        const TacInstr &instr = block.at(i);
+        bool in_region =
+            force_region >= 0 ? force_region != 0 : instr.inRegion;
+
+        switch (instr.op) {
+          case TacOp::Add:
+          case TacOp::Sub:
+          case TacOp::Mul:
+          case TacOp::Div: {
+            const Operand &dst = instr.dst;
+            // Constant folding and immediate selection.
+            if (instr.a.isConst() && instr.b.isConst()) {
+                std::int64_t a = instr.a.value();
+                std::int64_t b = instr.b.value();
+                std::int64_t v = 0;
+                switch (instr.op) {
+                  case TacOp::Add: v = a + b; break;
+                  case TacOp::Sub: v = a - b; break;
+                  case TacOp::Mul: v = a * b; break;
+                  case TacOp::Div:
+                    FB_ASSERT(b != 0, "constant division by zero");
+                    v = a / b;
+                    break;
+                  default: break;
+                }
+                int rd = dst.isTemp() ? tempReg(dst.tempId(), true)
+                                      : persistentReg(dst.name());
+                append(Instruction::li(rd, v), in_region);
+            } else if (instr.op == TacOp::Add &&
+                       (instr.a.isConst() || instr.b.isConst())) {
+                const Operand &c = instr.a.isConst() ? instr.a : instr.b;
+                const Operand &r = instr.a.isConst() ? instr.b : instr.a;
+                int rs = readReg(r, in_region);
+                int rd = dst.isTemp() ? tempReg(dst.tempId(), true)
+                                      : persistentReg(dst.name());
+                append(Instruction::rri(Opcode::ADDI, rd, rs, c.value()),
+                       in_region);
+            } else if (instr.op == TacOp::Sub && instr.b.isConst()) {
+                int rs = readReg(instr.a, in_region);
+                int rd = dst.isTemp() ? tempReg(dst.tempId(), true)
+                                      : persistentReg(dst.name());
+                append(Instruction::rri(Opcode::ADDI, rd, rs,
+                                        -instr.b.value()),
+                       in_region);
+            } else if (instr.op == TacOp::Mul &&
+                       (instr.a.isConst() || instr.b.isConst())) {
+                const Operand &c = instr.a.isConst() ? instr.a : instr.b;
+                const Operand &r = instr.a.isConst() ? instr.b : instr.a;
+                int rs = readReg(r, in_region);
+                int rd = dst.isTemp() ? tempReg(dst.tempId(), true)
+                                      : persistentReg(dst.name());
+                append(Instruction::rri(Opcode::MULI, rd, rs, c.value()),
+                       in_region);
+            } else {
+                int ra = readReg(instr.a, in_region);
+                int rb = readReg(instr.b, in_region);
+                int rd = dst.isTemp() ? tempReg(dst.tempId(), true)
+                                      : persistentReg(dst.name());
+                append(Instruction::rrr(aluOpFor(instr.op), rd, ra, rb),
+                       in_region);
+            }
+            break;
+          }
+          case TacOp::Copy: {
+            int rd = instr.dst.isTemp()
+                         ? tempReg(instr.dst.tempId(), true)
+                         : persistentReg(instr.dst.name());
+            if (instr.a.isConst()) {
+                append(Instruction::li(rd, instr.a.value()), in_region);
+            } else {
+                int rs = readReg(instr.a, in_region);
+                append(Instruction::mov(rd, rs), in_region);
+            }
+            break;
+          }
+          case TacOp::Load: {
+            int raddr = readReg(instr.a, in_region);
+            int rd = instr.dst.isTemp()
+                         ? tempReg(instr.dst.tempId(), true)
+                         : persistentReg(instr.dst.name());
+            append(Instruction::ld(rd, raddr, 0), in_region);
+            break;
+          }
+          case TacOp::Store: {
+            int rval = readReg(instr.a, in_region);
+            int raddr = readReg(instr.dst, in_region);
+            append(Instruction::st(raddr, 0, rval), in_region);
+            break;
+          }
+        }
+
+        // Recycle temp registers whose last use was this instruction.
+        for (const Operand &r : readsOf(instr)) {
+            if (r.isTemp() && last_use[r.tempId()] == i)
+                freeTemp(r.tempId());
+        }
+        Operand w = writeOf(instr);
+        if (w.isTemp() && last_use[w.tempId()] == i)
+            freeTemp(w.tempId());
+    }
+
+    // Temps never outlive the block they were defined in.
+    std::vector<int> leftovers;
+    for (const auto &[id, reg] : _temps)
+        leftovers.push_back(id);
+    for (int id : leftovers)
+        freeTemp(id);
+}
+
+void
+CodeEmitter::setVarConst(const std::string &var, std::int64_t value,
+                         bool in_region)
+{
+    append(Instruction::li(persistentReg(var), value), in_region);
+}
+
+void
+CodeEmitter::addVarConst(const std::string &var, std::int64_t value,
+                         bool in_region)
+{
+    int reg = persistentReg(var);
+    append(Instruction::rri(Opcode::ADDI, reg, reg, value), in_region);
+}
+
+void
+CodeEmitter::label(const std::string &name)
+{
+    _program.defineLabel(name);
+}
+
+void
+CodeEmitter::branchVarLtConst(const std::string &var, std::int64_t limit,
+                              const std::string &target, bool in_region)
+{
+    int limit_reg = persistentReg("$limit" + std::to_string(limit));
+    // The limit register is (re)loaded right before use; redundant
+    // reloads per iteration cost one cycle and keep the emitter
+    // stateless across control flow.
+    append(Instruction::li(limit_reg, limit), in_region);
+    std::size_t idx = _program.appendBranchTo(
+        Opcode::BLT, persistentReg(var), limit_reg, target,
+        in_region ? _opts.barrierId : -1);
+    _program.at(idx).inRegion = in_region;
+}
+
+void
+CodeEmitter::branchVarNeZero(const std::string &var,
+                             const std::string &target, bool in_region)
+{
+    std::size_t idx = _program.appendBranchTo(
+        Opcode::BNE, persistentReg(var), 0, target,
+        in_region ? _opts.barrierId : -1);
+    _program.at(idx).inRegion = in_region;
+}
+
+void
+CodeEmitter::jump(const std::string &target, bool in_region)
+{
+    std::size_t idx =
+        _program.appendJumpTo(target, in_region ? _opts.barrierId : -1);
+    _program.at(idx).inRegion = in_region;
+}
+
+void
+CodeEmitter::storeVarTo(const std::string &var, std::int64_t addr,
+                        bool in_region)
+{
+    append(Instruction::st(0, addr, persistentReg(var)), in_region);
+}
+
+void
+CodeEmitter::emitPointBarrier()
+{
+    append(Instruction::simple(Opcode::NOP), true);
+}
+
+void
+CodeEmitter::emitHalt()
+{
+    append(Instruction::simple(Opcode::HALT), false);
+}
+
+isa::Program
+CodeEmitter::finish()
+{
+    _program.finalize();
+    return std::move(_program);
+}
+
+int
+CodeEmitter::varReg(const std::string &var) const
+{
+    auto it = _persistent.find(var);
+    FB_ASSERT(it != _persistent.end(), "unknown variable " << var);
+    return it->second;
+}
+
+isa::Program
+compileLoop(const LoopSpec &spec, const CodegenOptions &opts)
+{
+    CodeEmitter em(opts);
+    em.emitPrologue();
+    for (const auto &[var, value] : spec.varInit)
+        em.setVarConst(var, value, spec.initInRegion);
+    em.setVarConst(spec.counter, spec.begin, spec.initInRegion);
+    em.label("Lloop");
+    em.emitBlock(spec.body);
+    em.addVarConst(spec.counter, spec.step, spec.controlInRegion);
+    em.branchVarLtConst(spec.counter, spec.limit, "Lloop",
+                        spec.controlInRegion);
+    for (const auto &[var, addr] : spec.epilogueStores)
+        em.storeVarTo(var, addr, false);
+    em.emitHalt();
+    return em.finish();
+}
+
+} // namespace fb::compiler

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Code generation: three-address code with region annotations down to
+ * machine Programs with per-instruction region bits.
+ */
+
+#ifndef FB_COMPILER_CODEGEN_HH
+#define FB_COMPILER_CODEGEN_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/block.hh"
+#include "isa/program.hh"
+
+namespace fb::compiler
+{
+
+/** Machine-level parameters for code generation. */
+struct CodegenOptions
+{
+    /** Word address of each array base used by the code. */
+    std::map<std::string, std::int64_t> baseAddresses;
+
+    /** Barrier tag this stream synchronizes under (0 = none). */
+    int tag = 1;
+
+    /** Participation mask (bit p = processor p). */
+    std::uint64_t mask = 0;
+
+    /** Logical barrier id recorded in the Program metadata. */
+    int barrierId = 1;
+};
+
+/**
+ * Emits machine code instruction by instruction, managing register
+ * allocation: named variables and array bases get dedicated registers
+ * for the whole program; temporaries are recycled after their last
+ * use within each emitted block.
+ */
+class CodeEmitter
+{
+  public:
+    explicit CodeEmitter(CodegenOptions opts);
+
+    /** Emit settag/setmask and load array base registers. */
+    void emitPrologue();
+
+    /** Emit var = value (allocating the variable's register). */
+    void setVarConst(const std::string &var, std::int64_t value,
+                     bool in_region = false);
+
+    /** Emit var += value. */
+    void addVarConst(const std::string &var, std::int64_t value,
+                     bool in_region = false);
+
+    /**
+     * Emit a whole TAC block. Region bits come from each TacInstr's
+     * inRegion flag unless @p force_region is >= 0 (0 = all
+     * non-barrier, 1 = all barrier).
+     */
+    void emitBlock(const ir::Block &block, int force_region = -1);
+
+    /** Define a label at the next instruction. */
+    void label(const std::string &name);
+
+    /** Emit "if (var < limit_var's constant) goto label". The limit
+     * constant gets a persistent register on first use. */
+    void branchVarLtConst(const std::string &var, std::int64_t limit,
+                          const std::string &target,
+                          bool in_region = false);
+
+    /** Emit "if (var != 0) goto label". */
+    void branchVarNeZero(const std::string &var, const std::string &target,
+                         bool in_region = false);
+
+    /** Emit an unconditional jump. */
+    void jump(const std::string &target, bool in_region = false);
+
+    /** Emit a store of @p var's register to memory word @p addr. */
+    void storeVarTo(const std::string &var, std::int64_t addr,
+                    bool in_region = false);
+
+    /** Emit a barrier region containing only a NOP (a point barrier:
+     * the paper's null barrier region). */
+    void emitPointBarrier();
+
+    /** Emit HALT. */
+    void emitHalt();
+
+    /** Finalize and return the program. */
+    isa::Program finish();
+
+    /** Register currently holding @p var (for tests). */
+    int varReg(const std::string &var) const;
+
+  private:
+    /** Persistent register for a variable or base. */
+    int persistentReg(const std::string &name);
+
+    /** Register holding a temp (must exist unless @p create). */
+    int tempReg(int id, bool create);
+
+    /** Free a temp's register. */
+    void freeTemp(int id);
+
+    /** Materialize a constant into a scratch register. */
+    int materialize(std::int64_t value, bool in_region);
+
+    /** Resolve an operand to a register for reading. */
+    int readReg(const ir::Operand &op, bool in_region);
+
+    void append(isa::Instruction instr, bool in_region);
+
+    CodegenOptions _opts;
+    isa::Program _program;
+
+    std::map<std::string, int> _persistent;
+    std::map<int, int> _temps;
+    std::vector<int> _freeRegs;
+    int _nextPersistent = 1;
+    int _scratchToggle = 0;
+};
+
+/** A counted loop around an annotated body. */
+struct LoopSpec
+{
+    std::string counter;        ///< loop variable name
+    std::int64_t begin = 0;     ///< initial value
+    std::int64_t limit = 0;     ///< iterate while counter < limit
+    std::int64_t step = 1;      ///< increment
+    ir::Block body;             ///< loop body with region flags
+
+    /** Initial values of other per-processor variables. */
+    std::vector<std::pair<std::string, std::int64_t>> varInit;
+
+    /**
+     * Place loop control (increment + backedge) in the barrier
+     * region, extending the region across iterations (Fig. 4).
+     */
+    bool controlInRegion = true;
+
+    /** Place the loop-variable initialization in a region too
+     * (Fig. 4 puts i=1, j=m, k=1 in the leading barrier region). */
+    bool initInRegion = true;
+
+    /** After the loop, store these vars to memory for inspection:
+     * (variable, word address). */
+    std::vector<std::pair<std::string, std::int64_t>> epilogueStores;
+};
+
+/**
+ * Compile @p spec into a complete stream: prologue, initialization,
+ * loop with region bits, epilogue stores, halt.
+ */
+isa::Program compileLoop(const LoopSpec &spec, const CodegenOptions &opts);
+
+} // namespace fb::compiler
+
+#endif // FB_COMPILER_CODEGEN_HH

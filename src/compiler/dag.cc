@@ -1,0 +1,154 @@
+#include "compiler/dag.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace fb::compiler
+{
+
+using ir::Operand;
+using ir::TacInstr;
+using ir::TacOp;
+
+DependenceDag::DependenceDag(const ir::Block &block)
+    : _preds(block.size()), _succs(block.size())
+{
+    // Register dependences: track, per operand, the last writer and
+    // the readers since that write.
+    std::map<Operand, std::size_t> last_writer;
+    std::map<Operand, std::vector<std::size_t>> readers_since;
+
+    // Memory dependences: per array name, last store and loads since.
+    // An empty array name is conservative: it aliases everything.
+    struct MemState
+    {
+        bool has_store = false;
+        std::size_t last_store = 0;
+        std::vector<std::size_t> loads_since;
+    };
+    std::map<std::string, MemState> mem;
+    auto aliases = [](const std::string &a, const std::string &b) {
+        return a.empty() || b.empty() || a == b;
+    };
+
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        const TacInstr &instr = block.at(i);
+
+        for (const Operand &r : readsOf(instr)) {
+            auto w = last_writer.find(r);
+            if (w != last_writer.end())
+                addEdge(w->second, i, DepKind::Raw);
+            readers_since[r].push_back(i);
+        }
+
+        Operand w = writeOf(instr);
+        if (!w.isNone()) {
+            auto prev = last_writer.find(w);
+            if (prev != last_writer.end())
+                addEdge(prev->second, i, DepKind::Waw);
+            for (std::size_t reader : readers_since[w]) {
+                if (reader != i)
+                    addEdge(reader, i, DepKind::War);
+            }
+            readers_since[w].clear();
+            last_writer[w] = i;
+        }
+
+        if (instr.op == TacOp::Load) {
+            for (auto &[array, state] : mem) {
+                if (state.has_store && aliases(array, instr.array))
+                    addEdge(state.last_store, i, DepKind::Mem);
+            }
+            mem[instr.array].loads_since.push_back(i);
+        } else if (instr.op == TacOp::Store) {
+            for (auto &[array, state] : mem) {
+                if (!aliases(array, instr.array))
+                    continue;
+                if (state.has_store)
+                    addEdge(state.last_store, i, DepKind::Mem);
+                for (std::size_t load : state.loads_since)
+                    addEdge(load, i, DepKind::Mem);
+                state.loads_since.clear();
+            }
+            auto &own = mem[instr.array];
+            own.has_store = true;
+            own.last_store = i;
+        }
+    }
+}
+
+void
+DependenceDag::addEdge(std::size_t from, std::size_t to, DepKind kind)
+{
+    FB_ASSERT(from < to, "dependence edges must point forward");
+    // Deduplicate: multiple reasons for the same ordering collapse.
+    if (std::find(_succs[from].begin(), _succs[from].end(), to) !=
+        _succs[from].end())
+        return;
+    _succs[from].push_back(to);
+    _preds[to].push_back(from);
+    _edges.push_back({from, to, kind});
+}
+
+const std::vector<std::size_t> &
+DependenceDag::preds(std::size_t i) const
+{
+    FB_ASSERT(i < _preds.size(), "node index out of range");
+    return _preds[i];
+}
+
+const std::vector<std::size_t> &
+DependenceDag::succs(std::size_t i) const
+{
+    FB_ASSERT(i < _succs.size(), "node index out of range");
+    return _succs[i];
+}
+
+bool
+DependenceDag::validOrder(const std::vector<std::size_t> &order) const
+{
+    if (order.size() != size())
+        return false;
+    std::vector<std::size_t> position(size());
+    std::vector<bool> seen(size(), false);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        if (order[pos] >= size() || seen[order[pos]])
+            return false;
+        seen[order[pos]] = true;
+        position[order[pos]] = pos;
+    }
+    for (const DepEdge &e : _edges) {
+        if (position[e.from] >= position[e.to])
+            return false;
+    }
+    return true;
+}
+
+bool
+DependenceDag::dependsOnAny(std::size_t i,
+                            const std::vector<std::size_t> &sources) const
+{
+    std::vector<bool> is_source(size(), false);
+    for (std::size_t s : sources)
+        is_source[s] = true;
+    // DFS over predecessors.
+    std::vector<std::size_t> stack{i};
+    std::vector<bool> visited(size(), false);
+    while (!stack.empty()) {
+        std::size_t node = stack.back();
+        stack.pop_back();
+        for (std::size_t p : _preds[node]) {
+            if (is_source[p])
+                return true;
+            if (!visited[p]) {
+                visited[p] = true;
+                stack.push_back(p);
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace fb::compiler

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Data-dependence DAG over a straight-line TAC block.
+ *
+ * Paper section 4: "a directed acyclic graph (DAG) representing the
+ * data dependences for the code in the non-barrier region is built.
+ * Since a DAG represents the dependences among the intermediate code
+ * statements, it can be used to find another legal ordering of
+ * instructions."
+ */
+
+#ifndef FB_COMPILER_DAG_HH
+#define FB_COMPILER_DAG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/block.hh"
+
+namespace fb::compiler
+{
+
+/** Dependence classes. */
+enum class DepKind
+{
+    Raw,  ///< true dependence (read after write)
+    War,  ///< anti dependence (write after read)
+    Waw,  ///< output dependence (write after write)
+    Mem,  ///< memory ordering (load/store on the same array)
+};
+
+/** One dependence edge from an earlier to a later instruction. */
+struct DepEdge
+{
+    std::size_t from;
+    std::size_t to;
+    DepKind kind;
+};
+
+/**
+ * The dependence DAG of one ir::Block.
+ */
+class DependenceDag
+{
+  public:
+    /** Build the DAG for @p block. */
+    explicit DependenceDag(const ir::Block &block);
+
+    /** Number of nodes (== block size). */
+    std::size_t size() const { return _preds.size(); }
+
+    /** Predecessors of node @p i (instructions that must precede it). */
+    const std::vector<std::size_t> &preds(std::size_t i) const;
+
+    /** Successors of node @p i. */
+    const std::vector<std::size_t> &succs(std::size_t i) const;
+
+    /** All edges. */
+    const std::vector<DepEdge> &edges() const { return _edges; }
+
+    /**
+     * True if @p order (a permutation of 0..size-1 giving the new
+     * execution order) respects every dependence edge.
+     */
+    bool validOrder(const std::vector<std::size_t> &order) const;
+
+    /**
+     * True if node @p i transitively depends on any node in
+     * @p sources.
+     */
+    bool dependsOnAny(std::size_t i,
+                      const std::vector<std::size_t> &sources) const;
+
+  private:
+    void addEdge(std::size_t from, std::size_t to, DepKind kind);
+
+    std::vector<std::vector<std::size_t>> _preds;
+    std::vector<std::vector<std::size_t>> _succs;
+    std::vector<DepEdge> _edges;
+};
+
+} // namespace fb::compiler
+
+#endif // FB_COMPILER_DAG_HH

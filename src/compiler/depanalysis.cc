@@ -1,0 +1,180 @@
+#include "compiler/depanalysis.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace fb::compiler
+{
+
+const char *
+depClassName(DepClass cls)
+{
+    switch (cls) {
+      case DepClass::Intra: return "intra";
+      case DepClass::LexicallyForward: return "lexically-forward";
+      case DepClass::LoopCarried: return "loop-carried";
+    }
+    return "?";
+}
+
+bool
+DepAnalysis::needsLoopCarriedBarrier() const
+{
+    for (const auto &d : deps)
+        if (d.cls == DepClass::LoopCarried)
+            return true;
+    return false;
+}
+
+bool
+DepAnalysis::needsLexForwardBarrier() const
+{
+    for (const auto &d : deps)
+        if (d.cls == DepClass::LexicallyForward)
+            return true;
+    return false;
+}
+
+std::set<std::size_t>
+DepAnalysis::crossInstructions() const
+{
+    std::set<std::size_t> out;
+    for (const auto &d : deps) {
+        if (d.cls == DepClass::Intra)
+            continue;
+        out.insert(d.storeIdx);
+        out.insert(d.loadIdx);
+    }
+    return out;
+}
+
+namespace
+{
+
+struct Access
+{
+    std::size_t idx;
+    bool isStore;
+    const ir::TacInstr *instr;
+};
+
+/**
+ * Classify one subscript position pair. Distances are deltas between
+ * the store's and the load's offsets; crossing and sequential motion
+ * accumulate into @p seq_dist / @p proc_crossing. Mismatched or
+ * unknown index variables force conservative crossing.
+ */
+void
+classifyPosition(const std::string &store_var, std::int64_t store_off,
+                 const std::string &load_var, std::int64_t load_off,
+                 const std::set<std::string> &seq_vars,
+                 const std::set<std::string> &proc_vars,
+                 std::int64_t &seq_dist, std::int64_t &proc_dist,
+                 bool &conservative)
+{
+    if (store_var != load_var) {
+        conservative = true;
+        return;
+    }
+    std::int64_t delta = store_off - load_off;
+    if (seq_vars.count(store_var))
+        seq_dist += delta;
+    else if (proc_vars.count(store_var))
+        proc_dist += delta;
+    else if (delta != 0)
+        conservative = true;  // unknown loop structure for this index
+}
+
+} // namespace
+
+DepAnalysis
+analyzeCrossDeps(const ir::Block &block,
+                 const std::set<std::string> &seq_vars,
+                 const std::set<std::string> &proc_vars)
+{
+    std::vector<Access> accesses;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        const ir::TacInstr &instr = block.at(i);
+        if (instr.op == ir::TacOp::Load)
+            accesses.push_back({i, false, &instr});
+        else if (instr.op == ir::TacOp::Store)
+            accesses.push_back({i, true, &instr});
+    }
+
+    DepAnalysis out;
+    for (const Access &store : accesses) {
+        if (!store.isStore)
+            continue;
+        for (const Access &load : accesses) {
+            if (load.isStore)
+                continue;
+            if (store.instr->array != load.instr->array ||
+                store.instr->array.empty())
+                continue;
+
+            CrossDep dep;
+            dep.storeIdx = store.idx;
+            dep.loadIdx = load.idx;
+            dep.array = store.instr->array;
+            dep.seqDistance = 0;
+            dep.procDistance = 0;
+
+            const ir::Subscript &ss = store.instr->subscript;
+            const ir::Subscript &ls = load.instr->subscript;
+            bool conservative = !ss.known || !ls.known;
+            if (!conservative) {
+                classifyPosition(ss.rowVar, ss.rowOff, ls.rowVar,
+                                 ls.rowOff, seq_vars, proc_vars,
+                                 dep.seqDistance, dep.procDistance,
+                                 conservative);
+                classifyPosition(ss.colVar, ss.colOff, ls.colVar,
+                                 ls.colOff, seq_vars, proc_vars,
+                                 dep.seqDistance, dep.procDistance,
+                                 conservative);
+            }
+
+            if (conservative) {
+                // No structured subscripts: assume the worst — a
+                // cross-processor loop-carried dependence.
+                dep.cls = DepClass::LoopCarried;
+            } else if (dep.procDistance == 0 && dep.seqDistance == 0) {
+                dep.cls = DepClass::Intra;
+            } else if (dep.seqDistance > 0) {
+                // The store writes a subscript position the load reads
+                // in a later outer iteration.
+                dep.cls = DepClass::LoopCarried;
+            } else if (dep.seqDistance == 0) {
+                // Cross-processor within one outer iteration: only a
+                // textually earlier store can supply the value this
+                // iteration (the Fig. 8 lexically forward shape);
+                // otherwise the value is last iteration's.
+                dep.cls = store.idx < load.idx
+                              ? DepClass::LexicallyForward
+                              : DepClass::LoopCarried;
+            } else {
+                // Negative sequential distance: the "store" is to a
+                // position the load already passed — an anti direction
+                // with no flow this way.
+                dep.cls = DepClass::Intra;
+            }
+            out.deps.push_back(dep);
+        }
+    }
+    return out;
+}
+
+std::size_t
+markFromAnalysis(ir::Block &block, const DepAnalysis &analysis)
+{
+    auto cross = analysis.crossInstructions();
+    std::size_t marked = 0;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        bool mark = cross.count(i) != 0;
+        block.at(i).marked = mark;
+        marked += mark ? 1 : 0;
+    }
+    return marked;
+}
+
+} // namespace fb::compiler

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cross-processor dependence analysis over array subscripts.
+ *
+ * Section 4: "In order to ensure that a processor accesses a value
+ * after it has been computed by another processor, barrier
+ * synchronization is introduced... by analyzing the loop carried
+ * dependences, the instructions that must be included in the
+ * non-barrier region can be identified."
+ *
+ * Section 7.2 distinguishes the second class: "These dependences
+ * point forward in the program source and are called lexically
+ * forward dependences... in an architecture where processors execute
+ * asynchronously, a barrier synchronization is required to guarantee
+ * these dependences."
+ *
+ * The analysis consumes the structured subscripts recorded by the IR
+ * builder and classifies every store→load pair on the same array.
+ */
+
+#ifndef FB_COMPILER_DEPANALYSIS_HH
+#define FB_COMPILER_DEPANALYSIS_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/block.hh"
+
+namespace fb::compiler
+{
+
+/** Classification of a store→load pair. */
+enum class DepClass
+{
+    Intra,             ///< same processor, same iteration: no barrier
+    LexicallyForward,  ///< cross-processor within an iteration (Fig. 8)
+    LoopCarried,       ///< crosses outer-loop iterations (Fig. 9)
+};
+
+/** Readable name. */
+const char *depClassName(DepClass cls);
+
+/** One classified dependence between a store and a load. */
+struct CrossDep
+{
+    std::size_t storeIdx;  ///< index of the store in the block
+    std::size_t loadIdx;   ///< index of the load in the block
+    std::string array;
+    DepClass cls;
+    /** Distance in sequential-loop subscript positions (>= 0). */
+    std::int64_t seqDistance;
+    /** Distance in processor-identifying subscript positions. */
+    std::int64_t procDistance;
+};
+
+/** Result of the analysis. */
+struct DepAnalysis
+{
+    std::vector<CrossDep> deps;
+
+    /** True if any dependence needs a barrier between outer-loop
+     * iterations. */
+    bool needsLoopCarriedBarrier() const;
+
+    /** True if any dependence needs a mid-iteration barrier for a
+     * lexically forward value. */
+    bool needsLexForwardBarrier() const;
+
+    /** Indices of all instructions participating in cross-processor
+     * dependences — the marked set of section 4. */
+    std::set<std::size_t> crossInstructions() const;
+};
+
+/**
+ * Analyze @p block, treating subscript variables in @p seq_vars as
+ * advanced by the sequential outer loop and those in @p proc_vars as
+ * identifying the executing processor. Accesses without structured
+ * subscripts on a shared array are classified conservatively as
+ * loop-carried with distance 0.
+ *
+ * Classification of a (store, load) pair on the same array:
+ *  - both subscript deltas zero: Intra (the processor reads its own
+ *    value within the iteration);
+ *  - processor delta nonzero, sequential delta zero: the value
+ *    crosses processors within one outer iteration — LexicallyForward
+ *    if the store textually precedes the load, otherwise the load can
+ *    only be satisfied by the previous iteration's store: LoopCarried;
+ *  - sequential delta positive: LoopCarried.
+ */
+DepAnalysis analyzeCrossDeps(const ir::Block &block,
+                             const std::set<std::string> &seq_vars,
+                             const std::set<std::string> &proc_vars);
+
+/**
+ * Apply the analysis: mark every instruction in a cross-processor
+ * dependence (and clear every other mark). Returns the number marked.
+ * This replaces hand-marking: assignRegions / threePhaseReorder then
+ * build the regions from these marks.
+ */
+std::size_t markFromAnalysis(ir::Block &block,
+                             const DepAnalysis &analysis);
+
+} // namespace fb::compiler
+
+#endif // FB_COMPILER_DEPANALYSIS_HH

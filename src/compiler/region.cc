@@ -1,0 +1,50 @@
+#include "compiler/region.hh"
+
+namespace fb::compiler
+{
+
+std::size_t
+markSharedArrayAccesses(ir::Block &block,
+                        const std::set<std::string> &shared_arrays)
+{
+    std::size_t marked = 0;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        ir::TacInstr &instr = block.at(i);
+        if (instr.op != ir::TacOp::Load && instr.op != ir::TacOp::Store)
+            continue;
+        if (shared_arrays.count(instr.array)) {
+            instr.marked = true;
+            ++marked;
+        }
+    }
+    return marked;
+}
+
+void
+clearMarks(ir::Block &block)
+{
+    for (std::size_t i = 0; i < block.size(); ++i)
+        block.at(i).marked = false;
+}
+
+RegionAssignment
+assignRegions(ir::Block &block)
+{
+    RegionAssignment out;
+    auto marked = block.markedIndices();
+    if (marked.empty()) {
+        // Nothing crosses the barrier: the whole body may execute
+        // while awaiting synchronization.
+        for (std::size_t i = 0; i < block.size(); ++i)
+            block.at(i).inRegion = true;
+        return out;
+    }
+    out.hasNonBarrier = true;
+    out.nbBegin = marked.front();
+    out.nbEnd = marked.back();
+    for (std::size_t i = 0; i < block.size(); ++i)
+        block.at(i).inRegion = i < out.nbBegin || i > out.nbEnd;
+    return out;
+}
+
+} // namespace fb::compiler

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Marked-instruction analysis and barrier/non-barrier region
+ * construction (paper section 4).
+ */
+
+#ifndef FB_COMPILER_REGION_HH
+#define FB_COMPILER_REGION_HH
+
+#include <set>
+#include <string>
+
+#include "ir/block.hh"
+
+namespace fb::compiler
+{
+
+/**
+ * Mark every load/store that touches one of @p shared_arrays — the
+ * arrays carrying cross-iteration (hence cross-processor) dependences.
+ * "The marked instructions are those instructions which either access
+ * a value computed by another processor or compute a value that will
+ * be accessed by another processor."
+ *
+ * @return number of instructions marked.
+ */
+std::size_t markSharedArrayAccesses(ir::Block &block,
+                                    const std::set<std::string>
+                                        &shared_arrays);
+
+/** Clear all marks. */
+void clearMarks(ir::Block &block);
+
+/** Result of region assignment over a loop body block. */
+struct RegionAssignment
+{
+    bool hasNonBarrier = false;  ///< false when nothing is marked
+    std::size_t nbBegin = 0;     ///< first non-barrier instruction
+    std::size_t nbEnd = 0;       ///< last non-barrier instruction
+
+    /** Instructions in the non-barrier region. */
+    std::size_t
+    nonBarrierSize() const
+    {
+        return hasNonBarrier ? nbEnd - nbBegin + 1 : 0;
+    }
+};
+
+/**
+ * Assign regions per the paper's rule: "All instructions starting
+ * with the first marked instruction and ending at the last marked
+ * instruction are included in the non-barrier region. The remaining
+ * instructions form the barrier region." Sets inRegion on every
+ * instruction of @p block and returns the boundaries.
+ */
+RegionAssignment assignRegions(ir::Block &block);
+
+} // namespace fb::compiler
+
+#endif // FB_COMPILER_REGION_HH

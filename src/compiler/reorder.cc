@@ -1,0 +1,146 @@
+#include "compiler/reorder.hh"
+
+#include <algorithm>
+
+#include "compiler/dag.hh"
+#include "support/logging.hh"
+
+namespace fb::compiler
+{
+
+namespace
+{
+
+/** Tracks scheduling state over a dependence DAG. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(const DependenceDag &dag)
+        : _dag(dag), _scheduled(dag.size(), false),
+          _remainingPreds(dag.size())
+    {
+        for (std::size_t i = 0; i < dag.size(); ++i)
+            _remainingPreds[i] = dag.preds(i).size();
+    }
+
+    bool done() const { return _order.size() == _dag.size(); }
+
+    bool scheduled(std::size_t i) const { return _scheduled[i]; }
+
+    bool
+    ready(std::size_t i) const
+    {
+        return !_scheduled[i] && _remainingPreds[i] == 0;
+    }
+
+    void
+    schedule(std::size_t i)
+    {
+        FB_ASSERT(ready(i), "scheduling a non-ready instruction");
+        _scheduled[i] = true;
+        _order.push_back(i);
+        for (std::size_t s : _dag.succs(i))
+            --_remainingPreds[s];
+    }
+
+    /** Lowest-index ready node satisfying @p pred, or npos. */
+    template <typename Pred>
+    std::size_t
+    firstReady(Pred pred) const
+    {
+        for (std::size_t i = 0; i < _dag.size(); ++i)
+            if (ready(i) && pred(i))
+                return i;
+        return npos;
+    }
+
+    const std::vector<std::size_t> &order() const { return _order; }
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  private:
+    const DependenceDag &_dag;
+    std::vector<bool> _scheduled;
+    std::vector<std::size_t> _remainingPreds;
+    std::vector<std::size_t> _order;
+};
+
+} // namespace
+
+ReorderResult
+threePhaseReorder(const ir::Block &block)
+{
+    DependenceDag dag(block);
+    Scheduler sched(dag);
+    auto marked = block.markedIndices();
+    std::vector<bool> is_marked(block.size(), false);
+    for (std::size_t m : marked)
+        is_marked[m] = true;
+
+    ReorderResult result;
+
+    // Phase 1: every ready unmarked instruction moves to the leading
+    // barrier region. Anything (transitively) depending on a marked
+    // instruction never becomes ready here.
+    for (;;) {
+        std::size_t pick = sched.firstReady(
+            [&](std::size_t i) { return !is_marked[i]; });
+        if (pick == Scheduler::npos)
+            break;
+        sched.schedule(pick);
+        ++result.phase1;
+    }
+
+    // Phase 2: schedule marked instructions as early as possible,
+    // pulling in required predecessors; all of this forms the
+    // non-barrier region.
+    std::size_t marked_left = marked.size();
+    while (marked_left > 0) {
+        std::size_t pick = sched.firstReady(
+            [&](std::size_t i) { return is_marked[i]; });
+        if (pick != Scheduler::npos) {
+            sched.schedule(pick);
+            --marked_left;
+            ++result.phase2;
+            continue;
+        }
+        // No marked instruction is ready: schedule the first ready
+        // instruction that unblocks one (an ancestor of a marked
+        // instruction).
+        std::vector<std::size_t> unscheduled_marked;
+        for (std::size_t m : marked)
+            if (!sched.scheduled(m))
+                unscheduled_marked.push_back(m);
+        pick = sched.firstReady([&](std::size_t i) {
+            for (std::size_t m : unscheduled_marked)
+                if (dag.dependsOnAny(m, {i}))
+                    return true;
+            return false;
+        });
+        FB_ASSERT(pick != Scheduler::npos,
+                  "phase 2 wedged: marked instruction unreachable");
+        sched.schedule(pick);
+        ++result.phase2;
+    }
+
+    // Phase 3: the rest moves to the trailing barrier region.
+    for (;;) {
+        std::size_t pick =
+            sched.firstReady([](std::size_t) { return true; });
+        if (pick == Scheduler::npos)
+            break;
+        sched.schedule(pick);
+        ++result.phase3;
+    }
+
+    FB_ASSERT(sched.done(), "reorder did not schedule every instruction");
+    FB_ASSERT(dag.validOrder(sched.order()),
+              "reorder produced an illegal order");
+
+    for (std::size_t idx : sched.order())
+        result.block.append(block.at(idx));
+    result.regions = assignRegions(result.block);
+    return result;
+}
+
+} // namespace fb::compiler

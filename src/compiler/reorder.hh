@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Three-phase code reordering that shrinks the non-barrier region
+ * (paper section 4).
+ */
+
+#ifndef FB_COMPILER_REORDER_HH
+#define FB_COMPILER_REORDER_HH
+
+#include "compiler/region.hh"
+#include "ir/block.hh"
+
+namespace fb::compiler
+{
+
+/** Outcome of the reordering pass. */
+struct ReorderResult
+{
+    ir::Block block;          ///< reordered body with regions assigned
+    RegionAssignment regions; ///< boundaries in the new order
+    std::size_t phase1 = 0;   ///< instrs moved to the leading region
+    std::size_t phase2 = 0;   ///< instrs kept in the non-barrier region
+    std::size_t phase3 = 0;   ///< instrs moved to the trailing region
+};
+
+/**
+ * Reorder @p block to minimize the non-barrier region, exactly as the
+ * paper describes:
+ *
+ *  - Phase 1 schedules ready instructions that are not marked; these
+ *    land in the barrier region *preceding* the non-barrier region
+ *    (address arithmetic in the Fig. 4 example).
+ *  - Phase 2 schedules the marked instructions as early as possible,
+ *    pulling in any unscheduled instructions they depend on; these
+ *    form the non-barrier region.
+ *  - Phase 3 schedules whatever remains; it lands in the barrier
+ *    region *following* the non-barrier region.
+ *
+ * The returned order always respects the block's dependence DAG.
+ */
+ReorderResult threePhaseReorder(const ir::Block &block);
+
+} // namespace fb::compiler
+
+#endif // FB_COMPILER_REORDER_HH

@@ -1,0 +1,181 @@
+#include "compiler/transforms.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace fb::compiler
+{
+
+std::vector<DistributedLoop>
+distributeLoop(const std::vector<Statement> &stmts)
+{
+    std::vector<DistributedLoop> out;
+    for (const Statement &s : stmts)
+        if (s.carriesLoopDep)
+            out.push_back({s, false});
+    for (const Statement &s : stmts)
+        if (!s.carriesLoopDep)
+            out.push_back({s, true});
+    return out;
+}
+
+std::size_t
+regionExecutionsWithoutDistribution(const std::vector<Statement> &stmts,
+                                    std::size_t iterations)
+{
+    // Fused body: S1; S2; S1; S2; ... The barrier region can only
+    // absorb the trailing run of independent statement executions —
+    // the executions after the last dependence-carrying one. With the
+    // usual S1;S2 shape that is the single final execution of each
+    // trailing independent statement (Fig. 5(b)).
+    if (iterations == 0)
+        return 0;
+    std::size_t trailing = 0;
+    for (auto it = stmts.rbegin(); it != stmts.rend(); ++it) {
+        if (it->carriesLoopDep)
+            break;
+        ++trailing;
+    }
+    return trailing;
+}
+
+std::size_t
+regionExecutionsWithDistribution(const std::vector<Statement> &stmts,
+                                 std::size_t iterations)
+{
+    std::size_t independent = 0;
+    for (const Statement &s : stmts)
+        independent += s.carriesLoopDep ? 0 : 1;
+    return independent * iterations;
+}
+
+ir::Block
+substituteVarOffset(const ir::Block &block, const std::string &var,
+                    std::int64_t offset, int &next_temp)
+{
+    ir::Block out;
+    std::map<int, int> temp_map;
+    auto remap = [&](const ir::Operand &op) -> ir::Operand {
+        if (op.isTemp()) {
+            auto it = temp_map.find(op.tempId());
+            if (it == temp_map.end())
+                it = temp_map.emplace(op.tempId(), next_temp++).first;
+            return ir::Operand::temp(it->second);
+        }
+        return op;
+    };
+
+    // Reads of the loop variable become reads of a temp holding
+    // var + offset, computed once at the top of the copy.
+    ir::Operand shifted;
+    if (offset != 0) {
+        shifted = ir::Operand::temp(next_temp++);
+        out.append(ir::TacInstr::arith(ir::TacOp::Add, shifted,
+                                       ir::Operand::var(var),
+                                       ir::Operand::constant(offset)));
+    }
+    auto subst = [&](const ir::Operand &op) -> ir::Operand {
+        if (offset != 0 && op.isVar() && op.name() == var)
+            return shifted;
+        return remap(op);
+    };
+
+    for (const auto &instr : block) {
+        ir::TacInstr copy = instr;
+        // The destination of a write must not be the substituted
+        // variable (the unroller never writes the counter inside the
+        // body); sources are substituted.
+        if (!copy.dst.isNone()) {
+            if (copy.op == ir::TacOp::Store) {
+                copy.dst = subst(copy.dst);  // address is a read
+            } else {
+                FB_ASSERT(!(copy.dst.isVar() && copy.dst.name() == var),
+                          "body writes the loop counter; cannot unroll");
+                copy.dst = remap(copy.dst);
+            }
+        }
+        copy.a = subst(copy.a);
+        copy.b = subst(copy.b);
+        out.append(std::move(copy));
+    }
+    return out;
+}
+
+ir::Block
+unrollBody(const ir::Block &block, const std::string &counter,
+           std::int64_t step, int factor)
+{
+    FB_ASSERT(factor >= 1, "unroll factor must be >= 1");
+    // Find a safe starting temp id.
+    int next_temp = 1;
+    for (const auto &instr : block) {
+        for (const auto &op : {instr.dst, instr.a, instr.b})
+            if (op.isTemp())
+                next_temp = std::max(next_temp, op.tempId() + 1);
+    }
+
+    ir::Block out;
+    for (int k = 0; k < factor; ++k) {
+        ir::Block copy =
+            substituteVarOffset(block, counter, step * k, next_temp);
+        for (const auto &instr : copy)
+            out.append(instr);
+    }
+    return out;
+}
+
+std::vector<std::vector<int>>
+cycleShrink(int trip_count, int distance)
+{
+    FB_ASSERT(trip_count >= 0, "negative trip count");
+    FB_ASSERT(distance >= 1, "dependence distance must be >= 1");
+    std::vector<std::vector<int>> groups;
+    for (int start = 0; start < trip_count; start += distance) {
+        std::vector<int> group;
+        for (int i = start; i < std::min(trip_count, start + distance);
+             ++i)
+            group.push_back(i);
+        groups.push_back(std::move(group));
+    }
+    return groups;
+}
+
+IterationRole
+roleFor(bool first, bool last)
+{
+    if (first && last)
+        return IterationRole::Only;
+    if (first)
+        return IterationRole::First;
+    if (last)
+        return IterationRole::Last;
+    return IterationRole::Middle;
+}
+
+const char *
+iterationRoleName(IterationRole role)
+{
+    switch (role) {
+      case IterationRole::First: return "first";
+      case IterationRole::Last: return "last";
+      case IterationRole::Middle: return "middle";
+      case IterationRole::Only: return "only";
+    }
+    return "?";
+}
+
+bool
+roleStartsWithBarrier(IterationRole role)
+{
+    return role == IterationRole::First || role == IterationRole::Only;
+}
+
+bool
+roleEndsWithBarrier(IterationRole role)
+{
+    return role == IterationRole::Last || role == IterationRole::Only;
+}
+
+} // namespace fb::compiler

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Statement-level transformations that enlarge barrier regions:
+ * loop distribution (paper Fig. 5), loop unrolling (Fig. 11), and
+ * the multiple-version roles for run-time scheduling (Fig. 12).
+ */
+
+#ifndef FB_COMPILER_TRANSFORMS_HH
+#define FB_COMPILER_TRANSFORMS_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/block.hh"
+
+namespace fb::compiler
+{
+
+/**
+ * One source statement of a parallel loop body, for the statement-
+ * level transforms.
+ */
+struct Statement
+{
+    std::string name;        ///< e.g. "S1"
+    ir::Block body;          ///< TAC for one execution
+    /**
+     * True if the statement is involved in the loop-carried
+     * dependence that forces the outer loop to be sequential (S1 in
+     * Fig. 5). Such statements must execute in the non-barrier
+     * region; independent statements may move into the barrier
+     * region.
+     */
+    bool carriesLoopDep = false;
+};
+
+/** One inner loop produced by loop distribution. */
+struct DistributedLoop
+{
+    Statement stmt;
+    bool inBarrierRegion;  ///< whole loop executes inside the region
+};
+
+/**
+ * Apply loop distribution: each statement gets its own inner loop.
+ * Loops for dependence-carrying statements come first and stay in
+ * the non-barrier region; loops for independent statements follow
+ * and form the barrier region (Fig. 5(c)). Source order is preserved
+ * within each class, which is legal because independent statements
+ * have no dependence into the carried ones across the split — the
+ * caller asserts that by its choice of carriesLoopDep flags.
+ */
+std::vector<DistributedLoop>
+distributeLoop(const std::vector<Statement> &stmts);
+
+/**
+ * Without distribution, only the trailing executions can be in the
+ * region: the barrier region holds just the final execution of the
+ * last independent statement (Fig. 5(b)). Returns the number of
+ * statement executions (out of @p stmts.size() * @p iterations) that
+ * can be placed in the barrier region.
+ */
+std::size_t regionExecutionsWithoutDistribution(
+    const std::vector<Statement> &stmts, std::size_t iterations);
+
+/** Ditto after distribution: whole loops of independent statements. */
+std::size_t regionExecutionsWithDistribution(
+    const std::vector<Statement> &stmts, std::size_t iterations);
+
+/**
+ * Substitute every read of variable @p var in @p block with
+ * (@p var + @p offset), renumbering temporaries starting at
+ * @p next_temp (updated). Used by unrolling: iteration k+delta's body
+ * is the original body with the counter offset.
+ */
+ir::Block substituteVarOffset(const ir::Block &block,
+                              const std::string &var, std::int64_t offset,
+                              int &next_temp);
+
+/**
+ * Unroll a loop body @p factor times: concatenates factor copies of
+ * @p block with counter offsets 0, step, 2*step, ... Temporaries are
+ * renumbered to stay distinct.
+ */
+ir::Block unrollBody(const ir::Block &block, const std::string &counter,
+                     std::int64_t step, int factor);
+
+/**
+ * Cycle shrinking [Polychronopoulos], the transformation the paper's
+ * introduction names as a major beneficiary of cheap barriers: a
+ * doacross loop whose dependence distance is @p distance can execute
+ * @p distance consecutive iterations in parallel, with a barrier
+ * between groups. Returns the groups in execution order; iterations
+ * within one group are mutually independent.
+ *
+ * @pre distance >= 1. With distance == 1 every group is a single
+ * iteration (fully sequential); with distance >= trip_count the whole
+ * loop is one parallel group.
+ */
+std::vector<std::vector<int>> cycleShrink(int trip_count, int distance);
+
+/** Multiple-version loop roles (Fig. 12). */
+enum class IterationRole
+{
+    First,   ///< version 1: first and not last — starts with a barrier
+    Last,    ///< version 2: not first and last — followed by a barrier
+    Middle,  ///< version 3: neither — no barrier code at all
+    Only,    ///< version 4: first and last — barrier on both sides
+};
+
+/** Select the version for an iteration's position in the processor's
+ * allocation. */
+IterationRole roleFor(bool first, bool last);
+
+/** Readable role name. */
+const char *iterationRoleName(IterationRole role);
+
+/** True if this role's code begins with a barrier region. */
+bool roleStartsWithBarrier(IterationRole role);
+
+/** True if this role's code is followed by a barrier region. */
+bool roleEndsWithBarrier(IterationRole role);
+
+} // namespace fb::compiler
+
+#endif // FB_COMPILER_TRANSFORMS_HH

@@ -1,0 +1,159 @@
+#include "core/barrierprogs.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "support/logging.hh"
+
+namespace fb::core
+{
+
+const char *
+simBarrierKindName(SimBarrierKind kind)
+{
+    switch (kind) {
+      case SimBarrierKind::Centralized: return "sw-centralized";
+      case SimBarrierKind::Dissemination: return "sw-dissemination";
+      case SimBarrierKind::HardwareFuzzy: return "hw-fuzzy";
+      case SimBarrierKind::HardwarePoint: return "hw-point";
+    }
+    panic("unknown SimBarrierKind");
+}
+
+std::size_t
+layoutWords(const SwBarrierLayout &layout, int procs)
+{
+    int rounds = 0;
+    int reach = 1;
+    while (reach < procs) {
+        reach *= 2;
+        ++rounds;
+    }
+    std::size_t flags_end = static_cast<std::size_t>(
+        layout.flagsBase + std::max(1, rounds) * procs);
+    return std::max({flags_end,
+                     static_cast<std::size_t>(layout.countAddr + 1),
+                     static_cast<std::size_t>(layout.senseAddr + 1)});
+}
+
+namespace
+{
+
+/**
+ * Registers used by the generated code:
+ *   r1 iteration counter, r2 episode limit, r3 work accumulator,
+ *   r4 region filler accumulator, r19 = P, r20 local sense / epoch,
+ *   r21..r26 barrier scratch.
+ */
+void
+emitWork(std::ostringstream &oss, int work_instrs)
+{
+    for (int k = 0; k < work_instrs; ++k)
+        oss << "addi r3, r3, 1\n";
+}
+
+void
+emitCentralizedEpisode(std::ostringstream &oss,
+                       const SwBarrierLayout &layout)
+{
+    // Sense-reversing centralized barrier; every arrival performs a
+    // fetch-and-add on one counter and spins on one flag word — the
+    // hot spot.
+    oss << "li r24, 1\n";
+    oss << "sub r20, r24, r20\n";                      // flip local sense
+    oss << "faa r21, " << layout.countAddr << "(r0), r24\n";
+    oss << "addi r25, r21, 1\n";
+    oss << "bne r25, r19, bspin\n";                    // not last: spin
+    oss << "st r0, " << layout.countAddr << "(r0)\n";  // reset counter
+    oss << "st r20, " << layout.senseAddr << "(r0)\n"; // release
+    oss << "jmp bdone\n";
+    oss << "bspin:\n";
+    oss << "ld r26, " << layout.senseAddr << "(r0)\n";
+    oss << "bne r26, r20, bspin\n";
+    oss << "bdone:\n";
+}
+
+void
+emitDisseminationEpisode(std::ostringstream &oss,
+                         const SwBarrierLayout &layout, int procs,
+                         int self)
+{
+    oss << "addi r20, r20, 1\n";  // next epoch
+    int reach = 1;
+    int round = 0;
+    while (reach < procs) {
+        int partner = (self + reach) % procs;
+        std::int64_t signal_addr =
+            layout.flagsBase + round * procs + partner;
+        std::int64_t my_addr = layout.flagsBase + round * procs + self;
+        oss << "st r20, " << signal_addr << "(r0)\n";
+        oss << "dspin" << round << ":\n";
+        oss << "ld r26, " << my_addr << "(r0)\n";
+        oss << "blt r26, r20, dspin" << round << "\n";
+        reach *= 2;
+        ++round;
+    }
+}
+
+} // namespace
+
+isa::Program
+buildBarrierLoop(SimBarrierKind kind, int procs, int self, int episodes,
+                 int work_instrs, int region_instrs,
+                 const SwBarrierLayout &layout)
+{
+    FB_ASSERT(procs >= 1 && self >= 0 && self < procs,
+              "bad processor index");
+    std::ostringstream oss;
+
+    const bool hardware = kind == SimBarrierKind::HardwareFuzzy ||
+                          kind == SimBarrierKind::HardwarePoint;
+    if (hardware) {
+        oss << "settag 1\n";
+        oss << "setmask " << ((1ll << procs) - 1) << "\n";
+    }
+    oss << "li r19, " << procs << "\n";
+    oss << "li r1, 0\n";
+    oss << "li r2, " << episodes << "\n";
+    oss << "loop:\n";
+    emitWork(oss, work_instrs);
+
+    switch (kind) {
+      case SimBarrierKind::Centralized:
+        emitCentralizedEpisode(oss, layout);
+        oss << "addi r1, r1, 1\n";
+        oss << "bne r1, r2, loop\n";
+        break;
+      case SimBarrierKind::Dissemination:
+        emitDisseminationEpisode(oss, layout, procs, self);
+        oss << "addi r1, r1, 1\n";
+        oss << "bne r1, r2, loop\n";
+        break;
+      case SimBarrierKind::HardwareFuzzy:
+        oss << ".region 1\n";
+        for (int k = 0; k < region_instrs; ++k)
+            oss << "addi r4, r4, 1\n";
+        oss << "addi r1, r1, 1\n";
+        oss << "bne r1, r2, loop\n";
+        oss << ".endregion\n";
+        break;
+      case SimBarrierKind::HardwarePoint:
+        oss << ".region 1\n";
+        oss << "nop\n";
+        oss << ".endregion\n";
+        oss << "addi r1, r1, 1\n";
+        oss << "bne r1, r2, loop\n";
+        break;
+    }
+    oss << "st r3, 4(r0)\n";
+    oss << "halt\n";
+
+    isa::Program prog;
+    std::string err;
+    if (!isa::Assembler::assemble(oss.str(), prog, err))
+        panic("generated barrier program failed to assemble: " + err);
+    return prog;
+}
+
+} // namespace fb::core

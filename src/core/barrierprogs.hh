@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Generators for barrier benchmark programs that run on the simulated
+ * multiprocessor: shared-variable software barriers written in the
+ * machine's own ISA (the kind the paper criticizes) and the hardware
+ * fuzzy barrier equivalent.
+ *
+ * These make the paper's section 1 claims measurable inside one
+ * machine model: instruction overhead and hot-spot memory traffic of
+ * centralized (linear cost) and dissemination (logarithmic cost)
+ * barriers versus the zero-instruction hardware mechanism.
+ */
+
+#ifndef FB_CORE_BARRIERPROGS_HH
+#define FB_CORE_BARRIERPROGS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace fb::core
+{
+
+/** Shared-memory layout of the software barrier data structures. */
+struct SwBarrierLayout
+{
+    std::int64_t countAddr = 8;    ///< centralized arrival counter
+    std::int64_t senseAddr = 9;    ///< centralized release flag
+    std::int64_t flagsBase = 16;   ///< dissemination flags
+                                   ///< (flagsBase + round*P + proc)
+};
+
+/** Which barrier implementation a generated program uses. */
+enum class SimBarrierKind
+{
+    Centralized,    ///< shared counter + sense flag (spin)
+    Dissemination,  ///< log2(P) rounds of pairwise flags (spin)
+    HardwareFuzzy,  ///< the proposed mechanism, with a region
+    HardwarePoint,  ///< the mechanism with a null (one-NOP) region
+};
+
+/** Name for reports. */
+const char *simBarrierKindName(SimBarrierKind kind);
+
+/**
+ * Build processor @p self's program: @p episodes iterations of
+ * @p work_instrs single-cycle work instructions followed by one
+ * barrier of the given kind. For HardwareFuzzy the barrier region
+ * holds @p region_instrs filler instructions plus the loop control;
+ * the software kinds and HardwarePoint ignore @p region_instrs.
+ *
+ * All processors 0..procs-1 participate.
+ */
+isa::Program buildBarrierLoop(SimBarrierKind kind, int procs, int self,
+                              int episodes, int work_instrs,
+                              int region_instrs,
+                              const SwBarrierLayout &layout = {});
+
+/** Memory words the layout requires for @p procs processors. */
+std::size_t layoutWords(const SwBarrierLayout &layout, int procs);
+
+} // namespace fb::core
+
+#endif // FB_CORE_BARRIERPROGS_HH

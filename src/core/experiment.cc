@@ -1,0 +1,117 @@
+#include "core/experiment.hh"
+
+#include <cstdlib>
+
+#include "compiler/reorder.hh"
+#include "support/logging.hh"
+
+namespace fb::core
+{
+
+LexForwardRun
+runLexForward(const LexForwardWorkload &wl, const sim::MachineConfig &cfg,
+              bool reordered)
+{
+    FB_ASSERT(cfg.numProcessors == wl.n,
+              "machine must have one processor per column");
+    FB_ASSERT(cfg.memWords >=
+                  static_cast<std::size_t>(wl.baseAddr) + wl.arrayWords(),
+              "memory too small for the array");
+
+    sim::Machine machine(cfg);
+    wl.initArray(machine.memory());
+
+    compiler::CodegenOptions opts;
+    opts.baseAddresses = {{"a", wl.baseAddr}};
+    opts.tag = 1;
+    opts.mask = (1ull << wl.n) - 1;
+
+    for (int p = 0; p < wl.n; ++p) {
+        int i_col = p + 1;
+        if (reordered) {
+            auto spec = wl.loopSpec(i_col, wl.reorderedBody());
+            machine.loadProgram(p, compiler::compileLoop(spec, opts));
+        } else {
+            // Point-barrier baseline: every instruction is
+            // non-barrier; a minimal (one-NOP) region sits at each of
+            // the two synchronization points.
+            compiler::CodeEmitter em(opts);
+            em.emitPrologue();
+            em.setVarConst("i", i_col);
+            em.setVarConst("j", 1);
+            em.label("Lloop");
+            em.emitBlock(wl.statementNaive(0), 0);
+            em.emitPointBarrier();  // lexically-forward barrier
+            em.emitBlock(wl.statementNaive(1), 0);
+            em.emitPointBarrier();  // loop-carried barrier
+            em.addVarConst("j", 2, false);
+            em.branchVarLtConst("j", wl.jLimit, "Lloop", false);
+            em.emitHalt();
+            machine.loadProgram(p, em.finish());
+        }
+    }
+
+    LexForwardRun out;
+    out.result = machine.run();
+    const auto ref = wl.reference();
+    out.mismatches = 0;
+    for (int j = 0; j <= wl.jLimit; ++j) {
+        for (int i = 0; i <= wl.n; ++i) {
+            std::size_t addr = wl.addrOf(j, i);
+            if (machine.memory().peek(addr) !=
+                ref[addr - static_cast<std::size_t>(wl.baseAddr)])
+                ++out.mismatches;
+        }
+    }
+    out.correct = !out.result.deadlocked && !out.result.timedOut &&
+                  out.mismatches == 0;
+    return out;
+}
+
+PoissonRun
+runPoisson(const PoissonWorkload &wl, const sim::MachineConfig &cfg,
+           int iters, std::int64_t boundary, bool reordered)
+{
+    const int procs = wl.m * wl.m;
+    FB_ASSERT(cfg.numProcessors == procs,
+              "machine must have one processor per interior cell");
+    FB_ASSERT(cfg.memWords >= static_cast<std::size_t>(wl.baseAddr) +
+                                  wl.gridWords(),
+              "memory too small for the grid");
+
+    sim::Machine machine(cfg);
+    wl.initBoundary(machine.memory(), boundary);
+
+    compiler::CodegenOptions opts;
+    opts.baseAddresses = {{"P", wl.baseAddr}};
+    opts.tag = 1;
+    opts.mask = (1ull << procs) - 1;
+
+    ir::Block body = wl.naiveBody();
+    if (reordered)
+        body = compiler::threePhaseReorder(body).block;
+    else
+        compiler::assignRegions(body);
+
+    int p = 0;
+    for (int l = 1; l <= wl.m; ++l) {
+        for (int mc = 1; mc <= wl.m; ++mc, ++p) {
+            auto spec = wl.loopSpec(l, mc, iters, body);
+            machine.loadProgram(p, compiler::compileLoop(spec, opts));
+        }
+    }
+
+    PoissonRun out;
+    out.result = machine.run();
+    out.maxResidual = 0;
+    for (int r = 1; r <= wl.m; ++r) {
+        for (int c = 1; c <= wl.m; ++c) {
+            std::int64_t v = machine.memory().peek(wl.addrOf(r, c));
+            std::int64_t res = std::llabs(v - boundary);
+            out.maxResidual = std::max(out.maxResidual, res);
+        }
+    }
+    return out;
+}
+
+} // namespace fb::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Turn-key experiment drivers used by the examples, tests, and
+ * benchmark harnesses.
+ */
+
+#ifndef FB_CORE_EXPERIMENT_HH
+#define FB_CORE_EXPERIMENT_HH
+
+#include <memory>
+
+#include "core/workloads.hh"
+#include "sim/machine.hh"
+
+namespace fb::core
+{
+
+/** Result of a LexForward run. */
+struct LexForwardRun
+{
+    sim::RunResult result;
+    bool correct = false;      ///< final array matches the reference
+    std::size_t mismatches = 0;
+};
+
+/**
+ * Run the Fig. 9/10 workload on an n-processor machine.
+ *
+ * @param wl workload geometry
+ * @param cfg machine configuration (numProcessors must equal wl.n)
+ * @param reordered true: the Fig. 10 reordered body (large barrier
+ *        regions); false: the naive body wrapped in a point barrier
+ *        per statement (everything non-barrier except a minimal
+ *        region), the no-fuzzy baseline
+ */
+LexForwardRun runLexForward(const LexForwardWorkload &wl,
+                            const sim::MachineConfig &cfg,
+                            bool reordered);
+
+/** Result of a Poisson run. */
+struct PoissonRun
+{
+    sim::RunResult result;
+    /** Largest |cell - boundary| over the interior after the run:
+     * convergence indicator (0 = fully converged). */
+    std::int64_t maxResidual = 0;
+};
+
+/**
+ * Run the Fig. 3/4 Poisson solver with M*M processors (one per
+ * interior cell), boundary value @p boundary, for @p iters outer
+ * iterations.
+ *
+ * @param reordered true compiles the three-phase-reordered body
+ *        (Fig. 4(b)); false the naive body (Fig. 4(a)).
+ */
+PoissonRun runPoisson(const PoissonWorkload &wl,
+                      const sim::MachineConfig &cfg, int iters,
+                      std::int64_t boundary, bool reordered);
+
+} // namespace fb::core
+
+#endif // FB_CORE_EXPERIMENT_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Umbrella header for the fuzzy-barrier library.
+ *
+ * The library reproduces "The Fuzzy Barrier: A Mechanism for High
+ * Speed Synchronization of Processors" (Gupta, ASPLOS 1989) as five
+ * cooperating layers:
+ *
+ *  - fb::barrier — the hardware mechanism: per-processor four-state
+ *    FSM, tag/mask registers, broadcast network (paper section 6).
+ *  - fb::isa / fb::sim — a RISC-style multiprocessor simulator whose
+ *    instructions carry the barrier-region bit (or BRENTER/BREXIT
+ *    markers) and whose processors stall exactly per the section 2
+ *    semantics.
+ *  - fb::ir / fb::compiler — three-address code, marked-instruction
+ *    analysis, barrier/non-barrier region construction, three-phase
+ *    code reordering (section 4), loop distribution / unrolling /
+ *    multi-version roles (sections 7.1-7.4).
+ *  - fb::sched — static and self-scheduling policies for parallel
+ *    loop iterations (Figs. 11 and 12).
+ *  - fb::sw — split-phase (arrive/wait) software barriers for real
+ *    threads: centralized, combining tree, dissemination, and a
+ *    C++20 std::barrier adapter (the section 8 software approach).
+ *
+ * Quick start (simulated machine):
+ * @code
+ *   fb::sim::MachineConfig cfg;
+ *   cfg.numProcessors = 4;
+ *   fb::sim::Machine machine(cfg);
+ *   ... assemble per-processor programs with .region directives ...
+ *   machine.loadProgram(p, program);
+ *   auto result = machine.run();
+ * @endcode
+ *
+ * Quick start (real threads):
+ * @code
+ *   fb::sw::DisseminationBarrier bar(4);
+ *   // on each thread, per episode:
+ *   bar.arrive(tid);   // ready to synchronize
+ *   ... barrier-region work ...
+ *   bar.wait(tid);     // must synchronize before continuing
+ * @endcode
+ */
+
+#ifndef FB_CORE_FUZZY_BARRIER_HH
+#define FB_CORE_FUZZY_BARRIER_HH
+
+#include "barrier/network.hh"
+#include "barrier/state.hh"
+#include "barrier/unit.hh"
+#include "compiler/codegen.hh"
+#include "compiler/dag.hh"
+#include "compiler/depanalysis.hh"
+#include "compiler/region.hh"
+#include "compiler/reorder.hh"
+#include "compiler/transforms.hh"
+#include "core/barrierprogs.hh"
+#include "core/experiment.hh"
+#include "core/redblack.hh"
+#include "core/workloads.hh"
+#include "ir/block.hh"
+#include "ir/builder.hh"
+#include "isa/assembler.hh"
+#include "isa/program.hh"
+#include "sched/schedule.hh"
+#include "sim/machine.hh"
+#include "swbarrier/blocking.hh"
+#include "swbarrier/centralized.hh"
+#include "swbarrier/dissemination.hh"
+#include "swbarrier/factory.hh"
+#include "swbarrier/stdbarrier.hh"
+#include "swbarrier/tagged.hh"
+#include "swbarrier/tree.hh"
+
+#endif // FB_CORE_FUZZY_BARRIER_HH

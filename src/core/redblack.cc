@@ -1,0 +1,166 @@
+#include "core/redblack.hh"
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "support/logging.hh"
+
+namespace fb::core
+{
+
+namespace
+{
+
+/**
+ * Emit one phase of one row: update cells (row, j) for j of the given
+ * parity. r10 holds the address of (row, 0); the column cursor lives
+ * in r2. Register budget: r20..r26 scratch.
+ */
+void
+emitPhase(std::ostringstream &oss, int row, int parity,
+          std::int64_t stride, int m, const char *label)
+{
+    int j0 = (row % 2 == parity % 2) ? 2 : 1;
+    // The phase may own zero cells of this parity if j0 > m.
+    if (j0 > m)
+        return;
+    oss << "li r2, " << j0 << "\n";
+    oss << label << ":\n";
+    oss << "add r20, r10, r2\n";               // &grid[row][j]
+    oss << "addi r21, r20, " << -stride << "\n";
+    oss << "ld r22, 0(r21)\n";                 // up
+    oss << "addi r21, r20, " << stride << "\n";
+    oss << "ld r23, 0(r21)\n";                 // down
+    oss << "ld r24, -1(r20)\n";                // left
+    oss << "ld r25, 1(r20)\n";                 // right
+    oss << "add r22, r22, r23\n";
+    oss << "add r22, r22, r24\n";
+    oss << "add r22, r22, r25\n";
+    oss << "li r26, 4\n";
+    oss << "div r22, r22, r26\n";
+    oss << "st r22, 0(r20)\n";
+    oss << "addi r2, r2, 2\n";
+    oss << "li r26, " << m << "\n";
+    oss << "bge r26, r2, " << label << "\n";   // while j <= m
+}
+
+} // namespace
+
+isa::Program
+RedBlackWorkload::buildProgram(int self, bool fuzzy) const
+{
+    FB_ASSERT(self >= 0 && self < m, "row index out of range");
+    const int row = self + 1;
+    const std::int64_t stride = rowStride();
+
+    std::ostringstream oss;
+    oss << "settag 1\n";
+    oss << "setmask " << ((1ll << m) - 1) << "\n";
+    oss << "li r10, " << (baseAddr + row * stride) << "\n";
+    oss << "li r1, 0\n";
+    oss << "li r3, " << sweeps << "\n";
+    oss << "sweep:\n";
+
+    emitPhase(oss, row, 0, stride, m, "red");
+    oss << ".region 1\n";
+    if (fuzzy) {
+        // Slack the compiler would fill with the black phase's setup.
+        for (int k = 0; k < 10; ++k)
+            oss << "addi r4, r4, 1\n";
+    } else {
+        oss << "nop\n";
+    }
+    oss << ".endregion\n";
+
+    emitPhase(oss, row, 1, stride, m, "black");
+    oss << ".region 1\n";
+    if (fuzzy) {
+        for (int k = 0; k < 10; ++k)
+            oss << "addi r4, r4, 1\n";
+    }
+    oss << "addi r1, r1, 1\n";
+    oss << "blt r1, r3, sweepback\n";
+    oss << ".endregion\n";
+    oss << "halt\n";
+    // The backedge must land on non-region code (the red phase) via a
+    // plain trampoline so the two barriers stay distinct episodes.
+    oss << "sweepback:\n";
+    oss << "jmp sweep\n";
+
+    isa::Program prog;
+    std::string err;
+    if (!isa::Assembler::assemble(oss.str(), prog, err))
+        panic("red-black program failed to assemble: " + err);
+    return prog;
+}
+
+void
+RedBlackWorkload::initGrid(sim::SharedMemory &mem, std::int64_t boundary,
+                           std::int64_t interior) const
+{
+    for (int r = 0; r <= m + 1; ++r) {
+        for (int c = 0; c <= m + 1; ++c) {
+            bool edge = r == 0 || c == 0 || r == m + 1 || c == m + 1;
+            mem.poke(addrOf(r, c), edge ? boundary : interior);
+        }
+    }
+}
+
+std::vector<std::int64_t>
+RedBlackWorkload::reference(std::int64_t boundary,
+                            std::int64_t interior) const
+{
+    std::vector<std::int64_t> g(gridWords());
+    auto at = [&](int r, int c) -> std::int64_t & {
+        return g[static_cast<std::size_t>(r * rowStride() + c)];
+    };
+    for (int r = 0; r <= m + 1; ++r)
+        for (int c = 0; c <= m + 1; ++c)
+            at(r, c) = (r == 0 || c == 0 || r == m + 1 || c == m + 1)
+                           ? boundary
+                           : interior;
+    for (int s = 0; s < sweeps; ++s) {
+        for (int parity : {0, 1}) {
+            for (int r = 1; r <= m; ++r) {
+                for (int c = 1; c <= m; ++c) {
+                    if ((r + c) % 2 != parity)
+                        continue;
+                    at(r, c) = (at(r - 1, c) + at(r + 1, c) +
+                                at(r, c - 1) + at(r, c + 1)) /
+                               4;
+                }
+            }
+        }
+    }
+    return g;
+}
+
+RedBlackWorkload::Result
+RedBlackWorkload::execute(const sim::MachineConfig &cfg,
+                          std::int64_t boundary, std::int64_t interior,
+                          bool fuzzy) const
+{
+    FB_ASSERT(cfg.numProcessors == m,
+              "need one processor per interior row");
+    FB_ASSERT(cfg.memWords >=
+                  static_cast<std::size_t>(baseAddr) + gridWords(),
+              "memory too small for the grid");
+    sim::Machine machine(cfg);
+    initGrid(machine.memory(), boundary, interior);
+    for (int p = 0; p < m; ++p)
+        machine.loadProgram(p, buildProgram(p, fuzzy));
+
+    Result out;
+    out.run = machine.run();
+    auto ref = reference(boundary, interior);
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+        if (machine.memory().peek(static_cast<std::size_t>(baseAddr) +
+                                  k) != ref[k])
+            ++out.mismatches;
+    }
+    out.correct = !out.run.deadlocked && !out.run.timedOut &&
+                  out.mismatches == 0;
+    return out;
+}
+
+} // namespace fb::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Red-black Gauss-Seidel relaxation — the deterministic sibling of
+ * the paper's Poisson solver.
+ *
+ * The Fig. 3 solver is "the non-deterministic parallel version of the
+ * algorithm": within an iteration a processor may read a neighbor's
+ * old or new value. Red-black ordering splits each sweep into two
+ * phases — cells with (i+j) even ("red"), then (i+j) odd ("black") —
+ * with a barrier between phases. Red cells only read black cells and
+ * vice versa, so the parallel result is bit-identical to a sequential
+ * sweep regardless of timing: a much stronger end-to-end check of the
+ * barrier machinery, and a classic two-barriers-per-iteration
+ * workload for the fuzzy mechanism.
+ */
+
+#ifndef FB_CORE_REDBLACK_HH
+#define FB_CORE_REDBLACK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace fb::core
+{
+
+/**
+ * Row-parallel red-black relaxation on an (M+2) x (M+2) grid: one
+ * processor per interior row, two fuzzy barriers per sweep.
+ */
+struct RedBlackWorkload
+{
+    int m;                  ///< interior dimension (and processor count)
+    int sweeps;             ///< relaxation sweeps
+    std::int64_t baseAddr;  ///< word address of grid[0][0]
+
+    RedBlackWorkload(int m_, int sweeps_, std::int64_t base = 0)
+        : m(m_), sweeps(sweeps_), baseAddr(base)
+    {
+    }
+
+    /** Row stride in words. */
+    std::int64_t rowStride() const { return m + 2; }
+
+    /** Grid size in words. */
+    std::size_t gridWords() const
+    {
+        return static_cast<std::size_t>((m + 2) * (m + 2));
+    }
+
+    /** Word address of grid element (row, col). */
+    std::size_t
+    addrOf(int row, int col) const
+    {
+        return static_cast<std::size_t>(baseAddr + row * rowStride() +
+                                        col);
+    }
+
+    /**
+     * Build processor @p self's stream (self owns row self+1). With
+     * @p fuzzy, each phase barrier's region holds the next phase's
+     * column-pointer setup and the loop control; otherwise a one-NOP
+     * point region.
+     */
+    isa::Program buildProgram(int self, bool fuzzy) const;
+
+    /** Write boundary and interior initial values into @p mem. */
+    void initGrid(sim::SharedMemory &mem, std::int64_t boundary,
+                  std::int64_t interior) const;
+
+    /**
+     * Exact host reference: the full grid contents after the
+     * configured sweeps, performed red-phase-then-black-phase.
+     */
+    std::vector<std::int64_t> reference(std::int64_t boundary,
+                                        std::int64_t interior) const;
+
+    /** Run on a machine and count mismatches against the reference. */
+    struct Result
+    {
+        sim::RunResult run;
+        std::size_t mismatches = 0;
+        bool correct = false;
+    };
+    Result execute(const sim::MachineConfig &cfg, std::int64_t boundary,
+                   std::int64_t interior, bool fuzzy) const;
+};
+
+} // namespace fb::core
+
+#endif // FB_CORE_REDBLACK_HH

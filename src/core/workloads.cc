@@ -1,0 +1,208 @@
+#include "core/workloads.hh"
+
+#include "ir/builder.hh"
+#include "support/logging.hh"
+
+namespace fb::core
+{
+
+using ir::IrBuilder;
+using ir::Operand;
+using ir::TacOp;
+
+ir::Block
+PoissonWorkload::naiveBody() const
+{
+    IrBuilder b;
+    const std::int64_t stride = rowStride();
+
+    // P[i][j+1]
+    Operand a1 = b.emitAddr2DSub("P", "i", 0, "j", +1, stride, 1);
+    Operand l1 = b.emitLoad(a1, "P", true);
+    // P[i][j-1]
+    Operand a2 = b.emitAddr2DSub("P", "i", 0, "j", -1, stride, 1);
+    Operand l2 = b.emitLoad(a2, "P", true);
+    Operand s1 = b.emitArith(TacOp::Add, l1, l2);
+    // P[i+1][j]
+    Operand a3 = b.emitAddr2DSub("P", "i", +1, "j", 0, stride, 1);
+    Operand l3 = b.emitLoad(a3, "P", true);
+    Operand s2 = b.emitArith(TacOp::Add, s1, l3);
+    // P[i-1][j]
+    Operand a4 = b.emitAddr2DSub("P", "i", -1, "j", 0, stride, 1);
+    Operand l4 = b.emitLoad(a4, "P", true);
+    Operand s3 = b.emitArith(TacOp::Add, s2, l4);
+    Operand v = b.emitArith(TacOp::Div, s3, Operand::constant(4));
+    // P[i][j]
+    Operand a5 = b.emitAddr2DSub("P", "i", 0, "j", 0, stride, 1);
+    b.emitStore(a5, v, "P", true);
+    return b.take();
+}
+
+compiler::LoopSpec
+PoissonWorkload::loopSpec(int l_row, int m_col, int iters,
+                          ir::Block body) const
+{
+    FB_ASSERT(l_row >= 1 && l_row <= m && m_col >= 1 && m_col <= m,
+              "cell (" << l_row << "," << m_col << ") outside the grid");
+    compiler::LoopSpec spec;
+    spec.counter = "k";
+    spec.begin = 1;
+    spec.limit = iters + 1;
+    spec.step = 1;
+    spec.body = std::move(body);
+    spec.varInit = {{"i", l_row}, {"j", m_col}};
+    spec.controlInRegion = true;
+    spec.initInRegion = true;
+    return spec;
+}
+
+void
+PoissonWorkload::initBoundary(sim::SharedMemory &mem,
+                              std::int64_t value) const
+{
+    for (int c = 0; c <= m + 1; ++c) {
+        mem.poke(addrOf(0, c), value);
+        mem.poke(addrOf(m + 1, c), value);
+    }
+    for (int r = 0; r <= m + 1; ++r) {
+        mem.poke(addrOf(r, 0), value);
+        mem.poke(addrOf(r, m + 1), value);
+    }
+}
+
+namespace
+{
+
+/**
+ * Emit one statement of the Fig. 10 pair: a[row_off'd j][...] =
+ * a[...] + i*factor, with the address arithmetic region-flagged and
+ * the marked access sequence non-barrier.
+ *
+ * @param b builder
+ * @param stride row stride of a
+ * @param j_read row offset of the read (relative to var j)
+ * @param i_read column offset of the read (relative to var i)
+ * @param j_write row offset of the write
+ * @param j_factor offset of the multiplier: value = i * (j + j_factor)
+ * @param naive if true, emit in naive interleaved order with no
+ *              region flags; if false, addresses first (region),
+ *              marked accesses last (non-barrier)
+ */
+void
+emitLexStatement(IrBuilder &b, std::int64_t stride, int j_read,
+                 int i_read, int j_write, int j_factor, bool naive)
+{
+    Operand i = Operand::var("i");
+    Operand j = Operand::var("j");
+
+    ir::Block &blk = b.mutableBlock();
+    std::size_t region_begin = blk.size();
+
+    Operand raddr =
+        b.emitAddr2DSub("a", "j", j_read, "i", i_read, stride, 1);
+    Operand factor = j_factor == 0
+                         ? j
+                         : b.emitArith(TacOp::Add, j,
+                                       Operand::constant(j_factor));
+    Operand prod = b.emitArith(TacOp::Mul, i, factor);
+    Operand waddr =
+        b.emitAddr2DSub("a", "j", j_write, "i", 0, stride, 1);
+
+    std::size_t marked_begin = blk.size();
+    Operand loaded = b.emitLoad(raddr, "a", true);
+    Operand sum = b.emitArith(TacOp::Add, loaded, prod);
+    b.emitStore(waddr, sum, "a", true);
+
+    if (!naive) {
+        for (std::size_t k = region_begin; k < marked_begin; ++k)
+            blk.at(k).inRegion = true;
+        // The marked accesses and the add between them stay
+        // non-barrier.
+    }
+}
+
+} // namespace
+
+ir::Block
+LexForwardWorkload::reorderedBody() const
+{
+    IrBuilder b;
+    const std::int64_t stride = rowStride();
+    // S(j):   a[j][i]   = a[j-1][i-1] + i*j        (addresses in the
+    //         loop-carried barrier region)
+    emitLexStatement(b, stride, -1, -1, 0, 0, false);
+    // S(j+1): a[j+1][i] = a[j][i-1]   + i*(j+1)    (addresses in the
+    //         lexically-forward barrier region)
+    emitLexStatement(b, stride, 0, -1, +1, +1, false);
+    return b.take();
+}
+
+ir::Block
+LexForwardWorkload::naiveBody() const
+{
+    IrBuilder b;
+    const std::int64_t stride = rowStride();
+    emitLexStatement(b, stride, -1, -1, 0, 0, true);
+    emitLexStatement(b, stride, 0, -1, +1, +1, true);
+    return b.take();
+}
+
+ir::Block
+LexForwardWorkload::statementNaive(int which) const
+{
+    FB_ASSERT(which == 0 || which == 1, "statement index must be 0 or 1");
+    IrBuilder b;
+    const std::int64_t stride = rowStride();
+    if (which == 0)
+        emitLexStatement(b, stride, -1, -1, 0, 0, true);
+    else
+        emitLexStatement(b, stride, 0, -1, +1, +1, true);
+    return b.take();
+}
+
+compiler::LoopSpec
+LexForwardWorkload::loopSpec(int i_col, ir::Block body) const
+{
+    FB_ASSERT(i_col >= 1 && i_col <= n, "column " << i_col
+                                                  << " outside 1..n");
+    FB_ASSERT(jLimit % 2 == 0,
+              "unrolled-by-two loop needs an even jLimit");
+    compiler::LoopSpec spec;
+    spec.counter = "j";
+    spec.begin = 1;
+    spec.limit = jLimit;
+    spec.step = 2;
+    spec.body = std::move(body);
+    spec.varInit = {{"i", i_col}};
+    spec.controlInRegion = true;
+    spec.initInRegion = true;
+    return spec;
+}
+
+void
+LexForwardWorkload::initArray(sim::SharedMemory &mem) const
+{
+    for (int i = 0; i <= n; ++i)
+        mem.poke(addrOf(0, i), i);
+}
+
+std::vector<std::int64_t>
+LexForwardWorkload::reference() const
+{
+    std::vector<std::int64_t> a(arrayWords(), 0);
+    auto at = [&](int j, int i) -> std::int64_t & {
+        return a[static_cast<std::size_t>(j) *
+                     static_cast<std::size_t>(rowStride()) +
+                 static_cast<std::size_t>(i)];
+    };
+    for (int i = 0; i <= n; ++i)
+        at(0, i) = i;
+    // Both unrolled statements implement a[r][i] = a[r-1][i-1] + i*r.
+    // The unrolled-by-two loop writes rows 1..jLimit.
+    for (int r = 1; r <= jLimit; ++r)
+        for (int i = 1; i <= n; ++i)
+            at(r, i) = at(r - 1, i - 1) + static_cast<std::int64_t>(i) * r;
+    return a;
+}
+
+} // namespace fb::core

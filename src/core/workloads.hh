@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The paper's example workloads, reconstructed as IR builders and
+ * machine-level program generators.
+ */
+
+#ifndef FB_CORE_WORKLOADS_HH
+#define FB_CORE_WORKLOADS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/codegen.hh"
+#include "ir/block.hh"
+#include "sim/machine.hh"
+
+namespace fb::core
+{
+
+/**
+ * The Poisson solver of Figs. 3 and 4.
+ *
+ * M² processors each own one interior cell (l, m) of an
+ * (M+2) x (M+2) grid and repeatedly execute
+ *
+ *     P[l][m] = (P[l][m+1] + P[l][m-1] + P[l+1][m] + P[l-1][m]) / 4
+ *
+ * for 10*M outer iterations, with a barrier between iterations.
+ */
+struct PoissonWorkload
+{
+    int m;                   ///< interior grid dimension M
+    std::int64_t baseAddr;   ///< word address of P[0][0]
+
+    explicit PoissonWorkload(int m_, std::int64_t base = 0)
+        : m(m_), baseAddr(base)
+    {
+    }
+
+    /** Row stride in words of the (M+2)-wide array. */
+    std::int64_t rowStride() const { return m + 2; }
+
+    /** Total words the grid occupies. */
+    std::size_t gridWords() const
+    {
+        return static_cast<std::size_t>((m + 2) * (m + 2));
+    }
+
+    /**
+     * The loop body in naive evaluation order, as a code generator
+     * would first emit it (Fig. 4(a) before reordering): each
+     * operand's address arithmetic immediately precedes its marked
+     * load. Marked instructions are the four loads and the store of
+     * array P.
+     */
+    ir::Block naiveBody() const;
+
+    /**
+     * Build the per-processor loop (Fig. 3(b)): private i=l, j=m,
+     * outer counter k, body @p body (naive or reordered), barrier
+     * region across the backedge.
+     */
+    compiler::LoopSpec loopSpec(int l_row, int m_col, int iters,
+                                ir::Block body) const;
+
+    /** Word address of grid element (row, col). */
+    std::size_t
+    addrOf(int row, int col) const
+    {
+        return static_cast<std::size_t>(baseAddr + row * rowStride() +
+                                        col);
+    }
+
+    /** Set all four boundary edges of the grid in @p mem to value. */
+    void initBoundary(sim::SharedMemory &mem, std::int64_t value) const;
+};
+
+/**
+ * The lexically-forward dependence loop of Figs. 9 and 10:
+ *
+ *     for (j = 1; j < 10; j++) seq
+ *       for (i = 1; i < N; i++) par
+ *         a[j][i] = a[j-1][i-1] + i*j;
+ *
+ * with the outer loop unrolled once so each task executes S(j) and
+ * S(j+1), separated by a barrier for the lexically forward dependence
+ * (processor i reads a[j][i-1] written by processor i-1) and followed
+ * by a barrier for the loop-carried dependence.
+ */
+struct LexForwardWorkload
+{
+    int n;                  ///< number of processors / inner iterations
+    int jLimit;             ///< outer loop bound (exclusive), even span
+    std::int64_t baseAddr;  ///< word address of a[0][0]
+
+    LexForwardWorkload(int n_, int j_limit, std::int64_t base = 0)
+        : n(n_), jLimit(j_limit), baseAddr(base)
+    {
+    }
+
+    /** Row stride in words (columns 0..n). */
+    std::int64_t rowStride() const { return n + 1; }
+
+    /** Words the array occupies (rows 0..jLimit+1). */
+    std::size_t arrayWords() const
+    {
+        return static_cast<std::size_t>((jLimit + 2) * rowStride());
+    }
+
+    /**
+     * The unrolled-by-two body in the reordered form of Fig. 10: two
+     * barrier regions (address arithmetic) alternating with two
+     * two-instruction non-barrier regions (the marked accesses).
+     */
+    ir::Block reorderedBody() const;
+
+    /** The same computation in naive order, for the reorder pass. */
+    ir::Block naiveBody() const;
+
+    /**
+     * One of the two unrolled statements (0 = S(j), 1 = S(j+1)) in
+     * naive order with no region flags — building material for the
+     * point-barrier baseline.
+     */
+    ir::Block statementNaive(int which) const;
+
+    /** Per-processor loop spec for column @p i_col. */
+    compiler::LoopSpec loopSpec(int i_col, ir::Block body) const;
+
+    /** Word address of a[j][i]. */
+    std::size_t
+    addrOf(int j, int i) const
+    {
+        return static_cast<std::size_t>(baseAddr + j * rowStride() + i);
+    }
+
+    /** Initialize row 0 and column 0 of @p mem to make the recurrence
+     * well-defined (a[0][i] = i, a[j][0] = 0). */
+    void initArray(sim::SharedMemory &mem) const;
+
+    /**
+     * Host-side reference: the exact values the array must hold after
+     * the run if every dependence was honored.
+     */
+    std::vector<std::int64_t> reference() const;
+};
+
+} // namespace fb::core
+
+#endif // FB_CORE_WORKLOADS_HH

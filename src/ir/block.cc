@@ -1,0 +1,112 @@
+#include "ir/block.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace fb::ir
+{
+
+std::vector<Operand>
+readsOf(const TacInstr &instr)
+{
+    std::vector<Operand> reads;
+    auto add = [&](const Operand &o) {
+        if (o.isRegisterLike())
+            reads.push_back(o);
+    };
+    switch (instr.op) {
+      case TacOp::Add:
+      case TacOp::Sub:
+      case TacOp::Mul:
+      case TacOp::Div:
+        add(instr.a);
+        add(instr.b);
+        break;
+      case TacOp::Copy:
+      case TacOp::Load:
+        add(instr.a);
+        break;
+      case TacOp::Store:
+        add(instr.dst);  // address
+        add(instr.a);    // value
+        break;
+    }
+    return reads;
+}
+
+Operand
+writeOf(const TacInstr &instr)
+{
+    if (instr.op == TacOp::Store)
+        return Operand();  // writes memory, not a register
+    return instr.dst;
+}
+
+const TacInstr &
+Block::at(std::size_t idx) const
+{
+    FB_ASSERT(idx < _instrs.size(), "block index " << idx
+                                                   << " out of range");
+    return _instrs[idx];
+}
+
+TacInstr &
+Block::at(std::size_t idx)
+{
+    FB_ASSERT(idx < _instrs.size(), "block index " << idx
+                                                   << " out of range");
+    return _instrs[idx];
+}
+
+std::vector<std::size_t>
+Block::markedIndices() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < _instrs.size(); ++i)
+        if (_instrs[i].marked)
+            out.push_back(i);
+    return out;
+}
+
+std::size_t
+Block::regionCount() const
+{
+    std::size_t count = 0;
+    for (const auto &instr : _instrs)
+        count += instr.inRegion ? 1 : 0;
+    return count;
+}
+
+std::string
+Block::toString() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < _instrs.size(); ++i)
+        oss << i << ": " << _instrs[i].toString() << "\n";
+    return oss.str();
+}
+
+std::string
+Block::toAnnotatedString() const
+{
+    std::ostringstream oss;
+    bool first = true;
+    bool in_region = false;
+    for (const auto &instr : _instrs) {
+        if (first || instr.inRegion != in_region) {
+            if (!first)
+                oss << std::string(66, '-') << "\n";
+            oss << (instr.inRegion ? "Barrier:" : "Non-barrier:") << "\n";
+            in_region = instr.inRegion;
+            first = false;
+        }
+        oss << "    " << instr.toString();
+        if (instr.marked)
+            oss << "    <marked>";
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace fb::ir

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A straight-line block of three-address code — the unit the fuzzy
+ * barrier compiler analyzes and reorders (the loop body in the
+ * paper's examples).
+ */
+
+#ifndef FB_IR_BLOCK_HH
+#define FB_IR_BLOCK_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/tac.hh"
+
+namespace fb::ir
+{
+
+/** Registers (temps/vars) read by an instruction. */
+std::vector<Operand> readsOf(const TacInstr &instr);
+
+/** The register (temp/var) written by an instruction, or None. */
+Operand writeOf(const TacInstr &instr);
+
+/**
+ * A basic block: straight-line TAC.
+ */
+class Block
+{
+  public:
+    Block() = default;
+
+    /** Append an instruction; returns its index. */
+    std::size_t
+    append(TacInstr instr)
+    {
+        _instrs.push_back(std::move(instr));
+        return _instrs.size() - 1;
+    }
+
+    /** Number of instructions. */
+    std::size_t size() const { return _instrs.size(); }
+
+    /** True if empty. */
+    bool empty() const { return _instrs.empty(); }
+
+    /** Access instruction @p idx. */
+    const TacInstr &at(std::size_t idx) const;
+
+    /** Mutable access. */
+    TacInstr &at(std::size_t idx);
+
+    /** Iteration support. */
+    auto begin() const { return _instrs.begin(); }
+    auto end() const { return _instrs.end(); }
+
+    /** Indices of marked instructions. */
+    std::vector<std::size_t> markedIndices() const;
+
+    /** Number of instructions with inRegion set. */
+    std::size_t regionCount() const;
+
+    /** Plain listing, one instruction per line. */
+    std::string toString() const;
+
+    /**
+     * Paper-style annotated listing: instructions grouped under
+     * "Barrier:" / "Non-barrier:" headings with a dashed separator at
+     * each transition, as in Figs. 4(a)/4(b).
+     */
+    std::string toAnnotatedString() const;
+
+  private:
+    std::vector<TacInstr> _instrs;
+};
+
+} // namespace fb::ir
+
+#endif // FB_IR_BLOCK_HH

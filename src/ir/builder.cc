@@ -1,0 +1,101 @@
+#include "ir/builder.hh"
+
+namespace fb::ir
+{
+
+Operand
+IrBuilder::emitArith(TacOp op, Operand a, Operand b)
+{
+    Operand dst = newTemp();
+    _block.append(TacInstr::arith(op, dst, a, b));
+    return dst;
+}
+
+void
+IrBuilder::emitArithTo(Operand dst, TacOp op, Operand a, Operand b)
+{
+    _block.append(TacInstr::arith(op, dst, a, b));
+}
+
+void
+IrBuilder::emitCopy(Operand dst, Operand a)
+{
+    _block.append(TacInstr::copy(dst, a));
+}
+
+Operand
+IrBuilder::emitAddr2D(const std::string &base, Operand row, Operand col,
+                      std::int64_t row_stride, std::int64_t elem_size)
+{
+    // The Fig. 4 expansion of addr(P[row][col]):
+    //   Tr = row_stride * row
+    //   Tb = Tr + P
+    //   Tc = elem_size * col
+    //   Ta = Tb + Tc
+    Operand tr = emitArith(TacOp::Mul, Operand::constant(row_stride), row);
+    Operand tb = emitArith(TacOp::Add, tr, Operand::base(base));
+    Operand tc = emitArith(TacOp::Mul, Operand::constant(elem_size), col);
+    Operand ta = emitArith(TacOp::Add, tb, tc);
+    _block.at(_block.size() - 1).comment =
+        ta.toString() + " <- address of " + base + "[" + row.toString() +
+        "][" + col.toString() + "]";
+    return ta;
+}
+
+Operand
+IrBuilder::emitAddr2DSub(const std::string &base,
+                         const std::string &row_var, std::int64_t row_off,
+                         const std::string &col_var, std::int64_t col_off,
+                         std::int64_t row_stride, std::int64_t elem_size)
+{
+    Operand row = row_off == 0
+                      ? Operand::var(row_var)
+                      : emitArith(TacOp::Add, Operand::var(row_var),
+                                  Operand::constant(row_off));
+    Operand col = col_off == 0
+                      ? Operand::var(col_var)
+                      : emitArith(TacOp::Add, Operand::var(col_var),
+                                  Operand::constant(col_off));
+    Operand addr = emitAddr2D(base, row, col, row_stride, elem_size);
+    Subscript sub;
+    sub.known = true;
+    sub.rowVar = row_var;
+    sub.rowOff = row_off;
+    sub.colVar = col_var;
+    sub.colOff = col_off;
+    _subscripts[addr.tempId()] = sub;
+    return addr;
+}
+
+Operand
+IrBuilder::emitLoad(Operand addr, const std::string &array, bool marked)
+{
+    Operand dst = newTemp();
+    TacInstr instr = TacInstr::load(dst, addr);
+    instr.array = array;
+    instr.marked = marked;
+    if (addr.isTemp()) {
+        auto it = _subscripts.find(addr.tempId());
+        if (it != _subscripts.end())
+            instr.subscript = it->second;
+    }
+    _block.append(std::move(instr));
+    return dst;
+}
+
+void
+IrBuilder::emitStore(Operand addr, Operand value, const std::string &array,
+                     bool marked)
+{
+    TacInstr instr = TacInstr::store(addr, value);
+    instr.array = array;
+    instr.marked = marked;
+    if (addr.isTemp()) {
+        auto it = _subscripts.find(addr.tempId());
+        if (it != _subscripts.end())
+            instr.subscript = it->second;
+    }
+    _block.append(std::move(instr));
+}
+
+} // namespace fb::ir

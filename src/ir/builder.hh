@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Convenience builder that emits paper-style address arithmetic.
+ */
+
+#ifndef FB_IR_BUILDER_HH
+#define FB_IR_BUILDER_HH
+
+#include <map>
+#include <string>
+
+#include "ir/block.hh"
+
+namespace fb::ir
+{
+
+/**
+ * Emits three-address code into a Block, handing out fresh
+ * temporaries, with helpers for the 2-D array address patterns the
+ * paper's Figs. 4 and 10 use: addr(A[r][c]) = base + r*rowStride +
+ * c*elemSize.
+ */
+class IrBuilder
+{
+  public:
+    IrBuilder() = default;
+
+    /** The block built so far. */
+    const Block &block() const { return _block; }
+
+    /** Mutable access, for annotating region flags while building. */
+    Block &mutableBlock() { return _block; }
+
+    /** Move the built block out. */
+    Block take() { return std::move(_block); }
+
+    /** Allocate a fresh temporary. */
+    Operand newTemp() { return Operand::temp(_nextTemp++); }
+
+    /** Highest temp id handed out so far. */
+    int tempCount() const { return _nextTemp - 1; }
+
+    /** Emit dst = a op b into a fresh temp and return it. */
+    Operand emitArith(TacOp op, Operand a, Operand b);
+
+    /** Emit an arithmetic op into an existing destination. */
+    void emitArithTo(Operand dst, TacOp op, Operand a, Operand b);
+
+    /** Emit dst = a (dst may be a Var). */
+    void emitCopy(Operand dst, Operand a);
+
+    /**
+     * Emit the address of @p base [ @p row ][ @p col ] using the
+     * paper's expansion (row scaled by @p row_stride, column by
+     * @p elem_size); returns the temp holding the address. The last
+     * instruction is annotated with a comment naming the element.
+     */
+    Operand emitAddr2D(const std::string &base, Operand row, Operand col,
+                       std::int64_t row_stride, std::int64_t elem_size);
+
+    /**
+     * Emit the address of base[row_var + row_off][col_var + col_off]
+     * and record the structured subscript so loads/stores through the
+     * returned temp carry it (for dependence analysis).
+     */
+    Operand emitAddr2DSub(const std::string &base,
+                          const std::string &row_var,
+                          std::int64_t row_off,
+                          const std::string &col_var,
+                          std::int64_t col_off, std::int64_t row_stride,
+                          std::int64_t elem_size);
+
+    /**
+     * Emit a load from @p addr. @p array names the array for
+     * dependence analysis; @p marked tags the instruction as involved
+     * in a cross-processor dependence.
+     */
+    Operand emitLoad(Operand addr, const std::string &array, bool marked);
+
+    /** Emit a store of @p value to @p addr. */
+    void emitStore(Operand addr, Operand value, const std::string &array,
+                   bool marked);
+
+  private:
+    Block _block;
+    int _nextTemp = 1;
+    /** Subscript recorded for an address-holding temp. */
+    std::map<int, Subscript> _subscripts;
+};
+
+} // namespace fb::ir
+
+#endif // FB_IR_BUILDER_HH

@@ -1,0 +1,112 @@
+#include "ir/interp.hh"
+
+#include "support/logging.hh"
+
+namespace fb::ir
+{
+
+namespace
+{
+
+std::int64_t
+readOperand(const Operand &op, const InterpState &state)
+{
+    switch (op.kind()) {
+      case OperandKind::Const:
+        return op.value();
+      case OperandKind::Temp: {
+        auto it = state.temps.find(op.tempId());
+        if (it == state.temps.end())
+            fatal("interpreter: temp " + op.toString() +
+                  " read before write");
+        return it->second;
+      }
+      case OperandKind::Var: {
+        auto it = state.vars.find(op.name());
+        if (it == state.vars.end())
+            fatal("interpreter: undefined variable " + op.name());
+        return it->second;
+      }
+      case OperandKind::Base: {
+        auto it = state.bases.find(op.name());
+        if (it == state.bases.end())
+            fatal("interpreter: unknown array base " + op.name());
+        return it->second;
+      }
+      case OperandKind::None:
+        fatal("interpreter: read of empty operand");
+    }
+    return 0;
+}
+
+void
+writeOperand(const Operand &op, std::int64_t value, InterpState &state)
+{
+    if (op.isTemp())
+        state.temps[op.tempId()] = value;
+    else if (op.isVar())
+        state.vars[op.name()] = value;
+    else
+        fatal("interpreter: write to non-register operand");
+}
+
+std::int64_t &
+memWord(std::int64_t addr, InterpState &state)
+{
+    if (addr < 0 ||
+        static_cast<std::size_t>(addr) >= state.memory.size())
+        fatal("interpreter: memory access out of range at address " +
+              std::to_string(addr));
+    return state.memory[static_cast<std::size_t>(addr)];
+}
+
+} // namespace
+
+void
+interpret(const Block &block, InterpState &state)
+{
+    for (const TacInstr &instr : block) {
+        switch (instr.op) {
+          case TacOp::Add:
+            writeOperand(instr.dst,
+                         readOperand(instr.a, state) +
+                             readOperand(instr.b, state),
+                         state);
+            break;
+          case TacOp::Sub:
+            writeOperand(instr.dst,
+                         readOperand(instr.a, state) -
+                             readOperand(instr.b, state),
+                         state);
+            break;
+          case TacOp::Mul:
+            writeOperand(instr.dst,
+                         readOperand(instr.a, state) *
+                             readOperand(instr.b, state),
+                         state);
+            break;
+          case TacOp::Div: {
+            std::int64_t divisor = readOperand(instr.b, state);
+            if (divisor == 0)
+                fatal("interpreter: division by zero");
+            writeOperand(instr.dst, readOperand(instr.a, state) / divisor,
+                         state);
+            break;
+          }
+          case TacOp::Copy:
+            writeOperand(instr.dst, readOperand(instr.a, state), state);
+            break;
+          case TacOp::Load:
+            writeOperand(instr.dst,
+                         memWord(readOperand(instr.a, state), state),
+                         state);
+            break;
+          case TacOp::Store:
+            memWord(readOperand(instr.dst, state), state) =
+                readOperand(instr.a, state);
+            break;
+        }
+    }
+}
+
+} // namespace fb::ir

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reference interpreter for three-address code.
+ *
+ * Executes a Block directly on host data structures. Used to
+ * cross-check the code generator and to prove reorderings preserve
+ * semantics: interpret(naive) == interpret(reordered) on the same
+ * inputs.
+ */
+
+#ifndef FB_IR_INTERP_HH
+#define FB_IR_INTERP_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/block.hh"
+
+namespace fb::ir
+{
+
+/** Execution environment for the interpreter. */
+struct InterpState
+{
+    /** Variable values (loop counters etc.). */
+    std::map<std::string, std::int64_t> vars;
+
+    /** Word address of each array base symbol. */
+    std::map<std::string, std::int64_t> bases;
+
+    /** Flat word-addressed memory. */
+    std::vector<std::int64_t> memory;
+
+    /** Temporaries (populated during interpretation). */
+    std::map<int, std::int64_t> temps;
+};
+
+/**
+ * Interpret @p block over @p state, mutating vars, temps, and memory.
+ * Calls fatal() on use of an undefined temp/var/base or an
+ * out-of-range memory access — those are bugs in the code under test.
+ */
+void interpret(const Block &block, InterpState &state);
+
+} // namespace fb::ir
+
+#endif // FB_IR_INTERP_HH

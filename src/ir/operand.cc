@@ -1,0 +1,102 @@
+#include "ir/operand.hh"
+
+#include <tuple>
+
+#include "support/logging.hh"
+
+namespace fb::ir
+{
+
+Operand
+Operand::temp(int id)
+{
+    Operand o;
+    o._kind = OperandKind::Temp;
+    o._id = id;
+    return o;
+}
+
+Operand
+Operand::var(std::string name)
+{
+    Operand o;
+    o._kind = OperandKind::Var;
+    o._name = std::move(name);
+    return o;
+}
+
+Operand
+Operand::constant(std::int64_t value)
+{
+    Operand o;
+    o._kind = OperandKind::Const;
+    o._value = value;
+    return o;
+}
+
+Operand
+Operand::base(std::string name)
+{
+    Operand o;
+    o._kind = OperandKind::Base;
+    o._name = std::move(name);
+    return o;
+}
+
+int
+Operand::tempId() const
+{
+    FB_ASSERT(isTemp(), "tempId() on non-temp operand");
+    return _id;
+}
+
+const std::string &
+Operand::name() const
+{
+    FB_ASSERT(isVar() || isBase(), "name() on unnamed operand");
+    return _name;
+}
+
+std::int64_t
+Operand::value() const
+{
+    FB_ASSERT(isConst(), "value() on non-constant operand");
+    return _value;
+}
+
+bool
+Operand::operator==(const Operand &other) const
+{
+    if (_kind != other._kind)
+        return false;
+    switch (_kind) {
+      case OperandKind::None: return true;
+      case OperandKind::Temp: return _id == other._id;
+      case OperandKind::Var:
+      case OperandKind::Base: return _name == other._name;
+      case OperandKind::Const: return _value == other._value;
+    }
+    return false;
+}
+
+bool
+Operand::operator<(const Operand &other) const
+{
+    return std::tie(_kind, _id, _value, _name) <
+           std::tie(other._kind, other._id, other._value, other._name);
+}
+
+std::string
+Operand::toString() const
+{
+    switch (_kind) {
+      case OperandKind::None: return "<none>";
+      case OperandKind::Temp: return "T" + std::to_string(_id);
+      case OperandKind::Var: return _name;
+      case OperandKind::Const: return std::to_string(_value);
+      case OperandKind::Base: return _name;
+    }
+    return "?";
+}
+
+} // namespace fb::ir

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Operands of the three-address intermediate code.
+ *
+ * The paper's compiler examples (Figs. 4 and 10) work on classic
+ * Aho/Sethi/Ullman-style intermediate code: temporaries T1, T2, ...,
+ * named program variables (i, j, k), integer constants, and symbolic
+ * array base addresses.
+ */
+
+#ifndef FB_IR_OPERAND_HH
+#define FB_IR_OPERAND_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fb::ir
+{
+
+/** Kinds of operand. */
+enum class OperandKind
+{
+    None,   ///< unused slot
+    Temp,   ///< compiler temporary Tn
+    Var,    ///< named program variable
+    Const,  ///< integer literal
+    Base,   ///< symbolic array base address
+};
+
+/**
+ * One operand. Value semantics; cheap to copy.
+ */
+class Operand
+{
+  public:
+    /** The empty operand. */
+    Operand() = default;
+
+    /** Temporary Tn. */
+    static Operand temp(int id);
+
+    /** Named variable. */
+    static Operand var(std::string name);
+
+    /** Integer constant. */
+    static Operand constant(std::int64_t value);
+
+    /** Array base address symbol. */
+    static Operand base(std::string name);
+
+    OperandKind kind() const { return _kind; }
+    bool isNone() const { return _kind == OperandKind::None; }
+    bool isTemp() const { return _kind == OperandKind::Temp; }
+    bool isVar() const { return _kind == OperandKind::Var; }
+    bool isConst() const { return _kind == OperandKind::Const; }
+    bool isBase() const { return _kind == OperandKind::Base; }
+
+    /** Temp id. @pre isTemp() */
+    int tempId() const;
+
+    /** Variable or base name. @pre isVar() || isBase() */
+    const std::string &name() const;
+
+    /** Constant value. @pre isConst() */
+    std::int64_t value() const;
+
+    /** True for temps and vars — operands that name storage. */
+    bool isRegisterLike() const { return isTemp() || isVar(); }
+
+    /** Equality over kind and payload. */
+    bool operator==(const Operand &other) const;
+
+    /** Ordering so operands can key std::map. */
+    bool operator<(const Operand &other) const;
+
+    /** Render as in the paper: T5, i, 12, P. */
+    std::string toString() const;
+
+  private:
+    OperandKind _kind = OperandKind::None;
+    int _id = 0;
+    std::int64_t _value = 0;
+    std::string _name;
+};
+
+} // namespace fb::ir
+
+#endif // FB_IR_OPERAND_HH

@@ -1,0 +1,113 @@
+#include "ir/tac.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace fb::ir
+{
+
+const char *
+tacOpName(TacOp op)
+{
+    switch (op) {
+      case TacOp::Add: return "add";
+      case TacOp::Sub: return "sub";
+      case TacOp::Mul: return "mul";
+      case TacOp::Div: return "div";
+      case TacOp::Copy: return "copy";
+      case TacOp::Load: return "load";
+      case TacOp::Store: return "store";
+    }
+    panic("unknown TacOp");
+}
+
+const char *
+tacOpSymbol(TacOp op)
+{
+    switch (op) {
+      case TacOp::Add: return "+";
+      case TacOp::Sub: return "-";
+      case TacOp::Mul: return "*";
+      case TacOp::Div: return "/";
+      default: panic("tacOpSymbol on non-arithmetic op");
+    }
+}
+
+TacInstr
+TacInstr::arith(TacOp op, Operand dst, Operand a, Operand b)
+{
+    FB_ASSERT(op == TacOp::Add || op == TacOp::Sub || op == TacOp::Mul ||
+                  op == TacOp::Div,
+              "arith() requires an arithmetic op");
+    FB_ASSERT(dst.isRegisterLike(), "arith dst must be temp or var");
+    TacInstr i;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    i.b = b;
+    return i;
+}
+
+TacInstr
+TacInstr::copy(Operand dst, Operand a)
+{
+    FB_ASSERT(dst.isRegisterLike(), "copy dst must be temp or var");
+    TacInstr i;
+    i.op = TacOp::Copy;
+    i.dst = dst;
+    i.a = a;
+    return i;
+}
+
+TacInstr
+TacInstr::load(Operand dst, Operand addr)
+{
+    FB_ASSERT(dst.isRegisterLike(), "load dst must be temp or var");
+    FB_ASSERT(addr.isRegisterLike(), "load address must be temp or var");
+    TacInstr i;
+    i.op = TacOp::Load;
+    i.dst = dst;
+    i.a = addr;
+    return i;
+}
+
+TacInstr
+TacInstr::store(Operand addr, Operand src)
+{
+    FB_ASSERT(addr.isRegisterLike(), "store address must be temp or var");
+    TacInstr i;
+    i.op = TacOp::Store;
+    i.dst = addr;
+    i.a = src;
+    return i;
+}
+
+std::string
+TacInstr::toString() const
+{
+    std::ostringstream oss;
+    switch (op) {
+      case TacOp::Add:
+      case TacOp::Sub:
+      case TacOp::Mul:
+      case TacOp::Div:
+        oss << dst.toString() << " = " << a.toString() << " "
+            << tacOpSymbol(op) << " " << b.toString();
+        break;
+      case TacOp::Copy:
+        oss << dst.toString() << " = " << a.toString();
+        break;
+      case TacOp::Load:
+        oss << dst.toString() << " = [" << a.toString() << "]";
+        break;
+      case TacOp::Store:
+        oss << "[" << dst.toString() << "] = " << a.toString();
+        break;
+    }
+    if (!comment.empty())
+        oss << "    /* " << comment << " */";
+    return oss.str();
+}
+
+} // namespace fb::ir

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Three-address-code instructions.
+ */
+
+#ifndef FB_IR_TAC_HH
+#define FB_IR_TAC_HH
+
+#include <string>
+
+#include "ir/operand.hh"
+
+namespace fb::ir
+{
+
+/** Three-address operation codes. */
+enum class TacOp
+{
+    Add,    ///< dst = a + b
+    Sub,    ///< dst = a - b
+    Mul,    ///< dst = a * b
+    Div,    ///< dst = a / b
+    Copy,   ///< dst = a
+    Load,   ///< dst = [a]       (a holds an address)
+    Store,  ///< [dst] = a       (dst holds an address)
+};
+
+/** Mnemonic-ish name for a TacOp. */
+const char *tacOpName(TacOp op);
+
+/**
+ * Structured subscript of a 2-D array access, attached to Load/Store
+ * instructions when the builder knows it statically: the access
+ * targets array[rowVar + rowOff][colVar + colOff]. This is what the
+ * dependence analysis (compiler/depanalysis) consumes to classify
+ * loop-carried versus lexically forward dependences.
+ */
+struct Subscript
+{
+    bool known = false;
+    std::string rowVar;
+    std::int64_t rowOff = 0;
+    std::string colVar;
+    std::int64_t colOff = 0;
+};
+
+/** Infix symbol for arithmetic ops ("+", "-", "*", "/"). */
+const char *tacOpSymbol(TacOp op);
+
+/**
+ * One intermediate-code instruction, annotated with the properties
+ * the fuzzy-barrier compiler needs: whether it is *marked* (involved
+ * in a cross-processor dependence, paper section 4) and whether it
+ * was placed in a barrier region.
+ */
+struct TacInstr
+{
+    TacOp op = TacOp::Copy;
+    Operand dst;  ///< destination (address operand for Store)
+    Operand a;    ///< first source
+    Operand b;    ///< second source (arithmetic only)
+
+    /**
+     * Marked instructions "either access a value computed by another
+     * processor or compute a value that will be accessed by another
+     * processor" and must stay in the non-barrier region.
+     */
+    bool marked = false;
+
+    /** Region placement decided by the region builder. */
+    bool inRegion = false;
+
+    /**
+     * For Load/Store: the array the access targets, when statically
+     * known (our IR builders always know). Empty means unknown; the
+     * dependence analysis is then conservative and orders the access
+     * against every other memory operation.
+     */
+    std::string array;
+
+    /** For Load/Store: the structured subscript, when known. */
+    Subscript subscript;
+
+    /** Free-text annotation shown by the printer (paper-style). */
+    std::string comment;
+
+    /** Build an arithmetic instruction. */
+    static TacInstr arith(TacOp op, Operand dst, Operand a, Operand b);
+
+    /** Build a copy. */
+    static TacInstr copy(Operand dst, Operand a);
+
+    /** Build a load from the address in @p addr. */
+    static TacInstr load(Operand dst, Operand addr);
+
+    /** Build a store of @p src to the address in @p addr. */
+    static TacInstr store(Operand addr, Operand src);
+
+    /** Render in the paper's style, e.g. "T5 = T3 + T4". */
+    std::string toString() const;
+};
+
+} // namespace fb::ir
+
+#endif // FB_IR_TAC_HH

@@ -1,0 +1,306 @@
+#include "isa/assembler.hh"
+
+#include <sstream>
+
+#include "support/strutil.hh"
+
+namespace fb::isa
+{
+
+namespace
+{
+
+/** Parser for one source line's operand list. */
+class LineParser
+{
+  public:
+    LineParser(std::string text) : _text(std::move(text)) {}
+
+    /** Split the operand text on commas, trimming each field. */
+    std::vector<std::string>
+    fields() const
+    {
+        std::vector<std::string> out;
+        for (auto &f : split(_text, ','))
+            out.push_back(trim(f));
+        return out;
+    }
+
+  private:
+    std::string _text;
+};
+
+bool
+parseReg(const std::string &tok, int &out)
+{
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R'))
+        return false;
+    std::int64_t v;
+    if (!parseInt(tok.substr(1), v))
+        return false;
+    if (v < 0 || v >= numRegisters)
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+/** Parse "offset(base)" memory operand form. */
+bool
+parseMem(const std::string &tok, std::int64_t &off, int &base)
+{
+    auto open = tok.find('(');
+    auto close = tok.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open || close != tok.size() - 1)
+        return false;
+    std::string off_str = trim(tok.substr(0, open));
+    std::string base_str = trim(tok.substr(open + 1, close - open - 1));
+    if (off_str.empty())
+        off_str = "0";
+    return parseInt(off_str, off) && parseReg(base_str, base);
+}
+
+} // namespace
+
+bool
+Assembler::assemble(const std::string &source, Program &out,
+                    std::string &error)
+{
+    Program prog;
+    std::istringstream in(source);
+    std::string line;
+    int line_no = 0;
+    bool in_region = false;
+    int region_id = -1;
+    std::vector<std::pair<std::string, int>> referenced_labels;
+    std::vector<std::string> defined_labels;
+
+    auto fail = [&](const std::string &msg) {
+        error = "line " + std::to_string(line_no) + ": " + msg;
+        return false;
+    };
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto comment = line.find(';');
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        // Labels (possibly several, possibly followed by an instruction).
+        while (true) {
+            auto colon = line.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string label = trim(line.substr(0, colon));
+            if (label.empty() ||
+                label.find_first_of(" \t") != std::string::npos)
+                return fail("malformed label");
+            prog.defineLabel(label);
+            defined_labels.push_back(label);
+            line = trim(line.substr(colon + 1));
+        }
+        if (line.empty())
+            continue;
+
+        // Directives.
+        if (line[0] == '.') {
+            auto toks = splitWhitespace(line);
+            if (toks[0] == ".region") {
+                if (in_region)
+                    return fail(".region while already in a region");
+                in_region = true;
+                region_id = -1;
+                if (toks.size() > 1) {
+                    std::int64_t id;
+                    if (!parseInt(toks[1], id) || id < 0)
+                        return fail("bad region id");
+                    region_id = static_cast<int>(id);
+                }
+            } else if (toks[0] == ".endregion") {
+                if (!in_region)
+                    return fail(".endregion outside a region");
+                in_region = false;
+            } else {
+                return fail("unknown directive " + toks[0]);
+            }
+            continue;
+        }
+
+        // Instruction: mnemonic then comma-separated operands.
+        std::string mnemonic, rest;
+        auto space = line.find_first_of(" \t");
+        if (space == std::string::npos) {
+            mnemonic = line;
+        } else {
+            mnemonic = line.substr(0, space);
+            rest = trim(line.substr(space + 1));
+        }
+        Opcode op;
+        if (!opcodeFromName(toLower(mnemonic), op))
+            return fail("unknown mnemonic '" + mnemonic + "'");
+
+        auto f = LineParser(rest).fields();
+        Instruction instr;
+        std::string branch_label;
+        bool is_label_branch = false;
+
+        switch (operandKind(op)) {
+          case OperandKind::None: {
+            if (!f.empty())
+                return fail("unexpected operands");
+            instr = Instruction::simple(op);
+            break;
+          }
+          case OperandKind::RRR: {
+            int rd, rs1, rs2;
+            if (f.size() != 3 || !parseReg(f[0], rd) ||
+                !parseReg(f[1], rs1) || !parseReg(f[2], rs2))
+                return fail("expected rd, rs1, rs2");
+            instr = Instruction::rrr(op, rd, rs1, rs2);
+            break;
+          }
+          case OperandKind::RRI: {
+            int rd, rs1;
+            std::int64_t imm;
+            if (f.size() != 3 || !parseReg(f[0], rd) ||
+                !parseReg(f[1], rs1) || !parseInt(f[2], imm))
+                return fail("expected rd, rs1, imm");
+            instr = Instruction::rri(op, rd, rs1, imm);
+            break;
+          }
+          case OperandKind::RI: {
+            int rd;
+            std::int64_t imm;
+            if (f.size() != 2 || !parseReg(f[0], rd) ||
+                !parseInt(f[1], imm))
+                return fail("expected rd, imm");
+            instr = Instruction::li(rd, imm);
+            break;
+          }
+          case OperandKind::RR: {
+            int rd, rs1;
+            if (f.size() != 2 || !parseReg(f[0], rd) ||
+                !parseReg(f[1], rs1))
+                return fail("expected rd, rs1");
+            instr = Instruction::mov(rd, rs1);
+            break;
+          }
+          case OperandKind::Mem: {
+            int reg, base;
+            std::int64_t off;
+            if (f.size() != 2 || !parseReg(f[0], reg) ||
+                !parseMem(f[1], off, base))
+                return fail("expected reg, offset(base)");
+            instr = (op == Opcode::LD) ? Instruction::ld(reg, base, off)
+                                       : Instruction::st(base, off, reg);
+            break;
+          }
+          case OperandKind::MemRmw: {
+            int rd, base, rs2;
+            std::int64_t off;
+            if (f.size() != 3 || !parseReg(f[0], rd) ||
+                !parseMem(f[1], off, base) || !parseReg(f[2], rs2))
+                return fail("expected rd, offset(base), rs2");
+            instr = Instruction::faa(rd, base, off, rs2);
+            break;
+          }
+          case OperandKind::BranchRR: {
+            int rs1, rs2;
+            if (f.size() != 3 || !parseReg(f[0], rs1) ||
+                !parseReg(f[1], rs2))
+                return fail("expected rs1, rs2, label");
+            std::int64_t target;
+            if (parseInt(f[2], target)) {
+                instr = Instruction::branch(op, rs1, rs2, target);
+            } else {
+                instr = Instruction::branch(op, rs1, rs2, 0);
+                branch_label = f[2];
+                is_label_branch = true;
+            }
+            break;
+          }
+          case OperandKind::BranchNone: {
+            if (f.size() != 1)
+                return fail("expected label");
+            std::int64_t target;
+            if (parseInt(f[0], target)) {
+                instr = Instruction::jmp(target);
+            } else {
+                instr = Instruction::jmp(0);
+                branch_label = f[0];
+                is_label_branch = true;
+            }
+            break;
+          }
+          case OperandKind::CallTarget: {
+            int rd;
+            if (f.size() != 2 || !parseReg(f[0], rd))
+                return fail("expected rd, label");
+            std::int64_t target;
+            if (parseInt(f[1], target)) {
+                instr = Instruction::call(rd, target);
+            } else {
+                referenced_labels.emplace_back(f[1], line_no);
+                std::size_t idx = prog.appendCallTo(rd, f[1],
+                                                    in_region ? region_id
+                                                              : -1);
+                prog.at(idx).inRegion = in_region;
+                continue;
+            }
+            break;
+          }
+          case OperandKind::R1: {
+            int rs1;
+            if (f.size() != 1 || !parseReg(f[0], rs1))
+                return fail("expected rs1");
+            instr = Instruction::ret(rs1);
+            break;
+          }
+          case OperandKind::Imm: {
+            std::int64_t imm;
+            if (f.size() != 1 || !parseInt(f[0], imm))
+                return fail("expected imm");
+            instr = (op == Opcode::SETTAG) ? Instruction::settag(imm)
+                                           : Instruction::setmask(imm);
+            break;
+          }
+        }
+
+        instr.inRegion = in_region;
+        int id = in_region ? region_id : -1;
+        if (is_label_branch) {
+            referenced_labels.emplace_back(branch_label, line_no);
+            std::size_t idx;
+            if (operandKind(op) == OperandKind::BranchNone)
+                idx = prog.appendJumpTo(branch_label, id);
+            else
+                idx = prog.appendBranchTo(op, instr.rs1, instr.rs2,
+                                          branch_label, id);
+            prog.at(idx).inRegion = in_region;
+        } else {
+            prog.append(instr, id);
+        }
+    }
+
+    if (in_region)
+        return fail("unterminated .region at end of file");
+
+    for (const auto &[label, ref_line] : referenced_labels) {
+        bool found = false;
+        for (const auto &d : defined_labels)
+            found = found || d == label;
+        if (!found) {
+            line_no = ref_line;
+            return fail("undefined label '" + label + "'");
+        }
+    }
+
+    prog.finalize();
+    out = std::move(prog);
+    return true;
+}
+
+} // namespace fb::isa

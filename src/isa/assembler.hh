@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Two-pass textual assembler for the stream machine.
+ *
+ * Syntax (one instruction per line, ';' starts a comment):
+ *
+ *     settag 1
+ *     setmask 6
+ *   loop:
+ *     li   r1, 5
+ *   .region 1        ; following instructions carry the region bit,
+ *                    ; logical barrier id 1
+ *     addi r2, r2, 1
+ *   .endregion
+ *     ld   r4, 8(r3)
+ *     st   r4, 0(r3)
+ *     bne  r1, r2, loop
+ *     halt
+ *
+ * Branch targets are labels. Memory operands use offset(base) form.
+ */
+
+#ifndef FB_ISA_ASSEMBLER_HH
+#define FB_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace fb::isa
+{
+
+/**
+ * Assembles source text into a finalized Program.
+ */
+class Assembler
+{
+  public:
+    /**
+     * Assemble @p source. On success @p out holds the finalized
+     * program and true is returned; on failure false is returned and
+     * @p error describes the problem with a line number.
+     */
+    static bool assemble(const std::string &source, Program &out,
+                         std::string &error);
+};
+
+} // namespace fb::isa
+
+#endif // FB_ISA_ASSEMBLER_HH

@@ -1,0 +1,222 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace fb::isa
+{
+
+namespace
+{
+
+RegIndex
+checkedReg(int r)
+{
+    FB_ASSERT(r >= 0 && r < numRegisters, "register index " << r
+                                                            << " out of range");
+    return static_cast<RegIndex>(r);
+}
+
+} // namespace
+
+Instruction
+Instruction::rrr(Opcode op, int rd, int rs1, int rs2)
+{
+    FB_ASSERT(operandKind(op) == OperandKind::RRR, "not an RRR opcode");
+    Instruction i;
+    i.op = op;
+    i.rd = checkedReg(rd);
+    i.rs1 = checkedReg(rs1);
+    i.rs2 = checkedReg(rs2);
+    return i;
+}
+
+Instruction
+Instruction::rri(Opcode op, int rd, int rs1, std::int64_t imm)
+{
+    FB_ASSERT(operandKind(op) == OperandKind::RRI, "not an RRI opcode");
+    Instruction i;
+    i.op = op;
+    i.rd = checkedReg(rd);
+    i.rs1 = checkedReg(rs1);
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+Instruction::li(int rd, std::int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::LI;
+    i.rd = checkedReg(rd);
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+Instruction::mov(int rd, int rs1)
+{
+    Instruction i;
+    i.op = Opcode::MOV;
+    i.rd = checkedReg(rd);
+    i.rs1 = checkedReg(rs1);
+    return i;
+}
+
+Instruction
+Instruction::ld(int rd, int rs1, std::int64_t off)
+{
+    Instruction i;
+    i.op = Opcode::LD;
+    i.rd = checkedReg(rd);
+    i.rs1 = checkedReg(rs1);
+    i.imm = off;
+    return i;
+}
+
+Instruction
+Instruction::st(int rs1, std::int64_t off, int rs2)
+{
+    Instruction i;
+    i.op = Opcode::ST;
+    i.rs1 = checkedReg(rs1);
+    i.rs2 = checkedReg(rs2);
+    i.imm = off;
+    return i;
+}
+
+Instruction
+Instruction::faa(int rd, int rs1, std::int64_t off, int rs2)
+{
+    Instruction i;
+    i.op = Opcode::FAA;
+    i.rd = checkedReg(rd);
+    i.rs1 = checkedReg(rs1);
+    i.rs2 = checkedReg(rs2);
+    i.imm = off;
+    return i;
+}
+
+Instruction
+Instruction::branch(Opcode op, int rs1, int rs2, std::int64_t target)
+{
+    FB_ASSERT(operandKind(op) == OperandKind::BranchRR,
+              "not a conditional branch opcode");
+    Instruction i;
+    i.op = op;
+    i.rs1 = checkedReg(rs1);
+    i.rs2 = checkedReg(rs2);
+    i.imm = target;
+    return i;
+}
+
+Instruction
+Instruction::jmp(std::int64_t target)
+{
+    Instruction i;
+    i.op = Opcode::JMP;
+    i.imm = target;
+    return i;
+}
+
+Instruction
+Instruction::call(int rd, std::int64_t target)
+{
+    Instruction i;
+    i.op = Opcode::CALL;
+    i.rd = checkedReg(rd);
+    i.imm = target;
+    return i;
+}
+
+Instruction
+Instruction::ret(int rs1)
+{
+    Instruction i;
+    i.op = Opcode::RET;
+    i.rs1 = checkedReg(rs1);
+    return i;
+}
+
+Instruction
+Instruction::settag(std::int64_t tag)
+{
+    Instruction i;
+    i.op = Opcode::SETTAG;
+    i.imm = tag;
+    return i;
+}
+
+Instruction
+Instruction::setmask(std::int64_t mask)
+{
+    Instruction i;
+    i.op = Opcode::SETMASK;
+    i.imm = mask;
+    return i;
+}
+
+Instruction
+Instruction::simple(Opcode op)
+{
+    FB_ASSERT(operandKind(op) == OperandKind::None,
+              "opcode requires operands");
+    Instruction i;
+    i.op = op;
+    return i;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    oss << opcodeName(op);
+    auto reg = [](int r) { return "r" + std::to_string(r); };
+    switch (operandKind(op)) {
+      case OperandKind::None:
+        break;
+      case OperandKind::RRR:
+        oss << " " << reg(rd) << ", " << reg(rs1) << ", " << reg(rs2);
+        break;
+      case OperandKind::RRI:
+        oss << " " << reg(rd) << ", " << reg(rs1) << ", " << imm;
+        break;
+      case OperandKind::RI:
+        oss << " " << reg(rd) << ", " << imm;
+        break;
+      case OperandKind::RR:
+        oss << " " << reg(rd) << ", " << reg(rs1);
+        break;
+      case OperandKind::Mem:
+        if (op == Opcode::LD)
+            oss << " " << reg(rd) << ", " << imm << "(" << reg(rs1) << ")";
+        else
+            oss << " " << reg(rs2) << ", " << imm << "(" << reg(rs1) << ")";
+        break;
+      case OperandKind::MemRmw:
+        oss << " " << reg(rd) << ", " << imm << "(" << reg(rs1) << "), "
+            << reg(rs2);
+        break;
+      case OperandKind::BranchRR:
+        oss << " " << reg(rs1) << ", " << reg(rs2) << ", " << imm;
+        break;
+      case OperandKind::BranchNone:
+        oss << " " << imm;
+        break;
+      case OperandKind::CallTarget:
+        oss << " " << reg(rd) << ", " << imm;
+        break;
+      case OperandKind::R1:
+        oss << " " << reg(rs1);
+        break;
+      case OperandKind::Imm:
+        oss << " " << imm;
+        break;
+    }
+    if (inRegion)
+        oss << "    ; [region]";
+    return oss.str();
+}
+
+} // namespace fb::isa

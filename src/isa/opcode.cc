@@ -1,0 +1,158 @@
+#include "isa/opcode.hh"
+
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace fb::isa
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::MUL: return "mul";
+      case Opcode::DIV: return "div";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SLT: return "slt";
+      case Opcode::SHL: return "shl";
+      case Opcode::SHR: return "shr";
+      case Opcode::ADDI: return "addi";
+      case Opcode::MULI: return "muli";
+      case Opcode::SLTI: return "slti";
+      case Opcode::LI: return "li";
+      case Opcode::MOV: return "mov";
+      case Opcode::LD: return "ld";
+      case Opcode::ST: return "st";
+      case Opcode::FAA: return "faa";
+      case Opcode::BEQ: return "beq";
+      case Opcode::BNE: return "bne";
+      case Opcode::BLT: return "blt";
+      case Opcode::BGE: return "bge";
+      case Opcode::JMP: return "jmp";
+      case Opcode::CALL: return "call";
+      case Opcode::RET: return "ret";
+      case Opcode::IRET: return "iret";
+      case Opcode::SETTAG: return "settag";
+      case Opcode::SETMASK: return "setmask";
+      case Opcode::BRENTER: return "brenter";
+      case Opcode::BREXIT: return "brexit";
+      case Opcode::NOP: return "nop";
+      case Opcode::HALT: return "halt";
+    }
+    panic("unknown opcode");
+}
+
+OperandKind
+operandKind(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD:
+      case Opcode::SUB:
+      case Opcode::MUL:
+      case Opcode::DIV:
+      case Opcode::AND:
+      case Opcode::OR:
+      case Opcode::XOR:
+      case Opcode::SLT:
+      case Opcode::SHL:
+      case Opcode::SHR:
+        return OperandKind::RRR;
+      case Opcode::ADDI:
+      case Opcode::MULI:
+      case Opcode::SLTI:
+        return OperandKind::RRI;
+      case Opcode::LI:
+        return OperandKind::RI;
+      case Opcode::MOV:
+        return OperandKind::RR;
+      case Opcode::LD:
+      case Opcode::ST:
+        return OperandKind::Mem;
+      case Opcode::FAA:
+        return OperandKind::MemRmw;
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+        return OperandKind::BranchRR;
+      case Opcode::JMP:
+        return OperandKind::BranchNone;
+      case Opcode::CALL:
+        return OperandKind::CallTarget;
+      case Opcode::RET:
+        return OperandKind::R1;
+      case Opcode::IRET:
+        return OperandKind::None;
+      case Opcode::SETTAG:
+      case Opcode::SETMASK:
+        return OperandKind::Imm;
+      case Opcode::BRENTER:
+      case Opcode::BREXIT:
+      case Opcode::NOP:
+      case Opcode::HALT:
+        return OperandKind::None;
+    }
+    panic("unknown opcode");
+}
+
+bool
+isBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::JMP:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMemory(Opcode op)
+{
+    return op == Opcode::LD || op == Opcode::ST || op == Opcode::FAA;
+}
+
+int
+baseLatency(Opcode op)
+{
+    switch (op) {
+      case Opcode::MUL:
+      case Opcode::MULI:
+        return 3;
+      case Opcode::DIV:
+        return 8;
+      case Opcode::FAA:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+bool
+opcodeFromName(const std::string &name, Opcode &out)
+{
+    static const std::unordered_map<std::string, Opcode> map = [] {
+        std::unordered_map<std::string, Opcode> m;
+        for (int i = 0; i <= static_cast<int>(Opcode::HALT); ++i) {
+            auto op = static_cast<Opcode>(i);
+            m.emplace(opcodeName(op), op);
+        }
+        return m;
+    }();
+    auto it = map.find(name);
+    if (it == map.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+} // namespace fb::isa

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Opcode definitions for the RISC-like stream machine.
+ *
+ * The paper (section 6) marks barrier regions either with a dedicated
+ * bit in every instruction or with explicit marker instructions. Both
+ * encodings are supported: Instruction::inRegion carries the bit, and
+ * the BRENTER/BREXIT opcodes provide the marker alternative.
+ */
+
+#ifndef FB_ISA_OPCODE_HH
+#define FB_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fb::isa
+{
+
+/** Machine opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // ALU register-register
+    ADD,   ///< rd = rs1 + rs2
+    SUB,   ///< rd = rs1 - rs2
+    MUL,   ///< rd = rs1 * rs2
+    DIV,   ///< rd = rs1 / rs2 (traps on zero divisor)
+    AND,   ///< rd = rs1 & rs2
+    OR,    ///< rd = rs1 | rs2
+    XOR,   ///< rd = rs1 ^ rs2
+    SLT,   ///< rd = rs1 < rs2 ? 1 : 0
+    SHL,   ///< rd = rs1 << rs2
+    SHR,   ///< rd = rs1 >> rs2 (arithmetic)
+
+    // ALU register-immediate
+    ADDI,  ///< rd = rs1 + imm
+    MULI,  ///< rd = rs1 * imm
+    SLTI,  ///< rd = rs1 < imm ? 1 : 0
+    LI,    ///< rd = imm
+    MOV,   ///< rd = rs1
+
+    // Memory
+    LD,    ///< rd = mem[rs1 + imm]
+    ST,    ///< mem[rs1 + imm] = rs2
+    FAA,   ///< rd = mem[rs1 + imm]; mem[rs1 + imm] += rs2 (atomic)
+
+    // Control flow (target is an absolute instruction index after
+    // assembly; the assembler resolves labels)
+    BEQ,   ///< if (rs1 == rs2) goto imm
+    BNE,   ///< if (rs1 != rs2) goto imm
+    BLT,   ///< if (rs1 <  rs2) goto imm
+    BGE,   ///< if (rs1 >= rs2) goto imm
+    JMP,   ///< goto imm
+
+    // Procedure linkage (section 9 future work: "allowing parallel
+    // procedure calls can significantly increase the amount of
+    // parallelism"). A procedure called from inside a barrier region
+    // executes with the caller's region status inherited.
+    CALL,  ///< rd = pc + 1; goto imm
+    RET,   ///< goto rs1 (returns from the matching CALL)
+
+    // Interrupt linkage (section 9: "the issue of interrupts and
+    // traps in a barrier region is also being investigated").
+    IRET,  ///< return from interrupt service routine
+
+    // Barrier control
+    SETTAG,   ///< barrier tag register = imm (0 = not participating)
+    SETMASK,  ///< barrier mask register = imm bits (bit p = sync with p)
+    BRENTER,  ///< marker-encoding: following instructions are in-region
+    BREXIT,   ///< marker-encoding: following instructions are non-region
+
+    // Misc
+    NOP,   ///< no operation
+    HALT,  ///< stop this processor's stream
+};
+
+/** Operand shape of an opcode, used by assembler and disassembler. */
+enum class OperandKind : std::uint8_t
+{
+    None,        ///< no operands (NOP, HALT, BRENTER, BREXIT)
+    RRR,         ///< rd, rs1, rs2
+    RRI,         ///< rd, rs1, imm
+    RI,          ///< rd, imm
+    RR,          ///< rd, rs1
+    Mem,         ///< rd/rs2, rs1, imm  (LD / ST)
+    MemRmw,      ///< rd, rs1, imm, rs2 (FAA: rd = [rs1+imm] += rs2)
+    BranchRR,    ///< rs1, rs2, target
+    BranchNone,  ///< target (JMP)
+    CallTarget,  ///< rd, target (CALL)
+    R1,          ///< rs1 only (RET)
+    Imm,         ///< imm (SETTAG, SETMASK)
+};
+
+/** Mnemonic for an opcode (lower case). */
+const char *opcodeName(Opcode op);
+
+/** Operand shape for an opcode. */
+OperandKind operandKind(Opcode op);
+
+/** True for BEQ/BNE/BLT/BGE/JMP. */
+bool isBranch(Opcode op);
+
+/** True for LD/ST. */
+bool isMemory(Opcode op);
+
+/**
+ * Base execution latency in cycles for an opcode, excluding memory
+ * hierarchy effects (those come from the cache model). Values are
+ * RISC-typical: single-cycle ALU, multi-cycle multiply/divide.
+ */
+int baseLatency(Opcode op);
+
+/** Look up an opcode by mnemonic; returns false if unknown. */
+bool opcodeFromName(const std::string &name, Opcode &out);
+
+} // namespace fb::isa
+
+#endif // FB_ISA_OPCODE_HH

@@ -1,0 +1,197 @@
+#include "sched/schedule.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace fb::sched
+{
+
+namespace
+{
+
+void
+checkArgs(int iterations, int procs)
+{
+    FB_ASSERT(iterations >= 0, "negative iteration count");
+    FB_ASSERT(procs > 0, "need at least one processor");
+}
+
+} // namespace
+
+Assignment
+blockSchedule(int iterations, int procs)
+{
+    checkArgs(iterations, procs);
+    Assignment out(static_cast<std::size_t>(procs));
+    int chunk = (iterations + procs - 1) / procs;
+    for (int it = 0; it < iterations; ++it)
+        out[static_cast<std::size_t>(std::min(it / std::max(chunk, 1),
+                                              procs - 1))]
+            .push_back(it);
+    return out;
+}
+
+Assignment
+cyclicSchedule(int iterations, int procs)
+{
+    checkArgs(iterations, procs);
+    Assignment out(static_cast<std::size_t>(procs));
+    for (int it = 0; it < iterations; ++it)
+        out[static_cast<std::size_t>(it % procs)].push_back(it);
+    return out;
+}
+
+Assignment
+rotatingSchedule(int iterations, int procs, int outer_index)
+{
+    checkArgs(iterations, procs);
+    FB_ASSERT(outer_index >= 0, "negative outer index");
+    Assignment out(static_cast<std::size_t>(procs));
+    int base = iterations / procs;
+    int extra = iterations % procs;
+    // Processors (outer_index + 0..extra-1) mod P take base+1
+    // iterations this time around; the rest take base. Iterations are
+    // handed out contiguously in processor order starting from the
+    // rotation point so each processor's share is a contiguous range.
+    int next = 0;
+    for (int k = 0; k < procs; ++k) {
+        int p = (outer_index + k) % procs;
+        int take = base + (k < extra ? 1 : 0);
+        for (int t = 0; t < take; ++t)
+            out[static_cast<std::size_t>(p)].push_back(next++);
+    }
+    FB_ASSERT(next == iterations, "rotating schedule lost iterations");
+    return out;
+}
+
+Assignment
+chunkSelfSchedule(int iterations, int procs, int chunk)
+{
+    checkArgs(iterations, procs);
+    FB_ASSERT(chunk > 0, "chunk must be positive");
+    Assignment out(static_cast<std::size_t>(procs));
+    int next = 0;
+    int turn = 0;
+    while (next < iterations) {
+        int take = std::min(chunk, iterations - next);
+        for (int t = 0; t < take; ++t)
+            out[static_cast<std::size_t>(turn % procs)].push_back(next++);
+        ++turn;
+    }
+    return out;
+}
+
+Assignment
+guidedSelfSchedule(int iterations, int procs)
+{
+    checkArgs(iterations, procs);
+    Assignment out(static_cast<std::size_t>(procs));
+    int next = 0;
+    int turn = 0;
+    while (next < iterations) {
+        int remaining = iterations - next;
+        int take = (remaining + procs - 1) / procs;  // ceil(R / P)
+        for (int t = 0; t < take; ++t)
+            out[static_cast<std::size_t>(turn % procs)].push_back(next++);
+        ++turn;
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Shared cost-aware grabbing loop: @p next_take yields the size of
+ * the next chunk given the remaining count. */
+template <typename NextTake>
+Assignment
+greedyGrab(int iterations, int procs, const std::vector<double> &costs,
+           NextTake next_take)
+{
+    FB_ASSERT(static_cast<int>(costs.size()) >= iterations,
+              "costs vector shorter than the iteration count");
+    Assignment out(static_cast<std::size_t>(procs));
+    std::vector<double> finish(static_cast<std::size_t>(procs), 0.0);
+    int next = 0;
+    while (next < iterations) {
+        // The processor that finishes first grabs the next chunk.
+        int winner = 0;
+        for (int p = 1; p < procs; ++p) {
+            if (finish[static_cast<std::size_t>(p)] <
+                finish[static_cast<std::size_t>(winner)])
+                winner = p;
+        }
+        int take = std::min(next_take(iterations - next),
+                            iterations - next);
+        for (int t = 0; t < take; ++t) {
+            out[static_cast<std::size_t>(winner)].push_back(next);
+            finish[static_cast<std::size_t>(winner)] +=
+                costs[static_cast<std::size_t>(next)];
+            ++next;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Assignment
+chunkSelfSchedule(int iterations, int procs, int chunk,
+                  const std::vector<double> &costs)
+{
+    checkArgs(iterations, procs);
+    FB_ASSERT(chunk > 0, "chunk must be positive");
+    return greedyGrab(iterations, procs, costs,
+                      [chunk](int) { return chunk; });
+}
+
+Assignment
+guidedSelfSchedule(int iterations, int procs,
+                   const std::vector<double> &costs)
+{
+    checkArgs(iterations, procs);
+    return greedyGrab(iterations, procs, costs, [procs](int remaining) {
+        return (remaining + procs - 1) / procs;
+    });
+}
+
+int
+totalAssigned(const Assignment &assignment)
+{
+    int total = 0;
+    for (const auto &list : assignment)
+        total += static_cast<int>(list.size());
+    return total;
+}
+
+std::vector<int>
+loadPerProcessor(const Assignment &assignment)
+{
+    std::vector<int> out;
+    out.reserve(assignment.size());
+    for (const auto &list : assignment)
+        out.push_back(static_cast<int>(list.size()));
+    return out;
+}
+
+int
+maxLoad(const Assignment &assignment)
+{
+    int best = 0;
+    for (const auto &list : assignment)
+        best = std::max(best, static_cast<int>(list.size()));
+    return best;
+}
+
+int
+minLoad(const Assignment &assignment)
+{
+    FB_ASSERT(!assignment.empty(), "empty assignment");
+    int best = static_cast<int>(assignment.front().size());
+    for (const auto &list : assignment)
+        best = std::min(best, static_cast<int>(list.size()));
+    return best;
+}
+
+} // namespace fb::sched

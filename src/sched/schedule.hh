@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Iteration-scheduling policies for parallel loops (paper sections
+ * 7.3 and 7.4).
+ */
+
+#ifndef FB_SCHED_SCHEDULE_HH
+#define FB_SCHED_SCHEDULE_HH
+
+#include <vector>
+
+namespace fb::sched
+{
+
+/**
+ * An assignment of the iterations 0..I-1 of one parallel loop
+ * instance to processors: assignment[p] lists, in execution order,
+ * the iterations processor p runs.
+ */
+using Assignment = std::vector<std::vector<int>>;
+
+/** Contiguous blocks of ceil(I/P) iterations (the Fig. 5 split). */
+Assignment blockSchedule(int iterations, int procs);
+
+/** Round-robin: processor p runs iterations p, p+P, p+2P, ... */
+Assignment cyclicSchedule(int iterations, int procs);
+
+/**
+ * The Fig. 11 static schedule: when I is not divisible by P, the
+ * processors take turns executing the extra iterations, rotating
+ * with the outer-loop index so that the load evens out over outer
+ * iterations.
+ */
+Assignment rotatingSchedule(int iterations, int procs, int outer_index);
+
+/**
+ * Self-scheduling with fixed chunk size, modeled deterministically
+ * for equal-speed processors: processors take chunks in round-robin
+ * order.
+ */
+Assignment chunkSelfSchedule(int iterations, int procs, int chunk);
+
+/**
+ * Cost-aware model of fixed-chunk self-scheduling: the next chunk is
+ * grabbed by the processor that would finish its work so far first
+ * (what actually happens on real hardware when iteration costs vary).
+ * @p costs gives the cost of each iteration.
+ */
+Assignment chunkSelfSchedule(int iterations, int procs, int chunk,
+                             const std::vector<double> &costs);
+
+/**
+ * Guided self-scheduling [Polychronopoulos & Kuck]: each grab takes
+ * ceil(remaining / P) iterations, so chunks shrink geometrically and
+ * processors finish at about the same time. Deterministic model for
+ * equal-speed processors (round-robin grab order).
+ */
+Assignment guidedSelfSchedule(int iterations, int procs);
+
+/** Cost-aware GSS model: first-to-finish grabs the next chunk. */
+Assignment guidedSelfSchedule(int iterations, int procs,
+                              const std::vector<double> &costs);
+
+/** Total iterations in an assignment (sanity checking). */
+int totalAssigned(const Assignment &assignment);
+
+/** Iterations per processor. */
+std::vector<int> loadPerProcessor(const Assignment &assignment);
+
+/** Largest per-processor load. */
+int maxLoad(const Assignment &assignment);
+
+/** Smallest per-processor load. */
+int minLoad(const Assignment &assignment);
+
+} // namespace fb::sched
+
+#endif // FB_SCHED_SCHEDULE_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared memory bus with simple FIFO contention.
+ */
+
+#ifndef FB_SIM_BUS_HH
+#define FB_SIM_BUS_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fb::sim
+{
+
+/** Interconnect contention model. */
+enum class BusKind
+{
+    /**
+     * One shared bus: every cache miss serializes against every
+     * other. The Encore/Sequent-class machine and the source of the
+     * E8 hot-spot serialization.
+     */
+    Shared,
+
+    /**
+     * Banked / multistage interconnect: requests serialize only
+     * against requests for the same word (bank conflicts). Under this
+     * model only genuinely hot words pay contention — the setting of
+     * the Yew/Tzeng/Lawrie hot-spot analysis the paper cites, where
+     * dissemination barriers achieve logarithmic latency.
+     */
+    Banked,
+};
+
+/**
+ * The interconnect between processors and memory. Each cache miss
+ * occupies its arbitration domain (the whole bus, or one bank) for a
+ * fixed service time; overlapping requests queue behind each other.
+ */
+class SharedBus
+{
+  public:
+    /**
+     * @param service_cycles occupancy per request
+     * @param kind contention model
+     */
+    explicit SharedBus(std::uint32_t service_cycles,
+                       BusKind kind = BusKind::Shared)
+        : _serviceCycles(service_cycles), _kind(kind)
+    {
+    }
+
+    /**
+     * Request service for word @p addr at time @p now. Returns the
+     * queueing delay in cycles (0 if free) and occupies the
+     * arbitration domain for the service time starting when the
+     * request is granted.
+     */
+    std::uint64_t
+    request(std::uint64_t now, std::size_t addr)
+    {
+        ++_requests;
+        std::uint64_t &busy_until =
+            _kind == BusKind::Shared ? _globalBusyUntil
+                                     : _bankBusyUntil[addr];
+        std::uint64_t start = now > busy_until ? now : busy_until;
+        std::uint64_t wait = start - now;
+        _queueDelay += wait;
+        busy_until = start + _serviceCycles;
+        return wait;
+    }
+
+    /** Total requests seen. */
+    std::uint64_t requests() const { return _requests; }
+
+    /** Total cycles requests spent queued. */
+    std::uint64_t totalQueueDelay() const { return _queueDelay; }
+
+  private:
+    std::uint32_t _serviceCycles;
+    BusKind _kind;
+    std::uint64_t _globalBusyUntil = 0;
+    std::unordered_map<std::size_t, std::uint64_t> _bankBusyUntil;
+    std::uint64_t _requests = 0;
+    std::uint64_t _queueDelay = 0;
+};
+
+} // namespace fb::sim
+
+#endif // FB_SIM_BUS_HH

@@ -1,0 +1,51 @@
+#include "sim/cache.hh"
+
+#include "support/logging.hh"
+
+namespace fb::sim
+{
+
+DataCache::DataCache(const CacheConfig &config)
+    : _config(config), _valid(config.numLines, false),
+      _tags(config.numLines, 0)
+{
+    FB_ASSERT(config.numLines > 0, "cache needs at least one line");
+    FB_ASSERT(config.lineWords > 0, "cache line needs at least one word");
+}
+
+CacheAccessResult
+DataCache::access(std::size_t addr)
+{
+    if (!_config.enabled)
+        return {false, _config.missPenalty};
+
+    std::size_t line = lineOf(addr);
+    std::size_t tag = tagOf(addr);
+    if (_valid[line] && _tags[line] == tag) {
+        ++_hits;
+        return {true, 1};
+    }
+    ++_misses;
+    _valid[line] = true;
+    _tags[line] = tag;
+    return {false, _config.missPenalty};
+}
+
+void
+DataCache::invalidate(std::size_t addr)
+{
+    if (!_config.enabled)
+        return;
+    std::size_t line = lineOf(addr);
+    if (_valid[line] && _tags[line] == tagOf(addr))
+        _valid[line] = false;
+}
+
+void
+DataCache::flush()
+{
+    for (std::size_t i = 0; i < _valid.size(); ++i)
+        _valid[i] = false;
+}
+
+} // namespace fb::sim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-processor direct-mapped data cache model.
+ *
+ * Cache misses are the paper's canonical source of execution drift:
+ * "Due to a cache miss, a processor may fall behind in execution even
+ * if all processors are executing identical instructions" (section 1).
+ * The model only computes timing (hit or miss latency); data always
+ * comes from the shared memory, so coherence is trivially maintained
+ * by invalidating on remote writes.
+ */
+
+#ifndef FB_SIM_CACHE_HH
+#define FB_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace fb::sim
+{
+
+/** Result of a cache access: cycles the access takes. */
+struct CacheAccessResult
+{
+    bool hit;
+    std::uint32_t cycles;  ///< 1 on hit, missPenalty (+bus) on miss
+};
+
+/**
+ * Direct-mapped write-through cache (timing only).
+ */
+class DataCache
+{
+  public:
+    explicit DataCache(const CacheConfig &config);
+
+    /**
+     * Access word @p addr. Returns hit/miss and the base latency
+     * (bus queueing is added by the caller). Stores allocate like
+     * loads (write-through, write-allocate).
+     */
+    CacheAccessResult access(std::size_t addr);
+
+    /** Invalidate the line containing @p addr (remote write). */
+    void invalidate(std::size_t addr);
+
+    /** Drop every line. */
+    void flush();
+
+    /** Hits so far. */
+    std::uint64_t hits() const { return _hits; }
+
+    /** Misses so far. */
+    std::uint64_t misses() const { return _misses; }
+
+  private:
+    std::size_t lineOf(std::size_t addr) const
+    {
+        return (addr / _config.lineWords) % _config.numLines;
+    }
+
+    std::size_t tagOf(std::size_t addr) const
+    {
+        return addr / _config.lineWords / _config.numLines;
+    }
+
+    CacheConfig _config;
+    std::vector<bool> _valid;
+    std::vector<std::size_t> _tags;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace fb::sim
+
+#endif // FB_SIM_CACHE_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Configuration for the simulated multiprocessor.
+ */
+
+#ifndef FB_SIM_CONFIG_HH
+#define FB_SIM_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/bus.hh"
+
+namespace fb::sim
+{
+
+/**
+ * What happens when a processor exhausts its barrier region before
+ * synchronization has occurred.
+ */
+enum class StallKind
+{
+    /**
+     * The proposed hardware mechanism: the processor simply idles;
+     * each stalled cycle costs exactly one cycle.
+     */
+    Hardware,
+
+    /**
+     * The Encore-style software implementation (paper section 8): a
+     * stalled task suffers a context save, and after synchronization a
+     * context restore, before it can continue. "The cost of barrier
+     * synchronization is mainly due to context saves and restores for
+     * the tasks that must be stalled."
+     */
+    Software,
+};
+
+/** Stall cost model. */
+struct StallModel
+{
+    StallKind kind = StallKind::Hardware;
+    /** Cycles to save a stalled task's context (Software only). */
+    std::uint32_t saveCycles = 0;
+    /** Cycles to restore the task after synchronization (Software). */
+    std::uint32_t restoreCycles = 0;
+
+    /** The free hardware stall. */
+    static StallModel hardware() { return {}; }
+
+    /** Software stall with symmetric save/restore cost. */
+    static StallModel
+    software(std::uint32_t save, std::uint32_t restore)
+    {
+        return {StallKind::Software, save, restore};
+    }
+};
+
+/** Per-processor data cache parameters. */
+struct CacheConfig
+{
+    bool enabled = true;
+    /** Number of direct-mapped lines. */
+    std::size_t numLines = 256;
+    /** Words per line. */
+    std::size_t lineWords = 4;
+    /** Cycles added by a miss (before bus queueing). */
+    std::uint32_t missPenalty = 20;
+};
+
+/** Whole-machine parameters. */
+struct MachineConfig
+{
+    int numProcessors = 4;
+
+    /**
+     * Issue width: the maximum number of consecutive, mutually
+     * independent instructions issued per cycle (section 9: the
+     * prototype "will be used for executing code in VLIW mode").
+     * Width 1 is the scalar machine. Later slots accept only
+     * single-issue-safe operations (ALU; a branch may close the
+     * bundle); memory, linkage, and barrier-control operations issue
+     * alone, and a bundle never spans a region boundary.
+     */
+    int issueWidth = 1;
+
+    /**
+     * In-order pipeline depth. 1 models the non-pipelined machine
+     * where "a processor enters a region at the same time it exits
+     * the preceding region". Depths > 1 delay the readiness signal
+     * until the last non-barrier instruction drains from the pipe
+     * (paper section 2/6 distinction between entering the barrier
+     * region and exiting the non-barrier region).
+     */
+    int pipelineDepth = 1;
+
+    /** Shared memory size in 64-bit words. */
+    std::size_t memWords = 1u << 20;
+
+    CacheConfig cache;
+
+    /** Bus service time per cache miss (contention source). */
+    std::uint32_t busServiceCycles = 4;
+
+    /** Interconnect contention model (shared bus vs banked). */
+    BusKind busKind = BusKind::Shared;
+
+    /**
+     * Propagation delay of the barrier broadcast network in cycles:
+     * synchronization is observed this many cycles after the last
+     * participant becomes ready. Models the growing interconnect of
+     * larger machines (section 6's extensibility caveat).
+     */
+    std::uint32_t syncLatency = 0;
+
+    StallModel stall;
+
+    /**
+     * Mean of random per-instruction execution jitter in cycles
+     * (models TLB misses, DRAM refresh, and other drift sources the
+     * paper cites). 0 disables jitter.
+     */
+    double jitterMean = 0.0;
+
+    /** Seed for all stochastic behaviour. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Timer interrupt period in cycles (0 disables interrupts). When
+     * an interrupt fires, the processor saves its PC and vectors to
+     * @ref isrEntry; the service routine runs outside the barrier
+     * region structure (no arrivals, no crossing checks) and returns
+     * with IRET. Interrupts are also delivered while a processor is
+     * stalled at a barrier — the stalled processor does useful
+     * interrupt work while it waits (section 9 future work).
+     */
+    std::uint64_t interruptPeriod = 0;
+
+    /** Instruction index of the interrupt service routine. */
+    std::int64_t isrEntry = -1;
+
+    /** Abort the run after this many cycles (runaway guard). */
+    std::uint64_t maxCycles = 200'000'000;
+
+    /** Record sync events for the safety oracle. */
+    bool recordSyncEvents = true;
+
+    /** Record per-cycle barrier states for the timeline renderer
+     * (costs memory proportional to cycles x processors). */
+    bool traceBarrierStates = false;
+};
+
+} // namespace fb::sim
+
+#endif // FB_SIM_CONFIG_HH

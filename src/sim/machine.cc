@@ -1,0 +1,315 @@
+#include "sim/machine.hh"
+
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace fb::sim
+{
+
+std::uint64_t
+RunResult::totalBarrierWait() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : perProcessor)
+        total += p.barrierWaitCycles;
+    return total;
+}
+
+std::uint64_t
+RunResult::maxBarrierWait() const
+{
+    std::uint64_t best = 0;
+    for (const auto &p : perProcessor)
+        best = std::max(best, p.barrierWaitCycles);
+    return best;
+}
+
+/**
+ * Per-processor memory port: timing comes from the private cache plus
+ * the shared bus; data always comes from shared memory. Stores
+ * invalidate the line in every other cache (write-through coherence).
+ */
+class Machine::Port : public MemoryPort
+{
+  public:
+    Port(Machine &machine, int cpu) : _machine(machine), _cpu(cpu) {}
+
+    std::int64_t
+    read(std::size_t addr, std::uint64_t now, std::uint32_t &cycles)
+        override
+    {
+        cycles = latency(addr, now);
+        return _machine._memory->read(addr);
+    }
+
+    void
+    write(std::size_t addr, std::int64_t value, std::uint64_t now,
+          std::uint32_t &cycles) override
+    {
+        cycles = latency(addr, now);
+        _machine._memory->write(addr, value);
+        for (int p = 0; p < _machine.numProcessors(); ++p) {
+            if (p != _cpu)
+                _machine._caches[static_cast<std::size_t>(p)]
+                    ->invalidate(addr);
+        }
+    }
+
+  private:
+    std::uint32_t
+    latency(std::size_t addr, std::uint64_t now)
+    {
+        auto result =
+            _machine._caches[static_cast<std::size_t>(_cpu)]->access(addr);
+        if (result.hit)
+            return result.cycles;
+        std::uint64_t queue = _machine._bus->request(now, addr);
+        return result.cycles + static_cast<std::uint32_t>(queue);
+    }
+
+    Machine &_machine;
+    int _cpu;
+};
+
+Machine::Machine(const MachineConfig &config) : _config(config)
+{
+    FB_ASSERT(config.numProcessors > 0 && config.numProcessors <= 64,
+              "processor count must be in [1, 64]");
+    _memory = std::make_unique<SharedMemory>(config.memWords);
+    _bus = std::make_unique<SharedBus>(config.busServiceCycles,
+                                       config.busKind);
+    _network = std::make_unique<barrier::BarrierNetwork>(
+        config.numProcessors, config.syncLatency);
+
+    _programs.resize(static_cast<std::size_t>(config.numProcessors));
+    for (auto &prog : _programs)
+        prog.finalize();
+
+    RandomSource master(config.seed);
+    for (int p = 0; p < config.numProcessors; ++p) {
+        _caches.push_back(std::make_unique<DataCache>(config.cache));
+        _ports.push_back(std::make_unique<Port>(*this, p));
+        _processors.push_back(std::make_unique<Processor>(
+            p, _programs[static_cast<std::size_t>(p)], _network->unit(p),
+            *_ports.back(), config.pipelineDepth, config.stall,
+            master.split(), config.jitterMean, config.interruptPeriod,
+            config.isrEntry, config.issueWidth));
+        if (config.recordSyncEvents)
+            _processors.back()->setObserver(this);
+    }
+    if (config.traceBarrierStates) {
+        _trace = std::make_unique<BarrierTrace>(config.numProcessors);
+    }
+    _lastArrival.assign(static_cast<std::size_t>(config.numProcessors), 0);
+    _openSyncRecord.assign(static_cast<std::size_t>(config.numProcessors),
+                           std::numeric_limits<std::size_t>::max());
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::loadProgram(int p, isa::Program program)
+{
+    FB_ASSERT(p >= 0 && p < numProcessors(), "bad processor index");
+    FB_ASSERT(program.finalized(), "program must be finalized");
+    FB_ASSERT(_now == 0, "cannot load programs after run()");
+    _programs[static_cast<std::size_t>(p)] = std::move(program);
+}
+
+void
+Machine::loadAllPrograms(const isa::Program &program)
+{
+    for (int p = 0; p < numProcessors(); ++p)
+        loadProgram(p, program);
+}
+
+Processor &
+Machine::processor(int p)
+{
+    FB_ASSERT(p >= 0 && p < numProcessors(), "bad processor index");
+    return *_processors[static_cast<std::size_t>(p)];
+}
+
+void
+Machine::onArrive(int p, std::uint64_t cycle)
+{
+    _lastArrival[static_cast<std::size_t>(p)] = cycle;
+}
+
+void
+Machine::onCross(int p, std::uint64_t cycle)
+{
+    std::size_t rec = _openSyncRecord[static_cast<std::size_t>(p)];
+    if (rec == std::numeric_limits<std::size_t>::max())
+        return;
+    SyncRecord &record = _syncRecords[rec];
+    for (std::size_t i = 0; i < record.members.size(); ++i) {
+        if (record.members[i] == p) {
+            record.crossings[i] = cycle;
+            break;
+        }
+    }
+    _openSyncRecord[static_cast<std::size_t>(p)] =
+        std::numeric_limits<std::size_t>::max();
+}
+
+RunResult
+Machine::run()
+{
+    RunResult result;
+    const int n = numProcessors();
+
+    std::vector<std::uint64_t> episodes_before(static_cast<std::size_t>(n));
+
+    for (;;) {
+        bool all_halted = true;
+        bool any_progress = false;
+
+        for (int p = 0; p < n; ++p) {
+            TickResult tr =
+                _processors[static_cast<std::size_t>(p)]->tick(_now);
+            if (tr != TickResult::Halted)
+                all_halted = false;
+            if (tr == TickResult::Progress)
+                any_progress = true;
+        }
+
+        if (_config.recordSyncEvents) {
+            for (int p = 0; p < n; ++p) {
+                episodes_before[static_cast<std::size_t>(p)] =
+                    _network->unit(p).episodes();
+            }
+        }
+
+        int delivered = _network->evaluate(_now);
+        if (delivered > 0 || _network->deliveryPending())
+            any_progress = true;
+
+        if (_config.recordSyncEvents && delivered > 0) {
+            // Group the newly synchronized processors by tag; each
+            // group is one completed barrier episode.
+            std::map<std::uint32_t, std::vector<int>> groups;
+            for (int p = 0; p < n; ++p) {
+                if (_network->unit(p).episodes() >
+                    episodes_before[static_cast<std::size_t>(p)]) {
+                    groups[_network->unit(p).tag()].push_back(p);
+                }
+            }
+            for (auto &[tag, members] : groups) {
+                SyncRecord record;
+                record.cycle = _now;
+                record.members = members;
+                for (int m : members) {
+                    record.arrivals.push_back(
+                        _lastArrival[static_cast<std::size_t>(m)]);
+                    record.crossings.push_back(
+                        std::numeric_limits<std::uint64_t>::max());
+                }
+                _syncRecords.push_back(std::move(record));
+                for (int m : members) {
+                    _openSyncRecord[static_cast<std::size_t>(m)] =
+                        _syncRecords.size() - 1;
+                }
+            }
+        }
+
+        if (_trace) {
+            std::vector<barrier::BarrierState> states;
+            std::vector<bool> halted_flags;
+            for (int p = 0; p < n; ++p) {
+                states.push_back(_network->unit(p).state());
+                halted_flags.push_back(
+                    _processors[static_cast<std::size_t>(p)]->halted());
+            }
+            _trace->record(states, halted_flags, delivered > 0);
+        }
+
+        if (all_halted)
+            break;
+
+        if (!any_progress) {
+            result.deadlocked = true;
+            result.deadlockInfo = describeState();
+            break;
+        }
+
+        ++_now;
+        if (_now >= _config.maxCycles) {
+            result.timedOut = true;
+            break;
+        }
+    }
+
+    result.cycles = _now;
+    result.syncEvents = _network->syncEvents();
+    result.busRequests = _bus->requests();
+    result.busQueueDelay = _bus->totalQueueDelay();
+    result.memAccesses = _memory->totalAccesses();
+    result.hotSpotAccesses = _memory->hotSpotAccesses();
+
+    for (int p = 0; p < n; ++p) {
+        const auto &proc = *_processors[static_cast<std::size_t>(p)];
+        const auto &unit = _network->unit(p);
+        const auto &cache = *_caches[static_cast<std::size_t>(p)];
+        ProcessorStats ps;
+        ps.instructions = proc.instructions();
+        ps.barrierWaitCycles = proc.barrierWaitCycles();
+        ps.contextSwitchCycles = proc.contextSwitchCycles();
+        ps.contextSwitches = proc.contextSwitches();
+        ps.interruptsTaken = proc.interruptsTaken();
+        ps.barrierEpisodes = unit.episodes();
+        ps.stalledEpisodes = unit.stalledEpisodes();
+        ps.stallCycles = unit.stallCycles();
+        ps.cacheHits = cache.hits();
+        ps.cacheMisses = cache.misses();
+        result.perProcessor.push_back(ps);
+    }
+    return result;
+}
+
+std::string
+Machine::checkSafetyProperty() const
+{
+    for (std::size_t r = 0; r < _syncRecords.size(); ++r) {
+        const SyncRecord &record = _syncRecords[r];
+        std::uint64_t latest_arrival = 0;
+        for (auto a : record.arrivals)
+            latest_arrival = std::max(latest_arrival, a);
+        for (std::size_t i = 0; i < record.members.size(); ++i) {
+            std::uint64_t crossing = record.crossings[i];
+            if (crossing == std::numeric_limits<std::uint64_t>::max())
+                continue;  // never crossed (halted inside the region)
+            if (crossing <= latest_arrival) {
+                std::ostringstream oss;
+                oss << "safety violation in sync record " << r
+                    << ": processor " << record.members[i]
+                    << " crossed at cycle " << crossing
+                    << " but the latest arrival was at cycle "
+                    << latest_arrival;
+                return oss.str();
+            }
+        }
+    }
+    return "";
+}
+
+std::string
+Machine::describeState() const
+{
+    std::ostringstream oss;
+    for (int p = 0; p < numProcessors(); ++p) {
+        const auto &proc = *_processors[static_cast<std::size_t>(p)];
+        const auto &unit = _network->unit(p);
+        oss << "cpu" << p << ": pc=" << proc.pc()
+            << " halted=" << (proc.halted() ? "yes" : "no")
+            << " barrier=" << barrier::barrierStateName(unit.state())
+            << " tag=" << unit.tag() << " mask=" << unit.mask().toString()
+            << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace fb::sim

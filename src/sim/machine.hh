@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The simulated multiprocessor: processors, caches, bus, shared
+ * memory, and the fuzzy-barrier network, advanced on a common clock.
+ */
+
+#ifndef FB_SIM_MACHINE_HH
+#define FB_SIM_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "barrier/network.hh"
+#include "isa/program.hh"
+#include "sim/bus.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/memory.hh"
+#include "sim/processor.hh"
+#include "sim/trace.hh"
+
+namespace fb::sim
+{
+
+/** Everything measured about one simulated processor. */
+struct ProcessorStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t barrierWaitCycles = 0;
+    std::uint64_t contextSwitchCycles = 0;
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t interruptsTaken = 0;
+    std::uint64_t barrierEpisodes = 0;
+    std::uint64_t stalledEpisodes = 0;
+    std::uint64_t stallCycles = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+};
+
+/** Result of a whole-machine run. */
+struct RunResult
+{
+    std::uint64_t cycles = 0;          ///< total cycles simulated
+    bool deadlocked = false;           ///< run ended in barrier deadlock
+    bool timedOut = false;             ///< hit the maxCycles guard
+    std::string deadlockInfo;          ///< per-processor state dump
+    std::vector<ProcessorStats> perProcessor;
+    std::uint64_t syncEvents = 0;      ///< completed barrier episodes
+    std::uint64_t busRequests = 0;
+    std::uint64_t busQueueDelay = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t hotSpotAccesses = 0;
+
+    /** Sum of barrierWaitCycles over all processors. */
+    std::uint64_t totalBarrierWait() const;
+
+    /** Max barrierWaitCycles of any processor. */
+    std::uint64_t maxBarrierWait() const;
+};
+
+/**
+ * A record of one completed synchronization: used by the safety
+ * oracle to verify the paper's correctness condition (section 2):
+ * crossing may only happen after every member has arrived.
+ */
+struct SyncRecord
+{
+    std::uint64_t cycle;                 ///< cycle sync was delivered
+    std::vector<int> members;            ///< processors that synced
+    std::vector<std::uint64_t> arrivals; ///< per-member arrival cycles
+    std::vector<std::uint64_t> crossings;///< per-member crossing cycles
+                                         ///< (UINT64_MAX = never crossed)
+};
+
+/**
+ * The whole machine. Construct, load one Program per processor,
+ * optionally poke memory / registers, then run().
+ */
+class Machine : public ExecutionObserver
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+    ~Machine() override;
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Load @p program into processor @p p. Must precede run(). */
+    void loadProgram(int p, isa::Program program);
+
+    /** Load the same program into every processor. */
+    void loadAllPrograms(const isa::Program &program);
+
+    /** Access shared memory for setup/inspection. */
+    SharedMemory &memory() { return *_memory; }
+
+    /** Access processor @p p (register setup, inspection). */
+    Processor &processor(int p);
+
+    /** Access the barrier network (mask/tag setup from the host). */
+    barrier::BarrierNetwork &network() { return *_network; }
+
+    /** Number of processors. */
+    int numProcessors() const { return _config.numProcessors; }
+
+    /**
+     * Run until every processor halts, a deadlock is detected, or the
+     * cycle guard trips.
+     */
+    RunResult run();
+
+    /** Barrier-state trace (non-null only when traceBarrierStates). */
+    const BarrierTrace *trace() const { return _trace.get(); }
+
+    /** Sync records collected during run() (if enabled in config). */
+    const std::vector<SyncRecord> &syncRecords() const
+    {
+        return _syncRecords;
+    }
+
+    /**
+     * Verify the fuzzy-barrier safety condition over the collected
+     * sync records: every member's crossing cycle is strictly greater
+     * than every member's arrival cycle. Returns a description of the
+     * first violation or an empty string when the property holds.
+     */
+    std::string checkSafetyProperty() const;
+
+    // ExecutionObserver interface
+    void onArrive(int p, std::uint64_t cycle) override;
+    void onCross(int p, std::uint64_t cycle) override;
+
+  private:
+    class Port;
+
+    std::string describeState() const;
+
+    MachineConfig _config;
+    std::unique_ptr<SharedMemory> _memory;
+    std::unique_ptr<SharedBus> _bus;
+    std::unique_ptr<barrier::BarrierNetwork> _network;
+    std::vector<std::unique_ptr<DataCache>> _caches;
+    std::vector<std::unique_ptr<Port>> _ports;
+    std::vector<isa::Program> _programs;
+    std::vector<std::unique_ptr<Processor>> _processors;
+    std::uint64_t _now = 0;
+    std::unique_ptr<BarrierTrace> _trace;
+
+    // Oracle bookkeeping.
+    std::vector<std::uint64_t> _lastArrival;
+    std::vector<std::size_t> _openSyncRecord;
+    std::vector<SyncRecord> _syncRecords;
+};
+
+} // namespace fb::sim
+
+#endif // FB_SIM_MACHINE_HH

@@ -1,0 +1,85 @@
+#include "sim/memory.hh"
+
+#include "support/logging.hh"
+
+namespace fb::sim
+{
+
+SharedMemory::SharedMemory(std::size_t words) : _words(words, 0)
+{
+    FB_ASSERT(words > 0, "memory must have at least one word");
+}
+
+std::int64_t
+SharedMemory::read(std::size_t addr)
+{
+    FB_ASSERT(addr < _words.size(), "load from out-of-range address "
+                                        << addr);
+    touch(addr);
+    return _words[addr];
+}
+
+void
+SharedMemory::write(std::size_t addr, std::int64_t value)
+{
+    FB_ASSERT(addr < _words.size(), "store to out-of-range address "
+                                        << addr);
+    touch(addr);
+    _words[addr] = value;
+}
+
+std::int64_t
+SharedMemory::peek(std::size_t addr) const
+{
+    FB_ASSERT(addr < _words.size(), "peek of out-of-range address "
+                                        << addr);
+    return _words[addr];
+}
+
+void
+SharedMemory::poke(std::size_t addr, std::int64_t value)
+{
+    FB_ASSERT(addr < _words.size(), "poke of out-of-range address "
+                                        << addr);
+    _words[addr] = value;
+}
+
+std::uint64_t
+SharedMemory::hotSpotAccesses() const
+{
+    std::uint64_t best = 0;
+    for (const auto &[addr, count] : _accessCounts)
+        if (count > best)
+            best = count;
+    return best;
+}
+
+std::size_t
+SharedMemory::hotSpotAddress() const
+{
+    std::size_t best_addr = 0;
+    std::uint64_t best = 0;
+    for (const auto &[addr, count] : _accessCounts) {
+        if (count > best) {
+            best = count;
+            best_addr = addr;
+        }
+    }
+    return best_addr;
+}
+
+void
+SharedMemory::resetStats()
+{
+    _accessCounts.clear();
+    _totalAccesses = 0;
+}
+
+void
+SharedMemory::touch(std::size_t addr)
+{
+    ++_totalAccesses;
+    ++_accessCounts[addr];
+}
+
+} // namespace fb::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Flat shared word-addressed memory with hot-spot accounting.
+ */
+
+#ifndef FB_SIM_MEMORY_HH
+#define FB_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fb::sim
+{
+
+/**
+ * The shared memory of the simulated multiprocessor.
+ *
+ * Addresses are word indices (one word = one int64). Access counts
+ * per word are kept so experiment E8 can report hot-spot traffic: a
+ * software barrier hammers a single flag word, while the hardware
+ * fuzzy barrier performs no shared accesses at all.
+ */
+class SharedMemory
+{
+  public:
+    /** Construct with @p words words, zero initialized. */
+    explicit SharedMemory(std::size_t words);
+
+    /** Size in words. */
+    std::size_t size() const { return _words.size(); }
+
+    /** Read the word at @p addr. */
+    std::int64_t read(std::size_t addr);
+
+    /** Write the word at @p addr. */
+    void write(std::size_t addr, std::int64_t value);
+
+    /** Read without touching access statistics (host-side inspection). */
+    std::int64_t peek(std::size_t addr) const;
+
+    /** Write without touching access statistics (host-side setup). */
+    void poke(std::size_t addr, std::int64_t value);
+
+    /** Total simulated accesses. */
+    std::uint64_t totalAccesses() const { return _totalAccesses; }
+
+    /** Highest access count of any single word (the hot spot). */
+    std::uint64_t hotSpotAccesses() const;
+
+    /** Address of the most-accessed word (0 if none). */
+    std::size_t hotSpotAddress() const;
+
+    /** Forget access statistics, keep contents. */
+    void resetStats();
+
+  private:
+    void touch(std::size_t addr);
+
+    std::vector<std::int64_t> _words;
+    std::unordered_map<std::size_t, std::uint64_t> _accessCounts;
+    std::uint64_t _totalAccesses = 0;
+};
+
+} // namespace fb::sim
+
+#endif // FB_SIM_MEMORY_HH

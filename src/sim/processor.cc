@@ -1,0 +1,487 @@
+#include "sim/processor.hh"
+
+#include "support/logging.hh"
+
+namespace fb::sim
+{
+
+using isa::Instruction;
+using isa::Opcode;
+
+Processor::Processor(int id, const isa::Program &program,
+                     barrier::BarrierUnit &unit, MemoryPort &mem,
+                     int pipeline_depth, StallModel stall,
+                     RandomSource jitter, double jitter_mean,
+                     std::uint64_t interrupt_period,
+                     std::int64_t isr_entry, int issue_width)
+    : _id(id), _program(program), _unit(unit), _mem(mem),
+      _pipelineDepth(pipeline_depth), _stall(stall), _jitter(jitter),
+      _jitterMean(jitter_mean), _interruptPeriod(interrupt_period),
+      _isrEntry(isr_entry), _issueWidth(issue_width),
+      _nextInterrupt(interrupt_period)
+{
+    FB_ASSERT(pipeline_depth >= 1, "pipeline depth must be >= 1");
+    FB_ASSERT(issue_width >= 1, "issue width must be >= 1");
+    FB_ASSERT(program.finalized(), "program must be finalized");
+    FB_ASSERT(interrupt_period == 0 || isr_entry >= 0,
+              "interrupts enabled but no ISR entry point");
+}
+
+bool
+Processor::bundleable(const isa::Instruction &instr)
+{
+    switch (instr.op) {
+      case Opcode::ADD:
+      case Opcode::SUB:
+      case Opcode::MUL:
+      case Opcode::DIV:
+      case Opcode::AND:
+      case Opcode::OR:
+      case Opcode::XOR:
+      case Opcode::SLT:
+      case Opcode::SHL:
+      case Opcode::SHR:
+      case Opcode::ADDI:
+      case Opcode::MULI:
+      case Opcode::SLTI:
+      case Opcode::LI:
+      case Opcode::MOV:
+      case Opcode::NOP:
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::JMP:
+        return true;
+      default:
+        // Memory ops (single port), barrier control, linkage, and
+        // HALT issue alone.
+        return false;
+    }
+}
+
+bool
+Processor::maybeInterrupt(std::uint64_t now)
+{
+    if (_interruptPeriod == 0 || _inIsr || now < _nextInterrupt)
+        return false;
+    if (static_cast<std::size_t>(_isrEntry) >= _program.size())
+        return false;
+    // Vector to the service routine. The ISR runs outside the barrier
+    // region structure: no arrivals, no crossing checks, and the
+    // barrier unit's state is left untouched until IRET.
+    _savedPc = _pc;
+    _pc = static_cast<std::size_t>(_isrEntry);
+    _inIsr = true;
+    _nextInterrupt += _interruptPeriod;
+    ++_interruptsTaken;
+    return true;
+}
+
+std::int64_t
+Processor::reg(int idx) const
+{
+    FB_ASSERT(idx >= 0 && idx < isa::numRegisters, "bad register");
+    return idx == 0 ? 0 : _regs[static_cast<std::size_t>(idx)];
+}
+
+void
+Processor::setReg(int idx, std::int64_t value)
+{
+    FB_ASSERT(idx > 0 && idx < isa::numRegisters, "bad register");
+    _regs[static_cast<std::size_t>(idx)] = value;
+}
+
+void
+Processor::maybeArrive(std::uint64_t now)
+{
+    if (_arrivePending && now >= _arriveCycle) {
+        _arrivePending = false;
+        _unit.arrive();
+        if (_observer)
+            _observer->onArrive(_id, now);
+    }
+}
+
+TickResult
+Processor::tick(std::uint64_t now)
+{
+    if (_halted)
+        return TickResult::Halted;
+
+    maybeArrive(now);
+
+    switch (_state) {
+      case CoreState::Running:
+        if (_busyCycles > 0) {
+            --_busyCycles;
+            return TickResult::Progress;
+        }
+        maybeInterrupt(now);
+        return issueBundle(now);
+
+      case CoreState::DrainWait:
+        // Waiting for the pipeline to drain so readiness fires; the
+        // arrival then leads to the normal stall path. This is a
+        // bounded wait on the core's own pipeline — report Progress,
+        // not BarrierWait, or the machine would misdiagnose deadlock
+        // while the drain clock is still running.
+        if (!_arrivePending) {
+            _state = CoreState::Running;
+            return issue(now);
+        }
+        ++_barrierWaitCycles;
+        return TickResult::Progress;
+
+      case CoreState::HwStalled:
+        if (_unit.mayCross()) {
+            _state = CoreState::Running;
+            return issue(now);
+        }
+        // A stalled processor can still service interrupts — useful
+        // work overlapping the wait (section 9). After IRET the
+        // crossing check naturally re-evaluates.
+        if (maybeInterrupt(now)) {
+            _state = CoreState::Running;
+            return issue(now);
+        }
+        _unit.tickStalled();
+        ++_barrierWaitCycles;
+        return TickResult::BarrierWait;
+
+      case CoreState::SwSaving:
+        ++_barrierWaitCycles;
+        ++_contextSwitchCycles;
+        if (_busyCycles > 0) {
+            --_busyCycles;
+            return TickResult::Progress;
+        }
+        _state = CoreState::SwSuspended;
+        [[fallthrough]];
+
+      case CoreState::SwSuspended:
+        if (_unit.mayCross()) {
+            _state = CoreState::SwRestoring;
+            _busyCycles = _stall.restoreCycles;
+            ++_barrierWaitCycles;
+            ++_contextSwitchCycles;
+            return TickResult::Progress;
+        }
+        _unit.tickStalled();
+        ++_barrierWaitCycles;
+        return TickResult::BarrierWait;
+
+      case CoreState::SwRestoring:
+        if (_busyCycles > 0) {
+            --_busyCycles;
+            ++_barrierWaitCycles;
+            ++_contextSwitchCycles;
+            return TickResult::Progress;
+        }
+        _state = CoreState::Running;
+        return issue(now);
+    }
+    panic("unreachable core state");
+}
+
+TickResult
+Processor::beginStall(std::uint64_t now)
+{
+    _unit.noteStalled();
+    if (_stall.kind == StallKind::Hardware) {
+        _state = CoreState::HwStalled;
+        _unit.tickStalled();
+        ++_barrierWaitCycles;
+        return TickResult::BarrierWait;
+    }
+    // Software: the task's context is saved so the OS can run
+    // something else; after synchronization it must be restored.
+    ++_contextSwitches;
+    _state = CoreState::SwSaving;
+    _busyCycles = _stall.saveCycles;
+    ++_barrierWaitCycles;
+    ++_contextSwitchCycles;
+    (void)now;
+    return TickResult::Progress;
+}
+
+TickResult
+Processor::issueBundle(std::uint64_t now)
+{
+    if (_issueWidth == 1)
+        return issue(now);
+
+    // VLIW-style multi-issue: grab up to issueWidth consecutive
+    // instructions with no intra-bundle register dependences, all in
+    // the same region, at most one control transfer (which closes the
+    // bundle). The bundle occupies the core for the longest slot.
+    std::uint32_t bundle_cost = 0;
+    bool wrote[isa::numRegisters] = {};
+    TickResult result = TickResult::Progress;
+
+    for (int slot = 0; slot < _issueWidth; ++slot) {
+        if (_halted || _pc >= _program.size()) {
+            if (slot == 0)
+                return issue(now);  // reports Halted properly
+            break;
+        }
+        const Instruction &next = _program.at(_pc);
+        if (slot > 0) {
+            if (!bundleable(next))
+                break;
+            const Instruction &first_like = next;
+            // A bundle never spans a region boundary.
+            if (first_like.inRegion != _issueEffRegion)
+                break;
+            // Register hazards against earlier slots.
+            bool hazard = false;
+            auto touches = [&](int r) {
+                return r != 0 && wrote[static_cast<std::size_t>(r)];
+            };
+            switch (isa::operandKind(next.op)) {
+              case isa::OperandKind::RRR:
+                hazard = touches(next.rs1) || touches(next.rs2) ||
+                         touches(next.rd);
+                break;
+              case isa::OperandKind::RRI:
+              case isa::OperandKind::RR:
+                hazard = touches(next.rs1) || touches(next.rd);
+                break;
+              case isa::OperandKind::RI:
+                hazard = touches(next.rd);
+                break;
+              case isa::OperandKind::BranchRR:
+                hazard = touches(next.rs1) || touches(next.rs2);
+                break;
+              case isa::OperandKind::BranchNone:
+                hazard = false;
+                break;
+              default:
+                hazard = true;  // not bundleable anyway
+                break;
+            }
+            if (hazard)
+                break;
+        }
+
+        std::size_t expected_next = _pc + 1;
+        bool was_branch = isa::isBranch(next.op);
+        int dest = next.rd;
+
+        result = issue(now);
+        if (result != TickResult::Progress)
+            return result;  // stall/halt; earlier slots already ran
+        bundle_cost = std::max(bundle_cost, _lastIssueCost);
+        if (dest != 0 && !was_branch)
+            wrote[static_cast<std::size_t>(dest)] = true;
+        // A taken control transfer closes the bundle.
+        if (_pc != expected_next)
+            break;
+        // Marker/linkage/memory effects never occur past slot 0 by
+        // construction; slot 0 with such an op still closes here.
+        if (slot == 0 && !bundleable(next))
+            break;
+    }
+
+    _busyCycles = bundle_cost > 0 ? bundle_cost - 1 : 0;
+    return result;
+}
+
+TickResult
+Processor::issue(std::uint64_t now)
+{
+    if (_pc >= _program.size()) {
+        _halted = true;
+        return TickResult::Halted;
+    }
+
+    const Instruction &instr = _program.at(_pc);
+    const bool inherited = !_callStack.empty() && _callStack.back();
+    const bool effective_region =
+        !_inIsr && (instr.inRegion || _markerRegion ||
+                    instr.op == Opcode::BRENTER || inherited);
+    _issueEffRegion = effective_region;
+
+    if (_inIsr) {
+        // Service routines bypass the barrier structure entirely.
+    } else if (effective_region) {
+        // Entering (or continuing in) a barrier region.
+        if (_unit.participating() &&
+            _unit.state() == barrier::BarrierState::NonBarrier &&
+            !_arrivePending) {
+            // Readiness fires when the preceding non-barrier region
+            // has drained from the pipeline (section 2: entering the
+            // region is not the same as exiting the preceding one).
+            _arrivePending = true;
+            _arriveCycle = std::max(now, _lastNonRegionComplete);
+            maybeArrive(now);
+        }
+    } else {
+        // About to execute a non-region instruction. If an episode is
+        // armed (or arming), the barrier must have synchronized first.
+        // (Never reached while in an ISR.)
+        if (_arrivePending) {
+            _state = CoreState::DrainWait;
+            ++_barrierWaitCycles;
+            return TickResult::Progress;
+        }
+        if (_unit.participating()) {
+            auto st = _unit.state();
+            if (st == barrier::BarrierState::Ready ||
+                st == barrier::BarrierState::Stalled) {
+                return beginStall(now);
+            }
+            if (st == barrier::BarrierState::Synced) {
+                _unit.cross();
+                if (_observer)
+                    _observer->onCross(_id, now);
+            }
+        }
+    }
+
+    std::uint32_t cost = executeAt(now);
+    _lastIssueCost = cost;
+    ++_instructions;
+    _busyCycles = cost > 0 ? cost - 1 : 0;
+
+    // Track when this instruction leaves the pipeline, for readiness:
+    // the last execute cycle is now + cost - 1, and the instruction
+    // drains pipelineDepth - 1 cycles later.
+    if (!effective_region) {
+        _lastNonRegionComplete =
+            now + cost - 1 + static_cast<std::uint64_t>(_pipelineDepth) - 1;
+    }
+    return TickResult::Progress;
+}
+
+std::uint32_t
+Processor::executeAt(std::uint64_t now)
+{
+    const Instruction &instr = _program.at(_pc);
+    std::uint32_t cost = static_cast<std::uint32_t>(baseLatency(instr.op));
+    std::size_t next_pc = _pc + 1;
+
+    auto rs1 = [&] { return reg(instr.rs1); };
+    auto rs2 = [&] { return reg(instr.rs2); };
+    auto write_rd = [&](std::int64_t v) {
+        if (instr.rd != 0)
+            _regs[static_cast<std::size_t>(instr.rd)] = v;
+    };
+
+    switch (instr.op) {
+      case Opcode::ADD: write_rd(rs1() + rs2()); break;
+      case Opcode::SUB: write_rd(rs1() - rs2()); break;
+      case Opcode::MUL: write_rd(rs1() * rs2()); break;
+      case Opcode::DIV: {
+        FB_ASSERT(rs2() != 0, "division by zero at pc " << _pc
+                                                        << " on cpu " << _id);
+        write_rd(rs1() / rs2());
+        break;
+      }
+      case Opcode::AND: write_rd(rs1() & rs2()); break;
+      case Opcode::OR: write_rd(rs1() | rs2()); break;
+      case Opcode::XOR: write_rd(rs1() ^ rs2()); break;
+      case Opcode::SLT: write_rd(rs1() < rs2() ? 1 : 0); break;
+      case Opcode::SHL: write_rd(rs1() << (rs2() & 63)); break;
+      case Opcode::SHR: write_rd(rs1() >> (rs2() & 63)); break;
+      case Opcode::ADDI: write_rd(rs1() + instr.imm); break;
+      case Opcode::MULI: write_rd(rs1() * instr.imm); break;
+      case Opcode::SLTI: write_rd(rs1() < instr.imm ? 1 : 0); break;
+      case Opcode::LI: write_rd(instr.imm); break;
+      case Opcode::MOV: write_rd(rs1()); break;
+
+      case Opcode::LD: {
+        std::size_t addr = static_cast<std::size_t>(rs1() + instr.imm);
+        std::uint32_t mem_cycles = 0;
+        write_rd(_mem.read(addr, now, mem_cycles));
+        cost += mem_cycles;
+        break;
+      }
+      case Opcode::ST: {
+        std::size_t addr = static_cast<std::size_t>(rs1() + instr.imm);
+        std::uint32_t mem_cycles = 0;
+        _mem.write(addr, rs2(), now, mem_cycles);
+        cost += mem_cycles;
+        break;
+      }
+      case Opcode::FAA: {
+        // Atomic within a cycle: processors are ticked sequentially,
+        // so the read-modify-write cannot interleave.
+        std::size_t addr = static_cast<std::size_t>(rs1() + instr.imm);
+        std::uint32_t read_cycles = 0;
+        std::int64_t old = _mem.read(addr, now, read_cycles);
+        std::uint32_t write_cycles = 0;
+        _mem.write(addr, old + rs2(), now, write_cycles);
+        write_rd(old);
+        cost += read_cycles;
+        break;
+      }
+
+      case Opcode::BEQ:
+        if (rs1() == rs2())
+            next_pc = static_cast<std::size_t>(instr.imm);
+        break;
+      case Opcode::BNE:
+        if (rs1() != rs2())
+            next_pc = static_cast<std::size_t>(instr.imm);
+        break;
+      case Opcode::BLT:
+        if (rs1() < rs2())
+            next_pc = static_cast<std::size_t>(instr.imm);
+        break;
+      case Opcode::BGE:
+        if (rs1() >= rs2())
+            next_pc = static_cast<std::size_t>(instr.imm);
+        break;
+      case Opcode::JMP:
+        next_pc = static_cast<std::size_t>(instr.imm);
+        break;
+      case Opcode::CALL:
+        FB_ASSERT(_callStack.size() < 4096,
+                  "call stack overflow on cpu " << _id);
+        write_rd(static_cast<std::int64_t>(_pc + 1));
+        _callStack.push_back(_issueEffRegion);
+        next_pc = static_cast<std::size_t>(instr.imm);
+        break;
+      case Opcode::RET:
+        FB_ASSERT(!_callStack.empty(),
+                  "RET without matching CALL on cpu " << _id);
+        _callStack.pop_back();
+        next_pc = static_cast<std::size_t>(rs1());
+        break;
+      case Opcode::IRET:
+        FB_ASSERT(_inIsr, "IRET outside an interrupt service routine");
+        _inIsr = false;
+        next_pc = _savedPc;
+        break;
+
+      case Opcode::SETTAG:
+        _unit.setTag(static_cast<std::uint32_t>(instr.imm));
+        break;
+      case Opcode::SETMASK:
+        _unit.setMask(static_cast<std::uint64_t>(instr.imm));
+        break;
+      case Opcode::BRENTER:
+        FB_ASSERT(!_inIsr, "region markers are not allowed inside ISRs");
+        _markerRegion = true;
+        break;
+      case Opcode::BREXIT:
+        FB_ASSERT(!_inIsr, "region markers are not allowed inside ISRs");
+        _markerRegion = false;
+        break;
+
+      case Opcode::NOP:
+        break;
+      case Opcode::HALT:
+        _halted = true;
+        break;
+    }
+
+    if (_jitterMean > 0.0)
+        cost += static_cast<std::uint32_t>(_jitter.nextJitter(_jitterMean));
+
+    _pc = next_pc;
+    return cost;
+}
+
+} // namespace fb::sim

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The simulated in-order processor core.
+ */
+
+#ifndef FB_SIM_PROCESSOR_HH
+#define FB_SIM_PROCESSOR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "barrier/unit.hh"
+#include "isa/program.hh"
+#include "sim/config.hh"
+#include "support/random.hh"
+
+namespace fb::sim
+{
+
+/**
+ * Timing interface to the memory hierarchy (cache + bus + DRAM),
+ * implemented by the Machine.
+ */
+class MemoryPort
+{
+  public:
+    virtual ~MemoryPort() = default;
+
+    /** Load a word; @p cycles receives the access latency. */
+    virtual std::int64_t read(std::size_t addr, std::uint64_t now,
+                              std::uint32_t &cycles) = 0;
+
+    /** Store a word; @p cycles receives the access latency. */
+    virtual void write(std::size_t addr, std::int64_t value,
+                       std::uint64_t now, std::uint32_t &cycles) = 0;
+};
+
+/** Observer for barrier-related execution events (safety oracle). */
+class ExecutionObserver
+{
+  public:
+    virtual ~ExecutionObserver() = default;
+
+    /** Processor @p p asserted readiness at @p cycle. */
+    virtual void onArrive(int p, std::uint64_t cycle) = 0;
+
+    /** Processor @p p crossed the barrier (first post-region
+     * non-barrier instruction) at @p cycle. */
+    virtual void onCross(int p, std::uint64_t cycle) = 0;
+};
+
+/** What a core did during one tick. */
+enum class TickResult
+{
+    Halted,      ///< the stream has ended
+    Progress,    ///< executing (busy or issued an instruction)
+    BarrierWait, ///< blocked waiting for barrier synchronization
+};
+
+/**
+ * A scalar in-order core executing one Program.
+ *
+ * Timing model: each instruction occupies the core for its base
+ * latency plus memory-hierarchy latency plus optional random jitter.
+ * The fuzzy-barrier rules from section 2 of the paper are enforced at
+ * issue: a region instruction arms the barrier unit (readiness is
+ * delayed by pipeline drain when pipelineDepth > 1), and a non-region
+ * instruction after an armed region may only issue once the unit has
+ * synchronized — otherwise the core stalls under the configured
+ * StallModel.
+ */
+class Processor
+{
+  public:
+    /**
+     * @param id processor index
+     * @param program finalized instruction stream
+     * @param unit this processor's barrier hardware
+     * @param mem timing port to the memory hierarchy
+     * @param pipeline_depth in-order pipeline depth (>= 1)
+     * @param stall stall cost model
+     * @param jitter per-instruction jitter source
+     * @param jitter_mean mean jitter cycles (0 = none)
+     */
+    Processor(int id, const isa::Program &program,
+              barrier::BarrierUnit &unit, MemoryPort &mem,
+              int pipeline_depth, StallModel stall, RandomSource jitter,
+              double jitter_mean, std::uint64_t interrupt_period = 0,
+              std::int64_t isr_entry = -1, int issue_width = 1);
+
+    /** Install the (optional) execution observer. */
+    void setObserver(ExecutionObserver *observer) { _observer = observer; }
+
+    /** Advance one cycle. */
+    TickResult tick(std::uint64_t now);
+
+    /** True once HALT executed or the stream ran off the end. */
+    bool halted() const { return _halted; }
+
+    /** Processor index. */
+    int id() const { return _id; }
+
+    /** Register file inspection (r0 is always 0). */
+    std::int64_t reg(int idx) const;
+
+    /** Set a register before the run starts (argument passing). */
+    void setReg(int idx, std::int64_t value);
+
+    /** Dynamic instructions executed. */
+    std::uint64_t instructions() const { return _instructions; }
+
+    /** Cycles blocked on barrier synchronization (incl. save/restore). */
+    std::uint64_t barrierWaitCycles() const { return _barrierWaitCycles; }
+
+    /** Cycles spent on context save/restore (software stall model). */
+    std::uint64_t contextSwitchCycles() const
+    {
+        return _contextSwitchCycles;
+    }
+
+    /** Number of context save/restore pairs performed. */
+    std::uint64_t contextSwitches() const { return _contextSwitches; }
+
+    /** Interrupts taken. */
+    std::uint64_t interruptsTaken() const { return _interruptsTaken; }
+
+    /** Current procedure call depth. */
+    std::size_t callDepth() const { return _callStack.size(); }
+
+    /** True while executing an interrupt service routine. */
+    bool inIsr() const { return _inIsr; }
+
+    /** Current program counter (for debugging / deadlock reports). */
+    std::size_t pc() const { return _pc; }
+
+  private:
+    enum class CoreState
+    {
+        Running,      ///< normal execution
+        DrainWait,    ///< pipelined: waiting for readiness drain
+        HwStalled,    ///< hardware stall at region exit
+        SwSaving,     ///< software stall: context save in progress
+        SwSuspended,  ///< software stall: task switched out
+        SwRestoring,  ///< software stall: context restore in progress
+    };
+
+    /** Fire a pending (pipeline-delayed) arrival if due. */
+    void maybeArrive(std::uint64_t now);
+
+    /** Vector to the ISR if a timer interrupt is due. */
+    bool maybeInterrupt(std::uint64_t now);
+
+    /** Issue and execute the instruction at _pc. */
+    TickResult issue(std::uint64_t now);
+
+    /** Issue up to issueWidth independent instructions this cycle. */
+    TickResult issueBundle(std::uint64_t now);
+
+    /** True if @p instr may occupy a non-leading bundle slot. */
+    static bool bundleable(const isa::Instruction &instr);
+
+    /** Begin a barrier-exit stall under the configured model. */
+    TickResult beginStall(std::uint64_t now);
+
+    /** Per-instruction cost beyond the busy countdown already paid. */
+    std::uint32_t executeAt(std::uint64_t now);
+
+    int _id;
+    const isa::Program &_program;
+    barrier::BarrierUnit &_unit;
+    MemoryPort &_mem;
+    int _pipelineDepth;
+    StallModel _stall;
+    RandomSource _jitter;
+    double _jitterMean;
+    std::uint64_t _interruptPeriod;
+    std::int64_t _isrEntry;
+    int _issueWidth;
+    ExecutionObserver *_observer = nullptr;
+
+    std::array<std::int64_t, isa::numRegisters> _regs{};
+    std::size_t _pc = 0;
+    bool _halted = false;
+    CoreState _state = CoreState::Running;
+    std::uint32_t _busyCycles = 0;
+
+    /** Marker-encoding region flag (BRENTER/BREXIT). */
+    bool _markerRegion = false;
+
+    /**
+     * Region status inherited by procedures: each CALL pushes the
+     * call site's effective region flag; instructions execute
+     * in-region while the top of the stack is true (section 9).
+     */
+    std::vector<bool> _callStack;
+
+    /** Effective region flag of the instruction being executed. */
+    bool _issueEffRegion = false;
+
+    /** Cost of the most recently issued instruction (bundling). */
+    std::uint32_t _lastIssueCost = 0;
+
+    /** Interrupt state. */
+    bool _inIsr = false;
+    std::size_t _savedPc = 0;
+    std::uint64_t _nextInterrupt = 0;
+
+    /** Pipelined readiness: cycle at which arrive() fires. */
+    bool _arrivePending = false;
+    std::uint64_t _arriveCycle = 0;
+
+    /** Completion cycle of the last issued non-region instruction. */
+    std::uint64_t _lastNonRegionComplete = 0;
+
+    std::uint64_t _instructions = 0;
+    std::uint64_t _barrierWaitCycles = 0;
+    std::uint64_t _contextSwitchCycles = 0;
+    std::uint64_t _contextSwitches = 0;
+    std::uint64_t _interruptsTaken = 0;
+};
+
+} // namespace fb::sim
+
+#endif // FB_SIM_PROCESSOR_HH

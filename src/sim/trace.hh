@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Barrier-state execution trace and ASCII timeline renderer.
+ *
+ * Records each processor's barrier FSM state every cycle and renders
+ * a Gantt-style timeline — the fastest way to *see* the fuzzy barrier
+ * working: ready processors keep running inside their regions ('r'),
+ * only occasionally degenerating to a stall ('#').
+ */
+
+#ifndef FB_SIM_TRACE_HH
+#define FB_SIM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "barrier/state.hh"
+
+namespace fb::sim
+{
+
+/**
+ * A compact per-cycle record of every processor's barrier state.
+ */
+class BarrierTrace
+{
+  public:
+    /** Symbols used in the rendered timeline. */
+    static constexpr char symNonBarrier = '.';
+    static constexpr char symReady = 'r';
+    static constexpr char symSynced = 's';
+    static constexpr char symStalled = '#';
+    static constexpr char symHalted = ' ';
+
+    explicit BarrierTrace(int num_processors)
+        : _numProcessors(num_processors)
+    {
+    }
+
+    /** Record one cycle's states. @p halted flags dead processors;
+     * @p sync_delivered marks cycles where a group synchronized. */
+    void record(const std::vector<barrier::BarrierState> &states,
+                const std::vector<bool> &halted, bool sync_delivered);
+
+    /** Number of recorded cycles. */
+    std::size_t cycles() const { return _syncMarks.size(); }
+
+    /**
+     * Render the timeline: one row per processor plus a sync-marker
+     * row ('|' where a group synchronized). If the trace is longer
+     * than @p max_width cycles, it is downsampled by taking the
+     * "worst" state in each bucket (stall > ready > synced > rest),
+     * so stalls never disappear from the picture.
+     */
+    std::string render(std::size_t max_width = 100) const;
+
+  private:
+    static char symbolFor(barrier::BarrierState state, bool halted);
+
+    /** Pick the most severe of two symbols for downsampling. */
+    static char worst(char a, char b);
+
+    int _numProcessors;
+    /** _rows[p][cycle] = symbol. */
+    std::vector<std::string> _rows;
+    std::vector<bool> _syncMarks;
+};
+
+} // namespace fb::sim
+
+#endif // FB_SIM_TRACE_HH

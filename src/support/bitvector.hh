@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fixed-capacity dynamic bit vector.
+ *
+ * Used for the per-processor participation masks of the fuzzy barrier
+ * hardware (paper section 6: "the mask for each processor consists of
+ * n-1 bits"). Kept deliberately simple: the simulator never needs more
+ * than a few hundred bits.
+ */
+
+#ifndef FB_SUPPORT_BITVECTOR_HH
+#define FB_SUPPORT_BITVECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fb
+{
+
+/**
+ * A growable vector of bits with set-algebra helpers.
+ */
+class BitVector
+{
+  public:
+    /** Construct with @p size bits, all clear. */
+    explicit BitVector(std::size_t size = 0);
+
+    /** Number of bits. */
+    std::size_t size() const { return _size; }
+
+    /** Set bit @p idx to @p value. */
+    void set(std::size_t idx, bool value = true);
+
+    /** Clear bit @p idx. */
+    void clear(std::size_t idx) { set(idx, false); }
+
+    /** Read bit @p idx. */
+    bool test(std::size_t idx) const;
+
+    /** Set every bit. */
+    void setAll();
+
+    /** Clear every bit. */
+    void clearAll();
+
+    /** Number of set bits. */
+    std::size_t count() const;
+
+    /** True if no bit is set. */
+    bool none() const { return count() == 0; }
+
+    /** True if every bit is set. */
+    bool all() const { return count() == _size; }
+
+    /** True if (this & other) == other, i.e. other is a subset. */
+    bool covers(const BitVector &other) const;
+
+    /** True if this and other share at least one set bit. */
+    bool intersects(const BitVector &other) const;
+
+    /** Bitwise AND (sizes must match). */
+    BitVector operator&(const BitVector &other) const;
+
+    /** Bitwise OR (sizes must match). */
+    BitVector operator|(const BitVector &other) const;
+
+    /** Equality (sizes and bits). */
+    bool operator==(const BitVector &other) const;
+
+    /** Render as a 0/1 string, bit 0 first. */
+    std::string toString() const;
+
+  private:
+    static constexpr std::size_t bitsPerWord = 64;
+
+    std::size_t wordOf(std::size_t idx) const { return idx / bitsPerWord; }
+    std::uint64_t maskOf(std::size_t idx) const
+    {
+        return std::uint64_t{1} << (idx % bitsPerWord);
+    }
+
+    std::size_t _size;
+    std::vector<std::uint64_t> _words;
+};
+
+} // namespace fb
+
+#endif // FB_SUPPORT_BITVECTOR_HH

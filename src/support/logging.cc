@@ -1,0 +1,63 @@
+#include "support/logging.hh"
+
+#include <cstdlib>
+
+namespace fb
+{
+
+Logger &
+Logger::get()
+{
+    static Logger instance;
+    return instance;
+}
+
+const char *
+Logger::prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Quiet:
+        return "error: ";
+      case LogLevel::Warn:
+        return "warn: ";
+      case LogLevel::Info:
+        return "info: ";
+      case LogLevel::Debug:
+        return "debug: ";
+    }
+    return "";
+}
+
+void
+inform(const std::string &msg)
+{
+    Logger::get().log(LogLevel::Info, msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    Logger::get().log(LogLevel::Warn, msg);
+}
+
+void
+debugLog(const std::string &msg)
+{
+    Logger::get().log(LogLevel::Debug, msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+} // namespace fb

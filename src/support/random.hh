@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (cache-miss injection,
+ * branch outcomes, workload jitter) draws from a seeded RandomSource so
+ * that every experiment is bit-reproducible. The generator is
+ * xoshiro256** seeded through SplitMix64, which is both fast and well
+ * distributed; std::mt19937_64 is deliberately avoided because its
+ * state size makes per-processor generators expensive.
+ */
+
+#ifndef FB_SUPPORT_RANDOM_HH
+#define FB_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+
+namespace fb
+{
+
+/** SplitMix64 step, used for seeding. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** generator with convenience distributions.
+ */
+class RandomSource
+{
+  public:
+    /** Construct with a seed; identical seeds yield identical streams. */
+    explicit RandomSource(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool nextBool(double p = 0.5);
+
+    /**
+     * Geometric-ish jitter: returns a non-negative integer with mean
+     * approximately @p mean (0 yields always 0). Used to model
+     * execution drift.
+     */
+    std::uint64_t nextJitter(double mean);
+
+    /** Create an independent child stream (for per-processor use). */
+    RandomSource split();
+
+  private:
+    std::uint64_t _s[4];
+};
+
+} // namespace fb
+
+#endif // FB_SUPPORT_RANDOM_HH

@@ -1,0 +1,70 @@
+#include "support/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+namespace fb
+{
+
+void
+Distribution::sample(double v)
+{
+    ++_count;
+    _sum += v;
+    _sumSq += v * v;
+    if (v < _min)
+        _min = v;
+    if (v > _max)
+        _max = v;
+}
+
+double
+Distribution::mean() const
+{
+    return _count ? _sum / static_cast<double>(_count) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (_count < 2)
+        return 0.0;
+    const double n = static_cast<double>(_count);
+    const double var = (_sumSq - _sum * _sum / n) / n;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    _count = 0;
+    _sum = 0.0;
+    _sumSq = 0.0;
+    _min = std::numeric_limits<double>::infinity();
+    _max = -std::numeric_limits<double>::infinity();
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[name, c] : _counters)
+        c.reset();
+    for (auto &[name, d] : _dists)
+        d.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : _counters)
+        os << _name << "." << name << " = " << c.value() << "\n";
+    for (const auto &[name, d] : _dists) {
+        os << _name << "." << name << " : count=" << d.count()
+           << " mean=" << std::fixed << std::setprecision(2) << d.mean()
+           << " min=" << d.min() << " max=" << d.max()
+           << " stddev=" << d.stddev() << "\n";
+        os.unsetf(std::ios::fixed);
+    }
+}
+
+} // namespace fb

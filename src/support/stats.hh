@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Lightweight statistics package in the spirit of gem5's stats.
+ *
+ * Simulator components register named Counter / Distribution objects in
+ * a StatGroup; experiment drivers dump the group for reporting. All
+ * stats are plain integers/doubles — the simulator is single threaded.
+ */
+
+#ifndef FB_SUPPORT_STATS_HH
+#define FB_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fb
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p n to the counter. */
+    void inc(std::uint64_t n = 1) { _value += n; }
+
+    /** Current value. */
+    std::uint64_t value() const { return _value; }
+
+    /** Reset to zero. */
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/**
+ * Accumulates samples and reports count/min/max/mean/stddev.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Number of samples. */
+    std::uint64_t count() const { return _count; }
+
+    /** Smallest sample (0 when empty). */
+    double min() const { return _count ? _min : 0.0; }
+
+    /** Largest sample (0 when empty). */
+    double max() const { return _count ? _max : 0.0; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Sum of all samples. */
+    double sum() const { return _sum; }
+
+    /** Population standard deviation (0 when < 2 samples). */
+    double stddev() const;
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A named collection of counters and distributions.
+ *
+ * Components ask the group for stats by name; asking twice for the
+ * same name returns the same object, so independent components can
+ * contribute to a shared stat.
+ */
+class StatGroup
+{
+  public:
+    /** Construct with a group name used as a dump prefix. */
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** Get or create the counter called @p name. */
+    Counter &counter(const std::string &name) { return _counters[name]; }
+
+    /** Get or create the distribution called @p name. */
+    Distribution &distribution(const std::string &name)
+    {
+        return _dists[name];
+    }
+
+    /** True if a counter with this name exists already. */
+    bool hasCounter(const std::string &name) const
+    {
+        return _counters.count(name) != 0;
+    }
+
+    /** Group name. */
+    const std::string &name() const { return _name; }
+
+    /** Reset every stat in the group. */
+    void reset();
+
+    /** Write a human-readable dump of all stats to @p os. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string _name;
+    std::map<std::string, Counter> _counters;
+    std::map<std::string, Distribution> _dists;
+};
+
+} // namespace fb
+
+#endif // FB_SUPPORT_STATS_HH

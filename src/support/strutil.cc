@@ -1,0 +1,91 @@
+#include "support/strutil.hh"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+
+namespace fb
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t begin = 0;
+    while (begin < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    std::size_t end = s.size();
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t pos = s.find(delim, start);
+        if (pos == std::string::npos)
+            pos = s.size();
+        std::string field = s.substr(start, pos - start);
+        if (!field.empty())
+            out.push_back(field);
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+parseInt(const std::string &s, std::int64_t &out)
+{
+    if (s.empty())
+        return false;
+    const char *begin = s.c_str();
+    char *end = nullptr;
+    long long v = std::strtoll(begin, &end, 0);
+    if (end != begin + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace fb

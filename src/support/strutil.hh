@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small string helpers shared by the assembler and pretty printers.
+ */
+
+#ifndef FB_SUPPORT_STRUTIL_HH
+#define FB_SUPPORT_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace fb
+{
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Split @p s on @p delim, dropping empty fields. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Split on any whitespace run, dropping empty fields. */
+std::vector<std::string> splitWhitespace(const std::string &s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &s);
+
+/**
+ * Parse a signed integer; returns false on malformed input instead of
+ * throwing so the assembler can produce positioned diagnostics.
+ */
+bool parseInt(const std::string &s, std::int64_t &out);
+
+} // namespace fb
+
+#endif // FB_SUPPORT_STRUTIL_HH

@@ -1,0 +1,121 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace fb
+{
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+Table &
+Table::row()
+{
+    _rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    FB_ASSERT(!_rows.empty(), "cell() before row()");
+    _rows.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(std::int64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return cell(oss.str());
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(_header);
+    for (const auto &r : _rows)
+        widen(r);
+
+    os << "\n== " << _title << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0)
+                os << "  ";
+            if (i == 0)
+                os << std::left << std::setw(static_cast<int>(widths[i]))
+                   << cells[i];
+            else
+                os << std::right << std::setw(static_cast<int>(widths[i]))
+                   << cells[i];
+        }
+        os << "\n";
+    };
+    if (!_header.empty()) {
+        emit(_header);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i > 0 ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : _rows)
+        emit(r);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0)
+                os << ",";
+            const std::string &c = cells[i];
+            if (c.find_first_of(",\"\n") != std::string::npos) {
+                os << '"';
+                for (char ch : c) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << c;
+            }
+        }
+        os << "\n";
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &r : _rows)
+        emit(r);
+}
+
+} // namespace fb

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harnesses to print
+ * paper-style result rows.
+ */
+
+#ifndef FB_SUPPORT_TABLE_HH
+#define FB_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fb
+{
+
+/**
+ * Collects rows of string cells and prints them with aligned columns.
+ *
+ * Numeric convenience overloads format with a fixed number of decimal
+ * places. Columns are right aligned except the first, which is left
+ * aligned (the row label).
+ */
+class Table
+{
+  public:
+    /** Construct with a title printed above the table. */
+    explicit Table(std::string title) : _title(std::move(title)) {}
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Begin a new row. Returns *this for chaining. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+
+    /** Append an integer cell. */
+    Table &cell(std::int64_t value);
+
+    /** Append an unsigned integer cell. */
+    Table &cell(std::uint64_t value);
+
+    /** Append a floating point cell with @p precision decimals. */
+    Table &cell(double value, int precision = 2);
+
+    /** Number of data rows so far. */
+    std::size_t numRows() const { return _rows.size(); }
+
+    /** Print title, header, and all rows to @p os. */
+    void print(std::ostream &os) const;
+
+    /**
+     * Print as CSV (header + rows, no title) for machine-readable
+     * bench output. Cells containing commas or quotes are quoted.
+     */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace fb
+
+#endif // FB_SUPPORT_TABLE_HH

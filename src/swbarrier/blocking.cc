@@ -1,0 +1,52 @@
+#include "swbarrier/blocking.hh"
+
+#include "support/logging.hh"
+
+namespace fb::sw
+{
+
+BlockingBarrier::BlockingBarrier(int num_threads)
+    : _numThreads(num_threads),
+      _arrivedGeneration(static_cast<std::size_t>(num_threads), 0)
+{
+    FB_ASSERT(num_threads > 0, "need at least one thread");
+}
+
+void
+BlockingBarrier::arrive(int tid)
+{
+    FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
+    std::unique_lock<std::mutex> lock(_mutex);
+    _arrivedGeneration[static_cast<std::size_t>(tid)] = _generation;
+    if (++_count == _numThreads) {
+        _count = 0;
+        ++_generation;
+        _blockedThisEpisode = false;
+        _cv.notify_all();
+    }
+}
+
+void
+BlockingBarrier::wait(int tid)
+{
+    FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
+    std::unique_lock<std::mutex> lock(_mutex);
+    std::uint64_t my_generation =
+        _arrivedGeneration[static_cast<std::size_t>(tid)];
+    if (_generation > my_generation)
+        return;  // the episode completed during the barrier region
+    if (!_blockedThisEpisode) {
+        _blockedThisEpisode = true;
+        ++_blockedEpisodes;
+    }
+    _cv.wait(lock, [&] { return _generation > my_generation; });
+}
+
+std::uint64_t
+BlockingBarrier::blockedEpisodes() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _blockedEpisodes;
+}
+
+} // namespace fb::sw

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Blocking (mutex + condition variable) split-phase barrier.
+ */
+
+#ifndef FB_SWBARRIER_BLOCKING_HH
+#define FB_SWBARRIER_BLOCKING_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "swbarrier/split_barrier.hh"
+
+namespace fb::sw
+{
+
+/**
+ * The Encore-library style of barrier: a waiting task blocks in the
+ * kernel instead of spinning, paying a context switch — the very cost
+ * the paper's section 8 measures ("mainly due to context saves and
+ * restores for the tasks that must be stalled"). On an oversubscribed
+ * host this is the well-behaved baseline; the fuzzy arrive/wait split
+ * shrinks the window in which the block can happen at all.
+ */
+class BlockingBarrier : public SplitBarrier
+{
+  public:
+    explicit BlockingBarrier(int num_threads);
+
+    int numThreads() const override { return _numThreads; }
+    void arrive(int tid) override;
+    void wait(int tid) override;
+    const char *name() const override { return "blocking"; }
+
+    /** Episodes in which at least one thread actually blocked. */
+    std::uint64_t blockedEpisodes() const;
+
+  private:
+    int _numThreads;
+    mutable std::mutex _mutex;
+    std::condition_variable _cv;
+    int _count = 0;
+    std::uint64_t _generation = 0;
+    std::uint64_t _blockedEpisodes = 0;
+    bool _blockedThisEpisode = false;
+    /** Generation each thread arrived in (split-phase bookkeeping). */
+    std::vector<std::uint64_t> _arrivedGeneration;
+};
+
+} // namespace fb::sw
+
+#endif // FB_SWBARRIER_BLOCKING_HH

@@ -1,0 +1,43 @@
+#include "swbarrier/centralized.hh"
+
+#include "support/logging.hh"
+
+namespace fb::sw
+{
+
+CentralizedBarrier::CentralizedBarrier(int num_threads)
+    : _numThreads(num_threads),
+      _local(static_cast<std::size_t>(num_threads))
+{
+    FB_ASSERT(num_threads > 0, "need at least one thread");
+}
+
+void
+CentralizedBarrier::arrive(int tid)
+{
+    FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
+    LocalSense &ls = _local[static_cast<std::size_t>(tid)];
+    ls.sense = 1 - ls.sense;
+    _sharedAccesses.fetch_add(1, std::memory_order_relaxed);
+    if (_count.fetch_add(1, std::memory_order_acq_rel) ==
+        _numThreads - 1) {
+        // Last arrival releases the episode.
+        _count.store(0, std::memory_order_relaxed);
+        _sharedAccesses.fetch_add(1, std::memory_order_relaxed);
+        _sense.store(ls.sense, std::memory_order_release);
+    }
+}
+
+void
+CentralizedBarrier::wait(int tid)
+{
+    FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
+    const int want = _local[static_cast<std::size_t>(tid)].sense;
+    Backoff backoff;
+    while (_sense.load(std::memory_order_acquire) != want) {
+        _sharedAccesses.fetch_add(1, std::memory_order_relaxed);
+        backoff.pause();
+    }
+}
+
+} // namespace fb::sw

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Centralized sense-reversing barrier with a split-phase interface.
+ */
+
+#ifndef FB_SWBARRIER_CENTRALIZED_HH
+#define FB_SWBARRIER_CENTRALIZED_HH
+
+#include <atomic>
+#include <vector>
+
+#include "swbarrier/split_barrier.hh"
+
+namespace fb::sw
+{
+
+/**
+ * The classic shared-counter barrier the paper criticizes: every
+ * episode performs P atomic read-modify-writes on one counter and all
+ * waiters spin on one sense word — the textbook hot spot. Its cost
+ * grows linearly with the number of processors.
+ *
+ * Split phase: arrive() performs the counter update (announcing
+ * readiness); wait() spins on the sense flag.
+ */
+class CentralizedBarrier : public SplitBarrier
+{
+  public:
+    explicit CentralizedBarrier(int num_threads);
+
+    int numThreads() const override { return _numThreads; }
+    void arrive(int tid) override;
+    void wait(int tid) override;
+    const char *name() const override { return "centralized"; }
+
+    /** Shared-variable accesses performed so far (hot-spot metric). */
+    std::uint64_t sharedAccesses() const
+    {
+        return _sharedAccesses.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct alignas(64) LocalSense
+    {
+        int sense = 0;
+    };
+
+    int _numThreads;
+    std::atomic<int> _count{0};
+    std::atomic<int> _sense{0};
+    std::vector<LocalSense> _local;
+    std::atomic<std::uint64_t> _sharedAccesses{0};
+};
+
+} // namespace fb::sw
+
+#endif // FB_SWBARRIER_CENTRALIZED_HH

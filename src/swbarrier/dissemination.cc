@@ -1,0 +1,76 @@
+#include "swbarrier/dissemination.hh"
+
+#include "support/logging.hh"
+
+namespace fb::sw
+{
+
+namespace
+{
+
+int
+roundsFor(int n)
+{
+    int rounds = 0;
+    int reach = 1;
+    while (reach < n) {
+        reach *= 2;
+        ++rounds;
+    }
+    return rounds;
+}
+
+} // namespace
+
+DisseminationBarrier::DisseminationBarrier(int num_threads)
+    : _numThreads(num_threads), _rounds(roundsFor(num_threads)),
+      _flags(static_cast<std::size_t>(std::max(1, _rounds) * num_threads)),
+      _threads(static_cast<std::size_t>(num_threads))
+{
+    FB_ASSERT(num_threads > 0, "need at least one thread");
+}
+
+void
+DisseminationBarrier::signal(int tid, int round, std::uint64_t epoch)
+{
+    int partner = (tid + (1 << round)) % _numThreads;
+    _flags[static_cast<std::size_t>(round * _numThreads + partner)]
+        .epoch.store(epoch, std::memory_order_release);
+    _sharedAccesses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+DisseminationBarrier::await(int tid, int round, std::uint64_t epoch)
+{
+    auto &flag =
+        _flags[static_cast<std::size_t>(round * _numThreads + tid)];
+    Backoff backoff;
+    while (flag.epoch.load(std::memory_order_acquire) < epoch) {
+        _sharedAccesses.fetch_add(1, std::memory_order_relaxed);
+        backoff.pause();
+    }
+}
+
+void
+DisseminationBarrier::arrive(int tid)
+{
+    FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
+    ThreadState &ts = _threads[static_cast<std::size_t>(tid)];
+    ++ts.epoch;
+    if (_rounds > 0)
+        signal(tid, 0, ts.epoch);
+}
+
+void
+DisseminationBarrier::wait(int tid)
+{
+    FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
+    ThreadState &ts = _threads[static_cast<std::size_t>(tid)];
+    for (int r = 0; r < _rounds; ++r) {
+        if (r > 0)
+            signal(tid, r, ts.epoch);
+        await(tid, r, ts.epoch);
+    }
+}
+
+} // namespace fb::sw

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Dissemination barrier with a split-phase interface.
+ */
+
+#ifndef FB_SWBARRIER_DISSEMINATION_HH
+#define FB_SWBARRIER_DISSEMINATION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "swbarrier/split_barrier.hh"
+
+namespace fb::sw
+{
+
+/**
+ * The logarithmic-cost software barrier the paper cites as the best
+ * software implementation [Yew/Tzeng/Lawrie]: ceil(log2 P) rounds, in
+ * round r thread t signals thread (t + 2^r) mod P and waits for a
+ * signal from (t - 2^r) mod P. No single hot word — every flag has
+ * exactly one writer and one reader.
+ *
+ * Split phase: arrive() publishes the episode's round-0 signal;
+ * wait() runs the remaining rounds. Episode counting (monotonic
+ * epochs) replaces sense reversal so overlapping episodes are safe.
+ */
+class DisseminationBarrier : public SplitBarrier
+{
+  public:
+    explicit DisseminationBarrier(int num_threads);
+
+    int numThreads() const override { return _numThreads; }
+    void arrive(int tid) override;
+    void wait(int tid) override;
+    const char *name() const override { return "dissemination"; }
+
+    /** Shared flag accesses performed so far (hot-spot metric). */
+    std::uint64_t sharedAccesses() const
+    {
+        return _sharedAccesses.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct alignas(64) Flag
+    {
+        std::atomic<std::uint64_t> epoch{0};
+    };
+
+    struct alignas(64) ThreadState
+    {
+        std::uint64_t epoch = 0;
+    };
+
+    /** Signal partner for round @p round. */
+    void signal(int tid, int round, std::uint64_t epoch);
+
+    /** Wait for our round-@p round flag to reach @p epoch. */
+    void await(int tid, int round, std::uint64_t epoch);
+
+    int _numThreads;
+    int _rounds;
+    /** _flags[round * P + tid]: incoming signal for (tid, round). */
+    std::vector<Flag> _flags;
+    std::vector<ThreadState> _threads;
+    std::atomic<std::uint64_t> _sharedAccesses{0};
+};
+
+} // namespace fb::sw
+
+#endif // FB_SWBARRIER_DISSEMINATION_HH

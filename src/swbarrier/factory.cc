@@ -1,0 +1,52 @@
+#include "swbarrier/factory.hh"
+
+#include "support/logging.hh"
+#include "swbarrier/blocking.hh"
+#include "swbarrier/centralized.hh"
+#include "swbarrier/dissemination.hh"
+#include "swbarrier/stdbarrier.hh"
+#include "swbarrier/tree.hh"
+
+namespace fb::sw
+{
+
+std::vector<BarrierKind>
+allBarrierKinds()
+{
+    return {BarrierKind::Centralized, BarrierKind::Tree,
+            BarrierKind::Dissemination, BarrierKind::Std,
+            BarrierKind::Blocking};
+}
+
+const char *
+barrierKindName(BarrierKind kind)
+{
+    switch (kind) {
+      case BarrierKind::Centralized: return "centralized";
+      case BarrierKind::Tree: return "tree";
+      case BarrierKind::Dissemination: return "dissemination";
+      case BarrierKind::Std: return "std::barrier";
+      case BarrierKind::Blocking: return "blocking";
+    }
+    panic("unknown barrier kind");
+}
+
+std::unique_ptr<SplitBarrier>
+makeBarrier(BarrierKind kind, int num_threads)
+{
+    switch (kind) {
+      case BarrierKind::Centralized:
+        return std::make_unique<CentralizedBarrier>(num_threads);
+      case BarrierKind::Tree:
+        return std::make_unique<TreeBarrier>(num_threads);
+      case BarrierKind::Dissemination:
+        return std::make_unique<DisseminationBarrier>(num_threads);
+      case BarrierKind::Std:
+        return std::make_unique<StdBarrierAdapter>(num_threads);
+      case BarrierKind::Blocking:
+        return std::make_unique<BlockingBarrier>(num_threads);
+    }
+    panic("unknown barrier kind");
+}
+
+} // namespace fb::sw

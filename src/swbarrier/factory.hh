@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Factory for the software barrier implementations.
+ */
+
+#ifndef FB_SWBARRIER_FACTORY_HH
+#define FB_SWBARRIER_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "swbarrier/split_barrier.hh"
+
+namespace fb::sw
+{
+
+/** Available software barrier algorithms. */
+enum class BarrierKind
+{
+    Centralized,
+    Tree,
+    Dissemination,
+    Std,
+    Blocking,
+};
+
+/** All kinds, for sweeps. */
+std::vector<BarrierKind> allBarrierKinds();
+
+/** Name of a kind (matches SplitBarrier::name()). */
+const char *barrierKindName(BarrierKind kind);
+
+/** Construct a barrier of the given kind for @p num_threads. */
+std::unique_ptr<SplitBarrier> makeBarrier(BarrierKind kind,
+                                          int num_threads);
+
+} // namespace fb::sw
+
+#endif // FB_SWBARRIER_FACTORY_HH

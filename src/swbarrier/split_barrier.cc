@@ -1,0 +1,28 @@
+#include "swbarrier/split_barrier.hh"
+
+#include <chrono>
+#include <thread>
+
+namespace fb::sw
+{
+
+void
+Backoff::pause()
+{
+    ++_spins;
+    if (_spins < 16) {
+        // Busy spin: cheapest when the partner is about to flip the
+        // flag on another core.
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+    } else if (_spins < 256) {
+        std::this_thread::yield();
+    } else {
+        // Long wait: sleep so an oversubscribed host can run the
+        // threads we are waiting for.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+}
+
+} // namespace fb::sw

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Split-phase (fuzzy) software barrier interface for real threads.
+ *
+ * The paper's section 8 implements the fuzzy barrier in software on an
+ * Encore Multimax: a processor announces readiness when it reaches the
+ * start of its barrier region (arrive) and blocks only at the region's
+ * end (wait). Everything between the two calls is the barrier region.
+ * The classic "point" barrier is the degenerate arrive();wait() pair
+ * with nothing in between.
+ *
+ * This is the same decomposition later standardized as MPI_Ibarrier /
+ * MPI_Wait and C++20 std::barrier::arrive / wait.
+ */
+
+#ifndef FB_SWBARRIER_SPLIT_BARRIER_HH
+#define FB_SWBARRIER_SPLIT_BARRIER_HH
+
+#include <cstdint>
+
+namespace fb::sw
+{
+
+/**
+ * Abstract split-phase barrier over a fixed set of @c numThreads
+ * threads, identified by dense ids 0..numThreads-1.
+ *
+ * Usage per episode, on every thread:
+ *
+ *     bar.arrive(tid);     // end of the preceding non-barrier region
+ *     ... barrier-region work ...
+ *     bar.wait(tid);       // before the next non-barrier region
+ *
+ * arrive() and wait() must strictly alternate per thread.
+ */
+class SplitBarrier
+{
+  public:
+    virtual ~SplitBarrier() = default;
+
+    /** Number of participating threads. */
+    virtual int numThreads() const = 0;
+
+    /** Announce that thread @p tid is ready to synchronize. */
+    virtual void arrive(int tid) = 0;
+
+    /** Block thread @p tid until the episode completes. */
+    virtual void wait(int tid) = 0;
+
+    /** Algorithm name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Point-barrier convenience: arrive and immediately wait. */
+    void
+    synchronize(int tid)
+    {
+        arrive(tid);
+        wait(tid);
+    }
+};
+
+/**
+ * Spin-wait helper shared by the implementations: spins briefly, then
+ * yields to the scheduler (essential on oversubscribed hosts), backing
+ * off further on long waits.
+ */
+class Backoff
+{
+  public:
+    /** One wait iteration. */
+    void pause();
+
+  private:
+    std::uint32_t _spins = 0;
+};
+
+} // namespace fb::sw
+
+#endif // FB_SWBARRIER_SPLIT_BARRIER_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Adapter exposing C++20 std::barrier through the SplitBarrier
+ * interface — the modern standard-library descendant of the fuzzy
+ * barrier's arrive/wait split.
+ */
+
+#ifndef FB_SWBARRIER_STDBARRIER_HH
+#define FB_SWBARRIER_STDBARRIER_HH
+
+#include <barrier>
+#include <optional>
+#include <vector>
+
+#include "support/logging.hh"
+#include "swbarrier/split_barrier.hh"
+
+namespace fb::sw
+{
+
+/**
+ * std::barrier's arrive() returns an arrival token that wait()
+ * consumes — exactly the fuzzy barrier decomposition. The adapter
+ * stores the per-thread token between the two calls.
+ */
+class StdBarrierAdapter : public SplitBarrier
+{
+  public:
+    explicit StdBarrierAdapter(int num_threads)
+        : _numThreads(num_threads), _barrier(num_threads),
+          _tokens(static_cast<std::size_t>(num_threads))
+    {
+        FB_ASSERT(num_threads > 0, "need at least one thread");
+    }
+
+    int numThreads() const override { return _numThreads; }
+
+    void
+    arrive(int tid) override
+    {
+        auto &slot = _tokens[static_cast<std::size_t>(tid)];
+        FB_ASSERT(!slot.token.has_value(), "arrive() twice without wait()");
+        slot.token.emplace(_barrier.arrive());
+    }
+
+    void
+    wait(int tid) override
+    {
+        auto &slot = _tokens[static_cast<std::size_t>(tid)];
+        FB_ASSERT(slot.token.has_value(), "wait() without arrive()");
+        _barrier.wait(std::move(*slot.token));
+        slot.token.reset();
+    }
+
+    const char *name() const override { return "std::barrier"; }
+
+  private:
+    struct alignas(64) TokenSlot
+    {
+        std::optional<std::barrier<>::arrival_token> token;
+    };
+
+    int _numThreads;
+    std::barrier<> _barrier;
+    std::vector<TokenSlot> _tokens;
+};
+
+} // namespace fb::sw
+
+#endif // FB_SWBARRIER_STDBARRIER_HH

@@ -1,0 +1,84 @@
+#include "swbarrier/tagged.hh"
+
+#include <set>
+
+#include "support/logging.hh"
+#include "swbarrier/dissemination.hh"
+
+namespace fb::sw
+{
+
+BarrierDomain::BarrierDomain(int num_threads) : _numThreads(num_threads)
+{
+    FB_ASSERT(num_threads > 0, "domain needs at least one thread");
+}
+
+void
+BarrierDomain::createBarrier(int tag, const std::vector<int> &members)
+{
+    FB_ASSERT(tag != 0, "tag 0 means 'not participating'");
+    FB_ASSERT(!members.empty(), "barrier needs at least one member");
+
+    LogicalBarrier lb;
+    std::set<int> seen;
+    int index = 0;
+    for (int tid : members) {
+        FB_ASSERT(tid >= 0 && tid < _numThreads,
+                  "member " << tid << " outside the domain");
+        FB_ASSERT(seen.insert(tid).second,
+                  "member " << tid << " listed twice");
+        lb.memberIndex.emplace(tid, index++);
+    }
+    lb.impl = std::make_unique<DisseminationBarrier>(
+        static_cast<int>(members.size()));
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto [it, inserted] = _barriers.emplace(tag, std::move(lb));
+    FB_ASSERT(inserted, "barrier tag " << tag << " already in use");
+}
+
+void
+BarrierDomain::destroyBarrier(int tag)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::size_t erased = _barriers.erase(tag);
+    FB_ASSERT(erased == 1, "destroying unknown barrier tag " << tag);
+}
+
+std::size_t
+BarrierDomain::liveBarriers() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _barriers.size();
+}
+
+BarrierDomain::LogicalBarrier &
+BarrierDomain::find(int tag, int tid, int &member)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _barriers.find(tag);
+    FB_ASSERT(it != _barriers.end(), "unknown barrier tag " << tag);
+    auto mit = it->second.memberIndex.find(tid);
+    FB_ASSERT(mit != it->second.memberIndex.end(),
+              "thread " << tid << " is not a member of barrier " << tag);
+    member = mit->second;
+    return it->second;
+}
+
+void
+BarrierDomain::arrive(int tag, int tid)
+{
+    int member;
+    LogicalBarrier &lb = find(tag, tid, member);
+    lb.impl->arrive(member);
+}
+
+void
+BarrierDomain::wait(int tag, int tid)
+{
+    int member;
+    LogicalBarrier &lb = find(tag, tid, member);
+    lb.impl->wait(member);
+}
+
+} // namespace fb::sw

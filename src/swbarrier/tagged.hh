@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Multiple logical barriers for threads — the software analog of the
+ * paper's section 5 tag/mask mechanism.
+ *
+ * "Logically distinct barriers are assigned to different subsets of
+ * streams that do not know of each others existence... Two processors
+ * can only synchronize at a barrier if their tags match." Here a
+ * BarrierDomain owns a set of logical barriers, each created for an
+ * explicit subset of the domain's threads (the mask); threads
+ * arrive/wait on a barrier id (the tag).
+ */
+
+#ifndef FB_SWBARRIER_TAGGED_HH
+#define FB_SWBARRIER_TAGGED_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "swbarrier/split_barrier.hh"
+
+namespace fb::sw
+{
+
+/**
+ * A domain of threads sharing a set of logical split-phase barriers.
+ *
+ * Barriers are created (typically when streams are spawned — "barriers
+ * are allocated when the streams are created") for explicit member
+ * subsets and may be created and destroyed dynamically; an N-thread
+ * domain never needs more than N-1 live barriers (section 5).
+ * Creation and destruction are thread-safe; arrive/wait on a given
+ * barrier id may only be called by its members.
+ */
+class BarrierDomain
+{
+  public:
+    /** Create a domain of @p num_threads threads (ids 0..N-1). */
+    explicit BarrierDomain(int num_threads);
+
+    /** Number of threads in the domain. */
+    int numThreads() const { return _numThreads; }
+
+    /**
+     * Create logical barrier @p tag for the given member threads.
+     * @pre tag != 0 (0 means "not participating", as in hardware),
+     * tag not currently in use, all members valid and distinct.
+     */
+    void createBarrier(int tag, const std::vector<int> &members);
+
+    /** Destroy barrier @p tag. @pre no thread is inside arrive/wait. */
+    void destroyBarrier(int tag);
+
+    /** Number of live logical barriers. */
+    std::size_t liveBarriers() const;
+
+    /** Thread @p tid announces readiness at barrier @p tag. */
+    void arrive(int tag, int tid);
+
+    /** Thread @p tid blocks until barrier @p tag's episode completes. */
+    void wait(int tag, int tid);
+
+    /** Point-barrier convenience. */
+    void
+    synchronize(int tag, int tid)
+    {
+        arrive(tag, tid);
+        wait(tag, tid);
+    }
+
+  private:
+    struct LogicalBarrier
+    {
+        std::unique_ptr<SplitBarrier> impl;
+        /** domain thread id -> dense member index. */
+        std::map<int, int> memberIndex;
+    };
+
+    /** Look up a barrier and translate the thread id. */
+    LogicalBarrier &find(int tag, int tid, int &member);
+
+    int _numThreads;
+    mutable std::mutex _mutex;
+    std::map<int, LogicalBarrier> _barriers;
+};
+
+} // namespace fb::sw
+
+#endif // FB_SWBARRIER_TAGGED_HH

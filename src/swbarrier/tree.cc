@@ -1,0 +1,66 @@
+#include "swbarrier/tree.hh"
+
+#include "support/logging.hh"
+
+namespace fb::sw
+{
+
+TreeBarrier::TreeBarrier(int num_threads)
+    : _numThreads(num_threads),
+      _nodes(static_cast<std::size_t>(num_threads)),  // ids 1..P-1 used
+      _threads(static_cast<std::size_t>(num_threads))
+{
+    FB_ASSERT(num_threads > 0, "need at least one thread");
+}
+
+void
+TreeBarrier::arrive(int tid)
+{
+    FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
+    ThreadState &ts = _threads[static_cast<std::size_t>(tid)];
+    ++ts.epoch;
+
+    // Complete binary tree with P leaves: internal nodes 1..P-1,
+    // leaves P..2P-1 (leaf of thread t = P + t), parent = id / 2.
+    // The *second* arriver at each node carries the combined arrival
+    // upward, so arrive() never blocks: the tree combines without
+    // waiting, and the final propagator publishes the release epoch.
+    if (_numThreads == 1) {
+        _releaseEpoch.store(ts.epoch, std::memory_order_release);
+        return;
+    }
+
+    int node = (_numThreads + tid) / 2;
+    for (;;) {
+        Node &n = _nodes[static_cast<std::size_t>(node)];
+        _sharedAccesses.fetch_add(1, std::memory_order_relaxed);
+        std::uint32_t prior =
+            n.count.fetch_add(1, std::memory_order_acq_rel);
+        if (prior == 0)
+            return;  // first arriver: the sibling subtree will carry on
+        // Second arriver: reset for the next episode and climb. The
+        // reset is ordered before the next episode's arrivals by the
+        // release-epoch publication below plus wait()'s acquire.
+        n.count.store(0, std::memory_order_relaxed);
+        if (node == 1) {
+            _releaseEpoch.store(ts.epoch, std::memory_order_release);
+            return;
+        }
+        node /= 2;
+    }
+}
+
+void
+TreeBarrier::wait(int tid)
+{
+    FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
+    const std::uint64_t want =
+        _threads[static_cast<std::size_t>(tid)].epoch;
+    Backoff backoff;
+    while (_releaseEpoch.load(std::memory_order_acquire) < want) {
+        _sharedAccesses.fetch_add(1, std::memory_order_relaxed);
+        backoff.pause();
+    }
+}
+
+} // namespace fb::sw

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Combining-tree barrier with a split-phase interface.
+ */
+
+#ifndef FB_SWBARRIER_TREE_HH
+#define FB_SWBARRIER_TREE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "swbarrier/split_barrier.hh"
+
+namespace fb::sw
+{
+
+/**
+ * Software combining tree: arrivals are combined pairwise up a binary
+ * tree so no counter is touched by more than two threads, removing
+ * the central hot spot; the release is a single global epoch word
+ * (one writer, many readers). Arrival cost is O(log P) on the
+ * critical path.
+ *
+ * Split phase: arrive() propagates the arrival up the tree (the
+ * thread whose subtree completes last carries the arrival upward);
+ * wait() spins on the release epoch.
+ */
+class TreeBarrier : public SplitBarrier
+{
+  public:
+    explicit TreeBarrier(int num_threads);
+
+    int numThreads() const override { return _numThreads; }
+    void arrive(int tid) override;
+    void wait(int tid) override;
+    const char *name() const override { return "tree"; }
+
+    /** Shared-variable accesses performed so far (hot-spot metric). */
+    std::uint64_t sharedAccesses() const
+    {
+        return _sharedAccesses.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct alignas(64) Node
+    {
+        std::atomic<std::uint32_t> count{0};
+        std::uint32_t expected = 0;
+    };
+
+    struct alignas(64) ThreadState
+    {
+        std::uint64_t epoch = 0;
+    };
+
+    int _numThreads;
+    /** Heap-layout internal nodes; leaf i feeds node (i + P) / 2 - 1… */
+    std::vector<Node> _nodes;
+    std::vector<ThreadState> _threads;
+    std::atomic<std::uint64_t> _releaseEpoch{0};
+    std::atomic<std::uint64_t> _sharedAccesses{0};
+};
+
+} // namespace fb::sw
+
+#endif // FB_SWBARRIER_TREE_HH

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Unit tests for the hardware fuzzy-barrier model: the four-state
+ * FSM, tag/mask matching, and the broadcast network.
+ */
+
+#include <gtest/gtest.h>
+
+#include "barrier/network.hh"
+#include "barrier/state.hh"
+#include "barrier/unit.hh"
+
+namespace fb::barrier
+{
+namespace
+{
+
+// --------------------------------------------------------------------- Unit
+
+TEST(BarrierUnit, StartsNonBarrier)
+{
+    BarrierUnit u(4, 0);
+    EXPECT_EQ(u.state(), BarrierState::NonBarrier);
+    EXPECT_FALSE(u.participating());
+    EXPECT_FALSE(u.readySignal());
+}
+
+TEST(BarrierUnit, NonParticipantIgnoresArrive)
+{
+    BarrierUnit u(2, 0);
+    u.arrive();  // tag is 0: not participating
+    EXPECT_EQ(u.state(), BarrierState::NonBarrier);
+    EXPECT_TRUE(u.mayCross());
+}
+
+TEST(BarrierUnit, ArriveAssertsReady)
+{
+    BarrierUnit u(2, 0);
+    u.setTag(1);
+    u.arrive();
+    EXPECT_EQ(u.state(), BarrierState::Ready);
+    EXPECT_TRUE(u.readySignal());
+    EXPECT_FALSE(u.mayCross());
+}
+
+TEST(BarrierUnit, FullEpisodeLifecycle)
+{
+    BarrierUnit u(2, 0);
+    u.setTag(1);
+    u.arrive();
+    u.deliverSync();
+    EXPECT_EQ(u.state(), BarrierState::Synced);
+    EXPECT_TRUE(u.mayCross());
+    u.cross();
+    EXPECT_EQ(u.state(), BarrierState::NonBarrier);
+    EXPECT_EQ(u.episodes(), 1u);
+    // "No explicit reset is required": a second episode just works.
+    u.arrive();
+    EXPECT_EQ(u.state(), BarrierState::Ready);
+}
+
+TEST(BarrierUnit, StallTransition)
+{
+    BarrierUnit u(2, 0);
+    u.setTag(1);
+    u.arrive();
+    u.noteStalled();
+    EXPECT_EQ(u.state(), BarrierState::Stalled);
+    EXPECT_TRUE(u.readySignal());  // still broadcasting readiness
+    EXPECT_EQ(u.stalledEpisodes(), 1u);
+    u.noteStalled();  // idempotent within an episode
+    EXPECT_EQ(u.stalledEpisodes(), 1u);
+    u.deliverSync();
+    EXPECT_EQ(u.state(), BarrierState::Synced);
+}
+
+TEST(BarrierUnit, StallCycleAccounting)
+{
+    BarrierUnit u(2, 0);
+    u.setTag(1);
+    u.arrive();
+    u.noteStalled();
+    u.tickStalled();
+    u.tickStalled();
+    EXPECT_EQ(u.stallCycles(), 2u);
+}
+
+TEST(BarrierUnit, MaskExcludesSelf)
+{
+    BarrierUnit u(4, 2);
+    u.setMask(0b1111);
+    EXPECT_TRUE(u.mask().test(0));
+    EXPECT_TRUE(u.mask().test(1));
+    EXPECT_FALSE(u.mask().test(2));  // self bit always clear
+    EXPECT_TRUE(u.mask().test(3));
+
+    u.setMaskBit(2, true);  // ignored
+    EXPECT_FALSE(u.mask().test(2));
+    u.setMaskBit(3, false);
+    EXPECT_FALSE(u.mask().test(3));
+}
+
+TEST(BarrierUnit, CrossFromNonBarrierIsNoOp)
+{
+    BarrierUnit u(2, 0);
+    u.setTag(1);
+    u.cross();  // never armed; e.g. control skipped the region
+    EXPECT_EQ(u.state(), BarrierState::NonBarrier);
+    EXPECT_EQ(u.episodes(), 0u);
+}
+
+// ------------------------------------------------------------------ Network
+
+class NetworkTest : public ::testing::Test
+{
+  protected:
+    /** Arm processor @p p with tag and full-group mask. */
+    void
+    arm(BarrierNetwork &net, int p, std::uint32_t tag, std::uint64_t mask)
+    {
+        net.unit(p).setTag(tag);
+        net.unit(p).setMask(mask);
+    }
+};
+
+TEST_F(NetworkTest, NoSyncUntilAllReady)
+{
+    BarrierNetwork net(2);
+    arm(net, 0, 1, 0b11);
+    arm(net, 1, 1, 0b11);
+
+    net.unit(0).arrive();
+    EXPECT_EQ(net.evaluate(), 0);
+    EXPECT_EQ(net.unit(0).state(), BarrierState::Ready);
+
+    net.unit(1).arrive();
+    EXPECT_EQ(net.evaluate(), 2);
+    EXPECT_EQ(net.unit(0).state(), BarrierState::Synced);
+    EXPECT_EQ(net.unit(1).state(), BarrierState::Synced);
+    EXPECT_EQ(net.syncEvents(), 1u);
+}
+
+TEST_F(NetworkTest, SimultaneousDelivery)
+{
+    // All four arrive before any evaluation: everyone syncs in the
+    // same evaluation, like the common-clock hardware.
+    BarrierNetwork net(4);
+    for (int p = 0; p < 4; ++p) {
+        arm(net, p, 1, 0b1111);
+        net.unit(p).arrive();
+    }
+    EXPECT_EQ(net.evaluate(), 4);
+    EXPECT_EQ(net.syncEvents(), 1u);
+}
+
+TEST_F(NetworkTest, TagMismatchBlocksSync)
+{
+    BarrierNetwork net(2);
+    arm(net, 0, 1, 0b11);
+    arm(net, 1, 2, 0b11);  // different logical barrier
+    net.unit(0).arrive();
+    net.unit(1).arrive();
+    EXPECT_EQ(net.evaluate(), 0);
+    EXPECT_EQ(net.unit(0).state(), BarrierState::Ready);
+}
+
+TEST_F(NetworkTest, TagMatchAfterRetag)
+{
+    BarrierNetwork net(2);
+    arm(net, 0, 1, 0b11);
+    arm(net, 1, 2, 0b11);
+    net.unit(0).arrive();
+    net.unit(1).arrive();
+    EXPECT_EQ(net.evaluate(), 0);
+    net.unit(1).setTag(1);  // software re-tags to the matching barrier
+    EXPECT_EQ(net.evaluate(), 2);
+}
+
+TEST_F(NetworkTest, DisjointSubsetsSyncIndependently)
+{
+    // Section 5: "Disjoint subsets of processors can independently
+    // synchronize among themselves."
+    BarrierNetwork net(4);
+    arm(net, 0, 1, 0b0011);
+    arm(net, 1, 1, 0b0011);
+    arm(net, 2, 2, 0b1100);
+    arm(net, 3, 2, 0b1100);
+
+    net.unit(0).arrive();
+    net.unit(1).arrive();
+    net.unit(2).arrive();
+    // Group {0,1} is complete; group {2,3} is missing processor 3.
+    EXPECT_EQ(net.evaluate(), 2);
+    EXPECT_EQ(net.unit(0).state(), BarrierState::Synced);
+    EXPECT_EQ(net.unit(2).state(), BarrierState::Ready);
+
+    net.unit(3).arrive();
+    EXPECT_EQ(net.evaluate(), 2);
+    EXPECT_EQ(net.unit(2).state(), BarrierState::Synced);
+    EXPECT_EQ(net.syncEvents(), 2u);
+}
+
+TEST_F(NetworkTest, SubsetMaskIgnoresOutsiders)
+{
+    // Processors 0 and 1 sync with each other; processor 2 never
+    // participates and never blocks them.
+    BarrierNetwork net(3);
+    arm(net, 0, 1, 0b011);
+    arm(net, 1, 1, 0b011);
+    net.unit(0).arrive();
+    net.unit(1).arrive();
+    EXPECT_EQ(net.evaluate(), 2);
+}
+
+TEST_F(NetworkTest, RepeatedEpisodes)
+{
+    BarrierNetwork net(2);
+    arm(net, 0, 1, 0b11);
+    arm(net, 1, 1, 0b11);
+    for (int episode = 0; episode < 5; ++episode) {
+        net.unit(0).arrive();
+        EXPECT_EQ(net.evaluate(), 0);
+        net.unit(1).arrive();
+        EXPECT_EQ(net.evaluate(), 2);
+        net.unit(0).cross();
+        net.unit(1).cross();
+    }
+    EXPECT_EQ(net.unit(0).episodes(), 5u);
+    EXPECT_EQ(net.syncEvents(), 5u);
+}
+
+TEST_F(NetworkTest, StalledProcessorStillSignalsReady)
+{
+    BarrierNetwork net(2);
+    arm(net, 0, 1, 0b11);
+    arm(net, 1, 1, 0b11);
+    net.unit(0).arrive();
+    net.unit(0).noteStalled();  // exhausted its region
+    net.unit(1).arrive();
+    EXPECT_EQ(net.evaluate(), 2);
+}
+
+TEST_F(NetworkTest, WouldDeadlockOnHaltedPartner)
+{
+    BarrierNetwork net(2);
+    arm(net, 0, 1, 0b11);
+    arm(net, 1, 1, 0b11);
+    net.unit(0).arrive();
+    net.unit(0).noteStalled();
+    // Processor 1 halted without arriving.
+    EXPECT_TRUE(net.wouldDeadlock({false, true}));
+    // If processor 1 were still running, no deadlock yet.
+    EXPECT_FALSE(net.wouldDeadlock({false, false}));
+}
+
+TEST_F(NetworkTest, WouldDeadlockOnTagMismatch)
+{
+    BarrierNetwork net(2);
+    arm(net, 0, 1, 0b11);
+    arm(net, 1, 2, 0b11);
+    net.unit(0).arrive();
+    net.unit(0).noteStalled();
+    net.unit(1).arrive();
+    net.unit(1).noteStalled();
+    EXPECT_TRUE(net.wouldDeadlock({false, false}));
+}
+
+TEST_F(NetworkTest, SyncLatencyDelaysDelivery)
+{
+    BarrierNetwork net(2, 3);
+    arm(net, 0, 1, 0b11);
+    arm(net, 1, 1, 0b11);
+    net.unit(0).arrive();
+    net.unit(1).arrive();
+    // Group complete at cycle 10, but the broadcast takes 3 cycles.
+    EXPECT_EQ(net.evaluate(10), 0);
+    EXPECT_TRUE(net.deliveryPending());
+    EXPECT_EQ(net.evaluate(11), 0);
+    EXPECT_EQ(net.evaluate(12), 0);
+    EXPECT_EQ(net.evaluate(13), 2);
+    EXPECT_FALSE(net.deliveryPending());
+    EXPECT_EQ(net.unit(0).state(), BarrierState::Synced);
+}
+
+TEST_F(NetworkTest, ZeroLatencyDeliversImmediately)
+{
+    BarrierNetwork net(2, 0);
+    arm(net, 0, 1, 0b11);
+    arm(net, 1, 1, 0b11);
+    net.unit(0).arrive();
+    net.unit(1).arrive();
+    EXPECT_EQ(net.evaluate(42), 2);
+    EXPECT_FALSE(net.deliveryPending());
+}
+
+TEST_F(NetworkTest, MaxBarriersForNStreams)
+{
+    // Section 5: an N-processor system needs at most N-1 logical
+    // barriers. Exercise N-1 distinct tags pairwise on a 4-way net:
+    // stream creation order 0->1, 1->2, 2->3 using tags 1, 2, 3.
+    BarrierNetwork net(4);
+    struct Pair { int a, b; std::uint32_t tag; };
+    for (const Pair &pr : {Pair{0, 1, 1}, Pair{1, 2, 2}, Pair{2, 3, 3}}) {
+        net.unit(pr.a).setTag(pr.tag);
+        net.unit(pr.b).setTag(pr.tag);
+        std::uint64_t mask =
+            (1ull << pr.a) | (1ull << pr.b);
+        net.unit(pr.a).setMask(mask);
+        net.unit(pr.b).setMask(mask);
+        net.unit(pr.a).arrive();
+        EXPECT_EQ(net.evaluate(), 0);
+        net.unit(pr.b).arrive();
+        EXPECT_EQ(net.evaluate(), 2);
+        net.unit(pr.a).cross();
+        net.unit(pr.b).cross();
+    }
+    EXPECT_EQ(net.syncEvents(), 3u);
+}
+
+} // namespace
+} // namespace fb::barrier

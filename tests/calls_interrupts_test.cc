@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Tests for the section-9 extensions: procedure calls from barrier
+ * regions (region inheritance) and interrupts/traps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+namespace fb::sim
+{
+namespace
+{
+
+isa::Program
+assembleOrDie(const std::string &src)
+{
+    isa::Program p;
+    std::string err;
+    if (!isa::Assembler::assemble(src, p, err))
+        ADD_FAILURE() << "assembly failed: " << err;
+    return p;
+}
+
+MachineConfig
+config(int procs)
+{
+    MachineConfig cfg;
+    cfg.numProcessors = procs;
+    cfg.memWords = 4096;
+    cfg.maxCycles = 2'000'000;
+    return cfg;
+}
+
+// -------------------------------------------------------------------- CALL
+
+TEST(Calls, CallAndReturn)
+{
+    Machine m(config(1));
+    m.loadProgram(0, assembleOrDie(R"(
+        li r1, 20
+        call r27, double
+        st r2, 100(r0)
+        halt
+    double:
+        add r2, r1, r1
+        ret r27
+    )"));
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_EQ(m.memory().peek(100), 40);
+}
+
+TEST(Calls, NestedCalls)
+{
+    Machine m(config(1));
+    m.loadProgram(0, assembleOrDie(R"(
+        li r1, 3
+        call r27, f
+        st r1, 100(r0)
+        halt
+    f:
+        addi r1, r1, 10
+        call r26, g
+        ret r27
+    g:
+        addi r1, r1, 100
+        ret r26
+    )"));
+    m.run();
+    EXPECT_EQ(m.memory().peek(100), 113);
+    EXPECT_EQ(m.processor(0).callDepth(), 0u);
+}
+
+TEST(Calls, RecursionWithMemoryStack)
+{
+    // sum(n) = n + sum(n-1), sum(0) = 0, via a software stack at 1024.
+    Machine m(config(1));
+    m.loadProgram(0, assembleOrDie(R"(
+        li r20, 1024        ; stack pointer
+        li r1, 5            ; n
+        li r2, 0            ; accumulator
+        call r27, sum
+        st r2, 100(r0)
+        halt
+    sum:
+        beq r1, r0, done
+        st r27, 0(r20)      ; push return address
+        addi r20, r20, 1
+        add r2, r2, r1
+        addi r1, r1, -1
+        call r27, sum
+        addi r20, r20, -1
+        ld r27, 0(r20)      ; pop return address
+    done:
+        ret r27
+    )"));
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(m.memory().peek(100), 15);
+}
+
+TEST(Calls, CallFromRegionInheritsRegionStatus)
+{
+    // Alternating-phase load (equal totals, per-iteration drift of 30
+    // instructions). The barrier region's content is one procedure
+    // CALL; with region inheritance the 40-instruction callee absorbs
+    // the drift exactly as inline region code would.
+    auto make = [](int phase, bool call_in_region) {
+        std::ostringstream oss;
+        oss << "settag 1\nsetmask 3\n";
+        oss << "li r1, 0\nli r2, 8\n";
+        oss << "li r7, 1\nli r8, " << phase << "\n";
+        oss << "loop:\n";
+        oss << "and r6, r1, r7\n";
+        oss << "bne r6, r8, light\n";
+        for (int k = 0; k < 30; ++k)
+            oss << "addi r3, r3, 1\n";
+        oss << "light:\n";
+        oss << "addi r3, r3, 1\n";
+        if (call_in_region) {
+            oss << ".region 1\n";
+            oss << "call r27, helper\n";
+            oss << "addi r1, r1, 1\n";
+            oss << "bne r1, r2, loop\n";
+            oss << ".endregion\n";
+        } else {
+            // Baseline: same callee executed as non-barrier work, a
+            // point barrier carries the synchronization.
+            oss << "call r27, helper\n";
+            oss << ".region 1\nnop\n.endregion\n";
+            oss << "addi r1, r1, 1\n";
+            oss << "bne r1, r2, loop\n";
+        }
+        oss << "st r3, 100(r0)\nhalt\n";
+        oss << "helper:\n";
+        for (int k = 0; k < 40; ++k)
+            oss << "addi r4, r4, 1\n";
+        oss << "ret r27\n";
+        return oss.str();
+    };
+
+    auto run = [&](bool call_in_region) {
+        Machine m(config(2));
+        m.loadProgram(0, assembleOrDie(make(0, call_in_region)));
+        m.loadProgram(1, assembleOrDie(make(1, call_in_region)));
+        auto r = m.run();
+        EXPECT_FALSE(r.deadlocked) << r.deadlockInfo;
+        EXPECT_FALSE(r.timedOut);
+        EXPECT_EQ(r.syncEvents, 8u);
+        EXPECT_EQ(m.checkSafetyProperty(), "");
+        return r;
+    };
+
+    auto inherited = run(true);
+    auto baseline = run(false);
+    // The inherited-region callee fully absorbs the 30-cycle drift...
+    EXPECT_EQ(inherited.perProcessor[0].stalledEpisodes, 0u);
+    EXPECT_EQ(inherited.perProcessor[1].stalledEpisodes, 0u);
+    // ...while the point-barrier baseline stalls constantly.
+    EXPECT_GT(baseline.totalBarrierWait(),
+              inherited.totalBarrierWait() + 100);
+}
+
+TEST(Calls, CalleeDoesNotCrossBarrier)
+{
+    // The callee contains plain (non-region-bit) instructions; called
+    // from inside a region they must NOT count as crossing the
+    // barrier. If they did, the barrier would complete early and the
+    // partner's dependent store order would break — detectable via
+    // episode counts.
+    Machine m(config(2));
+    const std::string src = R"(
+        settag 1
+        setmask 3
+        nop
+    .region 1
+        call r27, helper
+    .endregion
+        nop                 ; the real crossing happens here
+        halt
+    helper:
+        addi r4, r4, 1
+        addi r4, r4, 1
+        ret r27
+    )";
+    m.loadProgram(0, assembleOrDie(src));
+    m.loadProgram(1, assembleOrDie(src));
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_EQ(r.syncEvents, 1u);
+    EXPECT_EQ(m.checkSafetyProperty(), "");
+}
+
+TEST(Calls, CallFromNonRegionStaysNonRegion)
+{
+    // A call outside any region must not arm the barrier.
+    Machine m(config(1));
+    m.loadProgram(0, assembleOrDie(R"(
+        settag 1
+        setmask 1
+        call r27, f
+        halt
+    f:
+        addi r1, r1, 1
+        ret r27
+    )"));
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_EQ(r.perProcessor[0].barrierEpisodes, 0u);
+}
+
+TEST(Calls, MarkerEncodingPreservesCallInheritance)
+{
+    const std::string src = R"(
+        settag 1
+        setmask 3
+        nop
+    .region 1
+        call r27, helper
+        addi r1, r1, 1
+    .endregion
+        st r1, 100(r0)
+        halt
+    helper:
+        addi r1, r1, 5
+        ret r27
+    )";
+    Machine bits(config(2));
+    bits.loadProgram(0, assembleOrDie(src));
+    bits.loadProgram(1, assembleOrDie(src));
+    auto rb = bits.run();
+
+    Machine markers(config(2));
+    markers.loadProgram(0, assembleOrDie(src).toMarkerEncoding());
+    markers.loadProgram(1, assembleOrDie(src).toMarkerEncoding());
+    auto rm = markers.run();
+
+    EXPECT_FALSE(rb.deadlocked);
+    EXPECT_FALSE(rm.deadlocked);
+    EXPECT_EQ(rb.syncEvents, rm.syncEvents);
+    EXPECT_EQ(bits.memory().peek(100), markers.memory().peek(100));
+    EXPECT_EQ(bits.memory().peek(100), 6);
+}
+
+// -------------------------------------------------------------- interrupts
+
+TEST(Interrupts, TimerInterruptFires)
+{
+    MachineConfig cfg = config(1);
+    cfg.interruptPeriod = 50;
+
+    // Main program: long busy loop. ISR at label isr: bumps word 200.
+    const std::string src = R"(
+        li r1, 0
+        li r2, 300
+    loop:
+        addi r1, r1, 1
+        bne r1, r2, loop
+        halt
+    isr:
+        ld r10, 200(r0)
+        addi r10, r10, 1
+        st r10, 200(r0)
+        iret
+    )";
+    auto prog = assembleOrDie(src);
+    cfg.isrEntry =
+        static_cast<std::int64_t>(prog.labelIndex("isr").value());
+    Machine m(cfg);
+    m.loadProgram(0, std::move(prog));
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_GT(r.perProcessor[0].interruptsTaken, 5u);
+    EXPECT_EQ(m.memory().peek(200),
+              static_cast<std::int64_t>(
+                  r.perProcessor[0].interruptsTaken));
+}
+
+TEST(Interrupts, DisabledByDefault)
+{
+    Machine m(config(1));
+    m.loadProgram(0, assembleOrDie("nop\nnop\nhalt\n"));
+    auto r = m.run();
+    EXPECT_EQ(r.perProcessor[0].interruptsTaken, 0u);
+}
+
+TEST(Interrupts, ServicedWhileStalledAtBarrier)
+{
+    // Processor 0 reaches the barrier long before processor 1 and
+    // stalls; timer interrupts keep firing during the stall, so the
+    // stalled processor does useful ISR work while it waits — and the
+    // barrier still synchronizes correctly afterwards.
+    // The machine config holds one ISR entry index for all
+    // processors, so both run the same program text; the per-CPU work
+    // imbalance is passed in register r5 before the run.
+    MachineConfig cfg = config(2);
+    cfg.interruptPeriod = 40;
+
+    const std::string src = R"(
+        settag 1
+        setmask 3
+        li r1, 0
+        li r2, 4
+    loop:
+        li r6, 0
+    work:
+        addi r3, r3, 1
+        addi r6, r6, 1
+        bne r6, r5, work
+    .region 1
+        nop
+    .endregion
+        addi r1, r1, 1
+        bne r1, r2, loop
+        halt
+    isr:
+        li r10, 1
+        faa r9, 200(r0), r10
+        iret
+    )";
+    auto prog = assembleOrDie(src);
+    MachineConfig run_cfg = cfg;
+    run_cfg.isrEntry =
+        static_cast<std::int64_t>(prog.labelIndex("isr").value());
+    Machine m(run_cfg);
+    m.loadProgram(0, prog);
+    m.loadProgram(1, prog);
+    m.processor(0).setReg(5, 2);    // fast
+    m.processor(1).setReg(5, 120);  // slow
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked) << r.deadlockInfo;
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.syncEvents, 4u);
+    EXPECT_EQ(m.checkSafetyProperty(), "");
+    // The fast processor stalled...
+    EXPECT_GT(r.perProcessor[0].stalledEpisodes, 0u);
+    // ...and serviced interrupts while doing so.
+    EXPECT_GT(r.perProcessor[0].interruptsTaken, 3u);
+    EXPECT_EQ(m.memory().peek(200),
+              static_cast<std::int64_t>(
+                  r.perProcessor[0].interruptsTaken +
+                  r.perProcessor[1].interruptsTaken));
+}
+
+TEST(Interrupts, IsrDoesNotCrossBarrier)
+{
+    // An ISR running while the unit is armed must not count as
+    // crossing: the barrier episode completes only via the stream's
+    // own non-region instruction.
+    MachineConfig cfg = config(2);
+    cfg.interruptPeriod = 10;
+    const std::string src = R"(
+        settag 1
+        setmask 3
+        li r5, 60
+        li r6, 0
+    work:
+        addi r6, r6, 1
+        bne r6, r5, work
+    .region 1
+        nop
+    .endregion
+        st r6, 100(r0)
+        halt
+    isr:
+        addi r10, r10, 1
+        iret
+    )";
+    auto prog = assembleOrDie(src);
+    cfg.isrEntry =
+        static_cast<std::int64_t>(prog.labelIndex("isr").value());
+    Machine m(cfg);
+    m.loadProgram(0, prog);
+    m.loadProgram(1, prog);
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_EQ(r.syncEvents, 1u);
+    EXPECT_EQ(m.checkSafetyProperty(), "");
+    EXPECT_GT(r.perProcessor[0].interruptsTaken, 0u);
+}
+
+} // namespace
+} // namespace fb::sim

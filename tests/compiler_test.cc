@@ -1,0 +1,574 @@
+/**
+ * @file
+ * Unit tests for the fuzzy-barrier compiler: dependence DAG, marked
+ * instructions, region construction, three-phase reordering,
+ * statement-level transforms, and code generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "compiler/codegen.hh"
+#include "compiler/dag.hh"
+#include "compiler/region.hh"
+#include "compiler/reorder.hh"
+#include "compiler/transforms.hh"
+#include "core/workloads.hh"
+#include "ir/builder.hh"
+#include "ir/interp.hh"
+#include "sim/machine.hh"
+
+namespace fb::compiler
+{
+namespace
+{
+
+using ir::Block;
+using ir::IrBuilder;
+using ir::Operand;
+using ir::TacInstr;
+using ir::TacOp;
+
+// ---------------------------------------------------------------------- DAG
+
+TEST(DependenceDag, RawEdge)
+{
+    Block b;
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(1)));
+    b.append(TacInstr::arith(TacOp::Add, Operand::temp(2),
+                             Operand::temp(1), Operand::constant(1)));
+    DependenceDag dag(b);
+    ASSERT_EQ(dag.edges().size(), 1u);
+    EXPECT_EQ(dag.edges()[0].kind, DepKind::Raw);
+    EXPECT_EQ(dag.edges()[0].from, 0u);
+    EXPECT_EQ(dag.edges()[0].to, 1u);
+}
+
+TEST(DependenceDag, WarEdge)
+{
+    Block b;
+    // 0 reads T1; 1 writes T1 -> WAR 0->1
+    b.append(TacInstr::arith(TacOp::Add, Operand::temp(2),
+                             Operand::temp(1), Operand::constant(1)));
+    b.at(0).a = Operand::temp(1);
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(9)));
+    DependenceDag dag(b);
+    bool found = false;
+    for (const auto &e : dag.edges())
+        found |= e.kind == DepKind::War && e.from == 0 && e.to == 1;
+    EXPECT_TRUE(found);
+}
+
+TEST(DependenceDag, WawEdge)
+{
+    Block b;
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(1)));
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(2)));
+    DependenceDag dag(b);
+    bool found = false;
+    for (const auto &e : dag.edges())
+        found |= e.kind == DepKind::Waw && e.from == 0 && e.to == 1;
+    EXPECT_TRUE(found);
+}
+
+TEST(DependenceDag, MemEdgesSameArray)
+{
+    Block b;
+    auto st = TacInstr::store(Operand::temp(1), Operand::temp(2));
+    st.array = "A";
+    auto ld = TacInstr::load(Operand::temp(3), Operand::temp(1));
+    ld.array = "A";
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(5)));
+    b.append(TacInstr::copy(Operand::temp(2), Operand::constant(6)));
+    b.append(st);  // 2
+    b.append(ld);  // 3
+    DependenceDag dag(b);
+    bool found = false;
+    for (const auto &e : dag.edges())
+        found |= e.kind == DepKind::Mem && e.from == 2 && e.to == 3;
+    EXPECT_TRUE(found);
+}
+
+TEST(DependenceDag, NoMemEdgeDifferentArrays)
+{
+    Block b;
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(5)));
+    auto st = TacInstr::store(Operand::temp(1), Operand::temp(1));
+    st.array = "A";
+    auto ld = TacInstr::load(Operand::temp(2), Operand::temp(1));
+    ld.array = "B";
+    b.append(st);
+    b.append(ld);
+    DependenceDag dag(b);
+    for (const auto &e : dag.edges())
+        EXPECT_NE(e.kind, DepKind::Mem);
+}
+
+TEST(DependenceDag, EmptyArrayNameAliasesEverything)
+{
+    Block b;
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(5)));
+    auto st = TacInstr::store(Operand::temp(1), Operand::temp(1));
+    st.array = "A";
+    auto ld = TacInstr::load(Operand::temp(2), Operand::temp(1));
+    ld.array = "";  // unknown target
+    b.append(st);
+    b.append(ld);
+    DependenceDag dag(b);
+    bool found = false;
+    for (const auto &e : dag.edges())
+        found |= e.kind == DepKind::Mem && e.from == 1 && e.to == 2;
+    EXPECT_TRUE(found);
+}
+
+TEST(DependenceDag, LoadsDoNotOrderAgainstLoads)
+{
+    Block b;
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(5)));
+    auto l1 = TacInstr::load(Operand::temp(2), Operand::temp(1));
+    l1.array = "A";
+    auto l2 = TacInstr::load(Operand::temp(3), Operand::temp(1));
+    l2.array = "A";
+    b.append(l1);
+    b.append(l2);
+    DependenceDag dag(b);
+    for (const auto &e : dag.edges())
+        EXPECT_NE(e.kind, DepKind::Mem);
+}
+
+TEST(DependenceDag, ValidOrderChecks)
+{
+    Block b;
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(1)));
+    b.append(TacInstr::arith(TacOp::Add, Operand::temp(2),
+                             Operand::temp(1), Operand::constant(1)));
+    b.append(TacInstr::copy(Operand::temp(3), Operand::constant(3)));
+    DependenceDag dag(b);
+    EXPECT_TRUE(dag.validOrder({0, 1, 2}));
+    EXPECT_TRUE(dag.validOrder({2, 0, 1}));
+    EXPECT_FALSE(dag.validOrder({1, 0, 2}));
+    EXPECT_FALSE(dag.validOrder({0, 1}));      // wrong size
+    EXPECT_FALSE(dag.validOrder({0, 0, 2}));   // not a permutation
+}
+
+TEST(DependenceDag, DependsOnAnyTransitive)
+{
+    Block b;
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(1)));
+    b.append(TacInstr::arith(TacOp::Add, Operand::temp(2),
+                             Operand::temp(1), Operand::constant(1)));
+    b.append(TacInstr::arith(TacOp::Add, Operand::temp(3),
+                             Operand::temp(2), Operand::constant(1)));
+    b.append(TacInstr::copy(Operand::temp(4), Operand::constant(4)));
+    DependenceDag dag(b);
+    EXPECT_TRUE(dag.dependsOnAny(2, {0}));
+    EXPECT_FALSE(dag.dependsOnAny(3, {0}));
+    EXPECT_FALSE(dag.dependsOnAny(0, {2}));
+}
+
+// ---------------------------------------------------- marking and regions
+
+TEST(Marking, MarksSharedArrayAccesses)
+{
+    Block b;
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(5)));
+    auto ld = TacInstr::load(Operand::temp(2), Operand::temp(1));
+    ld.array = "P";
+    b.append(ld);
+    auto ld2 = TacInstr::load(Operand::temp(3), Operand::temp(1));
+    ld2.array = "local";
+    b.append(ld2);
+    EXPECT_EQ(markSharedArrayAccesses(b, {"P"}), 1u);
+    EXPECT_TRUE(b.at(1).marked);
+    EXPECT_FALSE(b.at(2).marked);
+    clearMarks(b);
+    EXPECT_FALSE(b.at(1).marked);
+}
+
+TEST(Regions, SpanFirstToLastMarked)
+{
+    Block b;
+    for (int k = 0; k < 6; ++k)
+        b.append(TacInstr::copy(Operand::temp(k + 1),
+                                Operand::constant(k)));
+    b.at(2).marked = true;
+    b.at(4).marked = true;
+    auto ra = assignRegions(b);
+    EXPECT_TRUE(ra.hasNonBarrier);
+    EXPECT_EQ(ra.nbBegin, 2u);
+    EXPECT_EQ(ra.nbEnd, 4u);
+    EXPECT_EQ(ra.nonBarrierSize(), 3u);
+    EXPECT_TRUE(b.at(0).inRegion);
+    EXPECT_TRUE(b.at(1).inRegion);
+    EXPECT_FALSE(b.at(2).inRegion);
+    EXPECT_FALSE(b.at(3).inRegion);
+    EXPECT_FALSE(b.at(4).inRegion);
+    EXPECT_TRUE(b.at(5).inRegion);
+}
+
+TEST(Regions, NoMarksMeansAllRegion)
+{
+    Block b;
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(0)));
+    auto ra = assignRegions(b);
+    EXPECT_FALSE(ra.hasNonBarrier);
+    EXPECT_EQ(ra.nonBarrierSize(), 0u);
+    EXPECT_TRUE(b.at(0).inRegion);
+}
+
+// ---------------------------------------------------------------- reorder
+
+TEST(Reorder, ShrinksPoissonNonBarrierRegion)
+{
+    core::PoissonWorkload wl(2);
+    Block naive = wl.naiveBody();
+    Block naive_copy = naive;
+    auto naive_ra = assignRegions(naive_copy);
+
+    auto result = threePhaseReorder(naive);
+    EXPECT_EQ(result.block.size(), naive.size());
+    // Same marked instructions survive.
+    EXPECT_EQ(result.block.markedIndices().size(),
+              naive.markedIndices().size());
+    // The non-barrier region shrank strictly (Fig. 4(a) -> 4(b)).
+    EXPECT_LT(result.regions.nonBarrierSize(),
+              naive_ra.nonBarrierSize());
+    // All address arithmetic moved before the first marked load: the
+    // region instructions at the top should cover every Mul/Add that
+    // feeds addresses.
+    EXPECT_GE(result.phase1, 16u);
+    // Nothing is left for phase 3 in this example (paper: "there are
+    // no instructions left to be scheduled during this phase").
+    EXPECT_EQ(result.phase3, 0u);
+}
+
+TEST(Reorder, PreservesSemanticsOnPoisson)
+{
+    core::PoissonWorkload wl(2);
+    Block naive = wl.naiveBody();
+    auto result = threePhaseReorder(naive);
+
+    auto run = [&](const Block &body) {
+        ir::InterpState st;
+        st.vars["i"] = 1;
+        st.vars["j"] = 2;
+        st.bases["P"] = 0;
+        st.memory.assign(wl.gridWords(), 0);
+        // Distinct neighbor values so any mixup changes the result.
+        st.memory[wl.addrOf(1, 1)] = 11;
+        st.memory[wl.addrOf(1, 3)] = 13;
+        st.memory[wl.addrOf(0, 2)] = 3;
+        st.memory[wl.addrOf(2, 2)] = 23;
+        interpret(body, st);
+        return st.memory;
+    };
+    EXPECT_EQ(run(naive), run(result.block));
+}
+
+TEST(Reorder, RespectsDependences)
+{
+    core::PoissonWorkload wl(3);
+    Block naive = wl.naiveBody();
+    auto result = threePhaseReorder(naive);
+    // Reordered block must itself be a legal order of its own DAG.
+    DependenceDag dag(result.block);
+    std::vector<std::size_t> identity(result.block.size());
+    std::iota(identity.begin(), identity.end(), 0);
+    EXPECT_TRUE(dag.validOrder(identity));
+}
+
+TEST(Reorder, AllMarkedBlockStaysNonBarrier)
+{
+    IrBuilder b;
+    Operand addr = b.newTemp();
+    b.emitCopy(addr, Operand::constant(1));
+    b.mutableBlock().at(0).marked = true;  // even the init marked
+    Operand v = b.emitLoad(addr, "A", true);
+    b.emitStore(addr, v, "A", true);
+    auto result = threePhaseReorder(b.block());
+    EXPECT_EQ(result.phase1, 0u);
+    EXPECT_EQ(result.phase3, 0u);
+    EXPECT_EQ(result.regions.nonBarrierSize(), 3u);
+}
+
+TEST(Reorder, UnmarkedBlockAllRegion)
+{
+    IrBuilder b;
+    b.emitArith(TacOp::Add, Operand::constant(1), Operand::constant(2));
+    auto result = threePhaseReorder(b.block());
+    EXPECT_EQ(result.phase1, 1u);
+    EXPECT_FALSE(result.regions.hasNonBarrier);
+}
+
+// -------------------------------------------------------------- transforms
+
+TEST(Transforms, DistributionSplitsStatements)
+{
+    std::vector<Statement> stmts(2);
+    stmts[0].name = "S1";
+    stmts[0].carriesLoopDep = true;
+    stmts[1].name = "S2";
+    stmts[1].carriesLoopDep = false;
+    auto loops = distributeLoop(stmts);
+    ASSERT_EQ(loops.size(), 2u);
+    EXPECT_EQ(loops[0].stmt.name, "S1");
+    EXPECT_FALSE(loops[0].inBarrierRegion);
+    EXPECT_EQ(loops[1].stmt.name, "S2");
+    EXPECT_TRUE(loops[1].inBarrierRegion);
+}
+
+TEST(Transforms, RegionExecutionCounts)
+{
+    std::vector<Statement> stmts(2);
+    stmts[0].carriesLoopDep = true;
+    stmts[1].carriesLoopDep = false;
+    // Fig. 5: without distribution only the final S2 execution is in
+    // the region; with distribution the entire S2 loop is.
+    EXPECT_EQ(regionExecutionsWithoutDistribution(stmts, 10), 1u);
+    EXPECT_EQ(regionExecutionsWithDistribution(stmts, 10), 10u);
+}
+
+TEST(Transforms, SubstituteVarOffset)
+{
+    IrBuilder b;
+    Operand j = Operand::var("j");
+    Operand t = b.emitArith(TacOp::Mul, j, Operand::constant(3));
+    b.emitCopy(Operand::var("out"), t);
+
+    int next_temp = 100;
+    Block shifted = substituteVarOffset(b.block(), "j", 2, next_temp);
+
+    ir::InterpState st;
+    st.vars["j"] = 5;
+    interpret(shifted, st);
+    EXPECT_EQ(st.vars["out"], 21);  // (5 + 2) * 3
+    EXPECT_EQ(st.vars["j"], 5);     // counter itself untouched
+}
+
+TEST(Transforms, UnrollBodyConcatenatesWithOffsets)
+{
+    IrBuilder b;
+    Operand j = Operand::var("j");
+    Operand t = b.emitArith(TacOp::Mul, j, Operand::constant(10));
+    Operand addr =
+        b.emitArith(TacOp::Add, t, Operand::constant(0));
+    b.emitStore(addr, j, "A", false);
+
+    Block unrolled = unrollBody(b.block(), "j", 1, 3);
+    EXPECT_GT(unrolled.size(), b.block().size() * 2);
+
+    ir::InterpState st;
+    st.vars["j"] = 1;
+    st.memory.assign(64, -1);
+    interpret(unrolled, st);
+    // Copies for offsets 0,1,2 stored j+k at (j+k)*10... the stored
+    // value is the shifted counter read.
+    EXPECT_EQ(st.memory[10], 1);
+    EXPECT_EQ(st.memory[20], 2);
+    EXPECT_EQ(st.memory[30], 3);
+}
+
+TEST(Transforms, CycleShrinkGroups)
+{
+    auto groups = cycleShrink(10, 4);
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[0], (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(groups[1], (std::vector<int>{4, 5, 6, 7}));
+    EXPECT_EQ(groups[2], (std::vector<int>{8, 9}));
+}
+
+TEST(Transforms, CycleShrinkDegenerateCases)
+{
+    // Distance 1: fully sequential — one iteration per group.
+    auto seq = cycleShrink(4, 1);
+    ASSERT_EQ(seq.size(), 4u);
+    for (std::size_t g = 0; g < 4; ++g)
+        EXPECT_EQ(seq[g], (std::vector<int>{static_cast<int>(g)}));
+    // Distance >= trip count: one fully parallel group.
+    auto par = cycleShrink(4, 10);
+    ASSERT_EQ(par.size(), 1u);
+    EXPECT_EQ(par[0].size(), 4u);
+    // Empty loop.
+    EXPECT_TRUE(cycleShrink(0, 3).empty());
+}
+
+TEST(Transforms, CycleShrinkCoversAllIterations)
+{
+    auto groups = cycleShrink(17, 5);
+    int count = 0;
+    int expected = 0;
+    for (const auto &g : groups) {
+        for (int i : g) {
+            EXPECT_EQ(i, expected++);
+            ++count;
+        }
+    }
+    EXPECT_EQ(count, 17);
+}
+
+TEST(Transforms, Roles)
+{
+    EXPECT_EQ(roleFor(true, false), IterationRole::First);
+    EXPECT_EQ(roleFor(false, true), IterationRole::Last);
+    EXPECT_EQ(roleFor(false, false), IterationRole::Middle);
+    EXPECT_EQ(roleFor(true, true), IterationRole::Only);
+
+    EXPECT_TRUE(roleStartsWithBarrier(IterationRole::First));
+    EXPECT_TRUE(roleStartsWithBarrier(IterationRole::Only));
+    EXPECT_FALSE(roleStartsWithBarrier(IterationRole::Middle));
+    EXPECT_TRUE(roleEndsWithBarrier(IterationRole::Last));
+    EXPECT_TRUE(roleEndsWithBarrier(IterationRole::Only));
+    EXPECT_FALSE(roleEndsWithBarrier(IterationRole::First));
+    EXPECT_STREQ(iterationRoleName(IterationRole::Middle), "middle");
+}
+
+// ----------------------------------------------------------------- codegen
+
+TEST(Codegen, CompiledBlockMatchesInterpreter)
+{
+    // Build a little computation, run it through the interpreter and
+    // through codegen + the simulated machine; results must agree.
+    IrBuilder b;
+    Operand i = Operand::var("i");
+    Operand addr = b.emitAddr2D("A", i, Operand::constant(3), 8, 1);
+    Operand v = b.emitLoad(addr, "A", false);
+    Operand w = b.emitArith(TacOp::Mul, v, Operand::constant(5));
+    Operand w2 = b.emitArith(TacOp::Sub, w, Operand::constant(1));
+    Operand w3 = b.emitArith(TacOp::Div, w2, Operand::constant(2));
+    b.emitStore(addr, w3, "A", false);
+    Block body = b.take();
+
+    // Interpreter.
+    ir::InterpState st;
+    st.vars["i"] = 2;
+    st.bases["A"] = 50;
+    st.memory.assign(256, 0);
+    st.memory[50 + 2 * 8 + 3] = 9;
+    interpret(body, st);
+
+    // Machine.
+    CodegenOptions opts;
+    opts.baseAddresses = {{"A", 50}};
+    opts.tag = 0;  // no synchronization
+    CodeEmitter em(opts);
+    em.emitPrologue();
+    em.setVarConst("i", 2);
+    em.emitBlock(body, 0);
+    em.emitHalt();
+
+    sim::MachineConfig cfg;
+    cfg.numProcessors = 1;
+    cfg.memWords = 256;
+    sim::Machine machine(cfg);
+    machine.memory().poke(50 + 2 * 8 + 3, 9);
+    machine.loadProgram(0, em.finish());
+    auto result = machine.run();
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_EQ(machine.memory().peek(50 + 2 * 8 + 3),
+              st.memory[50 + 2 * 8 + 3]);
+    EXPECT_EQ(st.memory[50 + 2 * 8 + 3], (9 * 5 - 1) / 2);
+}
+
+TEST(Codegen, RegionBitsFollowTacFlags)
+{
+    IrBuilder b;
+    Operand t = b.emitArith(TacOp::Add, Operand::constant(1),
+                            Operand::constant(2));
+    b.mutableBlock().at(0).inRegion = true;
+    b.emitCopy(Operand::var("x"), t);
+
+    CodegenOptions opts;
+    CodeEmitter em(opts);
+    em.emitBlock(b.block());
+    em.emitHalt();
+    auto prog = em.finish();
+    ASSERT_GE(prog.size(), 2u);
+    EXPECT_TRUE(prog.at(0).inRegion);
+    EXPECT_FALSE(prog.at(1).inRegion);
+}
+
+TEST(Codegen, CompileLoopRunsToCompletion)
+{
+    // sum = sum + k for k in 1..5, with loop control in the region.
+    IrBuilder b;
+    b.emitArithTo(Operand::var("sum"), TacOp::Add, Operand::var("sum"),
+                  Operand::var("k"));
+    b.mutableBlock().at(0).marked = true;
+
+    LoopSpec spec;
+    spec.counter = "k";
+    spec.begin = 1;
+    spec.limit = 6;
+    spec.step = 1;
+    spec.body = b.take();
+    assignRegions(spec.body);
+    spec.varInit = {{"sum", 0}};
+    spec.epilogueStores = {{"sum", 200}};
+
+    CodegenOptions opts;
+    opts.tag = 1;
+    opts.mask = 0b1;
+
+    sim::MachineConfig cfg;
+    cfg.numProcessors = 1;
+    cfg.memWords = 1024;
+    sim::Machine machine(cfg);
+    machine.loadProgram(0, compileLoop(spec, opts));
+    auto result = machine.run();
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_FALSE(result.timedOut);
+    EXPECT_EQ(machine.memory().peek(200), 15);
+}
+
+TEST(Codegen, TempRegistersRecycle)
+{
+    // A long chain of temps would exhaust the register file if
+    // last-use recycling failed.
+    IrBuilder b;
+    Operand acc = b.emitArith(TacOp::Add, Operand::constant(0),
+                              Operand::constant(0));
+    for (int k = 0; k < 120; ++k)
+        acc = b.emitArith(TacOp::Add, acc, Operand::constant(1));
+    b.emitCopy(Operand::var("out"), acc);
+
+    CodegenOptions opts;
+    CodeEmitter em(opts);
+    em.emitBlock(b.block(), 0);
+    em.storeVarTo("out", 100);
+    em.emitHalt();
+
+    sim::MachineConfig cfg;
+    cfg.numProcessors = 1;
+    cfg.memWords = 256;
+    sim::Machine machine(cfg);
+    machine.loadProgram(0, em.finish());
+    machine.run();
+    EXPECT_EQ(machine.memory().peek(100), 120);
+}
+
+TEST(Codegen, BranchVarNeZero)
+{
+    CodegenOptions opts;
+    CodeEmitter em(opts);
+    em.emitPrologue();
+    em.setVarConst("x", 3);
+    em.setVarConst("count", 0);
+    em.label("top");
+    em.addVarConst("count", 1);
+    em.addVarConst("x", -1);
+    em.branchVarNeZero("x", "top");
+    em.storeVarTo("count", 100);
+    em.emitHalt();
+
+    sim::MachineConfig cfg;
+    cfg.numProcessors = 1;
+    cfg.memWords = 256;
+    sim::Machine machine(cfg);
+    machine.loadProgram(0, em.finish());
+    machine.run();
+    EXPECT_EQ(machine.memory().peek(100), 3);
+}
+
+} // namespace
+} // namespace fb::compiler

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Integration tests for cycle shrinking (the section 1 transformation)
+ * running on the simulated machine with fuzzy barriers between
+ * iteration groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "compiler/transforms.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+namespace fb::compiler
+{
+namespace
+{
+
+constexpr std::int64_t kBase = 256;
+
+isa::Program
+assembleOrDie(const std::string &src)
+{
+    isa::Program p;
+    std::string err;
+    if (!isa::Assembler::assemble(src, p, err))
+        ADD_FAILURE() << "assembly failed: " << err;
+    return p;
+}
+
+/** Processor @p self of @p d executes a[i] = a[i-d] + i for its
+ * column of each group, with a fuzzy barrier between groups. */
+std::string
+shrunkSource(int trip, int d, int self)
+{
+    const int groups = (trip + d - 1) / d;
+    std::ostringstream oss;
+    oss << "settag 1\n";
+    oss << "setmask " << ((1ll << d) - 1) << "\n";
+    oss << "li r9, " << self << "\n";
+    oss << "li r2, " << groups << "\n";
+    oss << "li r8, 0\n";
+    oss << "loop:\n";
+    oss << "muli r1, r8, " << d << "\n";
+    oss << "add r1, r1, r9\n";
+    // Guard the ragged final group.
+    oss << "li r26, " << trip << "\n";
+    oss << "bge r1, r26, skip\n";
+    oss << "addi r20, r1, " << (kBase - d) << "\n";
+    oss << "ld r21, 0(r20)\n";
+    oss << "add r22, r21, r1\n";
+    oss << "addi r23, r1, " << kBase << "\n";
+    oss << "st r22, 0(r23)\n";
+    oss << "skip:\n";
+    oss << ".region 1\n";
+    oss << "addi r8, r8, 1\n";
+    oss << "bne r8, r2, loop\n";
+    oss << ".endregion\n";
+    oss << "halt\n";
+    return oss.str();
+}
+
+std::vector<std::int64_t>
+reference(int trip, int d)
+{
+    std::vector<std::int64_t> a(static_cast<std::size_t>(trip) + 32, 0);
+    for (int i = 0; i < trip; ++i) {
+        std::int64_t prev =
+            i >= d ? a[static_cast<std::size_t>(i - d)] : 0;
+        a[static_cast<std::size_t>(i)] = prev + i;
+    }
+    return a;
+}
+
+class CycleShrinkRun
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(CycleShrinkRun, ExactResultWithGroupBarriers)
+{
+    auto [trip, d] = GetParam();
+    sim::MachineConfig cfg;
+    cfg.numProcessors = d;
+    cfg.memWords = 2048;
+    cfg.jitterMean = 1.0;
+    cfg.seed = 3;
+    cfg.maxCycles = 10'000'000;
+    sim::Machine m(cfg);
+    for (int p = 0; p < d; ++p)
+        m.loadProgram(p, assembleOrDie(shrunkSource(trip, d, p)));
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked) << r.deadlockInfo;
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(m.checkSafetyProperty(), "");
+
+    // The group structure must agree with the transform.
+    auto groups = cycleShrink(trip, d);
+    EXPECT_EQ(r.syncEvents, groups.size());
+
+    auto ref = reference(trip, d);
+    for (int i = 0; i < trip; ++i) {
+        EXPECT_EQ(m.memory().peek(static_cast<std::size_t>(kBase + i)),
+                  ref[static_cast<std::size_t>(i)])
+            << "a[" << i << "], trip=" << trip << " d=" << d;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CycleShrinkRun,
+    ::testing::Values(std::make_pair(16, 2), std::make_pair(24, 4),
+                      std::make_pair(30, 4),  // ragged final group
+                      std::make_pair(40, 8),
+                      std::make_pair(9, 3)),
+    [](const ::testing::TestParamInfo<std::pair<int, int>> &info) {
+        return "t" + std::to_string(info.param.first) + "_d" +
+               std::to_string(info.param.second);
+    });
+
+} // namespace
+} // namespace fb::compiler

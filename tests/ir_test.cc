@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Unit tests for the three-address intermediate code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/block.hh"
+#include "ir/builder.hh"
+#include "ir/interp.hh"
+#include "ir/operand.hh"
+#include "ir/tac.hh"
+
+namespace fb::ir
+{
+namespace
+{
+
+// ------------------------------------------------------------------ Operand
+
+TEST(Operand, KindsAndAccessors)
+{
+    Operand t = Operand::temp(5);
+    EXPECT_TRUE(t.isTemp());
+    EXPECT_EQ(t.tempId(), 5);
+    EXPECT_TRUE(t.isRegisterLike());
+
+    Operand v = Operand::var("i");
+    EXPECT_TRUE(v.isVar());
+    EXPECT_EQ(v.name(), "i");
+    EXPECT_TRUE(v.isRegisterLike());
+
+    Operand c = Operand::constant(-3);
+    EXPECT_TRUE(c.isConst());
+    EXPECT_EQ(c.value(), -3);
+    EXPECT_FALSE(c.isRegisterLike());
+
+    Operand b = Operand::base("P");
+    EXPECT_TRUE(b.isBase());
+    EXPECT_EQ(b.name(), "P");
+
+    Operand none;
+    EXPECT_TRUE(none.isNone());
+}
+
+TEST(Operand, Equality)
+{
+    EXPECT_EQ(Operand::temp(1), Operand::temp(1));
+    EXPECT_FALSE(Operand::temp(1) == Operand::temp(2));
+    EXPECT_EQ(Operand::var("i"), Operand::var("i"));
+    EXPECT_FALSE(Operand::var("i") == Operand::base("i"));
+    EXPECT_EQ(Operand::constant(7), Operand::constant(7));
+    EXPECT_FALSE(Operand::constant(7) == Operand::constant(8));
+}
+
+TEST(Operand, ToString)
+{
+    EXPECT_EQ(Operand::temp(11).toString(), "T11");
+    EXPECT_EQ(Operand::var("j").toString(), "j");
+    EXPECT_EQ(Operand::constant(12).toString(), "12");
+    EXPECT_EQ(Operand::base("P").toString(), "P");
+}
+
+TEST(Operand, OrderingIsStrictWeak)
+{
+    Operand a = Operand::temp(1);
+    Operand b = Operand::var("x");
+    EXPECT_TRUE((a < b) != (b < a) || a == b);
+    EXPECT_FALSE(a < a);
+}
+
+// ----------------------------------------------------------------- TacInstr
+
+TEST(TacInstr, BuildersAndToString)
+{
+    auto add = TacInstr::arith(TacOp::Add, Operand::temp(3),
+                               Operand::temp(1), Operand::temp(2));
+    EXPECT_EQ(add.toString(), "T3 = T1 + T2");
+
+    auto copy = TacInstr::copy(Operand::var("i"), Operand::constant(1));
+    EXPECT_EQ(copy.toString(), "i = 1");
+
+    auto load = TacInstr::load(Operand::temp(4), Operand::temp(3));
+    EXPECT_EQ(load.toString(), "T4 = [T3]");
+
+    auto store = TacInstr::store(Operand::temp(3), Operand::temp(4));
+    EXPECT_EQ(store.toString(), "[T3] = T4");
+}
+
+TEST(TacInstr, CommentRendered)
+{
+    auto i = TacInstr::copy(Operand::var("i"), Operand::constant(1));
+    i.comment = "init";
+    EXPECT_NE(i.toString().find("/* init */"), std::string::npos);
+}
+
+TEST(TacInstr, ReadsAndWrites)
+{
+    auto add = TacInstr::arith(TacOp::Add, Operand::temp(3),
+                               Operand::temp(1), Operand::constant(4));
+    auto reads = readsOf(add);
+    ASSERT_EQ(reads.size(), 1u);  // constants are not register reads
+    EXPECT_EQ(reads[0], Operand::temp(1));
+    EXPECT_EQ(writeOf(add), Operand::temp(3));
+
+    auto store = TacInstr::store(Operand::temp(1), Operand::temp(2));
+    auto sreads = readsOf(store);
+    ASSERT_EQ(sreads.size(), 2u);  // address and value
+    EXPECT_TRUE(writeOf(store).isNone());
+
+    auto load = TacInstr::load(Operand::temp(5), Operand::temp(1));
+    EXPECT_EQ(readsOf(load).size(), 1u);
+    EXPECT_EQ(writeOf(load), Operand::temp(5));
+}
+
+// -------------------------------------------------------------------- Block
+
+TEST(Block, AppendAndAccess)
+{
+    Block b;
+    EXPECT_TRUE(b.empty());
+    auto idx = b.append(TacInstr::copy(Operand::var("i"),
+                                       Operand::constant(0)));
+    EXPECT_EQ(idx, 0u);
+    EXPECT_EQ(b.size(), 1u);
+    EXPECT_EQ(b.at(0).op, TacOp::Copy);
+}
+
+TEST(Block, MarkedIndices)
+{
+    Block b;
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(0)));
+    auto ld = TacInstr::load(Operand::temp(2), Operand::temp(1));
+    ld.marked = true;
+    b.append(ld);
+    auto marked = b.markedIndices();
+    ASSERT_EQ(marked.size(), 1u);
+    EXPECT_EQ(marked[0], 1u);
+}
+
+TEST(Block, AnnotatedStringGroupsRegions)
+{
+    Block b;
+    auto r = TacInstr::copy(Operand::temp(1), Operand::constant(0));
+    r.inRegion = true;
+    b.append(r);
+    auto nb = TacInstr::copy(Operand::temp(2), Operand::constant(1));
+    nb.marked = true;
+    b.append(nb);
+    std::string s = b.toAnnotatedString();
+    EXPECT_NE(s.find("Barrier:"), std::string::npos);
+    EXPECT_NE(s.find("Non-barrier:"), std::string::npos);
+    EXPECT_NE(s.find("<marked>"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Builder
+
+TEST(IrBuilder, Addr2DShape)
+{
+    IrBuilder b;
+    Operand addr = b.emitAddr2D("P", Operand::var("i"), Operand::var("j"),
+                                12, 4);
+    const Block &blk = b.block();
+    // Four instructions: mul, add, mul, add.
+    ASSERT_EQ(blk.size(), 4u);
+    EXPECT_EQ(blk.at(0).op, TacOp::Mul);
+    EXPECT_EQ(blk.at(1).op, TacOp::Add);
+    EXPECT_EQ(blk.at(2).op, TacOp::Mul);
+    EXPECT_EQ(blk.at(3).op, TacOp::Add);
+    EXPECT_EQ(blk.at(3).dst, addr);
+    EXPECT_NE(blk.at(3).comment.find("address of P[i][j]"),
+              std::string::npos);
+}
+
+TEST(IrBuilder, LoadStoreCarryArrayAndMark)
+{
+    IrBuilder b;
+    Operand addr = b.newTemp();
+    b.emitCopy(addr, Operand::constant(10));
+    Operand v = b.emitLoad(addr, "P", true);
+    b.emitStore(addr, v, "P", false);
+    const Block &blk = b.block();
+    EXPECT_EQ(blk.at(1).array, "P");
+    EXPECT_TRUE(blk.at(1).marked);
+    EXPECT_EQ(blk.at(2).array, "P");
+    EXPECT_FALSE(blk.at(2).marked);
+}
+
+TEST(IrBuilder, TempIdsIncrease)
+{
+    IrBuilder b;
+    Operand t1 = b.newTemp();
+    Operand t2 = b.newTemp();
+    EXPECT_NE(t1.tempId(), t2.tempId());
+    EXPECT_EQ(b.tempCount(), 2);
+}
+
+// ------------------------------------------------------------- Interpreter
+
+TEST(Interp, ArithmeticAndMemory)
+{
+    IrBuilder b;
+    Operand i = Operand::var("i");
+    Operand addr = b.emitAddr2D("A", i, Operand::constant(2), 10, 1);
+    Operand v = b.emitLoad(addr, "A", false);
+    Operand w = b.emitArith(TacOp::Mul, v, Operand::constant(3));
+    b.emitStore(addr, w, "A", false);
+
+    InterpState state;
+    state.vars["i"] = 1;
+    state.bases["A"] = 100;
+    state.memory.assign(256, 0);
+    state.memory[112] = 7;  // A[1][2] = 100 + 1*10 + 2
+
+    interpret(b.block(), state);
+    EXPECT_EQ(state.memory[112], 21);
+}
+
+TEST(Interp, VarWrites)
+{
+    Block b;
+    b.append(TacInstr::copy(Operand::var("x"), Operand::constant(4)));
+    b.append(TacInstr::arith(TacOp::Add, Operand::var("x"),
+                             Operand::var("x"), Operand::constant(1)));
+    InterpState state;
+    interpret(b, state);
+    EXPECT_EQ(state.vars["x"], 5);
+}
+
+TEST(Interp, DivTruncates)
+{
+    Block b;
+    b.append(TacInstr::arith(TacOp::Div, Operand::temp(1),
+                             Operand::constant(7), Operand::constant(2)));
+    InterpState state;
+    interpret(b, state);
+    EXPECT_EQ(state.temps[1], 3);
+}
+
+TEST(Interp, SubAndCopyChain)
+{
+    Block b;
+    b.append(TacInstr::copy(Operand::temp(1), Operand::constant(10)));
+    b.append(TacInstr::arith(TacOp::Sub, Operand::temp(2),
+                             Operand::temp(1), Operand::constant(4)));
+    b.append(TacInstr::copy(Operand::var("out"), Operand::temp(2)));
+    InterpState state;
+    interpret(b, state);
+    EXPECT_EQ(state.vars["out"], 6);
+}
+
+} // namespace
+} // namespace fb::ir

@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Unit tests for the ISA: opcodes, instructions, programs, assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+#include "isa/program.hh"
+
+namespace fb::isa
+{
+namespace
+{
+
+// ------------------------------------------------------------------ Opcodes
+
+TEST(Opcode, NameRoundTrip)
+{
+    for (int i = 0; i <= static_cast<int>(Opcode::HALT); ++i) {
+        auto op = static_cast<Opcode>(i);
+        Opcode back;
+        ASSERT_TRUE(opcodeFromName(opcodeName(op), back))
+            << opcodeName(op);
+        EXPECT_EQ(back, op);
+    }
+}
+
+TEST(Opcode, UnknownNameRejected)
+{
+    Opcode op;
+    EXPECT_FALSE(opcodeFromName("bogus", op));
+}
+
+TEST(Opcode, Classification)
+{
+    EXPECT_TRUE(isBranch(Opcode::BEQ));
+    EXPECT_TRUE(isBranch(Opcode::JMP));
+    EXPECT_FALSE(isBranch(Opcode::ADD));
+    EXPECT_TRUE(isMemory(Opcode::LD));
+    EXPECT_TRUE(isMemory(Opcode::ST));
+    EXPECT_FALSE(isMemory(Opcode::NOP));
+}
+
+TEST(Opcode, Latencies)
+{
+    EXPECT_EQ(baseLatency(Opcode::ADD), 1);
+    EXPECT_GT(baseLatency(Opcode::MUL), 1);
+    EXPECT_GT(baseLatency(Opcode::DIV), baseLatency(Opcode::MUL));
+}
+
+// ------------------------------------------------------------- Instruction
+
+TEST(Instruction, BuildersSetFields)
+{
+    auto add = Instruction::rrr(Opcode::ADD, 1, 2, 3);
+    EXPECT_EQ(add.op, Opcode::ADD);
+    EXPECT_EQ(add.rd, 1);
+    EXPECT_EQ(add.rs1, 2);
+    EXPECT_EQ(add.rs2, 3);
+    EXPECT_FALSE(add.inRegion);
+
+    auto ld = Instruction::ld(4, 5, -8);
+    EXPECT_EQ(ld.op, Opcode::LD);
+    EXPECT_EQ(ld.imm, -8);
+
+    auto st = Instruction::st(6, 16, 7);
+    EXPECT_EQ(st.rs1, 6);
+    EXPECT_EQ(st.rs2, 7);
+    EXPECT_EQ(st.imm, 16);
+
+    auto b = Instruction::branch(Opcode::BNE, 1, 2, 10);
+    EXPECT_EQ(b.imm, 10);
+}
+
+TEST(Instruction, RegionChaining)
+{
+    auto i = Instruction::simple(Opcode::NOP).region();
+    EXPECT_TRUE(i.inRegion);
+    EXPECT_NE(i.toString().find("[region]"), std::string::npos);
+}
+
+TEST(Instruction, ToStringForms)
+{
+    EXPECT_EQ(Instruction::rrr(Opcode::ADD, 1, 2, 3).toString(),
+              "add r1, r2, r3");
+    EXPECT_EQ(Instruction::li(2, -5).toString(), "li r2, -5");
+    EXPECT_EQ(Instruction::ld(1, 2, 8).toString(), "ld r1, 8(r2)");
+    EXPECT_EQ(Instruction::st(2, 8, 1).toString(), "st r1, 8(r2)");
+    EXPECT_EQ(Instruction::jmp(7).toString(), "jmp 7");
+    EXPECT_EQ(Instruction::settag(3).toString(), "settag 3");
+    EXPECT_EQ(Instruction::simple(Opcode::HALT).toString(), "halt");
+}
+
+// ------------------------------------------------------------------ Program
+
+TEST(Program, LabelsResolve)
+{
+    Program p;
+    p.defineLabel("top");
+    p.append(Instruction::li(1, 0));
+    p.appendBranchTo(Opcode::BEQ, 1, 0, "end");
+    p.appendJumpTo("top");
+    p.defineLabel("end");
+    p.append(Instruction::simple(Opcode::HALT));
+    p.finalize();
+
+    EXPECT_EQ(p.labelIndex("top").value(), 0u);
+    EXPECT_EQ(p.labelIndex("end").value(), 3u);
+    EXPECT_EQ(p.at(1).imm, 3);
+    EXPECT_EQ(p.at(2).imm, 0);
+    EXPECT_FALSE(p.labelIndex("missing").has_value());
+}
+
+TEST(Program, TrailingLabelBindsPastEnd)
+{
+    Program p;
+    p.appendJumpTo("end");
+    p.defineLabel("end");
+    p.finalize();
+    EXPECT_EQ(p.at(0).imm, 1);
+}
+
+TEST(Program, RegionRuns)
+{
+    Program p;
+    p.append(Instruction::li(1, 0));                              // 0
+    p.append(Instruction::simple(Opcode::NOP).region(), 1);       // 1
+    p.append(Instruction::simple(Opcode::NOP).region(), 1);       // 2
+    p.append(Instruction::li(2, 0));                              // 3
+    p.append(Instruction::simple(Opcode::NOP).region(), 2);       // 4
+    p.finalize();
+
+    auto runs = p.regionRuns();
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs[0].first, 1u);
+    EXPECT_EQ(runs[0].last, 2u);
+    EXPECT_EQ(runs[0].barrierId, 1);
+    EXPECT_EQ(runs[1].first, 4u);
+    EXPECT_EQ(runs[1].last, 4u);
+    EXPECT_EQ(runs[1].barrierId, 2);
+    EXPECT_DOUBLE_EQ(p.regionFraction(), 3.0 / 5.0);
+}
+
+TEST(Program, RegionFractionEmpty)
+{
+    Program p;
+    p.finalize();
+    EXPECT_DOUBLE_EQ(p.regionFraction(), 0.0);
+}
+
+TEST(Program, ValidRegionBranchesAccepted)
+{
+    // A loop whose barrier region spans the backedge: branch from the
+    // region's tail back to region code with the SAME barrier id — the
+    // legal pattern from Fig. 4 of the paper.
+    Program p;
+    p.defineLabel("top");
+    p.append(Instruction::simple(Opcode::NOP).region(), 1);   // 0 region
+    p.append(Instruction::li(1, 1));                          // 1 non-barrier
+    p.append(Instruction::rri(Opcode::ADDI, 2, 2, 1).region(), 1); // 2
+    p.appendBranchTo(Opcode::BNE, 2, 3, "top", 1);            // 3 region
+    p.at(3).inRegion = true;
+    p.append(Instruction::simple(Opcode::HALT));              // 4
+    p.finalize();
+    EXPECT_FALSE(p.checkRegionBranches().has_value());
+}
+
+TEST(Program, InvalidBranchBetweenBarriersDetected)
+{
+    // Fig. 2: a branch transfers control directly from barrier 1's
+    // region into barrier 2's region.
+    Program p;
+    p.append(Instruction::simple(Opcode::NOP).region(), 1);   // 0
+    p.appendJumpTo("other", 1);                               // 1
+    p.at(1).inRegion = true;
+    p.append(Instruction::li(1, 0));                          // 2
+    p.defineLabel("other");
+    p.append(Instruction::simple(Opcode::NOP).region(), 2);   // 3
+    p.append(Instruction::simple(Opcode::HALT));              // 4
+    p.finalize();
+    auto err = p.checkRegionBranches();
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("invalid branch"), std::string::npos);
+}
+
+TEST(Program, AdjacentDistinctRegionsDetectedViaFallthrough)
+{
+    Program p;
+    p.append(Instruction::simple(Opcode::NOP).region(), 1);
+    p.append(Instruction::simple(Opcode::NOP).region(), 2);
+    p.finalize();
+    EXPECT_TRUE(p.checkRegionBranches().has_value());
+}
+
+TEST(Program, MarkerEncodingInsertsMarkers)
+{
+    Program p;
+    p.append(Instruction::li(1, 0));                           // 0
+    p.append(Instruction::simple(Opcode::NOP).region(), 1);    // 1
+    p.append(Instruction::simple(Opcode::NOP).region(), 1);    // 2
+    p.append(Instruction::li(2, 0));                           // 3
+    p.finalize();
+
+    Program m = p.toMarkerEncoding();
+    // li, BRENTER, nop, nop, BREXIT, li
+    ASSERT_EQ(m.size(), 6u);
+    EXPECT_EQ(m.at(0).op, Opcode::LI);
+    EXPECT_EQ(m.at(1).op, Opcode::BRENTER);
+    EXPECT_EQ(m.at(2).op, Opcode::NOP);
+    EXPECT_EQ(m.at(4).op, Opcode::BREXIT);
+    EXPECT_EQ(m.at(5).op, Opcode::LI);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        EXPECT_FALSE(m.at(i).inRegion);
+}
+
+TEST(Program, MarkerEncodingRepointsBranches)
+{
+    Program p;
+    p.defineLabel("top");
+    p.append(Instruction::li(1, 0));                           // 0
+    p.append(Instruction::simple(Opcode::NOP).region(), 1);    // 1
+    p.appendBranchTo(Opcode::BEQ, 1, 0, "top");                // 2
+    p.append(Instruction::simple(Opcode::HALT));               // 3
+    p.finalize();
+
+    Program m = p.toMarkerEncoding();
+    // Branch targets get a marker matching their regionness so the
+    // dynamic flag is correct along every incoming edge:
+    // BREXIT, li, BRENTER, nop, BREXIT, beq, halt — beq targets the
+    // BREXIT at index 0.
+    ASSERT_EQ(m.size(), 7u);
+    EXPECT_EQ(m.at(0).op, Opcode::BREXIT);
+    EXPECT_EQ(m.at(5).op, Opcode::BEQ);
+    EXPECT_EQ(m.at(5).imm, 0);
+}
+
+TEST(Program, MarkerEncodingRegionSpanningBackedge)
+{
+    // A loop whose barrier region spans the backedge (the Fig. 4
+    // shape): the loop-top work must be reached through a BREXIT so
+    // the marker flag clears on the taken path too.
+    Program p;
+    p.defineLabel("top");
+    p.append(Instruction::rri(Opcode::ADDI, 3, 3, 1));             // work
+    p.append(Instruction::rri(Opcode::ADDI, 1, 1, 1).region(), 1); // region
+    p.appendBranchTo(Opcode::BNE, 1, 2, "top", 1);                 // region
+    p.at(2).inRegion = true;
+    p.append(Instruction::simple(Opcode::HALT));
+    p.finalize();
+
+    Program m = p.toMarkerEncoding();
+    // BREXIT, addi, BRENTER, addi, bne->0, BREXIT, halt
+    ASSERT_EQ(m.size(), 7u);
+    EXPECT_EQ(m.at(0).op, Opcode::BREXIT);
+    EXPECT_EQ(m.at(2).op, Opcode::BRENTER);
+    EXPECT_EQ(m.at(4).op, Opcode::BNE);
+    EXPECT_EQ(m.at(4).imm, 0);
+    EXPECT_EQ(m.at(5).op, Opcode::BREXIT);
+}
+
+TEST(Program, MarkerEncodingTrailingRegionClosed)
+{
+    Program p;
+    p.append(Instruction::simple(Opcode::NOP).region(), 1);
+    p.finalize();
+    Program m = p.toMarkerEncoding();
+    ASSERT_EQ(m.size(), 3u);
+    EXPECT_EQ(m.at(0).op, Opcode::BRENTER);
+    EXPECT_EQ(m.at(2).op, Opcode::BREXIT);
+}
+
+TEST(Program, ToStringShowsLabels)
+{
+    Program p;
+    p.defineLabel("loop");
+    p.append(Instruction::li(1, 3));
+    p.finalize();
+    std::string s = p.toString();
+    EXPECT_NE(s.find("loop:"), std::string::npos);
+    EXPECT_NE(s.find("li r1, 3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Assembler
+
+TEST(Assembler, RoundTrip)
+{
+    const std::string src = R"(
+        ; a small stream
+        settag 1
+        setmask 3
+        li   r1, 0
+        li   r2, 10
+    loop:
+        add  r3, r3, r1
+        ld   r4, 8(r5)
+        st   r4, 0(r5)
+    .region 1
+        addi r1, r1, 1
+        bne  r1, r2, loop
+    .endregion
+        halt
+    )";
+    Program p;
+    std::string err;
+    ASSERT_TRUE(Assembler::assemble(src, p, err)) << err;
+    ASSERT_EQ(p.size(), 10u);
+    EXPECT_EQ(p.at(0).op, Opcode::SETTAG);
+    EXPECT_EQ(p.at(0).imm, 1);
+    EXPECT_EQ(p.at(1).op, Opcode::SETMASK);
+    EXPECT_EQ(p.at(5).op, Opcode::LD);
+    EXPECT_EQ(p.at(5).imm, 8);
+    EXPECT_TRUE(p.at(7).inRegion);
+    EXPECT_TRUE(p.at(8).inRegion);
+    EXPECT_EQ(p.barrierId(7), 1);
+    EXPECT_FALSE(p.at(9).inRegion);
+    // bne targets the loop label at index 4.
+    EXPECT_EQ(p.at(8).imm, 4);
+    EXPECT_FALSE(p.checkRegionBranches().has_value());
+}
+
+TEST(Assembler, CallRetIretRoundTrip)
+{
+    const std::string src = R"(
+        call r27, func
+        iret
+    func:
+        faa r1, 8(r2), r3
+        ret r27
+    )";
+    Program p;
+    std::string err;
+    ASSERT_TRUE(Assembler::assemble(src, p, err)) << err;
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.at(0).op, Opcode::CALL);
+    EXPECT_EQ(p.at(0).rd, 27);
+    EXPECT_EQ(p.at(0).imm, 2);  // func label
+    EXPECT_EQ(p.at(1).op, Opcode::IRET);
+    EXPECT_EQ(p.at(2).op, Opcode::FAA);
+    EXPECT_EQ(p.at(3).op, Opcode::RET);
+    EXPECT_EQ(p.at(3).rs1, 27);
+    EXPECT_EQ(p.at(0).toString(), "call r27, 2");
+    EXPECT_EQ(p.at(3).toString(), "ret r27");
+}
+
+TEST(Assembler, CallInRegionKeepsBit)
+{
+    Program p;
+    std::string err;
+    ASSERT_TRUE(Assembler::assemble(
+        "nop\n.region 1\ncall r27, f\n.endregion\nhalt\nf:\nret r27\n",
+        p, err))
+        << err;
+    EXPECT_TRUE(p.at(1).inRegion);
+    EXPECT_EQ(p.barrierId(1), 1);
+}
+
+TEST(Assembler, ErrorMalformedCall)
+{
+    Program p;
+    std::string err;
+    EXPECT_FALSE(Assembler::assemble("call func\n", p, err));
+    EXPECT_FALSE(Assembler::assemble("ret\n", p, err));
+}
+
+TEST(Program, MarkerEncodingRepointsCalls)
+{
+    Program p;
+    p.append(Instruction::simple(Opcode::NOP).region(), 1);   // 0
+    p.appendCallTo(27, "f");                                  // 1
+    p.append(Instruction::simple(Opcode::HALT));              // 2
+    p.defineLabel("f");
+    p.append(Instruction::ret(27));                           // 3
+    p.finalize();
+
+    Program m = p.toMarkerEncoding();
+    // BRENTER, nop, BREXIT, call, halt, ret — the call targets ret
+    // directly (no marker: procedures inherit region status
+    // dynamically).
+    ASSERT_EQ(m.size(), 6u);
+    EXPECT_EQ(m.at(3).op, Opcode::CALL);
+    EXPECT_EQ(m.at(3).imm, 5);
+    EXPECT_EQ(m.at(5).op, Opcode::RET);
+}
+
+TEST(Assembler, NumericBranchTarget)
+{
+    Program p;
+    std::string err;
+    ASSERT_TRUE(Assembler::assemble("jmp 0\nhalt\n", p, err)) << err;
+    EXPECT_EQ(p.at(0).imm, 0);
+}
+
+TEST(Assembler, ErrorUnknownMnemonic)
+{
+    Program p;
+    std::string err;
+    EXPECT_FALSE(Assembler::assemble("frobnicate r1, r2\n", p, err));
+    EXPECT_NE(err.find("line 1"), std::string::npos);
+    EXPECT_NE(err.find("frobnicate"), std::string::npos);
+}
+
+TEST(Assembler, ErrorBadRegister)
+{
+    Program p;
+    std::string err;
+    EXPECT_FALSE(Assembler::assemble("add r1, r2, r99\n", p, err));
+    EXPECT_FALSE(Assembler::assemble("add r1, r2\n", p, err));
+}
+
+TEST(Assembler, ErrorUndefinedLabel)
+{
+    Program p;
+    std::string err;
+    EXPECT_FALSE(Assembler::assemble("jmp nowhere\n", p, err));
+    EXPECT_NE(err.find("nowhere"), std::string::npos);
+}
+
+TEST(Assembler, ErrorUnterminatedRegion)
+{
+    Program p;
+    std::string err;
+    EXPECT_FALSE(Assembler::assemble(".region 1\nnop\n", p, err));
+    EXPECT_NE(err.find("unterminated"), std::string::npos);
+}
+
+TEST(Assembler, ErrorNestedRegion)
+{
+    Program p;
+    std::string err;
+    EXPECT_FALSE(
+        Assembler::assemble(".region 1\n.region 2\n.endregion\n", p, err));
+}
+
+TEST(Assembler, ErrorEndRegionOutsideRegion)
+{
+    Program p;
+    std::string err;
+    EXPECT_FALSE(Assembler::assemble(".endregion\n", p, err));
+}
+
+TEST(Assembler, ErrorMalformedMemOperand)
+{
+    Program p;
+    std::string err;
+    EXPECT_FALSE(Assembler::assemble("ld r1, r2\n", p, err));
+    EXPECT_FALSE(Assembler::assemble("ld r1, 4(r2\n", p, err));
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p;
+    std::string err;
+    ASSERT_TRUE(Assembler::assemble(
+        "; full line comment\n\n   \nnop ; trailing\n", p, err))
+        << err;
+    EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Assembler, LabelOnOwnLine)
+{
+    Program p;
+    std::string err;
+    ASSERT_TRUE(Assembler::assemble("top:\n  jmp top\n", p, err)) << err;
+    EXPECT_EQ(p.at(0).imm, 0);
+}
+
+TEST(Assembler, RegionBranchCarriesRegionBit)
+{
+    Program p;
+    std::string err;
+    ASSERT_TRUE(Assembler::assemble(
+        "top:\nnop\n.region 1\nbne r1, r2, top\n.endregion\nhalt\n", p,
+        err))
+        << err;
+    EXPECT_TRUE(p.at(1).inRegion);
+}
+
+} // namespace
+} // namespace fb::isa

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Red-black relaxation: exact determinism through the barrier
+ * machinery. The parallel machine result must equal the sequential
+ * reference bit-for-bit, under every timing perturbation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/redblack.hh"
+
+namespace fb::core
+{
+namespace
+{
+
+sim::MachineConfig
+config(int procs)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcessors = procs;
+    cfg.memWords = 1 << 14;
+    cfg.maxCycles = 50'000'000;
+    return cfg;
+}
+
+TEST(RedBlack, ReferenceConvergesTowardBoundary)
+{
+    RedBlackWorkload wl(4, 40);
+    auto g = wl.reference(100, 0);
+    // After many sweeps the interior approaches the boundary value.
+    for (int r = 1; r <= 4; ++r)
+        for (int c = 1; c <= 4; ++c)
+            EXPECT_GE(g[static_cast<std::size_t>(r * 6 + c)], 95);
+}
+
+TEST(RedBlack, MachineMatchesReferenceExactly)
+{
+    RedBlackWorkload wl(4, 10);
+    auto result = wl.execute(config(4), 80, 0, true);
+    EXPECT_FALSE(result.run.deadlocked);
+    EXPECT_FALSE(result.run.timedOut);
+    EXPECT_EQ(result.mismatches, 0u);
+    EXPECT_TRUE(result.correct);
+    // Two barrier episodes per sweep.
+    EXPECT_EQ(result.run.syncEvents, 20u);
+}
+
+TEST(RedBlack, PointBarrierAlsoExactButSlower)
+{
+    RedBlackWorkload wl(4, 8);
+    auto cfg = config(4);
+    cfg.jitterMean = 2.0;
+    cfg.seed = 5;
+    auto fuzzy = wl.execute(cfg, 80, 0, true);
+    auto point = wl.execute(cfg, 80, 0, false);
+    EXPECT_TRUE(fuzzy.correct);
+    EXPECT_TRUE(point.correct);
+    // Under drift the fuzzy regions absorb part of the wait.
+    EXPECT_LE(fuzzy.run.totalBarrierWait(),
+              point.run.totalBarrierWait());
+}
+
+TEST(RedBlack, ExactUnderAllPerturbations)
+{
+    // The killer property: jitter, pipelining, and multi-issue change
+    // the interleaving, yet the result stays bit-identical — the
+    // red/black barriers fully determine the dataflow.
+    RedBlackWorkload wl(3, 6);
+    for (double jitter : {0.0, 3.0}) {
+        for (int depth : {1, 4}) {
+            for (int width : {1, 4}) {
+                auto cfg = config(3);
+                cfg.jitterMean = jitter;
+                cfg.seed = 17;
+                cfg.pipelineDepth = depth;
+                cfg.issueWidth = width;
+                auto result = wl.execute(cfg, 64, 8, true);
+                EXPECT_TRUE(result.correct)
+                    << "jitter=" << jitter << " depth=" << depth
+                    << " width=" << width
+                    << " mismatches=" << result.mismatches;
+            }
+        }
+    }
+}
+
+TEST(RedBlack, SingleRowGrid)
+{
+    RedBlackWorkload wl(1, 4);
+    auto result = wl.execute(config(1), 9, 1, true);
+    EXPECT_TRUE(result.correct);
+}
+
+TEST(RedBlack, OddGridSize)
+{
+    RedBlackWorkload wl(5, 5);
+    auto result = wl.execute(config(5), 50, 2, true);
+    EXPECT_TRUE(result.correct);
+    EXPECT_EQ(result.run.syncEvents, 10u);
+}
+
+} // namespace
+} // namespace fb::core

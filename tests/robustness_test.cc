@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Robustness: invalid programs and misuse must fail loudly (panic via
+ * FB_ASSERT or fatal) instead of corrupting the simulation, and edge
+ * cases must be handled. Death tests document the failure contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+#include "support/table.hh"
+
+namespace fb::sim
+{
+namespace
+{
+
+isa::Program
+assembleOrDie(const std::string &src)
+{
+    isa::Program p;
+    std::string err;
+    if (!isa::Assembler::assemble(src, p, err))
+        ADD_FAILURE() << "assembly failed: " << err;
+    return p;
+}
+
+MachineConfig
+config(int procs)
+{
+    MachineConfig cfg;
+    cfg.numProcessors = procs;
+    cfg.memWords = 1024;
+    cfg.maxCycles = 100'000;
+    return cfg;
+}
+
+using RobustnessDeathTest = ::testing::Test;
+
+TEST(RobustnessDeathTest, RetWithoutCallPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Machine m(config(1));
+    m.loadProgram(0, assembleOrDie("ret r27\n"));
+    EXPECT_DEATH(m.run(), "RET without matching CALL");
+}
+
+TEST(RobustnessDeathTest, DivisionByZeroPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Machine m(config(1));
+    m.loadProgram(0, assembleOrDie("li r1, 5\ndiv r2, r1, r3\nhalt\n"));
+    EXPECT_DEATH(m.run(), "division by zero");
+}
+
+TEST(RobustnessDeathTest, OutOfRangeStorePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Machine m(config(1));
+    m.loadProgram(0, assembleOrDie("li r1, 999999\nst r1, 0(r1)\nhalt\n"));
+    EXPECT_DEATH(m.run(), "out-of-range");
+}
+
+TEST(RobustnessDeathTest, IretOutsideIsrPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Machine m(config(1));
+    m.loadProgram(0, assembleOrDie("iret\n"));
+    EXPECT_DEATH(m.run(), "IRET outside");
+}
+
+TEST(Robustness, RunOffEndOfProgramHaltsCleanly)
+{
+    // A stream without HALT simply ends at the last instruction.
+    Machine m(config(1));
+    m.loadProgram(0, assembleOrDie("li r1, 3\naddi r1, r1, 1\n"));
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(m.processor(0).reg(1), 4);
+}
+
+TEST(Robustness, BranchToEndTerminates)
+{
+    Machine m(config(1));
+    m.loadProgram(0, assembleOrDie("jmp end\nnop\nend:\n"));
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_EQ(m.processor(0).instructions(), 1u);
+}
+
+TEST(Robustness, SelfMaskedProcessorSyncsAlone)
+{
+    // A mask naming only yourself is an empty group: every episode
+    // completes immediately.
+    Machine m(config(1));
+    m.loadProgram(0, assembleOrDie(R"(
+        settag 1
+        setmask 1
+        nop
+    .region 1
+        nop
+    .endregion
+        halt
+    )"));
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_EQ(r.syncEvents, 1u);
+}
+
+TEST(Robustness, SixtyFourProcessors)
+{
+    // The documented upper bound: all 64 processors synchronize.
+    MachineConfig cfg = config(64);
+    cfg.memWords = 1 << 14;
+    Machine m(cfg);
+    std::ostringstream oss;
+    oss << "settag 1\n";
+    oss << "setmask " << -1 << "\n";  // all bits set
+    oss << "nop\n.region 1\nnop\n.endregion\nhalt\n";
+    auto prog = assembleOrDie(oss.str());
+    m.loadAllPrograms(prog);
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_EQ(r.syncEvents, 1u);
+    EXPECT_EQ(m.checkSafetyProperty(), "");
+}
+
+TEST(Robustness, MaxTagValueWorks)
+{
+    Machine m(config(2));
+    const std::string src = R"(
+        settag 4294967295
+        setmask 3
+        nop
+    .region 1
+        nop
+    .endregion
+        halt
+    )";
+    m.loadProgram(0, assembleOrDie(src));
+    m.loadProgram(1, assembleOrDie(src));
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_EQ(r.syncEvents, 1u);
+}
+
+TEST(Robustness, TableCsvEscaping)
+{
+    Table t("x");
+    t.setHeader({"name", "value"});
+    t.row().cell("has,comma").cell(std::int64_t{1});
+    t.row().cell("has\"quote").cell(std::int64_t{2});
+    t.row().cell("plain").cell(std::int64_t{3});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "name,value\n"
+                         "\"has,comma\",1\n"
+                         "\"has\"\"quote\",2\n"
+                         "plain,3\n");
+}
+
+} // namespace
+} // namespace fb::sim

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for the loop iteration schedulers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sched/schedule.hh"
+
+namespace fb::sched
+{
+namespace
+{
+
+/** Every iteration appears exactly once. */
+void
+expectPartition(const Assignment &a, int iterations)
+{
+    std::set<int> seen;
+    for (const auto &list : a) {
+        for (int it : list) {
+            EXPECT_GE(it, 0);
+            EXPECT_LT(it, iterations);
+            EXPECT_TRUE(seen.insert(it).second)
+                << "iteration " << it << " assigned twice";
+        }
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), iterations);
+}
+
+TEST(BlockSchedule, ContiguousChunks)
+{
+    auto a = blockSchedule(10, 3);
+    expectPartition(a, 10);
+    // ceil(10/3) = 4: loads 4,4,2.
+    EXPECT_EQ(loadPerProcessor(a), (std::vector<int>{4, 4, 2}));
+    // Each processor's share is contiguous and increasing.
+    for (const auto &list : a)
+        for (std::size_t k = 1; k < list.size(); ++k)
+            EXPECT_EQ(list[k], list[k - 1] + 1);
+}
+
+TEST(BlockSchedule, ExactDivision)
+{
+    auto a = blockSchedule(12, 4);
+    expectPartition(a, 12);
+    EXPECT_EQ(maxLoad(a), 3);
+    EXPECT_EQ(minLoad(a), 3);
+}
+
+TEST(BlockSchedule, MoreProcsThanIterations)
+{
+    auto a = blockSchedule(2, 5);
+    expectPartition(a, 2);
+    EXPECT_EQ(maxLoad(a), 1);
+    EXPECT_EQ(minLoad(a), 0);
+}
+
+TEST(CyclicSchedule, RoundRobin)
+{
+    auto a = cyclicSchedule(7, 3);
+    expectPartition(a, 7);
+    EXPECT_EQ(a[0], (std::vector<int>{0, 3, 6}));
+    EXPECT_EQ(a[1], (std::vector<int>{1, 4}));
+    EXPECT_EQ(a[2], (std::vector<int>{2, 5}));
+}
+
+TEST(RotatingSchedule, ExtraIterationRotates)
+{
+    // Fig. 11: 4 iterations on 3 processors; the processor with 2
+    // iterations changes with the outer index.
+    for (int outer = 0; outer < 6; ++outer) {
+        auto a = rotatingSchedule(4, 3, outer);
+        expectPartition(a, 4);
+        EXPECT_EQ(maxLoad(a), 2);
+        EXPECT_EQ(minLoad(a), 1);
+        // The heavy processor is outer % 3.
+        for (int p = 0; p < 3; ++p) {
+            EXPECT_EQ(static_cast<int>(a[static_cast<std::size_t>(p)]
+                                           .size()),
+                      p == outer % 3 ? 2 : 1)
+                << "outer=" << outer << " p=" << p;
+        }
+    }
+}
+
+TEST(RotatingSchedule, BalancedOverFullRotation)
+{
+    // Over P consecutive outer iterations, every processor does the
+    // same total work (the paper's equalization argument).
+    std::vector<int> totals(3, 0);
+    for (int outer = 0; outer < 3; ++outer) {
+        auto a = rotatingSchedule(4, 3, outer);
+        for (int p = 0; p < 3; ++p)
+            totals[static_cast<std::size_t>(p)] +=
+                static_cast<int>(a[static_cast<std::size_t>(p)].size());
+    }
+    EXPECT_EQ(totals, (std::vector<int>{4, 4, 4}));
+}
+
+TEST(ChunkSelfSchedule, FixedChunks)
+{
+    auto a = chunkSelfSchedule(10, 3, 2);
+    expectPartition(a, 10);
+    // Chunks of 2 dealt round-robin: p0 gets {0,1,6,7}, p1 {2,3,8,9},
+    // p2 {4,5}.
+    EXPECT_EQ(a[0], (std::vector<int>{0, 1, 6, 7}));
+    EXPECT_EQ(a[1], (std::vector<int>{2, 3, 8, 9}));
+    EXPECT_EQ(a[2], (std::vector<int>{4, 5}));
+}
+
+TEST(GuidedSelfSchedule, ChunksShrinkGeometrically)
+{
+    const int iters = 100;
+    const int procs = 4;
+    auto a = guidedSelfSchedule(iters, procs);
+    expectPartition(a, iters);
+    // First grab is ceil(100/4) = 25 contiguous iterations on p0.
+    ASSERT_GE(a[0].size(), 25u);
+    for (int k = 0; k < 25; ++k)
+        EXPECT_EQ(a[0][static_cast<std::size_t>(k)], k);
+    // GSS balances: completion-time spread is small.
+    EXPECT_LE(maxLoad(a) - minLoad(a), 25);
+}
+
+TEST(GuidedSelfSchedule, SmallCounts)
+{
+    auto a = guidedSelfSchedule(3, 4);
+    expectPartition(a, 3);
+    auto b = guidedSelfSchedule(0, 4);
+    EXPECT_EQ(totalAssigned(b), 0);
+}
+
+TEST(CostAwareChunk, BalancesFinishTimes)
+{
+    // Front-loaded costs: early iterations are 10x the late ones. The
+    // first-to-finish-grabs model spreads the expensive prefix.
+    std::vector<double> costs(20);
+    for (int i = 0; i < 20; ++i)
+        costs[static_cast<std::size_t>(i)] = i < 5 ? 10.0 : 1.0;
+    auto a = chunkSelfSchedule(20, 4, 1, costs);
+    expectPartition(a, 20);
+    // Per-processor total cost must be within one max-iteration cost
+    // of balanced (65 total / 4 ~ 16.25).
+    for (const auto &list : a) {
+        double total = 0;
+        for (int it : list)
+            total += costs[static_cast<std::size_t>(it)];
+        EXPECT_LE(total, 65.0 / 4 + 10.0);
+    }
+}
+
+TEST(CostAwareGss, PartitionsAndShrinks)
+{
+    std::vector<double> costs(30, 1.0);
+    auto a = guidedSelfSchedule(30, 3, costs);
+    expectPartition(a, 30);
+    // First grab is ceil(30/3) = 10 contiguous iterations.
+    ASSERT_GE(a[0].size(), 10u);
+    for (int k = 0; k < 10; ++k)
+        EXPECT_EQ(a[0][static_cast<std::size_t>(k)], k);
+}
+
+TEST(CostAwareGss, FirstToFinishGrabs)
+{
+    // Iterations 0..9 cost 1, so the first grabber finishes early and
+    // grabs again before the slow grabber of the expensive chunk.
+    std::vector<double> costs = {1, 1, 1, 50, 50, 50, 1, 1, 1, 1};
+    auto a = guidedSelfSchedule(10, 2, costs);
+    expectPartition(a, 10);
+    // p0 grabs {0..4} (cost 103)? No: GSS chunk = ceil(10/2)=5 for p0,
+    // then ceil(5/2)=3 for p1 (cost 52), then p1 finishes? p0 is at
+    // 103 so p1 (52) grabs the rest.
+    double c0 = 0, c1 = 0;
+    for (int it : a[0])
+        c0 += costs[static_cast<std::size_t>(it)];
+    for (int it : a[1])
+        c1 += costs[static_cast<std::size_t>(it)];
+    // The cheap remainder must have gone to the less-loaded one.
+    EXPECT_LE(std::max(c0, c1) - std::min(c0, c1), 103.0);
+}
+
+TEST(Helpers, Totals)
+{
+    auto a = blockSchedule(9, 2);
+    EXPECT_EQ(totalAssigned(a), 9);
+    EXPECT_EQ(maxLoad(a), 5);
+    EXPECT_EQ(minLoad(a), 4);
+}
+
+// ---------------------------------------------------- property sweeps
+
+struct SchedParam
+{
+    int iters;
+    int procs;
+};
+
+class ScheduleSweep : public ::testing::TestWithParam<SchedParam>
+{
+};
+
+TEST_P(ScheduleSweep, AllPoliciesPartition)
+{
+    auto [iters, procs] = GetParam();
+    expectPartition(blockSchedule(iters, procs), iters);
+    expectPartition(cyclicSchedule(iters, procs), iters);
+    expectPartition(chunkSelfSchedule(iters, procs, 3), iters);
+    expectPartition(guidedSelfSchedule(iters, procs), iters);
+    for (int outer = 0; outer < 3; ++outer)
+        expectPartition(rotatingSchedule(iters, procs, outer), iters);
+}
+
+TEST_P(ScheduleSweep, LoadBalanceBounds)
+{
+    auto [iters, procs] = GetParam();
+    // Block, cyclic, and rotating are within 1 of perfectly balanced.
+    for (const auto &a :
+         {cyclicSchedule(iters, procs),
+          rotatingSchedule(iters, procs, 1)}) {
+        EXPECT_LE(maxLoad(a) - minLoad(a), 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ScheduleSweep,
+    ::testing::Values(SchedParam{1, 1}, SchedParam{5, 2},
+                      SchedParam{16, 4}, SchedParam{17, 4},
+                      SchedParam{3, 8}, SchedParam{100, 7},
+                      SchedParam{64, 64}),
+    [](const ::testing::TestParamInfo<SchedParam> &info) {
+        return "i" + std::to_string(info.param.iters) + "_p" +
+               std::to_string(info.param.procs);
+    });
+
+} // namespace
+} // namespace fb::sched

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Unit tests for the support library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/bitvector.hh"
+#include "support/random.hh"
+#include "support/stats.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+
+namespace fb
+{
+namespace
+{
+
+// ---------------------------------------------------------------- BitVector
+
+TEST(BitVector, StartsAllClear)
+{
+    BitVector bv(10);
+    EXPECT_EQ(bv.size(), 10u);
+    EXPECT_TRUE(bv.none());
+    EXPECT_EQ(bv.count(), 0u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_FALSE(bv.test(i));
+}
+
+TEST(BitVector, SetAndClear)
+{
+    BitVector bv(70);  // crosses a word boundary
+    bv.set(0);
+    bv.set(65);
+    EXPECT_TRUE(bv.test(0));
+    EXPECT_TRUE(bv.test(65));
+    EXPECT_FALSE(bv.test(64));
+    EXPECT_EQ(bv.count(), 2u);
+    bv.clear(65);
+    EXPECT_FALSE(bv.test(65));
+    EXPECT_EQ(bv.count(), 1u);
+}
+
+TEST(BitVector, SetAllAndClearAll)
+{
+    BitVector bv(5);
+    bv.setAll();
+    EXPECT_TRUE(bv.all());
+    EXPECT_EQ(bv.count(), 5u);
+    bv.clearAll();
+    EXPECT_TRUE(bv.none());
+}
+
+TEST(BitVector, Covers)
+{
+    BitVector a(8), b(8);
+    a.set(1);
+    a.set(3);
+    b.set(1);
+    EXPECT_TRUE(a.covers(b));
+    EXPECT_FALSE(b.covers(a));
+    b.set(5);
+    EXPECT_FALSE(a.covers(b));
+}
+
+TEST(BitVector, Intersects)
+{
+    BitVector a(8), b(8);
+    a.set(2);
+    b.set(3);
+    EXPECT_FALSE(a.intersects(b));
+    b.set(2);
+    EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(BitVector, AndOrEquality)
+{
+    BitVector a(8), b(8);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+    BitVector both = a & b;
+    EXPECT_EQ(both.count(), 1u);
+    EXPECT_TRUE(both.test(2));
+    BitVector either = a | b;
+    EXPECT_EQ(either.count(), 3u);
+    EXPECT_TRUE(a == a);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(BitVector, ToString)
+{
+    BitVector bv(4);
+    bv.set(1);
+    EXPECT_EQ(bv.toString(), "0100");
+}
+
+// ------------------------------------------------------------- RandomSource
+
+TEST(RandomSource, Deterministic)
+{
+    RandomSource a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RandomSource, DifferentSeedsDiffer)
+{
+    RandomSource a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(RandomSource, BoundedStaysInBounds)
+{
+    RandomSource r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBounded(13), 13u);
+}
+
+TEST(RandomSource, BoundedHitsAllValues)
+{
+    RandomSource r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(r.nextBounded(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomSource, RangeInclusive)
+{
+    RandomSource r(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        std::int64_t v = r.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomSource, DoubleInUnitInterval)
+{
+    RandomSource r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RandomSource, BoolRespectsProbability)
+{
+    RandomSource r(11);
+    int trues = 0;
+    for (int i = 0; i < 10000; ++i)
+        trues += r.nextBool(0.25) ? 1 : 0;
+    EXPECT_NEAR(trues / 10000.0, 0.25, 0.03);
+}
+
+TEST(RandomSource, JitterMeanApproximate)
+{
+    RandomSource r(13);
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(r.nextJitter(8.0));
+    // Floor of an exponential with mean 8 has mean ~7.5.
+    EXPECT_NEAR(total / n, 7.5, 0.5);
+}
+
+TEST(RandomSource, JitterZeroMeanIsZero)
+{
+    RandomSource r(13);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextJitter(0.0), 0u);
+}
+
+TEST(RandomSource, SplitIndependent)
+{
+    RandomSource parent(5);
+    RandomSource child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next() == child.next() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+// -------------------------------------------------------------------- Stats
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, Empty)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+    EXPECT_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, Moments)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-9);
+}
+
+TEST(Distribution, Reset)
+{
+    Distribution d;
+    d.sample(3.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    d.sample(1.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 1.0);
+}
+
+TEST(StatGroup, SharedByName)
+{
+    StatGroup g("test");
+    g.counter("x").inc(3);
+    EXPECT_EQ(g.counter("x").value(), 3u);
+    EXPECT_TRUE(g.hasCounter("x"));
+    EXPECT_FALSE(g.hasCounter("y"));
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup g("grp");
+    g.counter("hits").inc(7);
+    g.distribution("lat").sample(2.0);
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_NE(oss.str().find("grp.hits = 7"), std::string::npos);
+    EXPECT_NE(oss.str().find("grp.lat"), std::string::npos);
+}
+
+TEST(StatGroup, Reset)
+{
+    StatGroup g("grp");
+    g.counter("a").inc(2);
+    g.distribution("d").sample(1.0);
+    g.reset();
+    EXPECT_EQ(g.counter("a").value(), 0u);
+    EXPECT_EQ(g.distribution("d").count(), 0u);
+}
+
+// ------------------------------------------------------------------ StrUtil
+
+TEST(StrUtil, Trim)
+{
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(StrUtil, Split)
+{
+    auto out = split("a,b,,c", ',');
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], "a");
+    EXPECT_EQ(out[1], "b");
+    EXPECT_EQ(out[2], "c");
+    EXPECT_TRUE(split("", ',').empty());
+}
+
+TEST(StrUtil, SplitWhitespace)
+{
+    auto out = splitWhitespace("  ld  r1,   4(r2) ");
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], "ld");
+    EXPECT_EQ(out[1], "r1,");
+    EXPECT_EQ(out[2], "4(r2)");
+}
+
+TEST(StrUtil, StartsWith)
+{
+    EXPECT_TRUE(startsWith(".region 1", ".region"));
+    EXPECT_FALSE(startsWith(".reg", ".region"));
+}
+
+TEST(StrUtil, ToLower)
+{
+    EXPECT_EQ(toLower("AdDi"), "addi");
+}
+
+TEST(StrUtil, ParseInt)
+{
+    std::int64_t v = 0;
+    EXPECT_TRUE(parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_TRUE(parseInt("0x10", v));
+    EXPECT_EQ(v, 16);
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("12x", v));
+    EXPECT_FALSE(parseInt("r3", v));
+}
+
+// -------------------------------------------------------------------- Table
+
+TEST(Table, PrintsAlignedRows)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.row().cell("alpha").cell(std::int64_t{12});
+    t.row().cell("b").cell(3.14159, 2);
+    EXPECT_EQ(t.numRows(), 2u);
+    std::ostringstream oss;
+    t.print(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("3.14"), std::string::npos);
+    EXPECT_NE(s.find("12"), std::string::npos);
+}
+
+TEST(Table, UnsignedAndPrecision)
+{
+    Table t("x");
+    t.row().cell(std::uint64_t{18446744073709551615ull});
+    t.row().cell(1.23456, 4);
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_NE(oss.str().find("18446744073709551615"), std::string::npos);
+    EXPECT_NE(oss.str().find("1.2346"), std::string::npos);
+}
+
+} // namespace
+} // namespace fb

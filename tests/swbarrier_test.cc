@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for the split-phase software barriers with real threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "swbarrier/blocking.hh"
+#include "swbarrier/centralized.hh"
+#include "swbarrier/dissemination.hh"
+#include "swbarrier/factory.hh"
+#include "swbarrier/stdbarrier.hh"
+#include "swbarrier/tree.hh"
+
+namespace fb::sw
+{
+namespace
+{
+
+/**
+ * Run @p episodes point-barrier episodes on @p threads threads; after
+ * every wait(), every thread checks that all participants have
+ * arrived at least as often as itself — the core safety property.
+ */
+void
+exerciseBarrier(SplitBarrier &bar, int threads, int episodes,
+                bool jitter)
+{
+    std::vector<std::atomic<int>> arrived(
+        static_cast<std::size_t>(threads));
+    for (auto &a : arrived)
+        a.store(0);
+    std::atomic<int> violations{0};
+
+    auto worker = [&](int tid) {
+        std::mt19937 rng(static_cast<unsigned>(tid) * 7919u + 13u);
+        for (int e = 1; e <= episodes; ++e) {
+            if (jitter && rng() % 4 == 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(rng() % 200));
+            }
+            arrived[static_cast<std::size_t>(tid)]
+                .store(e, std::memory_order_release);
+            bar.arrive(tid);
+            // Barrier-region work of variable length.
+            if (jitter && rng() % 2 == 0)
+                std::this_thread::yield();
+            bar.wait(tid);
+            // Safety: everyone must have arrived for episode e.
+            for (int p = 0; p < threads; ++p) {
+                if (arrived[static_cast<std::size_t>(p)]
+                        .load(std::memory_order_acquire) < e)
+                    violations.fetch_add(1);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back(worker, t);
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(violations.load(), 0);
+}
+
+class BarrierKindTest : public ::testing::TestWithParam<BarrierKind>
+{
+};
+
+TEST_P(BarrierKindTest, TwoThreads)
+{
+    auto bar = makeBarrier(GetParam(), 2);
+    exerciseBarrier(*bar, 2, 200, false);
+}
+
+TEST_P(BarrierKindTest, FourThreadsWithJitter)
+{
+    auto bar = makeBarrier(GetParam(), 4);
+    exerciseBarrier(*bar, 4, 100, true);
+}
+
+TEST_P(BarrierKindTest, EightThreads)
+{
+    auto bar = makeBarrier(GetParam(), 8);
+    exerciseBarrier(*bar, 8, 50, true);
+}
+
+TEST_P(BarrierKindTest, OddThreadCount)
+{
+    auto bar = makeBarrier(GetParam(), 5);
+    exerciseBarrier(*bar, 5, 60, true);
+}
+
+TEST_P(BarrierKindTest, SingleThreadNeverBlocks)
+{
+    auto bar = makeBarrier(GetParam(), 1);
+    for (int e = 0; e < 100; ++e) {
+        bar->arrive(0);
+        bar->wait(0);
+    }
+    SUCCEED();
+}
+
+TEST_P(BarrierKindTest, SynchronizeConvenience)
+{
+    auto bar = makeBarrier(GetParam(), 2);
+    std::thread other([&] {
+        for (int e = 0; e < 50; ++e)
+            bar->synchronize(1);
+    });
+    for (int e = 0; e < 50; ++e)
+        bar->synchronize(0);
+    other.join();
+    SUCCEED();
+}
+
+TEST_P(BarrierKindTest, NameMatchesFactory)
+{
+    auto bar = makeBarrier(GetParam(), 2);
+    EXPECT_STREQ(bar->name(), barrierKindName(GetParam()));
+    EXPECT_EQ(bar->numThreads(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, BarrierKindTest,
+    ::testing::ValuesIn(allBarrierKinds()),
+    [](const ::testing::TestParamInfo<BarrierKind> &info) {
+        switch (info.param) {
+          case BarrierKind::Centralized: return "centralized";
+          case BarrierKind::Tree: return "tree";
+          case BarrierKind::Dissemination: return "dissemination";
+          case BarrierKind::Std: return "stdbarrier";
+          case BarrierKind::Blocking: return "blocking";
+        }
+        return "unknown";
+    });
+
+/**
+ * The fuzzy property: work placed between arrive() and wait() overlaps
+ * the partner's delay, so a split-phase episode in which each thread
+ * does its region work inside the split completes correctly (the
+ * values written before arrive() are visible after wait()).
+ */
+TEST(FuzzyUsage, RegionWorkBetweenArriveAndWait)
+{
+    const int threads = 4;
+    const int episodes = 64;
+    DisseminationBarrier bar(threads);
+    std::vector<std::vector<int>> data(
+        static_cast<std::size_t>(threads),
+        std::vector<int>(static_cast<std::size_t>(episodes), 0));
+    std::atomic<int> errors{0};
+
+    auto worker = [&](int tid) {
+        for (int e = 0; e < episodes; ++e) {
+            data[static_cast<std::size_t>(tid)]
+                [static_cast<std::size_t>(e)] = tid * 1000 + e;
+            bar.arrive(tid);
+            // Barrier-region work: private accumulation only.
+            volatile int sink = 0;
+            for (int k = 0; k < 100 * (tid + 1); ++k)
+                sink += k;
+            bar.wait(tid);
+            // Cross-thread reads of values written before arrive().
+            int left = (tid + threads - 1) % threads;
+            if (data[static_cast<std::size_t>(left)]
+                    [static_cast<std::size_t>(e)] != left * 1000 + e)
+                errors.fetch_add(1);
+        }
+    };
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back(worker, t);
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(CentralizedBarrier, CountsSharedAccesses)
+{
+    CentralizedBarrier bar(2);
+    std::thread other([&] { bar.synchronize(1); });
+    bar.synchronize(0);
+    other.join();
+    // At least one counter RMW per thread.
+    EXPECT_GE(bar.sharedAccesses(), 2u);
+}
+
+TEST(DisseminationBarrier, SharedAccessesScaleLogarithmically)
+{
+    // One episode on P threads performs P*ceil(log2 P) signal writes
+    // (plus spin reads). Run serially-phased episodes and check the
+    // write count is in the right ballpark.
+    const int threads = 8;
+    DisseminationBarrier bar(threads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&bar, t] {
+            for (int e = 0; e < 10; ++e)
+                bar.synchronize(t);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    // 10 episodes * 8 threads * 3 rounds = 240 signal writes minimum.
+    EXPECT_GE(bar.sharedAccesses(), 240u);
+}
+
+TEST(TreeBarrier, ManyEpisodesStress)
+{
+    const int threads = 6;
+    TreeBarrier bar(threads);
+    std::atomic<long> sum{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (int e = 0; e < 300; ++e) {
+                sum.fetch_add(1);
+                bar.synchronize(t);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(sum.load(), threads * 300);
+}
+
+TEST(BlockingBarrier, CountsBlockedEpisodes)
+{
+    // Thread 1 lags behind inside its barrier region; thread 0's
+    // wait() blocks. With a long enough region on the lagging side
+    // and none on the fast side, most episodes record a block.
+    BlockingBarrier bar(2);
+    std::thread other([&] {
+        for (int e = 0; e < 20; ++e) {
+            bar.arrive(1);
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+            bar.wait(1);
+        }
+    });
+    for (int e = 0; e < 20; ++e) {
+        bar.arrive(0);
+        bar.wait(0);
+    }
+    other.join();
+    EXPECT_GT(bar.blockedEpisodes(), 0u);
+    EXPECT_LE(bar.blockedEpisodes(), 20u);
+}
+
+TEST(BlockingBarrier, CompletedEpisodeNeverBlocks)
+{
+    // The split-phase guarantee: if the episode completes during the
+    // barrier region, wait() returns without touching the condition
+    // variable. A single participant makes this deterministic — the
+    // episode completes at arrive(), so wait() must never block.
+    BlockingBarrier bar(1);
+    for (int e = 0; e < 100; ++e) {
+        bar.arrive(0);
+        bar.wait(0);
+    }
+    EXPECT_EQ(bar.blockedEpisodes(), 0u);
+}
+
+TEST(BlockingBarrier, LateWaiterSkipsBlock)
+{
+    // Two threads: thread 0 delays its wait() until well after thread
+    // 1 completed the episode, so thread 0's wait must not count a
+    // block; thread 1 (which waited immediately) is the one that
+    // blocked.
+    BlockingBarrier bar(2);
+    std::thread other([&] {
+        bar.arrive(1);
+        bar.wait(1);
+    });
+    bar.arrive(0);
+    // By joining on the episode completion indirectly: sleep long
+    // enough that thread 1 has certainly passed wait().
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto blocked_before = bar.blockedEpisodes();
+    bar.wait(0);  // generation already advanced: returns immediately
+    EXPECT_EQ(bar.blockedEpisodes(), blocked_before);
+    other.join();
+}
+
+TEST(StdBarrierAdapter, TokensAlternate)
+{
+    StdBarrierAdapter bar(2);
+    std::thread other([&] {
+        for (int e = 0; e < 100; ++e) {
+            bar.arrive(1);
+            bar.wait(1);
+        }
+    });
+    for (int e = 0; e < 100; ++e) {
+        bar.arrive(0);
+        bar.wait(0);
+    }
+    other.join();
+    SUCCEED();
+}
+
+} // namespace
+} // namespace fb::sw

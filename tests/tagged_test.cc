@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for BarrierDomain — multiple logical barriers over thread
+ * subsets (the section 5 tag/mask mechanism in software).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "swbarrier/tagged.hh"
+
+namespace fb::sw
+{
+namespace
+{
+
+TEST(BarrierDomain, CreateAndDestroy)
+{
+    BarrierDomain domain(4);
+    EXPECT_EQ(domain.liveBarriers(), 0u);
+    domain.createBarrier(1, {0, 1});
+    domain.createBarrier(2, {2, 3});
+    EXPECT_EQ(domain.liveBarriers(), 2u);
+    domain.destroyBarrier(1);
+    EXPECT_EQ(domain.liveBarriers(), 1u);
+}
+
+TEST(BarrierDomain, PairSynchronizes)
+{
+    BarrierDomain domain(2);
+    domain.createBarrier(7, {0, 1});
+    std::atomic<int> before{0};
+    std::atomic<int> violations{0};
+
+    auto worker = [&](int tid) {
+        for (int e = 0; e < 50; ++e) {
+            before.fetch_add(1);
+            domain.arrive(7, tid);
+            domain.wait(7, tid);
+            if (before.load() < 2 * (e + 1))
+                violations.fetch_add(1);
+        }
+    };
+    std::thread a(worker, 0), b(worker, 1);
+    a.join();
+    b.join();
+    EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(BarrierDomain, DisjointSubsetsIndependent)
+{
+    // Two pairs synchronize under different tags; the pairs never
+    // block each other even with wildly different episode rates.
+    BarrierDomain domain(4);
+    domain.createBarrier(1, {0, 1});
+    domain.createBarrier(2, {2, 3});
+
+    std::atomic<int> done{0};
+    auto pair_worker = [&](int tag, int tid, int episodes) {
+        for (int e = 0; e < episodes; ++e)
+            domain.synchronize(tag, tid);
+        done.fetch_add(1);
+    };
+    std::vector<std::thread> pool;
+    pool.emplace_back(pair_worker, 1, 0, 200);
+    pool.emplace_back(pair_worker, 1, 1, 200);
+    pool.emplace_back(pair_worker, 2, 2, 10);
+    pool.emplace_back(pair_worker, 2, 3, 10);
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(done.load(), 4);
+}
+
+TEST(BarrierDomain, Fig6StreamMerge)
+{
+    // The paper's Fig. 6: P1 and P2 merge at B3, P2 and P3 at B4,
+    // then all three at B2 — each subset under its own tag.
+    BarrierDomain domain(3);
+    domain.createBarrier(3, {0, 1});
+    domain.createBarrier(4, {1, 2});
+    domain.createBarrier(2, {0, 1, 2});
+
+    std::vector<int> log[3];
+    auto record = [&](int tid, int event) {
+        log[tid].push_back(event);
+    };
+
+    std::thread p1([&] {
+        record(0, 3);
+        domain.synchronize(3, 0);
+        record(0, 2);
+        domain.synchronize(2, 0);
+    });
+    std::thread p2([&] {
+        record(1, 3);
+        domain.synchronize(3, 1);
+        record(1, 4);
+        domain.synchronize(4, 1);
+        record(1, 2);
+        domain.synchronize(2, 1);
+    });
+    std::thread p3([&] {
+        record(2, 4);
+        domain.synchronize(4, 2);
+        record(2, 2);
+        domain.synchronize(2, 2);
+    });
+    p1.join();
+    p2.join();
+    p3.join();
+
+    EXPECT_EQ(log[0], (std::vector<int>{3, 2}));
+    EXPECT_EQ(log[1], (std::vector<int>{3, 4, 2}));
+    EXPECT_EQ(log[2], (std::vector<int>{4, 2}));
+}
+
+TEST(BarrierDomain, SplitPhaseAcrossSubset)
+{
+    // Fuzzy usage on a 3-of-5 subset: region work between arrive and
+    // wait, values written before arrive visible after wait.
+    BarrierDomain domain(5);
+    domain.createBarrier(9, {0, 2, 4});
+
+    std::vector<std::atomic<int>> slot(5);
+    for (auto &s : slot)
+        s.store(-1);
+    std::atomic<int> errors{0};
+
+    auto member = [&](int tid) {
+        for (int e = 0; e < 30; ++e) {
+            slot[static_cast<std::size_t>(tid)].store(
+                e, std::memory_order_release);
+            domain.arrive(9, tid);
+            volatile int sink = 0;
+            for (int k = 0; k < 50 * tid; ++k)
+                sink += k;
+            domain.wait(9, tid);
+            for (int other : {0, 2, 4}) {
+                if (slot[static_cast<std::size_t>(other)].load(
+                        std::memory_order_acquire) < e)
+                    errors.fetch_add(1);
+            }
+        }
+    };
+    std::thread a(member, 0), b(member, 2), c(member, 4);
+    a.join();
+    b.join();
+    c.join();
+    EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(BarrierDomain, ReuseTagAfterDestroy)
+{
+    BarrierDomain domain(2);
+    domain.createBarrier(1, {0, 1});
+    domain.destroyBarrier(1);
+    domain.createBarrier(1, {0});  // same tag, new subset
+    domain.synchronize(1, 0);      // single member: never blocks
+    EXPECT_EQ(domain.liveBarriers(), 1u);
+}
+
+} // namespace
+} // namespace fb::sw

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the barrier-state trace and timeline renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+
+namespace fb::sim
+{
+namespace
+{
+
+isa::Program
+assembleOrDie(const std::string &src)
+{
+    isa::Program p;
+    std::string err;
+    if (!isa::Assembler::assemble(src, p, err))
+        ADD_FAILURE() << "assembly failed: " << err;
+    return p;
+}
+
+TEST(BarrierTrace, EmptyRenders)
+{
+    BarrierTrace t(2);
+    EXPECT_NE(t.render().find("(empty trace)"), std::string::npos);
+}
+
+TEST(BarrierTrace, RecordsAndRenders)
+{
+    BarrierTrace t(2);
+    using barrier::BarrierState;
+    t.record({BarrierState::NonBarrier, BarrierState::Ready},
+             {false, false}, false);
+    t.record({BarrierState::Ready, BarrierState::Ready}, {false, false},
+             true);
+    t.record({BarrierState::Synced, BarrierState::Stalled},
+             {false, false}, false);
+    EXPECT_EQ(t.cycles(), 3u);
+    std::string out = t.render();
+    EXPECT_NE(out.find("cpu0 |.rs|"), std::string::npos);
+    EXPECT_NE(out.find("cpu1 |rr#|"), std::string::npos);
+    // Sync marker in the middle column.
+    EXPECT_NE(out.find("| | |"), std::string::npos);
+}
+
+TEST(BarrierTrace, DownsamplingKeepsStalls)
+{
+    BarrierTrace t(1);
+    using barrier::BarrierState;
+    // 200 cycles of NonBarrier with a single stalled cycle: the stall
+    // must survive downsampling to 10 columns.
+    for (int k = 0; k < 200; ++k) {
+        t.record({k == 137 ? BarrierState::Stalled
+                           : BarrierState::NonBarrier},
+                 {false}, false);
+    }
+    std::string out = t.render(10);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(BarrierTrace, MachineIntegration)
+{
+    MachineConfig cfg;
+    cfg.numProcessors = 2;
+    cfg.memWords = 1024;
+    cfg.traceBarrierStates = true;
+    Machine m(cfg);
+    const std::string src = R"(
+        settag 1
+        setmask 3
+        nop
+        nop
+    .region 1
+        nop
+    .endregion
+        halt
+    )";
+    m.loadProgram(0, assembleOrDie(src));
+    m.loadProgram(1, assembleOrDie(src));
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    ASSERT_NE(m.trace(), nullptr);
+    EXPECT_GT(m.trace()->cycles(), 0u);
+    std::string out = m.trace()->render();
+    EXPECT_NE(out.find("cpu0"), std::string::npos);
+    EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(BarrierTrace, DisabledByDefault)
+{
+    MachineConfig cfg;
+    cfg.numProcessors = 1;
+    cfg.memWords = 64;
+    Machine m(cfg);
+    m.loadProgram(0, assembleOrDie("halt\n"));
+    m.run();
+    EXPECT_EQ(m.trace(), nullptr);
+}
+
+} // namespace
+} // namespace fb::sim

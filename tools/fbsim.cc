@@ -1,0 +1,316 @@
+/**
+ * @file
+ * fbsim — command-line driver for the simulated fuzzy-barrier
+ * multiprocessor.
+ *
+ * Assembles one program per processor (or replicates one program with
+ * --procs), runs the machine, and reports synchronization statistics,
+ * optionally with the barrier-state timeline.
+ *
+ * Usage:
+ *   fbsim [options] prog0.fbasm [prog1.fbasm ...]
+ *
+ * Options:
+ *   --procs N            replicate a single program on N processors
+ *   --jitter MEAN        per-instruction drift (cycles, default 0)
+ *   --seed S             PRNG seed (default 1)
+ *   --pipeline D         in-order pipeline depth (default 1)
+ *   --stall hw           hardware stall model (default)
+ *   --stall sw:SAVE:REST software stall: context save/restore cycles
+ *   --bus shared|banked  interconnect contention model
+ *   --interrupt P:LABEL  timer interrupt every P cycles, ISR at LABEL
+ *   --marker             convert programs to BRENTER/BREXIT encoding
+ *   --trace [WIDTH]      print the barrier timeline (default width 100)
+ *   --dump ADDR:COUNT    dump memory words after the run
+ *   --reg P:R:VALUE      preset register R of processor P
+ *   --max-cycles N       runaway guard (default 200M)
+ *   --check              only run the static region-branch check
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fuzzy_barrier.hh"
+#include "support/strutil.hh"
+
+namespace
+{
+
+using namespace fb;
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "fbsim: %s\n", msg);
+    std::fprintf(stderr,
+                 "usage: fbsim [options] prog0.fbasm [prog1.fbasm ...]\n"
+                 "       (see the header of tools/fbsim.cc for the "
+                 "option list)\n");
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        usage(("cannot open " + path).c_str());
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+struct Options
+{
+    int procs = 0;  // 0 = one per program file
+    double jitter = 0.0;
+    std::uint64_t seed = 1;
+    int pipeline = 1;
+    sim::StallModel stall;
+    sim::BusKind bus = sim::BusKind::Shared;
+    std::uint64_t interruptPeriod = 0;
+    std::string isrLabel;
+    bool marker = false;
+    bool trace = false;
+    std::size_t traceWidth = 100;
+    bool checkOnly = false;
+    std::uint64_t maxCycles = 200'000'000;
+    std::vector<std::string> files;
+    struct RegPreset
+    {
+        int proc;
+        int reg;
+        std::int64_t value;
+    };
+    std::vector<RegPreset> regs;
+    struct Dump
+    {
+        std::size_t addr;
+        std::size_t count;
+    };
+    std::vector<Dump> dumps;
+};
+
+std::int64_t
+parseIntOrDie(const std::string &s, const char *what)
+{
+    std::int64_t v;
+    if (!parseInt(s, v))
+        usage((std::string("bad ") + what + ": " + s).c_str());
+    return v;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(("missing value after " + arg).c_str());
+            return argv[i];
+        };
+        if (arg == "--procs") {
+            opt.procs = static_cast<int>(parseIntOrDie(next(), "--procs"));
+        } else if (arg == "--jitter") {
+            opt.jitter = std::atof(next().c_str());
+        } else if (arg == "--seed") {
+            opt.seed =
+                static_cast<std::uint64_t>(parseIntOrDie(next(), "--seed"));
+        } else if (arg == "--pipeline") {
+            opt.pipeline =
+                static_cast<int>(parseIntOrDie(next(), "--pipeline"));
+        } else if (arg == "--stall") {
+            std::string v = next();
+            if (v == "hw") {
+                opt.stall = sim::StallModel::hardware();
+            } else if (startsWith(v, "sw:")) {
+                auto parts = split(v.substr(3), ':');
+                if (parts.size() != 2)
+                    usage("--stall sw:SAVE:RESTORE");
+                opt.stall = sim::StallModel::software(
+                    static_cast<std::uint32_t>(
+                        parseIntOrDie(parts[0], "save")),
+                    static_cast<std::uint32_t>(
+                        parseIntOrDie(parts[1], "restore")));
+            } else {
+                usage("--stall expects 'hw' or 'sw:SAVE:RESTORE'");
+            }
+        } else if (arg == "--bus") {
+            std::string v = next();
+            if (v == "shared")
+                opt.bus = sim::BusKind::Shared;
+            else if (v == "banked")
+                opt.bus = sim::BusKind::Banked;
+            else
+                usage("--bus expects 'shared' or 'banked'");
+        } else if (arg == "--interrupt") {
+            auto parts = split(next(), ':');
+            if (parts.size() != 2)
+                usage("--interrupt PERIOD:LABEL");
+            opt.interruptPeriod = static_cast<std::uint64_t>(
+                parseIntOrDie(parts[0], "interrupt period"));
+            opt.isrLabel = parts[1];
+        } else if (arg == "--marker") {
+            opt.marker = true;
+        } else if (arg == "--trace") {
+            opt.trace = true;
+            if (i + 1 < argc) {
+                std::int64_t w;
+                if (parseInt(argv[i + 1], w) && w > 0) {
+                    opt.traceWidth = static_cast<std::size_t>(w);
+                    ++i;
+                }
+            }
+        } else if (arg == "--dump") {
+            auto parts = split(next(), ':');
+            if (parts.size() != 2)
+                usage("--dump ADDR:COUNT");
+            opt.dumps.push_back(
+                {static_cast<std::size_t>(
+                     parseIntOrDie(parts[0], "dump addr")),
+                 static_cast<std::size_t>(
+                     parseIntOrDie(parts[1], "dump count"))});
+        } else if (arg == "--reg") {
+            auto parts = split(next(), ':');
+            if (parts.size() != 3)
+                usage("--reg PROC:REG:VALUE");
+            opt.regs.push_back(
+                {static_cast<int>(parseIntOrDie(parts[0], "proc")),
+                 static_cast<int>(parseIntOrDie(parts[1], "reg")),
+                 parseIntOrDie(parts[2], "value")});
+        } else if (arg == "--max-cycles") {
+            opt.maxCycles = static_cast<std::uint64_t>(
+                parseIntOrDie(next(), "--max-cycles"));
+        } else if (arg == "--check") {
+            opt.checkOnly = true;
+        } else if (startsWith(arg, "--")) {
+            usage(("unknown option " + arg).c_str());
+        } else {
+            opt.files.push_back(arg);
+        }
+    }
+    if (opt.files.empty())
+        usage("no program files given");
+    if (opt.procs != 0 && opt.files.size() != 1)
+        usage("--procs requires exactly one program file");
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    // Assemble.
+    std::vector<isa::Program> programs;
+    for (const auto &file : opt.files) {
+        isa::Program prog;
+        std::string err;
+        if (!isa::Assembler::assemble(readFile(file), prog, err)) {
+            std::fprintf(stderr, "fbsim: %s: %s\n", file.c_str(),
+                         err.c_str());
+            return 1;
+        }
+        if (auto violation = prog.checkRegionBranches()) {
+            std::fprintf(stderr, "fbsim: %s: %s\n", file.c_str(),
+                         violation->c_str());
+            return 1;
+        }
+        if (opt.marker)
+            prog = prog.toMarkerEncoding();
+        programs.push_back(std::move(prog));
+    }
+    if (opt.checkOnly) {
+        std::printf("all programs pass the region-branch check\n");
+        return 0;
+    }
+
+    const int procs = opt.procs != 0 ? opt.procs
+                                     : static_cast<int>(programs.size());
+
+    sim::MachineConfig cfg;
+    cfg.numProcessors = procs;
+    cfg.jitterMean = opt.jitter;
+    cfg.seed = opt.seed;
+    cfg.pipelineDepth = opt.pipeline;
+    cfg.stall = opt.stall;
+    cfg.busKind = opt.bus;
+    cfg.maxCycles = opt.maxCycles;
+    cfg.traceBarrierStates = opt.trace;
+    if (opt.interruptPeriod > 0) {
+        auto entry = programs[0].labelIndex(opt.isrLabel);
+        if (!entry) {
+            std::fprintf(stderr, "fbsim: ISR label '%s' not found\n",
+                         opt.isrLabel.c_str());
+            return 1;
+        }
+        cfg.interruptPeriod = opt.interruptPeriod;
+        cfg.isrEntry = static_cast<std::int64_t>(*entry);
+    }
+
+    sim::Machine machine(cfg);
+    for (int p = 0; p < procs; ++p)
+        machine.loadProgram(
+            p, programs[static_cast<std::size_t>(
+                   opt.procs != 0 ? 0 : p)]);
+    for (const auto &preset : opt.regs) {
+        if (preset.proc < 0 || preset.proc >= procs)
+            usage("--reg processor index out of range");
+        machine.processor(preset.proc).setReg(preset.reg, preset.value);
+    }
+
+    auto result = machine.run();
+
+    std::printf("cycles:       %llu%s%s\n",
+                static_cast<unsigned long long>(result.cycles),
+                result.deadlocked ? "  [DEADLOCK]" : "",
+                result.timedOut ? "  [TIMEOUT]" : "");
+    if (result.deadlocked)
+        std::printf("%s", result.deadlockInfo.c_str());
+    std::printf("sync events:  %llu\n",
+                static_cast<unsigned long long>(result.syncEvents));
+    std::printf("mem accesses: %llu (hottest word %llu), bus queue "
+                "delay %llu\n",
+                static_cast<unsigned long long>(result.memAccesses),
+                static_cast<unsigned long long>(result.hotSpotAccesses),
+                static_cast<unsigned long long>(result.busQueueDelay));
+    for (int p = 0; p < procs; ++p) {
+        const auto &ps = result.perProcessor[static_cast<std::size_t>(p)];
+        std::printf("cpu%-2d instrs=%-8llu episodes=%-5llu stalled=%-5llu"
+                    " wait=%-7llu ctxsw=%-4llu irq=%llu\n",
+                    p, static_cast<unsigned long long>(ps.instructions),
+                    static_cast<unsigned long long>(ps.barrierEpisodes),
+                    static_cast<unsigned long long>(ps.stalledEpisodes),
+                    static_cast<unsigned long long>(ps.barrierWaitCycles),
+                    static_cast<unsigned long long>(ps.contextSwitches),
+                    static_cast<unsigned long long>(ps.interruptsTaken));
+    }
+
+    std::string safety = machine.checkSafetyProperty();
+    std::printf("safety:       %s\n",
+                safety.empty() ? "OK" : safety.c_str());
+
+    if (opt.trace && machine.trace())
+        std::printf("\n%s", machine.trace()->render(opt.traceWidth).c_str());
+
+    for (const auto &dump : opt.dumps) {
+        std::printf("\nmemory[%zu..%zu]:", dump.addr,
+                    dump.addr + dump.count - 1);
+        for (std::size_t k = 0; k < dump.count; ++k)
+            std::printf(" %lld",
+                        static_cast<long long>(
+                            machine.memory().peek(dump.addr + k)));
+        std::printf("\n");
+    }
+    return result.deadlocked || result.timedOut ? 1 : 0;
+}
