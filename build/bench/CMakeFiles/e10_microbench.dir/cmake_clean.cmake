@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_microbench.dir/e10_microbench.cpp.o"
+  "CMakeFiles/e10_microbench.dir/e10_microbench.cpp.o.d"
+  "e10_microbench"
+  "e10_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_pipeline_ablation.dir/e11_pipeline_ablation.cpp.o"
+  "CMakeFiles/e11_pipeline_ablation.dir/e11_pipeline_ablation.cpp.o.d"
+  "e11_pipeline_ablation"
+  "e11_pipeline_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_pipeline_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

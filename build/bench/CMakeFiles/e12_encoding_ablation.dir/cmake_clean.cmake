@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_encoding_ablation.dir/e12_encoding_ablation.cpp.o"
+  "CMakeFiles/e12_encoding_ablation.dir/e12_encoding_ablation.cpp.o.d"
+  "e12_encoding_ablation"
+  "e12_encoding_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_encoding_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

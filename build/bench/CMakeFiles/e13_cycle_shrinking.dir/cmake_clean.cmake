@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_cycle_shrinking.dir/e13_cycle_shrinking.cpp.o"
+  "CMakeFiles/e13_cycle_shrinking.dir/e13_cycle_shrinking.cpp.o.d"
+  "e13_cycle_shrinking"
+  "e13_cycle_shrinking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_cycle_shrinking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_selfsched_runtime.dir/e14_selfsched_runtime.cpp.o"
+  "CMakeFiles/e14_selfsched_runtime.dir/e14_selfsched_runtime.cpp.o.d"
+  "e14_selfsched_runtime"
+  "e14_selfsched_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_selfsched_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

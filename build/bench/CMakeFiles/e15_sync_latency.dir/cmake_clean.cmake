@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e15_sync_latency.dir/e15_sync_latency.cpp.o"
+  "CMakeFiles/e15_sync_latency.dir/e15_sync_latency.cpp.o.d"
+  "e15_sync_latency"
+  "e15_sync_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e15_sync_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

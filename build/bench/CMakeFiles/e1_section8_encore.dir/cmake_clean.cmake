@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_section8_encore.dir/e1_section8_encore.cpp.o"
+  "CMakeFiles/e1_section8_encore.dir/e1_section8_encore.cpp.o.d"
+  "e1_section8_encore"
+  "e1_section8_encore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_section8_encore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

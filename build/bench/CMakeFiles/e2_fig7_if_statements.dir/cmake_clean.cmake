@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_fig7_if_statements.dir/e2_fig7_if_statements.cpp.o"
+  "CMakeFiles/e2_fig7_if_statements.dir/e2_fig7_if_statements.cpp.o.d"
+  "e2_fig7_if_statements"
+  "e2_fig7_if_statements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_fig7_if_statements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

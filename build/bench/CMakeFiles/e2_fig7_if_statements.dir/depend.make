@@ -1,0 +1,2 @@
+# Empty dependencies file for e2_fig7_if_statements.
+# This may be replaced when dependencies are built.

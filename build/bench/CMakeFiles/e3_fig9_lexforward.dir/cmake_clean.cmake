@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_fig9_lexforward.dir/e3_fig9_lexforward.cpp.o"
+  "CMakeFiles/e3_fig9_lexforward.dir/e3_fig9_lexforward.cpp.o.d"
+  "e3_fig9_lexforward"
+  "e3_fig9_lexforward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_fig9_lexforward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e3_fig9_lexforward.
+# This may be replaced when dependencies are built.

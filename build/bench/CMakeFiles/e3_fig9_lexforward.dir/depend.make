@@ -1,0 +1,2 @@
+# Empty dependencies file for e3_fig9_lexforward.
+# This may be replaced when dependencies are built.

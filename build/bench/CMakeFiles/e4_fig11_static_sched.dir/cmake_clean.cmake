@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_fig11_static_sched.dir/e4_fig11_static_sched.cpp.o"
+  "CMakeFiles/e4_fig11_static_sched.dir/e4_fig11_static_sched.cpp.o.d"
+  "e4_fig11_static_sched"
+  "e4_fig11_static_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_fig11_static_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

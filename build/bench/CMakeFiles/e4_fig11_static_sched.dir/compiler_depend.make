@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e4_fig11_static_sched.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_fig12_runtime_sched.dir/e5_fig12_runtime_sched.cpp.o"
+  "CMakeFiles/e5_fig12_runtime_sched.dir/e5_fig12_runtime_sched.cpp.o.d"
+  "e5_fig12_runtime_sched"
+  "e5_fig12_runtime_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_fig12_runtime_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

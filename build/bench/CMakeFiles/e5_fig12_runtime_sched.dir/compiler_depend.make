@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e5_fig12_runtime_sched.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_fig5_loop_distribution.dir/e6_fig5_loop_distribution.cpp.o"
+  "CMakeFiles/e6_fig5_loop_distribution.dir/e6_fig5_loop_distribution.cpp.o.d"
+  "e6_fig5_loop_distribution"
+  "e6_fig5_loop_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_fig5_loop_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e6_fig5_loop_distribution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_scaling.dir/e7_scaling.cpp.o"
+  "CMakeFiles/e7_scaling.dir/e7_scaling.cpp.o.d"
+  "e7_scaling"
+  "e7_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_hotspot.dir/e8_hotspot.cpp.o"
+  "CMakeFiles/e8_hotspot.dir/e8_hotspot.cpp.o.d"
+  "e8_hotspot"
+  "e8_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

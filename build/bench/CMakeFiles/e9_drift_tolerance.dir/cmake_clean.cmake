@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_drift_tolerance.dir/e9_drift_tolerance.cpp.o"
+  "CMakeFiles/e9_drift_tolerance.dir/e9_drift_tolerance.cpp.o.d"
+  "e9_drift_tolerance"
+  "e9_drift_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_drift_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

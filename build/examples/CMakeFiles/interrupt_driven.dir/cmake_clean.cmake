@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrupt_driven.dir/interrupt_driven.cpp.o"
+  "CMakeFiles/interrupt_driven.dir/interrupt_driven.cpp.o.d"
+  "interrupt_driven"
+  "interrupt_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrupt_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiple_barriers.dir/multiple_barriers.cpp.o"
+  "CMakeFiles/multiple_barriers.dir/multiple_barriers.cpp.o.d"
+  "multiple_barriers"
+  "multiple_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiple_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulated_machine.dir/simulated_machine.cpp.o"
+  "CMakeFiles/simulated_machine.dir/simulated_machine.cpp.o.d"
+  "simulated_machine"
+  "simulated_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulated_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_barrier.dir/network.cc.o"
+  "CMakeFiles/fb_barrier.dir/network.cc.o.d"
+  "CMakeFiles/fb_barrier.dir/unit.cc.o"
+  "CMakeFiles/fb_barrier.dir/unit.cc.o.d"
+  "libfb_barrier.a"
+  "libfb_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

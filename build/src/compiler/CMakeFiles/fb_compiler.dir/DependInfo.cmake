@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/codegen.cc" "src/compiler/CMakeFiles/fb_compiler.dir/codegen.cc.o" "gcc" "src/compiler/CMakeFiles/fb_compiler.dir/codegen.cc.o.d"
+  "/root/repo/src/compiler/dag.cc" "src/compiler/CMakeFiles/fb_compiler.dir/dag.cc.o" "gcc" "src/compiler/CMakeFiles/fb_compiler.dir/dag.cc.o.d"
+  "/root/repo/src/compiler/depanalysis.cc" "src/compiler/CMakeFiles/fb_compiler.dir/depanalysis.cc.o" "gcc" "src/compiler/CMakeFiles/fb_compiler.dir/depanalysis.cc.o.d"
+  "/root/repo/src/compiler/region.cc" "src/compiler/CMakeFiles/fb_compiler.dir/region.cc.o" "gcc" "src/compiler/CMakeFiles/fb_compiler.dir/region.cc.o.d"
+  "/root/repo/src/compiler/reorder.cc" "src/compiler/CMakeFiles/fb_compiler.dir/reorder.cc.o" "gcc" "src/compiler/CMakeFiles/fb_compiler.dir/reorder.cc.o.d"
+  "/root/repo/src/compiler/transforms.cc" "src/compiler/CMakeFiles/fb_compiler.dir/transforms.cc.o" "gcc" "src/compiler/CMakeFiles/fb_compiler.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fb_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_compiler.dir/codegen.cc.o"
+  "CMakeFiles/fb_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/fb_compiler.dir/dag.cc.o"
+  "CMakeFiles/fb_compiler.dir/dag.cc.o.d"
+  "CMakeFiles/fb_compiler.dir/depanalysis.cc.o"
+  "CMakeFiles/fb_compiler.dir/depanalysis.cc.o.d"
+  "CMakeFiles/fb_compiler.dir/region.cc.o"
+  "CMakeFiles/fb_compiler.dir/region.cc.o.d"
+  "CMakeFiles/fb_compiler.dir/reorder.cc.o"
+  "CMakeFiles/fb_compiler.dir/reorder.cc.o.d"
+  "CMakeFiles/fb_compiler.dir/transforms.cc.o"
+  "CMakeFiles/fb_compiler.dir/transforms.cc.o.d"
+  "libfb_compiler.a"
+  "libfb_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

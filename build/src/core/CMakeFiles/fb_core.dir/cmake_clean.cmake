@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_core.dir/barrierprogs.cc.o"
+  "CMakeFiles/fb_core.dir/barrierprogs.cc.o.d"
+  "CMakeFiles/fb_core.dir/experiment.cc.o"
+  "CMakeFiles/fb_core.dir/experiment.cc.o.d"
+  "CMakeFiles/fb_core.dir/redblack.cc.o"
+  "CMakeFiles/fb_core.dir/redblack.cc.o.d"
+  "CMakeFiles/fb_core.dir/workloads.cc.o"
+  "CMakeFiles/fb_core.dir/workloads.cc.o.d"
+  "libfb_core.a"
+  "libfb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/block.cc" "src/ir/CMakeFiles/fb_ir.dir/block.cc.o" "gcc" "src/ir/CMakeFiles/fb_ir.dir/block.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/fb_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/fb_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/interp.cc" "src/ir/CMakeFiles/fb_ir.dir/interp.cc.o" "gcc" "src/ir/CMakeFiles/fb_ir.dir/interp.cc.o.d"
+  "/root/repo/src/ir/operand.cc" "src/ir/CMakeFiles/fb_ir.dir/operand.cc.o" "gcc" "src/ir/CMakeFiles/fb_ir.dir/operand.cc.o.d"
+  "/root/repo/src/ir/tac.cc" "src/ir/CMakeFiles/fb_ir.dir/tac.cc.o" "gcc" "src/ir/CMakeFiles/fb_ir.dir/tac.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_ir.dir/block.cc.o"
+  "CMakeFiles/fb_ir.dir/block.cc.o.d"
+  "CMakeFiles/fb_ir.dir/builder.cc.o"
+  "CMakeFiles/fb_ir.dir/builder.cc.o.d"
+  "CMakeFiles/fb_ir.dir/interp.cc.o"
+  "CMakeFiles/fb_ir.dir/interp.cc.o.d"
+  "CMakeFiles/fb_ir.dir/operand.cc.o"
+  "CMakeFiles/fb_ir.dir/operand.cc.o.d"
+  "CMakeFiles/fb_ir.dir/tac.cc.o"
+  "CMakeFiles/fb_ir.dir/tac.cc.o.d"
+  "libfb_ir.a"
+  "libfb_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_isa.dir/assembler.cc.o"
+  "CMakeFiles/fb_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/fb_isa.dir/instruction.cc.o"
+  "CMakeFiles/fb_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/fb_isa.dir/opcode.cc.o"
+  "CMakeFiles/fb_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/fb_isa.dir/program.cc.o"
+  "CMakeFiles/fb_isa.dir/program.cc.o.d"
+  "libfb_isa.a"
+  "libfb_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_sched.dir/schedule.cc.o"
+  "CMakeFiles/fb_sched.dir/schedule.cc.o.d"
+  "libfb_sched.a"
+  "libfb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

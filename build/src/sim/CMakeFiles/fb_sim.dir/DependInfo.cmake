@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/fb_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/fb_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/fb_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/fb_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/fb_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/fb_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/processor.cc" "src/sim/CMakeFiles/fb_sim.dir/processor.cc.o" "gcc" "src/sim/CMakeFiles/fb_sim.dir/processor.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/fb_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/fb_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/barrier/CMakeFiles/fb_barrier.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_sim.dir/cache.cc.o"
+  "CMakeFiles/fb_sim.dir/cache.cc.o.d"
+  "CMakeFiles/fb_sim.dir/machine.cc.o"
+  "CMakeFiles/fb_sim.dir/machine.cc.o.d"
+  "CMakeFiles/fb_sim.dir/memory.cc.o"
+  "CMakeFiles/fb_sim.dir/memory.cc.o.d"
+  "CMakeFiles/fb_sim.dir/processor.cc.o"
+  "CMakeFiles/fb_sim.dir/processor.cc.o.d"
+  "CMakeFiles/fb_sim.dir/trace.cc.o"
+  "CMakeFiles/fb_sim.dir/trace.cc.o.d"
+  "libfb_sim.a"
+  "libfb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_support.dir/bitvector.cc.o"
+  "CMakeFiles/fb_support.dir/bitvector.cc.o.d"
+  "CMakeFiles/fb_support.dir/logging.cc.o"
+  "CMakeFiles/fb_support.dir/logging.cc.o.d"
+  "CMakeFiles/fb_support.dir/random.cc.o"
+  "CMakeFiles/fb_support.dir/random.cc.o.d"
+  "CMakeFiles/fb_support.dir/stats.cc.o"
+  "CMakeFiles/fb_support.dir/stats.cc.o.d"
+  "CMakeFiles/fb_support.dir/strutil.cc.o"
+  "CMakeFiles/fb_support.dir/strutil.cc.o.d"
+  "CMakeFiles/fb_support.dir/table.cc.o"
+  "CMakeFiles/fb_support.dir/table.cc.o.d"
+  "libfb_support.a"
+  "libfb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

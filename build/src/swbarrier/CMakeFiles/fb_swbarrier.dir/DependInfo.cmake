@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swbarrier/blocking.cc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/blocking.cc.o" "gcc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/blocking.cc.o.d"
+  "/root/repo/src/swbarrier/centralized.cc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/centralized.cc.o" "gcc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/centralized.cc.o.d"
+  "/root/repo/src/swbarrier/dissemination.cc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/dissemination.cc.o" "gcc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/dissemination.cc.o.d"
+  "/root/repo/src/swbarrier/factory.cc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/factory.cc.o" "gcc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/factory.cc.o.d"
+  "/root/repo/src/swbarrier/split_barrier.cc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/split_barrier.cc.o" "gcc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/split_barrier.cc.o.d"
+  "/root/repo/src/swbarrier/tagged.cc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/tagged.cc.o" "gcc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/tagged.cc.o.d"
+  "/root/repo/src/swbarrier/tree.cc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/tree.cc.o" "gcc" "src/swbarrier/CMakeFiles/fb_swbarrier.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

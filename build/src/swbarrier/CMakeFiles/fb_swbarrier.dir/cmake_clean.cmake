@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_swbarrier.dir/blocking.cc.o"
+  "CMakeFiles/fb_swbarrier.dir/blocking.cc.o.d"
+  "CMakeFiles/fb_swbarrier.dir/centralized.cc.o"
+  "CMakeFiles/fb_swbarrier.dir/centralized.cc.o.d"
+  "CMakeFiles/fb_swbarrier.dir/dissemination.cc.o"
+  "CMakeFiles/fb_swbarrier.dir/dissemination.cc.o.d"
+  "CMakeFiles/fb_swbarrier.dir/factory.cc.o"
+  "CMakeFiles/fb_swbarrier.dir/factory.cc.o.d"
+  "CMakeFiles/fb_swbarrier.dir/split_barrier.cc.o"
+  "CMakeFiles/fb_swbarrier.dir/split_barrier.cc.o.d"
+  "CMakeFiles/fb_swbarrier.dir/tagged.cc.o"
+  "CMakeFiles/fb_swbarrier.dir/tagged.cc.o.d"
+  "CMakeFiles/fb_swbarrier.dir/tree.cc.o"
+  "CMakeFiles/fb_swbarrier.dir/tree.cc.o.d"
+  "libfb_swbarrier.a"
+  "libfb_swbarrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_swbarrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

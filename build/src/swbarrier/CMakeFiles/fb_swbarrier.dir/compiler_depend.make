@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fb_swbarrier.
+# This may be replaced when dependencies are built.

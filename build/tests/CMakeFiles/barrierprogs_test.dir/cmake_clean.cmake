@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrierprogs_test.dir/barrierprogs_test.cc.o"
+  "CMakeFiles/barrierprogs_test.dir/barrierprogs_test.cc.o.d"
+  "barrierprogs_test"
+  "barrierprogs_test.pdb"
+  "barrierprogs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrierprogs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calls_interrupts_test.dir/calls_interrupts_test.cc.o"
+  "CMakeFiles/calls_interrupts_test.dir/calls_interrupts_test.cc.o.d"
+  "calls_interrupts_test"
+  "calls_interrupts_test.pdb"
+  "calls_interrupts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calls_interrupts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for calls_interrupts_test.
+# This may be replaced when dependencies are built.

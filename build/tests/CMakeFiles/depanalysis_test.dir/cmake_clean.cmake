@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depanalysis_test.dir/depanalysis_test.cc.o"
+  "CMakeFiles/depanalysis_test.dir/depanalysis_test.cc.o.d"
+  "depanalysis_test"
+  "depanalysis_test.pdb"
+  "depanalysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depanalysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doacross_test.dir/doacross_test.cc.o"
+  "CMakeFiles/doacross_test.dir/doacross_test.cc.o.d"
+  "doacross_test"
+  "doacross_test.pdb"
+  "doacross_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doacross_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/fb_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/swbarrier/CMakeFiles/fb_swbarrier.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/barrier/CMakeFiles/fb_barrier.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

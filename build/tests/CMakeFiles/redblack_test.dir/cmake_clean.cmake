@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redblack_test.dir/redblack_test.cc.o"
+  "CMakeFiles/redblack_test.dir/redblack_test.cc.o.d"
+  "redblack_test"
+  "redblack_test.pdb"
+  "redblack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redblack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swbarrier_test.dir/swbarrier_test.cc.o"
+  "CMakeFiles/swbarrier_test.dir/swbarrier_test.cc.o.d"
+  "swbarrier_test"
+  "swbarrier_test.pdb"
+  "swbarrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swbarrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim.dir/fbsim.cc.o"
+  "CMakeFiles/fbsim.dir/fbsim.cc.o.d"
+  "fbsim"
+  "fbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
