@@ -1,0 +1,361 @@
+#include "verify/differ.hh"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+namespace fb::verify
+{
+
+namespace
+{
+
+/** Registers compared across executors (see generator.hh). */
+constexpr int diffedRegs[] = {1, 2, 3, 4, 5, 6, 25};
+
+struct Variant
+{
+    std::string name;
+    bool markers = false;     ///< run the marker-encoded programs
+    int pipelineDepth = 1;
+    int issueWidth = 1;
+    double jitterMean = 0.0;
+    std::uint64_t machineSeed = 1;
+    sim::StallModel stall = sim::StallModel::hardware();
+};
+
+Fingerprint
+runVariant(const Scenario &sc, const std::vector<isa::Program> &programs,
+           const Variant &v, const DiffOptions &opt)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcessors = sc.procs();
+    cfg.memWords = opt.memWords;
+    cfg.pipelineDepth = v.pipelineDepth;
+    cfg.issueWidth = v.issueWidth;
+    cfg.jitterMean = v.jitterMean;
+    cfg.seed = v.machineSeed;
+    cfg.stall = v.stall;
+    cfg.maxCycles = opt.maxCycles;
+    cfg.interruptPeriod = sc.interruptPeriod;
+    cfg.isrEntry = sc.isrEntry;
+
+    sim::Machine m(cfg);
+    for (int p = 0; p < sc.procs(); ++p)
+        m.loadProgram(p, programs[static_cast<std::size_t>(p)]);
+    auto r = m.run();
+
+    Fingerprint fp;
+    fp.deadlocked = r.deadlocked;
+    fp.timedOut = r.timedOut;
+    fp.safety = m.checkSafetyProperty();
+    fp.syncEvents = r.syncEvents;
+    for (int p = 0; p < sc.procs(); ++p) {
+        fp.episodes.push_back(
+            r.perProcessor[static_cast<std::size_t>(p)].barrierEpisodes);
+        for (int reg : diffedRegs)
+            fp.regs.push_back(m.processor(p).reg(reg));
+    }
+    for (auto addr : sc.watchAddrs)
+        fp.mem.push_back(m.memory().peek(addr));
+    return fp;
+}
+
+/**
+ * Check the structural oracles every executor must satisfy on its
+ * own: liveness, safety, and the per-processor episode count.
+ * syncEvents is only pinned for a single tag group — with disjoint
+ * groups, two groups completing in the same cycle merge into one
+ * network event, so the total is timing-dependent.
+ */
+std::string
+checkOracles(const Scenario &sc, const Fingerprint &fp)
+{
+    std::ostringstream oss;
+    if (fp.deadlocked)
+        return "liveness: deadlocked";
+    if (fp.timedOut)
+        return "liveness: timed out (maxCycles guard)";
+    if (!fp.safety.empty())
+        return "safety: " + fp.safety;
+    for (int p = 0; p < sc.procs(); ++p) {
+        auto got = fp.episodes[static_cast<std::size_t>(p)];
+        if (got != static_cast<std::uint64_t>(sc.episodes)) {
+            oss << "episodes: processor " << p << " completed " << got
+                << " episodes, expected " << sc.episodes;
+            return oss.str();
+        }
+    }
+    if (sc.groups() == 1 &&
+        fp.syncEvents != static_cast<std::uint64_t>(sc.episodes)) {
+        oss << "episodes: " << fp.syncEvents
+            << " group sync events, expected " << sc.episodes;
+        return oss.str();
+    }
+    return "";
+}
+
+/** Diff a variant fingerprint against the baseline. */
+std::string
+diffAgainstBaseline(const Scenario &sc, const Fingerprint &base,
+                    const Fingerprint &fp)
+{
+    std::ostringstream oss;
+    if (fp.episodes != base.episodes)
+        return "per-processor episode counts diverge from baseline";
+    if (sc.groups() == 1 && fp.syncEvents != base.syncEvents) {
+        oss << "sync events diverge: " << fp.syncEvents << " vs baseline "
+            << base.syncEvents;
+        return oss.str();
+    }
+    if (fp.regs != base.regs) {
+        const std::size_t perProc = std::size(diffedRegs);
+        for (std::size_t i = 0; i < fp.regs.size(); ++i) {
+            if (fp.regs[i] != base.regs[i]) {
+                oss << "register diverges: processor " << i / perProc
+                    << " r" << diffedRegs[i % perProc] << " = "
+                    << fp.regs[i] << " vs baseline " << base.regs[i];
+                return oss.str();
+            }
+        }
+    }
+    if (fp.mem != base.mem) {
+        for (std::size_t i = 0; i < fp.mem.size(); ++i) {
+            if (fp.mem[i] != base.mem[i]) {
+                oss << "memory diverges: word " << sc.watchAddrs[i]
+                    << " = " << fp.mem[i] << " vs baseline "
+                    << base.mem[i];
+                return oss.str();
+            }
+        }
+    }
+    return "";
+}
+
+} // namespace
+
+std::uint64_t
+Fingerprint::hash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(deadlocked ? 1 : 0);
+    mix(timedOut ? 1 : 0);
+    mix(safety.size());
+    mix(syncEvents);
+    for (auto e : episodes)
+        mix(e);
+    for (auto r : regs)
+        mix(static_cast<std::uint64_t>(r));
+    for (auto m : mem)
+        mix(static_cast<std::uint64_t>(m));
+    return h;
+}
+
+std::string
+Fingerprint::summary() const
+{
+    std::ostringstream oss;
+    oss << "syncs=" << syncEvents << " deadlock=" << (deadlocked ? 1 : 0)
+        << " timeout=" << (timedOut ? 1 : 0)
+        << " safety=" << (safety.empty() ? "OK" : "VIOLATED")
+        << " hash=" << std::hex << hash();
+    return oss.str();
+}
+
+std::string
+DiffReport::describe() const
+{
+    std::ostringstream oss;
+    if (ok) {
+        oss << "PASS (" << variantsRun << " executors agree)\n";
+    } else {
+        oss << "FAIL in executor '" << variant << "': " << failure
+            << "\n";
+    }
+    oss << "baseline: " << baseline.summary() << "\n";
+    return oss.str();
+}
+
+DiffReport
+runDifferential(const Scenario &sc, const DiffOptions &opt)
+{
+    DiffReport rep;
+
+    auto failed = [&rep](const std::string &variant,
+                         const std::string &why) {
+        rep.ok = false;
+        rep.variant = variant;
+        rep.failure = why;
+        return rep;
+    };
+
+    if (sc.procs() == 0)
+        return failed("setup", "scenario has no programs");
+
+    // Assemble both encodings up front.
+    std::vector<isa::Program> bits;
+    std::vector<isa::Program> markers;
+    for (int p = 0; p < sc.procs(); ++p) {
+        isa::Program prog;
+        std::string err;
+        if (!isa::Assembler::assemble(
+                sc.sources[static_cast<std::size_t>(p)], prog, err)) {
+            std::ostringstream oss;
+            oss << "processor " << p << ": " << err;
+            return failed("assemble", oss.str());
+        }
+        if (auto violation = prog.checkRegionBranches()) {
+            std::ostringstream oss;
+            oss << "processor " << p << ": " << *violation;
+            return failed("static-check", oss.str());
+        }
+        if (sc.interruptPeriod > 0 &&
+            (sc.isrEntry < 0 ||
+             sc.isrEntry >= static_cast<std::int64_t>(prog.size()))) {
+            return failed("setup", "ISR entry index outside program");
+        }
+        markers.push_back(prog.toMarkerEncoding());
+        bits.push_back(std::move(prog));
+    }
+
+    const bool baseMarkers = sc.encoding == Encoding::Markers;
+    auto &basePrograms = baseMarkers ? markers : bits;
+    auto &crossPrograms = baseMarkers ? bits : markers;
+
+    Variant baseVariant;
+    baseVariant.name =
+        std::string("baseline/") + encodingName(sc.encoding) + "/depth1";
+    baseVariant.markers = baseMarkers;
+    rep.baseline = runVariant(sc, basePrograms, baseVariant, opt);
+    rep.variantsRun = 1;
+    if (auto why = checkOracles(sc, rep.baseline); !why.empty())
+        return failed(baseVariant.name, why);
+
+    std::vector<Variant> variants;
+    if (opt.otherEncoding) {
+        Variant v;
+        v.name = std::string("encoding/") +
+                 encodingName(baseMarkers ? Encoding::RegionBits
+                                          : Encoding::Markers);
+        v.markers = !baseMarkers;
+        variants.push_back(v);
+    }
+    for (int depth : opt.pipelineDepths) {
+        Variant v;
+        v.name = "pipeline/depth" + std::to_string(depth);
+        v.markers = baseMarkers;
+        v.pipelineDepth = depth;
+        variants.push_back(v);
+    }
+    if (opt.softwareStall) {
+        Variant v;
+        v.name = "stall/software(20,20)";
+        v.markers = baseMarkers;
+        v.stall = sim::StallModel::software(20, 20);
+        variants.push_back(v);
+    }
+    if (opt.jitter) {
+        Variant v;
+        v.name = "jitter/mean1.5";
+        v.markers = baseMarkers;
+        v.jitterMean = 1.5;
+        v.machineSeed = 99;
+        variants.push_back(v);
+    }
+    if (opt.multiIssue) {
+        Variant v;
+        v.name = "vliw/width4";
+        v.markers = baseMarkers;
+        v.issueWidth = 4;
+        variants.push_back(v);
+    }
+
+    for (const auto &v : variants) {
+        auto &programs = v.markers == baseMarkers ? basePrograms
+                                                  : crossPrograms;
+        Fingerprint fp = runVariant(sc, programs, v, opt);
+        ++rep.variantsRun;
+        if (auto why = checkOracles(sc, fp); !why.empty())
+            return failed(v.name, why);
+        if (auto why = diffAgainstBaseline(sc, rep.baseline, fp);
+            !why.empty())
+            return failed(v.name, why);
+    }
+
+    if (opt.swBarrierReference) {
+        for (std::size_t g = 0; g < sc.groupSizes.size(); ++g) {
+            int size = sc.groupSizes[g];
+            if (size < 2)
+                continue;  // a singleton group never blocks
+            for (auto kind : {sw::BarrierKind::Centralized,
+                              sw::BarrierKind::Dissemination}) {
+                std::string why =
+                    runSwBarrierReference(kind, size, sc.episodes);
+                ++rep.variantsRun;
+                if (!why.empty()) {
+                    std::ostringstream oss;
+                    oss << "swref/" << sw::barrierKindName(kind)
+                        << "/group" << g;
+                    return failed(oss.str(), why);
+                }
+            }
+        }
+    }
+    return rep;
+}
+
+std::string
+runSwBarrierReference(sw::BarrierKind kind, int threads, int episodes)
+{
+    auto barrier = sw::makeBarrier(kind, threads);
+    // arrivals[e] counts arrive() calls for episode e; when any
+    // thread's wait() for episode e returns, all members must have
+    // arrived — the same condition Machine::checkSafetyProperty()
+    // verifies on the simulated network.
+    std::vector<std::atomic<int>> arrivals(
+        static_cast<std::size_t>(episodes));
+    std::atomic<int> violations{0};
+    std::atomic<int> completed{0};
+
+    auto worker = [&](int tid) {
+        for (int e = 0; e < episodes; ++e) {
+            arrivals[static_cast<std::size_t>(e)].fetch_add(1);
+            barrier->arrive(tid);
+            barrier->wait(tid);
+            if (arrivals[static_cast<std::size_t>(e)].load() < threads)
+                violations.fetch_add(1);
+        }
+        completed.fetch_add(1);
+    };
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back(worker, t);
+    for (auto &t : pool)
+        t.join();
+
+    std::ostringstream oss;
+    if (completed.load() != threads) {
+        oss << "reference barrier '" << barrier->name() << "': only "
+            << completed.load() << "/" << threads
+            << " threads completed " << episodes << " episodes";
+        return oss.str();
+    }
+    if (violations.load() != 0) {
+        oss << "reference barrier '" << barrier->name() << "': "
+            << violations.load()
+            << " wait() returns before all members arrived";
+        return oss.str();
+    }
+    return "";
+}
+
+} // namespace fb::verify

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Differential executors and oracles for fuzzy-barrier scenarios.
+ *
+ * One Scenario is executed under a matrix of models that the paper
+ * claims are result-equivalent — region-bit vs marker encoding,
+ * pipeline depths, hardware vs software (Encore, section 8) stall
+ * models, execution jitter, and VLIW multi-issue — and every run is
+ * checked against the structural oracles (liveness, per-processor
+ * episode counts, the section-2 safety condition) and diffed against
+ * the baseline fingerprint (registers, watched memory). The same
+ * episode schedule is also cross-checked against the real-thread
+ * swbarrier reference implementations.
+ */
+
+#ifndef FB_VERIFY_DIFFER_HH
+#define FB_VERIFY_DIFFER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "swbarrier/factory.hh"
+#include "verify/scenario.hh"
+
+namespace fb::verify
+{
+
+/** Everything diffed about one execution of a scenario. */
+struct Fingerprint
+{
+    bool deadlocked = false;
+    bool timedOut = false;
+    std::string safety;                  ///< "" = safety oracle holds
+    std::uint64_t syncEvents = 0;
+    std::vector<std::uint64_t> episodes; ///< per-processor episode count
+    std::vector<std::int64_t> regs;      ///< diffed registers per proc
+    std::vector<std::int64_t> mem;       ///< watched memory words
+
+    /** FNV-1a hash over all fields, for compact replay output. */
+    std::uint64_t hash() const;
+
+    /** One-line summary (deterministic). */
+    std::string summary() const;
+};
+
+/** Which executors to run beyond the depth-1 baseline. */
+struct DiffOptions
+{
+    bool otherEncoding = true;          ///< bit <-> marker cross-check
+    std::vector<int> pipelineDepths = {2, 4};
+    bool softwareStall = true;          ///< Encore-style stall model
+    bool jitter = true;                 ///< random execution drift
+    bool multiIssue = true;             ///< VLIW width 4
+    bool swBarrierReference = true;     ///< real-thread cross-check
+    std::uint64_t maxCycles = 5'000'000;
+    std::size_t memWords = 4096;
+};
+
+/** Outcome of a differential run. */
+struct DiffReport
+{
+    bool ok = true;
+    std::string variant;  ///< executor that failed/diverged ("" if ok)
+    std::string failure;  ///< description of the first divergence
+    Fingerprint baseline;
+    int variantsRun = 0;
+
+    /** Multi-line human-readable report (deterministic). */
+    std::string describe() const;
+};
+
+/**
+ * Assemble and execute @p sc under the full differential matrix.
+ * Stops at the first failing or diverging executor.
+ */
+DiffReport runDifferential(const Scenario &sc,
+                           const DiffOptions &opt = {});
+
+/**
+ * Run @p episodes arrive/wait episodes over @p threads real threads
+ * on a software barrier of @p kind, asserting the fuzzy-barrier
+ * safety condition (wait() may not return before every member's
+ * arrive()). Returns "" on success or a failure description.
+ */
+std::string runSwBarrierReference(sw::BarrierKind kind, int threads,
+                                  int episodes);
+
+} // namespace fb::verify
+
+#endif // FB_VERIFY_DIFFER_HH

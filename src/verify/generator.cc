@@ -1,0 +1,239 @@
+#include "verify/generator.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace fb::verify
+{
+
+int
+ProgramSpec::groupOf(int p) const
+{
+    int first = 0;
+    for (std::size_t g = 0; g < groupSizes.size(); ++g) {
+        if (p < first + groupSizes[g])
+            return static_cast<int>(g);
+        first += groupSizes[g];
+    }
+    panic("processor index outside group partition");
+}
+
+std::uint64_t
+ProgramSpec::maskOf(int p) const
+{
+    int g = groupOf(p);
+    int first = 0;
+    for (int i = 0; i < g; ++i)
+        first += groupSizes[i];
+    std::uint64_t mask = 0;
+    for (int i = 0; i < groupSizes[static_cast<std::size_t>(g)]; ++i)
+        mask |= 1ull << (first + i);
+    return mask;
+}
+
+ProgramSpec
+randomSpec(std::uint64_t seed)
+{
+    RandomSource rng(seed);
+    ProgramSpec spec;
+    spec.seed = seed;
+
+    const int procs = 2 + static_cast<int>(rng.nextBounded(6));
+    spec.groupSizes = {procs};
+    if (procs >= 4 && rng.nextBool(0.3)) {
+        // Two disjoint tag groups, each with at least two members.
+        int first = 2 + static_cast<int>(
+                            rng.nextBounded(static_cast<std::uint64_t>(
+                                procs - 3)));
+        spec.groupSizes = {first, procs - first};
+    }
+    spec.episodes = 1 + static_cast<int>(rng.nextBounded(10));
+    spec.encoding =
+        rng.nextBool(0.25) ? Encoding::Markers : Encoding::RegionBits;
+    spec.interruptPeriod =
+        rng.nextBool(0.25) ? 30 + rng.nextBounded(90) : 0;
+
+    for (int p = 0; p < procs; ++p) {
+        StreamSpec s;
+        s.workLen = 1 + static_cast<int>(rng.nextBounded(10));
+        s.slowTail = rng.nextBool(0.2);
+        s.nbBranch.present = rng.nextBool(0.5);
+        if (s.nbBranch.present) {
+            s.nbBranch.dataDependent = rng.nextBool(0.6);
+            s.nbBranch.thenLen = 1 + static_cast<int>(rng.nextBounded(6));
+            s.nbBranch.elseLen = 1 + static_cast<int>(rng.nextBounded(3));
+            s.nbBranch.nested = rng.nextBool(0.3);
+            s.nbBranch.nestedLen =
+                1 + static_cast<int>(rng.nextBounded(3));
+        }
+        s.callFromWork = rng.nextBool(0.2);
+        s.regionLen = static_cast<int>(rng.nextBounded(8));
+        s.rgBranch.present = rng.nextBool(0.35);
+        if (s.rgBranch.present) {
+            s.rgBranch.thenLen = 1 + static_cast<int>(rng.nextBounded(4));
+            s.rgBranch.elseLen = 1 + static_cast<int>(rng.nextBounded(2));
+        }
+        s.callFromRegion = rng.nextBool(0.2);
+        s.helperLen = 1 + static_cast<int>(rng.nextBounded(5));
+        s.lcgSeed =
+            1 + static_cast<std::uint32_t>(rng.nextBounded(100000));
+        spec.streams.push_back(s);
+    }
+    return spec;
+}
+
+namespace
+{
+
+/** Base address of processor @p p's result block. */
+constexpr std::size_t
+resultBase(int p)
+{
+    return 100 + static_cast<std::size_t>(p) * 8;
+}
+
+void
+emitRepeat(std::ostringstream &oss, int count, const char *line)
+{
+    for (int k = 0; k < count; ++k)
+        oss << line << "\n";
+}
+
+} // namespace
+
+std::string
+renderStream(const ProgramSpec &spec, int p)
+{
+    FB_ASSERT(p >= 0 && p < spec.procs(), "stream index out of range");
+    const StreamSpec &s = spec.streams[static_cast<std::size_t>(p)];
+    const int tag = spec.groupOf(p) + 1;
+    const bool helper = s.callFromWork || s.callFromRegion;
+    const bool parity = (s.nbBranch.present && !s.nbBranch.dataDependent) ||
+                        s.nbBranch.nested || s.rgBranch.present;
+    const bool lcg = s.nbBranch.present && s.nbBranch.dataDependent;
+
+    std::ostringstream oss;
+    // The ISR must sit in a prefix with no region instructions and no
+    // branch targets so its index (1) is identical under both region
+    // encodings (toMarkerEncoding never inserts markers before it).
+    if (spec.interruptPeriod > 0) {
+        oss << "jmp main\n";
+        oss << "isr:\n";
+        oss << "addi r20, r20, 1\n";
+        oss << "iret\n";
+        oss << "main:\n";
+    }
+    oss << "settag " << tag << "\n";
+    oss << "setmask " << spec.maskOf(p) << "\n";
+    oss << "li r1, 0\n";
+    oss << "li r2, " << spec.episodes << "\n";
+    if (parity || lcg)
+        oss << "li r7, 1\n";
+    if (lcg) {
+        oss << "li r10, " << s.lcgSeed << "\n";
+        oss << "li r11, 16\n";
+    }
+    oss << "loop:\n";
+
+    // Non-barrier work. workLen >= 1 keeps adjacent episodes from
+    // merging across the backedge (the null non-barrier hazard).
+    int plain = s.workLen - (s.slowTail ? 1 : 0);
+    emitRepeat(oss, plain, "addi r3, r3, 1");
+    if (s.slowTail)
+        oss << "muli r3, r3, 1\n";
+
+    if (s.nbBranch.present) {
+        if (s.nbBranch.dataDependent) {
+            oss << "muli r10, r10, 1103515245\n";
+            oss << "addi r10, r10, 12345\n";
+            oss << "shr r13, r10, r11\n";
+            oss << "and r13, r13, r7\n";
+        } else {
+            oss << "and r13, r1, r7\n";
+        }
+        oss << "beq r13, r0, nb_else\n";
+        emitRepeat(oss, s.nbBranch.thenLen, "addi r4, r4, 1");
+        if (s.nbBranch.nested) {
+            oss << "and r14, r1, r7\n";
+            oss << "beq r14, r0, nb_nested\n";
+            emitRepeat(oss, s.nbBranch.nestedLen, "addi r4, r4, 1");
+            oss << "nb_nested:\n";
+        }
+        oss << "jmp nb_endif\n";
+        oss << "nb_else:\n";
+        emitRepeat(oss, s.nbBranch.elseLen, "addi r4, r4, 1");
+        oss << "nb_endif:\n";
+    }
+    if (s.callFromWork)
+        oss << "call r27, helper\n";
+
+    oss << ".region " << tag << "\n";
+    emitRepeat(oss, s.regionLen, "addi r5, r5, 1");
+    if (s.rgBranch.present) {
+        // Multiple exits and entries within a region are legal
+        // (section 3); the condition is loop parity so every timing
+        // model takes the same path.
+        oss << "and r14, r1, r7\n";
+        oss << "beq r14, r0, rg_else\n";
+        emitRepeat(oss, s.rgBranch.thenLen, "addi r6, r6, 1");
+        oss << "jmp rg_endif\n";
+        oss << "rg_else:\n";
+        emitRepeat(oss, s.rgBranch.elseLen, "addi r6, r6, 1");
+        oss << "rg_endif:\n";
+    }
+    if (s.callFromRegion)
+        oss << "call r27, helper\n";
+    oss << "addi r1, r1, 1\n";
+    oss << "bne r1, r2, loop\n";
+    oss << ".endregion\n";
+
+    // Results go to per-processor disjoint addresses so the final
+    // memory image is identical across every timing model.
+    const std::size_t base = resultBase(p);
+    oss << "st r3, " << base << "(r0)\n";
+    if (s.nbBranch.present)
+        oss << "st r4, " << base + 1 << "(r0)\n";
+    if (s.regionLen > 0)
+        oss << "st r5, " << base + 2 << "(r0)\n";
+    if (s.rgBranch.present)
+        oss << "st r6, " << base + 3 << "(r0)\n";
+    if (helper)
+        oss << "st r25, " << base + 4 << "(r0)\n";
+    oss << "halt\n";
+
+    if (helper) {
+        oss << "helper:\n";
+        emitRepeat(oss, s.helperLen, "addi r25, r25, 1");
+        oss << "ret r27\n";
+    }
+    return oss.str();
+}
+
+Scenario
+render(const ProgramSpec &spec)
+{
+    FB_ASSERT(!spec.streams.empty(), "spec has no streams");
+    int group_total = 0;
+    for (int g : spec.groupSizes)
+        group_total += g;
+    FB_ASSERT(group_total == spec.procs(),
+              "group sizes must cover all processors");
+
+    Scenario sc;
+    sc.groupSizes = spec.groupSizes;
+    sc.episodes = spec.episodes;
+    sc.encoding = spec.encoding;
+    sc.interruptPeriod = spec.interruptPeriod;
+    sc.isrEntry = spec.interruptPeriod > 0 ? 1 : -1;
+    sc.genSeed = spec.seed;
+    for (int p = 0; p < spec.procs(); ++p) {
+        sc.sources.push_back(renderStream(spec, p));
+        for (std::size_t k = 0; k < 5; ++k)
+            sc.watchAddrs.push_back(resultBase(p) + k);
+    }
+    return sc;
+}
+
+} // namespace fb::verify

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Structured random generation of multi-processor fuzzy-barrier
+ * programs.
+ *
+ * The generator is split into two pure stages so the shrinker can
+ * work on structure instead of text:
+ *
+ *   seed --randomSpec--> ProgramSpec --render--> Scenario (fbasm)
+ *
+ * A ProgramSpec describes one episode loop per processor: a
+ * non-barrier work section (optionally with data-dependent and
+ * nested if/else, optionally calling a helper procedure) followed by
+ * a barrier region (optionally with its own if/else and an inherited
+ * procedure call, section 9), with the loop control inside the
+ * region so the region spans the backedge (Fig. 4). All processors
+ * in a tag group execute the same episode count, which is the
+ * structural invariant the differential oracles rely on.
+ *
+ * Register map of rendered programs (diffed registers marked *):
+ *   r1* loop counter       r2* episode bound    r3* work counter
+ *   r4* branch counter     r5* region counter   r6* region-branch ctr
+ *   r7  constant 1         r10 LCG state        r11 constant 16
+ *   r13/r14 branch scratch r20 ISR counter      r25* helper counter
+ *   r27 helper link register
+ * r20 is excluded from diffing because interrupt delivery counts are
+ * timing-dependent by design.
+ */
+
+#ifndef FB_VERIFY_GENERATOR_HH
+#define FB_VERIFY_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/scenario.hh"
+
+namespace fb::verify
+{
+
+/** An if/else in a generated stream. */
+struct BranchSpec
+{
+    bool present = false;
+    /** Condition from a per-stream LCG (vs loop-counter parity). */
+    bool dataDependent = false;
+    int thenLen = 1;
+    int elseLen = 1;
+    /** Nested if inside the then-branch. */
+    bool nested = false;
+    int nestedLen = 1;
+};
+
+/** One processor's episode-loop shape. */
+struct StreamSpec
+{
+    /** Non-barrier work instructions per episode (>= 1: a null
+     * non-barrier section would merge adjacent episodes). */
+    int workLen = 1;
+    /** Make the last work instruction a multi-cycle multiply, so
+     * deep pipelines hit the DrainWait path (INTERNALS section 2). */
+    bool slowTail = false;
+    BranchSpec nbBranch;       ///< if/else in the non-barrier section
+    bool callFromWork = false; ///< helper call from non-barrier code
+    int regionLen = 0;         ///< region filler instructions
+    BranchSpec rgBranch;       ///< if/else inside the barrier region
+    bool callFromRegion = false; ///< inherited-region call (section 9)
+    int helperLen = 2;         ///< helper procedure body length
+    std::uint32_t lcgSeed = 1; ///< per-stream LCG seed
+};
+
+/** A complete multi-processor test-program shape. */
+struct ProgramSpec
+{
+    std::vector<int> groupSizes = {2}; ///< contiguous tag groups
+    int episodes = 1;
+    Encoding encoding = Encoding::RegionBits;
+    std::uint64_t interruptPeriod = 0; ///< 0 = interrupts off
+    std::vector<StreamSpec> streams;   ///< one per processor
+    std::uint64_t seed = 0;            ///< provenance
+
+    int procs() const { return static_cast<int>(streams.size()); }
+    int groups() const { return static_cast<int>(groupSizes.size()); }
+
+    /** Group index of processor @p p. */
+    int groupOf(int p) const;
+
+    /** Barrier mask for processor @p p (all bits of its group). */
+    std::uint64_t maskOf(int p) const;
+};
+
+/**
+ * Derive a random ProgramSpec from @p seed. Identical seeds yield
+ * identical specs: processor count 2-7, 1-2 tag groups, 1-10
+ * episodes, both encodings, optional interrupts, and per-stream
+ * branch/call/region shapes.
+ */
+ProgramSpec randomSpec(std::uint64_t seed);
+
+/** Render one processor's fbasm text. */
+std::string renderStream(const ProgramSpec &spec, int p);
+
+/**
+ * Render the whole spec into a runnable Scenario (sources, group
+ * layout, expectations, watch addresses).
+ */
+Scenario render(const ProgramSpec &spec);
+
+} // namespace fb::verify
+
+#endif // FB_VERIFY_GENERATOR_HH

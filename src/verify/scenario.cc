@@ -1,0 +1,170 @@
+#include "verify/scenario.hh"
+
+#include <sstream>
+
+#include "support/strutil.hh"
+
+namespace fb::verify
+{
+
+const char *
+encodingName(Encoding e)
+{
+    return e == Encoding::RegionBits ? "bits" : "markers";
+}
+
+std::size_t
+Scenario::totalAsmLines() const
+{
+    std::size_t lines = 0;
+    for (const auto &src : sources) {
+        std::istringstream in(src);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (!trim(line).empty())
+                ++lines;
+        }
+    }
+    return lines;
+}
+
+std::string
+Scenario::toReproducer() const
+{
+    std::ostringstream oss;
+    oss << "; fbfuzz reproducer -- replay with: fbfuzz --replay <file>\n";
+    oss << "!version 1\n";
+    oss << "!encoding " << encodingName(encoding) << "\n";
+    oss << "!groupsizes";
+    for (int s : groupSizes)
+        oss << " " << s;
+    oss << "\n";
+    oss << "!episodes " << episodes << "\n";
+    oss << "!interrupt " << interruptPeriod << "\n";
+    oss << "!isr " << isrEntry << "\n";
+    oss << "!watch";
+    for (auto a : watchAddrs)
+        oss << " " << a;
+    oss << "\n";
+    if (genSeed != 0)
+        oss << "!genseed " << genSeed << "\n";
+    for (std::size_t p = 0; p < sources.size(); ++p) {
+        oss << "!program " << p << "\n";
+        oss << sources[p];
+        if (!sources[p].empty() && sources[p].back() != '\n')
+            oss << "\n";
+        oss << "!endprogram\n";
+    }
+    return oss.str();
+}
+
+bool
+Scenario::fromReproducer(const std::string &text, Scenario &out,
+                         std::string &error)
+{
+    Scenario sc;
+    sc.groupSizes.clear();
+    sc.watchAddrs.clear();
+
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    int programs_seen = 0;
+    bool in_program = false;
+    std::ostringstream body;
+
+    auto fail = [&](const std::string &msg) {
+        error = "reproducer line " + std::to_string(line_no) + ": " + msg;
+        return false;
+    };
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (in_program) {
+            if (trim(line) == "!endprogram") {
+                sc.sources.push_back(body.str());
+                body.str("");
+                in_program = false;
+            } else {
+                body << line << "\n";
+            }
+            continue;
+        }
+        std::string t = trim(line);
+        if (t.empty() || t[0] == ';')
+            continue;
+        if (t[0] != '!')
+            return fail("expected !directive, got '" + t + "'");
+        auto toks = splitWhitespace(t);
+        const std::string &key = toks[0];
+        auto intArg = [&](std::size_t i, std::int64_t &v) {
+            return toks.size() > i && parseInt(toks[i], v);
+        };
+        std::int64_t v = 0;
+        if (key == "!version") {
+            if (!intArg(1, v) || v != 1)
+                return fail("unsupported reproducer version");
+        } else if (key == "!encoding") {
+            if (toks.size() < 2)
+                return fail("!encoding needs a value");
+            if (toks[1] == "bits")
+                sc.encoding = Encoding::RegionBits;
+            else if (toks[1] == "markers")
+                sc.encoding = Encoding::Markers;
+            else
+                return fail("unknown encoding '" + toks[1] + "'");
+        } else if (key == "!groupsizes") {
+            for (std::size_t i = 1; i < toks.size(); ++i) {
+                if (!parseInt(toks[i], v) || v < 1)
+                    return fail("bad group size");
+                sc.groupSizes.push_back(static_cast<int>(v));
+            }
+        } else if (key == "!episodes") {
+            if (!intArg(1, v) || v < 0)
+                return fail("bad !episodes");
+            sc.episodes = static_cast<int>(v);
+        } else if (key == "!interrupt") {
+            if (!intArg(1, v) || v < 0)
+                return fail("bad !interrupt");
+            sc.interruptPeriod = static_cast<std::uint64_t>(v);
+        } else if (key == "!isr") {
+            if (!intArg(1, v))
+                return fail("bad !isr");
+            sc.isrEntry = v;
+        } else if (key == "!watch") {
+            for (std::size_t i = 1; i < toks.size(); ++i) {
+                if (!parseInt(toks[i], v) || v < 0)
+                    return fail("bad watch address");
+                sc.watchAddrs.push_back(static_cast<std::size_t>(v));
+            }
+        } else if (key == "!genseed") {
+            if (!intArg(1, v))
+                return fail("bad !genseed");
+            sc.genSeed = static_cast<std::uint64_t>(v);
+        } else if (key == "!program") {
+            if (!intArg(1, v) || v != programs_seen)
+                return fail("!program sections must be dense and in order");
+            ++programs_seen;
+            in_program = true;
+        } else {
+            return fail("unknown directive " + key);
+        }
+    }
+    if (in_program)
+        return fail("unterminated !program section");
+    if (sc.sources.empty())
+        return fail("no !program sections");
+
+    int group_total = 0;
+    for (int s : sc.groupSizes)
+        group_total += s;
+    if (group_total != sc.procs())
+        return fail("group sizes do not cover all processors");
+    if (sc.interruptPeriod > 0 && sc.isrEntry < 0)
+        return fail("!interrupt requires a non-negative !isr index");
+
+    out = std::move(sc);
+    return true;
+}
+
+} // namespace fb::verify

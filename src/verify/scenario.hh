@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A differential-verification scenario: one fbasm program per
+ * processor plus the structural expectations the oracles check, with
+ * a deterministic textual reproducer format for replay.
+ */
+
+#ifndef FB_VERIFY_SCENARIO_HH
+#define FB_VERIFY_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fb::verify
+{
+
+/** Which region encoding the baseline executor runs. */
+enum class Encoding
+{
+    RegionBits,  ///< per-instruction region bit (paper section 6)
+    Markers,     ///< explicit BRENTER/BREXIT markers
+};
+
+/** Name of an encoding ("bits" / "markers"). */
+const char *encodingName(Encoding e);
+
+/**
+ * A complete, self-describing differential test case.
+ *
+ * Processors are partitioned into contiguous tag groups:
+ * groupSizes = {2, 3} means processors 0-1 synchronize under tag 1
+ * and processors 2-4 under tag 2. Every processor executes exactly
+ * @ref episodes barrier episodes; that structural invariant is what
+ * lets the differ compare runs across timing models.
+ *
+ * When @ref interruptPeriod is nonzero, @ref isrEntry is the ISR's
+ * instruction index, identical in every program. The generator (and
+ * the reproducer format) place the ISR in a program prefix that
+ * contains no region instructions and no branch targets, so the
+ * index survives toMarkerEncoding() unchanged.
+ */
+struct Scenario
+{
+    std::vector<std::string> sources;   ///< fbasm text per processor
+    std::vector<int> groupSizes = {2};  ///< contiguous tag-group sizes
+    int episodes = 1;                   ///< barrier episodes per processor
+    Encoding encoding = Encoding::RegionBits;
+    std::uint64_t interruptPeriod = 0;  ///< 0 = interrupts off
+    std::int64_t isrEntry = -1;         ///< ISR instruction index
+    std::vector<std::size_t> watchAddrs; ///< memory words diffed after runs
+    std::uint64_t genSeed = 0;          ///< provenance (0 = hand-written)
+
+    int procs() const { return static_cast<int>(sources.size()); }
+    int groups() const { return static_cast<int>(groupSizes.size()); }
+
+    /** Total fbasm line count over all programs (blank lines excluded). */
+    std::size_t totalAsmLines() const;
+
+    /**
+     * Serialize to the reproducer format: `!key value` header lines
+     * followed by one `!program N` ... `!endprogram` section per
+     * processor. Byte-deterministic for a given scenario.
+     */
+    std::string toReproducer() const;
+
+    /**
+     * Parse a reproducer. Returns false and sets @p error on
+     * malformed input.
+     */
+    static bool fromReproducer(const std::string &text, Scenario &out,
+                               std::string &error);
+};
+
+} // namespace fb::verify
+
+#endif // FB_VERIFY_SCENARIO_HH

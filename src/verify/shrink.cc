@@ -1,0 +1,201 @@
+#include "verify/shrink.hh"
+
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace fb::verify
+{
+
+namespace
+{
+
+// Whole-spec mutations; each returns false when it cannot apply.
+
+bool
+dropInterrupts(ProgramSpec &s)
+{
+    if (s.interruptPeriod == 0)
+        return false;
+    s.interruptPeriod = 0;
+    return true;
+}
+
+bool
+episodesToOne(ProgramSpec &s)
+{
+    if (s.episodes <= 1)
+        return false;
+    s.episodes = 1;
+    return true;
+}
+
+bool
+halveEpisodes(ProgramSpec &s)
+{
+    if (s.episodes <= 1)
+        return false;
+    s.episodes /= 2;
+    return true;
+}
+
+bool
+decrementEpisodes(ProgramSpec &s)
+{
+    if (s.episodes <= 1)
+        return false;
+    --s.episodes;
+    return true;
+}
+
+bool
+dropLastGroup(ProgramSpec &s)
+{
+    if (s.groups() <= 1)
+        return false;
+    int removed = s.groupSizes.back();
+    s.groupSizes.pop_back();
+    s.streams.resize(s.streams.size() -
+                     static_cast<std::size_t>(removed));
+    return true;
+}
+
+bool
+dropOneProcessor(ProgramSpec &s)
+{
+    // Remove the last member of the largest group that can spare one
+    // (groups stay >= 2 so the barrier still synchronizes).
+    int best = -1;
+    for (std::size_t g = 0; g < s.groupSizes.size(); ++g) {
+        if (s.groupSizes[g] > 2 &&
+            (best < 0 || s.groupSizes[g] > s.groupSizes[
+                             static_cast<std::size_t>(best)]))
+            best = static_cast<int>(g);
+    }
+    if (best < 0)
+        return false;
+    int last = 0;  // index one past the group's last processor
+    for (int g = 0; g <= best; ++g)
+        last += s.groupSizes[static_cast<std::size_t>(g)];
+    s.streams.erase(s.streams.begin() + (last - 1));
+    --s.groupSizes[static_cast<std::size_t>(best)];
+    return true;
+}
+
+bool
+regionBitsEncoding(ProgramSpec &s)
+{
+    if (s.encoding == Encoding::RegionBits)
+        return false;
+    s.encoding = Encoding::RegionBits;
+    return true;
+}
+
+/** Apply @p f to every stream; true if anything changed. */
+template <typename F>
+bool
+eachStream(ProgramSpec &s, F f)
+{
+    bool changed = false;
+    for (auto &st : s.streams)
+        changed |= f(st);
+    return changed;
+}
+
+} // namespace
+
+ProgramSpec
+shrink(const ProgramSpec &failing, const FailPredicate &fails,
+       ShrinkStats *stats)
+{
+    ShrinkStats local;
+    ShrinkStats &st = stats ? *stats : local;
+
+    ProgramSpec best = failing;
+    FB_ASSERT(fails(render(best)),
+              "shrink() requires a spec that fails the predicate");
+
+    // Per-stream flattening mutators, as plain lambdas wrapped below.
+    auto dropRegionCall = [](StreamSpec &x) {
+        return std::exchange(x.callFromRegion, false);
+    };
+    auto dropWorkCall = [](StreamSpec &x) {
+        return std::exchange(x.callFromWork, false);
+    };
+    auto dropRegionBranch = [](StreamSpec &x) {
+        return std::exchange(x.rgBranch.present, false);
+    };
+    auto dropNested = [](StreamSpec &x) {
+        return std::exchange(x.nbBranch.nested, false);
+    };
+    auto dropWorkBranch = [](StreamSpec &x) {
+        return std::exchange(x.nbBranch.present, false);
+    };
+    auto dropSlowTail = [](StreamSpec &x) {
+        return std::exchange(x.slowTail, false);
+    };
+    auto clearRegion = [](StreamSpec &x) {
+        return std::exchange(x.regionLen, 0) != 0;
+    };
+    auto shrinkLengths = [](StreamSpec &x) {
+        bool changed = false;
+        auto cut = [&changed](int &v, int floor) {
+            if (v > floor) {
+                v = floor + (v - floor) / 2;
+                changed = true;
+            }
+        };
+        cut(x.workLen, 1);
+        cut(x.regionLen, 0);
+        cut(x.helperLen, 1);
+        cut(x.nbBranch.thenLen, 1);
+        cut(x.nbBranch.elseLen, 1);
+        cut(x.nbBranch.nestedLen, 1);
+        cut(x.rgBranch.thenLen, 1);
+        cut(x.rgBranch.elseLen, 1);
+        return changed;
+    };
+
+    using SpecMutation = std::function<bool(ProgramSpec &)>;
+    std::vector<SpecMutation> mutations = {
+        dropInterrupts,
+        episodesToOne,
+        halveEpisodes,
+        decrementEpisodes,
+        dropLastGroup,
+        dropOneProcessor,
+        regionBitsEncoding,
+        [&](ProgramSpec &s) { return eachStream(s, dropRegionCall); },
+        [&](ProgramSpec &s) { return eachStream(s, dropWorkCall); },
+        [&](ProgramSpec &s) { return eachStream(s, dropRegionBranch); },
+        [&](ProgramSpec &s) { return eachStream(s, dropNested); },
+        [&](ProgramSpec &s) { return eachStream(s, dropWorkBranch); },
+        [&](ProgramSpec &s) { return eachStream(s, dropSlowTail); },
+        [&](ProgramSpec &s) { return eachStream(s, clearRegion); },
+        [&](ProgramSpec &s) { return eachStream(s, shrinkLengths); },
+    };
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        ++st.passes;
+        for (auto &mutate : mutations) {
+            // A mutator may be re-appliable (halving); keep applying
+            // it while it both applies and preserves the failure.
+            for (;;) {
+                ProgramSpec candidate = best;
+                if (!mutate(candidate))
+                    break;
+                ++st.attempts;
+                if (!fails(render(candidate)))
+                    break;
+                best = std::move(candidate);
+                ++st.accepted;
+                progress = true;
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace fb::verify

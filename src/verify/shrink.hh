@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Greedy test-case minimization for failing ProgramSpecs.
+ *
+ * The shrinker mutates the structured spec — never the rendered text
+ * — so every candidate is structurally valid by construction: drop
+ * interrupts, cut episodes, drop whole tag groups and processors,
+ * flatten branches, remove procedure calls, and shrink work/region
+ * lengths. A mutation is kept iff the re-rendered scenario still
+ * fails the caller's predicate; passes repeat until a full pass
+ * accepts nothing.
+ */
+
+#ifndef FB_VERIFY_SHRINK_HH
+#define FB_VERIFY_SHRINK_HH
+
+#include <functional>
+
+#include "verify/generator.hh"
+
+namespace fb::verify
+{
+
+/** Returns true while the scenario still exhibits the failure. */
+using FailPredicate = std::function<bool(const Scenario &)>;
+
+/** Bookkeeping about one shrink run. */
+struct ShrinkStats
+{
+    int attempts = 0;  ///< candidate scenarios evaluated
+    int accepted = 0;  ///< mutations that preserved the failure
+    int passes = 0;    ///< full mutation passes until fixpoint
+};
+
+/**
+ * Minimize @p failing (which must fail @p fails when rendered).
+ * Returns the smallest spec found; the result is guaranteed to still
+ * fail the predicate and to be no larger than the input.
+ */
+ProgramSpec shrink(const ProgramSpec &failing, const FailPredicate &fails,
+                   ShrinkStats *stats = nullptr);
+
+} // namespace fb::verify
+
+#endif // FB_VERIFY_SHRINK_HH

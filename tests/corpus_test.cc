@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Regression tests replaying the stored reproducer corpus under
+ * tests/corpus/. Each file is a scenario that once exercised an
+ * interesting corner — tag groups, interrupts during regions,
+ * DrainWait at deep pipelines, inherited-region calls — and must
+ * keep passing the full differential matrix, deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "verify/differ.hh"
+
+namespace fb::verify
+{
+namespace
+{
+
+std::vector<std::filesystem::path>
+corpusFiles()
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(FB_CORPUS_DIR)) {
+        if (entry.path().extension() == ".fbrepro")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+TEST(Corpus, HasAtLeastThreeSeeds)
+{
+    EXPECT_GE(corpusFiles().size(), 3u);
+}
+
+TEST(Corpus, EverySeedReplaysClean)
+{
+    for (const auto &path : corpusFiles()) {
+        SCOPED_TRACE(path.filename().string());
+        Scenario sc;
+        std::string err;
+        ASSERT_TRUE(Scenario::fromReproducer(readFile(path), sc, err))
+            << err;
+        DiffReport rep = runDifferential(sc);
+        EXPECT_TRUE(rep.ok)
+            << rep.variant << ": " << rep.failure;
+    }
+}
+
+TEST(Corpus, ReplayIsDeterministic)
+{
+    for (const auto &path : corpusFiles()) {
+        SCOPED_TRACE(path.filename().string());
+        Scenario sc;
+        std::string err;
+        ASSERT_TRUE(Scenario::fromReproducer(readFile(path), sc, err))
+            << err;
+        DiffReport a = runDifferential(sc);
+        DiffReport b = runDifferential(sc);
+        EXPECT_EQ(a.ok, b.ok);
+        EXPECT_EQ(a.baseline.hash(), b.baseline.hash());
+        EXPECT_EQ(a.baseline.summary(), b.baseline.summary());
+    }
+}
+
+/**
+ * The corpus must actually cover the features it exists to pin down
+ * (docs/INTERNALS.md sections 2, 5, 7): at least one multi-group
+ * scenario, one with interrupts, and one with a multi-cycle tail
+ * that forces DrainWait at pipeline depth > 1.
+ */
+TEST(Corpus, CoversAdvertisedFeatures)
+{
+    bool tag_groups = false;
+    bool interrupts = false;
+    bool slow_tail = false;
+    bool calls = false;
+    for (const auto &path : corpusFiles()) {
+        Scenario sc;
+        std::string err;
+        ASSERT_TRUE(Scenario::fromReproducer(readFile(path), sc, err))
+            << err;
+        tag_groups |= sc.groups() > 1;
+        interrupts |= sc.interruptPeriod > 0;
+        for (const auto &src : sc.sources) {
+            slow_tail |= src.find("muli r3, r3, 1\n") != std::string::npos;
+            calls |= src.find("call") != std::string::npos;
+        }
+    }
+    EXPECT_TRUE(tag_groups) << "no corpus seed exercises tag groups";
+    EXPECT_TRUE(interrupts) << "no corpus seed exercises interrupts";
+    EXPECT_TRUE(slow_tail) << "no corpus seed exercises DrainWait tails";
+    EXPECT_TRUE(calls) << "no corpus seed exercises procedure calls";
+}
+
+} // namespace
+} // namespace fb::verify

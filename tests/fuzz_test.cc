@@ -1,196 +1,48 @@
 /**
  * @file
- * Randomized property tests: structurally valid random programs must
- * never deadlock, must satisfy the barrier safety condition, and must
- * behave identically under the region-bit and marker encodings and
- * under different pipeline depths.
+ * Randomized property tests over the fb::verify differential
+ * subsystem: structurally valid random programs must never deadlock,
+ * must satisfy the barrier safety condition, and must behave
+ * identically under the region-bit and marker encodings, pipeline
+ * depths, stall models, jitter, and VLIW multi-issue — plus agree
+ * with the real-thread swbarrier reference implementations.
+ *
+ * The generator and executors live in src/verify/ (shared with the
+ * fbfuzz driver); this suite pins a fixed seed range so CI failures
+ * name a seed that reproduces locally with `fbfuzz --seed S --runs 1`.
  */
 
 #include <gtest/gtest.h>
 
-#include <sstream>
+#include "verify/differ.hh"
+#include "verify/generator.hh"
 
-#include "isa/assembler.hh"
-#include "sim/machine.hh"
-#include "support/random.hh"
-
-namespace fb::sim
+namespace fb::verify
 {
 namespace
 {
-
-isa::Program
-assembleOrDie(const std::string &src)
-{
-    isa::Program p;
-    std::string err;
-    if (!isa::Assembler::assemble(src, p, err))
-        ADD_FAILURE() << "assembly failed: " << err << "\n" << src;
-    return p;
-}
-
-/**
- * Generate a structurally valid fuzzy-barrier stream: a loop whose
- * body is a random non-barrier work section (optionally with an
- * if/else of different path lengths) followed by a barrier region of
- * random size (optionally containing its own if/else), with the loop
- * control inside the region. Every processor generated with the same
- * @p episodes count is compatible.
- */
-std::string
-randomStream(RandomSource &rng, int procs, int episodes)
-{
-    std::ostringstream oss;
-    oss << "settag 1\n";
-    oss << "setmask " << ((1ull << procs) - 1) << "\n";
-    oss << "li r1, 0\n";
-    oss << "li r2, " << episodes << "\n";
-    oss << "li r7, 1\n";
-    // Per-processor LCG seed for data-dependent branches.
-    oss << "li r10, " << (1 + rng.nextBounded(100000)) << "\n";
-    oss << "li r11, 16\n";
-    oss << "loop:\n";
-
-    // Non-barrier work. At least one instruction must separate the
-    // backedge's region from the next iteration's region, or every
-    // iteration merges into a single barrier episode (the null
-    // non-barrier region hazard — a real property, but fatal to a
-    // stream whose partners expect one episode per iteration).
-    int work = 1 + static_cast<int>(rng.nextBounded(11));
-    for (int k = 0; k < work; ++k)
-        oss << "addi r3, r3, 1\n";
-
-    if (rng.nextBool(0.5)) {
-        // Data-dependent if/else in the non-barrier section.
-        oss << "muli r10, r10, 1103515245\n";
-        oss << "addi r10, r10, 12345\n";
-        oss << "shr r13, r10, r11\n";
-        oss << "and r13, r13, r7\n";
-        oss << "beq r13, r0, nb_else\n";
-        int then_len = 1 + static_cast<int>(rng.nextBounded(8));
-        for (int k = 0; k < then_len; ++k)
-            oss << "addi r4, r4, 1\n";
-        oss << "jmp nb_endif\n";
-        oss << "nb_else:\n";
-        oss << "addi r4, r4, 1\n";
-        oss << "nb_endif:\n";
-    }
-
-    oss << ".region 1\n";
-    int region = static_cast<int>(rng.nextBounded(10));
-    for (int k = 0; k < region; ++k)
-        oss << "addi r5, r5, 1\n";
-    if (rng.nextBool(0.4)) {
-        // If/else entirely inside the barrier region (multiple exits
-        // and entries within the region are legal, section 3).
-        oss << "and r14, r1, r7\n";
-        oss << "beq r14, r0, rg_else\n";
-        int then_len = 1 + static_cast<int>(rng.nextBounded(6));
-        for (int k = 0; k < then_len; ++k)
-            oss << "addi r6, r6, 1\n";
-        oss << "jmp rg_endif\n";
-        oss << "rg_else:\n";
-        oss << "addi r6, r6, 1\n";
-        oss << "rg_endif:\n";
-    }
-    oss << "addi r1, r1, 1\n";
-    oss << "bne r1, r2, loop\n";
-    oss << ".endregion\n";
-
-    oss << "st r3, " << 100 << "(r0)\n";
-    oss << "st r4, " << 110 << "(r0)\n";
-    oss << "st r5, " << 120 << "(r0)\n";
-    oss << "halt\n";
-    return oss.str();
-}
-
-struct Snapshot
-{
-    std::uint64_t syncEvents;
-    bool deadlocked;
-    bool timedOut;
-    std::vector<std::int64_t> regs;  // r1..r6 of every processor
-};
-
-Snapshot
-runPrograms(const std::vector<isa::Program> &programs, int pipeline,
-            double jitter, std::uint64_t seed, int width = 1)
-{
-    MachineConfig cfg;
-    cfg.numProcessors = static_cast<int>(programs.size());
-    cfg.memWords = 4096;
-    cfg.pipelineDepth = pipeline;
-    cfg.jitterMean = jitter;
-    cfg.seed = seed;
-    cfg.issueWidth = width;
-    cfg.maxCycles = 5'000'000;
-    Machine m(cfg);
-    for (std::size_t p = 0; p < programs.size(); ++p)
-        m.loadProgram(static_cast<int>(p), programs[p]);
-    auto r = m.run();
-
-    Snapshot snap;
-    snap.syncEvents = r.syncEvents;
-    snap.deadlocked = r.deadlocked;
-    snap.timedOut = r.timedOut;
-    EXPECT_EQ(m.checkSafetyProperty(), "");
-    for (int p = 0; p < cfg.numProcessors; ++p)
-        for (int reg = 1; reg <= 6; ++reg)
-            snap.regs.push_back(m.processor(p).reg(reg));
-    return snap;
-}
 
 class RandomProgramFuzz : public ::testing::TestWithParam<int>
 {
 };
 
-TEST_P(RandomProgramFuzz, LivenessSafetyAndEncodingEquivalence)
+TEST_P(RandomProgramFuzz, DifferentialMatrixAgrees)
 {
-    RandomSource rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
-    const int procs = 2 + static_cast<int>(rng.nextBounded(5));
-    const int episodes = 3 + static_cast<int>(rng.nextBounded(8));
+    const auto seed =
+        static_cast<std::uint64_t>(GetParam()) * 7919 + 3;
+    ProgramSpec spec = randomSpec(seed);
+    Scenario sc = render(spec);
 
-    std::vector<isa::Program> bits;
-    std::vector<isa::Program> markers;
-    for (int p = 0; p < procs; ++p) {
-        auto prog = assembleOrDie(randomStream(rng, procs, episodes));
-        ASSERT_FALSE(prog.checkRegionBranches().has_value());
-        markers.push_back(prog.toMarkerEncoding());
-        bits.push_back(std::move(prog));
-    }
-
-    auto base = runPrograms(bits, 1, 0.0, 1);
-    EXPECT_FALSE(base.deadlocked);
-    EXPECT_FALSE(base.timedOut);
-    EXPECT_EQ(base.syncEvents, static_cast<std::uint64_t>(episodes));
-
-    // Marker encoding: identical behaviour.
-    auto marked = runPrograms(markers, 1, 0.0, 1);
-    EXPECT_FALSE(marked.deadlocked);
-    EXPECT_EQ(marked.syncEvents, base.syncEvents);
-    EXPECT_EQ(marked.regs, base.regs);
-
-    // Pipelining changes timing, never results.
-    auto piped = runPrograms(bits, 4, 0.0, 1);
-    EXPECT_FALSE(piped.deadlocked);
-    EXPECT_EQ(piped.syncEvents, base.syncEvents);
-    EXPECT_EQ(piped.regs, base.regs);
-
-    // Drift changes timing, never results.
-    auto drifted = runPrograms(bits, 1, 2.0, 99);
-    EXPECT_FALSE(drifted.deadlocked);
-    EXPECT_EQ(drifted.syncEvents, base.syncEvents);
-    EXPECT_EQ(drifted.regs, base.regs);
-
-    // VLIW-style multi-issue changes timing, never results.
-    auto wide = runPrograms(bits, 1, 0.0, 1, 4);
-    EXPECT_FALSE(wide.deadlocked);
-    EXPECT_EQ(wide.syncEvents, base.syncEvents);
-    EXPECT_EQ(wide.regs, base.regs);
+    DiffReport rep = runDifferential(sc);
+    EXPECT_TRUE(rep.ok)
+        << "seed " << seed << ", executor '" << rep.variant
+        << "': " << rep.failure << "\nreproducer:\n"
+        << sc.toReproducer();
+    EXPECT_GE(rep.variantsRun, 7);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramFuzz,
                          ::testing::Range(0, 24));
 
 } // namespace
-} // namespace fb::sim
+} // namespace fb::verify

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * fbfuzz — differential fuzz driver for the fuzzy-barrier simulator.
+ *
+ * Generates random multi-processor fuzzy-barrier scenarios (see
+ * src/verify/) and executes each under the full differential matrix:
+ * region-bit vs marker encoding, pipeline depths, hardware vs
+ * software stall models, jitter, VLIW multi-issue, and the
+ * real-thread swbarrier reference implementations. On failure the
+ * scenario is greedily shrunk and written out as a byte-deterministic
+ * reproducer that replays identically anywhere.
+ *
+ * Usage:
+ *   fbfuzz [--seed S] [--runs N] [--minimize] [--out FILE]
+ *   fbfuzz --replay FILE [--runs N]
+ *   fbfuzz --save FILE [--seed S]
+ *
+ * Options:
+ *   --seed S       base seed; run i fuzzes spec seed S+i (default 1)
+ *   --runs N       scenarios to fuzz, or replay repetitions (default 100)
+ *   --replay FILE  replay a stored reproducer instead of generating
+ *   --minimize     shrink a failing scenario and write a reproducer
+ *   --out FILE     reproducer output path (default fbfuzz-<seed>.fbrepro)
+ *   --save FILE    write the reproducer for --seed's scenario and exit
+ *   --no-swref     skip the software-barrier thread cross-check
+ *   --max-cycles N per-run cycle guard (default 5,000,000)
+ *   --quiet        only print failures and the final summary
+ *
+ * Exit status: 0 all runs passed, 1 a failure was found (or a replay
+ * failed), 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "support/strutil.hh"
+#include "verify/differ.hh"
+#include "verify/generator.hh"
+#include "verify/shrink.hh"
+
+namespace
+{
+
+using namespace fb;
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "fbfuzz: %s\n", msg);
+    std::fprintf(stderr,
+                 "usage: fbfuzz [--seed S] [--runs N] [--minimize] "
+                 "[--out FILE]\n"
+                 "       fbfuzz --replay FILE [--runs N]\n"
+                 "       fbfuzz --save FILE [--seed S]\n"
+                 "       (see the header of tools/fbfuzz.cc for details)\n");
+    std::exit(2);
+}
+
+struct Options
+{
+    std::uint64_t seed = 1;
+    int runs = 100;
+    bool runsGiven = false;
+    std::string replayFile;
+    std::string saveFile;
+    std::string outFile;
+    bool minimize = false;
+    bool swref = true;
+    std::uint64_t maxCycles = 5'000'000;
+    bool quiet = false;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(("missing value after " + arg).c_str());
+            return argv[i];
+        };
+        auto nextInt = [&]() -> std::int64_t {
+            std::int64_t v;
+            std::string s = next();
+            if (!parseInt(s, v))
+                usage(("bad integer for " + arg + ": " + s).c_str());
+            return v;
+        };
+        if (arg == "--seed")
+            opt.seed = static_cast<std::uint64_t>(nextInt());
+        else if (arg == "--runs") {
+            opt.runs = static_cast<int>(nextInt());
+            opt.runsGiven = true;
+        } else if (arg == "--replay")
+            opt.replayFile = next();
+        else if (arg == "--save")
+            opt.saveFile = next();
+        else if (arg == "--out")
+            opt.outFile = next();
+        else if (arg == "--minimize")
+            opt.minimize = true;
+        else if (arg == "--no-swref")
+            opt.swref = false;
+        else if (arg == "--max-cycles")
+            opt.maxCycles = static_cast<std::uint64_t>(nextInt());
+        else if (arg == "--quiet")
+            opt.quiet = true;
+        else
+            usage(("unknown option " + arg).c_str());
+    }
+    if (opt.runs < 1)
+        usage("--runs must be at least 1");
+    if (!opt.replayFile.empty() && !opt.saveFile.empty())
+        usage("--replay and --save are mutually exclusive");
+    return opt;
+}
+
+verify::DiffOptions
+diffOptions(const Options &opt)
+{
+    verify::DiffOptions d;
+    d.swBarrierReference = opt.swref;
+    d.maxCycles = opt.maxCycles;
+    return d;
+}
+
+void
+writeReproducer(const verify::Scenario &sc, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "fbfuzz: cannot write %s\n", path.c_str());
+        std::exit(2);
+    }
+    out << sc.toReproducer();
+    std::printf("reproducer written to %s (%zu fbasm lines, %d "
+                "processors)\n",
+                path.c_str(), sc.totalAsmLines(), sc.procs());
+}
+
+/** Shrink a failing spec and write the reproducer. */
+void
+minimizeAndSave(const verify::ProgramSpec &spec, const Options &opt)
+{
+    auto d = diffOptions(opt);
+    verify::FailPredicate fails = [&](const verify::Scenario &sc) {
+        return !verify::runDifferential(sc, d).ok;
+    };
+    verify::ShrinkStats stats;
+    auto minimal = verify::shrink(spec, fails, &stats);
+    auto sc = verify::render(minimal);
+    std::printf("minimized: %d -> %d processors, %d -> %d episodes, "
+                "%zu fbasm lines (%d candidates, %d accepted)\n",
+                spec.procs(), minimal.procs(), spec.episodes,
+                minimal.episodes, sc.totalAsmLines(), stats.attempts,
+                stats.accepted);
+    auto rep = verify::runDifferential(sc, d);
+    std::printf("minimal failure: %s: %s\n", rep.variant.c_str(),
+                rep.failure.c_str());
+    std::string path = opt.outFile.empty()
+                           ? "fbfuzz-" + std::to_string(spec.seed) +
+                                 ".fbrepro"
+                           : opt.outFile;
+    writeReproducer(sc, path);
+}
+
+int
+replayMain(const Options &opt)
+{
+    std::ifstream in(opt.replayFile);
+    if (!in)
+        usage(("cannot open " + opt.replayFile).c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    verify::Scenario sc;
+    std::string err;
+    if (!verify::Scenario::fromReproducer(text.str(), sc, err)) {
+        std::fprintf(stderr, "fbfuzz: %s: %s\n", opt.replayFile.c_str(),
+                     err.c_str());
+        return 2;
+    }
+    std::printf("replay: %s  procs=%d groups=%d episodes=%d "
+                "encoding=%s interrupt=%llu\n",
+                opt.replayFile.c_str(), sc.procs(), sc.groups(),
+                sc.episodes, verify::encodingName(sc.encoding),
+                static_cast<unsigned long long>(sc.interruptPeriod));
+
+    auto d = diffOptions(opt);
+    const int reps = opt.runsGiven ? opt.runs : 1;
+    verify::DiffReport first;
+    for (int i = 0; i < reps; ++i) {
+        auto rep = verify::runDifferential(sc, d);
+        if (i == 0) {
+            first = rep;
+            std::printf("%s", rep.describe().c_str());
+        } else if (rep.ok != first.ok ||
+                   rep.baseline.hash() != first.baseline.hash()) {
+            std::printf("NONDETERMINISTIC: run %d disagrees with run 0\n",
+                        i);
+            return 1;
+        }
+    }
+    if (reps > 1)
+        std::printf("deterministic across %d replays\n", reps);
+    return first.ok ? 0 : 1;
+}
+
+int
+fuzzMain(const Options &opt)
+{
+    auto d = diffOptions(opt);
+    for (int i = 0; i < opt.runs; ++i) {
+        const std::uint64_t specSeed = opt.seed + static_cast<std::uint64_t>(i);
+        auto spec = verify::randomSpec(specSeed);
+        auto sc = verify::render(spec);
+        auto rep = verify::runDifferential(sc, d);
+        if (!rep.ok) {
+            std::printf("FAIL seed=%llu procs=%d groups=%d episodes=%d "
+                        "encoding=%s\n  executor %s: %s\n",
+                        static_cast<unsigned long long>(specSeed),
+                        sc.procs(), sc.groups(), sc.episodes,
+                        verify::encodingName(sc.encoding),
+                        rep.variant.c_str(), rep.failure.c_str());
+            std::printf("reproduce with: fbfuzz --seed %llu --runs 1\n",
+                        static_cast<unsigned long long>(specSeed));
+            if (opt.minimize)
+                minimizeAndSave(spec, opt);
+            return 1;
+        }
+        if (!opt.quiet && (i + 1) % 50 == 0)
+            std::printf("... %d/%d scenarios ok\n", i + 1, opt.runs);
+    }
+    std::printf("fbfuzz: %d scenarios passed (seeds %llu..%llu, all "
+                "executors agree)\n",
+                opt.runs, static_cast<unsigned long long>(opt.seed),
+                static_cast<unsigned long long>(
+                    opt.seed + static_cast<std::uint64_t>(opt.runs) - 1));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    if (!opt.replayFile.empty())
+        return replayMain(opt);
+
+    if (!opt.saveFile.empty()) {
+        auto spec = verify::randomSpec(opt.seed);
+        auto sc = verify::render(spec);
+        auto rep = verify::runDifferential(sc, diffOptions(opt));
+        std::printf("seed %llu: %s",
+                    static_cast<unsigned long long>(opt.seed),
+                    rep.describe().c_str());
+        std::ofstream out(opt.saveFile);
+        if (!out)
+            usage(("cannot write " + opt.saveFile).c_str());
+        out << sc.toReproducer();
+        std::printf("scenario saved to %s\n", opt.saveFile.c_str());
+        return rep.ok ? 0 : 1;
+    }
+
+    return fuzzMain(opt);
+}
