@@ -1,11 +1,34 @@
 #include "barrier/network.hh"
 
 #include <limits>
+#include <sstream>
 
 #include "support/logging.hh"
 
 namespace fb::barrier
 {
+
+std::string
+DeadlockReport::toString() const
+{
+    if (!deadlocked)
+        return {};
+    std::ostringstream oss;
+    oss << "barrier deadlock: " << stuck.size()
+        << " processor(s) stuck\n";
+    for (const Entry &e : stuck) {
+        oss << "  cpu" << e.proc << ": state="
+            << barrierStateName(e.state) << " tag=" << e.tag
+            << " epoch=" << e.epoch << " waiting-on={";
+        for (std::size_t i = 0; i < e.unsatisfied.size(); ++i) {
+            if (i)
+                oss << ",";
+            oss << "cpu" << e.unsatisfied[i];
+        }
+        oss << "}\n";
+    }
+    return oss.str();
+}
 
 BarrierNetwork::BarrierNetwork(int num_processors,
                                std::uint32_t sync_latency)
@@ -36,16 +59,29 @@ BarrierNetwork::unit(int p) const
 }
 
 bool
-BarrierNetwork::groupComplete(int p) const
+BarrierNetwork::signalVisible(int p, std::uint64_t now) const
 {
     const BarrierUnit &u = _units[static_cast<std::size_t>(p)];
     if (!u.readySignal())
+        return false;
+    return _filter == nullptr || !_filter->suppress(p, now);
+}
+
+bool
+BarrierNetwork::groupComplete(int p, std::uint64_t now) const
+{
+    const BarrierUnit &u = _units[static_cast<std::size_t>(p)];
+    // A suppressed pulse vanishes from the wire itself, so the owner's
+    // own AND input goes dark too — every observer sees the same
+    // signal and the group stays un-synchronized as a whole.
+    if (!signalVisible(p, now))
         return false;
     for (int q = 0; q < numProcessors(); ++q) {
         if (!u.mask().test(static_cast<std::size_t>(q)))
             continue;
         const BarrierUnit &other = _units[static_cast<std::size_t>(q)];
-        if (!other.readySignal() || other.tag() != u.tag())
+        if (!signalVisible(q, now) || other.tag() != u.tag() ||
+            other.epoch() != u.epoch())
             return false;
     }
     return true;
@@ -57,25 +93,38 @@ BarrierNetwork::evaluate(std::uint64_t now)
     constexpr std::uint64_t none =
         std::numeric_limits<std::uint64_t>::max();
 
+    // ECC scrub: restore any tag/mask register a fault corrupted
+    // since the last evaluation. In the fault-free case every unit's
+    // dirty flag is clear and this is a single-branch no-op per unit.
+    for (auto &u : _units)
+        _correctedFaults += static_cast<std::uint64_t>(u.scrub());
+
     // Phase 1: latch which processors see a complete group, based on
     // this cycle's broadcast signals, and start the propagation
     // clock for groups that just completed.
     std::vector<bool> complete(static_cast<std::size_t>(numProcessors()));
     for (int p = 0; p < numProcessors(); ++p) {
-        complete[static_cast<std::size_t>(p)] = groupComplete(p);
+        complete[static_cast<std::size_t>(p)] = groupComplete(p, now);
         auto &at = _deliverAt[static_cast<std::size_t>(p)];
         if (complete[static_cast<std::size_t>(p)] && at == none)
             at = now + _syncLatency;
     }
 
     // Phase 2: deliver synchronization simultaneously once the
-    // broadcast has propagated.
+    // broadcast has propagated. An in-flight delivery whose AND has
+    // gone false again (a suppressed pulse or recovery re-masking mid
+    // propagation) is cancelled: the hardware AND is combinational,
+    // so a glitched term restarts the propagation clock. Without
+    // faults the AND is stable once true and this never fires.
     int delivered = 0;
     bool any_event = false;
     for (int p = 0; p < numProcessors(); ++p) {
         auto &at = _deliverAt[static_cast<std::size_t>(p)];
-        if (complete[static_cast<std::size_t>(p)] && at != none &&
-            now >= at) {
+        if (!complete[static_cast<std::size_t>(p)]) {
+            at = none;
+            continue;
+        }
+        if (at != none && now >= at) {
             _units[static_cast<std::size_t>(p)].deliverSync();
             at = none;
             ++delivered;
@@ -98,24 +147,57 @@ BarrierNetwork::deliveryPending() const
 }
 
 bool
-BarrierNetwork::wouldDeadlock(const std::vector<bool> &halted) const
+BarrierNetwork::deliveryPendingFor(int p) const
+{
+    FB_ASSERT(p >= 0 && p < numProcessors(), "processor index " << p
+                                                                << " bad");
+    return _deliverAt[static_cast<std::size_t>(p)] !=
+           std::numeric_limits<std::uint64_t>::max();
+}
+
+bool
+BarrierNetwork::wouldDeadlock(const std::vector<bool> &halted,
+                              std::uint64_t now) const
+{
+    return analyzeDeadlock(halted, now).deadlocked;
+}
+
+DeadlockReport
+BarrierNetwork::analyzeDeadlock(const std::vector<bool> &halted,
+                                std::uint64_t now) const
 {
     // Deadlock: at least one processor is waiting (ready or stalled),
     // every non-halted processor is waiting, and no waiting group is
     // complete. Halted partners can never arrive, and mutual waits
     // with mismatched tags (Fig. 2) never resolve.
-    bool any_waiting = false;
+    DeadlockReport report;
     for (int p = 0; p < numProcessors(); ++p) {
         const BarrierUnit &u = _units[static_cast<std::size_t>(p)];
         if (halted[static_cast<std::size_t>(p)])
             continue;
         if (!u.readySignal())
-            return false;  // someone can still make progress
-        any_waiting = true;
-        if (groupComplete(p))
-            return false;  // sync will be delivered
+            return {};  // someone can still make progress
+        if (groupComplete(p, now))
+            return {};  // sync will be delivered
+
+        DeadlockReport::Entry entry;
+        entry.proc = p;
+        entry.state = u.state();
+        entry.tag = u.tag();
+        entry.epoch = u.epoch();
+        for (int q = 0; q < numProcessors(); ++q) {
+            if (!u.mask().test(static_cast<std::size_t>(q)))
+                continue;
+            const BarrierUnit &other =
+                _units[static_cast<std::size_t>(q)];
+            if (!signalVisible(q, now) || other.tag() != u.tag() ||
+                other.epoch() != u.epoch())
+                entry.unsatisfied.push_back(q);
+        }
+        report.stuck.push_back(std::move(entry));
     }
-    return any_waiting;
+    report.deadlocked = !report.stuck.empty();
+    return report;
 }
 
 } // namespace fb::barrier

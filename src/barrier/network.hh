@@ -7,6 +7,7 @@
 #define FB_BARRIER_NETWORK_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "barrier/unit.hh"
@@ -14,6 +15,48 @@
 
 namespace fb::barrier
 {
+
+/**
+ * Hook that can hide a processor's broadcast ready pulse from the
+ * AND network for a cycle (fault injection lives in fb::fault, which
+ * depends on this library, so the network only sees the abstract
+ * interface). A suppressed pulse is invisible to *every* AND input,
+ * including the owning processor's own group logic — the wire itself
+ * is glitched, so all observers agree, preserving the simultaneous-
+ * delivery property even under faults.
+ */
+class ReadyPulseFilter
+{
+  public:
+    virtual ~ReadyPulseFilter() = default;
+
+    /** True if processor @p p's ready pulse is hidden at cycle @p now. */
+    virtual bool suppress(int p, std::uint64_t now) const = 0;
+};
+
+/**
+ * Diagnosis of a wedged barrier network: which processors are stuck
+ * waiting, their FSM state, tag and epoch, and which mask members
+ * keep each AND unsatisfied.
+ */
+struct DeadlockReport
+{
+    struct Entry
+    {
+        int proc = -1;
+        BarrierState state = BarrierState::NonBarrier;
+        std::uint32_t tag = 0;
+        std::uint32_t epoch = 0;
+        /** Mask members whose signal/tag/epoch keeps the AND false. */
+        std::vector<int> unsatisfied;
+    };
+
+    bool deadlocked = false;
+    std::vector<Entry> stuck;
+
+    /** Multi-line human-readable rendering (empty if not deadlocked). */
+    std::string toString() const;
+};
 
 /**
  * Models the dedicated wires of the hardware fuzzy barrier: every
@@ -68,18 +111,49 @@ class BarrierNetwork
      * The machine counts this as progress for deadlock detection. */
     bool deliveryPending() const;
 
+    /** True if processor @p p specifically has a sync in flight. */
+    bool deliveryPendingFor(int p) const;
+
     /** Completed group synchronizations (each group counts once). */
     std::uint64_t syncEvents() const { return _syncEvents; }
+
+    /**
+     * Install (or clear, with nullptr) the ready-pulse filter. The
+     * filter is consulted on every AND evaluation; it is not owned.
+     */
+    void setPulseFilter(const ReadyPulseFilter *filter)
+    {
+        _filter = filter;
+    }
+
+    /**
+     * Processor @p p's readiness signal as seen on the broadcast
+     * wires at cycle @p now: asserted by the unit and not suppressed
+     * by the pulse filter.
+     */
+    bool signalVisible(int p, std::uint64_t now) const;
+
+    /** Register corruptions corrected by the per-cycle ECC scrub. */
+    std::uint64_t correctedFaults() const { return _correctedFaults; }
 
     /**
      * True if every participating non-crossed processor is stalled or
      * ready and none can make progress — used with processor halt
      * status for deadlock detection (the Fig. 2 scenario).
      */
-    bool wouldDeadlock(const std::vector<bool> &halted) const;
+    bool wouldDeadlock(const std::vector<bool> &halted,
+                       std::uint64_t now = 0) const;
+
+    /**
+     * Like wouldDeadlock() but with a full diagnosis: every stuck
+     * processor's FSM state, tag, epoch and the mask members that
+     * keep its AND unsatisfied.
+     */
+    DeadlockReport analyzeDeadlock(const std::vector<bool> &halted,
+                                   std::uint64_t now = 0) const;
 
   private:
-    bool groupComplete(int p) const;
+    bool groupComplete(int p, std::uint64_t now) const;
 
     std::vector<BarrierUnit> _units;
     std::uint32_t _syncLatency;
@@ -87,6 +161,8 @@ class BarrierNetwork
      * (UINT64_MAX = none). */
     std::vector<std::uint64_t> _deliverAt;
     std::uint64_t _syncEvents = 0;
+    std::uint64_t _correctedFaults = 0;
+    const ReadyPulseFilter *_filter = nullptr;
 };
 
 } // namespace fb::barrier

@@ -7,7 +7,8 @@ namespace fb::barrier
 
 BarrierUnit::BarrierUnit(int num_processors, int self)
     : _numProcessors(num_processors), _self(self),
-      _mask(static_cast<std::size_t>(num_processors))
+      _mask(static_cast<std::size_t>(num_processors)),
+      _shadowMask(static_cast<std::size_t>(num_processors))
 {
     FB_ASSERT(num_processors > 0, "need at least one processor");
     FB_ASSERT(self >= 0 && self < num_processors,
@@ -18,9 +19,11 @@ void
 BarrierUnit::setMask(std::uint64_t bits)
 {
     FB_ASSERT(_numProcessors <= 64, "word mask limited to 64 processors");
-    for (int p = 0; p < _numProcessors; ++p)
-        _mask.set(static_cast<std::size_t>(p),
-                  (bits >> p & 1) != 0 && p != _self);
+    for (int p = 0; p < _numProcessors; ++p) {
+        bool value = (bits >> p & 1) != 0 && p != _self;
+        _mask.set(static_cast<std::size_t>(p), value);
+        _shadowMask.set(static_cast<std::size_t>(p), value);
+    }
 }
 
 void
@@ -31,6 +34,49 @@ BarrierUnit::setMaskBit(int processor, bool value)
     if (processor == _self)
         return;  // a processor never synchronizes with itself
     _mask.set(static_cast<std::size_t>(processor), value);
+    _shadowMask.set(static_cast<std::size_t>(processor), value);
+}
+
+void
+BarrierUnit::corruptTagBit(int bit)
+{
+    FB_ASSERT(bit >= 0 && bit < 32, "tag bit out of range");
+    _tag ^= std::uint32_t{1} << bit;
+    _dirty = true;
+}
+
+void
+BarrierUnit::corruptMaskBit(int processor)
+{
+    FB_ASSERT(processor >= 0 && processor < _numProcessors,
+              "mask bit out of range");
+    _mask.set(static_cast<std::size_t>(processor),
+              !_mask.test(static_cast<std::size_t>(processor)));
+    _dirty = true;
+}
+
+int
+BarrierUnit::scrub()
+{
+    if (!_dirty)
+        return 0;
+    int corrected = 0;
+    if (_tag != _shadowTag) {
+        _tag = _shadowTag;
+        ++corrected;
+    }
+    bool mask_corrupt = false;
+    for (int p = 0; p < _numProcessors; ++p) {
+        auto idx = static_cast<std::size_t>(p);
+        if (_mask.test(idx) != _shadowMask.test(idx)) {
+            _mask.set(idx, _shadowMask.test(idx));
+            mask_corrupt = true;
+        }
+    }
+    if (mask_corrupt)
+        ++corrected;  // count the mask register once, not per bit
+    _dirty = false;
+    return corrected;
 }
 
 void

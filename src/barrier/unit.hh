@@ -46,10 +46,22 @@ class BarrierUnit
      * synchronization"; with an m-bit tag the system supports 2^m - 1
      * logical barriers.
      */
-    void setTag(std::uint32_t tag) { _tag = tag; }
+    void setTag(std::uint32_t tag) { _tag = _shadowTag = tag; }
 
     /** Current tag. */
     std::uint32_t tag() const { return _tag; }
+
+    /**
+     * Synchronization epoch. All units start at epoch 0; the recovery
+     * protocol bumps every *surviving* unit after fencing a dead
+     * participant, so the dead unit's latched ready-pulse (stale
+     * epoch) can never again satisfy a survivor's AND, and the
+     * survivors' pulses can never complete the dead unit's group.
+     */
+    std::uint32_t epoch() const { return _epoch; }
+
+    /** Advance to the next synchronization epoch (recovery). */
+    void bumpEpoch() { ++_epoch; }
 
     /** True if this unit takes part in barrier synchronization. */
     bool participating() const { return _tag != 0; }
@@ -112,12 +124,40 @@ class BarrierUnit
     /** Account one cycle spent stalled (called by the core). */
     void tickStalled() { ++_stallCycles; }
 
+    /**
+     * Fault injection: flip one bit of the live tag register. The
+     * shadow copy is untouched, so the next scrub() restores the tag
+     * and reports the correction (modelling an ECC-protected
+     * register file).
+     */
+    void corruptTagBit(int bit);
+
+    /** Fault injection: flip one bit of the live mask register. */
+    void corruptMaskBit(int processor);
+
+    /**
+     * Compare live tag/mask against their shadow copies and restore
+     * any divergence.
+     *
+     * @return number of corrupted registers corrected (0, 1 or 2)
+     */
+    int scrub();
+
   private:
     int _numProcessors;
     int _self;
     BarrierState _state = BarrierState::NonBarrier;
     std::uint32_t _tag = 0;
+    std::uint32_t _epoch = 0;
     BitVector _mask;
+
+    // ECC shadow copies of the architected tag/mask registers. The
+    // software interface (setTag/setMask/setMaskBit) writes both; a
+    // fault injector corrupts only the live copy, and scrub()
+    // restores it. _dirty short-circuits the common no-fault case.
+    std::uint32_t _shadowTag = 0;
+    BitVector _shadowMask;
+    bool _dirty = false;
 
     std::uint64_t _episodes = 0;
     std::uint64_t _stalledEpisodes = 0;

@@ -1,0 +1,160 @@
+#include "fault/injector.hh"
+
+#include <limits>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace fb::fault
+{
+
+FaultInjector::FaultInjector(const FaultPlan &plan, int num_procs)
+    : _plan(plan), _numProcs(num_procs),
+      _killReported(plan.events.size(), false),
+      _flipApplied(plan.events.size(), false)
+{
+    FB_ASSERT(num_procs > 0, "need at least one processor");
+    _plan.normalize();
+    for (const auto &ev : _plan.events) {
+        FB_ASSERT(ev.proc >= 0 && ev.proc < num_procs,
+                  "fault event targets processor " << ev.proc
+                      << " of " << num_procs);
+    }
+}
+
+std::uint64_t
+FaultInjector::windowEnd(const FaultEvent &ev)
+{
+    switch (ev.kind) {
+      case FaultKind::DropPulse:
+      case FaultKind::IrqStorm:
+        return ev.cycle + std::max<std::uint64_t>(1, ev.arg);
+      case FaultKind::Freeze:
+        if (ev.arg == 0)
+            return std::numeric_limits<std::uint64_t>::max();
+        return ev.cycle + ev.arg;
+      case FaultKind::FlipTagBit:
+      case FaultKind::FlipMaskBit:
+      case FaultKind::Kill:
+        return ev.cycle + 1;
+    }
+    panic("unknown fault kind");
+}
+
+void
+FaultInjector::beginCycle(std::uint64_t now,
+                          barrier::BarrierNetwork &net)
+{
+    for (std::size_t i = 0; i < _plan.events.size(); ++i) {
+        const FaultEvent &ev = _plan.events[i];
+        switch (ev.kind) {
+          case FaultKind::FlipTagBit:
+          case FaultKind::FlipMaskBit:
+            if (now >= ev.cycle && !_flipApplied[i]) {
+                _flipApplied[i] = true;
+                ++_stats.bitsFlipped;
+                if (ev.kind == FaultKind::FlipTagBit)
+                    net.unit(ev.proc).corruptTagBit(
+                        static_cast<int>(ev.arg));
+                else
+                    net.unit(ev.proc).corruptMaskBit(
+                        static_cast<int>(ev.arg) % _numProcs);
+            }
+            break;
+          case FaultKind::DropPulse:
+            if (now >= ev.cycle && now < windowEnd(ev)) {
+                ++_stats.pulseDropCycles;
+                std::ostringstream oss;
+                oss << "fault: dropping ready pulse of cpu" << ev.proc
+                    << " at cycle " << now;
+                warnRatelimited("fault.drop", oss.str(), 256);
+            }
+            break;
+          case FaultKind::Freeze:
+            if (now == ev.cycle)
+                ++_stats.freezes;
+            break;
+          case FaultKind::Kill:
+          case FaultKind::IrqStorm:
+            break;
+        }
+    }
+}
+
+std::vector<int>
+FaultInjector::killsDue(std::uint64_t now)
+{
+    std::vector<int> due;
+    for (std::size_t i = 0; i < _plan.events.size(); ++i) {
+        const FaultEvent &ev = _plan.events[i];
+        if (ev.kind == FaultKind::Kill && now >= ev.cycle &&
+            !_killReported[i]) {
+            _killReported[i] = true;
+            ++_stats.kills;
+            due.push_back(ev.proc);
+        }
+    }
+    return due;
+}
+
+bool
+FaultInjector::frozen(int p, std::uint64_t now) const
+{
+    for (const auto &ev : _plan.events) {
+        if (ev.kind == FaultKind::Freeze && ev.proc == p &&
+            now >= ev.cycle && now < windowEnd(ev))
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::frozenForever(int p, std::uint64_t now) const
+{
+    for (const auto &ev : _plan.events) {
+        if (ev.kind == FaultKind::Freeze && ev.proc == p &&
+            ev.arg == 0 && now >= ev.cycle)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::stormActive(int p, std::uint64_t now) const
+{
+    for (const auto &ev : _plan.events) {
+        if (ev.kind == FaultKind::IrqStorm && ev.proc == p &&
+            now >= ev.cycle && now < windowEnd(ev))
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::suppress(int p, std::uint64_t now) const
+{
+    for (const auto &ev : _plan.events) {
+        if (ev.kind == FaultKind::DropPulse && ev.proc == p &&
+            now >= ev.cycle && now < windowEnd(ev))
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::pendingActivity(std::uint64_t now) const
+{
+    for (const auto &ev : _plan.events) {
+        if (now < ev.cycle)
+            return true;  // not fired yet
+        // An open transient window still changes machine behaviour; a
+        // fatal event that has fired never will again, so it must not
+        // suppress deadlock detection (a forever-frozen blocker with
+        // no watchdog IS a deadlock, and should be reported as one).
+        if (!ev.fatal() && now < windowEnd(ev))
+            return true;
+    }
+    return false;
+}
+
+} // namespace fb::fault

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FaultInjector: interprets a FaultPlan against a running machine.
+ *
+ * The injector is the only component that mutates state from a plan;
+ * the plan itself stays immutable so a single plan can drive many
+ * differential variants. Each cycle the machine calls beginCycle(),
+ * which applies register corruption due this cycle, then queries the
+ * per-processor predicates (frozen / killsDue / stormActive). The
+ * injector also implements the network's ReadyPulseFilter hook, so
+ * drop-pulse windows hide a processor's broadcast signal from every
+ * AND input without the barrier library depending on fb::fault.
+ */
+
+#ifndef FB_FAULT_INJECTOR_HH
+#define FB_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "barrier/network.hh"
+#include "fault/plan.hh"
+
+namespace fb::fault
+{
+
+/** Injection counters, reported in RunResult and by the tools. */
+struct InjectorStats
+{
+    std::uint64_t pulseDropCycles = 0; ///< proc-cycles of hidden pulses
+    std::uint64_t bitsFlipped = 0;     ///< tag/mask corruption events
+    std::uint64_t kills = 0;
+    std::uint64_t freezes = 0;         ///< freeze events (any duration)
+    std::uint64_t forcedInterrupts = 0;
+};
+
+class FaultInjector : public barrier::ReadyPulseFilter
+{
+  public:
+    FaultInjector(const FaultPlan &plan, int num_procs);
+
+    /**
+     * Start cycle @p now: corrupt tag/mask registers for flip events
+     * due this cycle (the unit's ECC shadow corrects them at the next
+     * network evaluation, counting the correction).
+     */
+    void beginCycle(std::uint64_t now, barrier::BarrierNetwork &net);
+
+    /** Processors whose Kill event fires at @p now (each reported
+     * exactly once). */
+    std::vector<int> killsDue(std::uint64_t now);
+
+    /** True while a Freeze window covers @p now for @p p. */
+    bool frozen(int p, std::uint64_t now) const;
+
+    /** True if @p p has a Freeze event with arg 0 whose cycle has
+     * been reached: the processor will never run again. */
+    bool frozenForever(int p, std::uint64_t now) const;
+
+    /** True while an IrqStorm window covers @p now for @p p. */
+    bool stormActive(int p, std::uint64_t now) const;
+
+    // ReadyPulseFilter: hide the broadcast pulse during drop windows.
+    bool suppress(int p, std::uint64_t now) const override;
+
+    /**
+     * True while any scheduled event has not yet fired or a transient
+     * window is still open. The machine refuses to diagnose deadlock
+     * while this holds: a no-progress cycle during a drop window is
+     * the fault's intended effect, not a wedge.
+     */
+    bool pendingActivity(std::uint64_t now) const;
+
+    InjectorStats &stats() { return _stats; }
+    const InjectorStats &stats() const { return _stats; }
+
+  private:
+    /** End cycle (exclusive) of a windowed event; fatal freezes and
+     * instantaneous events have their natural extents. */
+    static std::uint64_t windowEnd(const FaultEvent &ev);
+
+    FaultPlan _plan;  ///< normalized copy
+    int _numProcs;
+    std::vector<bool> _killReported;  ///< per-event, Kill only
+    std::vector<bool> _flipApplied;   ///< per-event, flips only
+    InjectorStats _stats;
+};
+
+} // namespace fb::fault
+
+#endif // FB_FAULT_INJECTOR_HH

@@ -1,0 +1,248 @@
+#include "fault/plan.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "support/strutil.hh"
+
+namespace fb::fault
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DropPulse: return "drop";
+      case FaultKind::FlipTagBit: return "fliptag";
+      case FaultKind::FlipMaskBit: return "flipmask";
+      case FaultKind::Kill: return "kill";
+      case FaultKind::Freeze: return "freeze";
+      case FaultKind::IrqStorm: return "irqstorm";
+    }
+    panic("unknown fault kind");
+}
+
+namespace
+{
+
+bool
+kindFromName(const std::string &name, FaultKind &out)
+{
+    for (FaultKind k :
+         {FaultKind::DropPulse, FaultKind::FlipTagBit,
+          FaultKind::FlipMaskBit, FaultKind::Kill, FaultKind::Freeze,
+          FaultKind::IrqStorm}) {
+        if (name == faultKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+FaultEvent::fatal() const
+{
+    return kind == FaultKind::Kill ||
+           (kind == FaultKind::Freeze && arg == 0);
+}
+
+std::string
+FaultEvent::toSpec() const
+{
+    std::ostringstream oss;
+    oss << faultKindName(kind) << "@" << cycle << ":" << proc;
+    if (arg != 0)
+        oss << ":" << arg;
+    return oss.str();
+}
+
+bool
+FaultPlan::hasFatal() const
+{
+    for (const auto &e : events) {
+        if (e.fatal())
+            return true;
+    }
+    return false;
+}
+
+std::vector<int>
+FaultPlan::fatalTargets() const
+{
+    std::vector<int> targets;
+    for (const auto &e : events) {
+        if (e.fatal())
+            targets.push_back(e.proc);
+    }
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    return targets;
+}
+
+void
+FaultPlan::normalize()
+{
+    std::sort(events.begin(), events.end(),
+              [](const FaultEvent &a, const FaultEvent &b) {
+                  if (a.cycle != b.cycle)
+                      return a.cycle < b.cycle;
+                  if (a.proc != b.proc)
+                      return a.proc < b.proc;
+                  if (a.kind != b.kind)
+                      return static_cast<int>(a.kind) <
+                             static_cast<int>(b.kind);
+                  return a.arg < b.arg;
+              });
+}
+
+std::string
+FaultPlan::toSpec() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i > 0)
+            oss << ",";
+        oss << events[i].toSpec();
+    }
+    return oss.str();
+}
+
+bool
+FaultPlan::parse(const std::string &text, FaultPlan &out,
+                 std::string &error)
+{
+    FaultPlan plan;
+    std::string normalized = text;
+    for (char &c : normalized) {
+        if (c == ',')
+            c = ' ';
+    }
+    for (const std::string &spec : splitWhitespace(normalized)) {
+        auto at = spec.find('@');
+        if (at == std::string::npos || at == 0) {
+            error = "fault spec '" + spec + "': expected kind@cycle:proc";
+            return false;
+        }
+        FaultEvent ev;
+        if (!kindFromName(spec.substr(0, at), ev.kind)) {
+            error = "fault spec '" + spec + "': unknown kind '" +
+                    spec.substr(0, at) + "'";
+            return false;
+        }
+        auto fields = split(spec.substr(at + 1), ':');
+        if (fields.size() < 2 || fields.size() > 3) {
+            error = "fault spec '" + spec + "': expected kind@cycle:proc"
+                    "[:arg]";
+            return false;
+        }
+        std::int64_t v = 0;
+        if (!parseInt(fields[0], v) || v < 0) {
+            error = "fault spec '" + spec + "': bad cycle";
+            return false;
+        }
+        ev.cycle = static_cast<std::uint64_t>(v);
+        if (!parseInt(fields[1], v) || v < 0) {
+            error = "fault spec '" + spec + "': bad processor";
+            return false;
+        }
+        ev.proc = static_cast<int>(v);
+        if (fields.size() == 3) {
+            if (!parseInt(fields[2], v) || v < 0) {
+                error = "fault spec '" + spec + "': bad argument";
+                return false;
+            }
+            ev.arg = static_cast<std::uint64_t>(v);
+        }
+        plan.events.push_back(ev);
+    }
+    plan.normalize();
+    out = std::move(plan);
+    return true;
+}
+
+FaultPlan
+randomFaultPlan(std::uint64_t seed, int num_procs,
+                const std::vector<int> &group_sizes,
+                std::uint64_t horizon)
+{
+    FB_ASSERT(num_procs > 0, "need at least one processor");
+    FB_ASSERT(horizon >= 16, "fault horizon too small");
+    RandomSource rng(seed ^ 0xfa17b0a7d5eedULL);
+    FaultPlan plan;
+
+    auto randomCycle = [&] {
+        return 8 + rng.nextBounded(horizon - 8);
+    };
+    auto randomProc = [&] {
+        return static_cast<int>(
+            rng.nextBounded(static_cast<std::uint64_t>(num_procs)));
+    };
+
+    // At most one fatal fault, and only against a group that keeps a
+    // survivor, so the epoch/mask-shrink recovery always has a live
+    // quorum to shrink to.
+    if (rng.nextBool(0.5)) {
+        int first = 0;
+        int target = -1;
+        for (int size : group_sizes) {
+            if (size >= 2 && target < 0 && rng.nextBool(0.6))
+                target = first + static_cast<int>(rng.nextBounded(
+                                     static_cast<std::uint64_t>(size)));
+            first += size;
+        }
+        if (target < 0 && !group_sizes.empty() && group_sizes[0] >= 2)
+            target = static_cast<int>(
+                rng.nextBounded(static_cast<std::uint64_t>(
+                    group_sizes[0])));
+        if (target >= 0) {
+            FaultEvent ev;
+            ev.kind = rng.nextBool(0.7) ? FaultKind::Kill
+                                        : FaultKind::Freeze;
+            ev.cycle = randomCycle();
+            ev.proc = target;
+            ev.arg = 0;
+            plan.events.push_back(ev);
+        }
+    }
+
+    // A handful of transient faults. Windows stay <= 64 cycles, far
+    // below any sane watchdog timeout, so they perturb timing without
+    // masquerading as death.
+    const int transients = static_cast<int>(rng.nextBounded(4));
+    for (int i = 0; i < transients; ++i) {
+        FaultEvent ev;
+        switch (rng.nextBounded(4)) {
+          case 0:
+            ev.kind = FaultKind::DropPulse;
+            ev.arg = 1 + rng.nextBounded(64);
+            break;
+          case 1:
+            ev.kind = FaultKind::FlipTagBit;
+            ev.arg = rng.nextBounded(8);
+            break;
+          case 2:
+            ev.kind = FaultKind::FlipMaskBit;
+            ev.arg = rng.nextBounded(
+                static_cast<std::uint64_t>(num_procs));
+            break;
+          default:
+            ev.kind = FaultKind::IrqStorm;
+            ev.arg = 1 + rng.nextBounded(16);
+            break;
+        }
+        ev.cycle = randomCycle();
+        ev.proc = randomProc();
+        plan.events.push_back(ev);
+    }
+
+    plan.normalize();
+    return plan;
+}
+
+} // namespace fb::fault

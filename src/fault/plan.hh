@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic, replayable fault schedules.
+ *
+ * A FaultPlan is a list of cycle-scheduled fault events against named
+ * processors: dropped broadcast ready-pulses, flipped tag/mask
+ * register bits, fail-stop kills, finite or indefinite freezes, and
+ * interrupt storms. Plans serialize to a compact one-line-per-event
+ * text form (`kind@cycle:proc[:arg]`) that round-trips byte-exactly,
+ * so a fault schedule embedded in an .fbrepro reproducer replays
+ * identically anywhere — the same property the scenario format has.
+ *
+ * Plans carry no machine state: the FaultInjector interprets one
+ * against a running machine.
+ */
+
+#ifndef FB_FAULT_PLAN_HH
+#define FB_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fb::fault
+{
+
+/** The kinds of injected faults. */
+enum class FaultKind
+{
+    /** Suppress the processor's broadcast ready-pulse for arg cycles
+     * (default 1): the level signal vanishes from every AND network
+     * input, delaying — never corrupting — synchronization. */
+    DropPulse,
+
+    /** Flip bit arg of the tag register. The unit's ECC shadow
+     * corrects it at the next network evaluation (see unit.hh). */
+    FlipTagBit,
+
+    /** Flip mask bit arg. Corrected like FlipTagBit. */
+    FlipMaskBit,
+
+    /** Fail-stop: the processor halts permanently at the cycle. */
+    Kill,
+
+    /** Stall the processor for arg cycles; arg 0 freezes it forever
+     * (silent death — indistinguishable from a straggler except by
+     * watchdog backoff exhaustion). */
+    Freeze,
+
+    /** Force a timer interrupt every cycle for arg cycles (default 1).
+     * A no-op when the program has no ISR. */
+    IrqStorm,
+};
+
+/** Spec name of a kind ("drop", "fliptag", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::DropPulse;
+    std::uint64_t cycle = 0;  ///< machine cycle the fault fires
+    int proc = 0;             ///< target processor
+    std::uint64_t arg = 0;    ///< kind-specific argument
+
+    /** True for faults the target never executes past (Kill, or
+     * Freeze with arg 0). */
+    bool fatal() const;
+
+    /** `kind@cycle:proc[:arg]` (arg omitted when 0). */
+    std::string toSpec() const;
+
+    bool operator==(const FaultEvent &o) const
+    {
+        return kind == o.kind && cycle == o.cycle && proc == o.proc &&
+               arg == o.arg;
+    }
+};
+
+/** A deterministic fault schedule. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /** True if any event is fatal (see FaultEvent::fatal). */
+    bool hasFatal() const;
+
+    /** Sorted, deduplicated processor ids targeted by fatal faults. */
+    std::vector<int> fatalTargets() const;
+
+    /** Sort events by (cycle, proc, kind, arg) so serialization is
+     * canonical regardless of construction order. */
+    void normalize();
+
+    /** Comma-separated event specs (normalized order assumed). */
+    std::string toSpec() const;
+
+    /**
+     * Parse a comma- or whitespace-separated list of event specs.
+     * Returns false and sets @p error on malformed input.
+     */
+    static bool parse(const std::string &text, FaultPlan &out,
+                      std::string &error);
+
+    bool operator==(const FaultPlan &o) const
+    {
+        return events == o.events;
+    }
+};
+
+/**
+ * Derive a random fault plan from @p seed for a machine of
+ * @p num_procs processors partitioned into contiguous @p group_sizes
+ * (the verify-scenario layout; pass {num_procs} for one group).
+ *
+ * The plan is constrained so recovery is possible: at most one fatal
+ * fault, and only against a group that keeps at least one survivor.
+ * Transient faults (drops, flips, storms, finite freezes) use short
+ * windows (<= 64 cycles) so they perturb timing without outlasting
+ * any sane watchdog timeout. Identical seeds yield identical plans.
+ */
+FaultPlan randomFaultPlan(std::uint64_t seed, int num_procs,
+                          const std::vector<int> &group_sizes,
+                          std::uint64_t horizon = 2000);
+
+} // namespace fb::fault
+
+#endif // FB_FAULT_PLAN_HH

@@ -1,0 +1,124 @@
+#include "fault/watchdog.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace fb::fault
+{
+
+BarrierWatchdog::BarrierWatchdog(const WatchdogConfig &config,
+                                 int num_procs)
+    : _config(config), _numProcs(num_procs)
+{
+    FB_ASSERT(num_procs > 0, "need at least one processor");
+    FB_ASSERT(!config.enabled || config.timeoutCycles > 0,
+              "watchdog timeout must be positive");
+    FB_ASSERT(!config.enabled || config.maxAttempts >= 1,
+              "watchdog needs at least one attempt");
+}
+
+std::vector<int>
+BarrierWatchdog::tick(const barrier::BarrierNetwork &net,
+                      const std::vector<bool> &halted, std::uint64_t now)
+{
+    std::vector<int> dead;
+    if (!_config.enabled)
+        return dead;
+
+    // A tag is "stuck" when some live member broadcasts readiness, no
+    // delivery is in flight for it, and the group AND is unsatisfied.
+    // Per-tag state matches the hardware: the tag names the logical
+    // barrier, and disjoint groups use distinct tags.
+    std::map<std::uint32_t, int> waiting;  // tag -> first waiting proc
+    for (int p = 0; p < _numProcs; ++p) {
+        if (halted[static_cast<std::size_t>(p)])
+            continue;
+        const auto &u = net.unit(p);
+        if (u.tag() == 0 || !u.readySignal())
+            continue;
+        if (net.deliveryPendingFor(p))
+            continue;  // the AND is satisfied; sync is propagating
+        waiting.emplace(u.tag(), p);
+    }
+
+    // Disarm timers for tags that are no longer stuck.
+    for (auto it = _timers.begin(); it != _timers.end();) {
+        if (waiting.count(it->first) == 0)
+            it = _timers.erase(it);
+        else
+            ++it;
+    }
+
+    for (auto &[tag, witness] : waiting) {
+        auto [it, armed_now] = _timers.try_emplace(tag);
+        Timer &timer = it->second;
+        if (armed_now)
+            timer.deadline = now + _config.timeoutCycles;
+        if (now < timer.deadline)
+            continue;
+
+        ++_stats.timeouts;
+
+        // The blockers are the mask members whose broadcast input the
+        // witness's AND is missing: not ready, a mismatched tag, or a
+        // stale epoch.
+        const auto &u = net.unit(witness);
+        std::set<int> halted_blockers;
+        std::set<int> live_blockers;
+        for (int q = 0; q < _numProcs; ++q) {
+            if (!u.mask().test(static_cast<std::size_t>(q)))
+                continue;
+            const auto &other = net.unit(q);
+            if (net.signalVisible(q, now) && other.tag() == u.tag() &&
+                other.epoch() == u.epoch())
+                continue;  // this input is satisfied
+            if (halted[static_cast<std::size_t>(q)])
+                halted_blockers.insert(q);
+            else
+                live_blockers.insert(q);
+        }
+
+        if (!halted_blockers.empty()) {
+            // Fast path: a fail-stopped blocker provably cannot
+            // arrive. Declare it dead without burning backoff
+            // attempts; any live blockers get a fresh timer once the
+            // recovery has taken effect.
+            for (int q : halted_blockers)
+                dead.push_back(q);
+            _timers.erase(it);
+            continue;
+        }
+
+        if (live_blockers.empty()) {
+            // The AND became satisfied this very cycle; nothing to do.
+            _timers.erase(it);
+            continue;
+        }
+
+        ++timer.attempts;
+        if (timer.attempts >= _config.maxAttempts) {
+            // Backoff exhausted: the blocker is silently dead (frozen,
+            // not fail-stopped) or the program is wedged; either way
+            // the survivors need their barrier back.
+            for (int q : live_blockers)
+                dead.push_back(q);
+            _timers.erase(it);
+            continue;
+        }
+
+        // Might still be a straggler: re-arm with an exponentially
+        // longer window.
+        ++_stats.rearms;
+        timer.deadline =
+            now + (_config.timeoutCycles << timer.attempts);
+    }
+
+    std::sort(dead.begin(), dead.end());
+    dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+    _stats.deadDeclared += dead.size();
+    return dead;
+}
+
+} // namespace fb::fault

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Barrier watchdog: detects dead participants in stuck groups.
+ *
+ * The hardware barrier itself has no notion of failure — a group
+ * whose member never arrives simply stalls its partners forever (the
+ * paper assumes immortal processors). The watchdog adds a per-tag
+ * timer: when a group has waiters but its AND stays unsatisfied past
+ * a timeout, the blockers are examined. A blocker that has *halted*
+ * can never arrive and is declared dead immediately; a blocker that
+ * is still live might just be slow, so the timer re-arms with
+ * exponential backoff and only declares death after maxAttempts
+ * consecutive timeouts — the straggler/dead distinction the recovery
+ * protocol needs to avoid fencing a slow-but-alive processor.
+ */
+
+#ifndef FB_FAULT_WATCHDOG_HH
+#define FB_FAULT_WATCHDOG_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "barrier/network.hh"
+
+namespace fb::fault
+{
+
+/** Watchdog tuning knobs (see docs/INTERNALS.md section 13). */
+struct WatchdogConfig
+{
+    bool enabled = false;
+
+    /** Cycles a group may have unsatisfied waiters before the first
+     * timeout fires. Must exceed the longest legitimate barrier wait
+     * of the workload or live stragglers burn re-arm attempts. */
+    std::uint64_t timeoutCycles = 10'000;
+
+    /**
+     * Consecutive timeouts (with exponentially growing windows:
+     * T, 2T, 4T, ...) before a still-live blocker is declared dead.
+     * Halted blockers skip the backoff — a fail-stopped processor
+     * provably cannot arrive. A live blocker is only declared dead
+     * after the group has been continuously stuck for
+     * T * (2^maxAttempts - 1) cycles.
+     */
+    int maxAttempts = 3;
+};
+
+/** Counters for reports and the recovery-liveness oracle. */
+struct WatchdogStats
+{
+    std::uint64_t timeouts = 0;      ///< timer expiries (incl. re-arms)
+    std::uint64_t rearms = 0;        ///< backoff re-arms (live blockers)
+    std::uint64_t deadDeclared = 0;  ///< processors declared dead
+};
+
+/**
+ * One watchdog instance per machine, ticked once per cycle after the
+ * network evaluates. Purely observational between timeouts: the
+ * caller (sim::Machine) applies the recovery protocol to whatever
+ * tick() returns.
+ */
+class BarrierWatchdog
+{
+  public:
+    BarrierWatchdog(const WatchdogConfig &config, int num_procs);
+
+    /**
+     * Advance one cycle. @p halted marks processors that can never
+     * arrive again (HALT, fail-stop kill, or already fenced by a
+     * previous recovery). Returns the processors to declare dead this
+     * cycle (usually empty).
+     */
+    std::vector<int> tick(const barrier::BarrierNetwork &net,
+                          const std::vector<bool> &halted,
+                          std::uint64_t now);
+
+    /** True while any group timer is armed — the machine must not
+     * report deadlock while the watchdog is still deliberating. */
+    bool armed() const { return !_timers.empty(); }
+
+    const WatchdogStats &stats() const { return _stats; }
+
+  private:
+    struct Timer
+    {
+        std::uint64_t deadline = 0;
+        int attempts = 0;  ///< timeouts already spent on live blockers
+    };
+
+    WatchdogConfig _config;
+    int _numProcs;
+    /** Armed timers keyed by barrier tag. */
+    std::map<std::uint32_t, Timer> _timers;
+    WatchdogStats _stats;
+};
+
+} // namespace fb::fault
+
+#endif // FB_FAULT_WATCHDOG_HH

@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "fault/plan.hh"
+#include "fault/watchdog.hh"
 #include "sim/bus.hh"
 
 namespace fb::sim
@@ -144,6 +146,21 @@ struct MachineConfig
 
     /** Record sync events for the safety oracle. */
     bool recordSyncEvents = true;
+
+    /**
+     * Fault schedule to inject (not owned; nullptr or an empty plan
+     * disables injection entirely — the machine then builds no
+     * injector and the run loop is byte-identical to the pre-fault
+     * simulator).
+     */
+    const fault::FaultPlan *faultPlan = nullptr;
+
+    /**
+     * Barrier watchdog configuration. Disabled by default; enable it
+     * to detect dead participants and trigger the epoch/mask-shrink
+     * recovery protocol.
+     */
+    fault::WatchdogConfig watchdog;
 
     /** Record per-cycle barrier states for the timeline renderer
      * (costs memory proportional to cycles x processors). */

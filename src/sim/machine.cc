@@ -1,5 +1,6 @@
 #include "sim/machine.hh"
 
+#include <algorithm>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -106,6 +107,17 @@ Machine::Machine(const MachineConfig &config) : _config(config)
     _lastArrival.assign(static_cast<std::size_t>(config.numProcessors), 0);
     _openSyncRecord.assign(static_cast<std::size_t>(config.numProcessors),
                            std::numeric_limits<std::size_t>::max());
+    _fenced.assign(static_cast<std::size_t>(config.numProcessors), false);
+
+    if (config.faultPlan != nullptr && !config.faultPlan->empty()) {
+        _injector = std::make_unique<fault::FaultInjector>(
+            *config.faultPlan, config.numProcessors);
+        _network->setPulseFilter(_injector.get());
+    }
+    if (config.watchdog.enabled) {
+        _watchdog = std::make_unique<fault::BarrierWatchdog>(
+            config.watchdog, config.numProcessors);
+    }
 }
 
 Machine::~Machine() = default;
@@ -165,10 +177,42 @@ Machine::run()
     std::vector<std::uint64_t> episodes_before(static_cast<std::size_t>(n));
 
     for (;;) {
+        if (_injector) {
+            _injector->beginCycle(_now, *_network);
+            for (int d : _injector->killsDue(_now)) {
+                if (!_fenced[static_cast<std::size_t>(d)]) {
+                    std::ostringstream oss;
+                    oss << "fault: killing cpu" << d << " at cycle "
+                        << _now;
+                    warn(oss.str());
+                    _processors[static_cast<std::size_t>(d)]->kill();
+                }
+            }
+            for (int p = 0; p < n; ++p) {
+                auto &proc = *_processors[static_cast<std::size_t>(p)];
+                if (!_fenced[static_cast<std::size_t>(p)] &&
+                    !proc.halted() && _injector->stormActive(p, _now)) {
+                    proc.forceInterrupt();
+                    ++_injector->stats().forcedInterrupts;
+                }
+            }
+        }
+
         bool all_halted = true;
         bool any_progress = false;
 
         for (int p = 0; p < n; ++p) {
+            // A fenced processor was declared dead by the watchdog:
+            // it no longer ticks and counts as halted. A frozen
+            // processor skips its tick; unless frozen forever, it
+            // will resume, so the run must not terminate on it.
+            if (_fenced[static_cast<std::size_t>(p)])
+                continue;
+            if (_injector && _injector->frozen(p, _now)) {
+                if (!_injector->frozenForever(p, _now))
+                    all_halted = false;
+                continue;
+            }
             TickResult tr =
                 _processors[static_cast<std::size_t>(p)]->tick(_now);
             if (tr != TickResult::Halted)
@@ -199,6 +243,10 @@ Machine::run()
                 }
             }
             for (auto &[tag, members] : groups) {
+                if (result.membershipViolation.empty()) {
+                    result.membershipViolation =
+                        checkMembership(members, _now);
+                }
                 SyncRecord record;
                 record.cycle = _now;
                 record.members = members;
@@ -227,10 +275,31 @@ Machine::run()
             _trace->record(states, halted_flags, delivered > 0);
         }
 
+        if (_watchdog) {
+            // The watchdog only gets processor *halt* status — a
+            // frozen core looks alive from the outside, which is
+            // exactly the straggler-vs-dead ambiguity the backoff
+            // path must resolve.
+            std::vector<bool> halted(static_cast<std::size_t>(n));
+            for (int p = 0; p < n; ++p) {
+                halted[static_cast<std::size_t>(p)] =
+                    _fenced[static_cast<std::size_t>(p)] ||
+                    _processors[static_cast<std::size_t>(p)]->halted();
+            }
+            std::vector<int> dead =
+                _watchdog->tick(*_network, halted, _now);
+            if (!dead.empty()) {
+                applyRecovery(dead, _now);
+                any_progress = true;
+            }
+        }
+
         if (all_halted)
             break;
 
-        if (!any_progress) {
+        if (!any_progress &&
+            (!_injector || !_injector->pendingActivity(_now)) &&
+            (!_watchdog || !_watchdog->armed())) {
             result.deadlocked = true;
             result.deadlockInfo = describeState();
             break;
@@ -249,6 +318,13 @@ Machine::run()
     result.busQueueDelay = _bus->totalQueueDelay();
     result.memAccesses = _memory->totalAccesses();
     result.hotSpotAccesses = _memory->hotSpotAccesses();
+    result.recoveries = _recoveries;
+    result.deadDeclared = _deadDeclared;
+    result.correctedFaults = _network->correctedFaults();
+    if (_injector)
+        result.faultStats = _injector->stats();
+    if (_watchdog)
+        result.watchdogStats = _watchdog->stats();
 
     for (int p = 0; p < n; ++p) {
         const auto &proc = *_processors[static_cast<std::size_t>(p)];
@@ -296,6 +372,76 @@ Machine::checkSafetyProperty() const
     return "";
 }
 
+void
+Machine::applyRecovery(const std::vector<int> &dead, std::uint64_t now)
+{
+    for (int d : dead) {
+        if (_fenced[static_cast<std::size_t>(d)])
+            continue;
+        _fenced[static_cast<std::size_t>(d)] = true;
+        _deadDeclared.push_back(d);
+
+        RecoveryEvent event;
+        event.cycle = now;
+        event.deadProc = d;
+        // Mask-shrink: every live processor still synchronizing with
+        // the dead one drops its mask bit and bumps its epoch. The
+        // dead unit itself is left untouched — its stale epoch is
+        // exactly what discards its latched ready-pulse from the
+        // survivors' AND, and the survivors' new epoch keeps their
+        // pulses from ever completing the dead unit's group.
+        for (int p = 0; p < numProcessors(); ++p) {
+            if (p == d || _fenced[static_cast<std::size_t>(p)])
+                continue;
+            auto &u = _network->unit(p);
+            if (!u.mask().test(static_cast<std::size_t>(d)))
+                continue;
+            u.setMaskBit(d, false);
+            u.bumpEpoch();
+            event.survivors.push_back(p);
+        }
+
+        std::ostringstream oss;
+        oss << "watchdog: cpu" << d << " declared dead at cycle " << now
+            << "; " << event.survivors.size()
+            << " survivor(s) shrink masks and enter epoch ";
+        if (!event.survivors.empty())
+            oss << _network->unit(event.survivors.front()).epoch();
+        else
+            oss << "(none)";
+        warn(oss.str());
+        _recoveries.push_back(std::move(event));
+    }
+}
+
+std::string
+Machine::checkMembership(const std::vector<int> &members,
+                         std::uint64_t now) const
+{
+    for (int m : members) {
+        const auto &u = _network->unit(m);
+        for (int q = 0; q < numProcessors(); ++q) {
+            if (!u.mask().test(static_cast<std::size_t>(q)))
+                continue;
+            if (_fenced[static_cast<std::size_t>(q)])
+                continue;  // legitimately excluded by recovery
+            const auto &other = _network->unit(q);
+            if (other.tag() != u.tag() || other.epoch() != u.epoch())
+                continue;
+            if (std::find(members.begin(), members.end(), q) ==
+                members.end()) {
+                std::ostringstream oss;
+                oss << "fault-safety violation at cycle " << now
+                    << ": cpu" << m << " synchronized on tag "
+                    << u.tag() << " epoch " << u.epoch()
+                    << " without live member cpu" << q;
+                return oss.str();
+            }
+        }
+    }
+    return "";
+}
+
 std::string
 Machine::describeState() const
 {
@@ -304,11 +450,25 @@ Machine::describeState() const
         const auto &proc = *_processors[static_cast<std::size_t>(p)];
         const auto &unit = _network->unit(p);
         oss << "cpu" << p << ": pc=" << proc.pc()
-            << " halted=" << (proc.halted() ? "yes" : "no")
-            << " barrier=" << barrier::barrierStateName(unit.state())
-            << " tag=" << unit.tag() << " mask=" << unit.mask().toString()
-            << "\n";
+            << " halted=" << (proc.halted() ? "yes" : "no");
+        if (_fenced[static_cast<std::size_t>(p)])
+            oss << " (fenced)";
+        oss << " barrier=" << barrier::barrierStateName(unit.state())
+            << " tag=" << unit.tag() << " epoch=" << unit.epoch()
+            << " mask=" << unit.mask().toString() << "\n";
     }
+
+    std::vector<bool> halted(
+        static_cast<std::size_t>(numProcessors()));
+    for (int p = 0; p < numProcessors(); ++p) {
+        halted[static_cast<std::size_t>(p)] =
+            _fenced[static_cast<std::size_t>(p)] ||
+            _processors[static_cast<std::size_t>(p)]->halted();
+    }
+    barrier::DeadlockReport report =
+        _network->analyzeDeadlock(halted, _now);
+    if (report.deadlocked)
+        oss << report.toString();
     return oss.str();
 }
 

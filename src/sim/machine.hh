@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "barrier/network.hh"
+#include "fault/injector.hh"
+#include "fault/watchdog.hh"
 #include "isa/program.hh"
 #include "sim/bus.hh"
 #include "sim/cache.hh"
@@ -38,6 +40,19 @@ struct ProcessorStats
     std::uint64_t cacheMisses = 0;
 };
 
+/**
+ * One application of the epoch/mask-shrink recovery protocol: the
+ * watchdog declared @ref deadProc dead at @ref cycle, and every
+ * survivor still synchronizing with it dropped its mask bit and
+ * advanced to the next epoch.
+ */
+struct RecoveryEvent
+{
+    std::uint64_t cycle = 0;
+    int deadProc = -1;
+    std::vector<int> survivors;
+};
+
 /** Result of a whole-machine run. */
 struct RunResult
 {
@@ -51,6 +66,24 @@ struct RunResult
     std::uint64_t busQueueDelay = 0;
     std::uint64_t memAccesses = 0;
     std::uint64_t hotSpotAccesses = 0;
+
+    // Fault injection / recovery (all zero on fault-free runs).
+    std::vector<RecoveryEvent> recoveries;
+    std::vector<int> deadDeclared;     ///< processors fenced off
+    fault::InjectorStats faultStats;
+    fault::WatchdogStats watchdogStats;
+    std::uint64_t correctedFaults = 0; ///< ECC scrub corrections
+    /** First fault-safety (membership) violation, or empty. */
+    std::string membershipViolation;
+
+    /** True if @p p was fenced off by the recovery protocol. */
+    bool isDead(int p) const
+    {
+        for (int d : deadDeclared)
+            if (d == p)
+                return true;
+        return false;
+    }
 
     /** Sum of barrierWaitCycles over all processors. */
     std::uint64_t totalBarrierWait() const;
@@ -136,6 +169,18 @@ class Machine : public ExecutionObserver
 
     std::string describeState() const;
 
+    /** Fence the dead processors and run mask-shrink on survivors. */
+    void applyRecovery(const std::vector<int> &dead, std::uint64_t now);
+
+    /**
+     * Fault-safety (membership) oracle, evaluated at delivery time:
+     * every live, same-tag, same-epoch processor in a member's mask
+     * must itself be part of the delivered group. Returns a
+     * description of the first violation or empty.
+     */
+    std::string checkMembership(const std::vector<int> &members,
+                                std::uint64_t now) const;
+
     MachineConfig _config;
     std::unique_ptr<SharedMemory> _memory;
     std::unique_ptr<SharedBus> _bus;
@@ -146,6 +191,14 @@ class Machine : public ExecutionObserver
     std::vector<std::unique_ptr<Processor>> _processors;
     std::uint64_t _now = 0;
     std::unique_ptr<BarrierTrace> _trace;
+
+    // Fault injection and recovery (null when no faults configured).
+    std::unique_ptr<fault::FaultInjector> _injector;
+    std::unique_ptr<fault::BarrierWatchdog> _watchdog;
+    /** Processors fenced off by the recovery protocol. */
+    std::vector<bool> _fenced;
+    std::vector<RecoveryEvent> _recoveries;
+    std::vector<int> _deadDeclared;
 
     // Oracle bookkeeping.
     std::vector<std::uint64_t> _lastArrival;

@@ -63,17 +63,25 @@ Processor::bundleable(const isa::Instruction &instr)
 bool
 Processor::maybeInterrupt(std::uint64_t now)
 {
-    if (_interruptPeriod == 0 || _inIsr || now < _nextInterrupt)
+    if (_inIsr)
         return false;
-    if (static_cast<std::size_t>(_isrEntry) >= _program.size())
+    bool periodic = _interruptPeriod != 0 && now >= _nextInterrupt;
+    if (!periodic && !_forceInterrupt)
         return false;
+    if (_isrEntry < 0 ||
+        static_cast<std::size_t>(_isrEntry) >= _program.size()) {
+        _forceInterrupt = false;  // nowhere to vector: drop it
+        return false;
+    }
     // Vector to the service routine. The ISR runs outside the barrier
     // region structure: no arrivals, no crossing checks, and the
     // barrier unit's state is left untouched until IRET.
     _savedPc = _pc;
     _pc = static_cast<std::size_t>(_isrEntry);
     _inIsr = true;
-    _nextInterrupt += _interruptPeriod;
+    if (periodic)
+        _nextInterrupt += _interruptPeriod;
+    _forceInterrupt = false;
     ++_interruptsTaken;
     return true;
 }

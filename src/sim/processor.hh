@@ -134,6 +134,23 @@ class Processor
     /** Current program counter (for debugging / deadlock reports). */
     std::size_t pc() const { return _pc; }
 
+    /**
+     * Fault injection: fail-stop the core immediately. The barrier
+     * unit's state is left latched exactly as the dying hardware
+     * would leave it — a processor killed while Ready keeps
+     * broadcasting its pulse, which is precisely the hazard the
+     * watchdog + epoch recovery protocol exists to clear.
+     */
+    void kill() { _halted = true; }
+
+    /**
+     * Fault injection: request an interrupt regardless of the timer
+     * period. Taken at the next issue opportunity if an ISR entry is
+     * configured (silently dropped otherwise); does not disturb the
+     * periodic schedule.
+     */
+    void forceInterrupt() { _forceInterrupt = true; }
+
   private:
     enum class CoreState
     {
@@ -205,6 +222,7 @@ class Processor
     bool _inIsr = false;
     std::size_t _savedPc = 0;
     std::uint64_t _nextInterrupt = 0;
+    bool _forceInterrupt = false;
 
     /** Pipelined readiness: cycle at which arrive() fires. */
     bool _arrivePending = false;

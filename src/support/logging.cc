@@ -1,9 +1,22 @@
 #include "support/logging.hh"
 
 #include <cstdlib>
+#include <map>
+#include <mutex>
 
 namespace fb
 {
+
+namespace
+{
+
+// Shared state for the warn-once / rate-limited helpers. A plain
+// mutex-guarded map: the helpers sit on warning paths, never on the
+// simulator hot path, so contention is irrelevant.
+std::mutex warn_mutex;
+std::map<std::string, std::uint64_t> warn_counts;
+
+} // namespace
 
 Logger &
 Logger::get()
@@ -44,6 +57,40 @@ void
 debugLog(const std::string &msg)
 {
     Logger::get().log(LogLevel::Debug, msg);
+}
+
+void
+warnOnce(const std::string &key, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(warn_mutex);
+        if (++warn_counts[key] != 1)
+            return;
+    }
+    Logger::get().log(LogLevel::Warn, msg);
+}
+
+void
+warnRatelimited(const std::string &key, const std::string &msg,
+                std::uint64_t every_n)
+{
+    if (every_n == 0)
+        every_n = 1;
+    std::uint64_t count;
+    {
+        std::lock_guard<std::mutex> lock(warn_mutex);
+        count = ++warn_counts[key];
+    }
+    if (count % every_n != 1 && every_n != 1)
+        return;
+    if (count == 1) {
+        Logger::get().log(LogLevel::Warn, msg);
+        return;
+    }
+    std::ostringstream oss;
+    oss << msg << " (" << (every_n - 1)
+        << " similar warnings suppressed)";
+    Logger::get().log(LogLevel::Warn, oss.str());
 }
 
 void

@@ -11,6 +11,7 @@
 #ifndef FB_SUPPORT_LOGGING_HH
 #define FB_SUPPORT_LOGGING_HH
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -66,6 +67,23 @@ void inform(const std::string &msg);
 void warn(const std::string &msg);
 /** Log at Debug level. */
 void debugLog(const std::string &msg);
+
+/**
+ * Warn, but only the first time @p key is seen. Repeatable conditions
+ * (a fault firing every cycle, a tool falling back) report once
+ * instead of flooding stderr. Thread-safe.
+ */
+void warnOnce(const std::string &key, const std::string &msg);
+
+/**
+ * Warn on the 1st, (N+1)th, (2N+1)th... occurrence of @p key; later
+ * repeats carry a suppressed-count suffix so no information is lost,
+ * just volume. Thread-safe.
+ *
+ * @param every_n report one message per this many occurrences (>= 1)
+ */
+void warnRatelimited(const std::string &key, const std::string &msg,
+                     std::uint64_t every_n = 100);
 
 /**
  * Terminate because of an internal invariant violation (library bug).

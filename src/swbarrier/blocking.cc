@@ -42,6 +42,23 @@ BlockingBarrier::wait(int tid)
     _cv.wait(lock, [&] { return _generation > my_generation; });
 }
 
+bool
+BlockingBarrier::waitFor(int tid, std::chrono::microseconds timeout)
+{
+    FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
+    std::unique_lock<std::mutex> lock(_mutex);
+    std::uint64_t my_generation =
+        _arrivedGeneration[static_cast<std::size_t>(tid)];
+    if (_generation > my_generation)
+        return true;  // the episode completed during the barrier region
+    if (!_blockedThisEpisode) {
+        _blockedThisEpisode = true;
+        ++_blockedEpisodes;
+    }
+    return _cv.wait_for(lock, timeout,
+                        [&] { return _generation > my_generation; });
+}
+
 std::uint64_t
 BlockingBarrier::blockedEpisodes() const
 {

@@ -32,6 +32,7 @@ class BlockingBarrier : public SplitBarrier
     int numThreads() const override { return _numThreads; }
     void arrive(int tid) override;
     void wait(int tid) override;
+    bool waitFor(int tid, std::chrono::microseconds timeout) override;
     const char *name() const override { return "blocking"; }
 
     /** Episodes in which at least one thread actually blocked. */

@@ -40,4 +40,23 @@ CentralizedBarrier::wait(int tid)
     }
 }
 
+bool
+CentralizedBarrier::waitFor(int tid, std::chrono::microseconds timeout)
+{
+    FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
+    // The target sense is the thread's local sense, which only the
+    // thread's own arrive() changes — so a timed-out wait can simply
+    // be retried.
+    const int want = _local[static_cast<std::size_t>(tid)].sense;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    Backoff backoff;
+    while (_sense.load(std::memory_order_acquire) != want) {
+        _sharedAccesses.fetch_add(1, std::memory_order_relaxed);
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        backoff.pause();
+    }
+    return true;
+}
+
 } // namespace fb::sw

@@ -31,6 +31,7 @@ class CentralizedBarrier : public SplitBarrier
     int numThreads() const override { return _numThreads; }
     void arrive(int tid) override;
     void wait(int tid) override;
+    bool waitFor(int tid, std::chrono::microseconds timeout) override;
     const char *name() const override { return "centralized"; }
 
     /** Shared-variable accesses performed so far (hot-spot metric). */

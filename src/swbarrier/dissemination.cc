@@ -39,16 +39,40 @@ DisseminationBarrier::signal(int tid, int round, std::uint64_t epoch)
     _sharedAccesses.fetch_add(1, std::memory_order_relaxed);
 }
 
-void
-DisseminationBarrier::await(int tid, int round, std::uint64_t epoch)
+bool
+DisseminationBarrier::await(
+    int tid, int round, std::uint64_t epoch,
+    const std::chrono::steady_clock::time_point *deadline)
 {
     auto &flag =
         _flags[static_cast<std::size_t>(round * _numThreads + tid)];
     Backoff backoff;
     while (flag.epoch.load(std::memory_order_acquire) < epoch) {
         _sharedAccesses.fetch_add(1, std::memory_order_relaxed);
+        if (deadline != nullptr &&
+            std::chrono::steady_clock::now() >= *deadline)
+            return false;
         backoff.pause();
     }
+    return true;
+}
+
+bool
+DisseminationBarrier::runRounds(
+    int tid, const std::chrono::steady_clock::time_point *deadline)
+{
+    ThreadState &ts = _threads[static_cast<std::size_t>(tid)];
+    while (ts.round < _rounds) {
+        // The outgoing signal for ts.round was already sent, so a
+        // timeout leaves the protocol consistent and resumable from
+        // exactly this round.
+        if (!await(tid, ts.round, ts.epoch, deadline))
+            return false;
+        ++ts.round;
+        if (ts.round < _rounds)
+            signal(tid, ts.round, ts.epoch);
+    }
+    return true;
 }
 
 void
@@ -57,6 +81,7 @@ DisseminationBarrier::arrive(int tid)
     FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
     ThreadState &ts = _threads[static_cast<std::size_t>(tid)];
     ++ts.epoch;
+    ts.round = 0;
     if (_rounds > 0)
         signal(tid, 0, ts.epoch);
 }
@@ -65,12 +90,15 @@ void
 DisseminationBarrier::wait(int tid)
 {
     FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
-    ThreadState &ts = _threads[static_cast<std::size_t>(tid)];
-    for (int r = 0; r < _rounds; ++r) {
-        if (r > 0)
-            signal(tid, r, ts.epoch);
-        await(tid, r, ts.epoch);
-    }
+    runRounds(tid, nullptr);
+}
+
+bool
+DisseminationBarrier::waitFor(int tid, std::chrono::microseconds timeout)
+{
+    FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    return runRounds(tid, &deadline);
 }
 
 } // namespace fb::sw

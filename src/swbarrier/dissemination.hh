@@ -35,6 +35,7 @@ class DisseminationBarrier : public SplitBarrier
     int numThreads() const override { return _numThreads; }
     void arrive(int tid) override;
     void wait(int tid) override;
+    bool waitFor(int tid, std::chrono::microseconds timeout) override;
     const char *name() const override { return "dissemination"; }
 
     /** Shared flag accesses performed so far (hot-spot metric). */
@@ -52,13 +53,29 @@ class DisseminationBarrier : public SplitBarrier
     struct alignas(64) ThreadState
     {
         std::uint64_t epoch = 0;
+        /**
+         * Next round whose incoming flag this thread must await. The
+         * outgoing signal for this round has already been sent (by
+         * arrive() for round 0, or on completing the previous round),
+         * which is what makes a timed-out wait resumable: re-entering
+         * waitFor() never re-signals a partner.
+         */
+        int round = 0;
     };
 
     /** Signal partner for round @p round. */
     void signal(int tid, int round, std::uint64_t epoch);
 
-    /** Wait for our round-@p round flag to reach @p epoch. */
-    void await(int tid, int round, std::uint64_t epoch);
+    /**
+     * Wait for our round-@p round flag to reach @p epoch, bounded by
+     * @p deadline if non-null. Returns false on timeout.
+     */
+    bool await(int tid, int round, std::uint64_t epoch,
+               const std::chrono::steady_clock::time_point *deadline);
+
+    /** Run the remaining rounds; bounded when @p deadline non-null. */
+    bool runRounds(int tid,
+                   const std::chrono::steady_clock::time_point *deadline);
 
     int _numThreads;
     int _rounds;

@@ -25,4 +25,24 @@ Backoff::pause()
     }
 }
 
+RetryResult
+waitWithRetry(SplitBarrier &bar, int tid,
+              std::chrono::microseconds initial_timeout,
+              int max_attempts)
+{
+    if (max_attempts < 1)
+        max_attempts = 1;
+    std::chrono::microseconds timeout = initial_timeout;
+    RetryResult result;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        result.attempts = attempt;
+        if (bar.waitFor(tid, timeout)) {
+            result.completed = true;
+            return result;
+        }
+        timeout *= 2;
+    }
+    return result;
+}
+
 } // namespace fb::sw

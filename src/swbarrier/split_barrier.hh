@@ -16,6 +16,7 @@
 #ifndef FB_SWBARRIER_SPLIT_BARRIER_HH
 #define FB_SWBARRIER_SPLIT_BARRIER_HH
 
+#include <chrono>
 #include <cstdint>
 
 namespace fb::sw
@@ -47,6 +48,16 @@ class SplitBarrier
     /** Block thread @p tid until the episode completes. */
     virtual void wait(int tid) = 0;
 
+    /**
+     * Bounded wait: like wait() but give up after @p timeout.
+     *
+     * @return true if the episode completed, false on timeout. After
+     *         a timeout the thread is still armed; it may call
+     *         waitFor() or wait() again to resume waiting (software
+     *         parity with the hardware barrier watchdog's re-arm).
+     */
+    virtual bool waitFor(int tid, std::chrono::microseconds timeout) = 0;
+
     /** Algorithm name for reports. */
     virtual const char *name() const = 0;
 
@@ -73,6 +84,25 @@ class Backoff
   private:
     std::uint32_t _spins = 0;
 };
+
+/** Outcome of waitWithRetry(). */
+struct RetryResult
+{
+    bool completed = false;
+    int attempts = 0;  ///< waitFor() calls made (>= 1)
+};
+
+/**
+ * Wait with exponential-backoff retry: calls waitFor() with a
+ * doubling timeout until the episode completes or @p max_attempts
+ * tries are exhausted — the software analog of the hardware
+ * watchdog's re-arm schedule. A false result means the caller should
+ * treat some participant as dead and rebuild its barrier over the
+ * surviving membership.
+ */
+RetryResult waitWithRetry(SplitBarrier &bar, int tid,
+                          std::chrono::microseconds initial_timeout,
+                          int max_attempts);
 
 } // namespace fb::sw
 

@@ -8,7 +8,9 @@
 #ifndef FB_SWBARRIER_STDBARRIER_HH
 #define FB_SWBARRIER_STDBARRIER_HH
 
+#include <atomic>
 #include <barrier>
+#include <chrono>
 #include <optional>
 #include <vector>
 
@@ -22,12 +24,19 @@ namespace fb::sw
  * std::barrier's arrive() returns an arrival token that wait()
  * consumes — exactly the fuzzy barrier decomposition. The adapter
  * stores the per-thread token between the two calls.
+ *
+ * std::barrier has no timed wait, so the adapter shadows the phase
+ * with an atomic counter bumped by the barrier's completion step;
+ * waitFor() spins on the shadow with a deadline and simply discards
+ * the arrival token once the phase has advanced (tokens are
+ * droppable — only arrive() participates in the protocol).
  */
 class StdBarrierAdapter : public SplitBarrier
 {
   public:
     explicit StdBarrierAdapter(int num_threads)
-        : _numThreads(num_threads), _barrier(num_threads),
+        : _numThreads(num_threads),
+          _barrier(num_threads, PhaseBump{&_phase}),
           _tokens(static_cast<std::size_t>(num_threads))
     {
         FB_ASSERT(num_threads > 0, "need at least one thread");
@@ -40,6 +49,11 @@ class StdBarrierAdapter : public SplitBarrier
     {
         auto &slot = _tokens[static_cast<std::size_t>(tid)];
         FB_ASSERT(!slot.token.has_value(), "arrive() twice without wait()");
+        // Read the phase BEFORE arriving: once the token is issued,
+        // the completion step may run on another thread and bump the
+        // counter; reading afterwards could target the episode after
+        // the one this arrival belongs to.
+        slot.want = _phase.load(std::memory_order_acquire) + 1;
         slot.token.emplace(_barrier.arrive());
     }
 
@@ -52,16 +66,45 @@ class StdBarrierAdapter : public SplitBarrier
         slot.token.reset();
     }
 
+    bool
+    waitFor(int tid, std::chrono::microseconds timeout) override
+    {
+        auto &slot = _tokens[static_cast<std::size_t>(tid)];
+        FB_ASSERT(slot.token.has_value(), "waitFor() without arrive()");
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
+        Backoff backoff;
+        while (_phase.load(std::memory_order_acquire) < slot.want) {
+            if (std::chrono::steady_clock::now() >= deadline)
+                return false;  // token kept: retry or wait() resumes
+            backoff.pause();
+        }
+        slot.token.reset();
+        return true;
+    }
+
     const char *name() const override { return "std::barrier"; }
 
   private:
+    struct PhaseBump
+    {
+        std::atomic<std::uint64_t> *phase;
+
+        void
+        operator()() noexcept
+        {
+            phase->fetch_add(1, std::memory_order_release);
+        }
+    };
+
     struct alignas(64) TokenSlot
     {
-        std::optional<std::barrier<>::arrival_token> token;
+        std::optional<std::barrier<PhaseBump>::arrival_token> token;
+        std::uint64_t want = 0;
     };
 
     int _numThreads;
-    std::barrier<> _barrier;
+    std::atomic<std::uint64_t> _phase{0};
+    std::barrier<PhaseBump> _barrier;
     std::vector<TokenSlot> _tokens;
 };
 

@@ -63,4 +63,23 @@ TreeBarrier::wait(int tid)
     }
 }
 
+bool
+TreeBarrier::waitFor(int tid, std::chrono::microseconds timeout)
+{
+    FB_ASSERT(tid >= 0 && tid < _numThreads, "bad thread id");
+    // The release epoch is monotonic and the target is the thread's
+    // private episode count, so a timed-out wait resumes cleanly.
+    const std::uint64_t want =
+        _threads[static_cast<std::size_t>(tid)].epoch;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    Backoff backoff;
+    while (_releaseEpoch.load(std::memory_order_acquire) < want) {
+        _sharedAccesses.fetch_add(1, std::memory_order_relaxed);
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        backoff.pause();
+    }
+    return true;
+}
+
 } // namespace fb::sw

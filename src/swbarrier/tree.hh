@@ -34,6 +34,7 @@ class TreeBarrier : public SplitBarrier
     int numThreads() const override { return _numThreads; }
     void arrive(int tid) override;
     void wait(int tid) override;
+    bool waitFor(int tid, std::chrono::microseconds timeout) override;
     const char *name() const override { return "tree"; }
 
     /** Shared-variable accesses performed so far (hot-spot metric). */

@@ -1,11 +1,14 @@
 #include "verify/differ.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <thread>
 
 #include "isa/assembler.hh"
 #include "sim/machine.hh"
+#include "verify/generator.hh"
 
 namespace fb::verify
 {
@@ -42,6 +45,10 @@ runVariant(const Scenario &sc, const std::vector<isa::Program> &programs,
     cfg.maxCycles = opt.maxCycles;
     cfg.interruptPeriod = sc.interruptPeriod;
     cfg.isrEntry = sc.isrEntry;
+    if (sc.hasFaults()) {
+        cfg.faultPlan = &sc.faults;
+        cfg.watchdog = sc.watchdog;
+    }
 
     sim::Machine m(cfg);
     for (int p = 0; p < sc.procs(); ++p)
@@ -53,6 +60,9 @@ runVariant(const Scenario &sc, const std::vector<isa::Program> &programs,
     fp.timedOut = r.timedOut;
     fp.safety = m.checkSafetyProperty();
     fp.syncEvents = r.syncEvents;
+    fp.deadDeclared = r.deadDeclared;
+    std::sort(fp.deadDeclared.begin(), fp.deadDeclared.end());
+    fp.membership = r.membershipViolation;
     for (int p = 0; p < sc.procs(); ++p) {
         fp.episodes.push_back(
             r.perProcessor[static_cast<std::size_t>(p)].barrierEpisodes);
@@ -98,38 +108,118 @@ checkOracles(const Scenario &sc, const Fingerprint &fp)
     return "";
 }
 
-/** Diff a variant fingerprint against the baseline. */
+/**
+ * Fault-mode structural oracles:
+ *
+ *  - recovery-liveness: the run neither deadlocks nor times out —
+ *    every episode completes or the machine cleanly reports the
+ *    degraded membership and finishes with it;
+ *  - fault-safety: no processor crossed a barrier without every live
+ *    same-tag same-epoch participant (Machine::checkMembership), and
+ *    the watchdog never declared a live processor dead (deadDeclared
+ *    must be a subset of the plan's fatal targets);
+ *  - survivors complete exactly sc.episodes; fatal targets at most.
+ */
 std::string
-diffAgainstBaseline(const Scenario &sc, const Fingerprint &base,
-                    const Fingerprint &fp)
+checkFaultOracles(const Scenario &sc, const std::vector<int> &fatal,
+                  const Fingerprint &fp)
 {
     std::ostringstream oss;
-    if (fp.episodes != base.episodes)
-        return "per-processor episode counts diverge from baseline";
-    if (sc.groups() == 1 && fp.syncEvents != base.syncEvents) {
+    if (fp.deadlocked)
+        return "recovery-liveness: deadlocked under faults";
+    if (fp.timedOut)
+        return "recovery-liveness: timed out (maxCycles guard)";
+    if (!fp.membership.empty())
+        return "fault-safety: " + fp.membership;
+    if (!fp.safety.empty())
+        return "safety: " + fp.safety;
+    auto isFatalTarget = [&fatal](int p) {
+        return std::find(fatal.begin(), fatal.end(), p) != fatal.end();
+    };
+    for (int d : fp.deadDeclared) {
+        if (!isFatalTarget(d)) {
+            oss << "fault-safety: watchdog declared live processor "
+                << d << " dead (false positive)";
+            return oss.str();
+        }
+    }
+    for (int p = 0; p < sc.procs(); ++p) {
+        auto got = fp.episodes[static_cast<std::size_t>(p)];
+        auto want = static_cast<std::uint64_t>(sc.episodes);
+        if (isFatalTarget(p)) {
+            if (got > want) {
+                oss << "episodes: fatal target " << p << " completed "
+                    << got << " episodes, more than the scheduled "
+                    << sc.episodes;
+                return oss.str();
+            }
+        } else if (got != want) {
+            oss << "recovery-liveness: survivor " << p << " completed "
+                << got << " episodes, expected " << sc.episodes;
+            return oss.str();
+        }
+    }
+    return "";
+}
+
+/**
+ * Diff a variant fingerprint against the baseline. In fault mode
+ * @p fatal lists the plan's fatal targets: their registers, episode
+ * counts, and result-block memory words are excluded (where a victim
+ * dies is timing-dependent), and syncEvents is not compared (episodes
+ * the victim still participated in depend on timing too). Survivor
+ * state is timing-invariant because rendered streams only write their
+ * own disjoint result blocks.
+ */
+std::string
+diffAgainstBaseline(const Scenario &sc, const std::vector<int> &fatal,
+                    const Fingerprint &base, const Fingerprint &fp)
+{
+    std::ostringstream oss;
+    auto isFatalTarget = [&fatal](int p) {
+        return std::find(fatal.begin(), fatal.end(), p) != fatal.end();
+    };
+    auto fatalOwnsAddr = [&fatal](std::size_t addr) {
+        for (int p : fatal) {
+            if (addr >= resultBase(p) && addr < resultBase(p) + 8)
+                return true;
+        }
+        return false;
+    };
+    const std::size_t perProc = std::size(diffedRegs);
+    for (std::size_t p = 0; p < fp.episodes.size(); ++p) {
+        if (isFatalTarget(static_cast<int>(p)))
+            continue;
+        if (fp.episodes[p] != base.episodes[p]) {
+            oss << "episodes diverge: processor " << p << " completed "
+                << fp.episodes[p] << " vs baseline " << base.episodes[p];
+            return oss.str();
+        }
+    }
+    if (fatal.empty() && sc.groups() == 1 &&
+        fp.syncEvents != base.syncEvents) {
         oss << "sync events diverge: " << fp.syncEvents << " vs baseline "
             << base.syncEvents;
         return oss.str();
     }
-    if (fp.regs != base.regs) {
-        const std::size_t perProc = std::size(diffedRegs);
-        for (std::size_t i = 0; i < fp.regs.size(); ++i) {
-            if (fp.regs[i] != base.regs[i]) {
-                oss << "register diverges: processor " << i / perProc
-                    << " r" << diffedRegs[i % perProc] << " = "
-                    << fp.regs[i] << " vs baseline " << base.regs[i];
-                return oss.str();
-            }
+    for (std::size_t i = 0; i < fp.regs.size(); ++i) {
+        if (isFatalTarget(static_cast<int>(i / perProc)))
+            continue;
+        if (fp.regs[i] != base.regs[i]) {
+            oss << "register diverges: processor " << i / perProc
+                << " r" << diffedRegs[i % perProc] << " = "
+                << fp.regs[i] << " vs baseline " << base.regs[i];
+            return oss.str();
         }
     }
-    if (fp.mem != base.mem) {
-        for (std::size_t i = 0; i < fp.mem.size(); ++i) {
-            if (fp.mem[i] != base.mem[i]) {
-                oss << "memory diverges: word " << sc.watchAddrs[i]
-                    << " = " << fp.mem[i] << " vs baseline "
-                    << base.mem[i];
-                return oss.str();
-            }
+    for (std::size_t i = 0; i < fp.mem.size(); ++i) {
+        if (fatalOwnsAddr(sc.watchAddrs[i]))
+            continue;
+        if (fp.mem[i] != base.mem[i]) {
+            oss << "memory diverges: word " << sc.watchAddrs[i]
+                << " = " << fp.mem[i] << " vs baseline "
+                << base.mem[i];
+            return oss.str();
         }
     }
     return "";
@@ -157,6 +247,9 @@ Fingerprint::hash() const
         mix(static_cast<std::uint64_t>(r));
     for (auto m : mem)
         mix(static_cast<std::uint64_t>(m));
+    for (auto d : deadDeclared)
+        mix(static_cast<std::uint64_t>(d));
+    mix(membership.size());
     return h;
 }
 
@@ -166,8 +259,15 @@ Fingerprint::summary() const
     std::ostringstream oss;
     oss << "syncs=" << syncEvents << " deadlock=" << (deadlocked ? 1 : 0)
         << " timeout=" << (timedOut ? 1 : 0)
-        << " safety=" << (safety.empty() ? "OK" : "VIOLATED")
-        << " hash=" << std::hex << hash();
+        << " safety=" << (safety.empty() ? "OK" : "VIOLATED");
+    if (!deadDeclared.empty()) {
+        oss << " dead=";
+        for (std::size_t i = 0; i < deadDeclared.size(); ++i)
+            oss << (i ? "," : "") << deadDeclared[i];
+    }
+    if (!membership.empty())
+        oss << " membership=VIOLATED";
+    oss << " hash=" << std::hex << hash();
     return oss.str();
 }
 
@@ -200,6 +300,12 @@ runDifferential(const Scenario &sc, const DiffOptions &opt)
 
     if (sc.procs() == 0)
         return failed("setup", "scenario has no programs");
+    if (sc.faults.hasFatal() && !sc.watchdog.enabled) {
+        return failed("setup", "fault plan has fatal events but no "
+                               "watchdog configured (the survivors "
+                               "could never recover)");
+    }
+    const std::vector<int> fatal = sc.faults.fatalTargets();
 
     // Assemble both encodings up front.
     std::vector<isa::Program> bits;
@@ -237,7 +343,11 @@ runDifferential(const Scenario &sc, const DiffOptions &opt)
     baseVariant.markers = baseMarkers;
     rep.baseline = runVariant(sc, basePrograms, baseVariant, opt);
     rep.variantsRun = 1;
-    if (auto why = checkOracles(sc, rep.baseline); !why.empty())
+    auto oracles = [&](const Fingerprint &fp) {
+        return sc.hasFaults() ? checkFaultOracles(sc, fatal, fp)
+                              : checkOracles(sc, fp);
+    };
+    if (auto why = oracles(rep.baseline); !why.empty())
         return failed(baseVariant.name, why);
 
     std::vector<Variant> variants;
@@ -284,27 +394,47 @@ runDifferential(const Scenario &sc, const DiffOptions &opt)
                                                   : crossPrograms;
         Fingerprint fp = runVariant(sc, programs, v, opt);
         ++rep.variantsRun;
-        if (auto why = checkOracles(sc, fp); !why.empty())
+        if (auto why = oracles(fp); !why.empty())
             return failed(v.name, why);
-        if (auto why = diffAgainstBaseline(sc, rep.baseline, fp);
+        if (auto why = diffAgainstBaseline(sc, fatal, rep.baseline, fp);
             !why.empty())
             return failed(v.name, why);
     }
 
     if (opt.swBarrierReference) {
+        int group_start = 0;
         for (std::size_t g = 0; g < sc.groupSizes.size(); ++g) {
             int size = sc.groupSizes[g];
+            int start = group_start;
+            group_start += size;
             if (size < 2)
                 continue;  // a singleton group never blocks
+            // If the fault plan kills a member of this group, run the
+            // degraded-membership reference: the victim vanishes
+            // mid-run and the surviving threads must detect it via
+            // timeout and finish on a rebuilt barrier — mirroring the
+            // watchdog + mask-shrink recovery checked above.
+            int victim = -1;
+            for (int p : fatal) {
+                if (p >= start && p < start + size) {
+                    victim = p - start;
+                    break;
+                }
+            }
             for (auto kind : {sw::BarrierKind::Centralized,
                               sw::BarrierKind::Dissemination}) {
                 std::string why =
-                    runSwBarrierReference(kind, size, sc.episodes);
+                    victim < 0
+                        ? runSwBarrierReference(kind, size, sc.episodes)
+                        : runSwBarrierDegradedReference(
+                              kind, size, sc.episodes, victim,
+                              sc.episodes / 2);
                 ++rep.variantsRun;
                 if (!why.empty()) {
                     std::ostringstream oss;
                     oss << "swref/" << sw::barrierKindName(kind)
-                        << "/group" << g;
+                        << "/group" << g
+                        << (victim < 0 ? "" : "/degraded");
                     return failed(oss.str(), why);
                 }
             }
@@ -353,6 +483,110 @@ runSwBarrierReference(sw::BarrierKind kind, int threads, int episodes)
         oss << "reference barrier '" << barrier->name() << "': "
             << violations.load()
             << " wait() returns before all members arrived";
+        return oss.str();
+    }
+    return "";
+}
+
+std::string
+runSwBarrierDegradedReference(sw::BarrierKind kind, int threads,
+                              int episodes, int victim, int kill_at)
+{
+    if (episodes <= 0)
+        return "";
+    if (victim < 0 || victim >= threads)
+        return "degraded reference: victim outside thread range";
+    if (kill_at < 0)
+        kill_at = 0;
+    if (kill_at >= episodes)
+        return runSwBarrierReference(kind, threads, episodes);
+
+    auto full = sw::makeBarrier(kind, threads);
+    // The rebuilt barrier spans only the survivors; ranks are dense
+    // (tid above the victim shift down by one), mirroring how the
+    // hardware survivors shrink their masks around the dead bit.
+    auto degraded = sw::makeBarrier(kind, threads - 1);
+
+    std::vector<std::atomic<int>> arrivals(
+        static_cast<std::size_t>(episodes));
+    std::atomic<int> violations{0};
+    std::atomic<int> timeouts{0};
+    std::atomic<int> unexpectedCompletions{0};
+    std::atomic<int> completed{0};
+
+    auto survivorWorker = [&](int tid) {
+        const int rank = tid < victim ? tid : tid - 1;
+        for (int e = 0; e < episodes; ++e) {
+            auto &arrived = arrivals[static_cast<std::size_t>(e)];
+            arrived.fetch_add(1);
+            if (e < kill_at) {
+                full->arrive(tid);
+                full->wait(tid);
+                if (arrived.load() < threads)
+                    violations.fetch_add(1);
+                continue;
+            }
+            if (e == kill_at) {
+                // First episode without the victim: the full barrier
+                // can never complete, so the timed wait must fail
+                // even after retries — that is the detection event.
+                full->arrive(tid);
+                auto r = sw::waitWithRetry(
+                    *full, tid, std::chrono::microseconds(500), 3);
+                if (r.completed)
+                    unexpectedCompletions.fetch_add(1);
+                else
+                    timeouts.fetch_add(1);
+            }
+            degraded->arrive(rank);
+            degraded->wait(rank);
+            if (arrived.load() < threads - 1)
+                violations.fetch_add(1);
+        }
+        completed.fetch_add(1);
+    };
+    auto victimWorker = [&] {
+        for (int e = 0; e < kill_at; ++e) {
+            arrivals[static_cast<std::size_t>(e)].fetch_add(1);
+            full->arrive(victim);
+            full->wait(victim);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        if (t == victim)
+            pool.emplace_back(victimWorker);
+        else
+            pool.emplace_back(survivorWorker, t);
+    }
+    for (auto &t : pool)
+        t.join();
+
+    const int survivors = threads - 1;
+    std::ostringstream oss;
+    if (completed.load() != survivors) {
+        oss << "degraded barrier '" << full->name() << "': only "
+            << completed.load() << "/" << survivors
+            << " survivors completed " << episodes << " episodes";
+        return oss.str();
+    }
+    if (unexpectedCompletions.load() != 0) {
+        oss << "degraded barrier '" << full->name() << "': "
+            << unexpectedCompletions.load()
+            << " waits completed without the dead member's arrival";
+        return oss.str();
+    }
+    if (timeouts.load() != survivors) {
+        oss << "degraded barrier '" << full->name() << "': "
+            << timeouts.load() << "/" << survivors
+            << " survivors observed the detection timeout";
+        return oss.str();
+    }
+    if (violations.load() != 0) {
+        oss << "degraded barrier '" << full->name() << "': "
+            << violations.load()
+            << " wait() returns before all live members arrived";
         return oss.str();
     }
     return "";

@@ -36,6 +36,8 @@ struct Fingerprint
     std::vector<std::uint64_t> episodes; ///< per-processor episode count
     std::vector<std::int64_t> regs;      ///< diffed registers per proc
     std::vector<std::int64_t> mem;       ///< watched memory words
+    std::vector<int> deadDeclared;       ///< fenced by recovery (sorted)
+    std::string membership;              ///< "" = fault-safety holds
 
     /** FNV-1a hash over all fields, for compact replay output. */
     std::uint64_t hash() const;
@@ -85,6 +87,19 @@ DiffReport runDifferential(const Scenario &sc,
  */
 std::string runSwBarrierReference(sw::BarrierKind kind, int threads,
                                   int episodes);
+
+/**
+ * Degraded-membership reference: @p threads real threads run
+ * @p episodes episodes, but thread @p victim disappears after episode
+ * @p kill_at (0-based; it completes episodes [0, kill_at) only). The
+ * survivors detect the loss via waitFor() timeout with retry and
+ * rebuild the barrier over the surviving membership — the software
+ * analog of the watchdog + mask-shrink protocol. Returns "" on
+ * success or a failure description.
+ */
+std::string runSwBarrierDegradedReference(sw::BarrierKind kind,
+                                          int threads, int episodes,
+                                          int victim, int kill_at);
 
 } // namespace fb::verify
 

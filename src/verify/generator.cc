@@ -87,13 +87,6 @@ randomSpec(std::uint64_t seed)
 namespace
 {
 
-/** Base address of processor @p p's result block. */
-constexpr std::size_t
-resultBase(int p)
-{
-    return 100 + static_cast<std::size_t>(p) * 8;
-}
-
 void
 emitRepeat(std::ostringstream &oss, int count, const char *line)
 {
@@ -228,6 +221,9 @@ render(const ProgramSpec &spec)
     sc.interruptPeriod = spec.interruptPeriod;
     sc.isrEntry = spec.interruptPeriod > 0 ? 1 : -1;
     sc.genSeed = spec.seed;
+    sc.faults = spec.faults;
+    sc.watchdog = spec.watchdog;
+    sc.faultSeed = spec.faultSeed;
     for (int p = 0; p < spec.procs(); ++p) {
         sc.sources.push_back(renderStream(spec, p));
         for (std::size_t k = 0; k < 5; ++k)

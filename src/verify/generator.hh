@@ -80,6 +80,13 @@ struct ProgramSpec
     std::vector<StreamSpec> streams;   ///< one per processor
     std::uint64_t seed = 0;            ///< provenance
 
+    /** Fault schedule rendered into the scenario (empty = none). */
+    fault::FaultPlan faults;
+    /** Watchdog settings for fault runs (required with fatal faults). */
+    fault::WatchdogConfig watchdog;
+    /** Seed the fault plan was derived from (0 = none/hand-written). */
+    std::uint64_t faultSeed = 0;
+
     int procs() const { return static_cast<int>(streams.size()); }
     int groups() const { return static_cast<int>(groupSizes.size()); }
 
@@ -89,6 +96,18 @@ struct ProgramSpec
     /** Barrier mask for processor @p p (all bits of its group). */
     std::uint64_t maskOf(int p) const;
 };
+
+/**
+ * Base address of processor @p p's 8-word result block. Rendered
+ * streams store only inside their own block (disjoint across
+ * processors), which is what lets fault-mode differential runs diff
+ * survivor memory while excluding a victim's words by address.
+ */
+constexpr std::size_t
+resultBase(int p)
+{
+    return 100 + static_cast<std::size_t>(p) * 8;
+}
 
 /**
  * Derive a random ProgramSpec from @p seed. Identical seeds yield

@@ -48,6 +48,14 @@ Scenario::toReproducer() const
     oss << "\n";
     if (genSeed != 0)
         oss << "!genseed " << genSeed << "\n";
+    if (!faults.empty())
+        oss << "!fault " << faults.toSpec() << "\n";
+    if (watchdog.enabled) {
+        oss << "!watchdog " << watchdog.timeoutCycles << ":"
+            << watchdog.maxAttempts << "\n";
+    }
+    if (faultSeed != 0)
+        oss << "!faultseed " << faultSeed << "\n";
     for (std::size_t p = 0; p < sources.size(); ++p) {
         oss << "!program " << p << "\n";
         oss << sources[p];
@@ -141,6 +149,40 @@ Scenario::fromReproducer(const std::string &text, Scenario &out,
             if (!intArg(1, v))
                 return fail("bad !genseed");
             sc.genSeed = static_cast<std::uint64_t>(v);
+        } else if (key == "!fault") {
+            std::string spec;
+            for (std::size_t i = 1; i < toks.size(); ++i) {
+                if (i > 1)
+                    spec += " ";
+                spec += toks[i];
+            }
+            std::string fault_error;
+            if (!fault::FaultPlan::parse(spec, sc.faults, fault_error))
+                return fail("bad !fault: " + fault_error);
+        } else if (key == "!watchdog") {
+            if (toks.size() < 2)
+                return fail("!watchdog needs timeout[:attempts]");
+            std::string spec = toks[1];
+            std::string timeout_part = spec;
+            std::string attempts_part;
+            auto colon = spec.find(':');
+            if (colon != std::string::npos) {
+                timeout_part = spec.substr(0, colon);
+                attempts_part = spec.substr(colon + 1);
+            }
+            if (!parseInt(timeout_part, v) || v < 1)
+                return fail("bad !watchdog timeout");
+            sc.watchdog.enabled = true;
+            sc.watchdog.timeoutCycles = static_cast<std::uint64_t>(v);
+            if (!attempts_part.empty()) {
+                if (!parseInt(attempts_part, v) || v < 1)
+                    return fail("bad !watchdog attempts");
+                sc.watchdog.maxAttempts = static_cast<int>(v);
+            }
+        } else if (key == "!faultseed") {
+            if (!intArg(1, v))
+                return fail("bad !faultseed");
+            sc.faultSeed = static_cast<std::uint64_t>(v);
         } else if (key == "!program") {
             if (!intArg(1, v) || v != programs_seen)
                 return fail("!program sections must be dense and in order");
@@ -162,6 +204,12 @@ Scenario::fromReproducer(const std::string &text, Scenario &out,
         return fail("group sizes do not cover all processors");
     if (sc.interruptPeriod > 0 && sc.isrEntry < 0)
         return fail("!interrupt requires a non-negative !isr index");
+    for (const auto &ev : sc.faults.events) {
+        if (ev.proc < 0 || ev.proc >= sc.procs())
+            return fail("!fault targets processor " +
+                        std::to_string(ev.proc) + " of " +
+                        std::to_string(sc.procs()));
+    }
 
     out = std::move(sc);
     return true;

@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hh"
+#include "fault/watchdog.hh"
+
 namespace fb::verify
 {
 
@@ -50,6 +53,16 @@ struct Scenario
     std::int64_t isrEntry = -1;         ///< ISR instruction index
     std::vector<std::size_t> watchAddrs; ///< memory words diffed after runs
     std::uint64_t genSeed = 0;          ///< provenance (0 = hand-written)
+
+    /** Fault schedule injected into every variant (empty = none). */
+    fault::FaultPlan faults;
+    /** Watchdog configuration (enabled automatically with faults). */
+    fault::WatchdogConfig watchdog;
+    /** Seed the fault plan was generated from (0 = hand-written). */
+    std::uint64_t faultSeed = 0;
+
+    /** True if this scenario exercises the fault subsystem. */
+    bool hasFaults() const { return !faults.empty(); }
 
     int procs() const { return static_cast<int>(sources.size()); }
     int groups() const { return static_cast<int>(groupSizes.size()); }

@@ -1,5 +1,6 @@
 #include "verify/shrink.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "support/logging.hh"
@@ -48,6 +49,26 @@ decrementEpisodes(ProgramSpec &s)
     return true;
 }
 
+/**
+ * Keep the fault plan consistent after removing processor @p removed:
+ * events targeting it are dropped and higher processor indices shift
+ * down by one, matching the stream/group renumbering.
+ */
+void
+remapFaultsAfterRemoval(ProgramSpec &s, int removed)
+{
+    auto &events = s.faults.events;
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [removed](const fault::FaultEvent &ev) {
+                                    return ev.proc == removed;
+                                }),
+                 events.end());
+    for (auto &ev : events) {
+        if (ev.proc > removed)
+            --ev.proc;
+    }
+}
+
 bool
 dropLastGroup(ProgramSpec &s)
 {
@@ -57,6 +78,15 @@ dropLastGroup(ProgramSpec &s)
     s.groupSizes.pop_back();
     s.streams.resize(s.streams.size() -
                      static_cast<std::size_t>(removed));
+    // Removed processors occupied the top indices: no renumbering of
+    // survivors is needed, just drop their fault events.
+    const int remaining = s.procs();
+    auto &events = s.faults.events;
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [remaining](const fault::FaultEvent &ev) {
+                                    return ev.proc >= remaining;
+                                }),
+                 events.end());
     return true;
 }
 
@@ -79,7 +109,58 @@ dropOneProcessor(ProgramSpec &s)
         last += s.groupSizes[static_cast<std::size_t>(g)];
     s.streams.erase(s.streams.begin() + (last - 1));
     --s.groupSizes[static_cast<std::size_t>(best)];
+    remapFaultsAfterRemoval(s, last - 1);
     return true;
+}
+
+// Fault-schedule mutations: try to lose the whole plan first, then
+// individual events, then shrink the injection cycles (a minimal
+// reproducer should fire its faults as early as possible).
+
+bool
+dropAllFaults(ProgramSpec &s)
+{
+    if (s.faults.empty())
+        return false;
+    s.faults.events.clear();
+    s.watchdog = fault::WatchdogConfig{};
+    return true;
+}
+
+bool
+dropLastFaultEvent(ProgramSpec &s)
+{
+    if (s.faults.empty())
+        return false;
+    s.faults.events.pop_back();
+    return true;
+}
+
+bool
+dropTransientFaults(ProgramSpec &s)
+{
+    auto &events = s.faults.events;
+    auto it = std::remove_if(events.begin(), events.end(),
+                             [](const fault::FaultEvent &ev) {
+                                 return !ev.fatal();
+                             });
+    if (it == events.end())
+        return false;
+    events.erase(it, events.end());
+    return true;
+}
+
+bool
+halveFaultCycles(ProgramSpec &s)
+{
+    bool changed = false;
+    for (auto &ev : s.faults.events) {
+        if (ev.cycle > 0) {
+            ev.cycle /= 2;
+            changed = true;
+        }
+    }
+    return changed;
 }
 
 bool
@@ -165,6 +246,10 @@ shrink(const ProgramSpec &failing, const FailPredicate &fails,
         dropLastGroup,
         dropOneProcessor,
         regionBitsEncoding,
+        dropAllFaults,
+        dropLastFaultEvent,
+        dropTransientFaults,
+        halveFaultCycles,
         [&](ProgramSpec &s) { return eachStream(s, dropRegionCall); },
         [&](ProgramSpec &s) { return eachStream(s, dropWorkCall); },
         [&](ProgramSpec &s) { return eachStream(s, dropRegionBranch); },

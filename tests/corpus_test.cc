@@ -90,6 +90,9 @@ TEST(Corpus, CoversAdvertisedFeatures)
     bool interrupts = false;
     bool slow_tail = false;
     bool calls = false;
+    bool fatal_fault = false;
+    bool transient_fault = false;
+    bool watchdog = false;
     for (const auto &path : corpusFiles()) {
         Scenario sc;
         std::string err;
@@ -101,11 +104,20 @@ TEST(Corpus, CoversAdvertisedFeatures)
             slow_tail |= src.find("muli r3, r3, 1\n") != std::string::npos;
             calls |= src.find("call") != std::string::npos;
         }
+        fatal_fault |= sc.faults.hasFatal();
+        for (const auto &ev : sc.faults.events)
+            transient_fault |= !ev.fatal();
+        watchdog |= sc.watchdog.enabled;
     }
     EXPECT_TRUE(tag_groups) << "no corpus seed exercises tag groups";
     EXPECT_TRUE(interrupts) << "no corpus seed exercises interrupts";
     EXPECT_TRUE(slow_tail) << "no corpus seed exercises DrainWait tails";
     EXPECT_TRUE(calls) << "no corpus seed exercises procedure calls";
+    EXPECT_TRUE(fatal_fault)
+        << "no corpus seed exercises watchdog recovery (fatal fault)";
+    EXPECT_TRUE(transient_fault)
+        << "no corpus seed exercises transient faults";
+    EXPECT_TRUE(watchdog) << "no corpus seed arms the barrier watchdog";
 }
 
 } // namespace

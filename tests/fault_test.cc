@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: plan serialization and
+ * derivation, each fault kind's machine-level effect, the barrier
+ * watchdog's straggler/dead distinction, and the epoch/mask-shrink
+ * recovery protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fault/plan.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+namespace fb::fault
+{
+namespace
+{
+
+using sim::Machine;
+using sim::MachineConfig;
+
+isa::Program
+assembleOrDie(const std::string &src)
+{
+    isa::Program p;
+    std::string err;
+    if (!isa::Assembler::assemble(src, p, err))
+        ADD_FAILURE() << "assembly failed: " << err;
+    return p;
+}
+
+MachineConfig
+config(int procs)
+{
+    MachineConfig cfg;
+    cfg.numProcessors = procs;
+    cfg.memWords = 4096;
+    cfg.maxCycles = 500'000;
+    return cfg;
+}
+
+/**
+ * A barrier loop: @p iters episodes of @p work non-barrier
+ * instructions and @p region barrier-region instructions, group mask
+ * @p mask. r3 counts work, r5 counts region iterations.
+ */
+std::string
+loopSource(int iters, int work, int region, std::uint64_t mask,
+           bool with_isr = false)
+{
+    std::ostringstream oss;
+    if (with_isr) {
+        oss << "jmp main\n";
+        oss << "isr:\n";
+        oss << "addi r20, r20, 1\n";
+        oss << "iret\n";
+        oss << "main:\n";
+    }
+    oss << "settag 1\n";
+    oss << "setmask " << mask << "\n";
+    oss << "li r1, 0\n";
+    oss << "li r2, " << iters << "\n";
+    oss << "loop:\n";
+    for (int k = 0; k < work; ++k)
+        oss << "addi r3, r3, 1\n";
+    oss << ".region 1\n";
+    for (int k = 0; k < region; ++k)
+        oss << "addi r5, r5, 1\n";
+    oss << "addi r1, r1, 1\n";
+    oss << "bne r1, r2, loop\n";
+    oss << ".endregion\n";
+    oss << "halt\n";
+    return oss.str();
+}
+
+// --- FaultPlan -------------------------------------------------------
+
+TEST(FaultPlan, SpecRoundTripsByteExactly)
+{
+    const std::string spec =
+        "drop@100:2:16,fliptag@250:0:3,flipmask@300:1:2,"
+        "kill@400:3,freeze@500:1,irqstorm@600:2:8";
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::parse(spec, plan, err)) << err;
+    EXPECT_EQ(plan.events.size(), 6u);
+    EXPECT_EQ(plan.toSpec(), spec);
+
+    FaultPlan again;
+    ASSERT_TRUE(FaultPlan::parse(plan.toSpec(), again, err)) << err;
+    EXPECT_EQ(plan, again);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs)
+{
+    FaultPlan plan;
+    std::string err;
+    EXPECT_FALSE(FaultPlan::parse("explode@10:0", plan, err));
+    EXPECT_NE(err.find("unknown kind"), std::string::npos);
+    EXPECT_FALSE(FaultPlan::parse("kill@10", plan, err));
+    EXPECT_FALSE(FaultPlan::parse("kill@-5:0", plan, err));
+    EXPECT_FALSE(FaultPlan::parse("drop10:0", plan, err));
+}
+
+TEST(FaultPlan, FatalClassification)
+{
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::parse("freeze@10:0,freeze@20:1:64,kill@30:2",
+                                 plan, err))
+        << err;
+    EXPECT_TRUE(plan.hasFatal());
+    // freeze with a finite window is transient; arg 0 is fatal.
+    EXPECT_EQ(plan.fatalTargets(), (std::vector<int>{0, 2}));
+}
+
+TEST(FaultPlan, RandomPlanIsDeterministic)
+{
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+        auto a = randomFaultPlan(seed, 8, {8});
+        auto b = randomFaultPlan(seed, 8, {8});
+        EXPECT_EQ(a, b) << "seed " << seed;
+        // Recovery must stay possible: at most one fatal fault.
+        EXPECT_LE(a.fatalTargets().size(), 1u) << "seed " << seed;
+        for (const auto &ev : a.events) {
+            EXPECT_GE(ev.proc, 0);
+            EXPECT_LT(ev.proc, 8);
+        }
+    }
+    EXPECT_NE(randomFaultPlan(1, 8, {8}), randomFaultPlan(2, 8, {8}));
+}
+
+// --- Transient faults ------------------------------------------------
+
+TEST(FaultTest, DropPulseDelaysButNeverCorrupts)
+{
+    // cpu0 arrives early and its pulse is hidden while cpu1 is still
+    // working; synchronization is delayed, not corrupted.
+    auto run = [](const FaultPlan *plan) {
+        MachineConfig cfg = config(2);
+        cfg.faultPlan = plan;
+        Machine m(cfg);
+        m.loadProgram(0, assembleOrDie(loopSource(3, 1, 1, 0b11)));
+        m.loadProgram(1, assembleOrDie(loopSource(3, 40, 1, 0b11)));
+        return std::make_pair(m.run(), m.checkSafetyProperty());
+    };
+
+    auto [clean, clean_safety] = run(nullptr);
+    ASSERT_FALSE(clean.deadlocked);
+    EXPECT_EQ(clean_safety, "");
+
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::parse("drop@6:0:80", plan, err)) << err;
+    auto [faulty, faulty_safety] = run(&plan);
+    EXPECT_FALSE(faulty.deadlocked);
+    EXPECT_FALSE(faulty.timedOut);
+    EXPECT_EQ(faulty_safety, "");
+    EXPECT_GT(faulty.faultStats.pulseDropCycles, 0u);
+    EXPECT_EQ(faulty.syncEvents, clean.syncEvents);
+    EXPECT_GE(faulty.cycles, clean.cycles);
+}
+
+TEST(FaultTest, FlippedBitsAreScrubbedBeforeTheyCanMisSync)
+{
+    // Tag and mask corruption is corrected by the ECC shadow at the
+    // next network evaluation: the run must be indistinguishable from
+    // the fault-free one except for the correction counters.
+    auto run = [](const FaultPlan *plan) {
+        MachineConfig cfg = config(2);
+        cfg.faultPlan = plan;
+        Machine m(cfg);
+        m.loadProgram(0, assembleOrDie(loopSource(4, 3, 1, 0b11)));
+        m.loadProgram(1, assembleOrDie(loopSource(4, 5, 2, 0b11)));
+        return m.run();
+    };
+
+    auto clean = run(nullptr);
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(
+        FaultPlan::parse("fliptag@9:0:2,flipmask@13:1:0", plan, err))
+        << err;
+    auto faulty = run(&plan);
+
+    EXPECT_FALSE(faulty.deadlocked);
+    EXPECT_EQ(faulty.faultStats.bitsFlipped, 2u);
+    EXPECT_GT(faulty.correctedFaults, 0u);
+    EXPECT_EQ(faulty.syncEvents, clean.syncEvents);
+    EXPECT_EQ(faulty.cycles, clean.cycles);
+}
+
+TEST(FaultTest, IrqStormForcesInterrupts)
+{
+    MachineConfig cfg = config(2);
+    cfg.isrEntry = 1;
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::parse("irqstorm@10:1:12", plan, err)) << err;
+    cfg.faultPlan = &plan;
+    Machine m(cfg);
+    m.loadProgram(0, assembleOrDie(loopSource(3, 2, 1, 0b11, true)));
+    m.loadProgram(1, assembleOrDie(loopSource(3, 2, 1, 0b11, true)));
+    auto r = m.run();
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_GT(r.faultStats.forcedInterrupts, 0u);
+    EXPECT_GT(r.perProcessor[1].interruptsTaken, 0u);
+    EXPECT_EQ(m.checkSafetyProperty(), "");
+}
+
+TEST(FaultTest, EmptyPlanIsByteIdenticalToNoPlan)
+{
+    // The hook contract: an empty plan builds no injector, so the run
+    // loop is exactly the pre-fault simulator.
+    auto run = [](const FaultPlan *plan) {
+        MachineConfig cfg = config(3);
+        cfg.faultPlan = plan;
+        Machine m(cfg);
+        for (int p = 0; p < 3; ++p)
+            m.loadProgram(
+                p, assembleOrDie(loopSource(5, 2 + p, 1, 0b111)));
+        return m.run();
+    };
+    FaultPlan empty;
+    auto a = run(nullptr);
+    auto b = run(&empty);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.syncEvents, b.syncEvents);
+}
+
+// --- Fatal faults, watchdog, recovery --------------------------------
+
+TEST(FaultTest, KillOneOfEightShrinksMasksAndCompletes)
+{
+    // The acceptance scenario: kill one processor mid-run; the
+    // watchdog sees a halted blocker, survivors drop its mask bit,
+    // bump their epoch, and run every remaining episode.
+    const int procs = 8;
+    const int episodes = 6;
+    MachineConfig cfg = config(procs);
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::parse("kill@40:3", plan, err)) << err;
+    cfg.faultPlan = &plan;
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.timeoutCycles = 200;
+    cfg.watchdog.maxAttempts = 3;
+    Machine m(cfg);
+    for (int p = 0; p < procs; ++p)
+        m.loadProgram(p, assembleOrDie(
+                             loopSource(episodes, 2 + p, 1, 0xff)));
+    auto r = m.run();
+
+    EXPECT_FALSE(r.deadlocked) << r.deadlockInfo;
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.deadDeclared, (std::vector<int>{3}));
+    EXPECT_EQ(r.faultStats.kills, 1u);
+    ASSERT_EQ(r.recoveries.size(), 1u);
+    EXPECT_EQ(r.recoveries[0].deadProc, 3);
+    EXPECT_EQ(r.recoveries[0].survivors.size(), 7u);
+    EXPECT_EQ(r.membershipViolation, "");
+    EXPECT_EQ(m.checkSafetyProperty(), "");
+    for (int p = 0; p < procs; ++p) {
+        if (p == 3)
+            continue;
+        EXPECT_EQ(r.perProcessor[static_cast<std::size_t>(p)]
+                      .barrierEpisodes,
+                  static_cast<std::uint64_t>(episodes))
+            << "survivor cpu" << p;
+    }
+    EXPECT_LT(r.perProcessor[3].barrierEpisodes,
+              static_cast<std::uint64_t>(episodes));
+}
+
+TEST(FaultTest, ForeverFreezeIsDeclaredDeadViaBackoff)
+{
+    // A frozen processor still looks alive, so the watchdog cannot
+    // shortcut like it does for a halted one: it must re-arm with
+    // backoff and only then declare death.
+    MachineConfig cfg = config(3);
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::parse("freeze@40:1", plan, err)) << err;
+    cfg.faultPlan = &plan;
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.timeoutCycles = 100;
+    cfg.watchdog.maxAttempts = 2;
+    Machine m(cfg);
+    for (int p = 0; p < 3; ++p)
+        m.loadProgram(p, assembleOrDie(loopSource(6, 8, 2, 0b111)));
+    auto r = m.run();
+
+    EXPECT_FALSE(r.deadlocked) << r.deadlockInfo;
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.deadDeclared, (std::vector<int>{1}));
+    EXPECT_GE(r.watchdogStats.timeouts, 2u);
+    EXPECT_GE(r.watchdogStats.rearms, 1u);
+    EXPECT_EQ(r.membershipViolation, "");
+    EXPECT_EQ(r.perProcessor[0].barrierEpisodes, 6u);
+    EXPECT_EQ(r.perProcessor[2].barrierEpisodes, 6u);
+}
+
+TEST(FaultTest, SlowStragglerIsNotDeclaredDead)
+{
+    // The false-positive guard: a live straggler ~6x slower than the
+    // watchdog timeout must be waited out by the backoff schedule,
+    // never fenced. Death would need T*(2^maxAttempts - 1) = 1550
+    // continuously stuck cycles; the straggler arrives by ~330.
+    MachineConfig cfg = config(2);
+    FaultPlan plan;  // no faults: the straggler is just slow code
+    std::string err;
+    ASSERT_TRUE(FaultPlan::parse("drop@5:0:1", plan, err)) << err;
+    cfg.faultPlan = &plan;
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.timeoutCycles = 50;
+    cfg.watchdog.maxAttempts = 5;
+    Machine m(cfg);
+    m.loadProgram(0, assembleOrDie(loopSource(3, 1, 1, 0b11)));
+    m.loadProgram(1, assembleOrDie(loopSource(3, 300, 1, 0b11)));
+    auto r = m.run();
+
+    EXPECT_FALSE(r.deadlocked) << r.deadlockInfo;
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_TRUE(r.deadDeclared.empty());
+    EXPECT_TRUE(r.recoveries.empty());
+    EXPECT_GT(r.watchdogStats.timeouts, 0u);
+    EXPECT_EQ(r.watchdogStats.deadDeclared, 0u);
+    EXPECT_EQ(r.syncEvents, 3u);
+    EXPECT_EQ(m.checkSafetyProperty(), "");
+}
+
+TEST(FaultTest, FatalFreezeWithoutWatchdogIsAReportedDeadlock)
+{
+    // Without a watchdog a forever-frozen blocker wedges its group;
+    // the machine must diagnose that as a deadlock with a full report,
+    // not spin to the cycle guard.
+    MachineConfig cfg = config(2);
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::parse("freeze@20:1", plan, err)) << err;
+    cfg.faultPlan = &plan;
+    Machine m(cfg);
+    m.loadProgram(0, assembleOrDie(loopSource(5, 6, 1, 0b11)));
+    m.loadProgram(1, assembleOrDie(loopSource(5, 6, 1, 0b11)));
+    auto r = m.run();
+    EXPECT_TRUE(r.deadlocked);
+    EXPECT_NE(r.deadlockInfo, "");
+}
+
+TEST(FaultTest, DeadlockReportNamesStuckProcessorsAndBlockers)
+{
+    // cpu1 halts without ever joining the group; cpu0 waits forever.
+    // The DeadlockReport must name the stuck processor, its FSM
+    // state, its tag, and the unsatisfied mask bits.
+    MachineConfig cfg = config(2);
+    Machine m(cfg);
+    m.loadProgram(0, assembleOrDie(loopSource(1, 1, 1, 0b11)));
+    m.loadProgram(1, assembleOrDie("halt\n"));
+    auto r = m.run();
+    EXPECT_TRUE(r.deadlocked);
+    EXPECT_NE(r.deadlockInfo.find("barrier deadlock"),
+              std::string::npos)
+        << r.deadlockInfo;
+    EXPECT_NE(r.deadlockInfo.find("cpu0"), std::string::npos);
+    EXPECT_NE(r.deadlockInfo.find("tag=1"), std::string::npos);
+    EXPECT_NE(r.deadlockInfo.find("waiting-on={cpu1}"),
+              std::string::npos)
+        << r.deadlockInfo;
+}
+
+} // namespace
+} // namespace fb::fault

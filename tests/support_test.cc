@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "support/bitvector.hh"
+#include "support/logging.hh"
 #include "support/random.hh"
 #include "support/stats.hh"
 #include "support/strutil.hh"
@@ -18,6 +19,17 @@ namespace fb
 {
 namespace
 {
+
+int
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    int n = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
 
 // ---------------------------------------------------------------- BitVector
 
@@ -351,6 +363,42 @@ TEST(Table, UnsignedAndPrecision)
     t.print(oss);
     EXPECT_NE(oss.str().find("18446744073709551615"), std::string::npos);
     EXPECT_NE(oss.str().find("1.2346"), std::string::npos);
+}
+
+// Repeat-suppressing warnings share process-global per-key counters,
+// so every test below uses its own unique key.
+
+TEST(Logging, WarnOnceReportsOnlyTheFirstOccurrence)
+{
+    ::testing::internal::CaptureStderr();
+    warnOnce("test.once.a", "the first report");
+    warnOnce("test.once.a", "the first report");
+    warnOnce("test.once.a", "the first report");
+    warnOnce("test.once.b", "a different key still reports");
+    std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(countOccurrences(out, "the first report"), 1);
+    EXPECT_EQ(countOccurrences(out, "a different key still reports"),
+              1);
+}
+
+TEST(Logging, WarnRatelimitedReportsEveryNth)
+{
+    ::testing::internal::CaptureStderr();
+    for (int i = 0; i < 25; ++i)
+        warnRatelimited("test.rate.a", "noisy condition", 10);
+    std::string out = ::testing::internal::GetCapturedStderr();
+    // Occurrences 1, 11, and 21 report; the rest are suppressed.
+    EXPECT_EQ(countOccurrences(out, "noisy condition"), 3);
+    EXPECT_NE(out.find("suppressed"), std::string::npos);
+}
+
+TEST(Logging, WarnRatelimitedEveryOneNeverSuppresses)
+{
+    ::testing::internal::CaptureStderr();
+    for (int i = 0; i < 5; ++i)
+        warnRatelimited("test.rate.b", "always", 1);
+    std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(countOccurrences(out, "always"), 5);
 }
 
 } // namespace

@@ -288,6 +288,93 @@ TEST(BlockingBarrier, LateWaiterSkipsBlock)
     other.join();
 }
 
+TEST_P(BarrierKindTest, WaitForTimesOutThenResumes)
+{
+    // One thread arrives alone: waitFor must report a timeout without
+    // losing the armed episode, and succeed once the partner shows up.
+    auto bar = makeBarrier(GetParam(), 2);
+    bar->arrive(0);
+    EXPECT_FALSE(bar->waitFor(0, std::chrono::microseconds(500)));
+    EXPECT_FALSE(bar->waitFor(0, std::chrono::microseconds(500)));
+    std::thread other([&] { bar->synchronize(1); });
+    EXPECT_TRUE(bar->waitFor(0, std::chrono::seconds(30)));
+    other.join();
+
+    // The barrier must still work for a subsequent episode.
+    std::thread again([&] { bar->synchronize(1); });
+    bar->synchronize(0);
+    again.join();
+}
+
+TEST_P(BarrierKindTest, WaitForCompletedEpisodeReturnsImmediately)
+{
+    auto bar = makeBarrier(GetParam(), 1);
+    bar->arrive(0);
+    EXPECT_TRUE(bar->waitFor(0, std::chrono::microseconds(0)));
+}
+
+TEST_P(BarrierKindTest, WaitWithRetryBacksOffThenGivesUp)
+{
+    // No partner ever arrives: every attempt must be spent, and the
+    // caller is told the episode did not complete.
+    auto bar = makeBarrier(GetParam(), 2);
+    bar->arrive(0);
+    auto r = waitWithRetry(*bar, 0, std::chrono::microseconds(200), 3);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.attempts, 3);
+
+    // A late partner is still recoverable after the retries failed.
+    std::thread other([&] { bar->synchronize(1); });
+    auto r2 =
+        waitWithRetry(*bar, 0, std::chrono::microseconds(1000), 10);
+    EXPECT_TRUE(r2.completed);
+    other.join();
+}
+
+TEST_P(BarrierKindTest, DegradedRebuildAfterDetectedDeath)
+{
+    // The software recovery protocol: 4 threads synchronize, thread 3
+    // dies (stops participating), survivors detect the loss via
+    // waitWithRetry exhaustion and rebuild a 3-thread barrier with
+    // remapped ranks to finish the remaining episodes.
+    const int threads = 4;
+    const int episodes = 6;
+    const int kill_at = 3;
+    auto full = makeBarrier(GetParam(), threads);
+    auto degraded = makeBarrier(GetParam(), threads - 1);
+    std::atomic<int> detections{0};
+    std::atomic<int> completed{0};
+
+    auto survivor = [&](int tid) {
+        for (int e = 0; e < kill_at; ++e)
+            full->synchronize(tid);
+        full->arrive(tid);
+        auto r = waitWithRetry(*full, tid,
+                               std::chrono::microseconds(300), 3);
+        if (!r.completed)
+            detections.fetch_add(1);
+        // Rank remap: dense ids over the survivor set.
+        const int rank = tid < 3 ? tid : tid - 1;
+        for (int e = kill_at; e < episodes; ++e)
+            degraded->synchronize(rank);
+        completed.fetch_add(1);
+    };
+    auto victim = [&] {
+        for (int e = 0; e < kill_at; ++e)
+            full->synchronize(3);
+        // Fail-stop: never arrives again.
+    };
+
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads - 1; ++t)
+        pool.emplace_back(survivor, t);
+    pool.emplace_back(victim);
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(detections.load(), threads - 1);
+    EXPECT_EQ(completed.load(), threads - 1);
+}
+
 TEST(StdBarrierAdapter, TokensAlternate)
 {
     StdBarrierAdapter bar(2);

@@ -23,6 +23,11 @@
  *   --out FILE     reproducer output path (default fbfuzz-<seed>.fbrepro)
  *   --save FILE    write the reproducer for --seed's scenario and exit
  *   --no-swref     skip the software-barrier thread cross-check
+ *   --faults       inject a seeded random fault schedule per scenario
+ *                  (kills/freezes/pulse drops/bit flips; enables the
+ *                  barrier watchdog and the fault-safety and
+ *                  recovery-liveness oracles)
+ *   --fault-seed S base for fault-plan derivation (default: spec seed)
  *   --max-cycles N per-run cycle guard (default 5,000,000)
  *   --quiet        only print failures and the final summary
  *
@@ -37,6 +42,7 @@
 #include <sstream>
 #include <string>
 
+#include "fault/plan.hh"
 #include "support/strutil.hh"
 #include "verify/differ.hh"
 #include "verify/generator.hh"
@@ -71,6 +77,8 @@ struct Options
     std::string outFile;
     bool minimize = false;
     bool swref = true;
+    bool faults = false;
+    std::uint64_t faultSeed = 0;  ///< 0 = derive from the spec seed
     std::uint64_t maxCycles = 5'000'000;
     bool quiet = false;
 };
@@ -108,6 +116,12 @@ parseArgs(int argc, char **argv)
             opt.minimize = true;
         else if (arg == "--no-swref")
             opt.swref = false;
+        else if (arg == "--faults")
+            opt.faults = true;
+        else if (arg == "--fault-seed") {
+            opt.faultSeed = static_cast<std::uint64_t>(nextInt());
+            opt.faults = true;
+        }
         else if (arg == "--max-cycles")
             opt.maxCycles = static_cast<std::uint64_t>(nextInt());
         else if (arg == "--quiet")
@@ -120,6 +134,28 @@ parseArgs(int argc, char **argv)
     if (!opt.replayFile.empty() && !opt.saveFile.empty())
         usage("--replay and --save are mutually exclusive");
     return opt;
+}
+
+/**
+ * Attach a seeded random fault schedule to @p spec. The plan seed is
+ * derived per-scenario so every fuzz run sees a different schedule,
+ * yet (seed, fault-seed) reproduces the exact same plan; the watchdog
+ * is always enabled because the plan may contain a fatal fault.
+ */
+void
+applyFaults(verify::ProgramSpec &spec, const Options &opt,
+            std::uint64_t spec_seed)
+{
+    if (!opt.faults)
+        return;
+    const std::uint64_t fs =
+        opt.faultSeed != 0 ? opt.faultSeed + spec_seed : spec_seed;
+    spec.faults =
+        fault::randomFaultPlan(fs, spec.procs(), spec.groupSizes);
+    spec.faultSeed = fs;
+    spec.watchdog.enabled = true;
+    spec.watchdog.timeoutCycles = 2000;
+    spec.watchdog.maxAttempts = 3;
 }
 
 verify::DiffOptions
@@ -220,17 +256,28 @@ fuzzMain(const Options &opt)
     for (int i = 0; i < opt.runs; ++i) {
         const std::uint64_t specSeed = opt.seed + static_cast<std::uint64_t>(i);
         auto spec = verify::randomSpec(specSeed);
+        applyFaults(spec, opt, specSeed);
         auto sc = verify::render(spec);
         auto rep = verify::runDifferential(sc, d);
         if (!rep.ok) {
             std::printf("FAIL seed=%llu procs=%d groups=%d episodes=%d "
-                        "encoding=%s\n  executor %s: %s\n",
+                        "encoding=%s%s%s\n  executor %s: %s\n",
                         static_cast<unsigned long long>(specSeed),
                         sc.procs(), sc.groups(), sc.episodes,
                         verify::encodingName(sc.encoding),
+                        sc.hasFaults() ? " faults=" : "",
+                        sc.hasFaults() ? sc.faults.toSpec().c_str() : "",
                         rep.variant.c_str(), rep.failure.c_str());
-            std::printf("reproduce with: fbfuzz --seed %llu --runs 1\n",
-                        static_cast<unsigned long long>(specSeed));
+            std::string faultFlags;
+            if (opt.faults) {
+                faultFlags = " --faults";
+                if (opt.faultSeed != 0)
+                    faultFlags += " --fault-seed " +
+                                  std::to_string(opt.faultSeed);
+            }
+            std::printf("reproduce with: fbfuzz --seed %llu --runs 1%s\n",
+                        static_cast<unsigned long long>(specSeed),
+                        faultFlags.c_str());
             if (opt.minimize)
                 minimizeAndSave(spec, opt);
             return 1;
@@ -258,6 +305,7 @@ main(int argc, char **argv)
 
     if (!opt.saveFile.empty()) {
         auto spec = verify::randomSpec(opt.seed);
+        applyFaults(spec, opt, opt.seed);
         auto sc = verify::render(spec);
         auto rep = verify::runDifferential(sc, diffOptions(opt));
         std::printf("seed %llu: %s",

@@ -23,6 +23,12 @@
  *   --trace [WIDTH]      print the barrier timeline (default width 100)
  *   --dump ADDR:COUNT    dump memory words after the run
  *   --reg P:R:VALUE      preset register R of processor P
+ *   --fault SPEC         inject faults: comma-separated kind@cycle:proc[:arg]
+ *                        (kinds: droppulse, fliptag, flipmask, kill,
+ *                        freeze, irqstorm); repeatable
+ *   --fault-seed S       additionally inject a random seeded fault plan
+ *   --watchdog T[:A]     barrier watchdog: timeout cycles and re-arm
+ *                        attempts (default attempts 3)
  *   --max-cycles N       runaway guard (default 200M)
  *   --check              only run the static region-branch check
  */
@@ -36,6 +42,8 @@
 #include <vector>
 
 #include "core/fuzzy_barrier.hh"
+#include "fault/plan.hh"
+#include "fault/watchdog.hh"
 #include "support/strutil.hh"
 
 namespace
@@ -81,6 +89,9 @@ struct Options
     std::size_t traceWidth = 100;
     bool checkOnly = false;
     std::uint64_t maxCycles = 200'000'000;
+    std::string faultSpec;
+    std::uint64_t faultSeed = 0;
+    fb::fault::WatchdogConfig watchdog;
     std::vector<std::string> files;
     struct RegPreset
     {
@@ -186,6 +197,27 @@ parseArgs(int argc, char **argv)
                 {static_cast<int>(parseIntOrDie(parts[0], "proc")),
                  static_cast<int>(parseIntOrDie(parts[1], "reg")),
                  parseIntOrDie(parts[2], "value")});
+        } else if (arg == "--fault") {
+            std::string spec = next();
+            if (!opt.faultSpec.empty())
+                opt.faultSpec += ",";
+            opt.faultSpec += spec;
+        } else if (arg == "--fault-seed") {
+            opt.faultSeed = static_cast<std::uint64_t>(
+                parseIntOrDie(next(), "--fault-seed"));
+        } else if (arg == "--watchdog") {
+            auto parts = split(next(), ':');
+            if (parts.empty() || parts.size() > 2)
+                usage("--watchdog TIMEOUT[:ATTEMPTS]");
+            opt.watchdog.enabled = true;
+            opt.watchdog.timeoutCycles = static_cast<std::uint64_t>(
+                parseIntOrDie(parts[0], "watchdog timeout"));
+            if (parts.size() == 2)
+                opt.watchdog.maxAttempts = static_cast<int>(
+                    parseIntOrDie(parts[1], "watchdog attempts"));
+            if (opt.watchdog.timeoutCycles == 0 ||
+                opt.watchdog.maxAttempts < 1)
+                usage("--watchdog needs timeout >= 1 and attempts >= 1");
         } else if (arg == "--max-cycles") {
             opt.maxCycles = static_cast<std::uint64_t>(
                 parseIntOrDie(next(), "--max-cycles"));
@@ -238,6 +270,30 @@ main(int argc, char **argv)
     const int procs = opt.procs != 0 ? opt.procs
                                      : static_cast<int>(programs.size());
 
+    fault::FaultPlan plan;
+    if (!opt.faultSpec.empty()) {
+        std::string err;
+        if (!fault::FaultPlan::parse(opt.faultSpec, plan, err)) {
+            std::fprintf(stderr, "fbsim: --fault: %s\n", err.c_str());
+            return 2;
+        }
+    }
+    if (opt.faultSeed != 0) {
+        auto random = fault::randomFaultPlan(
+            opt.faultSeed, procs, {procs});
+        plan.events.insert(plan.events.end(), random.events.begin(),
+                           random.events.end());
+        plan.normalize();
+    }
+    for (const auto &ev : plan.events) {
+        if (ev.proc < 0 || ev.proc >= procs) {
+            std::fprintf(stderr,
+                         "fbsim: fault targets cpu%d of %d\n", ev.proc,
+                         procs);
+            return 2;
+        }
+    }
+
     sim::MachineConfig cfg;
     cfg.numProcessors = procs;
     cfg.jitterMean = opt.jitter;
@@ -257,6 +313,9 @@ main(int argc, char **argv)
         cfg.interruptPeriod = opt.interruptPeriod;
         cfg.isrEntry = static_cast<std::int64_t>(*entry);
     }
+    if (!plan.empty())
+        cfg.faultPlan = &plan;
+    cfg.watchdog = opt.watchdog;
 
     sim::Machine machine(cfg);
     for (int p = 0; p < procs; ++p)
@@ -300,6 +359,39 @@ main(int argc, char **argv)
     std::printf("safety:       %s\n",
                 safety.empty() ? "OK" : safety.c_str());
 
+    if (!plan.empty()) {
+        const auto &fs = result.faultStats;
+        std::printf("faults:       plan=%s\n", plan.toSpec().c_str());
+        std::printf("              pulse-drop cycles=%llu, bits "
+                    "flipped=%llu (corrected %llu), kills=%llu, "
+                    "freezes=%llu, forced irqs=%llu\n",
+                    static_cast<unsigned long long>(fs.pulseDropCycles),
+                    static_cast<unsigned long long>(fs.bitsFlipped),
+                    static_cast<unsigned long long>(result.correctedFaults),
+                    static_cast<unsigned long long>(fs.kills),
+                    static_cast<unsigned long long>(fs.freezes),
+                    static_cast<unsigned long long>(fs.forcedInterrupts));
+        std::printf("membership:   %s\n",
+                    result.membershipViolation.empty()
+                        ? "OK"
+                        : result.membershipViolation.c_str());
+    }
+    if (opt.watchdog.enabled) {
+        const auto &ws = result.watchdogStats;
+        std::printf("watchdog:     timeouts=%llu rearms=%llu "
+                    "dead-declared=%llu\n",
+                    static_cast<unsigned long long>(ws.timeouts),
+                    static_cast<unsigned long long>(ws.rearms),
+                    static_cast<unsigned long long>(ws.deadDeclared));
+        for (const auto &rec : result.recoveries) {
+            std::printf("recovery:     cpu%d declared dead at cycle %llu;"
+                        " %zu survivor(s) shrank masks\n",
+                        rec.deadProc,
+                        static_cast<unsigned long long>(rec.cycle),
+                        rec.survivors.size());
+        }
+    }
+
     if (opt.trace && machine.trace())
         std::printf("\n%s", machine.trace()->render(opt.traceWidth).c_str());
 
@@ -312,5 +404,8 @@ main(int argc, char **argv)
                             machine.memory().peek(dump.addr + k)));
         std::printf("\n");
     }
-    return result.deadlocked || result.timedOut ? 1 : 0;
+    return result.deadlocked || result.timedOut ||
+                   !result.membershipViolation.empty()
+               ? 1
+               : 0;
 }
