@@ -9,6 +9,7 @@
 #ifndef FB_BENCH_COMMON_HH
 #define FB_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <cstdlib>
@@ -16,10 +17,60 @@
 
 #include "core/fuzzy_barrier.hh"
 #include "core/barrierprogs.hh"
+#include "sim/machine.hh"
 #include "support/table.hh"
 
 namespace fb::bench
 {
+
+/** Running total of simulated cycles over every run in this bench
+ * process. Printed at exit as a machine-parsable tally line so
+ * bench/run_all.sh can turn wall-clock time into cycles/sec. */
+inline std::uint64_t &
+simCycleTally()
+{
+    static std::uint64_t tally = 0;
+    return tally;
+}
+
+/** Environment knobs honoured by every bench: FB_NO_FAST_FORWARD=1
+ * forces the legacy per-cycle loop (MachineConfig::fastForward off)
+ * so run_all.sh can measure the fast-forward speedup on identical
+ * workloads. */
+inline void
+applyEnvOverrides(sim::MachineConfig &cfg)
+{
+    const char *v = std::getenv("FB_NO_FAST_FORWARD");
+    if (v != nullptr && v[0] == '1')
+        cfg.fastForward = false;
+}
+
+/** Fold one run's cycle count into the process tally; the first call
+ * arms the atexit tally line. */
+inline void
+tallyCycles(const sim::RunResult &r)
+{
+    static const bool armed = [] {
+        std::atexit([] {
+            std::printf("total-sim-cycles: %llu\n",
+                        static_cast<unsigned long long>(simCycleTally()));
+        });
+        return true;
+    }();
+    (void)armed;
+    simCycleTally() += r.cycles;
+}
+
+/** Run the machine and tally its cycles. All bench executions that
+ * own their Machine go through here; benches that run via a core::
+ * helper call tallyCycles() on the returned result instead. */
+inline sim::RunResult
+runTallied(sim::Machine &machine)
+{
+    auto r = machine.run();
+    tallyCycles(r);
+    return r;
+}
 
 /** Assemble or abort: bench programs are generated, so failure is a
  * harness bug. */

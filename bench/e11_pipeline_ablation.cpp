@@ -38,13 +38,14 @@ waitPerEpisode(int depth, int region)
     cfg.pipelineDepth = depth;
     cfg.jitterMean = 1.0;
     cfg.seed = 11;
+    applyEnvOverrides(cfg);
     sim::Machine machine(cfg);
     for (int p = 0; p < kProcs; ++p)
         machine.loadProgram(
             p, core::buildBarrierLoop(core::SimBarrierKind::HardwareFuzzy,
                                       kProcs, p, kEpisodes, kWork,
                                       region));
-    auto r = machine.run();
+    auto r = runTallied(machine);
     if (r.deadlocked || r.timedOut) {
         std::fprintf(stderr, "E11 run failed\n");
         std::exit(1);

@@ -67,6 +67,7 @@ measure(int regions_per_iter, int work, int region)
         sim::MachineConfig cfg;
         cfg.numProcessors = kProcs;
         cfg.memWords = 1 << 14;
+        applyEnvOverrides(cfg);
         sim::Machine machine(cfg);
         std::size_t size = 0;
         for (int p = 0; p < kProcs; ++p) {
@@ -77,7 +78,7 @@ measure(int regions_per_iter, int work, int region)
             size = prog.size();
             machine.loadProgram(p, std::move(prog));
         }
-        auto r = machine.run();
+        auto r = runTallied(machine);
         if (r.deadlocked || r.timedOut) {
             std::fprintf(stderr, "E12 run failed\n");
             std::exit(1);

@@ -147,12 +147,13 @@ runShrunk(int distance, bool fuzzy)
     cfg.memWords = 2048;
     cfg.maxCycles = 100'000'000;
     cfg.busKind = sim::BusKind::Banked;
+    applyEnvOverrides(cfg);
     sim::Machine m(cfg);
     for (int p = 0; p < distance; ++p)
         m.loadProgram(p,
                       assembleOrDie(shrunkSource(distance, p, fuzzy,
                                                  layout)));
-    auto r = m.run();
+    auto r = runTallied(m);
     if (r.deadlocked || r.timedOut) {
         std::fprintf(stderr, "E13 run failed (d=%d)\n", distance);
         std::exit(1);
@@ -172,9 +173,10 @@ runSequential(int distance)
     cfg.numProcessors = 1;
     cfg.memWords = 2048;
     cfg.busKind = sim::BusKind::Banked;
+    applyEnvOverrides(cfg);
     sim::Machine m(cfg);
     m.loadProgram(0, assembleOrDie(sequentialSource(distance)));
-    auto r = m.run();
+    auto r = runTallied(m);
     return r.cycles;
 }
 

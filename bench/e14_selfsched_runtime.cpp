@@ -107,11 +107,12 @@ measure(bool self_sched)
     cfg.memWords = 4096;
     cfg.maxCycles = 50'000'000;
     cfg.busKind = sim::BusKind::Banked;
+    applyEnvOverrides(cfg);
     sim::Machine m(cfg);
     for (int p = 0; p < kProcs; ++p)
         m.loadProgram(p, assembleOrDie(self_sched ? selfSchedSource()
                                                   : staticSource(p)));
-    auto r = m.run();
+    auto r = runTallied(m);
     if (r.deadlocked || r.timedOut) {
         std::fprintf(stderr, "E14 run failed\n");
         std::exit(1);

@@ -31,13 +31,14 @@ costPerEpisode(std::uint32_t latency, int region)
     cfg.numProcessors = kProcs;
     cfg.memWords = 1 << 14;
     cfg.syncLatency = latency;
+    applyEnvOverrides(cfg);
     sim::Machine machine(cfg);
     for (int p = 0; p < kProcs; ++p)
         machine.loadProgram(
             p, core::buildBarrierLoop(core::SimBarrierKind::HardwareFuzzy,
                                       kProcs, p, kEpisodes, kWork,
                                       region));
-    auto r = machine.run();
+    auto r = runTallied(machine);
     if (r.deadlocked || r.timedOut) {
         std::fprintf(stderr, "E15 run failed\n");
         std::exit(1);

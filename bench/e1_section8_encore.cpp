@@ -56,6 +56,7 @@ measure(double fraction)
     cfg.stall = sim::StallModel::software(65'000, 65'000);
     cfg.maxCycles = 2'000'000'000;
 
+    applyEnvOverrides(cfg);
     sim::Machine machine(cfg);
     for (int p = 0; p < procs; ++p) {
         machine.loadProgram(
@@ -63,7 +64,7 @@ measure(double fraction)
                                       procs, p, episodes, work_instrs,
                                       region_instrs));
     }
-    auto r = machine.run();
+    auto r = runTallied(machine);
     if (r.deadlocked || r.timedOut) {
         std::fprintf(stderr, "E1 run failed (deadlock/timeout)\n");
         std::exit(1);

@@ -82,13 +82,14 @@ measure(int procs, int heavy_extra, bool if_in_region)
     cfg.numProcessors = procs;
     cfg.memWords = 1 << 14;
     cfg.seed = 7;
+    applyEnvOverrides(cfg);
     sim::Machine machine(cfg);
     for (int p = 0; p < procs; ++p) {
         machine.loadProgram(
             p, assembleOrDie(streamSource(procs, 1234 + 77 * p,
                                           heavy_extra, if_in_region)));
     }
-    auto r = machine.run();
+    auto r = runTallied(machine);
     if (r.deadlocked || r.timedOut) {
         std::fprintf(stderr, "E2 run failed\n");
         std::exit(1);

@@ -41,9 +41,12 @@ main()
             cfg.memWords = 1 << 15;
             cfg.jitterMean = jitter;
             cfg.seed = 31337;
+            applyEnvOverrides(cfg);
 
             auto fuzzy = core::runLexForward(wl, cfg, true);
             auto point = core::runLexForward(wl, cfg, false);
+            tallyCycles(fuzzy.result);
+            tallyCycles(point.result);
 
             table.row()
                 .cell(static_cast<std::int64_t>(n))

@@ -104,12 +104,13 @@ measure(bool rotating, bool fuzzy)
     sim::MachineConfig cfg;
     cfg.numProcessors = kProcs;
     cfg.memWords = 1 << 14;
+    applyEnvOverrides(cfg);
     sim::Machine machine(cfg);
     for (int p = 0; p < kProcs; ++p)
         machine.loadProgram(p,
                             assembleOrDie(streamSource(p, rotating,
                                                        fuzzy)));
-    auto r = machine.run();
+    auto r = runTallied(machine);
     if (r.deadlocked || r.timedOut) {
         std::fprintf(stderr, "E4 run failed\n");
         std::exit(1);

@@ -132,11 +132,12 @@ measure(Policy policy, bool fuzzy)
     sim::MachineConfig cfg;
     cfg.numProcessors = kProcs;
     cfg.memWords = 1 << 14;
+    applyEnvOverrides(cfg);
     sim::Machine machine(cfg);
     for (int p = 0; p < kProcs; ++p)
         machine.loadProgram(p,
                             assembleOrDie(streamSource(p, policy, fuzzy)));
-    auto r = machine.run();
+    auto r = runTallied(machine);
     if (r.deadlocked || r.timedOut) {
         std::fprintf(stderr, "E5 run failed\n");
         std::exit(1);

@@ -103,11 +103,12 @@ measure(bool distributed)
     sim::MachineConfig cfg;
     cfg.numProcessors = kProcs;
     cfg.memWords = 1 << 14;
+    applyEnvOverrides(cfg);
     sim::Machine machine(cfg);
     for (int p = 0; p < kProcs; ++p)
         machine.loadProgram(
             p, assembleOrDie(streamSource(distributed, 555 + 97 * p)));
-    auto r = machine.run();
+    auto r = runTallied(machine);
     if (r.deadlocked || r.timedOut) {
         std::fprintf(stderr, "E6 run failed\n");
         std::exit(1);

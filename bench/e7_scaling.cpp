@@ -39,12 +39,13 @@ perEpisodeCost(core::SimBarrierKind kind, int procs)
     // uses the single shared bus instead and shows what happens when
     // everything serializes.)
     cfg.busKind = sim::BusKind::Banked;
+    applyEnvOverrides(cfg);
     sim::Machine machine(cfg);
     for (int p = 0; p < procs; ++p)
         machine.loadProgram(
             p, core::buildBarrierLoop(kind, procs, p, kEpisodes, kWork,
                                       /*region_instrs=*/4));
-    auto r = machine.run();
+    auto r = runTallied(machine);
     if (r.deadlocked || r.timedOut) {
         std::fprintf(stderr, "E7 run failed for %s at P=%d\n",
                      core::simBarrierKindName(kind), procs);
@@ -58,11 +59,52 @@ perEpisodeCost(core::SimBarrierKind kind, int procs)
            static_cast<double>(kEpisodes);
 }
 
+/**
+ * --ff-stress: a fast-forward showcase rather than a paper claim.
+ * 64 processors run a hardware-fuzzy barrier loop through a
+ * high-latency broadcast network (syncLatency 1024, section 6's
+ * large-machine regime), so almost every cycle is spent with every
+ * core stalled waiting for the propagation delay — exactly the
+ * waiting the event-driven core skips. run_all.sh times this mode
+ * with and without FB_NO_FAST_FORWARD to report the speedup.
+ */
+int
+ffStress()
+{
+    constexpr int procs = 64;
+    constexpr int episodes = 200;
+    constexpr int work = 10;
+    sim::MachineConfig cfg;
+    cfg.numProcessors = procs;
+    cfg.memWords = 1 << 14;
+    cfg.maxCycles = 500'000'000;
+    cfg.syncLatency = 1024;
+    applyEnvOverrides(cfg);
+    sim::Machine machine(cfg);
+    for (int p = 0; p < procs; ++p)
+        machine.loadProgram(
+            p, core::buildBarrierLoop(core::SimBarrierKind::HardwareFuzzy,
+                                      procs, p, episodes, work,
+                                      /*region_instrs=*/4));
+    auto r = runTallied(machine);
+    if (r.deadlocked || r.timedOut) {
+        std::fprintf(stderr, "E7 --ff-stress run failed\n");
+        return 1;
+    }
+    std::printf("E7 ff-stress: procs=%d episodes=%d syncLatency=%u "
+                "cycles=%llu\n",
+                procs, episodes, cfg.syncLatency,
+                static_cast<unsigned long long>(r.cycles));
+    return 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (argc > 1 && std::string(argv[1]) == "--ff-stress")
+        return ffStress();
     fb::Table table("E7 (section 1): per-episode barrier cost vs "
                     "processor count (cycles beyond work)");
     table.setHeader({"procs", "sw-centralized", "sw-dissemination",

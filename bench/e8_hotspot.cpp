@@ -37,12 +37,13 @@ measure(core::SimBarrierKind kind, int procs)
     cfg.numProcessors = procs;
     cfg.memWords = 1 << 14;
     cfg.maxCycles = 500'000'000;
+    applyEnvOverrides(cfg);
     sim::Machine machine(cfg);
     for (int p = 0; p < procs; ++p)
         machine.loadProgram(p, core::buildBarrierLoop(kind, procs, p,
                                                       kEpisodes, kWork,
                                                       4));
-    auto r = machine.run();
+    auto r = runTallied(machine);
     if (r.deadlocked || r.timedOut) {
         std::fprintf(stderr, "E8 run failed\n");
         std::exit(1);
@@ -51,11 +52,51 @@ measure(core::SimBarrierKind kind, int procs)
             r.busQueueDelay};
 }
 
+/**
+ * --ff-stress: like E7's, a showcase for the event-driven core. The
+ * hardware-fuzzy barrier performs no shared-memory traffic, so with
+ * a slow broadcast network (syncLatency 2048) the bus sits idle and
+ * every core waits out the propagation delay each episode — long
+ * pure-wait stretches the fast-forward skips in one jump.
+ */
+int
+ffStress()
+{
+    constexpr int procs = 64;
+    constexpr int episodes = 150;
+    constexpr int work = 10;
+    sim::MachineConfig cfg;
+    cfg.numProcessors = procs;
+    cfg.memWords = 1 << 14;
+    cfg.maxCycles = 500'000'000;
+    cfg.syncLatency = 2048;
+    applyEnvOverrides(cfg);
+    sim::Machine machine(cfg);
+    for (int p = 0; p < procs; ++p)
+        machine.loadProgram(
+            p, core::buildBarrierLoop(core::SimBarrierKind::HardwareFuzzy,
+                                      procs, p, episodes, work,
+                                      /*region_instrs=*/4));
+    auto r = runTallied(machine);
+    if (r.deadlocked || r.timedOut) {
+        std::fprintf(stderr, "E8 --ff-stress run failed\n");
+        return 1;
+    }
+    std::printf("E8 ff-stress: procs=%d episodes=%d syncLatency=%u "
+                "cycles=%llu memAccesses=%llu\n",
+                procs, episodes, cfg.syncLatency,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.memAccesses));
+    return 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (argc > 1 && std::string(argv[1]) == "--ff-stress")
+        return ffStress();
     fb::Table table("E8 (sections 1/6): shared-memory traffic of "
                     "synchronization, 25 episodes");
     table.setHeader({"procs", "barrier", "mem accesses",

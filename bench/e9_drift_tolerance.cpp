@@ -40,13 +40,14 @@ measure(int region, double jitter)
     cfg.jitterMean = jitter;
     cfg.seed = 4242;
     cfg.maxCycles = 500'000'000;
+    applyEnvOverrides(cfg);
     sim::Machine machine(cfg);
     for (int p = 0; p < kProcs; ++p)
         machine.loadProgram(
             p, core::buildBarrierLoop(core::SimBarrierKind::HardwareFuzzy,
                                       kProcs, p, kEpisodes, kWork,
                                       region));
-    auto r = machine.run();
+    auto r = runTallied(machine);
     if (r.deadlocked || r.timedOut) {
         std::fprintf(stderr, "E9 run failed\n");
         std::exit(1);

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Run every experiment binary (bench/e*) and emit a machine-readable
+# BENCH_<date>.json with wall-clock time, simulated cycles (from the
+# "total-sim-cycles:" tally each bench prints at exit), and simulation
+# throughput in cycles/sec. For E7 and E8 the --ff-stress mode is also
+# timed with and without FB_NO_FAST_FORWARD=1 to report the speedup of
+# the event-driven fast-forward core over the legacy per-cycle loop.
+#
+# Usage: bench/run_all.sh [build-dir]     (default: build)
+# Output: BENCH_<YYYYMMDD>.json in the current directory, or $BENCH_OUT.
+# Exit status: nonzero if any bench binary failed.
+set -u
+
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+OUT="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
+
+if [ ! -d "$BENCH_DIR" ]; then
+    echo "run_all: no such directory: $BENCH_DIR" >&2
+    echo "run_all: build first: cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+    exit 2
+fi
+
+FAILURES=0
+ENTRIES=""
+
+# run_one <json-name> <cmd...> — time the command, parse its cycle
+# tally, and append a JSON entry. Sets WALL_S/SIM_CYCLES/STATUS.
+run_one() {
+    local name="$1"
+    shift
+    local start end out
+    start=$(date +%s%N)
+    out="$("$@" 2>&1)"
+    STATUS=$?
+    end=$(date +%s%N)
+    WALL_S=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.6f", (e - s) / 1e9}')
+    SIM_CYCLES=$(printf '%s\n' "$out" |
+        awk '/^total-sim-cycles:/ {c += $2} END {printf "%.0f", c + 0}')
+    local cps
+    cps=$(awk -v c="$SIM_CYCLES" -v w="$WALL_S" \
+        'BEGIN{printf "%.0f", (w > 0) ? c / w : 0}')
+    if [ "$STATUS" -ne 0 ]; then
+        FAILURES=$((FAILURES + 1))
+        echo "run_all: FAIL $name (exit $STATUS)" >&2
+        printf '%s\n' "$out" | tail -5 >&2
+    fi
+    ENTRIES="$ENTRIES  {\"name\": \"$name\", \"wall_seconds\": $WALL_S, \"sim_cycles\": $SIM_CYCLES, \"cycles_per_sec\": $cps, \"exit_status\": $STATUS},
+"
+    echo "run_all: $name wall=${WALL_S}s cycles=$SIM_CYCLES cycles/sec=$cps"
+}
+
+# Every table-style experiment binary. e10_microbench is a
+# google-benchmark harness over the real-thread software barriers (no
+# simulated machine, so its sim_cycles tally is 0 by construction).
+for bench in "$BENCH_DIR"/e*; do
+    [ -x "$bench" ] || continue
+    run_one "$(basename "$bench")" "$bench"
+done
+
+# Fast-forward speedup probes: same workload, event-driven core vs
+# the legacy per-cycle loop. The cycle counts must match exactly (the
+# equivalence invariant); only the wall-clock may differ.
+for stress in e7_scaling e8_hotspot; do
+    [ -x "$BENCH_DIR/$stress" ] || continue
+    run_one "${stress}_ff_stress" "$BENCH_DIR/$stress" --ff-stress
+    ff_wall=$WALL_S
+    ff_cycles=$SIM_CYCLES
+    FB_NO_FAST_FORWARD=1 run_one "${stress}_ff_stress_legacy" \
+        env FB_NO_FAST_FORWARD=1 "$BENCH_DIR/$stress" --ff-stress
+    legacy_wall=$WALL_S
+    legacy_cycles=$SIM_CYCLES
+    if [ "$ff_cycles" != "$legacy_cycles" ]; then
+        echo "run_all: FAIL ${stress}_ff_stress: cycle mismatch ff=$ff_cycles legacy=$legacy_cycles" >&2
+        FAILURES=$((FAILURES + 1))
+    fi
+    speedup=$(awk -v f="$ff_wall" -v l="$legacy_wall" \
+        'BEGIN{printf "%.2f", (f > 0) ? l / f : 0}')
+    ENTRIES="$ENTRIES  {\"name\": \"${stress}_ff_speedup\", \"ff_wall_seconds\": $ff_wall, \"legacy_wall_seconds\": $legacy_wall, \"ff_speedup\": $speedup, \"sim_cycles\": $ff_cycles},
+"
+    echo "run_all: ${stress} fast-forward speedup: ${speedup}x"
+done
+
+{
+    echo "{"
+    echo "\"date\": \"$(date +%Y-%m-%d)\","
+    echo "\"benches\": ["
+    printf '%s' "$ENTRIES" | sed '$ s/},$/}/'
+    echo "]"
+    echo "}"
+} > "$OUT"
+
+echo "run_all: wrote $OUT (${FAILURES} failure(s))"
+exit "$((FAILURES > 0 ? 1 : 0))"

@@ -1,5 +1,6 @@
 #include "barrier/network.hh"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 
@@ -34,9 +35,11 @@ BarrierNetwork::BarrierNetwork(int num_processors,
                                std::uint32_t sync_latency)
     : _syncLatency(sync_latency),
       _deliverAt(static_cast<std::size_t>(num_processors),
-                 std::numeric_limits<std::uint64_t>::max())
+                 std::numeric_limits<std::uint64_t>::max()),
+      _complete(static_cast<std::size_t>(num_processors))
 {
     FB_ASSERT(num_processors > 0, "need at least one processor");
+    _delivered.reserve(static_cast<std::size_t>(num_processors));
     _units.reserve(static_cast<std::size_t>(num_processors));
     for (int p = 0; p < num_processors; ++p)
         _units.emplace_back(num_processors, p);
@@ -101,12 +104,12 @@ BarrierNetwork::evaluate(std::uint64_t now)
 
     // Phase 1: latch which processors see a complete group, based on
     // this cycle's broadcast signals, and start the propagation
-    // clock for groups that just completed.
-    std::vector<bool> complete(static_cast<std::size_t>(numProcessors()));
+    // clock for groups that just completed. (_complete is a member
+    // so the per-cycle evaluation allocates nothing.)
     for (int p = 0; p < numProcessors(); ++p) {
-        complete[static_cast<std::size_t>(p)] = groupComplete(p, now);
+        _complete[static_cast<std::size_t>(p)] = groupComplete(p, now);
         auto &at = _deliverAt[static_cast<std::size_t>(p)];
-        if (complete[static_cast<std::size_t>(p)] && at == none)
+        if (_complete[static_cast<std::size_t>(p)] && at == none)
             at = now + _syncLatency;
     }
 
@@ -118,9 +121,10 @@ BarrierNetwork::evaluate(std::uint64_t now)
     // faults the AND is stable once true and this never fires.
     int delivered = 0;
     bool any_event = false;
+    _delivered.clear();
     for (int p = 0; p < numProcessors(); ++p) {
         auto &at = _deliverAt[static_cast<std::size_t>(p)];
-        if (!complete[static_cast<std::size_t>(p)]) {
+        if (!_complete[static_cast<std::size_t>(p)]) {
             at = none;
             continue;
         }
@@ -128,12 +132,22 @@ BarrierNetwork::evaluate(std::uint64_t now)
             _units[static_cast<std::size_t>(p)].deliverSync();
             at = none;
             ++delivered;
+            _delivered.push_back(p);
             any_event = true;
         }
     }
     if (any_event)
         ++_syncEvents;
     return delivered;
+}
+
+std::uint64_t
+BarrierNetwork::nextDeliveryCycle() const
+{
+    std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
+    for (auto at : _deliverAt)
+        next = std::min(next, at);
+    return next;
 }
 
 bool

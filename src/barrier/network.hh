@@ -114,6 +114,21 @@ class BarrierNetwork
     /** True if processor @p p specifically has a sync in flight. */
     bool deliveryPendingFor(int p) const;
 
+    /**
+     * Earliest cycle at which an in-flight synchronization delivers
+     * (UINT64_MAX when none is pending). Lower bound used by the
+     * fast-forward core; delivery still happens only via evaluate().
+     */
+    std::uint64_t nextDeliveryCycle() const;
+
+    /**
+     * Processors delivered synchronization by the most recent
+     * evaluate() call, in ascending processor order. Each delivery
+     * increments the unit's episode counter, so this is exactly the
+     * set whose episodes() advanced this cycle.
+     */
+    const std::vector<int> &delivered() const { return _delivered; }
+
     /** Completed group synchronizations (each group counts once). */
     std::uint64_t syncEvents() const { return _syncEvents; }
 
@@ -160,6 +175,10 @@ class BarrierNetwork
     /** Cycle at which processor p's pending sync delivers
      * (UINT64_MAX = none). */
     std::vector<std::uint64_t> _deliverAt;
+    /** Scratch for evaluate()'s phase-1 latch (hoisted allocation). */
+    std::vector<bool> _complete;
+    /** Processors delivered by the latest evaluate(), ascending. */
+    std::vector<int> _delivered;
     std::uint64_t _syncEvents = 0;
     std::uint64_t _correctedFaults = 0;
     const ReadyPulseFilter *_filter = nullptr;

@@ -125,6 +125,12 @@ class BarrierUnit
     void tickStalled() { ++_stallCycles; }
 
     /**
+     * Account @p cycles consecutive stalled cycles at once — the
+     * fast-forward core's bulk equivalent of tickStalled().
+     */
+    void tickStalledFor(std::uint64_t cycles) { _stallCycles += cycles; }
+
+    /**
      * Fault injection: flip one bit of the live tag register. The
      * shadow copy is untouched, so the next scrub() restores the tag
      * and reports the correction (modelling an ECC-protected

@@ -1,5 +1,6 @@
 #include "fault/injector.hh"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 
@@ -155,6 +156,47 @@ FaultInjector::pendingActivity(std::uint64_t now) const
             return true;
     }
     return false;
+}
+
+std::uint64_t
+FaultInjector::nextActivityCycle(std::uint64_t now) const
+{
+    constexpr std::uint64_t never =
+        std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t next = never;
+    for (std::size_t i = 0; i < _plan.events.size(); ++i) {
+        const FaultEvent &ev = _plan.events[i];
+        if (now < ev.cycle) {
+            // Not fired yet: the scheduled cycle is the event.
+            next = std::min(next, ev.cycle);
+            continue;
+        }
+        switch (ev.kind) {
+          case FaultKind::DropPulse:
+          case FaultKind::IrqStorm:
+            // Open windows act every cycle (dropped-pulse stats,
+            // forced interrupts) — nothing may be skipped.
+            if (now < windowEnd(ev))
+                return now + 1;
+            break;
+          case FaultKind::Freeze:
+            // A frozen processor next changes behaviour when it
+            // thaws; a fatal freeze (windowEnd = max) never does.
+            if (now < windowEnd(ev))
+                next = std::min(next, windowEnd(ev));
+            break;
+          case FaultKind::FlipTagBit:
+          case FaultKind::FlipMaskBit:
+            if (!_flipApplied[i])
+                return now + 1;
+            break;
+          case FaultKind::Kill:
+            if (!_killReported[i])
+                return now + 1;
+            break;
+        }
+    }
+    return next;
 }
 
 } // namespace fb::fault

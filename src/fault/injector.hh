@@ -71,6 +71,18 @@ class FaultInjector : public barrier::ReadyPulseFilter
      */
     bool pendingActivity(std::uint64_t now) const;
 
+    /**
+     * Earliest cycle after @p now at which the injector changes
+     * machine-visible behaviour (UINT64_MAX = never). Inside an open
+     * drop/storm window every cycle carries per-cycle effects, so the
+     * answer is now + 1; an open freeze window next matters when it
+     * closes; unfired events matter at their scheduled cycle. Used by
+     * the fast-forward core — cycles strictly between now and the
+     * returned value see beginCycle()/killsDue() as pure no-ops and
+     * all the frozen/storm predicates as constant.
+     */
+    std::uint64_t nextActivityCycle(std::uint64_t now) const;
+
     InjectorStats &stats() { return _stats; }
     const InjectorStats &stats() const { return _stats; }
 

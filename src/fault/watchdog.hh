@@ -17,6 +17,7 @@
 #ifndef FB_FAULT_WATCHDOG_HH
 #define FB_FAULT_WATCHDOG_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -79,6 +80,20 @@ class BarrierWatchdog
     /** True while any group timer is armed — the machine must not
      * report deadlock while the watchdog is still deliberating. */
     bool armed() const { return !_timers.empty(); }
+
+    /**
+     * Earliest armed deadline (UINT64_MAX when no timer is armed).
+     * Between deadlines, tick() only re-derives the waiting set —
+     * which is constant while unit states, delivery status and halt
+     * flags are — so the fast-forward core may skip to this cycle.
+     */
+    std::uint64_t nextDeadline() const
+    {
+        std::uint64_t next = ~std::uint64_t{0};
+        for (const auto &[tag, timer] : _timers)
+            next = std::min(next, timer.deadline);
+        return next;
+    }
 
     const WatchdogStats &stats() const { return _stats; }
 

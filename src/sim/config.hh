@@ -165,6 +165,17 @@ struct MachineConfig
     /** Record per-cycle barrier states for the timeline renderer
      * (costs memory proportional to cycles x processors). */
     bool traceBarrierStates = false;
+
+    /**
+     * Event-driven fast-forward: when no processor can make progress
+     * at the current cycle, jump time directly to the next event
+     * (execute completion, barrier delivery, interrupt, fault action,
+     * watchdog deadline) and bulk-account the skipped wait cycles.
+     * All RunResult counters stay bit-identical to the per-cycle
+     * loop; the differential verifier cross-checks the two modes.
+     * Forced off when traceBarrierStates needs per-cycle records.
+     */
+    bool fastForward = true;
 };
 
 } // namespace fb::sim

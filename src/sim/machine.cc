@@ -1,8 +1,8 @@
 #include "sim/machine.hh"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
-#include <map>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -31,7 +31,12 @@ RunResult::maxBarrierWait() const
 /**
  * Per-processor memory port: timing comes from the private cache plus
  * the shared bus; data always comes from shared memory. Stores
- * invalidate the line in every other cache (write-through coherence).
+ * invalidate the line in the other caches that may hold it
+ * (write-through coherence): a per-line sharer mask — a conservative
+ * superset of the caches holding the line, reset to the writer on
+ * every store — replaces the old O(P) broadcast. Invalidating a
+ * cache that merely *might* hold the line is a tag-mismatch no-op,
+ * so the filter never changes behaviour, only the work done.
  */
 class Machine::Port : public MemoryPort
 {
@@ -52,19 +57,43 @@ class Machine::Port : public MemoryPort
     {
         cycles = latency(addr, now);
         _machine._memory->write(addr, value);
-        for (int p = 0; p < _machine.numProcessors(); ++p) {
-            if (p != _cpu)
-                _machine._caches[static_cast<std::size_t>(p)]
-                    ->invalidate(addr);
+        std::size_t line = lineOf(addr);
+        if (line >= _machine._lineSharers.size())
+            return;  // cache model disabled
+        std::uint64_t &sharers = _machine._lineSharers[line];
+        const std::uint64_t self = 1ull << _cpu;
+        std::uint64_t others = sharers & ~self;
+        _machine._invalidationsAvoided +=
+            static_cast<std::uint64_t>(_machine.numProcessors() - 1) -
+            static_cast<std::uint64_t>(std::popcount(others));
+        while (others != 0) {
+            int p = std::countr_zero(others);
+            others &= others - 1;
+            _machine._caches[static_cast<std::size_t>(p)]
+                ->invalidate(addr);
+            ++_machine._invalidationsSent;
         }
+        sharers = self;
     }
 
   private:
+    std::size_t
+    lineOf(std::size_t addr) const
+    {
+        return addr / std::max<std::size_t>(
+                          1, _machine._config.cache.lineWords);
+    }
+
     std::uint32_t
     latency(std::size_t addr, std::uint64_t now)
     {
         auto result =
             _machine._caches[static_cast<std::size_t>(_cpu)]->access(addr);
+        // access() write-allocates, so after any access this cache
+        // may hold the line: record it in the sharer mask.
+        std::size_t line = lineOf(addr);
+        if (line < _machine._lineSharers.size())
+            _machine._lineSharers[line] |= 1ull << _cpu;
         if (result.hit)
             return result.cycles;
         std::uint64_t queue = _machine._bus->request(now, addr);
@@ -108,6 +137,17 @@ Machine::Machine(const MachineConfig &config) : _config(config)
     _openSyncRecord.assign(static_cast<std::size_t>(config.numProcessors),
                            std::numeric_limits<std::size_t>::max());
     _fenced.assign(static_cast<std::size_t>(config.numProcessors), false);
+
+    if (config.cache.enabled) {
+        std::size_t line_words =
+            std::max<std::size_t>(1, config.cache.lineWords);
+        _lineSharers.assign(config.memWords / line_words + 1, 0);
+    }
+    _active.reserve(static_cast<std::size_t>(config.numProcessors));
+    _groupScratch.reserve(static_cast<std::size_t>(config.numProcessors));
+    _traceStates.reserve(static_cast<std::size_t>(config.numProcessors));
+    _traceHalted.reserve(static_cast<std::size_t>(config.numProcessors));
+    _wdHalted.resize(static_cast<std::size_t>(config.numProcessors));
 
     if (config.faultPlan != nullptr && !config.faultPlan->empty()) {
         _injector = std::make_unique<fault::FaultInjector>(
@@ -173,8 +213,16 @@ Machine::run()
 {
     RunResult result;
     const int n = numProcessors();
+    constexpr std::uint64_t never =
+        std::numeric_limits<std::uint64_t>::max();
 
-    std::vector<std::uint64_t> episodes_before(static_cast<std::size_t>(n));
+    // Per-cycle barrier-state tracing needs the loop body to run on
+    // every cycle, so it disables fast-forward.
+    const bool fast_forward = _config.fastForward && !_trace;
+
+    _active.clear();
+    for (int p = 0; p < n; ++p)
+        _active.push_back(p);
 
     for (;;) {
         if (_injector) {
@@ -188,7 +236,7 @@ Machine::run()
                     _processors[static_cast<std::size_t>(d)]->kill();
                 }
             }
-            for (int p = 0; p < n; ++p) {
+            for (int p : _active) {
                 auto &proc = *_processors[static_cast<std::size_t>(p)];
                 if (!_fenced[static_cast<std::size_t>(p)] &&
                     !proc.halted() && _injector->stormActive(p, _now)) {
@@ -201,32 +249,34 @@ Machine::run()
         bool all_halted = true;
         bool any_progress = false;
 
-        for (int p = 0; p < n; ++p) {
-            // A fenced processor was declared dead by the watchdog:
-            // it no longer ticks and counts as halted. A frozen
-            // processor skips its tick; unless frozen forever, it
-            // will resume, so the run must not terminate on it.
+        // Tick the still-active processors in ascending order (tick
+        // order is architectural: FAA atomicity and bus request
+        // ordering depend on it), compacting out the ones that leave
+        // the pool. A fenced processor was declared dead by the
+        // watchdog: it no longer ticks and counts as halted. A frozen
+        // processor skips its tick; unless frozen forever, it will
+        // resume, so the run must not terminate on it.
+        std::size_t out = 0;
+        for (std::size_t idx = 0; idx < _active.size(); ++idx) {
+            int p = _active[idx];
             if (_fenced[static_cast<std::size_t>(p)])
-                continue;
+                continue;  // drop from the active pool
             if (_injector && _injector->frozen(p, _now)) {
                 if (!_injector->frozenForever(p, _now))
                     all_halted = false;
+                _active[out++] = p;
                 continue;
             }
             TickResult tr =
                 _processors[static_cast<std::size_t>(p)]->tick(_now);
-            if (tr != TickResult::Halted)
-                all_halted = false;
+            if (tr == TickResult::Halted)
+                continue;  // halted for good: drop from the pool
+            _active[out++] = p;
+            all_halted = false;
             if (tr == TickResult::Progress)
                 any_progress = true;
         }
-
-        if (_config.recordSyncEvents) {
-            for (int p = 0; p < n; ++p) {
-                episodes_before[static_cast<std::size_t>(p)] =
-                    _network->unit(p).episodes();
-            }
-        }
+        _active.resize(out);
 
         int delivered = _network->evaluate(_now);
         if (delivered > 0 || _network->deliveryPending())
@@ -234,45 +284,57 @@ Machine::run()
 
         if (_config.recordSyncEvents && delivered > 0) {
             // Group the newly synchronized processors by tag; each
-            // group is one completed barrier episode.
-            std::map<std::uint32_t, std::vector<int>> groups;
-            for (int p = 0; p < n; ++p) {
-                if (_network->unit(p).episodes() >
-                    episodes_before[static_cast<std::size_t>(p)]) {
-                    groups[_network->unit(p).tag()].push_back(p);
-                }
-            }
-            for (auto &[tag, members] : groups) {
-                if (result.membershipViolation.empty()) {
-                    result.membershipViolation =
-                        checkMembership(members, _now);
-                }
+            // group is one completed barrier episode. delivered() is
+            // exactly the set whose episode counters advanced, in
+            // ascending processor order; a stable sort by tag yields
+            // the ascending-tag, ascending-member order the old
+            // std::map grouping produced, without the per-delivery
+            // allocations.
+            _groupScratch.clear();
+            for (int p : _network->delivered())
+                _groupScratch.emplace_back(_network->unit(p).tag(), p);
+            std::stable_sort(_groupScratch.begin(), _groupScratch.end(),
+                             [](const auto &a, const auto &b) {
+                                 return a.first < b.first;
+                             });
+            for (std::size_t i = 0; i < _groupScratch.size();) {
+                std::size_t j = i;
+                while (j < _groupScratch.size() &&
+                       _groupScratch[j].first == _groupScratch[i].first)
+                    ++j;
                 SyncRecord record;
                 record.cycle = _now;
-                record.members = members;
-                for (int m : members) {
+                for (std::size_t k = i; k < j; ++k)
+                    record.members.push_back(_groupScratch[k].second);
+                if (result.membershipViolation.empty()) {
+                    result.membershipViolation =
+                        checkMembership(record.members, _now);
+                }
+                for (int m : record.members) {
                     record.arrivals.push_back(
                         _lastArrival[static_cast<std::size_t>(m)]);
                     record.crossings.push_back(
                         std::numeric_limits<std::uint64_t>::max());
                 }
                 _syncRecords.push_back(std::move(record));
-                for (int m : members) {
-                    _openSyncRecord[static_cast<std::size_t>(m)] =
+                for (std::size_t k = i; k < j; ++k) {
+                    _openSyncRecord[static_cast<std::size_t>(
+                        _groupScratch[k].second)] =
                         _syncRecords.size() - 1;
                 }
+                i = j;
             }
         }
 
         if (_trace) {
-            std::vector<barrier::BarrierState> states;
-            std::vector<bool> halted_flags;
+            _traceStates.clear();
+            _traceHalted.clear();
             for (int p = 0; p < n; ++p) {
-                states.push_back(_network->unit(p).state());
-                halted_flags.push_back(
+                _traceStates.push_back(_network->unit(p).state());
+                _traceHalted.push_back(
                     _processors[static_cast<std::size_t>(p)]->halted());
             }
-            _trace->record(states, halted_flags, delivered > 0);
+            _trace->record(_traceStates, _traceHalted, delivered > 0);
         }
 
         if (_watchdog) {
@@ -280,14 +342,13 @@ Machine::run()
             // frozen core looks alive from the outside, which is
             // exactly the straggler-vs-dead ambiguity the backoff
             // path must resolve.
-            std::vector<bool> halted(static_cast<std::size_t>(n));
             for (int p = 0; p < n; ++p) {
-                halted[static_cast<std::size_t>(p)] =
+                _wdHalted[static_cast<std::size_t>(p)] =
                     _fenced[static_cast<std::size_t>(p)] ||
                     _processors[static_cast<std::size_t>(p)]->halted();
             }
             std::vector<int> dead =
-                _watchdog->tick(*_network, halted, _now);
+                _watchdog->tick(*_network, _wdHalted, _now);
             if (!dead.empty()) {
                 applyRecovery(dead, _now);
                 any_progress = true;
@@ -305,6 +366,48 @@ Machine::run()
             break;
         }
 
+        if (fast_forward) {
+            // Every cycle from _now + 1 up to (excluding) the next
+            // interesting cycle is pure wait: each skipped body would
+            // only apply the fixed per-state accounting, evaluate()
+            // and the fault machinery would be no-ops, and the
+            // termination checks could not fire — with one exception.
+            // The legacy loop declares deadlock as soon as a cycle
+            // makes no progress, even if a stalled core's timer
+            // interrupt is still scheduled; reproduce that by never
+            // skipping when the waiters' ticks would all report
+            // BarrierWait and neither injector nor watchdog is live.
+            std::uint64_t target = nextInterestingCycle();
+            if (target != never && target > _now + 1) {
+                bool wait_progress = _network->deliveryPending();
+                for (int p : _active) {
+                    if (wait_progress)
+                        break;
+                    if (_injector && _injector->frozen(p, _now))
+                        continue;
+                    wait_progress =
+                        _processors[static_cast<std::size_t>(p)]
+                            ->progressWhileWaiting();
+                }
+                bool would_deadlock =
+                    !wait_progress &&
+                    (!_injector || !_injector->pendingActivity(_now)) &&
+                    (!_watchdog || !_watchdog->armed());
+                std::uint64_t stop =
+                    std::min(target, _config.maxCycles);
+                if (!would_deadlock && stop > _now + 1) {
+                    std::uint64_t skipped = stop - _now - 1;
+                    for (int p : _active) {
+                        if (_injector && _injector->frozen(p, _now))
+                            continue;
+                        _processors[static_cast<std::size_t>(p)]
+                            ->advanceWait(skipped);
+                    }
+                    _now += skipped;
+                }
+            }
+        }
+
         ++_now;
         if (_now >= _config.maxCycles) {
             result.timedOut = true;
@@ -318,6 +421,8 @@ Machine::run()
     result.busQueueDelay = _bus->totalQueueDelay();
     result.memAccesses = _memory->totalAccesses();
     result.hotSpotAccesses = _memory->hotSpotAccesses();
+    result.invalidationsSent = _invalidationsSent;
+    result.invalidationsAvoided = _invalidationsAvoided;
     result.recoveries = _recoveries;
     result.deadDeclared = _deadDeclared;
     result.correctedFaults = _network->correctedFaults();
@@ -344,6 +449,42 @@ Machine::run()
         result.perProcessor.push_back(ps);
     }
     return result;
+}
+
+std::uint64_t
+Machine::nextInterestingCycle() const
+{
+    constexpr std::uint64_t never =
+        std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t next = never;
+
+    for (int p : _active) {
+        // A frozen processor does not tick; it is woken by the thaw,
+        // which the injector reports below. (Freeze boundaries are
+        // injector events, so frozen status is constant across any
+        // window this function allows to be skipped.)
+        if (_injector && _injector->frozen(p, _now))
+            continue;
+        next = std::min(
+            next,
+            _processors[static_cast<std::size_t>(p)]->nextEventCycle(
+                _now));
+        if (next <= _now + 1)
+            return _now + 1;
+    }
+
+    std::uint64_t delivery = _network->nextDeliveryCycle();
+    if (delivery != never)
+        next = std::min(next, std::max(delivery, _now + 1));
+
+    if (_injector)
+        next = std::min(next, _injector->nextActivityCycle(_now));
+
+    if (_watchdog && _watchdog->armed())
+        next = std::min(next,
+                        std::max(_watchdog->nextDeadline(), _now + 1));
+
+    return next;
 }
 
 std::string

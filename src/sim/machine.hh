@@ -7,8 +7,10 @@
 #ifndef FB_SIM_MACHINE_HH
 #define FB_SIM_MACHINE_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "barrier/network.hh"
@@ -66,6 +68,12 @@ struct RunResult
     std::uint64_t busQueueDelay = 0;
     std::uint64_t memAccesses = 0;
     std::uint64_t hotSpotAccesses = 0;
+
+    // Write-through coherence filter (see Machine::Port::write):
+    // invalidations actually delivered to caches holding the line,
+    // and the broadcast invalidations the sharer mask avoided.
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t invalidationsAvoided = 0;
 
     // Fault injection / recovery (all zero on fault-free runs).
     std::vector<RecoveryEvent> recoveries;
@@ -169,6 +177,17 @@ class Machine : public ExecutionObserver
 
     std::string describeState() const;
 
+    /**
+     * Fast-forward: the earliest cycle after _now at which the loop
+     * body does anything beyond fixed wait accounting — the minimum
+     * over every active processor's nextEventCycle(), the network's
+     * pending delivery, the injector's next action, and the
+     * watchdog's next deadline. UINT64_MAX means no future event is
+     * scheduled (the next cycle decides deadlock / completion, so the
+     * caller must single-step, never skip).
+     */
+    std::uint64_t nextInterestingCycle() const;
+
     /** Fence the dead processors and run mask-shrink on survivors. */
     void applyRecovery(const std::vector<int> &dead, std::uint64_t now);
 
@@ -204,6 +223,25 @@ class Machine : public ExecutionObserver
     std::vector<std::uint64_t> _lastArrival;
     std::vector<std::size_t> _openSyncRecord;
     std::vector<SyncRecord> _syncRecords;
+
+    // Run-loop scratch (hoisted per-cycle heap allocations).
+    /** Processors still ticking: not fenced, tick() != Halted. Kept
+     * in ascending order — tick order is architectural (FAA
+     * atomicity, bus request ordering). */
+    std::vector<int> _active;
+    /** (tag, processor) pairs of one delivery, for episode grouping. */
+    std::vector<std::pair<std::uint32_t, int>> _groupScratch;
+    std::vector<barrier::BarrierState> _traceStates;
+    std::vector<bool> _traceHalted;
+    std::vector<bool> _wdHalted;
+
+    // Per-line sharer masks for the write-through coherence filter
+    // (bit p = processor p's cache may hold the line; conservative
+    // superset, reset to the writer on every store). Empty when the
+    // cache model is disabled.
+    std::vector<std::uint64_t> _lineSharers;
+    std::uint64_t _invalidationsSent = 0;
+    std::uint64_t _invalidationsAvoided = 0;
 };
 
 } // namespace fb::sim

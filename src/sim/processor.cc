@@ -1,5 +1,8 @@
 #include "sim/processor.hh"
 
+#include <algorithm>
+#include <limits>
+
 #include "support/logging.hh"
 
 namespace fb::sim
@@ -190,6 +193,100 @@ Processor::tick(std::uint64_t now)
         return issue(now);
     }
     panic("unreachable core state");
+}
+
+std::uint64_t
+Processor::nextEventCycle(std::uint64_t now) const
+{
+    constexpr std::uint64_t never =
+        std::numeric_limits<std::uint64_t>::max();
+    // A halted core's next tick reports Halted, which drops it from
+    // the machine's active pool and may complete the all-halted
+    // termination check — an event, not a wait (skipping past it
+    // would let a run that is about to finish sail on into future
+    // fault events the legacy loop never reaches).
+    if (_halted)
+        return now + 1;
+
+    std::uint64_t next = never;
+    // A pending arrival fires in maybeArrive() at the top of any
+    // tick, changing the unit state (and thus the network AND) even
+    // while the core is mid-countdown.
+    if (_arrivePending)
+        next = std::min(next, std::max(_arriveCycle, now + 1));
+
+    switch (_state) {
+      case CoreState::Running:
+      case CoreState::SwSaving:
+      case CoreState::SwRestoring:
+        // Countdown ticks are pure accounting; the tick after the
+        // countdown issues (Running/SwRestoring) or falls through to
+        // SwSuspended (SwSaving).
+        next = std::min(next, now + _busyCycles + 1);
+        break;
+
+      case CoreState::DrainWait:
+        if (!_arrivePending)
+            next = now + 1;  // transitions back to Running and issues
+        break;
+
+      case CoreState::HwStalled:
+        // Synchronization already delivered (the network's pending
+        // delivery no longer covers this) or a forced interrupt:
+        // the very next tick acts.
+        if (_unit.mayCross() || _forceInterrupt)
+            return now + 1;
+        // A stalled core services periodic timer interrupts.
+        if (_interruptPeriod != 0 && !_inIsr)
+            next = std::min(next, std::max(_nextInterrupt, now + 1));
+        break;
+
+      case CoreState::SwSuspended:
+        // No interrupt servicing while switched out; only delivery
+        // (an external event) wakes the task.
+        if (_unit.mayCross())
+            return now + 1;
+        break;
+    }
+    return next;
+}
+
+void
+Processor::advanceWait(std::uint64_t cycles)
+{
+    if (_halted || cycles == 0)
+        return;
+    switch (_state) {
+      case CoreState::Running:
+        FB_ASSERT(cycles <= _busyCycles,
+                  "fast-forward skipped past an issue on cpu " << _id);
+        _busyCycles -= static_cast<std::uint32_t>(cycles);
+        break;
+
+      case CoreState::DrainWait:
+        _barrierWaitCycles += cycles;
+        break;
+
+      case CoreState::HwStalled:
+        _unit.tickStalledFor(cycles);
+        _barrierWaitCycles += cycles;
+        break;
+
+      case CoreState::SwSaving:
+      case CoreState::SwRestoring:
+        FB_ASSERT(cycles <= _busyCycles,
+                  "fast-forward skipped past a context switch on cpu "
+                      << _id);
+        _busyCycles -= static_cast<std::uint32_t>(cycles);
+        _barrierWaitCycles += cycles;
+        _contextSwitchCycles += cycles;
+        break;
+
+      case CoreState::SwSuspended:
+        _unit.tickStalledFor(cycles);
+        _barrierWaitCycles += cycles;
+        break;
+    }
 }
 
 TickResult

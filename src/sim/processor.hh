@@ -95,6 +95,56 @@ class Processor
     /** Advance one cycle. */
     TickResult tick(std::uint64_t now);
 
+    /**
+     * Earliest cycle after @p now at which tick() does anything other
+     * than the fixed per-cycle wait accounting of the current state
+     * (UINT64_MAX = never: blocked on an external event such as
+     * barrier delivery). A busy execute wakes when the countdown
+     * ends; a pending arrival fires at its drain cycle; a stalled
+     * core wakes at its next timer interrupt or when the unit has
+     * already synchronized. The fast-forward core jumps to the
+     * minimum of these across processors (plus network / injector /
+     * watchdog events) and calls advanceWait() for the gap.
+     */
+    std::uint64_t nextEventCycle(std::uint64_t now) const;
+
+    /**
+     * Bulk-apply @p cycles consecutive pure-wait ticks of the current
+     * state: exactly the counter updates (busy countdown, barrier
+     * wait, stall, context-switch cycles) that @p cycles calls to
+     * tick() would have made, given that no event fires in between —
+     * the caller guarantees this by never skipping past
+     * nextEventCycle(). Keeps every RunResult counter bit-identical
+     * to the per-cycle loop.
+     */
+    void advanceWait(std::uint64_t cycles);
+
+    /**
+     * What tick() reports on a pure-wait cycle of the current state:
+     * true for Progress (busy countdowns, pipeline drains, context
+     * save/restore), false for BarrierWait (hardware stall, suspended
+     * task) or Halted. The fast-forward core needs this to evaluate
+     * the legacy loop's deadlock condition for cycles it would skip:
+     * a machine whose waiters all report BarrierWait deadlocks on the
+     * very next cycle, so no skip may jump past it.
+     */
+    bool progressWhileWaiting() const
+    {
+        if (_halted)
+            return false;
+        switch (_state) {
+          case CoreState::Running:
+          case CoreState::DrainWait:
+          case CoreState::SwSaving:
+          case CoreState::SwRestoring:
+            return true;
+          case CoreState::HwStalled:
+          case CoreState::SwSuspended:
+            return false;
+        }
+        return false;
+    }
+
     /** True once HALT executed or the stream ran off the end. */
     bool halted() const { return _halted; }
 

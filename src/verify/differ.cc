@@ -28,6 +28,7 @@ struct Variant
     double jitterMean = 0.0;
     std::uint64_t machineSeed = 1;
     sim::StallModel stall = sim::StallModel::hardware();
+    bool fastForward = true;  ///< event-driven core vs per-cycle loop
 };
 
 Fingerprint
@@ -43,6 +44,7 @@ runVariant(const Scenario &sc, const std::vector<isa::Program> &programs,
     cfg.seed = v.machineSeed;
     cfg.stall = v.stall;
     cfg.maxCycles = opt.maxCycles;
+    cfg.fastForward = v.fastForward;
     cfg.interruptPeriod = sc.interruptPeriod;
     cfg.isrEntry = sc.isrEntry;
     if (sc.hasFaults()) {
@@ -386,6 +388,16 @@ runDifferential(const Scenario &sc, const DiffOptions &opt)
         v.name = "vliw/width4";
         v.markers = baseMarkers;
         v.issueWidth = 4;
+        variants.push_back(v);
+    }
+    if (opt.legacyLoop) {
+        // Same machine as the baseline but on the per-cycle loop:
+        // every fuzzed scenario continuously cross-checks the
+        // event-driven fast-forward core against the legacy loop.
+        Variant v;
+        v.name = "core/legacy-loop";
+        v.markers = baseMarkers;
+        v.fastForward = false;
         variants.push_back(v);
     }
 

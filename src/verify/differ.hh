@@ -54,6 +54,7 @@ struct DiffOptions
     bool softwareStall = true;          ///< Encore-style stall model
     bool jitter = true;                 ///< random execution drift
     bool multiIssue = true;             ///< VLIW width 4
+    bool legacyLoop = true;             ///< per-cycle loop (no fast-forward)
     bool swBarrierReference = true;     ///< real-thread cross-check
     std::uint64_t maxCycles = 5'000'000;
     std::size_t memWords = 4096;

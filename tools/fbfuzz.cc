@@ -29,18 +29,25 @@
  *                  recovery-liveness oracles)
  *   --fault-seed S base for fault-plan derivation (default: spec seed)
  *   --max-cycles N per-run cycle guard (default 5,000,000)
+ *   --jobs N       fuzz seeds on N worker threads; every seed in the
+ *                  range is scanned (no stop at the first failure)
+ *                  and results are reported in seed order, so the
+ *                  failing-seed set is identical for every N
  *   --quiet        only print failures and the final summary
  *
  * Exit status: 0 all runs passed, 1 a failure was found (or a replay
  * failed), 2 usage error.
  */
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "fault/plan.hh"
 #include "support/strutil.hh"
@@ -80,6 +87,7 @@ struct Options
     bool faults = false;
     std::uint64_t faultSeed = 0;  ///< 0 = derive from the spec seed
     std::uint64_t maxCycles = 5'000'000;
+    int jobs = 0;  ///< 0 = sequential stop-at-first-failure mode
     bool quiet = false;
 };
 
@@ -124,6 +132,8 @@ parseArgs(int argc, char **argv)
         }
         else if (arg == "--max-cycles")
             opt.maxCycles = static_cast<std::uint64_t>(nextInt());
+        else if (arg == "--jobs")
+            opt.jobs = static_cast<int>(nextInt());
         else if (arg == "--quiet")
             opt.quiet = true;
         else
@@ -131,6 +141,8 @@ parseArgs(int argc, char **argv)
     }
     if (opt.runs < 1)
         usage("--runs must be at least 1");
+    if (opt.jobs < 0)
+        usage("--jobs must be at least 1");
     if (!opt.replayFile.empty() && !opt.saveFile.empty())
         usage("--replay and --save are mutually exclusive");
     return opt;
@@ -249,9 +261,111 @@ replayMain(const Options &opt)
     return first.ok ? 0 : 1;
 }
 
+/** FAIL block for one diverging seed (identical in both fuzz modes). */
+std::string
+describeFailure(std::uint64_t spec_seed, const verify::Scenario &sc,
+                const verify::DiffReport &rep, const Options &opt)
+{
+    std::ostringstream out;
+    out << "FAIL seed=" << spec_seed << " procs=" << sc.procs()
+        << " groups=" << sc.groups() << " episodes=" << sc.episodes
+        << " encoding=" << verify::encodingName(sc.encoding);
+    if (sc.hasFaults())
+        out << " faults=" << sc.faults.toSpec();
+    out << "\n  executor " << rep.variant << ": " << rep.failure << "\n";
+    out << "reproduce with: fbfuzz --seed " << spec_seed << " --runs 1";
+    if (opt.faults) {
+        out << " --faults";
+        if (opt.faultSeed != 0)
+            out << " --fault-seed " << opt.faultSeed;
+    }
+    out << "\n";
+    return out.str();
+}
+
+/**
+ * Parallel scan-everything mode (--jobs N). Workers pull seed indices
+ * from a shared atomic counter; each result lands in a per-seed slot
+ * and is reported in seed order after the pool drains. Unlike the
+ * sequential mode nothing stops at the first failure, so the failing
+ * seed set — and the printed report — is byte-identical regardless of
+ * the worker count or OS scheduling.
+ */
+int
+fuzzParallel(const Options &opt)
+{
+    auto d = diffOptions(opt);
+    const int runs = opt.runs;
+    struct SeedResult
+    {
+        bool failed = false;
+        std::string report;
+    };
+    std::vector<SeedResult> results(static_cast<std::size_t>(runs));
+    std::atomic<int> next{0};
+
+    auto worker = [&]() {
+        for (;;) {
+            const int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= runs)
+                return;
+            const std::uint64_t specSeed =
+                opt.seed + static_cast<std::uint64_t>(i);
+            auto spec = verify::randomSpec(specSeed);
+            applyFaults(spec, opt, specSeed);
+            auto sc = verify::render(spec);
+            auto rep = verify::runDifferential(sc, d);
+            if (!rep.ok) {
+                auto &slot = results[static_cast<std::size_t>(i)];
+                slot.failed = true;
+                slot.report = describeFailure(specSeed, sc, rep, opt);
+            }
+        }
+    };
+
+    const int pool = std::min(opt.jobs, runs);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(pool));
+    for (int t = 0; t < pool; ++t)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+
+    int failures = 0;
+    std::int64_t firstFailing = -1;
+    for (int i = 0; i < runs; ++i) {
+        const auto &slot = results[static_cast<std::size_t>(i)];
+        if (!slot.failed)
+            continue;
+        ++failures;
+        if (firstFailing < 0)
+            firstFailing = i;
+        std::printf("%s", slot.report.c_str());
+    }
+    std::printf("fbfuzz: %d/%d scenarios passed (seeds %llu..%llu, "
+                "%d jobs)\n",
+                runs - failures, runs,
+                static_cast<unsigned long long>(opt.seed),
+                static_cast<unsigned long long>(
+                    opt.seed + static_cast<std::uint64_t>(runs) - 1),
+                pool);
+    if (failures == 0)
+        return 0;
+    if (opt.minimize) {
+        const std::uint64_t specSeed =
+            opt.seed + static_cast<std::uint64_t>(firstFailing);
+        auto spec = verify::randomSpec(specSeed);
+        applyFaults(spec, opt, specSeed);
+        minimizeAndSave(spec, opt);
+    }
+    return 1;
+}
+
 int
 fuzzMain(const Options &opt)
 {
+    if (opt.jobs > 0)
+        return fuzzParallel(opt);
     auto d = diffOptions(opt);
     for (int i = 0; i < opt.runs; ++i) {
         const std::uint64_t specSeed = opt.seed + static_cast<std::uint64_t>(i);
@@ -260,24 +374,8 @@ fuzzMain(const Options &opt)
         auto sc = verify::render(spec);
         auto rep = verify::runDifferential(sc, d);
         if (!rep.ok) {
-            std::printf("FAIL seed=%llu procs=%d groups=%d episodes=%d "
-                        "encoding=%s%s%s\n  executor %s: %s\n",
-                        static_cast<unsigned long long>(specSeed),
-                        sc.procs(), sc.groups(), sc.episodes,
-                        verify::encodingName(sc.encoding),
-                        sc.hasFaults() ? " faults=" : "",
-                        sc.hasFaults() ? sc.faults.toSpec().c_str() : "",
-                        rep.variant.c_str(), rep.failure.c_str());
-            std::string faultFlags;
-            if (opt.faults) {
-                faultFlags = " --faults";
-                if (opt.faultSeed != 0)
-                    faultFlags += " --fault-seed " +
-                                  std::to_string(opt.faultSeed);
-            }
-            std::printf("reproduce with: fbfuzz --seed %llu --runs 1%s\n",
-                        static_cast<unsigned long long>(specSeed),
-                        faultFlags.c_str());
+            std::printf("%s",
+                        describeFailure(specSeed, sc, rep, opt).c_str());
             if (opt.minimize)
                 minimizeAndSave(spec, opt);
             return 1;

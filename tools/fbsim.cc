@@ -30,6 +30,10 @@
  *   --watchdog T[:A]     barrier watchdog: timeout cycles and re-arm
  *                        attempts (default attempts 3)
  *   --max-cycles N       runaway guard (default 200M)
+ *   --no-fast-forward    force the legacy per-cycle loop instead of
+ *                        the event-driven fast-forward core (results
+ *                        are identical; useful for timing comparisons
+ *                        and as a differential cross-check)
  *   --check              only run the static region-branch check
  */
 
@@ -88,6 +92,7 @@ struct Options
     bool trace = false;
     std::size_t traceWidth = 100;
     bool checkOnly = false;
+    bool fastForward = true;
     std::uint64_t maxCycles = 200'000'000;
     std::string faultSpec;
     std::uint64_t faultSeed = 0;
@@ -221,6 +226,8 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--max-cycles") {
             opt.maxCycles = static_cast<std::uint64_t>(
                 parseIntOrDie(next(), "--max-cycles"));
+        } else if (arg == "--no-fast-forward") {
+            opt.fastForward = false;
         } else if (arg == "--check") {
             opt.checkOnly = true;
         } else if (startsWith(arg, "--")) {
@@ -302,6 +309,7 @@ main(int argc, char **argv)
     cfg.stall = opt.stall;
     cfg.busKind = opt.bus;
     cfg.maxCycles = opt.maxCycles;
+    cfg.fastForward = opt.fastForward;
     cfg.traceBarrierStates = opt.trace;
     if (opt.interruptPeriod > 0) {
         auto entry = programs[0].labelIndex(opt.isrLabel);
