@@ -4,12 +4,15 @@
 # "total-sim-cycles:" tally each bench prints at exit), and simulation
 # throughput in cycles/sec. For E7 and E8 the --ff-stress mode is also
 # timed with and without FB_NO_FAST_FORWARD=1 to report the speedup of
-# the event-driven fast-forward core over the legacy per-cycle loop.
+# the event-driven fast-forward core over the legacy per-cycle loop,
+# and E17's checkpoint on/off overhead deltas are copied into their
+# own JSON entry.
 #
 # Usage: bench/run_all.sh [build-dir]     (default: build)
 # Output: BENCH_<YYYYMMDD>.json in the current directory, or $BENCH_OUT.
-# Exit status: nonzero if any bench binary failed.
-set -u
+# Exit status: 0 all benches ran, 1 a bench failed, 2 setup error
+# (missing build dir or missing experiment binary).
+set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 BENCH_DIR="$BUILD_DIR/bench"
@@ -21,21 +24,43 @@ if [ ! -d "$BENCH_DIR" ]; then
     exit 2
 fi
 
+# The full experiment roster. A binary missing from a built tree means
+# the build is stale or broken; fail loudly instead of silently
+# benchmarking a subset.
+EXPECTED="e1_section8_encore e2_fig7_if_statements e3_fig9_lexforward
+e4_fig11_static_sched e5_fig12_runtime_sched e6_fig5_loop_distribution
+e7_scaling e8_hotspot e9_drift_tolerance e10_microbench
+e11_pipeline_ablation e12_encoding_ablation e13_cycle_shrinking
+e14_selfsched_runtime e15_sync_latency e16_fault_overhead
+e17_snapshot_overhead"
+for name in $EXPECTED; do
+    if [ ! -x "$BENCH_DIR/$name" ]; then
+        echo "run_all: missing experiment binary: $BENCH_DIR/$name" >&2
+        echo "run_all: rebuild with: cmake --build $BUILD_DIR -j" >&2
+        exit 2
+    fi
+done
+
 FAILURES=0
 ENTRIES=""
 
 # run_one <json-name> <cmd...> — time the command, parse its cycle
-# tally, and append a JSON entry. Sets WALL_S/SIM_CYCLES/STATUS.
+# tally, and append a JSON entry. Sets WALL_S/SIM_CYCLES/STATUS/OUT_TEXT.
 run_one() {
     local name="$1"
     shift
-    local start end out
+    local start end
     start=$(date +%s%N)
-    out="$("$@" 2>&1)"
-    STATUS=$?
+    # set -e must not kill the harness on a failing bench; capture the
+    # exit status explicitly and report it in the JSON instead.
+    if OUT_TEXT="$("$@" 2>&1)"; then
+        STATUS=0
+    else
+        STATUS=$?
+    fi
     end=$(date +%s%N)
     WALL_S=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.6f", (e - s) / 1e9}')
-    SIM_CYCLES=$(printf '%s\n' "$out" |
+    SIM_CYCLES=$(printf '%s\n' "$OUT_TEXT" |
         awk '/^total-sim-cycles:/ {c += $2} END {printf "%.0f", c + 0}')
     local cps
     cps=$(awk -v c="$SIM_CYCLES" -v w="$WALL_S" \
@@ -43,7 +68,7 @@ run_one() {
     if [ "$STATUS" -ne 0 ]; then
         FAILURES=$((FAILURES + 1))
         echo "run_all: FAIL $name (exit $STATUS)" >&2
-        printf '%s\n' "$out" | tail -5 >&2
+        printf '%s\n' "$OUT_TEXT" | tail -n 5 >&2
     fi
     ENTRIES="$ENTRIES  {\"name\": \"$name\", \"wall_seconds\": $WALL_S, \"sim_cycles\": $SIM_CYCLES, \"cycles_per_sec\": $cps, \"exit_status\": $STATUS},
 "
@@ -53,20 +78,36 @@ run_one() {
 # Every table-style experiment binary. e10_microbench is a
 # google-benchmark harness over the real-thread software barriers (no
 # simulated machine, so its sim_cycles tally is 0 by construction).
-for bench in "$BENCH_DIR"/e*; do
-    [ -x "$bench" ] || continue
-    run_one "$(basename "$bench")" "$bench"
+for name in $EXPECTED; do
+    run_one "$name" "$BENCH_DIR/$name"
+    if [ "$name" = "e17_snapshot_overhead" ] && [ "$STATUS" -eq 0 ]; then
+        # Copy E17's checkpoint on/off deltas into their own entry so
+        # dashboards can track snapshot cost without table-scraping.
+        mem_pct=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^snapshot-overhead-pct:/ {print $2; exit}')
+        durable_pct=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^snapshot-durable-overhead-pct:/ {print $2; exit}')
+        snap_bytes=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^snapshot-bytes-per-checkpoint:/ {print $2; exit}')
+        if [ -z "$mem_pct" ] || [ -z "$durable_pct" ]; then
+            echo "run_all: FAIL e17_snapshot_overhead: missing overhead tally lines" >&2
+            FAILURES=$((FAILURES + 1))
+        else
+            ENTRIES="$ENTRIES  {\"name\": \"e17_snapshot_overhead_delta\", \"snapshot_overhead_pct\": $mem_pct, \"snapshot_durable_overhead_pct\": $durable_pct, \"snapshot_bytes_per_checkpoint\": ${snap_bytes:-0}},
+"
+            echo "run_all: snapshot overhead: in-memory ${mem_pct}%, durable ${durable_pct}%"
+        fi
+    fi
 done
 
 # Fast-forward speedup probes: same workload, event-driven core vs
 # the legacy per-cycle loop. The cycle counts must match exactly (the
 # equivalence invariant); only the wall-clock may differ.
 for stress in e7_scaling e8_hotspot; do
-    [ -x "$BENCH_DIR/$stress" ] || continue
     run_one "${stress}_ff_stress" "$BENCH_DIR/$stress" --ff-stress
     ff_wall=$WALL_S
     ff_cycles=$SIM_CYCLES
-    FB_NO_FAST_FORWARD=1 run_one "${stress}_ff_stress_legacy" \
+    run_one "${stress}_ff_stress_legacy" \
         env FB_NO_FAST_FORWARD=1 "$BENCH_DIR/$stress" --ff-stress
     legacy_wall=$WALL_S
     legacy_cycles=$SIM_CYCLES
@@ -91,4 +132,5 @@ done
 } > "$OUT"
 
 echo "run_all: wrote $OUT (${FAILURES} failure(s))"
-exit "$((FAILURES > 0 ? 1 : 0))"
+[ "$FAILURES" -eq 0 ] || exit 1
+exit 0

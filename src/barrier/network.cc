@@ -214,4 +214,31 @@ BarrierNetwork::analyzeDeadlock(const std::vector<bool> &halted,
     return report;
 }
 
+void
+BarrierNetwork::encodeState(snapshot::Encoder &e) const
+{
+    e.u32(static_cast<std::uint32_t>(_units.size()));
+    for (const BarrierUnit &u : _units)
+        u.encodeState(e);
+    e.u64Vec(_deliverAt);
+    e.u64(_syncEvents);
+    e.u64(_correctedFaults);
+}
+
+bool
+BarrierNetwork::decodeState(snapshot::Decoder &d)
+{
+    const std::uint32_t count = d.u32();
+    if (count != _units.size())
+        return false;
+    for (BarrierUnit &u : _units)
+        if (!u.decodeState(d))
+            return false;
+    d.u64Vec(_deliverAt);
+    _syncEvents = d.u64();
+    _correctedFaults = d.u64();
+    _delivered.clear();
+    return d.ok() && _deliverAt.size() == _units.size();
+}
+
 } // namespace fb::barrier

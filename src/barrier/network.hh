@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "barrier/unit.hh"
+#include "snapshot/codec.hh"
 #include "support/stats.hh"
 
 namespace fb::barrier
@@ -166,6 +167,16 @@ class BarrierNetwork
      */
     DeadlockReport analyzeDeadlock(const std::vector<bool> &halted,
                                    std::uint64_t now = 0) const;
+
+    /**
+     * Serialize all unit state plus in-flight deliveries and counters.
+     * Per-call scratch (the phase-1 latch and the delivered list) is
+     * not captured: it is rebuilt by the next evaluate().
+     */
+    void encodeState(snapshot::Encoder &e) const;
+
+    /** Restore state captured with encodeState(). */
+    bool decodeState(snapshot::Decoder &d);
 
   private:
     bool groupComplete(int p, std::uint64_t now) const;

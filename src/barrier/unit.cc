@@ -140,4 +140,39 @@ BarrierUnit::deliverSync()
     ++_episodes;
 }
 
+void
+BarrierUnit::encodeState(snapshot::Encoder &e) const
+{
+    e.u8(static_cast<std::uint8_t>(_state));
+    e.u32(_tag);
+    e.u32(_epoch);
+    e.bits(_mask);
+    e.u32(_shadowTag);
+    e.bits(_shadowMask);
+    e.b(_dirty);
+    e.u64(_episodes);
+    e.u64(_stalledEpisodes);
+    e.u64(_stallCycles);
+    e.b(_stalledThisEpisode);
+}
+
+bool
+BarrierUnit::decodeState(snapshot::Decoder &d)
+{
+    _state = static_cast<BarrierState>(d.u8());
+    _tag = d.u32();
+    _epoch = d.u32();
+    d.bits(_mask);
+    _shadowTag = d.u32();
+    d.bits(_shadowMask);
+    _dirty = d.b();
+    _episodes = d.u64();
+    _stalledEpisodes = d.u64();
+    _stallCycles = d.u64();
+    _stalledThisEpisode = d.b();
+    return d.ok() &&
+           _mask.size() == static_cast<std::size_t>(_numProcessors) &&
+           _shadowMask.size() == static_cast<std::size_t>(_numProcessors);
+}
+
 } // namespace fb::barrier

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "barrier/state.hh"
+#include "snapshot/codec.hh"
 #include "support/bitvector.hh"
 #include "support/stats.hh"
 
@@ -148,6 +149,12 @@ class BarrierUnit
      * @return number of corrupted registers corrected (0, 1 or 2)
      */
     int scrub();
+
+    /** Serialize the full unit state for checkpointing. */
+    void encodeState(snapshot::Encoder &e) const;
+
+    /** Restore state captured with encodeState(). */
+    bool decodeState(snapshot::Decoder &d);
 
   private:
     int _numProcessors;

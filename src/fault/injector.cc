@@ -199,4 +199,32 @@ FaultInjector::nextActivityCycle(std::uint64_t now) const
     return next;
 }
 
+void
+FaultInjector::encodeState(snapshot::Encoder &e) const
+{
+    e.boolVec(_killReported);
+    e.boolVec(_flipApplied);
+    e.u64(_stats.pulseDropCycles);
+    e.u64(_stats.bitsFlipped);
+    e.u64(_stats.kills);
+    e.u64(_stats.freezes);
+    e.u64(_stats.forcedInterrupts);
+}
+
+bool
+FaultInjector::decodeState(snapshot::Decoder &d)
+{
+    const std::size_t kills = _killReported.size();
+    const std::size_t flips = _flipApplied.size();
+    d.boolVec(_killReported);
+    d.boolVec(_flipApplied);
+    _stats.pulseDropCycles = d.u64();
+    _stats.bitsFlipped = d.u64();
+    _stats.kills = d.u64();
+    _stats.freezes = d.u64();
+    _stats.forcedInterrupts = d.u64();
+    return d.ok() && _killReported.size() == kills &&
+           _flipApplied.size() == flips;
+}
+
 } // namespace fb::fault

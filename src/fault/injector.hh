@@ -20,6 +20,7 @@
 
 #include "barrier/network.hh"
 #include "fault/plan.hh"
+#include "snapshot/codec.hh"
 
 namespace fb::fault
 {
@@ -85,6 +86,17 @@ class FaultInjector : public barrier::ReadyPulseFilter
 
     InjectorStats &stats() { return _stats; }
     const InjectorStats &stats() const { return _stats; }
+
+    /**
+     * Serialize the plan cursors (which kills/flips have fired) and
+     * the counters. The plan itself is not captured: the host rebuilds
+     * the injector from the same FaultPlan, which the snapshot config
+     * fingerprint pins.
+     */
+    void encodeState(snapshot::Encoder &e) const;
+
+    /** Restore state captured with encodeState(). */
+    bool decodeState(snapshot::Decoder &d);
 
   private:
     /** End cycle (exclusive) of a windowed event; fatal freezes and

@@ -117,44 +117,88 @@ bool
 FaultPlan::parse(const std::string &text, FaultPlan &out,
                  std::string &error)
 {
+    return parse(text, -1, out, error);
+}
+
+bool
+FaultPlan::parse(const std::string &text, int num_procs, FaultPlan &out,
+                 std::string &error)
+{
     FaultPlan plan;
     std::string normalized = text;
     for (char &c : normalized) {
         if (c == ',')
             c = ' ';
     }
+    std::size_t index = 0;
     for (const std::string &spec : splitWhitespace(normalized)) {
+        ++index;
+        // Positional prefix so a long command-line plan points at the
+        // offending entry, not just its text.
+        std::ostringstream where;
+        where << "fault spec #" << index << " ('" << spec << "')";
         auto at = spec.find('@');
         if (at == std::string::npos || at == 0) {
-            error = "fault spec '" + spec + "': expected kind@cycle:proc";
+            error = where.str() + ": expected kind@cycle:proc";
             return false;
         }
         FaultEvent ev;
         if (!kindFromName(spec.substr(0, at), ev.kind)) {
-            error = "fault spec '" + spec + "': unknown kind '" +
+            error = where.str() + ": unknown kind '" +
                     spec.substr(0, at) + "'";
             return false;
         }
-        auto fields = split(spec.substr(at + 1), ':');
+        // split() drops empty fields, which would make a trailing or
+        // doubled ':' parse as if it were never typed; keep empties
+        // so those malformed specs are rejected below.
+        std::vector<std::string> fields;
+        {
+            const std::string rest = spec.substr(at + 1);
+            std::size_t start = 0;
+            for (;;) {
+                const auto pos = rest.find(':', start);
+                if (pos == std::string::npos) {
+                    fields.push_back(rest.substr(start));
+                    break;
+                }
+                fields.push_back(rest.substr(start, pos - start));
+                start = pos + 1;
+            }
+        }
         if (fields.size() < 2 || fields.size() > 3) {
-            error = "fault spec '" + spec + "': expected kind@cycle:proc"
-                    "[:arg]";
+            error = where.str() + ": expected kind@cycle:proc[:arg]";
             return false;
+        }
+        for (const std::string &f : fields) {
+            if (f.empty()) {
+                error = where.str() +
+                        ": empty field (trailing or doubled ':')";
+                return false;
+            }
         }
         std::int64_t v = 0;
         if (!parseInt(fields[0], v) || v < 0) {
-            error = "fault spec '" + spec + "': bad cycle";
+            error = where.str() + ": bad cycle '" + fields[0] + "'";
             return false;
         }
         ev.cycle = static_cast<std::uint64_t>(v);
         if (!parseInt(fields[1], v) || v < 0) {
-            error = "fault spec '" + spec + "': bad processor";
+            error = where.str() + ": bad processor '" + fields[1] + "'";
             return false;
         }
         ev.proc = static_cast<int>(v);
+        if (num_procs >= 0 && ev.proc >= num_procs) {
+            std::ostringstream oss;
+            oss << where.str() << ": processor " << ev.proc
+                << " out of range (machine has " << num_procs
+                << " processors)";
+            error = oss.str();
+            return false;
+        }
         if (fields.size() == 3) {
             if (!parseInt(fields[2], v) || v < 0) {
-                error = "fault spec '" + spec + "': bad argument";
+                error = where.str() + ": bad argument '" + fields[2] +
+                        "'";
                 return false;
             }
             ev.arg = static_cast<std::uint64_t>(v);
@@ -162,6 +206,22 @@ FaultPlan::parse(const std::string &text, FaultPlan &out,
         plan.events.push_back(ev);
     }
     plan.normalize();
+    // Two identical-kind events for the same (cycle, proc) are
+    // ambiguous: the injector would apply an unspecified one of the
+    // duplicates' arguments (or both). Reject rather than guess.
+    for (std::size_t i = 1; i < plan.events.size(); ++i) {
+        const FaultEvent &a = plan.events[i - 1];
+        const FaultEvent &b = plan.events[i];
+        if (a.kind == b.kind && a.cycle == b.cycle && a.proc == b.proc) {
+            std::ostringstream oss;
+            oss << "ambiguous fault plan: duplicate "
+                << faultKindName(a.kind) << " events for processor "
+                << a.proc << " at cycle " << a.cycle << " ('"
+                << a.toSpec() << "' vs '" << b.toSpec() << "')";
+            error = oss.str();
+            return false;
+        }
+    }
     out = std::move(plan);
     return true;
 }

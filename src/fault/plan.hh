@@ -99,10 +99,21 @@ struct FaultPlan
 
     /**
      * Parse a comma- or whitespace-separated list of event specs.
-     * Returns false and sets @p error on malformed input.
+     * Returns false and sets @p error on malformed input; errors name
+     * the offending spec by position. Rejects trailing/doubled field
+     * separators and same-kind duplicate events for one (cycle, proc)
+     * — the injector would apply an unspecified one of them.
      */
     static bool parse(const std::string &text, FaultPlan &out,
                       std::string &error);
+
+    /**
+     * Like the two-argument parse(), additionally rejecting events
+     * whose processor id is outside [0, num_procs). Pass a negative
+     * @p num_procs to skip the range check (unknown machine size).
+     */
+    static bool parse(const std::string &text, int num_procs,
+                      FaultPlan &out, std::string &error);
 
     bool operator==(const FaultPlan &o) const
     {

@@ -1,0 +1,104 @@
+#include "fault/snapcorrupt.hh"
+
+#include <cstdio>
+#include <vector>
+
+#include "support/random.hh"
+
+namespace fb::fault
+{
+
+namespace
+{
+
+/** Plain non-durable overwrite — corruption doesn't fsync. */
+bool
+writeRaw(const std::string &path, const std::vector<std::uint8_t> &bytes,
+         std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        error = "open '" + path + "' for corruption failed";
+        return false;
+    }
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+        error = "short write to '" + path + "'";
+        std::fclose(f);
+        return false;
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+const char *
+snapshotCorruptionName(SnapshotCorruption kind)
+{
+    switch (kind) {
+      case SnapshotCorruption::Truncate:
+        return "truncate";
+      case SnapshotCorruption::BitFlip:
+        return "bitflip";
+      case SnapshotCorruption::StaleGeneration:
+        return "stalegen";
+    }
+    return "?";
+}
+
+bool
+corruptNewestSnapshot(const snapshot::SnapshotStore &store,
+                      SnapshotCorruption kind, std::uint64_t seed,
+                      std::string &error)
+{
+    auto entries = store.list();
+    if (entries.empty()) {
+        error = "no snapshots in '" + store.directory() + "' to corrupt";
+        return false;
+    }
+    const std::string &victim = entries.back().second;
+    std::vector<std::uint8_t> bytes;
+    if (!snapshot::readFile(victim, bytes, error))
+        return false;
+    if (bytes.empty()) {
+        error = "'" + victim + "' is already empty";
+        return false;
+    }
+
+    RandomSource rng(seed);
+    switch (kind) {
+      case SnapshotCorruption::Truncate:
+        bytes.resize(static_cast<std::size_t>(
+            rng.nextBounded(bytes.size())));
+        break;
+      case SnapshotCorruption::BitFlip: {
+        const std::uint64_t bit = rng.nextBounded(bytes.size() * 8);
+        bytes[static_cast<std::size_t>(bit / 8)] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+        break;
+      }
+      case SnapshotCorruption::StaleGeneration: {
+        if (entries.size() >= 2) {
+            // Park an older generation's bytes under the newest name.
+            if (!snapshot::readFile(entries[entries.size() - 2].second,
+                                    bytes, error))
+                return false;
+        } else {
+            // Single generation: perturb the embedded generation
+            // field (bytes 28..35 of the header); the header CRC no
+            // longer matches, so the loader rejects the file.
+            const std::size_t off = 28;
+            if (bytes.size() < off + 8) {
+                error = "'" + victim + "' too short to carry a header";
+                return false;
+            }
+            bytes[off] ^= 0xff;
+        }
+        break;
+      }
+    }
+    return writeRaw(victim, bytes, error);
+}
+
+} // namespace fb::fault

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Snapshot-corruption injection: the crash-model counterpart of the
+ * machine-level FaultInjector.
+ *
+ * A long campaign's snapshots live on real disks and die real deaths:
+ * torn writes (truncation), media bit rot (flips), and botched manual
+ * copies (an old snapshot parked under the newest generation's name).
+ * These helpers inflict each of those, deterministically from a seed,
+ * on a SnapshotStore directory so tests and the CI kill/resume job
+ * can verify the loader's guarantee: a corrupt snapshot is *never*
+ * silently restored — it is either skipped in favour of an older
+ * valid generation or rejected with a diagnostic.
+ */
+
+#ifndef FB_FAULT_SNAPCORRUPT_HH
+#define FB_FAULT_SNAPCORRUPT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "snapshot/store.hh"
+
+namespace fb::fault
+{
+
+/** The ways a persisted snapshot can rot. */
+enum class SnapshotCorruption
+{
+    /** Cut the file to a seeded prefix — a torn/interrupted write. */
+    Truncate,
+
+    /** Flip one seeded bit anywhere in the file — media corruption. */
+    BitFlip,
+
+    /**
+     * Overwrite the newest generation's file with an older
+     * generation's bytes (the embedded generation then disagrees with
+     * the filename). With a single generation on disk, the embedded
+     * generation field itself is altered instead, which the header
+     * CRC catches.
+     */
+    StaleGeneration,
+};
+
+/** Spec name ("truncate" / "bitflip" / "stalegen"). */
+const char *snapshotCorruptionName(SnapshotCorruption kind);
+
+/**
+ * Apply @p kind to the newest snapshot in @p store. Deterministic for
+ * a given (store contents, kind, seed). Returns false with a
+ * diagnostic in @p error when the store is empty or I/O fails.
+ */
+bool corruptNewestSnapshot(const snapshot::SnapshotStore &store,
+                           SnapshotCorruption kind, std::uint64_t seed,
+                           std::string &error);
+
+} // namespace fb::fault
+
+#endif // FB_FAULT_SNAPCORRUPT_HH

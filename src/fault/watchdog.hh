@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "barrier/network.hh"
+#include "snapshot/codec.hh"
 
 namespace fb::fault
 {
@@ -96,6 +97,38 @@ class BarrierWatchdog
     }
 
     const WatchdogStats &stats() const { return _stats; }
+
+    /** Serialize armed timers (deadline + backoff) and counters. */
+    void encodeState(snapshot::Encoder &e) const
+    {
+        e.u64(_timers.size());
+        for (const auto &[tag, timer] : _timers) {
+            e.u32(tag);
+            e.u64(timer.deadline);
+            e.u64(static_cast<std::uint64_t>(timer.attempts));
+        }
+        e.u64(_stats.timeouts);
+        e.u64(_stats.rearms);
+        e.u64(_stats.deadDeclared);
+    }
+
+    /** Restore state captured with encodeState(). */
+    bool decodeState(snapshot::Decoder &d)
+    {
+        _timers.clear();
+        const std::uint64_t timers = d.u64();
+        for (std::uint64_t k = 0; k < timers && d.ok(); ++k) {
+            const std::uint32_t tag = d.u32();
+            Timer timer;
+            timer.deadline = d.u64();
+            timer.attempts = static_cast<int>(d.u64());
+            _timers[tag] = timer;
+        }
+        _stats.timeouts = d.u64();
+        _stats.rearms = d.u64();
+        _stats.deadDeclared = d.u64();
+        return d.ok();
+    }
 
   private:
     struct Timer

@@ -6,8 +6,13 @@
 #ifndef FB_SIM_BUS_HH
 #define FB_SIM_BUS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "snapshot/codec.hh"
 
 namespace fb::sim
 {
@@ -75,6 +80,37 @@ class SharedBus
 
     /** Total cycles requests spent queued. */
     std::uint64_t totalQueueDelay() const { return _queueDelay; }
+
+    /** Serialize busy state and counters (banks sorted by address). */
+    void encodeState(snapshot::Encoder &e) const
+    {
+        e.u64(_globalBusyUntil);
+        std::vector<std::pair<std::size_t, std::uint64_t>> banks(
+            _bankBusyUntil.begin(), _bankBusyUntil.end());
+        std::sort(banks.begin(), banks.end());
+        e.u64(banks.size());
+        for (const auto &[addr, until] : banks) {
+            e.u64(addr);
+            e.u64(until);
+        }
+        e.u64(_requests);
+        e.u64(_queueDelay);
+    }
+
+    /** Restore state captured with encodeState(). */
+    bool decodeState(snapshot::Decoder &d)
+    {
+        _globalBusyUntil = d.u64();
+        _bankBusyUntil.clear();
+        const std::uint64_t banks = d.u64();
+        for (std::uint64_t k = 0; k < banks && d.ok(); ++k) {
+            const std::uint64_t addr = d.u64();
+            _bankBusyUntil[static_cast<std::size_t>(addr)] = d.u64();
+        }
+        _requests = d.u64();
+        _queueDelay = d.u64();
+        return d.ok();
+    }
 
   private:
     std::uint32_t _serviceCycles;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "snapshot/codec.hh"
 
 namespace fb::sim
 {
@@ -54,6 +55,32 @@ class DataCache
 
     /** Misses so far. */
     std::uint64_t misses() const { return _misses; }
+
+    /** Serialize valid bits, tags and hit/miss counters. */
+    void encodeState(snapshot::Encoder &e) const
+    {
+        e.boolVec(_valid);
+        e.u64(_tags.size());
+        for (std::size_t t : _tags)
+            e.u64(t);
+        e.u64(_hits);
+        e.u64(_misses);
+    }
+
+    /** Restore state captured with encodeState(). */
+    bool decodeState(snapshot::Decoder &d)
+    {
+        const std::size_t lines = _tags.size();
+        d.boolVec(_valid);
+        const std::uint64_t n = d.u64();
+        if (!d.ok() || n != lines || _valid.size() != lines)
+            return false;
+        for (std::size_t i = 0; i < lines; ++i)
+            _tags[i] = static_cast<std::size_t>(d.u64());
+        _hits = d.u64();
+        _misses = d.u64();
+        return d.ok();
+    }
 
   private:
     std::size_t lineOf(std::size_t addr) const

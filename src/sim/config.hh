@@ -176,6 +176,17 @@ struct MachineConfig
      * Forced off when traceBarrierStates needs per-cycle records.
      */
     bool fastForward = true;
+
+    /**
+     * Take a state snapshot every this many cycles (0 disables
+     * checkpointing). The snapshot is handed to the sink installed
+     * with Machine::setCheckpointSink(). A non-zero period also clamps
+     * fast-forward skips to checkpoint boundaries so the clock lands
+     * exactly on every multiple — by the advanceWait() invariant this
+     * never changes results, and it is excluded from the config
+     * fingerprint for the same reason.
+     */
+    std::uint64_t checkpointEveryCycles = 0;
 };
 
 } // namespace fb::sim

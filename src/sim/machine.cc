@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "snapshot/codec.hh"
+#include "snapshot/format.hh"
 #include "support/logging.hh"
 
 namespace fb::sim
@@ -306,8 +308,8 @@ Machine::run()
                 record.cycle = _now;
                 for (std::size_t k = i; k < j; ++k)
                     record.members.push_back(_groupScratch[k].second);
-                if (result.membershipViolation.empty()) {
-                    result.membershipViolation =
+                if (_membershipViolation.empty()) {
+                    _membershipViolation =
                         checkMembership(record.members, _now);
                 }
                 for (int m : record.members) {
@@ -395,6 +397,18 @@ Machine::run()
                     (!_watchdog || !_watchdog->armed());
                 std::uint64_t stop =
                     std::min(target, _config.maxCycles);
+                if (_config.checkpointEveryCycles != 0) {
+                    // Land exactly on every checkpoint multiple so a
+                    // periodic snapshot is taken at the same cycles
+                    // the per-cycle loop would take it. advanceWait()
+                    // makes the split bit-identical, so the clamp
+                    // never changes results — only where time pauses.
+                    const std::uint64_t every =
+                        _config.checkpointEveryCycles;
+                    const std::uint64_t next_cp =
+                        (_now / every + 1) * every;
+                    stop = std::min(stop, next_cp);
+                }
                 if (!would_deadlock && stop > _now + 1) {
                     std::uint64_t skipped = stop - _now - 1;
                     for (int p : _active) {
@@ -413,6 +427,18 @@ Machine::run()
             result.timedOut = true;
             break;
         }
+
+        if (_config.checkpointEveryCycles != 0 && _checkpointSink &&
+            _now % _config.checkpointEveryCycles == 0) {
+            // Loop bottom is the one cut point at which re-entering
+            // run() at the loop top replays the remainder exactly:
+            // the restored machine re-derives _active and proceeds
+            // from cycle _now as if nothing had happened.
+            if (!_checkpointSink(
+                    _now,
+                    saveState(_now / _config.checkpointEveryCycles)))
+                _checkpointSink = nullptr;
+        }
     }
 
     result.cycles = _now;
@@ -426,6 +452,7 @@ Machine::run()
     result.recoveries = _recoveries;
     result.deadDeclared = _deadDeclared;
     result.correctedFaults = _network->correctedFaults();
+    result.membershipViolation = _membershipViolation;
     if (_injector)
         result.faultStats = _injector->stats();
     if (_watchdog)
@@ -581,6 +608,328 @@ Machine::checkMembership(const std::vector<int> &members,
         }
     }
     return "";
+}
+
+std::uint64_t
+Machine::configFingerprint() const
+{
+    snapshot::Fnv1a h;
+    h.mix(static_cast<std::uint64_t>(_config.numProcessors));
+    h.mix(static_cast<std::uint64_t>(_config.issueWidth));
+    h.mix(static_cast<std::uint64_t>(_config.pipelineDepth));
+    h.mix(_config.memWords);
+    h.mix(_config.cache.enabled ? 1 : 0);
+    h.mix(_config.cache.numLines);
+    h.mix(_config.cache.lineWords);
+    h.mix(_config.cache.missPenalty);
+    h.mix(_config.busServiceCycles);
+    h.mix(static_cast<std::uint64_t>(_config.busKind));
+    h.mix(_config.syncLatency);
+    h.mix(static_cast<std::uint64_t>(_config.stall.kind));
+    h.mix(_config.stall.saveCycles);
+    h.mix(_config.stall.restoreCycles);
+    h.mix(std::bit_cast<std::uint64_t>(_config.jitterMean));
+    h.mix(_config.seed);
+    h.mix(_config.interruptPeriod);
+    h.mix(static_cast<std::uint64_t>(_config.isrEntry));
+    h.mix(_config.maxCycles);
+    h.mix(_config.recordSyncEvents ? 1 : 0);
+    h.mix(_config.fastForward ? 1 : 0);
+    // checkpointEveryCycles is deliberately excluded: it never
+    // changes results, so snapshots taken at different cadences are
+    // mutually restorable.
+    h.mixString(_config.faultPlan != nullptr ? _config.faultPlan->toSpec()
+                                             : std::string());
+    h.mix(_config.watchdog.enabled ? 1 : 0);
+    h.mix(_config.watchdog.timeoutCycles);
+    h.mix(static_cast<std::uint64_t>(_config.watchdog.maxAttempts));
+
+    // The loaded code is as much an input as the config: restoring
+    // state into different programs would replay garbage.
+    h.mix(_programs.size());
+    for (const auto &prog : _programs) {
+        h.mix(prog.size());
+        for (std::size_t i = 0; i < prog.size(); ++i) {
+            const isa::Instruction &instr = prog.at(i);
+            h.mix(static_cast<std::uint64_t>(instr.op));
+            h.mix(static_cast<std::uint64_t>(instr.rd));
+            h.mix(static_cast<std::uint64_t>(instr.rs1));
+            h.mix(static_cast<std::uint64_t>(instr.rs2));
+            h.mix(static_cast<std::uint64_t>(instr.imm));
+            h.mix(instr.inRegion ? 1 : 0);
+            h.mix(static_cast<std::uint64_t>(prog.barrierId(i)));
+        }
+    }
+    return h.value();
+}
+
+std::vector<std::uint8_t>
+Machine::saveState(std::uint64_t generation) const
+{
+    FB_ASSERT(!_trace, "checkpointing is unsupported while tracing "
+                       "barrier states (the trace is not serialized)");
+
+    std::vector<snapshot::Section> sections;
+    auto add = [&sections](snapshot::SectionId id,
+                           snapshot::Encoder &&e) {
+        snapshot::Section s;
+        s.id = static_cast<std::uint32_t>(id);
+        s.payload = std::move(e).take();
+        sections.push_back(std::move(s));
+    };
+
+    {
+        snapshot::Encoder e;
+        e.u64(_now);
+        e.boolVec(_fenced);
+        e.u64(_deadDeclared.size());
+        for (int d : _deadDeclared)
+            e.i64(d);
+        e.u64(_recoveries.size());
+        for (const RecoveryEvent &r : _recoveries) {
+            e.u64(r.cycle);
+            e.i64(r.deadProc);
+            e.u64(r.survivors.size());
+            for (int s : r.survivors)
+                e.i64(s);
+        }
+        e.u64Vec(_lastArrival);
+        e.u64(_openSyncRecord.size());
+        for (std::size_t v : _openSyncRecord)
+            e.u64(v);
+        e.u64(_syncRecords.size());
+        for (const SyncRecord &r : _syncRecords) {
+            e.u64(r.cycle);
+            e.u64(r.members.size());
+            for (int m : r.members)
+                e.i64(m);
+            e.u64Vec(r.arrivals);
+            e.u64Vec(r.crossings);
+        }
+        e.str(_membershipViolation);
+        e.u64(_invalidationsSent);
+        e.u64(_invalidationsAvoided);
+        // Sharer masks, sparse: most lines are never touched.
+        e.u64(_lineSharers.size());
+        std::uint64_t nonzero = 0;
+        for (std::uint64_t mask : _lineSharers)
+            if (mask != 0)
+                ++nonzero;
+        e.u64(nonzero);
+        for (std::size_t i = 0; i < _lineSharers.size(); ++i) {
+            if (_lineSharers[i] != 0) {
+                e.u64(i);
+                e.u64(_lineSharers[i]);
+            }
+        }
+        add(snapshot::SectionId::MachineCore, std::move(e));
+    }
+    {
+        snapshot::Encoder e;
+        _memory->encodeState(e);
+        add(snapshot::SectionId::Memory, std::move(e));
+    }
+    {
+        snapshot::Encoder e;
+        _bus->encodeState(e);
+        add(snapshot::SectionId::Bus, std::move(e));
+    }
+    {
+        snapshot::Encoder e;
+        _network->encodeState(e);
+        add(snapshot::SectionId::Network, std::move(e));
+    }
+    {
+        snapshot::Encoder e;
+        e.u64(_caches.size());
+        for (const auto &cache : _caches)
+            cache->encodeState(e);
+        add(snapshot::SectionId::Caches, std::move(e));
+    }
+    {
+        snapshot::Encoder e;
+        e.u64(_processors.size());
+        for (const auto &proc : _processors)
+            proc->encodeState(e);
+        add(snapshot::SectionId::Processors, std::move(e));
+    }
+    if (_injector) {
+        snapshot::Encoder e;
+        _injector->encodeState(e);
+        add(snapshot::SectionId::Injector, std::move(e));
+    }
+    if (_watchdog) {
+        snapshot::Encoder e;
+        _watchdog->encodeState(e);
+        add(snapshot::SectionId::Watchdog, std::move(e));
+    }
+
+    snapshot::SnapshotHeader header;
+    header.configFingerprint = configFingerprint();
+    header.cycle = _now;
+    header.generation = generation;
+    return snapshot::assemble(header, sections);
+}
+
+bool
+Machine::restoreState(const std::vector<std::uint8_t> &bytes,
+                      std::string &error)
+{
+    if (_trace) {
+        error = "cannot restore while barrier-state tracing is enabled";
+        return false;
+    }
+
+    snapshot::SnapshotHeader header;
+    std::vector<snapshot::Section> sections;
+    if (!snapshot::disassemble(bytes, header, sections, error))
+        return false;
+    if (header.configFingerprint != configFingerprint()) {
+        std::ostringstream oss;
+        oss << "config fingerprint mismatch: snapshot "
+            << header.configFingerprint << ", this machine "
+            << configFingerprint()
+            << " (different config, programs or fault plan)";
+        error = oss.str();
+        return false;
+    }
+
+    auto fail = [&error](const char *what) {
+        error = std::string("corrupt ") + what + " section";
+        return false;
+    };
+
+    bool saw_core = false, saw_memory = false, saw_bus = false;
+    bool saw_network = false, saw_caches = false, saw_procs = false;
+    for (const snapshot::Section &s : sections) {
+        snapshot::Decoder d(s.payload);
+        switch (static_cast<snapshot::SectionId>(s.id)) {
+          case snapshot::SectionId::MachineCore: {
+            _now = d.u64();
+            d.boolVec(_fenced);
+            _deadDeclared.clear();
+            const std::uint64_t dead = d.u64();
+            for (std::uint64_t k = 0; k < dead && d.ok(); ++k)
+                _deadDeclared.push_back(static_cast<int>(d.i64()));
+            _recoveries.clear();
+            const std::uint64_t recoveries = d.u64();
+            for (std::uint64_t k = 0; k < recoveries && d.ok(); ++k) {
+                RecoveryEvent r;
+                r.cycle = d.u64();
+                r.deadProc = static_cast<int>(d.i64());
+                const std::uint64_t survivors = d.u64();
+                for (std::uint64_t i = 0; i < survivors && d.ok(); ++i)
+                    r.survivors.push_back(static_cast<int>(d.i64()));
+                _recoveries.push_back(std::move(r));
+            }
+            d.u64Vec(_lastArrival);
+            _openSyncRecord.clear();
+            const std::uint64_t open = d.u64();
+            for (std::uint64_t k = 0; k < open && d.ok(); ++k)
+                _openSyncRecord.push_back(
+                    static_cast<std::size_t>(d.u64()));
+            _syncRecords.clear();
+            const std::uint64_t records = d.u64();
+            for (std::uint64_t k = 0; k < records && d.ok(); ++k) {
+                SyncRecord r;
+                r.cycle = d.u64();
+                const std::uint64_t members = d.u64();
+                for (std::uint64_t i = 0; i < members && d.ok(); ++i)
+                    r.members.push_back(static_cast<int>(d.i64()));
+                d.u64Vec(r.arrivals);
+                d.u64Vec(r.crossings);
+                _syncRecords.push_back(std::move(r));
+            }
+            _membershipViolation = d.str();
+            _invalidationsSent = d.u64();
+            _invalidationsAvoided = d.u64();
+            const std::uint64_t sharer_lines = d.u64();
+            if (!d.ok() || sharer_lines != _lineSharers.size())
+                return fail("machine-core");
+            std::fill(_lineSharers.begin(), _lineSharers.end(), 0);
+            const std::uint64_t nonzero = d.u64();
+            for (std::uint64_t k = 0; k < nonzero && d.ok(); ++k) {
+                const std::uint64_t idx = d.u64();
+                const std::uint64_t mask = d.u64();
+                if (idx >= _lineSharers.size())
+                    return fail("machine-core");
+                _lineSharers[static_cast<std::size_t>(idx)] = mask;
+            }
+            const std::size_t n =
+                static_cast<std::size_t>(numProcessors());
+            if (!d.done() || _fenced.size() != n ||
+                _lastArrival.size() != n || _openSyncRecord.size() != n)
+                return fail("machine-core");
+            saw_core = true;
+            break;
+          }
+          case snapshot::SectionId::Memory:
+            if (!_memory->decodeState(d) || !d.done())
+                return fail("memory");
+            saw_memory = true;
+            break;
+          case snapshot::SectionId::Bus:
+            if (!_bus->decodeState(d) || !d.done())
+                return fail("bus");
+            saw_bus = true;
+            break;
+          case snapshot::SectionId::Network:
+            if (!_network->decodeState(d) || !d.done())
+                return fail("network");
+            saw_network = true;
+            break;
+          case snapshot::SectionId::Caches: {
+            if (d.u64() != _caches.size())
+                return fail("caches");
+            for (auto &cache : _caches)
+                if (!cache->decodeState(d))
+                    return fail("caches");
+            if (!d.done())
+                return fail("caches");
+            saw_caches = true;
+            break;
+          }
+          case snapshot::SectionId::Processors: {
+            if (d.u64() != _processors.size())
+                return fail("processors");
+            for (auto &proc : _processors)
+                if (!proc->decodeState(d))
+                    return fail("processors");
+            if (!d.done())
+                return fail("processors");
+            saw_procs = true;
+            break;
+          }
+          case snapshot::SectionId::Injector:
+            if (!_injector)
+                return fail("injector (machine has no fault plan)");
+            if (!_injector->decodeState(d) || !d.done())
+                return fail("injector");
+            break;
+          case snapshot::SectionId::Watchdog:
+            if (!_watchdog)
+                return fail("watchdog (machine has no watchdog)");
+            if (!_watchdog->decodeState(d) || !d.done())
+                return fail("watchdog");
+            break;
+          default: {
+            std::ostringstream oss;
+            oss << "unknown snapshot section id " << s.id;
+            error = oss.str();
+            return false;
+          }
+        }
+    }
+    if (!saw_core || !saw_memory || !saw_bus || !saw_network ||
+        !saw_caches || !saw_procs) {
+        error = "snapshot is missing a required section";
+        return false;
+    }
+    if (_now != header.cycle) {
+        error = "snapshot header cycle disagrees with machine core";
+        return false;
+    }
+    return true;
 }
 
 std::string

@@ -8,6 +8,7 @@
 #define FB_SIM_MACHINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -172,6 +173,54 @@ class Machine : public ExecutionObserver
     void onArrive(int p, std::uint64_t cycle) override;
     void onCross(int p, std::uint64_t cycle) override;
 
+    /**
+     * Receives each periodic checkpoint: the cycle it was captured at
+     * and the assembled snapshot bytes. Returning false uninstalls the
+     * sink (no further checkpoints are taken this run).
+     */
+    using CheckpointSink =
+        std::function<bool(std::uint64_t cycle,
+                           const std::vector<std::uint8_t> &bytes)>;
+
+    /** Install the checkpoint sink (see MachineConfig::
+     * checkpointEveryCycles). Must precede run(). */
+    void setCheckpointSink(CheckpointSink sink)
+    {
+        _checkpointSink = std::move(sink);
+    }
+
+    /**
+     * FNV-1a fingerprint over every result-relevant configuration
+     * input: all MachineConfig fields except checkpointEveryCycles
+     * (which never changes results), the fault plan, the watchdog
+     * parameters, and every loaded program's instructions and barrier
+     * ids. A snapshot only restores into a machine with an identical
+     * fingerprint, so state can never silently meet the wrong config
+     * or the wrong code.
+     */
+    std::uint64_t configFingerprint() const;
+
+    /**
+     * Capture the complete mutable machine state as a validated
+     * snapshot byte stream (see src/snapshot/). @p generation is
+     * embedded in the header for the store's stale-snapshot check.
+     * Not supported while barrier-state tracing is enabled.
+     */
+    std::vector<std::uint8_t>
+    saveState(std::uint64_t generation = 0) const;
+
+    /**
+     * Restore state captured by saveState() on an identically
+     * configured machine with identical programs loaded (enforced via
+     * the config fingerprint). On success the machine continues from
+     * the captured cycle: run() produces exactly the cycles, stats and
+     * verdict the uninterrupted run would have produced. On failure
+     * returns false with a diagnostic in @p error; the machine must
+     * then be discarded (state may be partially overwritten).
+     */
+    bool restoreState(const std::vector<std::uint8_t> &bytes,
+                      std::string &error);
+
   private:
     class Port;
 
@@ -218,6 +267,11 @@ class Machine : public ExecutionObserver
     std::vector<bool> _fenced;
     std::vector<RecoveryEvent> _recoveries;
     std::vector<int> _deadDeclared;
+    /** First membership violation observed (survives save/restore). */
+    std::string _membershipViolation;
+
+    /** Periodic checkpoint consumer (null = checkpointing off). */
+    CheckpointSink _checkpointSink;
 
     // Oracle bookkeeping.
     std::vector<std::uint64_t> _lastArrival;

@@ -1,5 +1,7 @@
 #include "sim/memory.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 
 namespace fb::sim
@@ -80,6 +82,86 @@ SharedMemory::touch(std::size_t addr)
 {
     ++_totalAccesses;
     ++_accessCounts[addr];
+}
+
+namespace
+{
+constexpr std::size_t snapshotPageWords = 1024;
+} // namespace
+
+void
+SharedMemory::encodeState(snapshot::Encoder &e) const
+{
+    e.u64(_words.size());
+
+    // Dirty pages: any page holding a nonzero word.
+    std::vector<std::size_t> dirty;
+    const std::size_t pages =
+        (_words.size() + snapshotPageWords - 1) / snapshotPageWords;
+    for (std::size_t p = 0; p < pages; ++p) {
+        const std::size_t begin = p * snapshotPageWords;
+        const std::size_t end =
+            std::min(begin + snapshotPageWords, _words.size());
+        for (std::size_t i = begin; i < end; ++i) {
+            if (_words[i] != 0) {
+                dirty.push_back(p);
+                break;
+            }
+        }
+    }
+    e.u64(dirty.size());
+    for (std::size_t p : dirty) {
+        const std::size_t begin = p * snapshotPageWords;
+        const std::size_t end =
+            std::min(begin + snapshotPageWords, _words.size());
+        e.u64(p);
+        e.u64(end - begin);
+        for (std::size_t i = begin; i < end; ++i)
+            e.i64(_words[i]);
+    }
+
+    std::vector<std::pair<std::size_t, std::uint64_t>> counts(
+        _accessCounts.begin(), _accessCounts.end());
+    std::sort(counts.begin(), counts.end());
+    e.u64(counts.size());
+    for (const auto &[addr, count] : counts) {
+        e.u64(addr);
+        e.u64(count);
+    }
+    e.u64(_totalAccesses);
+}
+
+bool
+SharedMemory::decodeState(snapshot::Decoder &d)
+{
+    const std::uint64_t words = d.u64();
+    if (!d.ok() || words != _words.size())
+        return false;
+    std::fill(_words.begin(), _words.end(), 0);
+
+    const std::uint64_t dirty = d.u64();
+    for (std::uint64_t k = 0; k < dirty; ++k) {
+        const std::uint64_t page = d.u64();
+        const std::uint64_t count = d.u64();
+        const std::uint64_t begin = page * snapshotPageWords;
+        if (!d.ok() || begin + count > _words.size() ||
+            count > snapshotPageWords)
+            return false;
+        for (std::uint64_t i = 0; i < count; ++i)
+            _words[static_cast<std::size_t>(begin + i)] = d.i64();
+    }
+
+    _accessCounts.clear();
+    const std::uint64_t entries = d.u64();
+    for (std::uint64_t k = 0; k < entries; ++k) {
+        const std::uint64_t addr = d.u64();
+        const std::uint64_t count = d.u64();
+        if (!d.ok() || addr >= _words.size())
+            return false;
+        _accessCounts[static_cast<std::size_t>(addr)] = count;
+    }
+    _totalAccesses = d.u64();
+    return d.ok();
 }
 
 } // namespace fb::sim

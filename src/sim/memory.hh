@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "snapshot/codec.hh"
+
 namespace fb::sim
 {
 
@@ -53,6 +55,17 @@ class SharedMemory
 
     /** Forget access statistics, keep contents. */
     void resetStats();
+
+    /**
+     * Serialize contents sparsely: only pages containing a nonzero
+     * word are written (memory starts zeroed, so untouched pages are
+     * implicit), plus the access-count map in sorted order so the
+     * byte stream is deterministic.
+     */
+    void encodeState(snapshot::Encoder &e) const;
+
+    /** Restore state captured with encodeState(). */
+    bool decodeState(snapshot::Decoder &d);
 
   private:
     void touch(std::size_t addr);

@@ -589,4 +589,65 @@ Processor::executeAt(std::uint64_t now)
     return cost;
 }
 
+void
+Processor::encodeState(snapshot::Encoder &e) const
+{
+    for (std::int64_t r : _regs)
+        e.i64(r);
+    e.u64(_pc);
+    e.b(_halted);
+    e.u8(static_cast<std::uint8_t>(_state));
+    e.u32(_busyCycles);
+    e.b(_markerRegion);
+    e.boolVec(_callStack);
+    e.b(_issueEffRegion);
+    e.u32(_lastIssueCost);
+    e.b(_inIsr);
+    e.u64(_savedPc);
+    e.u64(_nextInterrupt);
+    e.b(_forceInterrupt);
+    e.b(_arrivePending);
+    e.u64(_arriveCycle);
+    e.u64(_lastNonRegionComplete);
+    e.u64(_instructions);
+    e.u64(_barrierWaitCycles);
+    e.u64(_contextSwitchCycles);
+    e.u64(_contextSwitches);
+    e.u64(_interruptsTaken);
+    for (std::uint64_t s : _jitter.state())
+        e.u64(s);
+}
+
+bool
+Processor::decodeState(snapshot::Decoder &d)
+{
+    for (std::int64_t &r : _regs)
+        r = d.i64();
+    _pc = static_cast<std::size_t>(d.u64());
+    _halted = d.b();
+    _state = static_cast<CoreState>(d.u8());
+    _busyCycles = d.u32();
+    _markerRegion = d.b();
+    d.boolVec(_callStack);
+    _issueEffRegion = d.b();
+    _lastIssueCost = d.u32();
+    _inIsr = d.b();
+    _savedPc = static_cast<std::size_t>(d.u64());
+    _nextInterrupt = d.u64();
+    _forceInterrupt = d.b();
+    _arrivePending = d.b();
+    _arriveCycle = d.u64();
+    _lastNonRegionComplete = d.u64();
+    _instructions = d.u64();
+    _barrierWaitCycles = d.u64();
+    _contextSwitchCycles = d.u64();
+    _contextSwitches = d.u64();
+    _interruptsTaken = d.u64();
+    std::array<std::uint64_t, 4> jitter_state{};
+    for (std::uint64_t &s : jitter_state)
+        s = d.u64();
+    _jitter.setState(jitter_state);
+    return d.ok() && _pc <= _program.size();
+}
+
 } // namespace fb::sim

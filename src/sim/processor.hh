@@ -13,6 +13,7 @@
 #include "barrier/unit.hh"
 #include "isa/program.hh"
 #include "sim/config.hh"
+#include "snapshot/codec.hh"
 #include "support/random.hh"
 
 namespace fb::sim
@@ -200,6 +201,18 @@ class Processor
      * periodic schedule.
      */
     void forceInterrupt() { _forceInterrupt = true; }
+
+    /**
+     * Serialize the full mutable core state (registers, PC, FSM,
+     * pipeline countdowns, interrupt machinery, jitter PRNG state and
+     * counters). The Program itself is not captured — restore requires
+     * the host to have loaded identical programs, which the snapshot
+     * header's config fingerprint enforces.
+     */
+    void encodeState(snapshot::Encoder &e) const;
+
+    /** Restore state captured with encodeState(). */
+    bool decodeState(snapshot::Decoder &d);
 
   private:
     enum class CoreState

@@ -1,0 +1,48 @@
+#include "snapshot/codec.hh"
+
+#include <array>
+
+namespace fb::snapshot
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+buildCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t len)
+{
+    Crc32 c;
+    c.update(data, len);
+    return c.value();
+}
+
+void
+Crc32::update(const std::uint8_t *data, std::size_t len)
+{
+    static const std::array<std::uint32_t, 256> table = buildCrcTable();
+    for (std::size_t i = 0; i < len; ++i)
+        _state = table[(_state ^ data[i]) & 0xffu] ^ (_state >> 8);
+}
+
+std::uint32_t
+crc32(const std::vector<std::uint8_t> &data)
+{
+    return crc32(data.data(), data.size());
+}
+
+} // namespace fb::snapshot

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Byte-level codec for machine snapshots.
+ *
+ * Every multi-byte value is encoded little-endian at a fixed width so
+ * a snapshot written on one host decodes bit-identically on any other.
+ * The Decoder is bounds-checked and sticky-failing: any read past the
+ * end of the buffer latches the failure flag and returns zero values,
+ * so call sites decode a whole struct and check ok() once at the end.
+ */
+
+#ifndef FB_SNAPSHOT_CODEC_HH
+#define FB_SNAPSHOT_CODEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bitvector.hh"
+
+namespace fb::snapshot
+{
+
+/** CRC-32 (IEEE 802.3, reflected) over @p len bytes. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t len);
+
+/** CRC-32 over a whole byte vector. */
+std::uint32_t crc32(const std::vector<std::uint8_t> &data);
+
+/**
+ * Incremental CRC-32 with the same parameters as crc32(), for
+ * checksumming discontiguous spans (e.g. a section's metadata and its
+ * payload) without concatenating them.
+ */
+class Crc32
+{
+  public:
+    void update(const std::uint8_t *data, std::size_t len);
+
+    void update(const std::vector<std::uint8_t> &data)
+    {
+        update(data.data(), data.size());
+    }
+
+    std::uint32_t value() const { return _state ^ 0xffffffffu; }
+
+  private:
+    std::uint32_t _state = 0xffffffffu;
+};
+
+/**
+ * Append-only little-endian encoder.
+ */
+class Encoder
+{
+  public:
+    void u8(std::uint8_t v) { _buf.push_back(v); }
+
+    void u32(std::uint32_t v)
+    {
+        // One capacity check + memcpy instead of four push_backs:
+        // snapshots are built from millions of these.
+        std::uint8_t le[4];
+        for (int i = 0; i < 4; ++i)
+            le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        _buf.insert(_buf.end(), le, le + 4);
+    }
+
+    void u64(std::uint64_t v)
+    {
+        std::uint8_t le[8];
+        for (int i = 0; i < 8; ++i)
+            le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        _buf.insert(_buf.end(), le, le + 8);
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** Length-prefixed UTF-8/byte string. */
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        _buf.insert(_buf.end(), s.begin(), s.end());
+    }
+
+    /** Length-prefixed bool vector, one byte per element. */
+    void boolVec(const std::vector<bool> &v)
+    {
+        u64(v.size());
+        for (bool x : v)
+            b(x);
+    }
+
+    /** Length-prefixed u64 vector. */
+    void u64Vec(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        for (auto x : v)
+            u64(x);
+    }
+
+    /** BitVector: bit count then the bits packed 8 per byte. */
+    void bits(const BitVector &v)
+    {
+        u64(v.size());
+        std::uint8_t acc = 0;
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (v.test(i))
+                acc |= static_cast<std::uint8_t>(1u << (i % 8));
+            if (i % 8 == 7) {
+                u8(acc);
+                acc = 0;
+            }
+        }
+        if (v.size() % 8 != 0)
+            u8(acc);
+    }
+
+    const std::vector<std::uint8_t> &buffer() const { return _buf; }
+
+    std::vector<std::uint8_t> take() { return std::move(_buf); }
+
+  private:
+    std::vector<std::uint8_t> _buf;
+};
+
+/**
+ * Bounds-checked little-endian decoder over a borrowed buffer.
+ */
+class Decoder
+{
+  public:
+    Decoder(const std::uint8_t *data, std::size_t size)
+        : _data(data), _size(size)
+    {
+    }
+
+    explicit Decoder(const std::vector<std::uint8_t> &buf)
+        : Decoder(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t u8()
+    {
+        if (!need(1))
+            return 0;
+        return _data[_pos++];
+    }
+
+    std::uint32_t u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(_data[_pos++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(_data[_pos++]) << (8 * i);
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    bool b() { return u8() != 0; }
+
+    std::string str()
+    {
+        std::uint64_t n = u64();
+        if (!need(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(_data + _pos),
+                      static_cast<std::size_t>(n));
+        _pos += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    void boolVec(std::vector<bool> &out)
+    {
+        std::uint64_t n = u64();
+        if (!need(n)) {
+            out.clear();
+            return;
+        }
+        out.assign(static_cast<std::size_t>(n), false);
+        for (std::uint64_t i = 0; i < n; ++i)
+            out[static_cast<std::size_t>(i)] = b();
+    }
+
+    void u64Vec(std::vector<std::uint64_t> &out)
+    {
+        std::uint64_t n = u64();
+        if (!need(n * 8)) {
+            out.clear();
+            return;
+        }
+        out.assign(static_cast<std::size_t>(n), 0);
+        for (std::uint64_t i = 0; i < n; ++i)
+            out[static_cast<std::size_t>(i)] = u64();
+    }
+
+    void bits(BitVector &out)
+    {
+        std::uint64_t n = u64();
+        if (!need((n + 7) / 8)) {
+            out = BitVector(0);
+            return;
+        }
+        out = BitVector(static_cast<std::size_t>(n));
+        std::uint8_t acc = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (i % 8 == 0)
+                acc = u8();
+            out.set(static_cast<std::size_t>(i),
+                    (acc >> (i % 8)) & 1u);
+        }
+    }
+
+    /** True iff no read has overrun the buffer. */
+    bool ok() const { return !_failed; }
+
+    /** True iff the buffer is fully consumed and no read failed. */
+    bool done() const { return !_failed && _pos == _size; }
+
+    std::size_t remaining() const { return _size - _pos; }
+
+  private:
+    bool need(std::uint64_t n)
+    {
+        if (_failed || n > _size - _pos) {
+            _failed = true;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *_data;
+    std::size_t _size;
+    std::size_t _pos = 0;
+    bool _failed = false;
+};
+
+} // namespace fb::snapshot
+
+#endif // FB_SNAPSHOT_CODEC_HH

@@ -1,0 +1,145 @@
+#include "snapshot/format.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "snapshot/codec.hh"
+
+namespace fb::snapshot
+{
+
+namespace
+{
+
+// magic(8) + version(4) + fingerprint(8) + cycle(8) + generation(8) +
+// sectionCount(4) + headerCrc(4)
+constexpr std::size_t headerBytes = 8 + 4 + 8 + 8 + 8 + 4 + 4;
+
+} // namespace
+
+std::vector<std::uint8_t>
+assemble(const SnapshotHeader &header, const std::vector<Section> &sections)
+{
+    Encoder e;
+    for (std::uint8_t m : magic)
+        e.u8(m);
+    e.u32(header.version);
+    e.u64(header.configFingerprint);
+    e.u64(header.cycle);
+    e.u64(header.generation);
+    e.u32(static_cast<std::uint32_t>(sections.size()));
+    e.u32(crc32(e.buffer()));
+
+    for (const Section &s : sections) {
+        // The section CRC covers the id and declared size as well as
+        // the payload, so a flipped bit in the metadata fields cannot
+        // slip through either.
+        Encoder meta;
+        meta.u32(s.id);
+        meta.u64(s.payload.size());
+        Crc32 crc;
+        crc.update(meta.buffer());
+        crc.update(s.payload);
+        for (std::uint8_t byte : meta.buffer())
+            e.u8(byte);
+        e.u32(crc.value());
+        for (std::uint8_t byte : s.payload)
+            e.u8(byte);
+    }
+    return e.take();
+}
+
+bool
+peekHeader(const std::vector<std::uint8_t> &bytes, SnapshotHeader &header,
+           std::string &error)
+{
+    if (bytes.size() < headerBytes) {
+        std::ostringstream oss;
+        oss << "truncated header: " << bytes.size() << " bytes, need "
+            << headerBytes;
+        error = oss.str();
+        return false;
+    }
+    if (std::memcmp(bytes.data(), magic, sizeof(magic)) != 0) {
+        error = "bad magic";
+        return false;
+    }
+    Decoder d(bytes.data() + sizeof(magic), headerBytes - sizeof(magic));
+    header.version = d.u32();
+    header.configFingerprint = d.u64();
+    header.cycle = d.u64();
+    header.generation = d.u64();
+    const std::uint32_t section_count = d.u32();
+    (void)section_count;
+    const std::uint32_t file_crc = d.u32();
+    if (crc32(bytes.data(), headerBytes - 4) != file_crc) {
+        error = "header CRC mismatch";
+        return false;
+    }
+    if (header.version != formatVersion) {
+        std::ostringstream oss;
+        oss << "unsupported format version " << header.version
+            << " (expected " << formatVersion << ")";
+        error = oss.str();
+        return false;
+    }
+    return true;
+}
+
+bool
+disassemble(const std::vector<std::uint8_t> &bytes, SnapshotHeader &header,
+            std::vector<Section> &sections, std::string &error)
+{
+    if (!peekHeader(bytes, header, error))
+        return false;
+
+    Decoder d(bytes.data() + sizeof(magic), bytes.size() - sizeof(magic));
+    d.u32();  // version
+    d.u64();  // fingerprint
+    d.u64();  // cycle
+    d.u64();  // generation
+    const std::uint32_t section_count = d.u32();
+    d.u32();  // header CRC
+
+    sections.clear();
+    for (std::uint32_t i = 0; i < section_count; ++i) {
+        Section s;
+        s.id = d.u32();
+        const std::uint64_t size = d.u64();
+        const std::uint32_t payload_crc = d.u32();
+        if (!d.ok() || size > d.remaining()) {
+            std::ostringstream oss;
+            oss << "section " << i << " (id " << s.id
+                << "): truncated (declares " << size << " bytes, "
+                << d.remaining() << " remain)";
+            error = oss.str();
+            return false;
+        }
+        s.payload.resize(static_cast<std::size_t>(size));
+        for (std::uint64_t k = 0; k < size; ++k)
+            s.payload[static_cast<std::size_t>(k)] = d.u8();
+        Encoder meta;
+        meta.u32(s.id);
+        meta.u64(size);
+        Crc32 crc;
+        crc.update(meta.buffer());
+        crc.update(s.payload);
+        if (crc.value() != payload_crc) {
+            std::ostringstream oss;
+            oss << "section " << i << " (id " << s.id
+                << "): section CRC mismatch";
+            error = oss.str();
+            return false;
+        }
+        sections.push_back(std::move(s));
+    }
+    if (d.remaining() != 0) {
+        std::ostringstream oss;
+        oss << d.remaining() << " trailing byte(s) after last section";
+        error = oss.str();
+        return false;
+    }
+    return true;
+}
+
+} // namespace fb::snapshot

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The versioned binary snapshot container (see docs/INTERNALS.md
+ * section 15 for the byte-level layout).
+ *
+ * A snapshot is a header followed by typed sections. The header pins
+ * the magic, format version, the machine-configuration fingerprint
+ * (so a snapshot can never be silently restored into a differently
+ * configured machine), the cycle the state was captured at, and the
+ * store generation. Header and every section carry independent CRC32s:
+ * a torn write or a flipped bit is detected before any state is
+ * decoded, never after.
+ */
+
+#ifndef FB_SNAPSHOT_FORMAT_HH
+#define FB_SNAPSHOT_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fb::snapshot
+{
+
+/** Current container format version. */
+constexpr std::uint32_t formatVersion = 1;
+
+/** 8-byte magic at offset 0: "FBSNAP" + version tag bytes. */
+constexpr std::uint8_t magic[8] = {'F', 'B', 'S', 'N', 'A', 'P',
+                                   '0', '1'};
+
+/** Section identifiers (one section per machine component). */
+enum class SectionId : std::uint32_t
+{
+    MachineCore = 1,  ///< clock, fences, recoveries, oracle bookkeeping
+    Memory = 2,       ///< shared memory (sparse dirty pages)
+    Bus = 3,          ///< interconnect busy state and counters
+    Network = 4,      ///< barrier units + in-flight deliveries
+    Caches = 5,       ///< per-processor cache tags and counters
+    Processors = 6,   ///< per-processor core state
+    Injector = 7,     ///< fault-plan cursors (optional)
+    Watchdog = 8,     ///< armed timers and backoff state (optional)
+};
+
+/** Fixed-size metadata preceding the sections. */
+struct SnapshotHeader
+{
+    std::uint32_t version = formatVersion;
+    std::uint64_t configFingerprint = 0;
+    std::uint64_t cycle = 0;       ///< machine clock at capture
+    std::uint64_t generation = 0;  ///< store generation number
+};
+
+/** One typed, CRC-protected payload. */
+struct Section
+{
+    std::uint32_t id = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Serialize header + sections into the on-disk byte stream. */
+std::vector<std::uint8_t> assemble(const SnapshotHeader &header,
+                                   const std::vector<Section> &sections);
+
+/**
+ * Parse and fully validate a snapshot byte stream: magic, version,
+ * header CRC, section table bounds, and every section CRC. Returns
+ * false with a positional diagnostic in @p error on any mismatch; on
+ * success every payload is known intact.
+ */
+bool disassemble(const std::vector<std::uint8_t> &bytes,
+                 SnapshotHeader &header, std::vector<Section> &sections,
+                 std::string &error);
+
+/**
+ * Validate only the header (magic, version, header CRC) and return
+ * it — cheap enough to probe candidate files during the generation
+ * walk-back without decoding payloads.
+ */
+bool peekHeader(const std::vector<std::uint8_t> &bytes,
+                SnapshotHeader &header, std::string &error);
+
+/**
+ * Incremental FNV-1a hasher used for the configuration fingerprint.
+ */
+class Fnv1a
+{
+  public:
+    void mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            _h ^= (v >> (8 * i)) & 0xffu;
+            _h *= 0x100000001b3ULL;
+        }
+    }
+
+    void mixString(const std::string &s)
+    {
+        mix(s.size());
+        for (char c : s) {
+            _h ^= static_cast<std::uint8_t>(c);
+            _h *= 0x100000001b3ULL;
+        }
+    }
+
+    std::uint64_t value() const { return _h; }
+
+  private:
+    std::uint64_t _h = 0xcbf29ce484222325ULL;
+};
+
+} // namespace fb::snapshot
+
+#endif // FB_SNAPSHOT_FORMAT_HH

@@ -1,0 +1,240 @@
+#include "snapshot/store.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "snapshot/format.hh"
+
+namespace fb::snapshot
+{
+
+namespace
+{
+
+constexpr const char *filePrefix = "snap-";
+constexpr const char *fileSuffix = ".fbsnap";
+
+std::string
+errnoString()
+{
+    return std::strerror(errno);
+}
+
+/** Parse "snap-<generation>.fbsnap"; false if the name doesn't match. */
+bool
+parseGeneration(const std::string &name, std::uint64_t &generation)
+{
+    const std::size_t prefix_len = std::strlen(filePrefix);
+    const std::size_t suffix_len = std::strlen(fileSuffix);
+    if (name.size() <= prefix_len + suffix_len)
+        return false;
+    if (name.compare(0, prefix_len, filePrefix) != 0)
+        return false;
+    if (name.compare(name.size() - suffix_len, suffix_len, fileSuffix) != 0)
+        return false;
+    const std::string digits =
+        name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+    if (digits.empty())
+        return false;
+    std::uint64_t g = 0;
+    for (char c : digits) {
+        if (c < '0' || c > '9')
+            return false;
+        g = g * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    generation = g;
+    return true;
+}
+
+bool
+fsyncPath(const std::string &path, std::string &error)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        error = "open '" + path + "' for fsync: " + errnoString();
+        return false;
+    }
+    if (::fsync(fd) != 0) {
+        error = "fsync '" + path + "': " + errnoString();
+        ::close(fd);
+        return false;
+    }
+    ::close(fd);
+    return true;
+}
+
+} // namespace
+
+SnapshotStore::SnapshotStore(std::string directory,
+                             std::size_t keepGenerations)
+    : _dir(std::move(directory)),
+      _keep(keepGenerations == 0 ? 1 : keepGenerations)
+{
+}
+
+std::string
+SnapshotStore::pathFor(std::uint64_t generation) const
+{
+    std::ostringstream oss;
+    oss << _dir << '/' << filePrefix << generation << fileSuffix;
+    return oss.str();
+}
+
+bool
+SnapshotStore::save(std::uint64_t generation,
+                    const std::vector<std::uint8_t> &bytes,
+                    std::string &error)
+{
+    if (::mkdir(_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+        error = "mkdir '" + _dir + "': " + errnoString();
+        return false;
+    }
+
+    const std::string final_path = pathFor(generation);
+    const std::string tmp_path = final_path + ".tmp";
+
+    int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        error = "open '" + tmp_path + "': " + errnoString();
+        return false;
+    }
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + written,
+                            bytes.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = "write '" + tmp_path + "': " + errnoString();
+            ::close(fd);
+            ::unlink(tmp_path.c_str());
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        error = "fsync '" + tmp_path + "': " + errnoString();
+        ::close(fd);
+        ::unlink(tmp_path.c_str());
+        return false;
+    }
+    ::close(fd);
+
+    if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+        error = "rename '" + tmp_path + "' -> '" + final_path +
+                "': " + errnoString();
+        ::unlink(tmp_path.c_str());
+        return false;
+    }
+    // Make the rename itself durable.
+    if (!fsyncPath(_dir, error))
+        return false;
+
+    // Prune beyond the retention window. Best-effort: a failed unlink
+    // only leaves an extra old generation behind.
+    auto entries = list();
+    if (entries.size() > _keep) {
+        for (std::size_t i = 0; i + _keep < entries.size(); ++i)
+            ::unlink(entries[i].second.c_str());
+    }
+    return true;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>>
+SnapshotStore::list() const
+{
+    std::vector<std::pair<std::uint64_t, std::string>> out;
+    DIR *d = ::opendir(_dir.c_str());
+    if (d == nullptr)
+        return out;
+    while (dirent *ent = ::readdir(d)) {
+        std::uint64_t g = 0;
+        if (parseGeneration(ent->d_name, g))
+            out.emplace_back(g, _dir + '/' + ent->d_name);
+    }
+    ::closedir(d);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::uint64_t
+SnapshotStore::newestGeneration() const
+{
+    auto entries = list();
+    return entries.empty() ? 0 : entries.back().first;
+}
+
+bool
+SnapshotStore::loadLatest(std::vector<std::uint8_t> &bytes,
+                          std::uint64_t &generation,
+                          std::vector<std::string> &diagnostics) const
+{
+    auto entries = list();
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        std::vector<std::uint8_t> candidate;
+        std::string error;
+        if (!readFile(it->second, candidate, error)) {
+            diagnostics.push_back(it->second + ": " + error);
+            continue;
+        }
+        SnapshotHeader header;
+        std::vector<Section> sections;
+        if (!disassemble(candidate, header, sections, error)) {
+            diagnostics.push_back(it->second + ": " + error);
+            continue;
+        }
+        if (header.generation != it->first) {
+            std::ostringstream oss;
+            oss << it->second << ": stale snapshot (embedded generation "
+                << header.generation << " != filename generation "
+                << it->first << ")";
+            diagnostics.push_back(oss.str());
+            continue;
+        }
+        bytes = std::move(candidate);
+        generation = it->first;
+        return true;
+    }
+    if (entries.empty())
+        diagnostics.push_back("no snapshots in '" + _dir + "'");
+    return false;
+}
+
+bool
+readFile(const std::string &path, std::vector<std::uint8_t> &bytes,
+         std::string &error)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        error = "open: " + errnoString();
+        return false;
+    }
+    bytes.clear();
+    std::uint8_t buf[65536];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = "read: " + errnoString();
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        bytes.insert(bytes.end(), buf, buf + n);
+    }
+    ::close(fd);
+    return true;
+}
+
+} // namespace fb::snapshot

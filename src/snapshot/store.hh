@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Durable, generation-numbered snapshot persistence.
+ *
+ * Every write goes to a temporary file, is fsync'd, and is then
+ * atomically renamed into place (followed by a directory fsync), so a
+ * crash at any instant leaves either the previous generation or the
+ * new one — never a half-written file under a final name. The store
+ * keeps the newest @c keepGenerations snapshots and prunes older ones.
+ * On load it walks generations newest-first, skipping any file that
+ * fails magic/version/CRC validation or whose embedded generation
+ * disagrees with its filename (a stale or copied-over snapshot), and
+ * returns the newest valid one.
+ */
+
+#ifndef FB_SNAPSHOT_STORE_HH
+#define FB_SNAPSHOT_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fb::snapshot
+{
+
+class SnapshotStore
+{
+  public:
+    /**
+     * @param directory  created if missing
+     * @param keepGenerations  how many newest snapshots to retain (>= 1)
+     */
+    explicit SnapshotStore(std::string directory,
+                           std::size_t keepGenerations = 3);
+
+    /**
+     * Durably persist @p bytes as generation @p generation
+     * (write-temp / fsync / atomic-rename / fsync-directory), then
+     * prune generations beyond the retention window. Returns false
+     * with a diagnostic in @p error on any I/O failure.
+     */
+    bool save(std::uint64_t generation,
+              const std::vector<std::uint8_t> &bytes, std::string &error);
+
+    /**
+     * Load the newest snapshot that passes full validation
+     * (magic, version, header CRC, every section CRC, and
+     * embedded-generation == filename-generation). Corrupt or torn
+     * candidates are skipped; their diagnostics are appended to
+     * @p diagnostics. Returns false only when no valid snapshot
+     * exists at all.
+     */
+    bool loadLatest(std::vector<std::uint8_t> &bytes,
+                    std::uint64_t &generation,
+                    std::vector<std::string> &diagnostics) const;
+
+    /** All (generation, path) pairs present on disk, ascending. */
+    std::vector<std::pair<std::uint64_t, std::string>> list() const;
+
+    /** Newest generation on disk, or 0 when the store is empty. */
+    std::uint64_t newestGeneration() const;
+
+    const std::string &directory() const { return _dir; }
+
+    /** Path a given generation is stored under. */
+    std::string pathFor(std::uint64_t generation) const;
+
+  private:
+    std::string _dir;
+    std::size_t _keep;
+};
+
+/** Read a whole file into @p bytes; false + diagnostic on failure. */
+bool readFile(const std::string &path, std::vector<std::uint8_t> &bytes,
+              std::string &error);
+
+} // namespace fb::snapshot
+
+#endif // FB_SNAPSHOT_STORE_HH

@@ -13,6 +13,7 @@
 #ifndef FB_SUPPORT_RANDOM_HH
 #define FB_SUPPORT_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 namespace fb
@@ -54,6 +55,21 @@ class RandomSource
 
     /** Create an independent child stream (for per-processor use). */
     RandomSource split();
+
+    /** Raw generator state, for checkpointing. */
+    std::array<std::uint64_t, 4> state() const
+    {
+        return {_s[0], _s[1], _s[2], _s[3]};
+    }
+
+    /** Restore raw generator state captured with state(). */
+    void setState(const std::array<std::uint64_t, 4> &s)
+    {
+        _s[0] = s[0];
+        _s[1] = s[1];
+        _s[2] = s[2];
+        _s[3] = s[3];
+    }
 
   private:
     std::uint64_t _s[4];

@@ -1,0 +1,239 @@
+#include "verify/resume.hh"
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+#include "support/random.hh"
+
+namespace fb::verify
+{
+
+namespace
+{
+
+sim::MachineConfig
+baselineConfig(const Scenario &sc, bool fast_forward,
+               std::uint64_t max_cycles)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcessors = sc.procs();
+    cfg.memWords = 4096;
+    cfg.pipelineDepth = 1;
+    cfg.issueWidth = 1;
+    cfg.jitterMean = 0.0;
+    cfg.seed = 1;
+    cfg.stall = sim::StallModel::hardware();
+    cfg.maxCycles = max_cycles;
+    cfg.fastForward = fast_forward;
+    cfg.interruptPeriod = sc.interruptPeriod;
+    cfg.isrEntry = sc.isrEntry;
+    if (sc.hasFaults()) {
+        cfg.faultPlan = &sc.faults;
+        cfg.watchdog = sc.watchdog;
+    }
+    return cfg;
+}
+
+/** Compare two RunResults field by field; empty string if identical. */
+std::string
+diffRunResults(const sim::RunResult &a, const sim::RunResult &b)
+{
+    std::ostringstream oss;
+#define FB_DIFF(field)                                                   \
+    do {                                                                 \
+        if (a.field != b.field) {                                        \
+            oss << #field << ": reference " << a.field << " vs "         \
+                << b.field;                                              \
+            return oss.str();                                            \
+        }                                                                \
+    } while (0)
+    FB_DIFF(cycles);
+    FB_DIFF(deadlocked);
+    FB_DIFF(timedOut);
+    FB_DIFF(deadlockInfo);
+    FB_DIFF(syncEvents);
+    FB_DIFF(busRequests);
+    FB_DIFF(busQueueDelay);
+    FB_DIFF(memAccesses);
+    FB_DIFF(hotSpotAccesses);
+    FB_DIFF(invalidationsSent);
+    FB_DIFF(invalidationsAvoided);
+    FB_DIFF(correctedFaults);
+    FB_DIFF(membershipViolation);
+    FB_DIFF(faultStats.pulseDropCycles);
+    FB_DIFF(faultStats.bitsFlipped);
+    FB_DIFF(faultStats.kills);
+    FB_DIFF(faultStats.freezes);
+    FB_DIFF(faultStats.forcedInterrupts);
+    FB_DIFF(watchdogStats.timeouts);
+    FB_DIFF(watchdogStats.rearms);
+    FB_DIFF(watchdogStats.deadDeclared);
+#undef FB_DIFF
+
+    if (a.deadDeclared != b.deadDeclared)
+        return "deadDeclared sets differ";
+    if (a.perProcessor.size() != b.perProcessor.size())
+        return "perProcessor size differs";
+    for (std::size_t p = 0; p < a.perProcessor.size(); ++p) {
+        const auto &pa = a.perProcessor[p];
+        const auto &pb = b.perProcessor[p];
+#define FB_DIFF_P(field)                                                 \
+    do {                                                                 \
+        if (pa.field != pb.field) {                                      \
+            oss << "cpu" << p << " " << #field << ": reference "         \
+                << pa.field << " vs " << pb.field;                       \
+            return oss.str();                                            \
+        }                                                                \
+    } while (0)
+        FB_DIFF_P(instructions);
+        FB_DIFF_P(barrierWaitCycles);
+        FB_DIFF_P(contextSwitchCycles);
+        FB_DIFF_P(contextSwitches);
+        FB_DIFF_P(interruptsTaken);
+        FB_DIFF_P(barrierEpisodes);
+        FB_DIFF_P(stalledEpisodes);
+        FB_DIFF_P(stallCycles);
+        FB_DIFF_P(cacheHits);
+        FB_DIFF_P(cacheMisses);
+#undef FB_DIFF_P
+    }
+    if (a.recoveries.size() != b.recoveries.size())
+        return "recovery counts differ";
+    for (std::size_t i = 0; i < a.recoveries.size(); ++i) {
+        const auto &ra = a.recoveries[i];
+        const auto &rb = b.recoveries[i];
+        if (ra.cycle != rb.cycle || ra.deadProc != rb.deadProc ||
+            ra.survivors != rb.survivors) {
+            oss << "recovery " << i << " differs (cycle " << ra.cycle
+                << " vs " << rb.cycle << ")";
+            return oss.str();
+        }
+    }
+    return "";
+}
+
+/** Final architectural state beyond what RunResult carries. */
+std::string
+diffFinalState(const Scenario &sc, sim::Machine &a, sim::Machine &b)
+{
+    std::ostringstream oss;
+    for (int p = 0; p < sc.procs(); ++p) {
+        for (int r = 0; r < 32; ++r) {
+            if (a.processor(p).reg(r) != b.processor(p).reg(r)) {
+                oss << "cpu" << p << " r" << r << ": reference "
+                    << a.processor(p).reg(r) << " vs "
+                    << b.processor(p).reg(r);
+                return oss.str();
+            }
+        }
+    }
+    if (a.checkSafetyProperty() != b.checkSafetyProperty())
+        return "safety-oracle verdicts differ";
+    for (std::size_t addr : sc.watchAddrs) {
+        if (a.memory().peek(addr) != b.memory().peek(addr)) {
+            oss << "mem[" << addr << "]: reference "
+                << a.memory().peek(addr) << " vs "
+                << b.memory().peek(addr);
+            return oss.str();
+        }
+    }
+    return "";
+}
+
+} // namespace
+
+ResumeReport
+checkResumeEquivalence(const Scenario &sc, std::uint64_t k_seed,
+                       bool fast_forward, std::uint64_t max_cycles)
+{
+    ResumeReport rep;
+    auto failed = [&rep](std::string why) {
+        rep.ok = false;
+        rep.failure = std::move(why);
+        return rep;
+    };
+
+    if (sc.procs() == 0)
+        return failed("scenario has no programs");
+
+    std::vector<isa::Program> programs;
+    for (int p = 0; p < sc.procs(); ++p) {
+        isa::Program prog;
+        std::string err;
+        if (!isa::Assembler::assemble(
+                sc.sources[static_cast<std::size_t>(p)], prog, err)) {
+            std::ostringstream oss;
+            oss << "assemble (processor " << p << "): " << err;
+            return failed(oss.str());
+        }
+        if (sc.encoding == Encoding::Markers)
+            prog = prog.toMarkerEncoding();
+        programs.push_back(std::move(prog));
+    }
+
+    const sim::MachineConfig base_cfg =
+        baselineConfig(sc, fast_forward, max_cycles);
+    auto load = [&](sim::Machine &m) {
+        for (int p = 0; p < sc.procs(); ++p)
+            m.loadProgram(p, programs[static_cast<std::size_t>(p)]);
+    };
+
+    // A: the uninterrupted reference.
+    sim::Machine ref(base_cfg);
+    load(ref);
+    const sim::RunResult ra = ref.run();
+    rep.referenceCycles = ra.cycles;
+
+    // Randomize K in [1, A.cycles]. The loop bottom checkpoints after
+    // ++_now, so K == A.cycles still fires on halting/deadlocking
+    // runs; only a timeout breaks before the final checkpoint.
+    std::uint64_t state = k_seed ^ 0x6d656b6b6f6c6c61ULL;
+    const std::uint64_t span = ra.cycles == 0 ? 1 : ra.cycles;
+    const std::uint64_t k = 1 + splitMix64(state) % span;
+    rep.checkpointCycle = k;
+
+    // B: same run, checkpointing at period K; keep the first snapshot.
+    sim::MachineConfig cp_cfg = base_cfg;
+    cp_cfg.checkpointEveryCycles = k;
+    sim::Machine checkpointed(cp_cfg);
+    load(checkpointed);
+    std::vector<std::uint8_t> snapshot;
+    checkpointed.setCheckpointSink(
+        [&snapshot](std::uint64_t, const std::vector<std::uint8_t> &b) {
+            snapshot = b;
+            return false;  // one snapshot is enough
+        });
+    const sim::RunResult rb = checkpointed.run();
+
+    if (std::string why = diffRunResults(ra, rb); !why.empty())
+        return failed("checkpointing run diverged: " + why);
+    if (std::string why = diffFinalState(sc, ref, checkpointed);
+        !why.empty())
+        return failed("checkpointing run diverged: " + why);
+
+    rep.snapshotTaken = !snapshot.empty();
+    if (!rep.snapshotTaken) {
+        // Run ended (timeout) before cycle K; A-vs-B equivalence is
+        // all that can be checked.
+        return rep;
+    }
+
+    // C: a fresh machine restored from the snapshot, run to the end.
+    sim::Machine resumed(base_cfg);
+    load(resumed);
+    std::string restore_error;
+    if (!resumed.restoreState(snapshot, restore_error))
+        return failed("restore failed: " + restore_error);
+    const sim::RunResult rc = resumed.run();
+
+    if (std::string why = diffRunResults(ra, rc); !why.empty())
+        return failed("resumed run diverged: " + why);
+    if (std::string why = diffFinalState(sc, ref, resumed); !why.empty())
+        return failed("resumed run diverged: " + why);
+    return rep;
+}
+
+} // namespace fb::verify

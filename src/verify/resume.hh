@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Resume-equivalence oracle: restore-at-cycle-K must be invisible.
+ *
+ * The checkpoint system's correctness condition is exactness: a run
+ * that snapshots at cycle K, is discarded, and is resumed from the
+ * snapshot on a fresh machine must produce a RunResult — every
+ * counter, every verdict, every per-processor statistic — and final
+ * architectural state bit-identical to the run that was never
+ * interrupted. This oracle checks it three ways per scenario:
+ *
+ *   A  the uninterrupted reference run;
+ *   B  the same run with checkpointing enabled at a randomized period
+ *      K in [1, A.cycles] — proves that taking a snapshot (and the
+ *      fast-forward clamp to checkpoint boundaries) perturbs nothing;
+ *   C  a fresh machine restored from B's first snapshot and run to
+ *      completion — proves the snapshot captured the whole state.
+ *
+ * B and C are each compared field-by-field against A, including the
+ * full register files, the safety-oracle verdict, and the scenario's
+ * watched memory words.
+ */
+
+#ifndef FB_VERIFY_RESUME_HH
+#define FB_VERIFY_RESUME_HH
+
+#include <cstdint>
+#include <string>
+
+#include "verify/scenario.hh"
+
+namespace fb::verify
+{
+
+/** Outcome of one resume-equivalence check. */
+struct ResumeReport
+{
+    bool ok = true;
+    /** Description of the first divergence (empty when ok). */
+    std::string failure;
+    /** The randomized checkpoint period/cycle K that was exercised. */
+    std::uint64_t checkpointCycle = 0;
+    /** Cycle count of the uninterrupted reference run. */
+    std::uint64_t referenceCycles = 0;
+    /** False when the run ended before any snapshot was taken (the
+     * check then degenerates to A-vs-B equivalence). */
+    bool snapshotTaken = false;
+};
+
+/**
+ * Run the A/B/C check described above for @p sc under the baseline
+ * machine model (depth 1, width 1, no jitter, hardware stall, seed 1
+ * — the differ's reference variant), with @p sc's fault plan and
+ * watchdog active if present. @p k_seed randomizes K; @p fast_forward
+ * selects the event-driven or the legacy per-cycle loop for all three
+ * runs.
+ */
+ResumeReport checkResumeEquivalence(const Scenario &sc,
+                                    std::uint64_t k_seed,
+                                    bool fast_forward,
+                                    std::uint64_t max_cycles = 5'000'000);
+
+} // namespace fb::verify
+
+#endif // FB_VERIFY_RESUME_HH

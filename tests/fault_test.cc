@@ -10,7 +10,9 @@
 
 #include <sstream>
 
+#include "barrier/network.hh"
 #include "fault/plan.hh"
+#include "fault/watchdog.hh"
 #include "isa/assembler.hh"
 #include "sim/machine.hh"
 
@@ -103,6 +105,65 @@ TEST(FaultPlan, ParseRejectsMalformedSpecs)
     EXPECT_FALSE(FaultPlan::parse("kill@10", plan, err));
     EXPECT_FALSE(FaultPlan::parse("kill@-5:0", plan, err));
     EXPECT_FALSE(FaultPlan::parse("drop10:0", plan, err));
+}
+
+TEST(FaultPlan, ParseRejectsTrailingAndEmptyFields)
+{
+    FaultPlan plan;
+    std::string err;
+    EXPECT_FALSE(FaultPlan::parse("kill@10:0:", plan, err));
+    EXPECT_NE(err.find("empty field"), std::string::npos) << err;
+    EXPECT_FALSE(FaultPlan::parse("kill@10::0", plan, err));
+    EXPECT_NE(err.find("empty field"), std::string::npos) << err;
+    EXPECT_FALSE(FaultPlan::parse("drop@10:0:5:9", plan, err));
+    EXPECT_NE(err.find("kind@cycle:proc[:arg]"), std::string::npos)
+        << err;
+    EXPECT_FALSE(FaultPlan::parse("drop@10:0:5x", plan, err));
+    EXPECT_NE(err.find("bad argument"), std::string::npos) << err;
+    EXPECT_FALSE(FaultPlan::parse("kill@10:0q", plan, err));
+    EXPECT_NE(err.find("bad processor"), std::string::npos) << err;
+}
+
+TEST(FaultPlan, ParseErrorsArePositional)
+{
+    FaultPlan plan;
+    std::string err;
+    EXPECT_FALSE(
+        FaultPlan::parse("drop@1:0,fliptag@2:1,kill@zz:1", plan, err));
+    EXPECT_NE(err.find("fault spec #3"), std::string::npos) << err;
+    EXPECT_NE(err.find("'kill@zz:1'"), std::string::npos) << err;
+    EXPECT_NE(err.find("bad cycle"), std::string::npos) << err;
+}
+
+TEST(FaultPlan, ParseRejectsAmbiguousDuplicates)
+{
+    FaultPlan plan;
+    std::string err;
+    // Same kind, same (cycle, proc), different args: which applies?
+    EXPECT_FALSE(
+        FaultPlan::parse("drop@10:0:3,drop@10:0:5", plan, err));
+    EXPECT_NE(err.find("ambiguous"), std::string::npos) << err;
+    // Byte-identical duplicates are equally rejected.
+    EXPECT_FALSE(FaultPlan::parse("kill@10:0,kill@10:0", plan, err));
+    // Different kinds at the same (cycle, proc) are fine.
+    EXPECT_TRUE(FaultPlan::parse("drop@10:0,fliptag@10:0:2", plan, err))
+        << err;
+    // Same kind at a different cycle or proc is fine.
+    EXPECT_TRUE(FaultPlan::parse("drop@10:0:3,drop@11:0:3", plan, err))
+        << err;
+}
+
+TEST(FaultPlan, ParseChecksProcessorRange)
+{
+    FaultPlan plan;
+    std::string err;
+    EXPECT_FALSE(FaultPlan::parse("kill@10:5", 4, plan, err));
+    EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+    EXPECT_NE(err.find("4 processors"), std::string::npos) << err;
+    EXPECT_TRUE(FaultPlan::parse("kill@10:3", 4, plan, err)) << err;
+    // A negative processor count disables the check (machine size
+    // unknown at parse time).
+    EXPECT_TRUE(FaultPlan::parse("kill@10:5", -1, plan, err)) << err;
 }
 
 TEST(FaultPlan, FatalClassification)
@@ -370,6 +431,180 @@ TEST(FaultTest, DeadlockReportNamesStuckProcessorsAndBlockers)
     EXPECT_NE(r.deadlockInfo.find("waiting-on={cpu1}"),
               std::string::npos)
         << r.deadlockInfo;
+}
+
+// --- Watchdog boundary behaviour -------------------------------------
+
+/** A 2-proc network where cpu0 waits and cpu1 is the blocker. */
+barrier::BarrierNetwork
+stuckPair()
+{
+    barrier::BarrierNetwork net(2);
+    for (int p = 0; p < 2; ++p) {
+        net.unit(p).setTag(1);
+        net.unit(p).setMask(0b11);
+    }
+    net.unit(0).arrive();
+    net.evaluate(0);
+    return net;
+}
+
+WatchdogConfig
+wdConfig(std::uint64_t timeout, int attempts)
+{
+    WatchdogConfig wd;
+    wd.enabled = true;
+    wd.timeoutCycles = timeout;
+    wd.maxAttempts = attempts;
+    return wd;
+}
+
+TEST(Watchdog, FiresAtExactlyTheDeadlineCycle)
+{
+    auto net = stuckPair();
+    BarrierWatchdog wd(wdConfig(10, 3), 2);
+    const std::vector<bool> halted{false, false};
+
+    // First tick arms the timer: deadline = now + T = 10.
+    EXPECT_TRUE(wd.tick(net, halted, 0).empty());
+    EXPECT_TRUE(wd.armed());
+    EXPECT_EQ(wd.nextDeadline(), 10u);
+
+    // Every cycle strictly before the deadline is quiet.
+    for (std::uint64_t now = 1; now < 10; ++now) {
+        EXPECT_TRUE(wd.tick(net, halted, now).empty());
+        EXPECT_EQ(wd.stats().timeouts, 0u) << "early fire at " << now;
+    }
+
+    // At exactly the deadline cycle the timeout fires and the live
+    // blocker earns a backoff re-arm, not death.
+    EXPECT_TRUE(wd.tick(net, halted, 10).empty());
+    EXPECT_EQ(wd.stats().timeouts, 1u);
+    EXPECT_EQ(wd.stats().rearms, 1u);
+    EXPECT_EQ(wd.stats().deadDeclared, 0u);
+    // Re-armed window doubles: deadline = 10 + (T << 1) = 30.
+    EXPECT_EQ(wd.nextDeadline(), 30u);
+}
+
+TEST(Watchdog, BackoffSaturatesIntoDeathDeclaration)
+{
+    auto net = stuckPair();
+    BarrierWatchdog wd(wdConfig(10, 3), 2);
+    const std::vector<bool> halted{false, false};
+
+    EXPECT_TRUE(wd.tick(net, halted, 0).empty());  // arm, deadline 10
+    EXPECT_TRUE(wd.tick(net, halted, 10).empty());  // attempt 1 -> 30
+    EXPECT_EQ(wd.nextDeadline(), 30u);
+    EXPECT_TRUE(wd.tick(net, halted, 30).empty());  // attempt 2 -> 70
+    EXPECT_EQ(wd.nextDeadline(), 70u);
+    EXPECT_EQ(wd.stats().rearms, 2u);
+
+    // Third expiry exhausts maxAttempts: the blocker is declared dead
+    // and the timer disarms.
+    EXPECT_EQ(wd.tick(net, halted, 70), (std::vector<int>{1}));
+    EXPECT_EQ(wd.stats().timeouts, 3u);
+    EXPECT_EQ(wd.stats().deadDeclared, 1u);
+    EXPECT_FALSE(wd.armed());
+}
+
+TEST(Watchdog, HaltedBlockerSkipsBackoffEntirely)
+{
+    auto net = stuckPair();
+    BarrierWatchdog wd(wdConfig(10, 3), 2);
+    const std::vector<bool> halted{false, true};
+
+    EXPECT_TRUE(wd.tick(net, halted, 0).empty());
+    // At the very first deadline the fail-stopped blocker is declared
+    // dead — no re-arm attempts are burned on a provably dead peer.
+    EXPECT_EQ(wd.tick(net, halted, 10), (std::vector<int>{1}));
+    EXPECT_EQ(wd.stats().rearms, 0u);
+    EXPECT_FALSE(wd.armed());
+}
+
+TEST(Watchdog, SkippingStraightToTheDeadlineIsEquivalent)
+{
+    // The fast-forward core never calls tick() for the quiet cycles
+    // between deadlines; jumping from the arming tick directly to the
+    // deadline must produce the same verdicts as per-cycle ticking.
+    const std::vector<bool> halted{false, false};
+
+    auto perCycle = stuckPair();
+    BarrierWatchdog a(wdConfig(10, 2), 2);
+    for (std::uint64_t now = 0; now < 10; ++now)
+        EXPECT_TRUE(a.tick(perCycle, halted, now).empty());
+    EXPECT_TRUE(a.tick(perCycle, halted, 10).empty());
+
+    auto skipping = stuckPair();
+    BarrierWatchdog b(wdConfig(10, 2), 2);
+    EXPECT_TRUE(b.tick(skipping, halted, 0).empty());  // arm
+    EXPECT_TRUE(b.tick(skipping, halted, 10).empty()); // jump to deadline
+
+    EXPECT_EQ(a.stats().timeouts, b.stats().timeouts);
+    EXPECT_EQ(a.stats().rearms, b.stats().rearms);
+    EXPECT_EQ(a.nextDeadline(), b.nextDeadline());
+
+    // And both declare death at the (identical) saturated deadline.
+    EXPECT_EQ(a.tick(perCycle, halted, a.nextDeadline()),
+              (std::vector<int>{1}));
+    EXPECT_EQ(b.tick(skipping, halted, b.nextDeadline()),
+              (std::vector<int>{1}));
+}
+
+TEST(Watchdog, DisarmsWhenTheGroupUnsticks)
+{
+    auto net = stuckPair();
+    BarrierWatchdog wd(wdConfig(10, 3), 2);
+    const std::vector<bool> halted{false, false};
+    EXPECT_TRUE(wd.tick(net, halted, 0).empty());
+    EXPECT_TRUE(wd.armed());
+
+    // The blocker arrives; the AND satisfies and sync delivers.
+    net.unit(1).arrive();
+    net.evaluate(5);
+    EXPECT_TRUE(wd.tick(net, halted, 5).empty());
+    EXPECT_FALSE(wd.armed());
+    EXPECT_EQ(wd.stats().timeouts, 0u);
+}
+
+TEST(FaultTest, WatchdogRecoveryIdenticalUnderFastForward)
+{
+    // The fast-forward core skips to nextDeadline() instead of
+    // ticking the watchdog every cycle; a forever-frozen blocker that
+    // dies via backoff saturation must produce bit-identical results
+    // under both loops.
+    sim::RunResult results[2];
+    std::int64_t regs[2][3][32];
+    for (int ff = 0; ff < 2; ++ff) {
+        MachineConfig cfg = config(3);
+        cfg.fastForward = ff == 1;
+        FaultPlan plan;
+        std::string err;
+        ASSERT_TRUE(FaultPlan::parse("freeze@40:1", plan, err)) << err;
+        cfg.faultPlan = &plan;
+        cfg.watchdog.enabled = true;
+        cfg.watchdog.timeoutCycles = 100;
+        cfg.watchdog.maxAttempts = 3;
+        Machine m(cfg);
+        for (int p = 0; p < 3; ++p)
+            m.loadProgram(p, assembleOrDie(loopSource(6, 8, 2, 0b111)));
+        results[ff] = m.run();
+        for (int p = 0; p < 3; ++p)
+            for (int r = 0; r < 32; ++r)
+                regs[ff][p][r] = m.processor(p).reg(r);
+    }
+    EXPECT_EQ(results[0].cycles, results[1].cycles);
+    EXPECT_EQ(results[0].deadDeclared, results[1].deadDeclared);
+    EXPECT_EQ(results[0].watchdogStats.timeouts,
+              results[1].watchdogStats.timeouts);
+    EXPECT_EQ(results[0].watchdogStats.rearms,
+              results[1].watchdogStats.rearms);
+    EXPECT_EQ(results[0].watchdogStats.deadDeclared,
+              results[1].watchdogStats.deadDeclared);
+    EXPECT_EQ(results[0].recoveries.size(), results[1].recoveries.size());
+    for (int p = 0; p < 3; ++p)
+        for (int r = 0; r < 32; ++r)
+            EXPECT_EQ(regs[0][p][r], regs[1][p][r])
+                << "cpu" << p << " r" << r;
 }
 
 } // namespace

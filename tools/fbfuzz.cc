@@ -33,6 +33,14 @@
  *                  range is scanned (no stop at the first failure)
  *                  and results are reported in seed order, so the
  *                  failing-seed set is identical for every N
+ *   --cursor FILE  journal per-seed verdicts to FILE so an interrupted
+ *                  campaign resumes where it stopped: already-passing
+ *                  seeds are skipped, failing ones re-run to reprint
+ *                  their reports, and the final failing-seed set (and
+ *                  summary) is identical to an uninterrupted run. The
+ *                  journal records the campaign parameters; resuming
+ *                  with different flags is rejected. A torn final line
+ *                  (killed mid-write) is discarded, not trusted.
  *   --quiet        only print failures and the final summary
  *
  * Exit status: 0 all runs passed, 1 a failure was found (or a replay
@@ -44,6 +52,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -88,6 +97,7 @@ struct Options
     std::uint64_t faultSeed = 0;  ///< 0 = derive from the spec seed
     std::uint64_t maxCycles = 5'000'000;
     int jobs = 0;  ///< 0 = sequential stop-at-first-failure mode
+    std::string cursorFile;
     bool quiet = false;
 };
 
@@ -134,6 +144,8 @@ parseArgs(int argc, char **argv)
             opt.maxCycles = static_cast<std::uint64_t>(nextInt());
         else if (arg == "--jobs")
             opt.jobs = static_cast<int>(nextInt());
+        else if (arg == "--cursor")
+            opt.cursorFile = next();
         else if (arg == "--quiet")
             opt.quiet = true;
         else
@@ -145,7 +157,119 @@ parseArgs(int argc, char **argv)
         usage("--jobs must be at least 1");
     if (!opt.replayFile.empty() && !opt.saveFile.empty())
         usage("--replay and --save are mutually exclusive");
+    if (!opt.cursorFile.empty() &&
+        (!opt.replayFile.empty() || !opt.saveFile.empty()))
+        usage("--cursor only applies to fuzzing campaigns");
     return opt;
+}
+
+/**
+ * Sweep-cursor journal: one verdict line per completed seed, behind a
+ * header binding the journal to its campaign parameters. The journal
+ * is the fuzz campaign's own crash-tolerant checkpoint — a killed
+ * `--jobs N` sweep resumes with an identical failing-seed set.
+ *
+ * Crash tolerance is line-granular: verdicts are appended one line at
+ * a time and flushed, so a SIGKILL can tear at most the last line,
+ * which the loader detects (malformed) and discards along with
+ * everything after it. On open the journal is rewritten with only the
+ * records that survived validation, dropping any torn tail.
+ */
+struct Cursor
+{
+    std::string path;
+    std::vector<char> state;  ///< per seed index: 0 / 'p' pass / 'f' fail
+    std::FILE *file = nullptr;
+    std::mutex mu;
+
+    ~Cursor()
+    {
+        if (file)
+            std::fclose(file);
+    }
+};
+
+std::string
+cursorHeader(const Options &opt)
+{
+    std::ostringstream oss;
+    oss << "fbfuzz-cursor v1 seed=" << opt.seed << " runs=" << opt.runs
+        << " faults=" << (opt.faults ? 1 : 0)
+        << " fault-seed=" << opt.faultSeed
+        << " swref=" << (opt.swref ? 1 : 0)
+        << " max-cycles=" << opt.maxCycles;
+    return oss.str();
+}
+
+bool
+openCursor(const Options &opt, Cursor &cur)
+{
+    cur.path = opt.cursorFile;
+    cur.state.assign(static_cast<std::size_t>(opt.runs), 0);
+    const std::string header = cursorHeader(opt);
+
+    std::ifstream in(cur.path);
+    if (in) {
+        std::string line;
+        if (std::getline(in, line)) {
+            if (line != header) {
+                std::fprintf(stderr,
+                             "fbfuzz: --cursor %s records a different "
+                             "campaign\n  journal:  %s\n  this run: "
+                             "%s\n",
+                             cur.path.c_str(), line.c_str(),
+                             header.c_str());
+                return false;
+            }
+            int resumed = 0;
+            while (std::getline(in, line)) {
+                std::istringstream ls(line);
+                std::string word, verdict;
+                std::int64_t idx = -1;
+                if (!(ls >> word >> idx >> verdict) || word != "done" ||
+                    idx < 0 || idx >= opt.runs ||
+                    (verdict != "pass" && verdict != "fail"))
+                    break;  // torn tail from a mid-write kill
+                cur.state[static_cast<std::size_t>(idx)] =
+                    verdict == "pass" ? 'p' : 'f';
+                ++resumed;
+            }
+            std::fprintf(stderr,
+                         "fbfuzz: cursor %s: resuming past %d recorded "
+                         "seed(s)\n",
+                         cur.path.c_str(), resumed);
+        }
+        in.close();
+    }
+
+    // Rewrite rather than append: this drops any torn trailing line
+    // and keeps the journal canonical.
+    cur.file = std::fopen(cur.path.c_str(), "w");
+    if (cur.file == nullptr) {
+        std::fprintf(stderr, "fbfuzz: cannot write --cursor %s\n",
+                     cur.path.c_str());
+        return false;
+    }
+    std::fprintf(cur.file, "%s\n", header.c_str());
+    for (int i = 0; i < opt.runs; ++i) {
+        const char s = cur.state[static_cast<std::size_t>(i)];
+        if (s != 0)
+            std::fprintf(cur.file, "done %d %s\n", i,
+                         s == 'p' ? "pass" : "fail");
+    }
+    std::fflush(cur.file);
+    return true;
+}
+
+void
+recordCursor(Cursor *cur, int i, bool failed)
+{
+    if (cur == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(cur->mu);
+    cur->state[static_cast<std::size_t>(i)] = failed ? 'f' : 'p';
+    std::fprintf(cur->file, "done %d %s\n", i, failed ? "fail" : "pass");
+    std::fflush(cur->file);
 }
 
 /**
@@ -292,7 +416,7 @@ describeFailure(std::uint64_t spec_seed, const verify::Scenario &sc,
  * the worker count or OS scheduling.
  */
 int
-fuzzParallel(const Options &opt)
+fuzzParallel(const Options &opt, Cursor *cursor)
 {
     auto d = diffOptions(opt);
     const int runs = opt.runs;
@@ -309,6 +433,12 @@ fuzzParallel(const Options &opt)
             const int i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= runs)
                 return;
+            // Seeds the journal already proved passing are skipped;
+            // failing ones re-run so their FAIL reports (and the
+            // failing-seed set) match an uninterrupted campaign.
+            if (cursor != nullptr &&
+                cursor->state[static_cast<std::size_t>(i)] == 'p')
+                continue;
             const std::uint64_t specSeed =
                 opt.seed + static_cast<std::uint64_t>(i);
             auto spec = verify::randomSpec(specSeed);
@@ -320,6 +450,7 @@ fuzzParallel(const Options &opt)
                 slot.failed = true;
                 slot.report = describeFailure(specSeed, sc, rep, opt);
             }
+            recordCursor(cursor, i, !rep.ok);
         }
     };
 
@@ -364,15 +495,26 @@ fuzzParallel(const Options &opt)
 int
 fuzzMain(const Options &opt)
 {
+    Cursor cursorStorage;
+    Cursor *cursor = nullptr;
+    if (!opt.cursorFile.empty()) {
+        if (!openCursor(opt, cursorStorage))
+            return 2;
+        cursor = &cursorStorage;
+    }
     if (opt.jobs > 0)
-        return fuzzParallel(opt);
+        return fuzzParallel(opt, cursor);
     auto d = diffOptions(opt);
     for (int i = 0; i < opt.runs; ++i) {
+        if (cursor != nullptr &&
+            cursor->state[static_cast<std::size_t>(i)] == 'p')
+            continue;
         const std::uint64_t specSeed = opt.seed + static_cast<std::uint64_t>(i);
         auto spec = verify::randomSpec(specSeed);
         applyFaults(spec, opt, specSeed);
         auto sc = verify::render(spec);
         auto rep = verify::runDifferential(sc, d);
+        recordCursor(cursor, i, !rep.ok);
         if (!rep.ok) {
             std::printf("%s",
                         describeFailure(specSeed, sc, rep, opt).c_str());

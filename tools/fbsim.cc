@@ -34,13 +34,31 @@
  *                        the event-driven fast-forward core (results
  *                        are identical; useful for timing comparisons
  *                        and as a differential cross-check)
+ *   --checkpoint DIR:EVERY[:KEEP]
+ *                        durably snapshot the machine into DIR every
+ *                        EVERY cycles, retaining the newest KEEP
+ *                        generations (default 3); incompatible with
+ *                        --trace
+ *   --restore DIR        resume from the newest valid snapshot in DIR
+ *                        (walking back past torn/corrupt generations);
+ *                        requires the same programs and flags the
+ *                        snapshot was taken with
  *   --check              only run the static region-branch check
+ *
+ * Exit codes:
+ *   0  run completed cleanly
+ *   1  input error (assembler failure, bad ISR label, failed restore)
+ *   2  usage error (bad flags or malformed --fault spec)
+ *   3  the run ended in barrier deadlock
+ *   4  the run hit the --max-cycles guard
+ *   5  the fault-safety (membership) oracle was violated
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,6 +66,8 @@
 #include "core/fuzzy_barrier.hh"
 #include "fault/plan.hh"
 #include "fault/watchdog.hh"
+#include "snapshot/format.hh"
+#include "snapshot/store.hh"
 #include "support/strutil.hh"
 
 namespace
@@ -97,6 +117,10 @@ struct Options
     std::string faultSpec;
     std::uint64_t faultSeed = 0;
     fb::fault::WatchdogConfig watchdog;
+    std::string checkpointDir;
+    std::uint64_t checkpointEvery = 0;
+    std::size_t checkpointKeep = 3;
+    std::string restoreDir;
     std::vector<std::string> files;
     struct RegPreset
     {
@@ -228,6 +252,22 @@ parseArgs(int argc, char **argv)
                 parseIntOrDie(next(), "--max-cycles"));
         } else if (arg == "--no-fast-forward") {
             opt.fastForward = false;
+        } else if (arg == "--checkpoint") {
+            auto parts = split(next(), ':');
+            if (parts.size() < 2 || parts.size() > 3)
+                usage("--checkpoint DIR:EVERY[:KEEP]");
+            opt.checkpointDir = parts[0];
+            opt.checkpointEvery = static_cast<std::uint64_t>(
+                parseIntOrDie(parts[1], "checkpoint period"));
+            if (parts.size() == 3)
+                opt.checkpointKeep = static_cast<std::size_t>(
+                    parseIntOrDie(parts[2], "checkpoint keep"));
+            if (opt.checkpointDir.empty() || opt.checkpointEvery == 0 ||
+                opt.checkpointKeep == 0)
+                usage("--checkpoint needs a directory, period >= 1 and "
+                      "keep >= 1");
+        } else if (arg == "--restore") {
+            opt.restoreDir = next();
         } else if (arg == "--check") {
             opt.checkOnly = true;
         } else if (startsWith(arg, "--")) {
@@ -240,6 +280,9 @@ parseArgs(int argc, char **argv)
         usage("no program files given");
     if (opt.procs != 0 && opt.files.size() != 1)
         usage("--procs requires exactly one program file");
+    if (!opt.checkpointDir.empty() && opt.trace)
+        usage("--checkpoint is incompatible with --trace (the timeline "
+              "is not serialized)");
     return opt;
 }
 
@@ -280,7 +323,7 @@ main(int argc, char **argv)
     fault::FaultPlan plan;
     if (!opt.faultSpec.empty()) {
         std::string err;
-        if (!fault::FaultPlan::parse(opt.faultSpec, plan, err)) {
+        if (!fault::FaultPlan::parse(opt.faultSpec, procs, plan, err)) {
             std::fprintf(stderr, "fbsim: --fault: %s\n", err.c_str());
             return 2;
         }
@@ -324,18 +367,105 @@ main(int argc, char **argv)
     if (!plan.empty())
         cfg.faultPlan = &plan;
     cfg.watchdog = opt.watchdog;
+    cfg.checkpointEveryCycles = opt.checkpointEvery;
 
-    sim::Machine machine(cfg);
-    for (int p = 0; p < procs; ++p)
-        machine.loadProgram(
-            p, programs[static_cast<std::size_t>(
-                   opt.procs != 0 ? 0 : p)]);
-    for (const auto &preset : opt.regs) {
-        if (preset.proc < 0 || preset.proc >= procs)
-            usage("--reg processor index out of range");
-        machine.processor(preset.proc).setReg(preset.reg, preset.value);
+    // Machine construction is a lambda so the restore walk-back can
+    // rebuild a pristine machine after a failed restoreState (which
+    // may have partially overwritten state before reporting failure).
+    auto buildMachine = [&]() {
+        auto m = std::make_unique<sim::Machine>(cfg);
+        for (int p = 0; p < procs; ++p)
+            m->loadProgram(
+                p, programs[static_cast<std::size_t>(
+                       opt.procs != 0 ? 0 : p)]);
+        for (const auto &preset : opt.regs) {
+            if (preset.proc < 0 || preset.proc >= procs)
+                usage("--reg processor index out of range");
+            m->processor(preset.proc).setReg(preset.reg, preset.value);
+        }
+        return m;
+    };
+    auto machinePtr = buildMachine();
+
+    if (!opt.restoreDir.empty()) {
+        snapshot::SnapshotStore restoreStore(opt.restoreDir);
+        auto entries = restoreStore.list();
+        bool restored = false;
+        for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+            std::vector<std::uint8_t> bytes;
+            std::string err;
+            if (!snapshot::readFile(it->second, bytes, err)) {
+                std::fprintf(stderr, "fbsim: skipping %s: %s\n",
+                             it->second.c_str(), err.c_str());
+                continue;
+            }
+            snapshot::SnapshotHeader header;
+            if (!snapshot::peekHeader(bytes, header, err)) {
+                std::fprintf(stderr, "fbsim: skipping %s: %s\n",
+                             it->second.c_str(), err.c_str());
+                continue;
+            }
+            if (header.generation != it->first) {
+                std::fprintf(stderr,
+                             "fbsim: skipping %s: embedded generation "
+                             "%llu does not match filename\n",
+                             it->second.c_str(),
+                             static_cast<unsigned long long>(
+                                 header.generation));
+                continue;
+            }
+            if (!machinePtr->restoreState(bytes, err)) {
+                std::fprintf(stderr, "fbsim: skipping %s: %s\n",
+                             it->second.c_str(), err.c_str());
+                machinePtr = buildMachine();
+                continue;
+            }
+            std::fprintf(stderr,
+                         "fbsim: restored generation %llu (cycle %llu) "
+                         "from %s\n",
+                         static_cast<unsigned long long>(
+                             header.generation),
+                         static_cast<unsigned long long>(header.cycle),
+                         it->second.c_str());
+            restored = true;
+            break;
+        }
+        if (!restored) {
+            std::fprintf(stderr,
+                         "fbsim: no usable snapshot found in %s\n",
+                         opt.restoreDir.c_str());
+            return 1;
+        }
     }
 
+    std::unique_ptr<snapshot::SnapshotStore> checkpointStore;
+    if (!opt.checkpointDir.empty()) {
+        checkpointStore = std::make_unique<snapshot::SnapshotStore>(
+            opt.checkpointDir, opt.checkpointKeep);
+        machinePtr->setCheckpointSink(
+            [&checkpointStore](std::uint64_t cycle,
+                               const std::vector<std::uint8_t> &bytes) {
+                // The generation encoded by Machine::saveState is
+                // cycle / checkpointEveryCycles; recover it from the
+                // snapshot header so store filenames always agree
+                // with the embedded generation.
+                snapshot::SnapshotHeader header;
+                std::string err;
+                if (!snapshot::peekHeader(bytes, header, err) ||
+                    !checkpointStore->save(header.generation, bytes,
+                                           err)) {
+                    std::fprintf(stderr,
+                                 "fbsim: checkpoint at cycle %llu "
+                                 "failed: %s (disabling checkpoints)\n",
+                                 static_cast<unsigned long long>(cycle),
+                                 err.c_str());
+                    return false;
+                }
+                return true;
+            });
+    }
+
+    sim::Machine &machine = *machinePtr;
     auto result = machine.run();
 
     std::printf("cycles:       %llu%s%s\n",
@@ -412,8 +542,11 @@ main(int argc, char **argv)
                             machine.memory().peek(dump.addr + k)));
         std::printf("\n");
     }
-    return result.deadlocked || result.timedOut ||
-                   !result.membershipViolation.empty()
-               ? 1
-               : 0;
+    if (result.deadlocked)
+        return 3;
+    if (result.timedOut)
+        return 4;
+    if (!result.membershipViolation.empty())
+        return 5;
+    return 0;
 }
