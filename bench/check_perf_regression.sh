@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Perf-regression gate: compare a freshly produced bench JSON (from
+# bench/run_all.sh) against the committed baseline and fail if a
+# tracked headline metric regressed by more than the threshold.
+#
+# Tracked metrics:
+#   e18_campaign_delta.scenarios_per_sec_engine  (campaign engine)
+#   e7_scaling_ff_speedup.ff_speedup             (fast-forward core)
+#   e8_hotspot_ff_speedup.ff_speedup             (fast-forward core)
+#
+# Usage: bench/check_perf_regression.sh <current.json> [baseline.json]
+#        (baseline defaults to the newest BENCH_*.json in bench/baselines/)
+# Env:   FB_PERF_REGRESSION_PCT  allowed drop, percent (default 20)
+# Exit:  0 within threshold, 1 regression found, 2 setup error.
+set -euo pipefail
+
+CURRENT="${1:-}"
+if [ -z "$CURRENT" ] || [ ! -f "$CURRENT" ]; then
+    echo "usage: $0 <current.json> [baseline.json]" >&2
+    exit 2
+fi
+
+BASELINE="${2:-}"
+if [ -z "$BASELINE" ]; then
+    BASELINE=$(ls -1 "$(dirname "$0")"/baselines/BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+fi
+if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
+    echo "check_perf_regression: no baseline JSON found" >&2
+    exit 2
+fi
+
+THRESHOLD="${FB_PERF_REGRESSION_PCT:-20}"
+
+python3 - "$BASELINE" "$CURRENT" "$THRESHOLD" <<'EOF'
+import json
+import sys
+
+baseline_path, current_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+# (entry name, metric key) -> higher is better; a drop beyond the
+# threshold fails the gate. Gains never fail.
+TRACKED = [
+    ("e18_campaign_delta", "scenarios_per_sec_engine"),
+    ("e7_scaling_ff_speedup", "ff_speedup"),
+    ("e8_hotspot_ff_speedup", "ff_speedup"),
+]
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {entry["name"]: entry for entry in doc.get("benches", [])}
+
+
+baseline = load(baseline_path)
+current = load(current_path)
+
+failures = []
+for name, key in TRACKED:
+    if name not in baseline or key not in baseline[name]:
+        print(f"check_perf_regression: baseline lacks {name}.{key}; skipping")
+        continue
+    if name not in current or key not in current[name]:
+        failures.append(f"{name}.{key}: missing from current run")
+        continue
+    base = float(baseline[name][key])
+    cur = float(current[name][key])
+    if base <= 0:
+        continue
+    drop_pct = 100.0 * (base - cur) / base
+    verdict = "REGRESSED" if drop_pct > threshold else "ok"
+    print(f"check_perf_regression: {name}.{key}: baseline={base:g} "
+          f"current={cur:g} drop={drop_pct:.1f}% [{verdict}]")
+    if drop_pct > threshold:
+        failures.append(
+            f"{name}.{key}: {base:g} -> {cur:g} "
+            f"({drop_pct:.1f}% drop > {threshold:g}% allowed)")
+
+if failures:
+    print("check_perf_regression: FAIL", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("check_perf_regression: all tracked metrics within "
+      f"{threshold:g}% of baseline")
+EOF

@@ -32,7 +32,7 @@ e4_fig11_static_sched e5_fig12_runtime_sched e6_fig5_loop_distribution
 e7_scaling e8_hotspot e9_drift_tolerance e10_microbench
 e11_pipeline_ablation e12_encoding_ablation e13_cycle_shrinking
 e14_selfsched_runtime e15_sync_latency e16_fault_overhead
-e17_snapshot_overhead"
+e17_snapshot_overhead e18_campaign_throughput"
 for name in $EXPECTED; do
     if [ ! -x "$BENCH_DIR/$name" ]; then
         echo "run_all: missing experiment binary: $BENCH_DIR/$name" >&2
@@ -96,6 +96,25 @@ for name in $EXPECTED; do
             ENTRIES="$ENTRIES  {\"name\": \"e17_snapshot_overhead_delta\", \"snapshot_overhead_pct\": $mem_pct, \"snapshot_durable_overhead_pct\": $durable_pct, \"snapshot_bytes_per_checkpoint\": ${snap_bytes:-0}},
 "
             echo "run_all: snapshot overhead: in-memory ${mem_pct}%, durable ${durable_pct}%"
+        fi
+    fi
+    if [ "$name" = "e18_campaign_throughput" ] && [ "$STATUS" -eq 0 ]; then
+        # Copy E18's campaign-engine throughput tallies into their own
+        # entry so the perf-regression gate (and dashboards) can track
+        # scenarios/sec without table-scraping.
+        eng_rate=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^campaign-scenarios-per-sec-engine:/ {print $2; exit}')
+        leg_rate=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^campaign-scenarios-per-sec-legacy:/ {print $2; exit}')
+        camp_speedup=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^campaign-speedup:/ {print $2; exit}')
+        if [ -z "$eng_rate" ] || [ -z "$leg_rate" ] || [ -z "$camp_speedup" ]; then
+            echo "run_all: FAIL e18_campaign_throughput: missing campaign tally lines" >&2
+            FAILURES=$((FAILURES + 1))
+        else
+            ENTRIES="$ENTRIES  {\"name\": \"e18_campaign_delta\", \"scenarios_per_sec_engine\": $eng_rate, \"scenarios_per_sec_legacy\": $leg_rate, \"campaign_speedup\": $camp_speedup},
+"
+            echo "run_all: campaign engine: ${eng_rate} scenarios/sec (${camp_speedup}x over legacy batch loop)"
         fi
     fi
 done

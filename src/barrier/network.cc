@@ -45,6 +45,21 @@ BarrierNetwork::BarrierNetwork(int num_processors,
         _units.emplace_back(num_processors, p);
 }
 
+void
+BarrierNetwork::reset(std::uint32_t sync_latency)
+{
+    _syncLatency = sync_latency;
+    for (BarrierUnit &u : _units)
+        u.reset();
+    std::fill(_deliverAt.begin(), _deliverAt.end(),
+              std::numeric_limits<std::uint64_t>::max());
+    std::fill(_complete.begin(), _complete.end(), false);
+    _delivered.clear();
+    _syncEvents = 0;
+    _correctedFaults = 0;
+    _filter = nullptr;
+}
+
 BarrierUnit &
 BarrierNetwork::unit(int p)
 {

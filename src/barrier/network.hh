@@ -169,6 +169,14 @@ class BarrierNetwork
                                    std::uint64_t now = 0) const;
 
     /**
+     * Return the network and every unit to its construction-time
+     * state under a (possibly different) propagation delay — machine
+     * reuse. The processor count is structural and stays fixed. Any
+     * installed pulse filter is cleared.
+     */
+    void reset(std::uint32_t sync_latency);
+
+    /**
      * Serialize all unit state plus in-flight deliveries and counters.
      * Per-call scratch (the phase-1 latch and the delivered list) is
      * not captured: it is rebuilt by the next evaluate().

@@ -141,6 +141,22 @@ BarrierUnit::deliverSync()
 }
 
 void
+BarrierUnit::reset()
+{
+    _state = BarrierState::NonBarrier;
+    _tag = 0;
+    _epoch = 0;
+    _mask.clearAll();
+    _shadowTag = 0;
+    _shadowMask.clearAll();
+    _dirty = false;
+    _episodes = 0;
+    _stalledEpisodes = 0;
+    _stallCycles = 0;
+    _stalledThisEpisode = false;
+}
+
+void
 BarrierUnit::encodeState(snapshot::Encoder &e) const
 {
     e.u8(static_cast<std::uint8_t>(_state));

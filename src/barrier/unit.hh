@@ -150,6 +150,13 @@ class BarrierUnit
      */
     int scrub();
 
+    /**
+     * Return every architected and statistics register to its
+     * construction-time value (machine reuse). The processor count
+     * and self index are structural and stay fixed.
+     */
+    void reset();
+
     /** Serialize the full unit state for checkpointing. */
     void encodeState(snapshot::Encoder &e) const;
 

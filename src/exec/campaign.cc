@@ -1,0 +1,124 @@
+#include "exec/campaign.hh"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "exec/pool.hh"
+#include "support/logging.hh"
+
+namespace fb::exec
+{
+
+namespace
+{
+
+/**
+ * Reorders out-of-order completions into an ascending-index stream.
+ * deliver() buffers a result, then flushes the contiguous prefix to
+ * the consumer under the same lock — so consumer calls are both
+ * ordered and serialized.
+ */
+class OrderedEmitter
+{
+  public:
+    explicit OrderedEmitter(const ItemConsumer &consume)
+        : _consume(consume)
+    {
+    }
+
+    void
+    deliver(std::uint64_t index, ItemResult result)
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        _pending.emplace(index, std::move(result));
+        while (!_pending.empty() &&
+               _pending.begin()->first == _next) {
+            _consume(_next, _pending.begin()->second);
+            _pending.erase(_pending.begin());
+            ++_next;
+        }
+    }
+
+  private:
+    const ItemConsumer &_consume;
+    std::mutex _mu;
+    std::uint64_t _next = 0;
+    std::map<std::uint64_t, ItemResult> _pending;
+};
+
+} // namespace
+
+CampaignStats
+runCampaign(std::uint64_t count, const CampaignOptions &options,
+            const ItemRunner &run, const ItemConsumer &consume)
+{
+    FB_ASSERT(options.jobs >= 1, "campaign needs at least one job");
+    CampaignStats stats;
+    stats.items = count;
+
+    ProgramCache programs;
+
+    if (options.jobs == 1 || count <= 1) {
+        // Inline fast path: same machine reuse and interning, no
+        // threads. The parallel path produces the same stream by
+        // construction (pure runner + ordered delivery).
+        MachinePool machines;
+        WorkerContext ctx{0, machines, programs};
+        for (std::uint64_t i = 0; i < count; ++i) {
+            ItemResult r = run(i, ctx);
+            if (r.failed)
+                ++stats.failures;
+            consume(i, r);
+        }
+        stats.machinesBuilt = machines.builds();
+        stats.machinesReused = machines.reuses();
+        stats.programsAssembled = programs.misses();
+        stats.programsInterned = programs.hits();
+        return stats;
+    }
+
+    const int jobs = static_cast<int>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(options.jobs),
+                                count));
+    std::vector<std::unique_ptr<MachinePool>> pools;
+    pools.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j)
+        pools.push_back(std::make_unique<MachinePool>());
+
+    OrderedEmitter emitter(consume);
+    std::atomic<std::uint64_t> failures{0};
+    std::uint64_t steals = 0;
+    {
+        WorkStealingPool pool(jobs, options.queueCapacity);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            pool.submit([&, i](int worker) {
+                WorkerContext ctx{
+                    worker,
+                    *pools[static_cast<std::size_t>(worker)],
+                    programs};
+                ItemResult r = run(i, ctx);
+                if (r.failed)
+                    failures.fetch_add(1, std::memory_order_relaxed);
+                emitter.deliver(i, std::move(r));
+            });
+        }
+        pool.drain();
+        steals = pool.steals();
+    }
+
+    stats.failures = failures.load();
+    stats.tasksStolen = steals;
+    for (const auto &p : pools) {
+        stats.machinesBuilt += p->builds();
+        stats.machinesReused += p->reuses();
+    }
+    stats.programsAssembled = programs.misses();
+    stats.programsInterned = programs.hits();
+    return stats;
+}
+
+} // namespace fb::exec

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic campaign execution engine: runs a seed-indexed
+ * family of scenario tasks across a work-stealing pool with
+ * machine reuse, delivering results in seed order.
+ */
+
+#ifndef FB_EXEC_CAMPAIGN_HH
+#define FB_EXEC_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "exec/machine_pool.hh"
+#include "exec/program_cache.hh"
+
+namespace fb::exec
+{
+
+/**
+ * Per-worker execution context handed to every campaign task. The
+ * machine pool is private to the worker (no locking on the hot
+ * path); the program cache is shared campaign-wide so each distinct
+ * generated program assembles once regardless of which worker sees
+ * it first.
+ */
+struct WorkerContext
+{
+    int worker = 0;
+    MachinePool &machines;
+    ProgramCache &programs;
+};
+
+/** Knobs for one campaign. */
+struct CampaignOptions
+{
+    /** Worker threads. 1 = run inline on the calling thread. */
+    int jobs = 1;
+    /** Bound on queued tasks per worker (submission backpressure). */
+    std::size_t queueCapacity = 64;
+};
+
+/**
+ * Result of one campaign item. The payload is free-form text the
+ * consumer emits (e.g. a FAIL block); determinism of the overall
+ * campaign output reduces to the runner being a pure function of the
+ * item index.
+ */
+struct ItemResult
+{
+    bool failed = false;
+    std::string payload;
+};
+
+/** Runs item @p index on a worker; must depend only on the index. */
+using ItemRunner =
+    std::function<ItemResult(std::uint64_t index, WorkerContext &ctx)>;
+
+/**
+ * Receives every result in strictly ascending index order, streamed
+ * as the ordered prefix completes (not batched at the end). Calls
+ * are serialized; they run on whichever worker filled the gap.
+ */
+using ItemConsumer =
+    std::function<void(std::uint64_t index, const ItemResult &result)>;
+
+/** What a campaign did, for logs and throughput reporting. */
+struct CampaignStats
+{
+    std::uint64_t items = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t machinesBuilt = 0;
+    std::uint64_t machinesReused = 0;
+    std::uint64_t programsAssembled = 0;
+    std::uint64_t programsInterned = 0;
+    std::uint64_t tasksStolen = 0;
+};
+
+/**
+ * Run items [0, count) and deliver each result to @p consume in
+ * ascending index order. With jobs == 1 everything runs inline on
+ * the calling thread; with jobs > 1 the items fan out across a
+ * work-stealing pool and an ordered emitter holds out-of-order
+ * completions until the gap fills. Because the runner is a pure
+ * function of the index and delivery order is fixed, the consumer
+ * observes a byte-identical stream at any job count.
+ */
+CampaignStats runCampaign(std::uint64_t count,
+                          const CampaignOptions &options,
+                          const ItemRunner &run,
+                          const ItemConsumer &consume);
+
+} // namespace fb::exec
+
+#endif // FB_EXEC_CAMPAIGN_HH

@@ -1,0 +1,31 @@
+#include "exec/machine_pool.hh"
+
+namespace fb::exec
+{
+
+MachinePool::Lease
+MachinePool::acquire(const sim::MachineConfig &config)
+{
+    const std::uint64_t key = sim::Machine::structuralKey(config);
+    for (std::size_t i = 0; i < _free.size(); ++i) {
+        if (_free[i].first != key)
+            continue;
+        std::unique_ptr<sim::Machine> m = std::move(_free[i].second);
+        _free.erase(_free.begin() + static_cast<std::ptrdiff_t>(i));
+        m->reset(config);
+        ++_reuses;
+        return Lease(this, std::move(m), key);
+    }
+    ++_builds;
+    return Lease(this, std::make_unique<sim::Machine>(config), key);
+}
+
+void
+MachinePool::put(std::uint64_t key, std::unique_ptr<sim::Machine> machine)
+{
+    if (_free.size() >= maxIdle)
+        return; // drop: destructor frees the machine
+    _free.emplace_back(key, std::move(machine));
+}
+
+} // namespace fb::exec

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Pool of fully-constructed sim::Machine instances, recycled across
+ * scenarios via Machine::reset().
+ */
+
+#ifndef FB_EXEC_MACHINE_POOL_HH
+#define FB_EXEC_MACHINE_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace fb::exec
+{
+
+/**
+ * Recycles machines instead of reallocating them. acquire() hands
+ * out a machine matching the config's structural shape
+ * (sim::Machine::structuralKey), reset() to the exact config — a
+ * recycled machine is observably identical to a fresh one (the
+ * debug builds assert it snapshot-for-snapshot on every reset).
+ *
+ * NOT thread-safe: each campaign worker owns a private pool, which
+ * is the point — no cross-worker contention on the hot path. Leases
+ * are RAII: destroying (or move-assigning over) a Lease returns the
+ * machine, so a caller may hold several same-shape machines at once
+ * (the resume oracle runs its A/B/C machines simultaneously).
+ */
+class MachinePool
+{
+  public:
+    /** RAII handle to a pooled machine. */
+    class Lease
+    {
+      public:
+        Lease() = default;
+        ~Lease() { release(); }
+
+        Lease(Lease &&other) noexcept
+            : _pool(other._pool), _machine(std::move(other._machine)),
+              _key(other._key)
+        {
+            other._pool = nullptr;
+        }
+
+        Lease &
+        operator=(Lease &&other) noexcept
+        {
+            if (this != &other) {
+                release();
+                _pool = other._pool;
+                _machine = std::move(other._machine);
+                _key = other._key;
+                other._pool = nullptr;
+            }
+            return *this;
+        }
+
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+
+        /** True if this lease holds a machine. */
+        explicit operator bool() const { return _machine != nullptr; }
+
+        sim::Machine &operator*() const { return *_machine; }
+        sim::Machine *operator->() const { return _machine.get(); }
+        sim::Machine *get() const { return _machine.get(); }
+
+      private:
+        friend class MachinePool;
+        Lease(MachinePool *pool, std::unique_ptr<sim::Machine> machine,
+              std::uint64_t key)
+            : _pool(pool), _machine(std::move(machine)), _key(key)
+        {
+        }
+
+        void
+        release()
+        {
+            if (_pool != nullptr && _machine != nullptr)
+                _pool->put(_key, std::move(_machine));
+            _pool = nullptr;
+            _machine = nullptr;
+        }
+
+        MachinePool *_pool = nullptr;
+        std::unique_ptr<sim::Machine> _machine;
+        std::uint64_t _key = 0;
+    };
+
+    /**
+     * A machine configured exactly as @p config — recycled when one
+     * of the matching shape is free, freshly constructed otherwise.
+     */
+    Lease acquire(const sim::MachineConfig &config);
+
+    /** Machines constructed because no shape match was free. */
+    std::uint64_t builds() const { return _builds; }
+
+    /** Acquisitions served by recycling a pooled machine. */
+    std::uint64_t reuses() const { return _reuses; }
+
+  private:
+    friend class Lease;
+    void put(std::uint64_t key, std::unique_ptr<sim::Machine> machine);
+
+    /** Hard cap on idle pooled machines (beyond it, releases free). */
+    static constexpr std::size_t maxIdle = 16;
+
+    std::vector<std::pair<std::uint64_t, std::unique_ptr<sim::Machine>>>
+        _free;
+    std::uint64_t _builds = 0;
+    std::uint64_t _reuses = 0;
+};
+
+} // namespace fb::exec
+
+#endif // FB_EXEC_MACHINE_POOL_HH

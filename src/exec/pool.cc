@@ -1,0 +1,139 @@
+#include "exec/pool.hh"
+
+#include "support/logging.hh"
+
+namespace fb::exec
+{
+
+WorkStealingPool::WorkStealingPool(int threads,
+                                   std::size_t queue_capacity)
+    : _capacity(queue_capacity)
+{
+    FB_ASSERT(threads >= 1, "pool needs at least one worker");
+    FB_ASSERT(queue_capacity >= 1, "queue capacity must be >= 1");
+    _workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        _workers.push_back(std::make_unique<Worker>());
+    _threads.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        _threads.emplace_back(
+            [this, t] { workerLoop(static_cast<std::size_t>(t)); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        _shutdown = true;
+    }
+    _workCv.notify_all();
+    _spaceCv.notify_all();
+    for (std::thread &t : _threads)
+        t.join();
+}
+
+void
+WorkStealingPool::submit(Task task)
+{
+    std::size_t target;
+    {
+        std::unique_lock<std::mutex> lk(_mu);
+        _spaceCv.wait(lk, [this] {
+            return _queued < _capacity * _workers.size() || _shutdown;
+        });
+        if (_shutdown)
+            return; // destructor racing a submitter: drop the task
+        ++_queued;
+        ++_inFlight;
+        target = _submitCursor++ % _workers.size();
+    }
+    {
+        Worker &w = *_workers[target];
+        std::lock_guard<std::mutex> lk(w.mu);
+        w.queue.push_back(std::move(task));
+    }
+    _workCv.notify_one();
+}
+
+void
+WorkStealingPool::drain()
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    _idleCv.wait(lk, [this] { return _inFlight == 0; });
+}
+
+std::uint64_t
+WorkStealingPool::steals() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _steals;
+}
+
+bool
+WorkStealingPool::popOwn(std::size_t self, Task &out)
+{
+    Worker &w = *_workers[self];
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (w.queue.empty())
+        return false;
+    out = std::move(w.queue.front());
+    w.queue.pop_front();
+    return true;
+}
+
+bool
+WorkStealingPool::steal(std::size_t self, Task &out)
+{
+    const std::size_t n = _workers.size();
+    for (std::size_t off = 1; off < n; ++off) {
+        Worker &victim = *_workers[(self + off) % n];
+        std::lock_guard<std::mutex> lk(victim.mu);
+        if (victim.queue.empty())
+            continue;
+        out = std::move(victim.queue.back());
+        victim.queue.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+WorkStealingPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        Task task;
+        bool have = popOwn(self, task);
+        bool stolen = false;
+        if (!have) {
+            have = stolen = steal(self, task);
+        }
+        if (!have) {
+            std::unique_lock<std::mutex> lk(_mu);
+            // _queued > 0 without a poppable task just means a racing
+            // submit has incremented the counter but not yet pushed,
+            // or another worker got there first — loop and retry.
+            _workCv.wait(lk, [this] {
+                return _queued > 0 || _shutdown;
+            });
+            if (_shutdown && _queued == 0)
+                return;
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lk(_mu);
+            --_queued;
+            if (stolen)
+                ++_steals;
+        }
+        _spaceCv.notify_one();
+        task(static_cast<int>(self));
+        {
+            std::lock_guard<std::mutex> lk(_mu);
+            --_inFlight;
+            if (_inFlight == 0)
+                _idleCv.notify_all();
+        }
+    }
+}
+
+} // namespace fb::exec

@@ -8,7 +8,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -41,6 +40,14 @@ enum class BusKind
  * The interconnect between processors and memory. Each cache miss
  * occupies its arbitration domain (the whole bus, or one bank) for a
  * fixed service time; overlapping requests queue behind each other.
+ *
+ * Per-bank busy times live in lazily-allocated page-sized slabs
+ * indexed by a flat page->slot table (mirroring SharedMemory's count
+ * pages) instead of a hash map: the banked model indexes by word
+ * address, so the busy table is exactly as sparse as the touched
+ * footprint, and reset()/decodeState() only re-zero the pages a run
+ * actually hit. Slabs persist across reset() so a pooled machine
+ * stops allocating once warm.
  */
 class SharedBus
 {
@@ -65,9 +72,9 @@ class SharedBus
     request(std::uint64_t now, std::size_t addr)
     {
         ++_requests;
-        std::uint64_t &busy_until =
-            _kind == BusKind::Shared ? _globalBusyUntil
-                                     : _bankBusyUntil[addr];
+        std::uint64_t &busy_until = _kind == BusKind::Shared
+                                        ? _globalBusyUntil
+                                        : bankBusy(addr);
         std::uint64_t start = now > busy_until ? now : busy_until;
         std::uint64_t wait = start - now;
         _queueDelay += wait;
@@ -81,31 +88,62 @@ class SharedBus
     /** Total cycles requests spent queued. */
     std::uint64_t totalQueueDelay() const { return _queueDelay; }
 
+    /**
+     * Reconfigure and clear — equivalent to freshly constructing
+     * SharedBus(service_cycles, kind), except bank slabs stay
+     * allocated for reuse. O(bank pages touched).
+     */
+    void
+    reset(std::uint32_t service_cycles, BusKind kind)
+    {
+        _serviceCycles = service_cycles;
+        _kind = kind;
+        _globalBusyUntil = 0;
+        _requests = 0;
+        _queueDelay = 0;
+        clearBanks();
+    }
+
     /** Serialize busy state and counters (banks sorted by address). */
-    void encodeState(snapshot::Encoder &e) const
+    void
+    encodeState(snapshot::Encoder &e) const
     {
         e.u64(_globalBusyUntil);
-        std::vector<std::pair<std::size_t, std::uint64_t>> banks(
-            _bankBusyUntil.begin(), _bankBusyUntil.end());
-        std::sort(banks.begin(), banks.end());
-        e.u64(banks.size());
-        for (const auto &[addr, until] : banks) {
-            e.u64(addr);
-            e.u64(until);
+        std::vector<std::size_t> pages(_bankPages);
+        std::sort(pages.begin(), pages.end());
+        std::uint64_t entries = 0;
+        for (std::size_t page : pages) {
+            const std::uint64_t *slab =
+                &_bankSlabs[(_bankSlot[page] - 1) * bankPageWords];
+            for (std::size_t i = 0; i < bankPageWords; ++i)
+                if (slab[i] != 0)
+                    ++entries;
+        }
+        e.u64(entries);
+        for (std::size_t page : pages) {
+            const std::uint64_t *slab =
+                &_bankSlabs[(_bankSlot[page] - 1) * bankPageWords];
+            for (std::size_t i = 0; i < bankPageWords; ++i) {
+                if (slab[i] != 0) {
+                    e.u64(page * bankPageWords + i);
+                    e.u64(slab[i]);
+                }
+            }
         }
         e.u64(_requests);
         e.u64(_queueDelay);
     }
 
     /** Restore state captured with encodeState(). */
-    bool decodeState(snapshot::Decoder &d)
+    bool
+    decodeState(snapshot::Decoder &d)
     {
         _globalBusyUntil = d.u64();
-        _bankBusyUntil.clear();
+        clearBanks();
         const std::uint64_t banks = d.u64();
         for (std::uint64_t k = 0; k < banks && d.ok(); ++k) {
             const std::uint64_t addr = d.u64();
-            _bankBusyUntil[static_cast<std::size_t>(addr)] = d.u64();
+            bankBusy(static_cast<std::size_t>(addr)) = d.u64();
         }
         _requests = d.u64();
         _queueDelay = d.u64();
@@ -113,10 +151,54 @@ class SharedBus
     }
 
   private:
+    /** Bank-busy slab page granularity (words). */
+    static constexpr std::size_t bankPageWords = 1024;
+
+    /** Busy-until slot for @p addr, allocating its page on demand
+     *  and marking the page dirty. */
+    std::uint64_t &
+    bankBusy(std::size_t addr)
+    {
+        const std::size_t page = addr / bankPageWords;
+        if (page >= _bankSlot.size()) {
+            _bankSlot.resize(page + 1, 0);
+            _bankDirty.resize(page + 1, false);
+        }
+        std::uint32_t slot = _bankSlot[page];
+        if (slot == 0) {
+            _bankSlabs.resize(_bankSlabs.size() + bankPageWords, 0);
+            slot = static_cast<std::uint32_t>(
+                _bankSlabs.size() / bankPageWords);
+            _bankSlot[page] = slot;
+        }
+        if (!_bankDirty[page]) {
+            _bankDirty[page] = true;
+            _bankPages.push_back(page);
+        }
+        return _bankSlabs[(slot - 1) * bankPageWords + addr % bankPageWords];
+    }
+
+    /** Zero every touched bank page; keep slabs allocated. */
+    void
+    clearBanks()
+    {
+        for (std::size_t page : _bankPages) {
+            std::uint64_t *slab =
+                &_bankSlabs[(_bankSlot[page] - 1) * bankPageWords];
+            std::fill(slab, slab + bankPageWords, 0);
+            _bankDirty[page] = false;
+        }
+        _bankPages.clear();
+    }
+
     std::uint32_t _serviceCycles;
     BusKind _kind;
     std::uint64_t _globalBusyUntil = 0;
-    std::unordered_map<std::size_t, std::uint64_t> _bankBusyUntil;
+    /** page -> slab slot + 1 into _bankSlabs (0 = none yet). */
+    std::vector<std::uint32_t> _bankSlot;
+    std::vector<std::uint64_t> _bankSlabs;
+    std::vector<bool> _bankDirty;
+    std::vector<std::size_t> _bankPages; ///< touched, first-touch order
     std::uint64_t _requests = 0;
     std::uint64_t _queueDelay = 0;
 };

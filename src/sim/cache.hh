@@ -50,6 +50,22 @@ class DataCache
     /** Drop every line. */
     void flush();
 
+    /**
+     * Reinitialize to a cold cache under @p config — equivalent to
+     * constructing DataCache(config), reusing the line arrays. Tags
+     * are zeroed too (not just invalidated) so a reused cache's
+     * encoded snapshot is byte-identical to a fresh one's.
+     */
+    void
+    reset(const CacheConfig &config)
+    {
+        _config = config;
+        _valid.assign(config.numLines, false);
+        _tags.assign(config.numLines, 0);
+        _hits = 0;
+        _misses = 0;
+    }
+
     /** Hits so far. */
     std::uint64_t hits() const { return _hits; }
 

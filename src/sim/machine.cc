@@ -164,6 +164,136 @@ Machine::Machine(const MachineConfig &config) : _config(config)
 
 Machine::~Machine() = default;
 
+// Debug-only reset verification: after every Machine::reset, snapshot
+// the recycled machine and a freshly constructed twin and require the
+// byte streams to be identical. Always on in Debug builds; sanitizer
+// builds (which may compile with NDEBUG, e.g. TSan's RelWithDebInfo)
+// opt in explicitly via FB_CHECK_MACHINE_RESET from CMake.
+#if !defined(NDEBUG) || defined(FB_CHECK_MACHINE_RESET)
+#define FB_RESET_CHECKS 1
+#else
+#define FB_RESET_CHECKS 0
+#endif
+
+std::uint64_t
+Machine::structuralKey(const MachineConfig &config)
+{
+    snapshot::Fnv1a h;
+    h.mix(static_cast<std::uint64_t>(config.numProcessors));
+    h.mix(config.memWords);
+    h.mix(config.cache.enabled ? 1 : 0);
+    h.mix(config.cache.numLines);
+    h.mix(config.cache.lineWords);
+    return h.value();
+}
+
+void
+Machine::reset(const MachineConfig &config)
+{
+    FB_ASSERT(config.numProcessors > 0 && config.numProcessors <= 64,
+              "processor count must be in [1, 64]");
+    FB_ASSERT(structuralKey(config) == structuralKey(_config),
+              "Machine::reset across structural shapes (use a new "
+              "Machine instead)");
+
+    // Zero the sharer masks before the memory forgets which pages the
+    // previous run touched: every access that can set a sharer bit
+    // also lands in the page's access stats, so the touched-page list
+    // bounds the nonzero lines (restores included — a snapshot's
+    // sharers are covered by its decoded stats pages).
+    if (!_lineSharers.empty()) {
+        if (_sharersUnbounded) {
+            std::fill(_lineSharers.begin(), _lineSharers.end(), 0);
+        } else {
+            const std::size_t line_words =
+                std::max<std::size_t>(1, _config.cache.lineWords);
+            for (std::size_t page : _memory->touchedPages()) {
+                const std::size_t first =
+                    page * SharedMemory::pageWords / line_words;
+                const std::size_t last = std::min(
+                    _lineSharers.size(),
+                    ((page + 1) * SharedMemory::pageWords - 1) /
+                            line_words +
+                        1);
+                if (first < last)
+                    std::fill(_lineSharers.begin() +
+                                  static_cast<std::ptrdiff_t>(first),
+                              _lineSharers.begin() +
+                                  static_cast<std::ptrdiff_t>(last),
+                              0);
+            }
+        }
+    }
+    _sharersUnbounded = false;
+
+    _config = config;
+    _memory->resetStats();
+    _memory->resetContents();
+    _bus->reset(config.busServiceCycles, config.busKind);
+    _network->reset(config.syncLatency);
+
+    for (auto &prog : _programs) {
+        prog = isa::Program();
+        prog.finalize();
+    }
+
+    // Same seeding protocol as the constructor: one master stream,
+    // split per processor in ascending order, so a recycled machine's
+    // jitter sequences are bit-identical to a fresh one's.
+    RandomSource master(config.seed);
+    for (int p = 0; p < config.numProcessors; ++p) {
+        const auto idx = static_cast<std::size_t>(p);
+        _caches[idx]->reset(config.cache);
+        _processors[idx]->reset(config.pipelineDepth, config.stall,
+                                master.split(), config.jitterMean,
+                                config.interruptPeriod, config.isrEntry,
+                                config.issueWidth);
+        if (config.recordSyncEvents)
+            _processors[idx]->setObserver(this);
+    }
+    _trace = config.traceBarrierStates
+                 ? std::make_unique<BarrierTrace>(config.numProcessors)
+                 : nullptr;
+
+    _now = 0;
+    std::fill(_lastArrival.begin(), _lastArrival.end(), 0);
+    std::fill(_openSyncRecord.begin(), _openSyncRecord.end(),
+              std::numeric_limits<std::size_t>::max());
+    std::fill(_fenced.begin(), _fenced.end(), false);
+    _recoveries.clear();
+    _deadDeclared.clear();
+    _membershipViolation.clear();
+    _checkpointSink = nullptr;
+    _syncRecords.clear();
+    _invalidationsSent = 0;
+    _invalidationsAvoided = 0;
+
+    _injector.reset();
+    if (config.faultPlan != nullptr && !config.faultPlan->empty()) {
+        _injector = std::make_unique<fault::FaultInjector>(
+            *config.faultPlan, config.numProcessors);
+        _network->setPulseFilter(_injector.get());
+    }
+    _watchdog.reset();
+    if (config.watchdog.enabled) {
+        _watchdog = std::make_unique<fault::BarrierWatchdog>(
+            config.watchdog, config.numProcessors);
+    }
+
+#if FB_RESET_CHECKS
+    if (!_trace) {
+        // The recycled machine must be observably indistinguishable
+        // from a fresh one — the whole machine-reuse invariant in one
+        // check. Snapshots encode only touched state, so a correctly
+        // reset machine produces a byte-identical stream.
+        Machine fresh(config);
+        FB_ASSERT(saveState(0) == fresh.saveState(0),
+                  "Machine::reset left reused state behind (snapshot "
+                  "differs from a freshly constructed machine)");
+    }
+#endif
+}
+
 void
 Machine::loadProgram(int p, isa::Program program)
 {
@@ -215,6 +345,7 @@ Machine::run()
 {
     RunResult result;
     const int n = numProcessors();
+    result.perProcessor.reserve(static_cast<std::size_t>(n));
     constexpr std::uint64_t never =
         std::numeric_limits<std::uint64_t>::max();
 
@@ -779,6 +910,10 @@ Machine::restoreState(const std::vector<std::uint8_t> &bytes,
         error = "cannot restore while barrier-state tracing is enabled";
         return false;
     }
+    // A partial restore can leave sharer masks the access stats no
+    // longer cover; make the next reset() take the full clear unless
+    // this restore completes.
+    _sharersUnbounded = true;
 
     snapshot::SnapshotHeader header;
     std::vector<snapshot::Section> sections;
@@ -929,6 +1064,7 @@ Machine::restoreState(const std::vector<std::uint8_t> &bytes,
         error = "snapshot header cycle disagrees with machine core";
         return false;
     }
+    _sharersUnbounded = false;
     return true;
 }
 

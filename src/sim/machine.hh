@@ -128,6 +128,27 @@ class Machine : public ExecutionObserver
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
 
+    /**
+     * Structural shape key of a config: the inputs that size the
+     * machine's long-lived arrays (processor count, memory size,
+     * cache model and geometry). Two configs with equal keys can
+     * share one Machine via reset(); everything else (seed, timing,
+     * stall model, fault plan, ...) is a reset-time parameter.
+     */
+    static std::uint64_t structuralKey(const MachineConfig &config);
+
+    /**
+     * Reinitialize for @p config — observably equivalent to
+     * destroying this machine and constructing Machine(config), but
+     * reusing every large allocation (memory slabs, cache arrays,
+     * sharer masks, scratch vectors). Requires structuralKey(config)
+     * == structuralKey of the current config. Cost is proportional
+     * to the state the previous run actually touched, not to the
+     * machine size. Programs revert to empty; the checkpoint sink
+     * and any observer/trace state are cleared per @p config.
+     */
+    void reset(const MachineConfig &config);
+
     /** Load @p program into processor @p p. Must precede run(). */
     void loadProgram(int p, isa::Program program);
 
@@ -296,6 +317,16 @@ class Machine : public ExecutionObserver
     std::vector<std::uint64_t> _lineSharers;
     std::uint64_t _invalidationsSent = 0;
     std::uint64_t _invalidationsAvoided = 0;
+
+    /**
+     * reset() normally bounds the sharer-mask zeroing by the memory
+     * pages the run touched (every sharer-setting access also lands
+     * in the access stats). A restoreState() that fails partway can
+     * leave sharers whose pages the current stats no longer cover;
+     * this flag forces the next reset() to take the full O(lines)
+     * clear instead.
+     */
+    bool _sharersUnbounded = false;
 };
 
 } // namespace fb::sim

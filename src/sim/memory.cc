@@ -10,6 +10,10 @@ namespace fb::sim
 SharedMemory::SharedMemory(std::size_t words) : _words(words, 0)
 {
     FB_ASSERT(words > 0, "memory must have at least one word");
+    const std::size_t pages = (words + pageWords - 1) / pageWords;
+    _countSlot.assign(pages, 0);
+    _statsDirty.assign(pages, false);
+    _contentDirty.assign(pages, false);
 }
 
 std::int64_t
@@ -27,6 +31,7 @@ SharedMemory::write(std::size_t addr, std::int64_t value)
     FB_ASSERT(addr < _words.size(), "store to out-of-range address "
                                         << addr);
     touch(addr);
+    markWritten(addr);
     _words[addr] = value;
 }
 
@@ -43,28 +48,81 @@ SharedMemory::poke(std::size_t addr, std::int64_t value)
 {
     FB_ASSERT(addr < _words.size(), "poke of out-of-range address "
                                         << addr);
+    markWritten(addr);
     _words[addr] = value;
+}
+
+std::uint64_t *
+SharedMemory::countSlab(std::size_t page)
+{
+    std::uint32_t slot = _countSlot[page];
+    if (slot == 0) {
+        _countSlabs.resize(_countSlabs.size() + pageWords, 0);
+        slot = static_cast<std::uint32_t>(_countSlabs.size() / pageWords);
+        _countSlot[page] = slot;
+    }
+    return &_countSlabs[(slot - 1) * pageWords];
+}
+
+const std::uint64_t *
+SharedMemory::countSlabIfAny(std::size_t page) const
+{
+    const std::uint32_t slot = _countSlot[page];
+    return slot == 0 ? nullptr : &_countSlabs[(slot - 1) * pageWords];
+}
+
+void
+SharedMemory::touch(std::size_t addr)
+{
+    ++_totalAccesses;
+    const std::size_t page = addr / pageWords;
+    std::uint64_t *slab = countSlab(page);
+    if (!_statsDirty[page]) {
+        _statsDirty[page] = true;
+        _statsPages.push_back(page);
+    }
+    ++slab[addr % pageWords];
+}
+
+void
+SharedMemory::markWritten(std::size_t addr)
+{
+    const std::size_t page = addr / pageWords;
+    if (!_contentDirty[page]) {
+        _contentDirty[page] = true;
+        _contentPages.push_back(page);
+    }
 }
 
 std::uint64_t
 SharedMemory::hotSpotAccesses() const
 {
     std::uint64_t best = 0;
-    for (const auto &[addr, count] : _accessCounts)
-        if (count > best)
-            best = count;
+    for (std::size_t page : _statsPages) {
+        const std::uint64_t *slab = countSlabIfAny(page);
+        for (std::size_t i = 0; i < pageWords; ++i)
+            if (slab[i] > best)
+                best = slab[i];
+    }
     return best;
 }
 
 std::size_t
 SharedMemory::hotSpotAddress() const
 {
+    // Scan pages in ascending address order so ties resolve to the
+    // lowest address deterministically.
+    std::vector<std::size_t> pages(_statsPages);
+    std::sort(pages.begin(), pages.end());
     std::size_t best_addr = 0;
     std::uint64_t best = 0;
-    for (const auto &[addr, count] : _accessCounts) {
-        if (count > best) {
-            best = count;
-            best_addr = addr;
+    for (std::size_t page : pages) {
+        const std::uint64_t *slab = countSlabIfAny(page);
+        for (std::size_t i = 0; i < pageWords; ++i) {
+            if (slab[i] > best) {
+                best = slab[i];
+                best_addr = page * pageWords + i;
+            }
         }
     }
     return best_addr;
@@ -73,35 +131,42 @@ SharedMemory::hotSpotAddress() const
 void
 SharedMemory::resetStats()
 {
-    _accessCounts.clear();
+    for (std::size_t page : _statsPages) {
+        std::uint64_t *slab = countSlab(page);
+        std::fill(slab, slab + pageWords, 0);
+        _statsDirty[page] = false;
+    }
+    _statsPages.clear();
     _totalAccesses = 0;
 }
 
 void
-SharedMemory::touch(std::size_t addr)
+SharedMemory::resetContents()
 {
-    ++_totalAccesses;
-    ++_accessCounts[addr];
+    for (std::size_t page : _contentPages) {
+        const std::size_t begin = page * pageWords;
+        const std::size_t end = std::min(begin + pageWords, _words.size());
+        std::fill(_words.begin() + begin, _words.begin() + end, 0);
+        _contentDirty[page] = false;
+    }
+    _contentPages.clear();
 }
-
-namespace
-{
-constexpr std::size_t snapshotPageWords = 1024;
-} // namespace
 
 void
 SharedMemory::encodeState(snapshot::Encoder &e) const
 {
     e.u64(_words.size());
 
-    // Dirty pages: any page holding a nonzero word.
+    // Dirty pages: any page holding a nonzero word. Nonzero words
+    // only exist on content-dirty pages (memory starts zeroed and
+    // every store marks its page), so scanning the written set is
+    // equivalent to scanning the whole array.
+    std::vector<std::size_t> written(_contentPages);
+    std::sort(written.begin(), written.end());
     std::vector<std::size_t> dirty;
-    const std::size_t pages =
-        (_words.size() + snapshotPageWords - 1) / snapshotPageWords;
-    for (std::size_t p = 0; p < pages; ++p) {
-        const std::size_t begin = p * snapshotPageWords;
-        const std::size_t end =
-            std::min(begin + snapshotPageWords, _words.size());
+    for (std::size_t p : written) {
+        const std::size_t begin = p * pageWords;
+        const std::size_t end = std::min(begin + pageWords, _words.size());
         for (std::size_t i = begin; i < end; ++i) {
             if (_words[i] != 0) {
                 dirty.push_back(p);
@@ -111,22 +176,34 @@ SharedMemory::encodeState(snapshot::Encoder &e) const
     }
     e.u64(dirty.size());
     for (std::size_t p : dirty) {
-        const std::size_t begin = p * snapshotPageWords;
-        const std::size_t end =
-            std::min(begin + snapshotPageWords, _words.size());
+        const std::size_t begin = p * pageWords;
+        const std::size_t end = std::min(begin + pageWords, _words.size());
         e.u64(p);
         e.u64(end - begin);
         for (std::size_t i = begin; i < end; ++i)
             e.i64(_words[i]);
     }
 
-    std::vector<std::pair<std::size_t, std::uint64_t>> counts(
-        _accessCounts.begin(), _accessCounts.end());
-    std::sort(counts.begin(), counts.end());
-    e.u64(counts.size());
-    for (const auto &[addr, count] : counts) {
-        e.u64(addr);
-        e.u64(count);
+    // Access counts in ascending address order (deterministic bytes,
+    // same stream the old sorted-map encoding produced).
+    std::vector<std::size_t> touched(_statsPages);
+    std::sort(touched.begin(), touched.end());
+    std::uint64_t entries = 0;
+    for (std::size_t page : touched) {
+        const std::uint64_t *slab = countSlabIfAny(page);
+        for (std::size_t i = 0; i < pageWords; ++i)
+            if (slab[i] != 0)
+                ++entries;
+    }
+    e.u64(entries);
+    for (std::size_t page : touched) {
+        const std::uint64_t *slab = countSlabIfAny(page);
+        for (std::size_t i = 0; i < pageWords; ++i) {
+            if (slab[i] != 0) {
+                e.u64(page * pageWords + i);
+                e.u64(slab[i]);
+            }
+        }
     }
     e.u64(_totalAccesses);
 }
@@ -137,28 +214,34 @@ SharedMemory::decodeState(snapshot::Decoder &d)
     const std::uint64_t words = d.u64();
     if (!d.ok() || words != _words.size())
         return false;
-    std::fill(_words.begin(), _words.end(), 0);
+    resetContents();
 
     const std::uint64_t dirty = d.u64();
     for (std::uint64_t k = 0; k < dirty; ++k) {
         const std::uint64_t page = d.u64();
         const std::uint64_t count = d.u64();
-        const std::uint64_t begin = page * snapshotPageWords;
-        if (!d.ok() || begin + count > _words.size() ||
-            count > snapshotPageWords)
+        const std::uint64_t begin = page * pageWords;
+        if (!d.ok() || begin + count > _words.size() || count > pageWords)
             return false;
+        markWritten(static_cast<std::size_t>(begin));
         for (std::uint64_t i = 0; i < count; ++i)
             _words[static_cast<std::size_t>(begin + i)] = d.i64();
     }
 
-    _accessCounts.clear();
+    resetStats();
     const std::uint64_t entries = d.u64();
     for (std::uint64_t k = 0; k < entries; ++k) {
         const std::uint64_t addr = d.u64();
         const std::uint64_t count = d.u64();
         if (!d.ok() || addr >= _words.size())
             return false;
-        _accessCounts[static_cast<std::size_t>(addr)] = count;
+        const std::size_t page = static_cast<std::size_t>(addr) / pageWords;
+        std::uint64_t *slab = countSlab(page);
+        if (!_statsDirty[page]) {
+            _statsDirty[page] = true;
+            _statsPages.push_back(page);
+        }
+        slab[static_cast<std::size_t>(addr) % pageWords] = count;
     }
     _totalAccesses = d.u64();
     return d.ok();

@@ -7,7 +7,6 @@
 #define FB_SIM_MEMORY_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "snapshot/codec.hh"
@@ -22,10 +21,24 @@ namespace fb::sim
  * per word are kept so experiment E8 can report hot-spot traffic: a
  * software barrier hammers a single flag word, while the hardware
  * fuzzy barrier performs no shared accesses at all.
+ *
+ * Both the counts and the dirty-word bookkeeping are paged: counts
+ * live in lazily-allocated page-sized slabs indexed by a flat
+ * page->slot table, and every page touched (stats) or written
+ * (contents) since the last reset is remembered in first-touch
+ * order. That makes resetStats()/resetContents() O(pages touched)
+ * rather than O(memory size), which is what lets a pooled machine be
+ * recycled for thousands of scenarios without re-walking a mostly
+ * untouched megaword array. Slabs stay allocated across resets, so a
+ * reused machine reaches a steady state with no per-scenario
+ * allocation at all.
  */
 class SharedMemory
 {
   public:
+    /** Page granularity (words) for dirty tracking and snapshots. */
+    static constexpr std::size_t pageWords = 1024;
+
     /** Construct with @p words words, zero initialized. */
     explicit SharedMemory(std::size_t words);
 
@@ -50,17 +63,33 @@ class SharedMemory
     /** Highest access count of any single word (the hot spot). */
     std::uint64_t hotSpotAccesses() const;
 
-    /** Address of the most-accessed word (0 if none). */
+    /** Address of the most-accessed word (lowest such address; 0 if
+     *  none). */
     std::size_t hotSpotAddress() const;
 
-    /** Forget access statistics, keep contents. */
+    /** Forget access statistics, keep contents. O(pages touched). */
     void resetStats();
+
+    /** Zero every word written since construction (or the previous
+     *  resetContents). O(pages written). */
+    void resetContents();
+
+    /**
+     * Pages whose access statistics were touched since the last
+     * resetStats(), in first-touch order. Every simulated access
+     * lands here, so per-line derived state (e.g. sharer masks) is
+     * confined to these pages.
+     */
+    const std::vector<std::size_t> &touchedPages() const
+    {
+        return _statsPages;
+    }
 
     /**
      * Serialize contents sparsely: only pages containing a nonzero
      * word are written (memory starts zeroed, so untouched pages are
-     * implicit), plus the access-count map in sorted order so the
-     * byte stream is deterministic.
+     * implicit), plus the access counts in sorted address order so
+     * the byte stream is deterministic.
      */
     void encodeState(snapshot::Encoder &e) const;
 
@@ -69,9 +98,21 @@ class SharedMemory
 
   private:
     void touch(std::size_t addr);
+    void markWritten(std::size_t addr);
+    /** Count slab for @p page, allocated on first use. */
+    std::uint64_t *countSlab(std::size_t page);
+    /** Count slab for @p page, or nullptr if never allocated. */
+    const std::uint64_t *countSlabIfAny(std::size_t page) const;
 
     std::vector<std::int64_t> _words;
-    std::unordered_map<std::size_t, std::uint64_t> _accessCounts;
+    /** page -> slab slot + 1 into _countSlabs (0 = none yet). */
+    std::vector<std::uint32_t> _countSlot;
+    /** Concatenated page-sized access-count slabs. */
+    std::vector<std::uint64_t> _countSlabs;
+    std::vector<bool> _statsDirty;          ///< page touched since resetStats
+    std::vector<std::size_t> _statsPages;   ///< touched, first-touch order
+    std::vector<bool> _contentDirty;        ///< page written since reset
+    std::vector<std::size_t> _contentPages; ///< written, first-touch order
     std::uint64_t _totalAccesses = 0;
 };
 

@@ -30,6 +30,48 @@ Processor::Processor(int id, const isa::Program &program,
               "interrupts enabled but no ISR entry point");
 }
 
+void
+Processor::reset(int pipeline_depth, StallModel stall,
+                 RandomSource jitter, double jitter_mean,
+                 std::uint64_t interrupt_period, std::int64_t isr_entry,
+                 int issue_width)
+{
+    FB_ASSERT(pipeline_depth >= 1, "pipeline depth must be >= 1");
+    FB_ASSERT(issue_width >= 1, "issue width must be >= 1");
+    FB_ASSERT(_program.finalized(), "program must be finalized");
+    FB_ASSERT(interrupt_period == 0 || isr_entry >= 0,
+              "interrupts enabled but no ISR entry point");
+    _pipelineDepth = pipeline_depth;
+    _stall = stall;
+    _jitter = jitter;
+    _jitterMean = jitter_mean;
+    _interruptPeriod = interrupt_period;
+    _isrEntry = isr_entry;
+    _issueWidth = issue_width;
+    _observer = nullptr;
+    _regs.fill(0);
+    _pc = 0;
+    _halted = false;
+    _state = CoreState::Running;
+    _busyCycles = 0;
+    _markerRegion = false;
+    _callStack.clear();
+    _issueEffRegion = false;
+    _lastIssueCost = 0;
+    _inIsr = false;
+    _savedPc = 0;
+    _nextInterrupt = interrupt_period;
+    _forceInterrupt = false;
+    _arrivePending = false;
+    _arriveCycle = 0;
+    _lastNonRegionComplete = 0;
+    _instructions = 0;
+    _barrierWaitCycles = 0;
+    _contextSwitchCycles = 0;
+    _contextSwitches = 0;
+    _interruptsTaken = 0;
+}
+
 bool
 Processor::bundleable(const isa::Instruction &instr)
 {

@@ -93,6 +93,18 @@ class Processor
     /** Install the (optional) execution observer. */
     void setObserver(ExecutionObserver *observer) { _observer = observer; }
 
+    /**
+     * Return every mutable field (registers, PC, FSM, pipeline and
+     * interrupt machinery, counters) to its construction-time value
+     * and take fresh timing parameters — equivalent to re-running the
+     * constructor against the same program reference and barrier
+     * unit. Machine reuse: the Machine resets the referenced program
+     * slot and unit separately, then calls this.
+     */
+    void reset(int pipeline_depth, StallModel stall, RandomSource jitter,
+               double jitter_mean, std::uint64_t interrupt_period = 0,
+               std::int64_t isr_entry = -1, int issue_width = 1);
+
     /** Advance one cycle. */
     TickResult tick(std::uint64_t now);
 

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <thread>
 
+#include "exec/machine_pool.hh"
+#include "exec/program_cache.hh"
 #include "isa/assembler.hh"
 #include "sim/machine.hh"
 #include "verify/generator.hh"
@@ -32,27 +34,9 @@ struct Variant
 };
 
 Fingerprint
-runVariant(const Scenario &sc, const std::vector<isa::Program> &programs,
-           const Variant &v, const DiffOptions &opt)
+runOnMachine(const Scenario &sc,
+             const std::vector<isa::Program> &programs, sim::Machine &m)
 {
-    sim::MachineConfig cfg;
-    cfg.numProcessors = sc.procs();
-    cfg.memWords = opt.memWords;
-    cfg.pipelineDepth = v.pipelineDepth;
-    cfg.issueWidth = v.issueWidth;
-    cfg.jitterMean = v.jitterMean;
-    cfg.seed = v.machineSeed;
-    cfg.stall = v.stall;
-    cfg.maxCycles = opt.maxCycles;
-    cfg.fastForward = v.fastForward;
-    cfg.interruptPeriod = sc.interruptPeriod;
-    cfg.isrEntry = sc.isrEntry;
-    if (sc.hasFaults()) {
-        cfg.faultPlan = &sc.faults;
-        cfg.watchdog = sc.watchdog;
-    }
-
-    sim::Machine m(cfg);
     for (int p = 0; p < sc.procs(); ++p)
         m.loadProgram(p, programs[static_cast<std::size_t>(p)]);
     auto r = m.run();
@@ -74,6 +58,35 @@ runVariant(const Scenario &sc, const std::vector<isa::Program> &programs,
     for (auto addr : sc.watchAddrs)
         fp.mem.push_back(m.memory().peek(addr));
     return fp;
+}
+
+Fingerprint
+runVariant(const Scenario &sc, const std::vector<isa::Program> &programs,
+           const Variant &v, const DiffOptions &opt)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcessors = sc.procs();
+    cfg.memWords = opt.memWords;
+    cfg.pipelineDepth = v.pipelineDepth;
+    cfg.issueWidth = v.issueWidth;
+    cfg.jitterMean = v.jitterMean;
+    cfg.seed = v.machineSeed;
+    cfg.stall = v.stall;
+    cfg.maxCycles = opt.maxCycles;
+    cfg.fastForward = v.fastForward;
+    cfg.interruptPeriod = sc.interruptPeriod;
+    cfg.isrEntry = sc.isrEntry;
+    if (sc.hasFaults()) {
+        cfg.faultPlan = &sc.faults;
+        cfg.watchdog = sc.watchdog;
+    }
+
+    if (opt.machinePool) {
+        auto lease = opt.machinePool->acquire(cfg);
+        return runOnMachine(sc, programs, *lease);
+    }
+    sim::Machine m(cfg);
+    return runOnMachine(sc, programs, m);
 }
 
 /**
@@ -309,30 +322,52 @@ runDifferential(const Scenario &sc, const DiffOptions &opt)
     }
     const std::vector<int> fatal = sc.faults.fatalTargets();
 
-    // Assemble both encodings up front.
+    // Assemble both encodings up front. With an intern cache the
+    // assembled pair is shared campaign-wide and only copied into the
+    // per-call vectors; otherwise assemble locally as before.
     std::vector<isa::Program> bits;
     std::vector<isa::Program> markers;
     for (int p = 0; p < sc.procs(); ++p) {
-        isa::Program prog;
-        std::string err;
-        if (!isa::Assembler::assemble(
-                sc.sources[static_cast<std::size_t>(p)], prog, err)) {
-            std::ostringstream oss;
-            oss << "processor " << p << ": " << err;
-            return failed("assemble", oss.str());
-        }
-        if (auto violation = prog.checkRegionBranches()) {
-            std::ostringstream oss;
-            oss << "processor " << p << ": " << *violation;
-            return failed("static-check", oss.str());
+        const auto &source = sc.sources[static_cast<std::size_t>(p)];
+        isa::Program bitProg;
+        isa::Program markerProg;
+        if (opt.programCache) {
+            auto interned = opt.programCache->intern(source);
+            if (!interned->ok) {
+                std::ostringstream oss;
+                oss << "processor " << p << ": " << interned->error;
+                return failed("assemble", oss.str());
+            }
+            if (interned->regionViolation) {
+                std::ostringstream oss;
+                oss << "processor " << p << ": "
+                    << *interned->regionViolation;
+                return failed("static-check", oss.str());
+            }
+            bitProg = interned->bits;
+            markerProg = interned->markers;
+        } else {
+            std::string err;
+            if (!isa::Assembler::assemble(source, bitProg, err)) {
+                std::ostringstream oss;
+                oss << "processor " << p << ": " << err;
+                return failed("assemble", oss.str());
+            }
+            if (auto violation = bitProg.checkRegionBranches()) {
+                std::ostringstream oss;
+                oss << "processor " << p << ": " << *violation;
+                return failed("static-check", oss.str());
+            }
+            markerProg = bitProg.toMarkerEncoding();
         }
         if (sc.interruptPeriod > 0 &&
             (sc.isrEntry < 0 ||
-             sc.isrEntry >= static_cast<std::int64_t>(prog.size()))) {
+             sc.isrEntry >=
+                 static_cast<std::int64_t>(bitProg.size()))) {
             return failed("setup", "ISR entry index outside program");
         }
-        markers.push_back(prog.toMarkerEncoding());
-        bits.push_back(std::move(prog));
+        markers.push_back(std::move(markerProg));
+        bits.push_back(std::move(bitProg));
     }
 
     const bool baseMarkers = sc.encoding == Encoding::Markers;

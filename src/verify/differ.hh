@@ -23,6 +23,12 @@
 #include "swbarrier/factory.hh"
 #include "verify/scenario.hh"
 
+namespace fb::exec
+{
+class MachinePool;
+class ProgramCache;
+} // namespace fb::exec
+
 namespace fb::verify
 {
 
@@ -58,6 +64,16 @@ struct DiffOptions
     bool swBarrierReference = true;     ///< real-thread cross-check
     std::uint64_t maxCycles = 5'000'000;
     std::size_t memWords = 4096;
+
+    /**
+     * Optional campaign-engine hooks. When set, every variant runs on
+     * a reset machine leased from the pool instead of a freshly
+     * constructed one, and program assembly goes through the shared
+     * intern cache. Both must outlive the call; the pool must belong
+     * to the calling worker (MachinePool is not thread-safe).
+     */
+    exec::MachinePool *machinePool = nullptr;
+    exec::ProgramCache *programCache = nullptr;
 };
 
 /** Outcome of a differential run. */

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "exec/machine_pool.hh"
+#include "exec/program_cache.hh"
 #include "isa/assembler.hh"
 #include "sim/machine.hh"
 #include "support/random.hh"
@@ -143,11 +145,40 @@ diffFinalState(const Scenario &sc, sim::Machine &a, sim::Machine &b)
     return "";
 }
 
+/**
+ * One of the A/B/C machines: either a pool lease (reset + reused) or
+ * an owned fresh construction. All three slots are alive at once, so
+ * the pool hands out three concurrent leases of the same shape.
+ */
+class MachineSlot
+{
+  public:
+    MachineSlot(const sim::MachineConfig &cfg, exec::MachinePool *pool)
+    {
+        if (pool)
+            _lease = pool->acquire(cfg);
+        else
+            _owned = std::make_unique<sim::Machine>(cfg);
+    }
+
+    sim::Machine &
+    operator*()
+    {
+        return _lease ? *_lease : *_owned;
+    }
+
+  private:
+    exec::MachinePool::Lease _lease;
+    std::unique_ptr<sim::Machine> _owned;
+};
+
 } // namespace
 
 ResumeReport
 checkResumeEquivalence(const Scenario &sc, std::uint64_t k_seed,
-                       bool fast_forward, std::uint64_t max_cycles)
+                       bool fast_forward, std::uint64_t max_cycles,
+                       exec::MachinePool *pool,
+                       exec::ProgramCache *program_cache)
 {
     ResumeReport rep;
     auto failed = [&rep](std::string why) {
@@ -161,16 +192,29 @@ checkResumeEquivalence(const Scenario &sc, std::uint64_t k_seed,
 
     std::vector<isa::Program> programs;
     for (int p = 0; p < sc.procs(); ++p) {
+        const auto &source = sc.sources[static_cast<std::size_t>(p)];
         isa::Program prog;
-        std::string err;
-        if (!isa::Assembler::assemble(
-                sc.sources[static_cast<std::size_t>(p)], prog, err)) {
-            std::ostringstream oss;
-            oss << "assemble (processor " << p << "): " << err;
-            return failed(oss.str());
+        if (program_cache) {
+            auto interned = program_cache->intern(source);
+            if (!interned->ok) {
+                std::ostringstream oss;
+                oss << "assemble (processor " << p
+                    << "): " << interned->error;
+                return failed(oss.str());
+            }
+            prog = sc.encoding == Encoding::Markers
+                       ? interned->markers
+                       : interned->bits;
+        } else {
+            std::string err;
+            if (!isa::Assembler::assemble(source, prog, err)) {
+                std::ostringstream oss;
+                oss << "assemble (processor " << p << "): " << err;
+                return failed(oss.str());
+            }
+            if (sc.encoding == Encoding::Markers)
+                prog = prog.toMarkerEncoding();
         }
-        if (sc.encoding == Encoding::Markers)
-            prog = prog.toMarkerEncoding();
         programs.push_back(std::move(prog));
     }
 
@@ -182,7 +226,8 @@ checkResumeEquivalence(const Scenario &sc, std::uint64_t k_seed,
     };
 
     // A: the uninterrupted reference.
-    sim::Machine ref(base_cfg);
+    MachineSlot refSlot(base_cfg, pool);
+    sim::Machine &ref = *refSlot;
     load(ref);
     const sim::RunResult ra = ref.run();
     rep.referenceCycles = ra.cycles;
@@ -198,7 +243,8 @@ checkResumeEquivalence(const Scenario &sc, std::uint64_t k_seed,
     // B: same run, checkpointing at period K; keep the first snapshot.
     sim::MachineConfig cp_cfg = base_cfg;
     cp_cfg.checkpointEveryCycles = k;
-    sim::Machine checkpointed(cp_cfg);
+    MachineSlot cpSlot(cp_cfg, pool);
+    sim::Machine &checkpointed = *cpSlot;
     load(checkpointed);
     std::vector<std::uint8_t> snapshot;
     checkpointed.setCheckpointSink(
@@ -222,7 +268,8 @@ checkResumeEquivalence(const Scenario &sc, std::uint64_t k_seed,
     }
 
     // C: a fresh machine restored from the snapshot, run to the end.
-    sim::Machine resumed(base_cfg);
+    MachineSlot resumeSlot(base_cfg, pool);
+    sim::Machine &resumed = *resumeSlot;
     load(resumed);
     std::string restore_error;
     if (!resumed.restoreState(snapshot, restore_error))

@@ -29,6 +29,12 @@
 
 #include "verify/scenario.hh"
 
+namespace fb::exec
+{
+class MachinePool;
+class ProgramCache;
+} // namespace fb::exec
+
 namespace fb::verify
 {
 
@@ -54,11 +60,19 @@ struct ResumeReport
  * watchdog active if present. @p k_seed randomizes K; @p fast_forward
  * selects the event-driven or the legacy per-cycle loop for all three
  * runs.
+ *
+ * When @p pool is non-null the A/B/C machines are leased from it
+ * (three concurrent leases of the same structural shape) instead of
+ * constructed fresh, and @p programs, when also non-null, interns the
+ * scenario's assembly. Both hooks must outlive the call; the pool
+ * must belong to the calling worker.
  */
 ResumeReport checkResumeEquivalence(const Scenario &sc,
                                     std::uint64_t k_seed,
                                     bool fast_forward,
-                                    std::uint64_t max_cycles = 5'000'000);
+                                    std::uint64_t max_cycles = 5'000'000,
+                                    exec::MachinePool *pool = nullptr,
+                                    exec::ProgramCache *programs = nullptr);
 
 } // namespace fb::verify
 

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Campaign execution engine tests (INTERNALS section 16): the
+ * work-stealing pool, machine recycling, program interning, and the
+ * engine's headline guarantee — a campaign's consumer-visible output
+ * is byte-identical at any --jobs count, including campaigns that mix
+ * fault plans and checkpoint/restore runs on recycled machines.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/campaign.hh"
+#include "exec/machine_pool.hh"
+#include "exec/pool.hh"
+#include "exec/program_cache.hh"
+#include "fault/plan.hh"
+#include "sim/machine.hh"
+#include "verify/differ.hh"
+#include "verify/generator.hh"
+#include "verify/resume.hh"
+
+namespace
+{
+
+using namespace fb;
+
+/** Attach a seeded fault schedule + watchdog, as fbfuzz --faults does. */
+void
+attachFaults(verify::ProgramSpec &spec, std::uint64_t fault_seed)
+{
+    spec.faults = fault::randomFaultPlan(fault_seed, spec.procs(),
+                                         spec.groupSizes);
+    spec.faultSeed = fault_seed;
+    spec.watchdog.enabled = true;
+    spec.watchdog.timeoutCycles = 2000;
+    spec.watchdog.maxAttempts = 3;
+}
+
+/**
+ * One campaign item: a generated scenario through the differential
+ * matrix on the worker's pooled machines, every third seed with a
+ * fault plan, every fifth seed additionally through the A/B/C
+ * checkpoint/restore oracle (three more pooled machines). The payload
+ * is a deterministic journal line.
+ */
+exec::ItemResult
+runJournalSeed(std::uint64_t i, exec::WorkerContext &ctx)
+{
+    const std::uint64_t seed = 1000 + i;
+    auto spec = verify::randomSpec(seed);
+    if (i % 3 == 0)
+        attachFaults(spec, seed * 17 + 3);
+    auto sc = verify::render(spec);
+
+    verify::DiffOptions d;
+    d.swBarrierReference = false;  // keep the 220-seed sweep fast
+    d.machinePool = &ctx.machines;
+    d.programCache = &ctx.programs;
+    auto rep = verify::runDifferential(sc, d);
+
+    std::ostringstream line;
+    line << "seed=" << seed << " ok=" << rep.ok << " fp=" << std::hex
+         << rep.baseline.hash() << std::dec;
+    if (i % 5 == 0) {
+        auto rr = verify::checkResumeEquivalence(
+            sc, seed * 31, true, 5'000'000, &ctx.machines,
+            &ctx.programs);
+        line << " resume=" << rr.ok << " k=" << rr.checkpointCycle
+             << " snap=" << rr.snapshotTaken;
+        if (!rr.ok)
+            line << " why=" << rr.failure;
+    }
+    line << "\n";
+
+    exec::ItemResult r;
+    r.failed = !rep.ok;
+    r.payload = line.str();
+    return r;
+}
+
+/** Run the journal campaign at @p jobs and return the output stream. */
+std::string
+journalAt(int jobs, std::uint64_t seeds, exec::CampaignStats *stats_out)
+{
+    exec::CampaignOptions opt;
+    opt.jobs = jobs;
+    std::string journal;
+    std::uint64_t expected = 0;
+    auto stats = exec::runCampaign(
+        seeds, opt, runJournalSeed,
+        [&](std::uint64_t i, const exec::ItemResult &r) {
+            EXPECT_EQ(i, expected) << "consumer saw indices out of order";
+            ++expected;
+            journal += r.payload;
+        });
+    EXPECT_EQ(expected, seeds);
+    if (stats_out)
+        *stats_out = stats;
+    return journal;
+}
+
+// The tentpole guarantee: 220 generated scenarios — fault plans on
+// every third, checkpoint/restore on every fifth — produce the same
+// journal bytes at jobs=1 and jobs=4, and no scenario fails.
+TEST(Campaign, JournalIdenticalAcrossJobs)
+{
+    constexpr std::uint64_t seeds = 220;
+    exec::CampaignStats s1, s4;
+    const std::string j1 = journalAt(1, seeds, &s1);
+    const std::string j4 = journalAt(4, seeds, &s4);
+    EXPECT_EQ(j1, j4);
+    EXPECT_EQ(s1.failures, 0u);
+    EXPECT_EQ(s4.failures, 0u);
+    // The engine actually recycled machines in both modes — the sweep
+    // exercises Machine::reset(), not just fresh construction.
+    EXPECT_GT(s1.machinesReused, 0u);
+    EXPECT_GT(s4.machinesReused, 0u);
+    EXPECT_GT(s4.programsInterned, 0u);
+    // Every journal line carries an oracle verdict; none may fail.
+    EXPECT_EQ(j1.find("ok=0"), std::string::npos);
+    EXPECT_EQ(j1.find("resume=0"), std::string::npos);
+}
+
+// A machine leased from the pool must be observably identical to a
+// fresh one: the full differential report (baseline fingerprint and
+// verdict) matches fresh construction for every seed.
+TEST(Campaign, PooledMachineMatchesFresh)
+{
+    exec::MachinePool pool;
+    exec::ProgramCache programs;
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+        auto spec = verify::randomSpec(seed);
+        if (seed % 4 == 0)
+            attachFaults(spec, seed * 13 + 1);
+        auto sc = verify::render(spec);
+
+        verify::DiffOptions fresh;
+        fresh.swBarrierReference = false;
+        auto freshRep = verify::runDifferential(sc, fresh);
+
+        verify::DiffOptions pooled = fresh;
+        pooled.machinePool = &pool;
+        pooled.programCache = &programs;
+        auto pooledRep = verify::runDifferential(sc, pooled);
+
+        EXPECT_EQ(freshRep.ok, pooledRep.ok) << "seed " << seed;
+        EXPECT_EQ(freshRep.baseline.hash(), pooledRep.baseline.hash())
+            << "seed " << seed;
+        EXPECT_EQ(freshRep.variantsRun, pooledRep.variantsRun)
+            << "seed " << seed;
+    }
+    EXPECT_GT(pool.reuses(), 0u);
+}
+
+TEST(Campaign, MachinePoolReusesAndResets)
+{
+    exec::MachinePool pool;
+    sim::MachineConfig cfg;
+    cfg.numProcessors = 2;
+    cfg.memWords = 1024;
+
+    {
+        auto a = pool.acquire(cfg);
+        ASSERT_TRUE(bool(a));
+        EXPECT_EQ(pool.builds(), 1u);
+    }
+    // Same structural shape: recycled, not rebuilt — even with
+    // different timing knobs (reset() reconfigures those).
+    sim::MachineConfig retimed = cfg;
+    retimed.pipelineDepth = 4;
+    retimed.seed = 99;
+    {
+        auto b = pool.acquire(retimed);
+        EXPECT_EQ(pool.builds(), 1u);
+        EXPECT_EQ(pool.reuses(), 1u);
+    }
+    // Different shape: a new machine.
+    sim::MachineConfig wider = cfg;
+    wider.numProcessors = 4;
+    {
+        auto c = pool.acquire(wider);
+        EXPECT_EQ(pool.builds(), 2u);
+    }
+    // Concurrent leases of the same shape are distinct machines (the
+    // resume oracle holds three at once).
+    auto x = pool.acquire(cfg);
+    auto y = pool.acquire(cfg);
+    auto z = pool.acquire(cfg);
+    EXPECT_NE(x.get(), y.get());
+    EXPECT_NE(y.get(), z.get());
+    EXPECT_NE(x.get(), z.get());
+}
+
+TEST(Campaign, ProgramCacheInternsBySource)
+{
+    exec::ProgramCache cache;
+    const std::string src = ".region\nnop\n.endregion\nhalt\n";
+    auto a = cache.intern(src);
+    auto b = cache.intern(src);
+    ASSERT_TRUE(a->ok) << a->error;
+    EXPECT_EQ(a.get(), b.get());  // same interned object
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_GT(a->bits.size(), 0u);
+    EXPECT_EQ(a->markers.size(), a->bits.size() + 2)
+        << "marker encoding brackets each region with bm/em markers";
+
+    // Assembly failures are interned too, so a bad generated program
+    // is diagnosed once, not re-assembled per variant.
+    auto bad = cache.intern("not-an-instruction r999\n");
+    EXPECT_FALSE(bad->ok);
+    EXPECT_FALSE(bad->error.empty());
+    EXPECT_EQ(cache.intern("not-an-instruction r999\n").get(),
+              bad.get());
+}
+
+TEST(Campaign, WorkStealingPoolRunsAllTasks)
+{
+    // Far more tasks than capacity: submission must backpressure, and
+    // every task must run exactly once across the workers.
+    constexpr int tasks = 1000;
+    std::vector<std::atomic<int>> ran(tasks);
+    for (auto &r : ran)
+        r.store(0);
+    std::atomic<int> total{0};
+    {
+        exec::WorkStealingPool pool(4, 8);
+        for (int i = 0; i < tasks; ++i) {
+            pool.submit([&, i](int worker) {
+                EXPECT_GE(worker, 0);
+                EXPECT_LT(worker, 4);
+                ran[static_cast<std::size_t>(i)].fetch_add(1);
+                total.fetch_add(1);
+            });
+        }
+        pool.drain();
+        EXPECT_EQ(total.load(), tasks);
+    }
+    for (int i = 0; i < tasks; ++i)
+        EXPECT_EQ(ran[static_cast<std::size_t>(i)].load(), 1)
+            << "task " << i;
+}
+
+TEST(Campaign, ResumeEquivalenceOnPooledMachines)
+{
+    exec::MachinePool pool;
+    exec::ProgramCache programs;
+    for (std::uint64_t seed = 300; seed < 315; ++seed) {
+        auto spec = verify::randomSpec(seed);
+        if (seed % 2 == 0)
+            attachFaults(spec, seed + 5);
+        auto sc = verify::render(spec);
+        auto rep = verify::checkResumeEquivalence(
+            sc, seed * 7 + 1, true, 5'000'000, &pool, &programs);
+        EXPECT_TRUE(rep.ok)
+            << "seed " << seed << " K=" << rep.checkpointCycle << ": "
+            << rep.failure;
+    }
+    EXPECT_GT(pool.reuses(), 0u);
+}
+
+} // namespace

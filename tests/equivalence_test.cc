@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/machine_pool.hh"
+#include "exec/program_cache.hh"
 #include "fault/plan.hh"
 #include "isa/assembler.hh"
 #include "sim/machine.hh"
@@ -85,11 +87,9 @@ struct Observation
 };
 
 Observation
-runOnce(const verify::Scenario &sc,
-        const std::vector<isa::Program> &programs, const Knobs &k,
-        bool fast_forward)
+observeRun(const verify::Scenario &sc,
+           const std::vector<isa::Program> &programs, sim::Machine &m)
 {
-    sim::Machine m(configFor(sc, k, fast_forward));
     for (int p = 0; p < sc.procs(); ++p)
         m.loadProgram(p, programs[static_cast<std::size_t>(p)]);
     Observation obs;
@@ -103,6 +103,22 @@ runOnce(const verify::Scenario &sc,
     obs.safety = m.checkSafetyProperty();
     obs.syncRecords = m.syncRecords().size();
     return obs;
+}
+
+/** Pooled when @p pool is set (the generator sweeps recycle machines
+ * through the campaign engine's pool), fresh otherwise. */
+Observation
+runOnce(const verify::Scenario &sc,
+        const std::vector<isa::Program> &programs, const Knobs &k,
+        bool fast_forward, exec::MachinePool *pool = nullptr)
+{
+    sim::MachineConfig cfg = configFor(sc, k, fast_forward);
+    if (pool) {
+        auto lease = pool->acquire(cfg);
+        return observeRun(sc, programs, *lease);
+    }
+    sim::Machine m(cfg);
+    return observeRun(sc, programs, m);
 }
 
 /** Assert every RunResult field (and final machine state) matches. */
@@ -172,19 +188,30 @@ expectIdentical(const Observation &ff, const Observation &legacy,
     EXPECT_EQ(ff.syncRecords, legacy.syncRecords) << ctx;
 }
 
-/** Assemble the scenario's programs under its baseline encoding. */
+/** Assemble the scenario's programs under its baseline encoding,
+ * through the shared intern cache when @p cache is set. */
 bool
 assemblePrograms(const verify::Scenario &sc,
-                 std::vector<isa::Program> &out)
+                 std::vector<isa::Program> &out,
+                 exec::ProgramCache *cache = nullptr)
 {
     for (int p = 0; p < sc.procs(); ++p) {
+        const auto &source = sc.sources[static_cast<std::size_t>(p)];
         isa::Program prog;
-        std::string err;
-        if (!isa::Assembler::assemble(
-                sc.sources[static_cast<std::size_t>(p)], prog, err))
-            return false;
-        if (sc.encoding == verify::Encoding::Markers)
-            prog = prog.toMarkerEncoding();
+        if (cache) {
+            auto interned = cache->intern(source);
+            if (!interned->ok)
+                return false;
+            prog = sc.encoding == verify::Encoding::Markers
+                       ? interned->markers
+                       : interned->bits;
+        } else {
+            std::string err;
+            if (!isa::Assembler::assemble(source, prog, err))
+                return false;
+            if (sc.encoding == verify::Encoding::Markers)
+                prog = prog.toMarkerEncoding();
+        }
         out.push_back(std::move(prog));
     }
     return true;
@@ -192,7 +219,9 @@ assemblePrograms(const verify::Scenario &sc,
 
 /** Run one seed's scenario under both cores and compare. */
 void
-checkSeed(std::uint64_t seed, bool with_faults)
+checkSeed(std::uint64_t seed, bool with_faults,
+          exec::MachinePool *pool = nullptr,
+          exec::ProgramCache *cache = nullptr)
 {
     verify::ProgramSpec spec = verify::randomSpec(seed);
     verify::Scenario sc = verify::render(spec);
@@ -205,7 +234,8 @@ checkSeed(std::uint64_t seed, bool with_faults)
         sc.watchdog.maxAttempts = 3;
     }
     std::vector<isa::Program> programs;
-    ASSERT_TRUE(assemblePrograms(sc, programs)) << "seed " << seed;
+    ASSERT_TRUE(assemblePrograms(sc, programs, cache))
+        << "seed " << seed;
 
     Knobs k = knobsFor(seed);
     std::ostringstream ctx;
@@ -213,8 +243,8 @@ checkSeed(std::uint64_t seed, bool with_faults)
         << " depth=" << k.pipelineDepth << " width=" << k.issueWidth
         << " jitter=" << k.jitterMean << " synclat=" << k.syncLatency;
 
-    Observation ff = runOnce(sc, programs, k, true);
-    Observation legacy = runOnce(sc, programs, k, false);
+    Observation ff = runOnce(sc, programs, k, true, pool);
+    Observation legacy = runOnce(sc, programs, k, false, pool);
     expectIdentical(ff, legacy, ctx.str());
 }
 
@@ -223,14 +253,22 @@ checkSeed(std::uint64_t seed, bool with_faults)
 
 TEST(Equivalence, FastForwardMatchesLegacyOnFuzzPrograms)
 {
+    // The sweep runs on pooled machines: every seed after the first
+    // exercises Machine::reset() reuse on top of the core comparison.
+    exec::MachinePool pool;
+    exec::ProgramCache cache;
     for (std::uint64_t seed = 1; seed <= 140; ++seed)
-        checkSeed(seed, false);
+        checkSeed(seed, false, &pool, &cache);
+    EXPECT_GT(pool.reuses(), 0u);
 }
 
 TEST(Equivalence, FastForwardMatchesLegacyUnderFaults)
 {
+    exec::MachinePool pool;
+    exec::ProgramCache cache;
     for (std::uint64_t seed = 1; seed <= 80; ++seed)
-        checkSeed(seed, true);
+        checkSeed(seed, true, &pool, &cache);
+    EXPECT_GT(pool.reuses(), 0u);
 }
 
 TEST(Equivalence, CoversWatchdogRecovery)

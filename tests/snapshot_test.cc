@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/machine_pool.hh"
+#include "exec/program_cache.hh"
 #include "fault/plan.hh"
 #include "fault/snapcorrupt.hh"
 #include "isa/assembler.hh"
@@ -586,6 +588,11 @@ TEST(MachineSnapshot, CorruptBytesNeverRestore)
  */
 TEST(ResumeEquivalence, SweepGeneratedScenarios)
 {
+    // The sweep leases its A/B/C machines from a campaign-engine pool
+    // and interns the generated programs, so every seed after the
+    // first also proves the resume oracle holds on recycled machines.
+    exec::MachinePool pool;
+    exec::ProgramCache programs;
     int checked = 0;
     int withSnapshot = 0;
     for (std::uint64_t seed = 1; seed <= 100; ++seed) {
@@ -598,8 +605,8 @@ TEST(ResumeEquivalence, SweepGeneratedScenarios)
         spec.watchdog.maxAttempts = 3;
         auto sc = verify::render(spec);
         for (bool ff : {true, false}) {
-            auto rep = verify::checkResumeEquivalence(sc, seed * 31 + ff,
-                                                      ff);
+            auto rep = verify::checkResumeEquivalence(
+                sc, seed * 31 + ff, ff, 5'000'000, &pool, &programs);
             EXPECT_TRUE(rep.ok)
                 << "seed " << seed << " ff=" << ff << " K="
                 << rep.checkpointCycle << ": " << rep.failure;
@@ -609,6 +616,7 @@ TEST(ResumeEquivalence, SweepGeneratedScenarios)
         }
     }
     EXPECT_GE(checked, 200);
+    EXPECT_GT(pool.reuses(), 0u);
     // The randomized K lands before the end of most runs; make sure
     // the sweep is actually exercising restore, not just A-vs-B.
     EXPECT_GT(withSnapshot, checked / 2);

@@ -47,7 +47,7 @@
  * failed), 2 usage error.
  */
 
-#include <atomic>
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -55,9 +55,9 @@
 #include <mutex>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "exec/campaign.hh"
 #include "fault/plan.hh"
 #include "support/strutil.hh"
 #include "verify/differ.hh"
@@ -365,7 +365,13 @@ replayMain(const Options &opt)
                 sc.episodes, verify::encodingName(sc.encoding),
                 static_cast<unsigned long long>(sc.interruptPeriod));
 
+    // Replay repetitions reuse pooled machines, so a multi-rep replay
+    // also cross-checks that reset machines replay byte-identically.
+    exec::MachinePool machines;
+    exec::ProgramCache programCache;
     auto d = diffOptions(opt);
+    d.machinePool = &machines;
+    d.programCache = &programCache;
     const int reps = opt.runsGiven ? opt.runs : 1;
     verify::DiffReport first;
     for (int i = 0; i < reps; ++i) {
@@ -408,9 +414,12 @@ describeFailure(std::uint64_t spec_seed, const verify::Scenario &sc,
 }
 
 /**
- * Parallel scan-everything mode (--jobs N). Workers pull seed indices
- * from a shared atomic counter; each result lands in a per-seed slot
- * and is reported in seed order after the pool drains. Unlike the
+ * Parallel scan-everything mode (--jobs N), on the campaign engine:
+ * seeds fan out across the work-stealing pool, every worker recycles
+ * machines from its private pool and interns generated programs in
+ * the shared cache, and the ordered emitter streams each verdict in
+ * seed order as the contiguous prefix completes — a slow seed no
+ * longer stalls unrelated seeds behind a batch barrier. Unlike the
  * sequential mode nothing stops at the first failure, so the failing
  * seed set — and the printed report — is byte-identical regardless of
  * the worker count or OS scheduling.
@@ -418,68 +427,61 @@ describeFailure(std::uint64_t spec_seed, const verify::Scenario &sc,
 int
 fuzzParallel(const Options &opt, Cursor *cursor)
 {
-    auto d = diffOptions(opt);
     const int runs = opt.runs;
-    struct SeedResult
-    {
-        bool failed = false;
-        std::string report;
-    };
-    std::vector<SeedResult> results(static_cast<std::size_t>(runs));
-    std::atomic<int> next{0};
+    const int jobs = std::min(opt.jobs, runs);
 
-    auto worker = [&]() {
-        for (;;) {
-            const int i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= runs)
-                return;
-            // Seeds the journal already proved passing are skipped;
-            // failing ones re-run so their FAIL reports (and the
-            // failing-seed set) match an uninterrupted campaign.
-            if (cursor != nullptr &&
-                cursor->state[static_cast<std::size_t>(i)] == 'p')
-                continue;
-            const std::uint64_t specSeed =
-                opt.seed + static_cast<std::uint64_t>(i);
-            auto spec = verify::randomSpec(specSeed);
-            applyFaults(spec, opt, specSeed);
-            auto sc = verify::render(spec);
-            auto rep = verify::runDifferential(sc, d);
-            if (!rep.ok) {
-                auto &slot = results[static_cast<std::size_t>(i)];
-                slot.failed = true;
-                slot.report = describeFailure(specSeed, sc, rep, opt);
-            }
-            recordCursor(cursor, i, !rep.ok);
+    exec::CampaignOptions copt;
+    copt.jobs = jobs;
+
+    auto runner = [&](std::uint64_t i, exec::WorkerContext &ctx) {
+        exec::ItemResult r;
+        // Seeds the journal already proved passing are skipped;
+        // failing ones re-run so their FAIL reports (and the
+        // failing-seed set) match an uninterrupted campaign. The
+        // consumer only writes state[i] after this runner finishes,
+        // so the read is race-free.
+        if (cursor != nullptr && cursor->state[i] == 'p')
+            return r;
+        const std::uint64_t specSeed = opt.seed + i;
+        auto spec = verify::randomSpec(specSeed);
+        applyFaults(spec, opt, specSeed);
+        auto sc = verify::render(spec);
+        auto d = diffOptions(opt);
+        d.machinePool = &ctx.machines;
+        d.programCache = &ctx.programs;
+        auto rep = verify::runDifferential(sc, d);
+        if (!rep.ok) {
+            r.failed = true;
+            r.payload = describeFailure(specSeed, sc, rep, opt);
         }
+        return r;
     };
-
-    const int pool = std::min(opt.jobs, runs);
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(pool));
-    for (int t = 0; t < pool; ++t)
-        threads.emplace_back(worker);
-    for (auto &t : threads)
-        t.join();
 
     int failures = 0;
     std::int64_t firstFailing = -1;
-    for (int i = 0; i < runs; ++i) {
-        const auto &slot = results[static_cast<std::size_t>(i)];
-        if (!slot.failed)
-            continue;
-        ++failures;
-        if (firstFailing < 0)
-            firstFailing = i;
-        std::printf("%s", slot.report.c_str());
-    }
+    auto consume = [&](std::uint64_t i, const exec::ItemResult &r) {
+        const bool skipped =
+            cursor != nullptr && cursor->state[i] == 'p';
+        if (!skipped)
+            recordCursor(cursor, static_cast<int>(i), r.failed);
+        if (r.failed) {
+            ++failures;
+            if (firstFailing < 0)
+                firstFailing = static_cast<std::int64_t>(i);
+            std::printf("%s", r.payload.c_str());
+        }
+    };
+
+    exec::runCampaign(static_cast<std::uint64_t>(runs), copt, runner,
+                      consume);
+
     std::printf("fbfuzz: %d/%d scenarios passed (seeds %llu..%llu, "
                 "%d jobs)\n",
                 runs - failures, runs,
                 static_cast<unsigned long long>(opt.seed),
                 static_cast<unsigned long long>(
                     opt.seed + static_cast<std::uint64_t>(runs) - 1),
-                pool);
+                jobs);
     if (failures == 0)
         return 0;
     if (opt.minimize) {
@@ -504,7 +506,13 @@ fuzzMain(const Options &opt)
     }
     if (opt.jobs > 0)
         return fuzzParallel(opt, cursor);
+    // Sequential stop-at-first-failure mode still recycles machines
+    // and interns programs across seeds — same hot path, one thread.
+    exec::MachinePool machines;
+    exec::ProgramCache programCache;
     auto d = diffOptions(opt);
+    d.machinePool = &machines;
+    d.programCache = &programCache;
     for (int i = 0; i < opt.runs; ++i) {
         if (cursor != nullptr &&
             cursor->state[static_cast<std::size_t>(i)] == 'p')
