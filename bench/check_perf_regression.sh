@@ -7,6 +7,7 @@
 #   e18_campaign_delta.scenarios_per_sec_engine  (campaign engine)
 #   e7_scaling_ff_speedup.ff_speedup             (fast-forward core)
 #   e8_hotspot_ff_speedup.ff_speedup             (fast-forward core)
+#   e19_shard_delta.shard_speedup_4              (sharded executor)
 #
 # Usage: bench/check_perf_regression.sh <current.json> [baseline.json]
 #        (baseline defaults to the newest BENCH_*.json in bench/baselines/)
@@ -43,6 +44,7 @@ TRACKED = [
     ("e18_campaign_delta", "scenarios_per_sec_engine"),
     ("e7_scaling_ff_speedup", "ff_speedup"),
     ("e8_hotspot_ff_speedup", "ff_speedup"),
+    ("e19_shard_delta", "shard_speedup_4"),
 ]
 
 

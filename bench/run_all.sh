@@ -32,13 +32,32 @@ e4_fig11_static_sched e5_fig12_runtime_sched e6_fig5_loop_distribution
 e7_scaling e8_hotspot e9_drift_tolerance e10_microbench
 e11_pipeline_ablation e12_encoding_ablation e13_cycle_shrinking
 e14_selfsched_runtime e15_sync_latency e16_fault_overhead
-e17_snapshot_overhead e18_campaign_throughput"
+e17_snapshot_overhead e18_campaign_throughput e19_shard_scaling"
 for name in $EXPECTED; do
     if [ ! -x "$BENCH_DIR/$name" ]; then
         echo "run_all: missing experiment binary: $BENCH_DIR/$name" >&2
         echo "run_all: rebuild with: cmake --build $BUILD_DIR -j" >&2
         exit 2
     fi
+done
+
+# The reverse check: a built e*-binary absent from the roster would be
+# silently skipped — a new experiment someone forgot to register here.
+# Fail loudly so the roster and the build stay in lockstep.
+for path in "$BENCH_DIR"/e*; do
+    [ -x "$path" ] && [ ! -d "$path" ] || continue
+    bin=$(basename "$path")
+    case "$bin" in
+      *.*) continue ;;  # objects/artifacts, not experiment binaries
+    esac
+    case " $(echo $EXPECTED) " in
+      *" $bin "*) ;;
+      *)
+        echo "run_all: built experiment binary not in roster: $bin" >&2
+        echo "run_all: add it to EXPECTED in bench/run_all.sh" >&2
+        exit 2
+        ;;
+    esac
 done
 
 FAILURES=0
@@ -96,6 +115,25 @@ for name in $EXPECTED; do
             ENTRIES="$ENTRIES  {\"name\": \"e17_snapshot_overhead_delta\", \"snapshot_overhead_pct\": $mem_pct, \"snapshot_durable_overhead_pct\": $durable_pct, \"snapshot_bytes_per_checkpoint\": ${snap_bytes:-0}},
 "
             echo "run_all: snapshot overhead: in-memory ${mem_pct}%, durable ${durable_pct}%"
+        fi
+    fi
+    if [ "$name" = "e19_shard_scaling" ] && [ "$STATUS" -eq 0 ]; then
+        # Copy E19's shard-scaling tallies into their own entry so the
+        # perf-regression gate can track the sharded executor's speedup
+        # over the sequential core without table-scraping.
+        sp2=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^shard-speedup-2:/ {print $2; exit}')
+        sp4=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^shard-speedup-4:/ {print $2; exit}')
+        sp8=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^shard-speedup-8:/ {print $2; exit}')
+        if [ -z "$sp2" ] || [ -z "$sp4" ] || [ -z "$sp8" ]; then
+            echo "run_all: FAIL e19_shard_scaling: missing shard-speedup tally lines" >&2
+            FAILURES=$((FAILURES + 1))
+        else
+            ENTRIES="$ENTRIES  {\"name\": \"e19_shard_delta\", \"shard_speedup_2\": $sp2, \"shard_speedup_4\": $sp4, \"shard_speedup_8\": $sp8},
+"
+            echo "run_all: shard scaling: ${sp2}x @2, ${sp4}x @4, ${sp8}x @8 shards"
         fi
     fi
     if [ "$name" = "e18_campaign_throughput" ] && [ "$STATUS" -eq 0 ]; then

@@ -187,6 +187,29 @@ struct MachineConfig
      * fingerprint for the same reason.
      */
     std::uint64_t checkpointEveryCycles = 0;
+
+    /**
+     * Host-thread shards for exec::ShardedMachine (section 17). The
+     * processors are partitioned into this many contiguous shards,
+     * each advanced by one host thread through provably
+     * processor-private cycles; every globally visible action still
+     * executes on the coordinating thread in (cycle, proc-id) order,
+     * so results are byte-identical at any shard count. sim::Machine
+     * itself never spawns threads: run() ignores these fields unless
+     * a window driver is installed, and both are excluded from the
+     * config fingerprint and the pool's structural key — like
+     * checkpointEveryCycles, they change only how the clock advances,
+     * never what it computes.
+     */
+    int shardCount = 1;
+
+    /**
+     * Maximum cycles a shard may run ahead of the global clock
+     * between rendezvous (the fuzzy-barrier skew bound, quantum-style
+     * like Sniper's barrier-synchronized cores). 0 disables sharding
+     * entirely — the sequential core is unchanged.
+     */
+    std::uint64_t shardQuantum = 0;
 };
 
 } // namespace fb::sim

@@ -341,7 +341,7 @@ Machine::onCross(int p, std::uint64_t cycle)
 }
 
 RunResult
-Machine::run()
+Machine::run(ShardWindowDriver *driver)
 {
     RunResult result;
     const int n = numProcessors();
@@ -352,6 +352,15 @@ Machine::run()
     // Per-cycle barrier-state tracing needs the loop body to run on
     // every cycle, so it disables fast-forward.
     const bool fast_forward = _config.fastForward && !_trace;
+
+    // Sharded windows (section 17) generalize fast-forward — both
+    // reason about which cycles the loop body may not observe — so a
+    // driver is honoured only when fast-forward is live and a skew
+    // quantum is configured.
+    const bool sharded =
+        driver != nullptr && fast_forward && _config.shardQuantum != 0;
+    if (sharded)
+        _procNext.assign(static_cast<std::size_t>(n), 0);
 
     _active.clear();
     for (int p = 0; p < n; ++p)
@@ -400,8 +409,21 @@ Machine::run()
                 _active[out++] = p;
                 continue;
             }
+            if (sharded &&
+                _procNext[static_cast<std::size_t>(p)] > _now) {
+                // Ran ahead through private ticks inside an earlier
+                // window: each of those ticks reported Progress and
+                // could not halt, so the sequential loop would have
+                // seen a live, progressing core at this cycle.
+                _active[out++] = p;
+                all_halted = false;
+                any_progress = true;
+                continue;
+            }
             TickResult tr =
                 _processors[static_cast<std::size_t>(p)]->tick(_now);
+            if (sharded)
+                _procNext[static_cast<std::size_t>(p)] = _now + 1;
             if (tr == TickResult::Halted)
                 continue;  // halted for good: drop from the pool
             _active[out++] = p;
@@ -499,7 +521,125 @@ Machine::run()
             break;
         }
 
-        if (fast_forward) {
+        if (sharded) {
+            // Window bound: no processor may run ahead into a cycle
+            // where a global action could affect it — a fault event
+            // or thaw, a watchdog recovery (which can fence a live
+            // straggler), a checkpoint capture (which needs every
+            // core aligned), or the end of the run. Barrier pulse
+            // deliveries deliberately do NOT bound the window: a
+            // private tick never reads anything a delivery changes
+            // (Ready vs Synced both sit on the far side of the
+            // NonBarrier test in isPrivateTick), which is exactly the
+            // fuzzy barrier's license to keep computing while the
+            // sync propagates.
+            std::uint64_t window = _now + 1 + _config.shardQuantum;
+            window = std::min(window, _config.maxCycles);
+            if (_config.checkpointEveryCycles != 0) {
+                const std::uint64_t every =
+                    _config.checkpointEveryCycles;
+                window = std::min(window, (_now / every + 1) * every);
+            }
+            if (_injector)
+                window = std::min(window,
+                                  _injector->nextActivityCycle(_now));
+            if (_watchdog && _watchdog->armed())
+                window = std::min(
+                    window,
+                    std::max(_watchdog->nextDeadline(), _now + 1));
+
+            // Rendezvous with the shard threads only when some core
+            // can actually use the window; everything else is the
+            // fast-forward skip below, which costs no synchronization.
+            bool dispatch = false;
+            if (window > _now + 1) {
+                for (int p : _active) {
+                    const auto sp = static_cast<std::size_t>(p);
+                    if (_injector && _injector->frozen(p, _now))
+                        continue;
+                    if (_procNext[sp] < window &&
+                        _processors[sp]->isPrivateTick(_procNext[sp])) {
+                        dispatch = true;
+                        break;
+                    }
+                }
+            }
+            if (dispatch)
+                driver->advanceWindow(window);
+
+            // Generalized fast-forward: a core that ran ahead needs
+            // no coordinator attention before _procNext[p]; everyone
+            // else contributes its usual nextEventCycle(). The global
+            // clock still lands on every delivery, fault action and
+            // watchdog deadline.
+            std::uint64_t target = never;
+            for (int p : _active) {
+                const auto sp = static_cast<std::size_t>(p);
+                if (_injector && _injector->frozen(p, _now))
+                    continue;
+                if (_procNext[sp] > _now + 1)
+                    target = std::min(target, _procNext[sp]);
+                else
+                    target = std::min(
+                        target, _processors[sp]->nextEventCycle(_now));
+                if (target <= _now + 1)
+                    break;
+            }
+            {
+                const std::uint64_t delivery =
+                    _network->nextDeliveryCycle();
+                if (delivery != never)
+                    target = std::min(target,
+                                      std::max(delivery, _now + 1));
+            }
+            if (_injector)
+                target = std::min(target,
+                                  _injector->nextActivityCycle(_now));
+            if (_watchdog && _watchdog->armed())
+                target = std::min(
+                    target,
+                    std::max(_watchdog->nextDeadline(), _now + 1));
+
+            if (target != never && target > _now + 1) {
+                // Same deadlock guard as the sequential skip; a core
+                // that ran ahead made progress on every cycle the
+                // skip would cover, so it counts as wait progress.
+                bool wait_progress = _network->deliveryPending();
+                for (int p : _active) {
+                    if (wait_progress)
+                        break;
+                    if (_injector && _injector->frozen(p, _now))
+                        continue;
+                    const auto sp = static_cast<std::size_t>(p);
+                    wait_progress =
+                        _procNext[sp] > _now + 1 ||
+                        _processors[sp]->progressWhileWaiting();
+                }
+                bool would_deadlock =
+                    !wait_progress &&
+                    (!_injector || !_injector->pendingActivity(_now)) &&
+                    (!_watchdog || !_watchdog->armed());
+                std::uint64_t stop =
+                    std::min(target, _config.maxCycles);
+                if (_config.checkpointEveryCycles != 0) {
+                    const std::uint64_t every =
+                        _config.checkpointEveryCycles;
+                    stop = std::min(stop, (_now / every + 1) * every);
+                }
+                if (!would_deadlock && stop > _now + 1) {
+                    std::uint64_t skipped = stop - _now - 1;
+                    for (int p : _active) {
+                        const auto sp = static_cast<std::size_t>(p);
+                        if (_injector && _injector->frozen(p, _now))
+                            continue;
+                        if (_procNext[sp] > _now + 1)
+                            continue;  // these cycles already ran
+                        _processors[sp]->advanceWait(skipped);
+                    }
+                    _now += skipped;
+                }
+            }
+        } else if (fast_forward) {
             // Every cycle from _now + 1 up to (excluding) the next
             // interesting cycle is pure wait: each skipped body would
             // only apply the fixed per-state accounting, evaluate()
@@ -607,6 +747,31 @@ Machine::run()
         result.perProcessor.push_back(ps);
     }
     return result;
+}
+
+void
+Machine::advanceShardRange(int first, int last, std::uint64_t stop)
+{
+    for (int p = first; p < last; ++p) {
+        const auto sp = static_cast<std::size_t>(p);
+        if (_fenced[sp])
+            continue;
+        Processor &proc = *_processors[sp];
+        if (proc.halted())
+            continue;
+        // Freeze boundaries are injector events and the window never
+        // crosses one, so frozen status is constant across the whole
+        // window — a frozen core simply sits out, exactly as the
+        // per-cycle loop would leave it.
+        if (_injector && _injector->frozen(p, _now))
+            continue;
+        if (_procNext[sp] >= stop)
+            continue;
+        FB_ASSERT(_procNext[sp] > _now,
+                  "shard window started behind the global clock on cpu "
+                      << p);
+        _procNext[sp] = proc.runPrivate(_procNext[sp], stop);
+    }
 }
 
 std::uint64_t
@@ -766,9 +931,10 @@ Machine::configFingerprint() const
     h.mix(_config.maxCycles);
     h.mix(_config.recordSyncEvents ? 1 : 0);
     h.mix(_config.fastForward ? 1 : 0);
-    // checkpointEveryCycles is deliberately excluded: it never
-    // changes results, so snapshots taken at different cadences are
-    // mutually restorable.
+    // checkpointEveryCycles, shardCount and shardQuantum are
+    // deliberately excluded: none of them changes results, so
+    // snapshots taken at different cadences — or under a different
+    // shard layout — are mutually restorable.
     h.mixString(_config.faultPlan != nullptr ? _config.faultPlan->toSpec()
                                              : std::string());
     h.mix(_config.watchdog.enabled ? 1 : 0);

@@ -116,6 +116,23 @@ struct SyncRecord
 };
 
 /**
+ * Shard rendezvous hook for exec::ShardedMachine (INTERNALS section
+ * 17). When a driver is installed, run() replaces the fast-forward
+ * skip with a window dispatch: advanceWindow(stop) must make every
+ * shard call advanceShardRange(first, last, stop) for its processor
+ * range (disjoint ranges, any threading) and return only when all
+ * shards are done. The machine itself never spawns threads.
+ */
+class ShardWindowDriver
+{
+  public:
+    virtual ~ShardWindowDriver() = default;
+
+    /** Advance all shards through private ticks up to @p stop. */
+    virtual void advanceWindow(std::uint64_t stop) = 0;
+};
+
+/**
  * The whole machine. Construct, load one Program per processor,
  * optionally poke memory / registers, then run().
  */
@@ -167,11 +184,27 @@ class Machine : public ExecutionObserver
     /** Number of processors. */
     int numProcessors() const { return _config.numProcessors; }
 
+    /** The configuration this machine currently runs under. */
+    const MachineConfig &config() const { return _config; }
+
     /**
      * Run until every processor halts, a deadlock is detected, or the
-     * cycle guard trips.
+     * cycle guard trips. With a @p driver (installed by
+     * exec::ShardedMachine), processors additionally run ahead of the
+     * global clock through provably private ticks, bounded by
+     * MachineConfig::shardQuantum; results are byte-identical either
+     * way.
      */
-    RunResult run();
+    RunResult run(ShardWindowDriver *driver = nullptr);
+
+    /**
+     * Shard worker entry: advance processors [@p first, @p last)
+     * through consecutive private ticks up to (excluding) cycle
+     * @p stop. Only called from ShardWindowDriver::advanceWindow(),
+     * on disjoint ranges; touches nothing outside the range's
+     * processors and their skew cursors.
+     */
+    void advanceShardRange(int first, int last, std::uint64_t stop);
 
     /** Barrier-state trace (non-null only when traceBarrierStates). */
     const BarrierTrace *trace() const { return _trace.get(); }
@@ -306,6 +339,16 @@ class Machine : public ExecutionObserver
     std::vector<int> _active;
     /** (tag, processor) pairs of one delivery, for episode grouping. */
     std::vector<std::pair<std::uint32_t, int>> _groupScratch;
+    /**
+     * Sharded-run skew cursors: _procNext[p] is the next global cycle
+     * whose tick processor p still owes. A processor with
+     * _procNext[p] > _now ran ahead through private ticks; the
+     * coordinator counts it as alive-and-progressing and skips its
+     * tick. All zero (and ignored) in sequential runs; not part of
+     * snapshots — windows never span a checkpoint boundary, so every
+     * processor is aligned whenever state is captured.
+     */
+    std::vector<std::uint64_t> _procNext;
     std::vector<barrier::BarrierState> _traceStates;
     std::vector<bool> _traceHalted;
     std::vector<bool> _wdHalted;

@@ -293,6 +293,95 @@ Processor::nextEventCycle(std::uint64_t now) const
     return next;
 }
 
+bool
+Processor::isPrivateTick(std::uint64_t now) const
+{
+    // Halting (drops the core from the active pool), firing a pending
+    // arrival, and every non-Running state (drain waits, stalls and
+    // context switches all read or mutate the barrier unit) are
+    // machine-visible.
+    if (_halted || _arrivePending || _state != CoreState::Running)
+        return false;
+
+    // A busy countdown is pure local accounting.
+    if (_busyCycles > 0)
+        return true;
+
+    // The tick would issue. Mirror maybeInterrupt(): a due interrupt
+    // with a valid ISR entry vectors (a private PC/flag update) and
+    // the issue happens at the ISR entry with the barrier structure
+    // bypassed; an invalid entry drops the force bit and issues at
+    // _pc as usual.
+    std::size_t pc = _pc;
+    bool in_isr = _inIsr;
+    if (!_inIsr &&
+        ((_interruptPeriod != 0 && now >= _nextInterrupt) ||
+         _forceInterrupt)) {
+        if (_isrEntry >= 0 &&
+            static_cast<std::size_t>(_isrEntry) < _program.size()) {
+            pc = static_cast<std::size_t>(_isrEntry);
+            in_isr = true;
+        }
+    }
+
+    // Running off the end halts — machine-visible.
+    if (pc >= _program.size())
+        return false;
+
+    const Instruction &instr = _program.at(pc);
+    switch (instr.op) {
+      case Opcode::LD:
+      case Opcode::ST:
+      case Opcode::FAA:     // memory port (bus, caches, counters)
+      case Opcode::SETTAG:
+      case Opcode::SETMASK: // barrier-unit mutation
+      case Opcode::HALT:
+        return false;
+      default:
+        break;
+    }
+    // Later bundle slots only accept ALU/branch ops and never change
+    // the effective region, so checking the leading slot suffices.
+
+    if (in_isr)
+        return true;  // ISRs bypass the barrier structure entirely
+    if (!_unit.participating())
+        return true;  // tag 0: no barrier interaction at all
+
+    const bool inherited = !_callStack.empty() && _callStack.back();
+    const bool effective_region =
+        instr.inRegion || _markerRegion ||
+        instr.op == Opcode::BRENTER || inherited;
+    if (effective_region) {
+        // Region instructions only touch the unit when they arm the
+        // arrival, which needs the NonBarrier state; once armed (or
+        // once the pulse is up) region execution is the fuzzy
+        // barrier's free overlap and is private.
+        return _unit.state() != barrier::BarrierState::NonBarrier;
+    }
+    // A non-region instruction with the unit mid-episode crosses,
+    // stalls or drains — all unit interactions. Only the idle unit
+    // lets it issue privately.
+    return _unit.state() == barrier::BarrierState::NonBarrier;
+}
+
+std::uint64_t
+Processor::runPrivate(std::uint64_t next, std::uint64_t stop)
+{
+    while (next < stop && isPrivateTick(next)) {
+        if (_busyCycles > 0) {
+            const std::uint64_t k = std::min<std::uint64_t>(
+                _busyCycles, stop - next);
+            advanceWait(k);
+            next += k;
+            continue;
+        }
+        tick(next);
+        ++next;
+    }
+    return next;
+}
+
 void
 Processor::advanceWait(std::uint64_t cycles)
 {

@@ -158,6 +158,33 @@ class Processor
         return false;
     }
 
+    /**
+     * True when tick(@p now) would touch only this processor's own
+     * state: no memory-port access, no barrier-unit mutation, no halt
+     * and no observer callback. Such a tick may be executed by a
+     * shard thread ahead of the global clock (section 17): its effect
+     * is invariant under any interleaving with other processors'
+     * actions, and the predicate itself is skew-invariant — every
+     * input it reads is either processor-private or (for the unit's
+     * participating tag and the NonBarrier/armed distinction) can
+     * only be changed by this processor's own excluded actions, never
+     * by a concurrent delivery, which moves Ready to Synced without
+     * crossing the NonBarrier boundary.
+     *
+     * Conservative: may return false for some ticks that would in
+     * fact be private (costing speedup, never correctness).
+     */
+    bool isPrivateTick(std::uint64_t now) const;
+
+    /**
+     * Run consecutive private ticks from cycle @p next up to
+     * (excluding) @p stop, returning the first cycle not executed —
+     * either @p stop or the first cycle whose tick is not private.
+     * Busy countdowns are bulk-applied via advanceWait(), which is
+     * bit-identical to ticking them one by one.
+     */
+    std::uint64_t runPrivate(std::uint64_t next, std::uint64_t stop);
+
     /** True once HALT executed or the stream ran off the end. */
     bool halted() const { return _halted; }
 

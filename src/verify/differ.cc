@@ -8,6 +8,7 @@
 
 #include "exec/machine_pool.hh"
 #include "exec/program_cache.hh"
+#include "exec/sharded_machine.hh"
 #include "isa/assembler.hh"
 #include "sim/machine.hh"
 #include "verify/generator.hh"
@@ -31,6 +32,8 @@ struct Variant
     std::uint64_t machineSeed = 1;
     sim::StallModel stall = sim::StallModel::hardware();
     bool fastForward = true;  ///< event-driven core vs per-cycle loop
+    int shardCount = 1;       ///< host threads (exec::ShardedMachine)
+    std::uint64_t shardQuantum = 0;  ///< skew window (0 = sequential)
 };
 
 Fingerprint
@@ -39,7 +42,11 @@ runOnMachine(const Scenario &sc,
 {
     for (int p = 0; p < sc.procs(); ++p)
         m.loadProgram(p, programs[static_cast<std::size_t>(p)]);
-    auto r = m.run();
+    // ShardedMachine honors the machine's shard config and falls back
+    // to the plain sequential run() when shardCount <= 1, so routing
+    // every variant through it costs nothing for sequential variants.
+    exec::ShardedMachine sharded(m);
+    auto r = sharded.run();
 
     Fingerprint fp;
     fp.deadlocked = r.deadlocked;
@@ -74,6 +81,8 @@ runVariant(const Scenario &sc, const std::vector<isa::Program> &programs,
     cfg.stall = v.stall;
     cfg.maxCycles = opt.maxCycles;
     cfg.fastForward = v.fastForward;
+    cfg.shardCount = v.shardCount;
+    cfg.shardQuantum = v.shardQuantum;
     cfg.interruptPeriod = sc.interruptPeriod;
     cfg.isrEntry = sc.isrEntry;
     if (sc.hasFaults()) {
@@ -433,6 +442,19 @@ runDifferential(const Scenario &sc, const DiffOptions &opt)
         v.name = "core/legacy-loop";
         v.markers = baseMarkers;
         v.fastForward = false;
+        variants.push_back(v);
+    }
+    if (opt.shards >= 2) {
+        // Sequential-vs-sharded: the baseline machine re-run across
+        // opt.shards host threads under the skew window. Any
+        // divergence from the baseline fingerprint is a determinism
+        // bug in the sharded executor.
+        Variant v;
+        v.name = "core/sharded-" + std::to_string(opt.shards) + "/q" +
+                 std::to_string(opt.shardQuantum);
+        v.markers = baseMarkers;
+        v.shardCount = opt.shards;
+        v.shardQuantum = opt.shardQuantum;
         variants.push_back(v);
     }
 

@@ -66,6 +66,17 @@ struct DiffOptions
     std::size_t memWords = 4096;
 
     /**
+     * When >= 2, adds a sequential-vs-sharded executor: the baseline
+     * machine re-run under exec::ShardedMachine with this many host
+     * threads and @ref shardQuantum cycles of permitted skew
+     * (INTERNALS section 17). 0 or 1 = off — the default, so
+     * single-scenario fuzzing stays cheap and thread-free.
+     */
+    int shards = 0;
+    /** Skew quantum for the sharded executor (cycles). */
+    std::uint64_t shardQuantum = 1024;
+
+    /**
      * Optional campaign-engine hooks. When set, every variant runs on
      * a reset machine leased from the pool instead of a freshly
      * constructed one, and program assembly goes through the shared

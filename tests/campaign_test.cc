@@ -20,6 +20,7 @@
 #include "exec/pool.hh"
 #include "exec/program_cache.hh"
 #include "fault/plan.hh"
+#include "harness.hh"
 #include "sim/machine.hh"
 #include "verify/differ.hh"
 #include "verify/generator.hh"
@@ -29,18 +30,7 @@ namespace
 {
 
 using namespace fb;
-
-/** Attach a seeded fault schedule + watchdog, as fbfuzz --faults does. */
-void
-attachFaults(verify::ProgramSpec &spec, std::uint64_t fault_seed)
-{
-    spec.faults = fault::randomFaultPlan(fault_seed, spec.procs(),
-                                         spec.groupSizes);
-    spec.faultSeed = fault_seed;
-    spec.watchdog.enabled = true;
-    spec.watchdog.timeoutCycles = 2000;
-    spec.watchdog.maxAttempts = 3;
-}
+using harness::attachFaults;
 
 /**
  * One campaign item: a generated scenario through the differential
@@ -84,16 +74,18 @@ runJournalSeed(std::uint64_t i, exec::WorkerContext &ctx)
     return r;
 }
 
-/** Run the journal campaign at @p jobs and return the output stream. */
+/** Run a journal campaign of @p seeds items at @p jobs and return the
+ * output stream; @p runner defaults to the standard journal item. */
 std::string
-journalAt(int jobs, std::uint64_t seeds, exec::CampaignStats *stats_out)
+journalAt(int jobs, std::uint64_t seeds, exec::CampaignStats *stats_out,
+          const exec::ItemRunner &runner = runJournalSeed)
 {
     exec::CampaignOptions opt;
     opt.jobs = jobs;
     std::string journal;
     std::uint64_t expected = 0;
     auto stats = exec::runCampaign(
-        seeds, opt, runJournalSeed,
+        seeds, opt, runner,
         [&](std::uint64_t i, const exec::ItemResult &r) {
             EXPECT_EQ(i, expected) << "consumer saw indices out of order";
             ++expected;
@@ -125,6 +117,72 @@ TEST(Campaign, JournalIdenticalAcrossJobs)
     // Every journal line carries an oracle verdict; none may fail.
     EXPECT_EQ(j1.find("ok=0"), std::string::npos);
     EXPECT_EQ(j1.find("resume=0"), std::string::npos);
+}
+
+/**
+ * One fbfuzz-style `--faults --cursor` journal item: a fault plan on
+ * EVERY seed (not every third), the differential matrix, and a
+ * `done <idx> pass|fail fp=<hex>` line — the format the cursor parses
+ * to decide where a resumed campaign picks up.
+ */
+exec::ItemResult
+runFaultedCursorSeed(std::uint64_t i, exec::WorkerContext &ctx)
+{
+    const std::uint64_t seed = 5000 + i;
+    auto spec = verify::randomSpec(seed);
+    attachFaults(spec, seed * 17 + 3);
+    auto sc = verify::render(spec);
+
+    verify::DiffOptions d;
+    d.swBarrierReference = false;
+    d.machinePool = &ctx.machines;
+    d.programCache = &ctx.programs;
+    auto rep = verify::runDifferential(sc, d);
+
+    std::ostringstream line;
+    line << "done " << i << ' ' << (rep.ok ? "pass" : "fail")
+         << " fp=" << std::hex << rep.baseline.hash() << std::dec
+         << "\n";
+    exec::ItemResult r;
+    r.failed = !rep.ok;
+    r.payload = line.str();
+    return r;
+}
+
+// The fbfuzz --faults + --cursor combination at the engine level: an
+// all-faults journal is byte-identical at jobs=1 and jobs=4, and a
+// mid-journal interruption resumed via the cursor (prefix marked
+// done, remainder re-dispatched with offset indices) stitches back
+// into exactly the uninterrupted bytes — again at both job counts.
+TEST(Campaign, FaultedCursorResumeMatchesUninterrupted)
+{
+    constexpr std::uint64_t seeds = 48;
+    constexpr std::uint64_t cursor = 19; // interrupt mid-journal
+    exec::CampaignStats s1, s4;
+    const std::string full1 =
+        journalAt(1, seeds, &s1, runFaultedCursorSeed);
+    const std::string full4 =
+        journalAt(4, seeds, &s4, runFaultedCursorSeed);
+    EXPECT_EQ(full1, full4);
+    EXPECT_EQ(s1.failures, 0u);
+    EXPECT_EQ(s4.failures, 0u);
+    EXPECT_EQ(full1.find(" fail"), std::string::npos);
+
+    // Interrupted run: only [0, cursor) made it into the journal.
+    const std::string prefix =
+        journalAt(1, cursor, nullptr, runFaultedCursorSeed);
+
+    // Cursor resume re-dispatches [cursor, seeds) — the runner sees
+    // engine indices [0, seeds-cursor) and offsets them, exactly as
+    // fbfuzz maps post-cursor work back onto campaign items.
+    for (int jobs : {1, 4}) {
+        const std::string tail = journalAt(
+            jobs, seeds - cursor, nullptr,
+            [](std::uint64_t i, exec::WorkerContext &ctx) {
+                return runFaultedCursorSeed(i + cursor, ctx);
+            });
+        EXPECT_EQ(prefix + tail, full1) << "jobs=" << jobs;
+    }
 }
 
 // A machine leased from the pool must be observably identical to a

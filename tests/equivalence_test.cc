@@ -6,11 +6,12 @@
  * legacy per-cycle loop, across a large population of fuzz-generated
  * programs — including fault-plan and watchdog-recovery runs — and
  * across the machine's timing knobs (pipeline depth, stall model,
- * jitter, multi-issue, sync latency, interrupts).
+ * jitter, multi-issue, sync latency, interrupts). The corpus driver
+ * (knobs, config assembly, run observer, exact-match oracle) lives in
+ * tests/harness.hh, shared with the sharded and campaign suites.
  */
 
 #include <cstdint>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,7 +20,7 @@
 #include "exec/machine_pool.hh"
 #include "exec/program_cache.hh"
 #include "fault/plan.hh"
-#include "isa/assembler.hh"
+#include "harness.hh"
 #include "sim/machine.hh"
 #include "verify/generator.hh"
 #include "verify/scenario.hh"
@@ -28,194 +29,7 @@ namespace
 {
 
 using namespace fb;
-
-/** Machine knobs varied per seed, on top of the scenario itself. */
-struct Knobs
-{
-    int pipelineDepth = 1;
-    int issueWidth = 1;
-    double jitterMean = 0.0;
-    std::uint32_t syncLatency = 0;
-    sim::StallModel stall = sim::StallModel::hardware();
-};
-
-/** Derive timing knobs from the seed so the population covers the
- * whole matrix without a combinatorial test explosion. */
-Knobs
-knobsFor(std::uint64_t seed)
-{
-    Knobs k;
-    k.pipelineDepth = 1 + static_cast<int>(seed % 4);         // 1..4
-    k.issueWidth = (seed % 3 == 0) ? 4 : 1;
-    k.jitterMean = (seed % 5 == 0) ? 1.5 : 0.0;
-    k.syncLatency = static_cast<std::uint32_t>((seed / 3) % 4);
-    if (seed % 4 == 1)
-        k.stall = sim::StallModel::software(20, 20);
-    return k;
-}
-
-sim::MachineConfig
-configFor(const verify::Scenario &sc, const Knobs &k, bool fast_forward)
-{
-    sim::MachineConfig cfg;
-    cfg.numProcessors = sc.procs();
-    cfg.memWords = 4096;
-    cfg.pipelineDepth = k.pipelineDepth;
-    cfg.issueWidth = k.issueWidth;
-    cfg.jitterMean = k.jitterMean;
-    cfg.syncLatency = k.syncLatency;
-    cfg.stall = k.stall;
-    cfg.seed = 42;
-    cfg.maxCycles = 5'000'000;
-    cfg.interruptPeriod = sc.interruptPeriod;
-    cfg.isrEntry = sc.isrEntry;
-    cfg.fastForward = fast_forward;
-    if (sc.hasFaults()) {
-        cfg.faultPlan = &sc.faults;
-        cfg.watchdog = sc.watchdog;
-    }
-    return cfg;
-}
-
-/** Everything observable about one run, for exact comparison. */
-struct Observation
-{
-    sim::RunResult result;
-    std::vector<std::vector<std::int64_t>> regs;
-    std::string safety;
-    std::size_t syncRecords = 0;
-};
-
-Observation
-observeRun(const verify::Scenario &sc,
-           const std::vector<isa::Program> &programs, sim::Machine &m)
-{
-    for (int p = 0; p < sc.procs(); ++p)
-        m.loadProgram(p, programs[static_cast<std::size_t>(p)]);
-    Observation obs;
-    obs.result = m.run();
-    for (int p = 0; p < sc.procs(); ++p) {
-        std::vector<std::int64_t> r;
-        for (int i = 0; i < isa::numRegisters; ++i)
-            r.push_back(m.processor(p).reg(i));
-        obs.regs.push_back(std::move(r));
-    }
-    obs.safety = m.checkSafetyProperty();
-    obs.syncRecords = m.syncRecords().size();
-    return obs;
-}
-
-/** Pooled when @p pool is set (the generator sweeps recycle machines
- * through the campaign engine's pool), fresh otherwise. */
-Observation
-runOnce(const verify::Scenario &sc,
-        const std::vector<isa::Program> &programs, const Knobs &k,
-        bool fast_forward, exec::MachinePool *pool = nullptr)
-{
-    sim::MachineConfig cfg = configFor(sc, k, fast_forward);
-    if (pool) {
-        auto lease = pool->acquire(cfg);
-        return observeRun(sc, programs, *lease);
-    }
-    sim::Machine m(cfg);
-    return observeRun(sc, programs, m);
-}
-
-/** Assert every RunResult field (and final machine state) matches. */
-void
-expectIdentical(const Observation &ff, const Observation &legacy,
-                const std::string &ctx)
-{
-    const auto &a = ff.result;
-    const auto &b = legacy.result;
-    EXPECT_EQ(a.cycles, b.cycles) << ctx;
-    EXPECT_EQ(a.deadlocked, b.deadlocked) << ctx;
-    EXPECT_EQ(a.timedOut, b.timedOut) << ctx;
-    EXPECT_EQ(a.deadlockInfo, b.deadlockInfo) << ctx;
-    EXPECT_EQ(a.syncEvents, b.syncEvents) << ctx;
-    EXPECT_EQ(a.busRequests, b.busRequests) << ctx;
-    EXPECT_EQ(a.busQueueDelay, b.busQueueDelay) << ctx;
-    EXPECT_EQ(a.memAccesses, b.memAccesses) << ctx;
-    EXPECT_EQ(a.hotSpotAccesses, b.hotSpotAccesses) << ctx;
-    EXPECT_EQ(a.invalidationsSent, b.invalidationsSent) << ctx;
-    EXPECT_EQ(a.invalidationsAvoided, b.invalidationsAvoided) << ctx;
-    EXPECT_EQ(a.correctedFaults, b.correctedFaults) << ctx;
-    EXPECT_EQ(a.membershipViolation, b.membershipViolation) << ctx;
-    EXPECT_EQ(a.deadDeclared, b.deadDeclared) << ctx;
-
-    ASSERT_EQ(a.recoveries.size(), b.recoveries.size()) << ctx;
-    for (std::size_t i = 0; i < a.recoveries.size(); ++i) {
-        EXPECT_EQ(a.recoveries[i].cycle, b.recoveries[i].cycle) << ctx;
-        EXPECT_EQ(a.recoveries[i].deadProc, b.recoveries[i].deadProc)
-            << ctx;
-        EXPECT_EQ(a.recoveries[i].survivors, b.recoveries[i].survivors)
-            << ctx;
-    }
-
-    EXPECT_EQ(a.faultStats.pulseDropCycles, b.faultStats.pulseDropCycles)
-        << ctx;
-    EXPECT_EQ(a.faultStats.bitsFlipped, b.faultStats.bitsFlipped) << ctx;
-    EXPECT_EQ(a.faultStats.kills, b.faultStats.kills) << ctx;
-    EXPECT_EQ(a.faultStats.freezes, b.faultStats.freezes) << ctx;
-    EXPECT_EQ(a.faultStats.forcedInterrupts,
-              b.faultStats.forcedInterrupts)
-        << ctx;
-    EXPECT_EQ(a.watchdogStats.timeouts, b.watchdogStats.timeouts) << ctx;
-    EXPECT_EQ(a.watchdogStats.rearms, b.watchdogStats.rearms) << ctx;
-    EXPECT_EQ(a.watchdogStats.deadDeclared, b.watchdogStats.deadDeclared)
-        << ctx;
-
-    ASSERT_EQ(a.perProcessor.size(), b.perProcessor.size()) << ctx;
-    for (std::size_t p = 0; p < a.perProcessor.size(); ++p) {
-        const auto &pa = a.perProcessor[p];
-        const auto &pb = b.perProcessor[p];
-        std::string pctx = ctx + " cpu" + std::to_string(p);
-        EXPECT_EQ(pa.instructions, pb.instructions) << pctx;
-        EXPECT_EQ(pa.barrierWaitCycles, pb.barrierWaitCycles) << pctx;
-        EXPECT_EQ(pa.contextSwitchCycles, pb.contextSwitchCycles)
-            << pctx;
-        EXPECT_EQ(pa.contextSwitches, pb.contextSwitches) << pctx;
-        EXPECT_EQ(pa.interruptsTaken, pb.interruptsTaken) << pctx;
-        EXPECT_EQ(pa.barrierEpisodes, pb.barrierEpisodes) << pctx;
-        EXPECT_EQ(pa.stalledEpisodes, pb.stalledEpisodes) << pctx;
-        EXPECT_EQ(pa.stallCycles, pb.stallCycles) << pctx;
-        EXPECT_EQ(pa.cacheHits, pb.cacheHits) << pctx;
-        EXPECT_EQ(pa.cacheMisses, pb.cacheMisses) << pctx;
-    }
-
-    EXPECT_EQ(ff.regs, legacy.regs) << ctx;
-    EXPECT_EQ(ff.safety, legacy.safety) << ctx;
-    EXPECT_EQ(ff.syncRecords, legacy.syncRecords) << ctx;
-}
-
-/** Assemble the scenario's programs under its baseline encoding,
- * through the shared intern cache when @p cache is set. */
-bool
-assemblePrograms(const verify::Scenario &sc,
-                 std::vector<isa::Program> &out,
-                 exec::ProgramCache *cache = nullptr)
-{
-    for (int p = 0; p < sc.procs(); ++p) {
-        const auto &source = sc.sources[static_cast<std::size_t>(p)];
-        isa::Program prog;
-        if (cache) {
-            auto interned = cache->intern(source);
-            if (!interned->ok)
-                return false;
-            prog = sc.encoding == verify::Encoding::Markers
-                       ? interned->markers
-                       : interned->bits;
-        } else {
-            std::string err;
-            if (!isa::Assembler::assemble(source, prog, err))
-                return false;
-            if (sc.encoding == verify::Encoding::Markers)
-                prog = prog.toMarkerEncoding();
-        }
-        out.push_back(std::move(prog));
-    }
-    return true;
-}
+using namespace fb::harness;
 
 /** Run one seed's scenario under both cores and compare. */
 void
@@ -225,31 +39,18 @@ checkSeed(std::uint64_t seed, bool with_faults,
 {
     verify::ProgramSpec spec = verify::randomSpec(seed);
     verify::Scenario sc = verify::render(spec);
-    if (with_faults) {
-        sc.faults = fault::randomFaultPlan(seed * 31 + 7, sc.procs(),
-                                           sc.groupSizes);
-        sc.faultSeed = seed * 31 + 7;
-        sc.watchdog.enabled = true;
-        sc.watchdog.timeoutCycles = 2000;
-        sc.watchdog.maxAttempts = 3;
-    }
+    if (with_faults)
+        attachFaults(sc, corpusFaultSeed(seed));
     std::vector<isa::Program> programs;
     ASSERT_TRUE(assemblePrograms(sc, programs, cache))
         << "seed " << seed;
 
     Knobs k = knobsFor(seed);
-    std::ostringstream ctx;
-    ctx << "seed=" << seed << (with_faults ? " faults" : "")
-        << " depth=" << k.pipelineDepth << " width=" << k.issueWidth
-        << " jitter=" << k.jitterMean << " synclat=" << k.syncLatency;
-
+    const std::string ctx = describeSeed(seed, with_faults, k);
     Observation ff = runOnce(sc, programs, k, true, pool);
     Observation legacy = runOnce(sc, programs, k, false, pool);
-    expectIdentical(ff, legacy, ctx.str());
+    expectIdentical(ff, legacy, ctx);
 }
-
-// 140 fault-free + 80 fault-plan scenarios = 220 fuzz-generated
-// programs cross-checked per run, exceeding the 200-program floor.
 
 TEST(Equivalence, FastForwardMatchesLegacyOnFuzzPrograms)
 {
@@ -257,7 +58,7 @@ TEST(Equivalence, FastForwardMatchesLegacyOnFuzzPrograms)
     // exercises Machine::reset() reuse on top of the core comparison.
     exec::MachinePool pool;
     exec::ProgramCache cache;
-    for (std::uint64_t seed = 1; seed <= 140; ++seed)
+    for (std::uint64_t seed = 1; seed <= kFaultFreeSeeds; ++seed)
         checkSeed(seed, false, &pool, &cache);
     EXPECT_GT(pool.reuses(), 0u);
 }
@@ -266,7 +67,7 @@ TEST(Equivalence, FastForwardMatchesLegacyUnderFaults)
 {
     exec::MachinePool pool;
     exec::ProgramCache cache;
-    for (std::uint64_t seed = 1; seed <= 80; ++seed)
+    for (std::uint64_t seed = 1; seed <= kFaultSeeds; ++seed)
         checkSeed(seed, true, &pool, &cache);
     EXPECT_GT(pool.reuses(), 0u);
 }
@@ -277,9 +78,9 @@ TEST(Equivalence, CoversWatchdogRecovery)
     // mask-shrink recovery path (fatal faults that fence a processor)
     // or the fault-mode half of the suite proves nothing.
     int recoveries = 0;
-    for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+    for (std::uint64_t seed = 1; seed <= kFaultSeeds; ++seed) {
         fault::FaultPlan plan = fault::randomFaultPlan(
-            seed * 31 + 7, verify::randomSpec(seed).procs(),
+            corpusFaultSeed(seed), verify::randomSpec(seed).procs(),
             verify::randomSpec(seed).groupSizes);
         if (plan.hasFatal())
             ++recoveries;

@@ -644,5 +644,163 @@ TEST_P(PipelineDepthSweep, DepthPreservesCorrectness)
 INSTANTIATE_TEST_SUITE_P(Depths, PipelineDepthSweep,
                          ::testing::Values(1, 2, 4, 8));
 
+// ------------------------------------------------- paged SharedMemory
+
+TEST(SharedMemoryPaged, PageEdgeAccessesLandOnDistinctPages)
+{
+    // Words 1023/1024 and 2047/2048 straddle page boundaries; an
+    // off-by-one in the page math would alias them into one slab.
+    SharedMemory mem(3 * SharedMemory::pageWords);
+    mem.write(1023, 11);
+    mem.write(1024, 22);
+    mem.write(2047, 33);
+    mem.write(2048, 44);
+    EXPECT_EQ(mem.read(1023), 11);
+    EXPECT_EQ(mem.read(1024), 22);
+    EXPECT_EQ(mem.read(2047), 33);
+    EXPECT_EQ(mem.read(2048), 44);
+    EXPECT_EQ(mem.totalAccesses(), 8u);
+    // First-touch page order: 0 (word 1023), 1 (1024), 2 (2048).
+    const std::vector<std::size_t> expected = {0, 1, 2};
+    EXPECT_EQ(mem.touchedPages(), expected);
+    // Two accesses each; the hot spot resolves to the lowest address.
+    EXPECT_EQ(mem.hotSpotAccesses(), 2u);
+    EXPECT_EQ(mem.hotSpotAddress(), 1023u);
+}
+
+TEST(SharedMemoryPaged, ResetStatsAfterSparseTouches)
+{
+    // Touch only the last page of a larger memory; resetStats() must
+    // clear exactly that page's counts (it is O(pages touched)) and
+    // leave contents alone.
+    SharedMemory mem(8 * SharedMemory::pageWords);
+    const std::size_t addr = 7 * SharedMemory::pageWords + 123;
+    mem.write(addr, 99);
+    mem.read(addr);
+    ASSERT_EQ(mem.touchedPages().size(), 1u);
+    EXPECT_EQ(mem.touchedPages()[0], 7u);
+    EXPECT_EQ(mem.hotSpotAccesses(), 2u);
+
+    mem.resetStats();
+    EXPECT_TRUE(mem.touchedPages().empty());
+    EXPECT_EQ(mem.totalAccesses(), 0u);
+    EXPECT_EQ(mem.hotSpotAccesses(), 0u);
+    EXPECT_EQ(mem.hotSpotAddress(), 0u);
+    EXPECT_EQ(mem.peek(addr), 99); // contents survive a stats reset
+
+    // The recycled slab counts from zero again, and a fresh page
+    // allocates cleanly after the reset.
+    mem.read(addr);
+    mem.read(2 * SharedMemory::pageWords);
+    EXPECT_EQ(mem.hotSpotAccesses(), 1u);
+    const std::vector<std::size_t> expected = {7, 2};
+    EXPECT_EQ(mem.touchedPages(), expected);
+}
+
+TEST(SharedMemoryPaged, PeekPokeBypassStatsButNotResetContents)
+{
+    SharedMemory mem(2 * SharedMemory::pageWords);
+    mem.poke(1500, 42);
+    EXPECT_EQ(mem.peek(1500), 42);
+    EXPECT_EQ(mem.totalAccesses(), 0u);
+    EXPECT_TRUE(mem.touchedPages().empty());
+    // poke() still marks the page written: resetContents() must zero
+    // host-poked words too, or a pooled machine would leak setup
+    // state from the previous scenario.
+    mem.resetContents();
+    EXPECT_EQ(mem.peek(1500), 0);
+}
+
+TEST(SharedMemoryPaged, SparseEncodeDecodeRoundTrip)
+{
+    SharedMemory mem(5 * SharedMemory::pageWords);
+    mem.write(3 * SharedMemory::pageWords + 7, -5);
+    mem.write(4 * SharedMemory::pageWords - 1, 77); // page-3 last word
+    mem.read(3 * SharedMemory::pageWords + 7);
+
+    snapshot::Encoder enc;
+    mem.encodeState(enc);
+    const auto bytes = enc.buffer();
+
+    SharedMemory restored(5 * SharedMemory::pageWords);
+    snapshot::Decoder dec(bytes);
+    ASSERT_TRUE(restored.decodeState(dec));
+    EXPECT_EQ(restored.peek(3 * SharedMemory::pageWords + 7), -5);
+    EXPECT_EQ(restored.peek(4 * SharedMemory::pageWords - 1), 77);
+    EXPECT_EQ(restored.peek(0), 0);
+    EXPECT_EQ(restored.totalAccesses(), mem.totalAccesses());
+    EXPECT_EQ(restored.hotSpotAccesses(), mem.hotSpotAccesses());
+    EXPECT_EQ(restored.hotSpotAddress(), mem.hotSpotAddress());
+}
+
+// ---------------------------------------------------- paged SharedBus
+
+TEST(SharedBusPaged, BankedBanksGrowOnDemand)
+{
+    // The banked model allocates busy slabs lazily by word address;
+    // far-apart addresses must get independent banks, and only
+    // same-word requests queue behind each other.
+    SharedBus bus(10, BusKind::Banked);
+    EXPECT_EQ(bus.request(0, 500'000), 0u); // grows the table
+    EXPECT_EQ(bus.request(0, 500'000), 10u);
+    EXPECT_EQ(bus.request(0, 500'001), 0u); // same page, other bank
+    EXPECT_EQ(bus.request(0, 3), 0u);       // low page after high page
+    EXPECT_EQ(bus.requests(), 4u);
+    EXPECT_EQ(bus.totalQueueDelay(), 10u);
+}
+
+TEST(SharedBusPaged, BankedPageEdgeBanksAreIndependent)
+{
+    // Words 1023 and 1024 sit on adjacent slab pages; an off-by-one
+    // would make them share a busy slot and queue spuriously.
+    SharedBus bus(7, BusKind::Banked);
+    EXPECT_EQ(bus.request(0, 1023), 0u);
+    EXPECT_EQ(bus.request(0, 1024), 0u);
+    EXPECT_EQ(bus.request(0, 1023), 7u);
+    EXPECT_EQ(bus.request(0, 1024), 7u);
+}
+
+TEST(SharedBusPaged, SharedKindSerializesDistinctWords)
+{
+    SharedBus bus(5, BusKind::Shared);
+    EXPECT_EQ(bus.request(0, 100), 0u);
+    EXPECT_EQ(bus.request(0, 999'999), 5u); // one bus, any address
+    EXPECT_EQ(bus.totalQueueDelay(), 5u);
+}
+
+TEST(SharedBusPaged, ResetClearsBusyStateAndCounters)
+{
+    SharedBus bus(10, BusKind::Banked);
+    bus.request(0, 2048);
+    bus.request(0, 2048);
+    bus.reset(10, BusKind::Banked);
+    EXPECT_EQ(bus.requests(), 0u);
+    EXPECT_EQ(bus.totalQueueDelay(), 0u);
+    // The previously-busy bank is free again after the reset.
+    EXPECT_EQ(bus.request(0, 2048), 0u);
+}
+
+TEST(SharedBusPaged, EncodeDecodeRoundTripPreservesBusyBanks)
+{
+    SharedBus bus(10, BusKind::Banked);
+    bus.request(0, 1023);
+    bus.request(0, 1024);
+    bus.request(0, 1023); // queues: bank busy until 20
+
+    snapshot::Encoder enc;
+    bus.encodeState(enc);
+    const auto bytes = enc.buffer();
+
+    SharedBus restored(10, BusKind::Banked);
+    snapshot::Decoder dec(bytes);
+    ASSERT_TRUE(restored.decodeState(dec));
+    EXPECT_EQ(restored.requests(), bus.requests());
+    EXPECT_EQ(restored.totalQueueDelay(), bus.totalQueueDelay());
+    // The restored busy horizon matches: a request at cycle 0 on the
+    // hot word queues exactly as it would on the original bus.
+    EXPECT_EQ(restored.request(0, 1023), bus.request(0, 1023));
+    EXPECT_EQ(restored.request(0, 1024), bus.request(0, 1024));
+}
+
 } // namespace
 } // namespace fb::sim

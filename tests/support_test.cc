@@ -112,6 +112,72 @@ TEST(BitVector, ToString)
     EXPECT_EQ(bv.toString(), "0100");
 }
 
+TEST(BitVector, ExactWordBoundarySizes)
+{
+    // Sizes straddling the 64-bit word granularity: the last word is
+    // partial for 63 and 65, exactly full for 64 and 128. setAll()
+    // must not set phantom bits past size() (they would corrupt
+    // count(), all(), and equality), and the last bit must be
+    // addressable.
+    for (std::size_t n : {63u, 64u, 65u, 128u}) {
+        BitVector bv(n);
+        bv.setAll();
+        EXPECT_EQ(bv.count(), n) << "size " << n;
+        EXPECT_TRUE(bv.all()) << "size " << n;
+        bv.clear(n - 1);
+        EXPECT_FALSE(bv.all()) << "size " << n;
+        EXPECT_EQ(bv.count(), n - 1) << "size " << n;
+        bv.set(n - 1);
+        EXPECT_TRUE(bv.all()) << "size " << n;
+        EXPECT_EQ(bv.toString().size(), n) << "size " << n;
+    }
+}
+
+TEST(BitVector, SetAlgebraAcrossWordBoundary)
+{
+    // Bits 63 and 64 land in different storage words; the set-algebra
+    // helpers must compose them correctly.
+    BitVector a(130), b(130);
+    a.set(63);
+    a.set(64);
+    a.set(129);
+    b.set(64);
+    EXPECT_TRUE(a.covers(b));
+    EXPECT_FALSE(b.covers(a));
+    EXPECT_TRUE(a.intersects(b));
+    b.clear(64);
+    b.set(63);
+    EXPECT_TRUE(a.intersects(b));
+    b.clear(63);
+    EXPECT_FALSE(a.intersects(b));
+
+    BitVector both = a & a;
+    EXPECT_TRUE(both == a);
+    b.set(128);
+    BitVector either = a | b;
+    EXPECT_EQ(either.count(), 4u);
+    EXPECT_TRUE(either.test(63));
+    EXPECT_TRUE(either.test(64));
+    EXPECT_TRUE(either.test(128));
+    EXPECT_TRUE(either.test(129));
+}
+
+TEST(BitVector, EmptyVector)
+{
+    // The degenerate case every quantifier flips on: no bits means
+    // none() and all() are both vacuously true, and an empty vector
+    // covers (but never intersects) another empty vector.
+    BitVector empty;
+    EXPECT_EQ(empty.size(), 0u);
+    EXPECT_TRUE(empty.none());
+    EXPECT_TRUE(empty.all());
+    EXPECT_EQ(empty.toString(), "");
+    BitVector other;
+    EXPECT_TRUE(empty.covers(other));
+    EXPECT_FALSE(empty.intersects(other));
+    EXPECT_TRUE(empty == other);
+}
+
 // ------------------------------------------------------------- RandomSource
 
 TEST(RandomSource, Deterministic)

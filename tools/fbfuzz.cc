@@ -29,6 +29,12 @@
  *                  recovery-liveness oracles)
  *   --fault-seed S base for fault-plan derivation (default: spec seed)
  *   --max-cycles N per-run cycle guard (default 5,000,000)
+ *   --shards N[:QUANTUM]
+ *                  add a sequential-vs-sharded executor to the matrix:
+ *                  each scenario additionally runs across N host
+ *                  threads under a QUANTUM-cycle skew window (default
+ *                  1024) and must reproduce the baseline fingerprint
+ *                  exactly (see exec::ShardedMachine)
  *   --jobs N       fuzz seeds on N worker threads; every seed in the
  *                  range is scanned (no stop at the first failure)
  *                  and results are reported in seed order, so the
@@ -96,6 +102,8 @@ struct Options
     bool faults = false;
     std::uint64_t faultSeed = 0;  ///< 0 = derive from the spec seed
     std::uint64_t maxCycles = 5'000'000;
+    int shards = 0;  ///< 0 = no sharded executor in the matrix
+    std::uint64_t shardQuantum = 1024;
     int jobs = 0;  ///< 0 = sequential stop-at-first-failure mode
     std::string cursorFile;
     bool quiet = false;
@@ -142,7 +150,20 @@ parseArgs(int argc, char **argv)
         }
         else if (arg == "--max-cycles")
             opt.maxCycles = static_cast<std::uint64_t>(nextInt());
-        else if (arg == "--jobs")
+        else if (arg == "--shards") {
+            auto parts = split(next(), ':');
+            std::int64_t n = 0;
+            if (parts.empty() || parts.size() > 2 ||
+                !parseInt(parts[0], n) || n < 2)
+                usage("--shards N[:QUANTUM] with N >= 2");
+            opt.shards = static_cast<int>(n);
+            if (parts.size() == 2) {
+                std::int64_t q = 0;
+                if (!parseInt(parts[1], q) || q < 1)
+                    usage("--shards quantum must be >= 1");
+                opt.shardQuantum = static_cast<std::uint64_t>(q);
+            }
+        } else if (arg == "--jobs")
             opt.jobs = static_cast<int>(nextInt());
         else if (arg == "--cursor")
             opt.cursorFile = next();
@@ -197,7 +218,8 @@ cursorHeader(const Options &opt)
         << " faults=" << (opt.faults ? 1 : 0)
         << " fault-seed=" << opt.faultSeed
         << " swref=" << (opt.swref ? 1 : 0)
-        << " max-cycles=" << opt.maxCycles;
+        << " max-cycles=" << opt.maxCycles
+        << " shards=" << opt.shards << ":" << opt.shardQuantum;
     return oss.str();
 }
 
@@ -300,6 +322,8 @@ diffOptions(const Options &opt)
     verify::DiffOptions d;
     d.swBarrierReference = opt.swref;
     d.maxCycles = opt.maxCycles;
+    d.shards = opt.shards;
+    d.shardQuantum = opt.shardQuantum;
     return d;
 }
 
@@ -409,6 +433,8 @@ describeFailure(std::uint64_t spec_seed, const verify::Scenario &sc,
         if (opt.faultSeed != 0)
             out << " --fault-seed " << opt.faultSeed;
     }
+    if (opt.shards >= 2)
+        out << " --shards " << opt.shards << ":" << opt.shardQuantum;
     out << "\n";
     return out.str();
 }

@@ -34,6 +34,12 @@
  *                        the event-driven fast-forward core (results
  *                        are identical; useful for timing comparisons
  *                        and as a differential cross-check)
+ *   --shards N[:QUANTUM] advance the machine across N host threads
+ *                        with QUANTUM cycles of permitted skew
+ *                        (default 1024); results are byte-identical
+ *                        to --shards 1 at any N. Falls back to the
+ *                        sequential core under --trace or
+ *                        --no-fast-forward
  *   --checkpoint DIR:EVERY[:KEEP]
  *                        durably snapshot the machine into DIR every
  *                        EVERY cycles, retaining the newest KEEP
@@ -64,6 +70,7 @@
 #include <vector>
 
 #include "core/fuzzy_barrier.hh"
+#include "exec/sharded_machine.hh"
 #include "fault/plan.hh"
 #include "fault/watchdog.hh"
 #include "snapshot/format.hh"
@@ -113,6 +120,8 @@ struct Options
     std::size_t traceWidth = 100;
     bool checkOnly = false;
     bool fastForward = true;
+    int shards = 1;
+    std::uint64_t shardQuantum = 1024;
     std::uint64_t maxCycles = 200'000'000;
     std::string faultSpec;
     std::uint64_t faultSeed = 0;
@@ -252,6 +261,17 @@ parseArgs(int argc, char **argv)
                 parseIntOrDie(next(), "--max-cycles"));
         } else if (arg == "--no-fast-forward") {
             opt.fastForward = false;
+        } else if (arg == "--shards") {
+            auto parts = split(next(), ':');
+            if (parts.empty() || parts.size() > 2)
+                usage("--shards N[:QUANTUM]");
+            opt.shards =
+                static_cast<int>(parseIntOrDie(parts[0], "--shards"));
+            if (parts.size() == 2)
+                opt.shardQuantum = static_cast<std::uint64_t>(
+                    parseIntOrDie(parts[1], "shard quantum"));
+            if (opt.shards < 1 || opt.shardQuantum == 0)
+                usage("--shards needs N >= 1 and QUANTUM >= 1");
         } else if (arg == "--checkpoint") {
             auto parts = split(next(), ':');
             if (parts.size() < 2 || parts.size() > 3)
@@ -353,6 +373,8 @@ main(int argc, char **argv)
     cfg.busKind = opt.bus;
     cfg.maxCycles = opt.maxCycles;
     cfg.fastForward = opt.fastForward;
+    cfg.shardCount = opt.shards;
+    cfg.shardQuantum = opt.shards > 1 ? opt.shardQuantum : 0;
     cfg.traceBarrierStates = opt.trace;
     if (opt.interruptPeriod > 0) {
         auto entry = programs[0].labelIndex(opt.isrLabel);
@@ -466,7 +488,14 @@ main(int argc, char **argv)
     }
 
     sim::Machine &machine = *machinePtr;
-    auto result = machine.run();
+    exec::ShardedMachine shardedMachine(machine);
+    if (opt.shards > 1 && shardedMachine.shards() != opt.shards)
+        std::fprintf(stderr,
+                     "fbsim: note: running on %d shard(s) instead of "
+                     "the requested %d (clamped to the processor count "
+                     "or sharding does not apply here)\n",
+                     shardedMachine.shards(), opt.shards);
+    auto result = shardedMachine.run();
 
     std::printf("cycles:       %llu%s%s\n",
                 static_cast<unsigned long long>(result.cycles),
