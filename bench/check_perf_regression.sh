@@ -3,15 +3,23 @@
 # bench/run_all.sh) against the committed baseline and fail if a
 # tracked headline metric regressed by more than the threshold.
 #
-# Tracked metrics:
+# Tracked metrics (higher is better, compared against the baseline):
 #   e18_campaign_delta.scenarios_per_sec_engine  (campaign engine)
 #   e7_scaling_ff_speedup.ff_speedup             (fast-forward core)
 #   e8_hotspot_ff_speedup.ff_speedup             (fast-forward core)
 #   e19_shard_delta.shard_speedup_4              (sharded executor)
 #
+# Absolute budgets (lower is better, compared against a fixed target —
+# these keep checkpointing cheap enough to stay on by default):
+#   e17_snapshot_overhead_delta.snapshot_delta_async_overhead_pct   <= 5
+#   e17_snapshot_overhead_delta.snapshot_delta_durable_overhead_pct <= 15
+# The same noise threshold applies: the gate fails only when the
+# measured value exceeds target * (1 + threshold/100).
+#
 # Usage: bench/check_perf_regression.sh <current.json> [baseline.json]
 #        (baseline defaults to the newest BENCH_*.json in bench/baselines/)
-# Env:   FB_PERF_REGRESSION_PCT  allowed drop, percent (default 20)
+# Env:   FB_PERF_REGRESSION_PCT  allowed drop / budget headroom, percent
+#        (default 20)
 # Exit:  0 within threshold, 1 regression found, 2 setup error.
 set -euo pipefail
 
@@ -47,6 +55,17 @@ TRACKED = [
     ("e19_shard_delta", "shard_speedup_4"),
 ]
 
+# (entry name, metric key, target) -> lower is better, judged against
+# the fixed target rather than the baseline: an absolute budget cannot
+# ratchet upward through repeated baseline refreshes. The value may
+# exceed the target by the noise threshold before the gate fails.
+BUDGETED = [
+    ("e17_snapshot_overhead_delta", "snapshot_delta_async_overhead_pct",
+     5.0),
+    ("e17_snapshot_overhead_delta",
+     "snapshot_delta_durable_overhead_pct", 15.0),
+]
+
 
 def load(path):
     with open(path) as f:
@@ -77,6 +96,21 @@ for name, key in TRACKED:
         failures.append(
             f"{name}.{key}: {base:g} -> {cur:g} "
             f"({drop_pct:.1f}% drop > {threshold:g}% allowed)")
+
+for name, key, target in BUDGETED:
+    if name not in current or key not in current[name]:
+        failures.append(f"{name}.{key}: missing from current run")
+        continue
+    cur = float(current[name][key])
+    allowed = target * (1.0 + threshold / 100.0)
+    verdict = "OVER BUDGET" if cur > allowed else "ok"
+    print(f"check_perf_regression: {name}.{key}: current={cur:g} "
+          f"budget={target:g} (+{threshold:g}% headroom = {allowed:g}) "
+          f"[{verdict}]")
+    if cur > allowed:
+        failures.append(
+            f"{name}.{key}: {cur:g} > {allowed:g} "
+            f"(budget {target:g} + {threshold:g}% headroom)")
 
 if failures:
     print("check_perf_regression: FAIL", file=sys.stderr)

@@ -108,13 +108,22 @@ for name in $EXPECTED; do
             awk '/^snapshot-durable-overhead-pct:/ {print $2; exit}')
         snap_bytes=$(printf '%s\n' "$OUT_TEXT" |
             awk '/^snapshot-bytes-per-checkpoint:/ {print $2; exit}')
-        if [ -z "$mem_pct" ] || [ -z "$durable_pct" ]; then
+        da_pct=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^snapshot-delta-async-overhead-pct:/ {print $2; exit}')
+        dd_pct=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^snapshot-delta-durable-overhead-pct:/ {print $2; exit}')
+        ds_pct=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^snapshot-delta-sync-overhead-pct:/ {print $2; exit}')
+        delta_bytes=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^snapshot-delta-bytes-per-checkpoint:/ {print $2; exit}')
+        if [ -z "$mem_pct" ] || [ -z "$durable_pct" ] ||
+           [ -z "$da_pct" ] || [ -z "$dd_pct" ]; then
             echo "run_all: FAIL e17_snapshot_overhead: missing overhead tally lines" >&2
             FAILURES=$((FAILURES + 1))
         else
-            ENTRIES="$ENTRIES  {\"name\": \"e17_snapshot_overhead_delta\", \"snapshot_overhead_pct\": $mem_pct, \"snapshot_durable_overhead_pct\": $durable_pct, \"snapshot_bytes_per_checkpoint\": ${snap_bytes:-0}},
+            ENTRIES="$ENTRIES  {\"name\": \"e17_snapshot_overhead_delta\", \"snapshot_overhead_pct\": $mem_pct, \"snapshot_durable_overhead_pct\": $durable_pct, \"snapshot_bytes_per_checkpoint\": ${snap_bytes:-0}, \"snapshot_delta_async_overhead_pct\": $da_pct, \"snapshot_delta_durable_overhead_pct\": $dd_pct, \"snapshot_delta_sync_overhead_pct\": ${ds_pct:-0}, \"snapshot_delta_bytes_per_checkpoint\": ${delta_bytes:-0}},
 "
-            echo "run_all: snapshot overhead: in-memory ${mem_pct}%, durable ${durable_pct}%"
+            echo "run_all: snapshot overhead: delta-async ${da_pct}%, delta-durable ${dd_pct}%, full-durable ${durable_pct}%"
         fi
     fi
     if [ "$name" = "e19_shard_scaling" ] && [ "$STATUS" -eq 0 ]; then

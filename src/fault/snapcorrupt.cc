@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "snapshot/codec.hh"
+#include "snapshot/format.hh"
 #include "support/random.hh"
 
 namespace fb::fault
@@ -31,38 +33,24 @@ writeRaw(const std::string &path, const std::vector<std::uint8_t> &bytes,
     return true;
 }
 
-} // namespace
-
-const char *
-snapshotCorruptionName(SnapshotCorruption kind)
-{
-    switch (kind) {
-      case SnapshotCorruption::Truncate:
-        return "truncate";
-      case SnapshotCorruption::BitFlip:
-        return "bitflip";
-      case SnapshotCorruption::StaleGeneration:
-        return "stalegen";
-    }
-    return "?";
-}
-
+/**
+ * Apply @p kind to @p entries[victim]. StaleGeneration parks the
+ * next-older entry's bytes under the victim's name when one exists,
+ * and otherwise perturbs the embedded generation field (bytes 28..35),
+ * which the header CRC catches.
+ */
 bool
-corruptNewestSnapshot(const snapshot::SnapshotStore &store,
-                      SnapshotCorruption kind, std::uint64_t seed,
-                      std::string &error)
+applyCorruption(
+    const std::vector<std::pair<std::uint64_t, std::string>> &entries,
+    std::size_t victim, SnapshotCorruption kind, std::uint64_t seed,
+    std::string &error)
 {
-    auto entries = store.list();
-    if (entries.empty()) {
-        error = "no snapshots in '" + store.directory() + "' to corrupt";
-        return false;
-    }
-    const std::string &victim = entries.back().second;
+    const std::string &path = entries[victim].second;
     std::vector<std::uint8_t> bytes;
-    if (!snapshot::readFile(victim, bytes, error))
+    if (!snapshot::readFile(path, bytes, error))
         return false;
     if (bytes.empty()) {
-        error = "'" + victim + "' is already empty";
+        error = "'" + path + "' is already empty";
         return false;
     }
 
@@ -79,18 +67,15 @@ corruptNewestSnapshot(const snapshot::SnapshotStore &store,
         break;
       }
       case SnapshotCorruption::StaleGeneration: {
-        if (entries.size() >= 2) {
-            // Park an older generation's bytes under the newest name.
-            if (!snapshot::readFile(entries[entries.size() - 2].second,
-                                    bytes, error))
+        if (victim > 0) {
+            // Park an older generation's bytes under the victim name.
+            if (!snapshot::readFile(entries[victim - 1].second, bytes,
+                                    error))
                 return false;
         } else {
-            // Single generation: perturb the embedded generation
-            // field (bytes 28..35 of the header); the header CRC no
-            // longer matches, so the loader rejects the file.
             const std::size_t off = 28;
             if (bytes.size() < off + 8) {
-                error = "'" + victim + "' too short to carry a header";
+                error = "'" + path + "' too short to carry a header";
                 return false;
             }
             bytes[off] ^= 0xff;
@@ -98,7 +83,146 @@ corruptNewestSnapshot(const snapshot::SnapshotStore &store,
         break;
       }
     }
-    return writeRaw(victim, bytes, error);
+    return writeRaw(path, bytes, error);
+}
+
+} // namespace
+
+const char *
+snapshotCorruptionName(SnapshotCorruption kind)
+{
+    switch (kind) {
+      case SnapshotCorruption::Truncate:
+        return "truncate";
+      case SnapshotCorruption::BitFlip:
+        return "bitflip";
+      case SnapshotCorruption::StaleGeneration:
+        return "stalegen";
+    }
+    return "?";
+}
+
+const char *
+chainPartName(ChainPart part)
+{
+    switch (part) {
+      case ChainPart::Head:
+        return "head";
+      case ChainPart::MidDelta:
+        return "middelta";
+      case ChainPart::Base:
+        return "base";
+      case ChainPart::Manifest:
+        return "manifest";
+    }
+    return "?";
+}
+
+bool
+corruptNewestSnapshot(const snapshot::SnapshotStore &store,
+                      SnapshotCorruption kind, std::uint64_t seed,
+                      std::string &error)
+{
+    auto entries = store.list();
+    if (entries.empty()) {
+        error = "no snapshots in '" + store.directory() + "' to corrupt";
+        return false;
+    }
+    return applyCorruption(entries, entries.size() - 1, kind, seed,
+                           error);
+}
+
+bool
+corruptChainSnapshot(const snapshot::SnapshotStore &store,
+                     ChainPart part, SnapshotCorruption kind,
+                     std::uint64_t seed, std::string &error,
+                     std::uint64_t *victimGeneration)
+{
+    auto entries = store.list();
+    if (entries.empty()) {
+        error = "no snapshots in '" + store.directory() + "' to corrupt";
+        return false;
+    }
+
+    // Discover the newest chain: entry indices head-first, following
+    // the header prev links down to the full base.
+    std::vector<std::size_t> links;
+    std::size_t at = entries.size() - 1;
+    for (;;) {
+        std::vector<std::uint8_t> bytes;
+        snapshot::SnapshotHeader header;
+        if (!snapshot::readFile(entries[at].second, bytes, error) ||
+            !snapshot::peekHeader(bytes, header, error)) {
+            error = "chain walk: " + entries[at].second + ": " + error;
+            return false;
+        }
+        links.push_back(at);
+        if (!header.isDelta())
+            break;
+        bool found = false;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].first == header.prev) {
+                at = i;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            error = "chain walk: generation " +
+                    std::to_string(header.prev) + " is missing";
+            return false;
+        }
+    }
+
+    std::size_t victim = links.front();
+    switch (part) {
+      case ChainPart::Head:
+        break;
+      case ChainPart::MidDelta: {
+        // Interior deltas: every link except the head and the base.
+        // Fall back to the head when the chain is too short.
+        if (links.size() > 2) {
+            RandomSource rng(seed ^ 0x6d696464u);
+            victim = links[1 + static_cast<std::size_t>(
+                rng.nextBounded(links.size() - 2))];
+        }
+        break;
+      }
+      case ChainPart::Base:
+        victim = links.back();
+        break;
+      case ChainPart::Manifest: {
+        // Rewrite the head delta's baseFull field to name a wrong
+        // base and *recompute* the header CRC: the file then still
+        // validates in isolation, and only the chain walk's
+        // cross-link consistency check can reject it.
+        const std::string &path = entries[victim].second;
+        std::vector<std::uint8_t> bytes;
+        snapshot::SnapshotHeader header;
+        if (!snapshot::readFile(path, bytes, error) ||
+            !snapshot::peekHeader(bytes, header, error))
+            return false;
+        if (!header.isDelta()) {
+            error = "'" + path +
+                    "' is a full snapshot; it has no chain manifest";
+            return false;
+        }
+        const std::uint64_t bogus = header.baseFull + 1;
+        for (std::size_t i = 0; i < 8; ++i)
+            bytes[36 + i] =
+                static_cast<std::uint8_t>(bogus >> (8 * i));
+        const std::uint32_t crc = snapshot::crc32(bytes.data(), 56);
+        for (std::size_t i = 0; i < 4; ++i)
+            bytes[56 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+        if (victimGeneration != nullptr)
+            *victimGeneration = entries[victim].first;
+        return writeRaw(path, bytes, error);
+      }
+    }
+
+    if (victimGeneration != nullptr)
+        *victimGeneration = entries[victim].first;
+    return applyCorruption(entries, victim, kind, seed, error);
 }
 
 } // namespace fb::fault

@@ -55,6 +55,52 @@ bool corruptNewestSnapshot(const snapshot::SnapshotStore &store,
                            SnapshotCorruption kind, std::uint64_t seed,
                            std::string &error);
 
+/** Which link of the newest delta chain to attack. */
+enum class ChainPart
+{
+    /** The chain head (the newest snapshot, delta or full). */
+    Head,
+
+    /**
+     * A delta strictly between the head and the base — the case where
+     * the head itself validates but replaying the chain under it
+     * cannot; the loader must fall back to an older intact chain, not
+     * to the (valid-looking) head. Falls back to the head when the
+     * chain has no interior delta.
+     */
+    MidDelta,
+
+    /** The full base snapshot the whole chain hangs from. */
+    Base,
+
+    /**
+     * The chain manifest: the head delta's base/prev linkage fields
+     * are rewritten to name a wrong base, with the header CRC
+     * *recomputed* so the file still validates in isolation. Only the
+     * chain walk's cross-link consistency checks can catch this; the
+     * corruption kind is ignored. Fails when the head is not a delta
+     * (a full snapshot carries no linkage to lie about).
+     */
+    Manifest,
+};
+
+/** Spec name ("head" / "middelta" / "base" / "manifest"). */
+const char *chainPartName(ChainPart part);
+
+/**
+ * Corrupt one link of the newest snapshot chain in @p store: the
+ * chain is discovered by following the header `prev` links from the
+ * newest generation, the victim link selected per @p part, and @p kind
+ * applied to it (except Manifest, which performs its own targeted
+ * header rewrite). Deterministic for a given (store contents, part,
+ * kind, seed). On success @p victimGeneration (when non-null) reports
+ * which generation was attacked.
+ */
+bool corruptChainSnapshot(const snapshot::SnapshotStore &store,
+                          ChainPart part, SnapshotCorruption kind,
+                          std::uint64_t seed, std::string &error,
+                          std::uint64_t *victimGeneration = nullptr);
+
 } // namespace fb::fault
 
 #endif // FB_FAULT_SNAPCORRUPT_HH

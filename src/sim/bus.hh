@@ -102,6 +102,7 @@ class SharedBus
         _requests = 0;
         _queueDelay = 0;
         clearBanks();
+        endDeltaEpoch();
     }
 
     /** Serialize busy state and counters (banks sorted by address). */
@@ -150,6 +151,93 @@ class SharedBus
         return d.ok();
     }
 
+    /** Begin (or roll over) a delta epoch (see SharedMemory). */
+    void
+    beginDeltaEpoch()
+    {
+        for (std::size_t page : _epochBankPages)
+            _epochBankDirty[page] = false;
+        _epochBankPages.clear();
+        _epochBankDirty.resize(_bankDirty.size(), false);
+        _epochTracking = true;
+    }
+
+    /** Stop epoch tracking entirely. */
+    void
+    endDeltaEpoch()
+    {
+        for (std::size_t page : _epochBankPages)
+            _epochBankDirty[page] = false;
+        _epochBankPages.clear();
+        _epochTracking = false;
+    }
+
+    /**
+     * Serialize only bank pages touched since beginDeltaEpoch():
+     * the epoch page list, every nonzero busy-until on those pages
+     * (absolute), and the scalars. Apply zeroes each listed page
+     * first — a bank only ever returns to zero via reset(), which
+     * ends the epoch, so absolute nonzero re-listing is complete.
+     */
+    void
+    encodeDeltaState(snapshot::Encoder &e) const
+    {
+        e.u64(_globalBusyUntil);
+        std::vector<std::size_t> pages(_epochBankPages);
+        std::sort(pages.begin(), pages.end());
+        e.u64(pages.size());
+        for (std::size_t page : pages)
+            e.u64(page);
+        std::uint64_t entries = 0;
+        for (std::size_t page : pages) {
+            const std::uint64_t *slab =
+                &_bankSlabs[(_bankSlot[page] - 1) * bankPageWords];
+            for (std::size_t i = 0; i < bankPageWords; ++i)
+                if (slab[i] != 0)
+                    ++entries;
+        }
+        e.u64(entries);
+        for (std::size_t page : pages) {
+            const std::uint64_t *slab =
+                &_bankSlabs[(_bankSlot[page] - 1) * bankPageWords];
+            for (std::size_t i = 0; i < bankPageWords; ++i) {
+                if (slab[i] != 0) {
+                    e.u64(page * bankPageWords + i);
+                    e.u64(slab[i]);
+                }
+            }
+        }
+        e.u64(_requests);
+        e.u64(_queueDelay);
+    }
+
+    /** Apply a delta captured with encodeDeltaState(). */
+    bool
+    decodeDeltaState(snapshot::Decoder &d)
+    {
+        _globalBusyUntil = d.u64();
+        const std::uint64_t pages = d.u64();
+        for (std::uint64_t k = 0; k < pages && d.ok(); ++k) {
+            const std::uint64_t page = d.u64();
+            if (!d.ok())
+                return false;
+            // Materialize the page (and its dirty-list membership),
+            // then zero it so absent entries read as zero.
+            std::uint64_t &first = bankBusy(
+                static_cast<std::size_t>(page) * bankPageWords);
+            std::uint64_t *slab = &first;
+            std::fill(slab, slab + bankPageWords, 0);
+        }
+        const std::uint64_t banks = d.u64();
+        for (std::uint64_t k = 0; k < banks && d.ok(); ++k) {
+            const std::uint64_t addr = d.u64();
+            bankBusy(static_cast<std::size_t>(addr)) = d.u64();
+        }
+        _requests = d.u64();
+        _queueDelay = d.u64();
+        return d.ok();
+    }
+
   private:
     /** Bank-busy slab page granularity (words). */
     static constexpr std::size_t bankPageWords = 1024;
@@ -163,6 +251,8 @@ class SharedBus
         if (page >= _bankSlot.size()) {
             _bankSlot.resize(page + 1, 0);
             _bankDirty.resize(page + 1, false);
+            if (_epochTracking)
+                _epochBankDirty.resize(page + 1, false);
         }
         std::uint32_t slot = _bankSlot[page];
         if (slot == 0) {
@@ -174,6 +264,10 @@ class SharedBus
         if (!_bankDirty[page]) {
             _bankDirty[page] = true;
             _bankPages.push_back(page);
+        }
+        if (_epochTracking && !_epochBankDirty[page]) {
+            _epochBankDirty[page] = true;
+            _epochBankPages.push_back(page);
         }
         return _bankSlabs[(slot - 1) * bankPageWords + addr % bankPageWords];
     }
@@ -201,6 +295,12 @@ class SharedBus
     std::vector<std::size_t> _bankPages; ///< touched, first-touch order
     std::uint64_t _requests = 0;
     std::uint64_t _queueDelay = 0;
+
+    // Delta-epoch bookkeeping (not serialized): bank pages touched
+    // since the last checkpoint capture.
+    bool _epochTracking = false;
+    std::vector<bool> _epochBankDirty;
+    std::vector<std::size_t> _epochBankPages;
 };
 
 } // namespace fb::sim

@@ -28,6 +28,7 @@ DataCache::access(std::size_t addr)
     ++_misses;
     _valid[line] = true;
     _tags[line] = tag;
+    markLine(line);
     return {false, _config.missPenalty};
 }
 
@@ -37,15 +38,21 @@ DataCache::invalidate(std::size_t addr)
     if (!_config.enabled)
         return;
     std::size_t line = lineOf(addr);
-    if (_valid[line] && _tags[line] == tagOf(addr))
+    if (_valid[line] && _tags[line] == tagOf(addr)) {
         _valid[line] = false;
+        markLine(line);
+    }
 }
 
 void
 DataCache::flush()
 {
-    for (std::size_t i = 0; i < _valid.size(); ++i)
-        _valid[i] = false;
+    for (std::size_t i = 0; i < _valid.size(); ++i) {
+        if (_valid[i]) {
+            _valid[i] = false;
+            markLine(i);
+        }
+    }
 }
 
 } // namespace fb::sim

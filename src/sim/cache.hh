@@ -13,6 +13,7 @@
 #ifndef FB_SIM_CACHE_HH
 #define FB_SIM_CACHE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -64,6 +65,7 @@ class DataCache
         _tags.assign(config.numLines, 0);
         _hits = 0;
         _misses = 0;
+        endDeltaEpoch();
     }
 
     /** Hits so far. */
@@ -98,7 +100,68 @@ class DataCache
         return d.ok();
     }
 
+    /** Begin (or roll over) a delta epoch (see SharedMemory). */
+    void beginDeltaEpoch()
+    {
+        for (std::uint32_t line : _epochLines)
+            _epochDirty[line] = false;
+        _epochLines.clear();
+        _epochDirty.resize(_valid.size(), false);
+        _epochTracking = true;
+    }
+
+    /** Stop epoch tracking entirely. */
+    void endDeltaEpoch()
+    {
+        for (std::uint32_t line : _epochLines)
+            _epochDirty[line] = false;
+        _epochLines.clear();
+        _epochTracking = false;
+    }
+
+    /** Serialize only lines changed since beginDeltaEpoch() plus the
+     *  (absolute) hit/miss counters. */
+    void encodeDeltaState(snapshot::Encoder &e) const
+    {
+        std::vector<std::uint32_t> lines(_epochLines);
+        std::sort(lines.begin(), lines.end());
+        e.u64(lines.size());
+        for (std::uint32_t line : lines) {
+            e.u32(line);
+            e.u8(_valid[line] ? 1 : 0);
+            e.u64(_tags[line]);
+        }
+        e.u64(_hits);
+        e.u64(_misses);
+    }
+
+    /** Apply a delta captured with encodeDeltaState(). */
+    bool decodeDeltaState(snapshot::Decoder &d)
+    {
+        const std::uint64_t n = d.u64();
+        for (std::uint64_t k = 0; k < n; ++k) {
+            const std::uint32_t line = d.u32();
+            const std::uint8_t valid = d.u8();
+            const std::uint64_t tag = d.u64();
+            if (!d.ok() || line >= _valid.size())
+                return false;
+            _valid[line] = valid != 0;
+            _tags[line] = static_cast<std::size_t>(tag);
+        }
+        _hits = d.u64();
+        _misses = d.u64();
+        return d.ok();
+    }
+
   private:
+    void markLine(std::size_t line)
+    {
+        if (_epochTracking && !_epochDirty[line]) {
+            _epochDirty[line] = true;
+            _epochLines.push_back(static_cast<std::uint32_t>(line));
+        }
+    }
+
     std::size_t lineOf(std::size_t addr) const
     {
         return (addr / _config.lineWords) % _config.numLines;
@@ -114,6 +177,12 @@ class DataCache
     std::vector<std::size_t> _tags;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
+
+    // Delta-epoch bookkeeping (not serialized): lines whose valid bit
+    // or tag changed since the last checkpoint capture.
+    bool _epochTracking = false;
+    std::vector<bool> _epochDirty;
+    std::vector<std::uint32_t> _epochLines;
 };
 
 } // namespace fb::sim

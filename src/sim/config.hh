@@ -189,6 +189,17 @@ struct MachineConfig
     std::uint64_t checkpointEveryCycles = 0;
 
     /**
+     * With a staged checkpoint sink installed, every Nth capture is a
+     * full snapshot that re-bases the delta chain; the captures in
+     * between are dirty-page deltas against their predecessor. 1
+     * disables deltas entirely (every capture full). Like
+     * checkpointEveryCycles this is an operational knob — it changes
+     * what is persisted, never what is computed — and is excluded
+     * from the config fingerprint.
+     */
+    std::uint32_t checkpointRebaseEvery = 8;
+
+    /**
      * Host-thread shards for exec::ShardedMachine (section 17). The
      * processors are partitioned into this many contiguous shards,
      * each advanced by one host thread through provably

@@ -76,6 +76,7 @@ class Machine::Port : public MemoryPort
             ++_machine._invalidationsSent;
         }
         sharers = self;
+        _machine.markSharerEpoch(line);
     }
 
   private:
@@ -94,8 +95,10 @@ class Machine::Port : public MemoryPort
         // access() write-allocates, so after any access this cache
         // may hold the line: record it in the sharer mask.
         std::size_t line = lineOf(addr);
-        if (line < _machine._lineSharers.size())
+        if (line < _machine._lineSharers.size()) {
             _machine._lineSharers[line] |= 1ull << _cpu;
+            _machine.markSharerEpoch(line);
+        }
         if (result.hit)
             return result.cycles;
         std::uint64_t queue = _machine._bus->request(now, addr);
@@ -264,6 +267,19 @@ Machine::reset(const MachineConfig &config)
     _deadDeclared.clear();
     _membershipViolation.clear();
     _checkpointSink = nullptr;
+    _stagedSink = nullptr;
+    endDeltaEpoch();
+    _deltaEpochOpen = false;
+    _deltasDisabled = false;
+    _forceFullNext = false;
+    _checkpointSeq = 0;
+    _chainBaseGen = 0;
+    _lastCheckpointGen = 0;
+    _restoredChainGen = 0;
+    _checkpointsFull = 0;
+    _checkpointsDelta = 0;
+    _checkpointDegradations = 0;
+    _checkpointDegradation.clear();
     _syncRecords.clear();
     _invalidationsSent = 0;
     _invalidationsAvoided = 0;
@@ -699,17 +715,30 @@ Machine::run(ShardWindowDriver *driver)
             break;
         }
 
-        if (_config.checkpointEveryCycles != 0 && _checkpointSink &&
+        if (_config.checkpointEveryCycles != 0 &&
+            (_checkpointSink || _stagedSink) &&
             _now % _config.checkpointEveryCycles == 0) {
             // Loop bottom is the one cut point at which re-entering
             // run() at the loop top replays the remainder exactly:
             // the restored machine re-derives _active and proceeds
             // from cycle _now as if nothing had happened.
-            if (!_checkpointSink(
-                    _now,
-                    saveState(_now / _config.checkpointEveryCycles)))
+            if (_stagedSink) {
+                takeStagedCheckpoint(_now /
+                                     _config.checkpointEveryCycles);
+            } else if (!_checkpointSink(
+                           _now, saveState(_now /
+                                           _config
+                                               .checkpointEveryCycles))) {
                 _checkpointSink = nullptr;
+            }
         }
+    }
+
+    // Epoch bookkeeping must not outlive the run: state mutated after
+    // the last capture belongs to no checkpoint.
+    if (_deltaEpochOpen) {
+        endDeltaEpoch();
+        _deltaEpochOpen = false;
     }
 
     result.cycles = _now;
@@ -724,6 +753,10 @@ Machine::run(ShardWindowDriver *driver)
     result.deadDeclared = _deadDeclared;
     result.correctedFaults = _network->correctedFaults();
     result.membershipViolation = _membershipViolation;
+    result.checkpointsFull = _checkpointsFull;
+    result.checkpointsDelta = _checkpointsDelta;
+    result.checkpointDegradations = _checkpointDegradations;
+    result.checkpointDegradation = _checkpointDegradation;
     if (_injector)
         result.faultStats = _injector->stats();
     if (_watchdog)
@@ -931,10 +964,10 @@ Machine::configFingerprint() const
     h.mix(_config.maxCycles);
     h.mix(_config.recordSyncEvents ? 1 : 0);
     h.mix(_config.fastForward ? 1 : 0);
-    // checkpointEveryCycles, shardCount and shardQuantum are
-    // deliberately excluded: none of them changes results, so
-    // snapshots taken at different cadences — or under a different
-    // shard layout — are mutually restorable.
+    // checkpointEveryCycles, checkpointRebaseEvery, shardCount and
+    // shardQuantum are deliberately excluded: none of them changes
+    // results, so snapshots taken at different cadences — or under a
+    // different shard layout — are mutually restorable.
     h.mixString(_config.faultPlan != nullptr ? _config.faultPlan->toSpec()
                                              : std::string());
     h.mix(_config.watchdog.enabled ? 1 : 0);
@@ -960,12 +993,88 @@ Machine::configFingerprint() const
     return h.value();
 }
 
-std::vector<std::uint8_t>
-Machine::saveState(std::uint64_t generation) const
+namespace
 {
-    FB_ASSERT(!_trace, "checkpointing is unsupported while tracing "
-                       "barrier states (the trace is not serialized)");
 
+constexpr std::uint64_t neverCrossed =
+    std::numeric_limits<std::uint64_t>::max();
+
+/**
+ * Sync records dominate snapshot payloads (a busy epoch appends
+ * hundreds), so they get a packed wire form. Arrivals precede the
+ * record's delivery cycle and crossings follow it, so both compress
+ * to 32-bit offsets from the cycle; members fit a byte. A record any
+ * of that doesn't hold for (huge stalls, >256 processors) falls back
+ * to the full-width layout behind a per-record flag — the packing is
+ * lossless by construction, never by assumption.
+ */
+void
+encodeSyncRecord(snapshot::Encoder &e, const SyncRecord &r)
+{
+    const std::size_t n = r.members.size();
+    bool narrow = n <= 0xff && r.arrivals.size() == n &&
+                  r.crossings.size() == n;
+    for (std::size_t i = 0; narrow && i < n; ++i)
+        narrow = r.members[i] >= 0 && r.members[i] <= 0xff &&
+                 r.arrivals[i] <= r.cycle &&
+                 r.cycle - r.arrivals[i] < 0xffffffffu &&
+                 (r.crossings[i] == neverCrossed ||
+                  (r.crossings[i] >= r.cycle &&
+                   r.crossings[i] - r.cycle < 0xffffffffu));
+    e.u64(r.cycle);
+    e.u8(narrow ? 1 : 0);
+    if (narrow) {
+        e.u8(static_cast<std::uint8_t>(n));
+        for (int m : r.members)
+            e.u8(static_cast<std::uint8_t>(m));
+        for (std::size_t i = 0; i < n; ++i)
+            e.u32(static_cast<std::uint32_t>(r.cycle - r.arrivals[i]));
+        for (std::size_t i = 0; i < n; ++i)
+            e.u32(r.crossings[i] == neverCrossed
+                      ? 0xffffffffu
+                      : static_cast<std::uint32_t>(r.crossings[i] -
+                                                   r.cycle));
+    } else {
+        e.u64(n);
+        for (int m : r.members)
+            e.i64(m);
+        e.u64Vec(r.arrivals);
+        e.u64Vec(r.crossings);
+    }
+}
+
+void
+decodeSyncRecord(snapshot::Decoder &d, SyncRecord &r)
+{
+    r.cycle = d.u64();
+    if (d.u8() != 0) {
+        const std::size_t n = d.u8();
+        r.members.reserve(n);
+        r.arrivals.reserve(n);
+        r.crossings.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            r.members.push_back(static_cast<int>(d.u8()));
+        for (std::size_t i = 0; i < n; ++i)
+            r.arrivals.push_back(r.cycle - d.u32());
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t off = d.u32();
+            r.crossings.push_back(off == 0xffffffffu ? neverCrossed
+                                                     : r.cycle + off);
+        }
+    } else {
+        const std::uint64_t n = d.u64();
+        for (std::uint64_t i = 0; i < n && d.ok(); ++i)
+            r.members.push_back(static_cast<int>(d.i64()));
+        d.u64Vec(r.arrivals);
+        d.u64Vec(r.crossings);
+    }
+}
+
+} // namespace
+
+std::vector<snapshot::Section>
+Machine::buildFullSections() const
+{
     std::vector<snapshot::Section> sections;
     auto add = [&sections](snapshot::SectionId id,
                            snapshot::Encoder &&e) {
@@ -977,6 +1086,10 @@ Machine::saveState(std::uint64_t generation) const
 
     {
         snapshot::Encoder e;
+        std::size_t record_bytes = 0;
+        for (const SyncRecord &r : _syncRecords)
+            record_bytes += 16 + 10 * r.members.size();
+        e.reserve(record_bytes + 512);
         e.u64(_now);
         e.boolVec(_fenced);
         e.u64(_deadDeclared.size());
@@ -995,14 +1108,8 @@ Machine::saveState(std::uint64_t generation) const
         for (std::size_t v : _openSyncRecord)
             e.u64(v);
         e.u64(_syncRecords.size());
-        for (const SyncRecord &r : _syncRecords) {
-            e.u64(r.cycle);
-            e.u64(r.members.size());
-            for (int m : r.members)
-                e.i64(m);
-            e.u64Vec(r.arrivals);
-            e.u64Vec(r.crossings);
-        }
+        for (const SyncRecord &r : _syncRecords)
+            encodeSyncRecord(e, r);
         e.str(_membershipViolation);
         e.u64(_invalidationsSent);
         e.u64(_invalidationsAvoided);
@@ -1060,12 +1167,238 @@ Machine::saveState(std::uint64_t generation) const
         _watchdog->encodeState(e);
         add(snapshot::SectionId::Watchdog, std::move(e));
     }
+    return sections;
+}
+
+std::vector<snapshot::Section>
+Machine::buildDeltaSections() const
+{
+    std::vector<snapshot::Section> sections;
+    auto add = [&sections](snapshot::SectionId id,
+                           snapshot::Encoder &&e) {
+        snapshot::Section s;
+        s.id = static_cast<std::uint32_t>(id);
+        s.payload = std::move(e).take();
+        sections.push_back(std::move(s));
+    };
+
+    {
+        // Core delta: the scalars and small per-processor vectors are
+        // cheap enough to re-encode absolutely; the two unbounded
+        // collections — sync records and sharer masks — are encoded
+        // incrementally. Records before _epochSyncPatchFrom were
+        // closed (immutable) when the epoch began; apply truncates to
+        // the patch point and re-appends the rest.
+        snapshot::Encoder e;
+        // The record tail dominates the payload; pre-size for it so
+        // the encode is one allocation instead of a realloc ladder.
+        std::size_t tail_bytes = 0;
+        for (std::size_t k = _epochSyncPatchFrom;
+             k < _syncRecords.size(); ++k)
+            tail_bytes += 16 + 10 * _syncRecords[k].members.size();
+        e.reserve(tail_bytes + 512);
+        e.u64(_now);
+        e.boolVec(_fenced);
+        e.u64(_deadDeclared.size());
+        for (int d : _deadDeclared)
+            e.i64(d);
+        e.u64(_recoveries.size());
+        for (const RecoveryEvent &r : _recoveries) {
+            e.u64(r.cycle);
+            e.i64(r.deadProc);
+            e.u64(r.survivors.size());
+            for (int s : r.survivors)
+                e.i64(s);
+        }
+        e.u64Vec(_lastArrival);
+        e.u64(_openSyncRecord.size());
+        for (std::size_t v : _openSyncRecord)
+            e.u64(v);
+        e.u64(_epochSyncPatchFrom);
+        e.u64(_syncRecords.size());
+        for (std::size_t k = _epochSyncPatchFrom;
+             k < _syncRecords.size(); ++k)
+            encodeSyncRecord(e, _syncRecords[k]);
+        e.str(_membershipViolation);
+        e.u64(_invalidationsSent);
+        e.u64(_invalidationsAvoided);
+        // Sharer masks: absolute masks of the lines mutated this
+        // epoch (a mask never returns to zero during a run, so this
+        // patch set is complete).
+        std::vector<std::size_t> lines(_epochSharerLines);
+        std::sort(lines.begin(), lines.end());
+        e.u64(_lineSharers.size());
+        e.u64(lines.size());
+        for (std::size_t line : lines) {
+            e.u64(line);
+            e.u64(_lineSharers[line]);
+        }
+        add(snapshot::SectionId::CoreDelta, std::move(e));
+    }
+    {
+        snapshot::Encoder e;
+        _memory->encodeDeltaState(e);
+        add(snapshot::SectionId::MemoryDelta, std::move(e));
+    }
+    {
+        snapshot::Encoder e;
+        _bus->encodeDeltaState(e);
+        add(snapshot::SectionId::BusDelta, std::move(e));
+    }
+    {
+        // The network's state is a handful of words per processor —
+        // no delta form pays for itself.
+        snapshot::Encoder e;
+        _network->encodeState(e);
+        add(snapshot::SectionId::Network, std::move(e));
+    }
+    {
+        snapshot::Encoder e;
+        e.u64(_caches.size());
+        for (const auto &cache : _caches)
+            cache->encodeDeltaState(e);
+        add(snapshot::SectionId::CacheDelta, std::move(e));
+    }
+    {
+        snapshot::Encoder e;
+        e.u64(_processors.size());
+        for (const auto &proc : _processors)
+            proc->encodeState(e);
+        add(snapshot::SectionId::Processors, std::move(e));
+    }
+    if (_injector) {
+        snapshot::Encoder e;
+        _injector->encodeState(e);
+        add(snapshot::SectionId::Injector, std::move(e));
+    }
+    if (_watchdog) {
+        snapshot::Encoder e;
+        _watchdog->encodeState(e);
+        add(snapshot::SectionId::Watchdog, std::move(e));
+    }
+    return sections;
+}
+
+void
+Machine::beginDeltaEpoch()
+{
+    _memory->beginDeltaEpoch();
+    _bus->beginDeltaEpoch();
+    for (auto &cache : _caches)
+        cache->beginDeltaEpoch();
+    for (std::size_t line : _epochSharerLines)
+        _epochSharerDirty[line] = false;
+    _epochSharerLines.clear();
+    _epochSharerDirty.resize(_lineSharers.size(), false);
+    _epochSyncPatchFrom = _syncRecords.size();
+    for (std::size_t open : _openSyncRecord) {
+        if (open != std::numeric_limits<std::size_t>::max())
+            _epochSyncPatchFrom = std::min(_epochSyncPatchFrom, open);
+    }
+    _epochCoreTracking = true;
+}
+
+void
+Machine::endDeltaEpoch()
+{
+    _memory->endDeltaEpoch();
+    _bus->endDeltaEpoch();
+    for (auto &cache : _caches)
+        cache->endDeltaEpoch();
+    for (std::size_t line : _epochSharerLines)
+        _epochSharerDirty[line] = false;
+    _epochSharerLines.clear();
+    _epochSyncPatchFrom = 0;
+    _epochCoreTracking = false;
+}
+
+void
+Machine::setStagedCheckpointSink(StagedCheckpointSink sink)
+{
+    _stagedSink = std::move(sink);
+    _checkpointSink = nullptr;
+    endDeltaEpoch();
+    _deltaEpochOpen = false;
+    _deltasDisabled = false;
+    _forceFullNext = false;
+    _checkpointSeq = 0;
+    _chainBaseGen = 0;
+    _lastCheckpointGen = 0;
+    _checkpointsFull = 0;
+    _checkpointsDelta = 0;
+    _checkpointDegradations = 0;
+    _checkpointDegradation.clear();
+}
+
+void
+Machine::takeStagedCheckpoint(std::uint64_t generation)
+{
+    FB_ASSERT(!_trace, "checkpointing is unsupported while tracing "
+                       "barrier states (the trace is not serialized)");
+    const std::uint32_t rebase =
+        std::max<std::uint32_t>(1, _config.checkpointRebaseEvery);
+    const bool delta = _deltaEpochOpen && !_deltasDisabled &&
+                       !_forceFullNext &&
+                       _checkpointSeq % rebase != 0;
 
     snapshot::SnapshotHeader header;
     header.configFingerprint = configFingerprint();
     header.cycle = _now;
     header.generation = generation;
-    return snapshot::assemble(header, sections);
+    if (delta) {
+        header.baseFull = _chainBaseGen;
+        header.prev = _lastCheckpointGen;
+    } else {
+        header.baseFull = generation;
+        header.prev = generation;
+    }
+    std::vector<snapshot::Section> sections =
+        delta ? buildDeltaSections() : buildFullSections();
+
+    // Roll the epoch over *after* capturing: the next delta describes
+    // everything mutated from this capture on.
+    beginDeltaEpoch();
+    _deltaEpochOpen = true;
+    ++_checkpointSeq;
+    if (delta) {
+        ++_checkpointsDelta;
+    } else {
+        ++_checkpointsFull;
+        _chainBaseGen = generation;
+    }
+    _lastCheckpointGen = generation;
+    _forceFullNext = false;
+
+    CheckpointAck ack =
+        _stagedSink(std::move(header), std::move(sections));
+    if (!ack.degradation.empty()) {
+        _checkpointDegradation = ack.degradation;
+        ++_checkpointDegradations;
+    }
+    if (ack.forceFull)
+        _forceFullNext = true;
+    if (!ack.deltasOk)
+        _deltasDisabled = true;
+    if (!ack.keep) {
+        _stagedSink = nullptr;
+        endDeltaEpoch();
+        _deltaEpochOpen = false;
+    }
+}
+
+std::vector<std::uint8_t>
+Machine::saveState(std::uint64_t generation) const
+{
+    FB_ASSERT(!_trace, "checkpointing is unsupported while tracing "
+                       "barrier states (the trace is not serialized)");
+
+    snapshot::SnapshotHeader header;
+    header.configFingerprint = configFingerprint();
+    header.cycle = _now;
+    header.generation = generation;
+    header.baseFull = generation;
+    header.prev = generation;
+    return snapshot::assemble(header, buildFullSections());
 }
 
 bool
@@ -1080,11 +1413,22 @@ Machine::restoreState(const std::vector<std::uint8_t> &bytes,
     // longer cover; make the next reset() take the full clear unless
     // this restore completes.
     _sharersUnbounded = true;
+    // Whatever epoch was open described the pre-restore state.
+    endDeltaEpoch();
+    _deltaEpochOpen = false;
 
     snapshot::SnapshotHeader header;
     std::vector<snapshot::Section> sections;
     if (!snapshot::disassemble(bytes, header, sections, error))
         return false;
+    if (header.isDelta()) {
+        std::ostringstream oss;
+        oss << "snapshot generation " << header.generation
+            << " is a delta (base " << header.baseFull
+            << "); restore its chain instead";
+        error = oss.str();
+        return false;
+    }
     if (header.configFingerprint != configFingerprint()) {
         std::ostringstream oss;
         oss << "config fingerprint mismatch: snapshot "
@@ -1133,12 +1477,7 @@ Machine::restoreState(const std::vector<std::uint8_t> &bytes,
             const std::uint64_t records = d.u64();
             for (std::uint64_t k = 0; k < records && d.ok(); ++k) {
                 SyncRecord r;
-                r.cycle = d.u64();
-                const std::uint64_t members = d.u64();
-                for (std::uint64_t i = 0; i < members && d.ok(); ++i)
-                    r.members.push_back(static_cast<int>(d.i64()));
-                d.u64Vec(r.arrivals);
-                d.u64Vec(r.crossings);
+                decodeSyncRecord(d, r);
                 _syncRecords.push_back(std::move(r));
             }
             _membershipViolation = d.str();
@@ -1231,6 +1570,219 @@ Machine::restoreState(const std::vector<std::uint8_t> &bytes,
         return false;
     }
     _sharersUnbounded = false;
+    _restoredChainGen = header.generation;
+    return true;
+}
+
+bool
+Machine::applyDeltaState(const std::vector<std::uint8_t> &bytes,
+                         std::string &error)
+{
+    if (_trace) {
+        error = "cannot restore while barrier-state tracing is enabled";
+        return false;
+    }
+    _sharersUnbounded = true;
+    endDeltaEpoch();
+    _deltaEpochOpen = false;
+
+    snapshot::SnapshotHeader header;
+    std::vector<snapshot::Section> sections;
+    if (!snapshot::disassemble(bytes, header, sections, error))
+        return false;
+    if (!header.isDelta()) {
+        std::ostringstream oss;
+        oss << "snapshot generation " << header.generation
+            << " is a full snapshot, not a delta";
+        error = oss.str();
+        return false;
+    }
+    if (header.prev != _restoredChainGen) {
+        // Defense in depth below the store's chain walk: a delta only
+        // patches the exact state its predecessor left behind, so an
+        // out-of-order (or chainless) apply must fail loudly rather
+        // than silently merge onto the wrong base.
+        std::ostringstream oss;
+        oss << "delta generation " << header.generation
+            << " continues generation " << header.prev
+            << ", but the last restored generation is "
+            << _restoredChainGen << " (out-of-order chain)";
+        error = oss.str();
+        return false;
+    }
+    if (header.configFingerprint != configFingerprint()) {
+        std::ostringstream oss;
+        oss << "config fingerprint mismatch: snapshot "
+            << header.configFingerprint << ", this machine "
+            << configFingerprint()
+            << " (different config, programs or fault plan)";
+        error = oss.str();
+        return false;
+    }
+
+    auto fail = [&error](const char *what) {
+        error = std::string("corrupt ") + what + " section";
+        return false;
+    };
+
+    bool saw_core = false, saw_memory = false, saw_bus = false;
+    bool saw_network = false, saw_caches = false, saw_procs = false;
+    for (const snapshot::Section &s : sections) {
+        snapshot::Decoder d(s.payload);
+        switch (static_cast<snapshot::SectionId>(s.id)) {
+          case snapshot::SectionId::CoreDelta: {
+            _now = d.u64();
+            d.boolVec(_fenced);
+            _deadDeclared.clear();
+            const std::uint64_t dead = d.u64();
+            for (std::uint64_t k = 0; k < dead && d.ok(); ++k)
+                _deadDeclared.push_back(static_cast<int>(d.i64()));
+            _recoveries.clear();
+            const std::uint64_t recoveries = d.u64();
+            for (std::uint64_t k = 0; k < recoveries && d.ok(); ++k) {
+                RecoveryEvent r;
+                r.cycle = d.u64();
+                r.deadProc = static_cast<int>(d.i64());
+                const std::uint64_t survivors = d.u64();
+                for (std::uint64_t i = 0; i < survivors && d.ok(); ++i)
+                    r.survivors.push_back(static_cast<int>(d.i64()));
+                _recoveries.push_back(std::move(r));
+            }
+            d.u64Vec(_lastArrival);
+            _openSyncRecord.clear();
+            const std::uint64_t open = d.u64();
+            for (std::uint64_t k = 0; k < open && d.ok(); ++k)
+                _openSyncRecord.push_back(
+                    static_cast<std::size_t>(d.u64()));
+            // Sync-record patch: truncate to the first record that
+            // was still open when the delta's epoch began, then
+            // re-append everything from there.
+            const std::uint64_t patch_from = d.u64();
+            const std::uint64_t records = d.u64();
+            if (!d.ok() || patch_from > _syncRecords.size() ||
+                patch_from > records)
+                return fail("core-delta");
+            _syncRecords.resize(static_cast<std::size_t>(patch_from));
+            for (std::uint64_t k = patch_from; k < records && d.ok();
+                 ++k) {
+                SyncRecord r;
+                decodeSyncRecord(d, r);
+                _syncRecords.push_back(std::move(r));
+            }
+            if (_syncRecords.size() != records)
+                return fail("core-delta");
+            _membershipViolation = d.str();
+            _invalidationsSent = d.u64();
+            _invalidationsAvoided = d.u64();
+            const std::uint64_t sharer_lines = d.u64();
+            if (!d.ok() || sharer_lines != _lineSharers.size())
+                return fail("core-delta");
+            const std::uint64_t patched = d.u64();
+            for (std::uint64_t k = 0; k < patched && d.ok(); ++k) {
+                const std::uint64_t idx = d.u64();
+                const std::uint64_t mask = d.u64();
+                if (idx >= _lineSharers.size())
+                    return fail("core-delta");
+                _lineSharers[static_cast<std::size_t>(idx)] = mask;
+            }
+            const std::size_t n =
+                static_cast<std::size_t>(numProcessors());
+            if (!d.done() || _fenced.size() != n ||
+                _lastArrival.size() != n || _openSyncRecord.size() != n)
+                return fail("core-delta");
+            saw_core = true;
+            break;
+          }
+          case snapshot::SectionId::MemoryDelta:
+            if (!_memory->decodeDeltaState(d) || !d.done())
+                return fail("memory-delta");
+            saw_memory = true;
+            break;
+          case snapshot::SectionId::BusDelta:
+            if (!_bus->decodeDeltaState(d) || !d.done())
+                return fail("bus-delta");
+            saw_bus = true;
+            break;
+          case snapshot::SectionId::Network:
+            if (!_network->decodeState(d) || !d.done())
+                return fail("network");
+            saw_network = true;
+            break;
+          case snapshot::SectionId::CacheDelta: {
+            if (d.u64() != _caches.size())
+                return fail("cache-delta");
+            for (auto &cache : _caches)
+                if (!cache->decodeDeltaState(d))
+                    return fail("cache-delta");
+            if (!d.done())
+                return fail("cache-delta");
+            saw_caches = true;
+            break;
+          }
+          case snapshot::SectionId::Processors: {
+            if (d.u64() != _processors.size())
+                return fail("processors");
+            for (auto &proc : _processors)
+                if (!proc->decodeState(d))
+                    return fail("processors");
+            if (!d.done())
+                return fail("processors");
+            saw_procs = true;
+            break;
+          }
+          case snapshot::SectionId::Injector:
+            if (!_injector)
+                return fail("injector (machine has no fault plan)");
+            if (!_injector->decodeState(d) || !d.done())
+                return fail("injector");
+            break;
+          case snapshot::SectionId::Watchdog:
+            if (!_watchdog)
+                return fail("watchdog (machine has no watchdog)");
+            if (!_watchdog->decodeState(d) || !d.done())
+                return fail("watchdog");
+            break;
+          default: {
+            std::ostringstream oss;
+            oss << "unknown delta snapshot section id " << s.id;
+            error = oss.str();
+            return false;
+          }
+        }
+    }
+    if (!saw_core || !saw_memory || !saw_bus || !saw_network ||
+        !saw_caches || !saw_procs) {
+        error = "delta snapshot is missing a required section";
+        return false;
+    }
+    if (_now != header.cycle) {
+        error = "delta header cycle disagrees with machine core";
+        return false;
+    }
+    _sharersUnbounded = false;
+    _restoredChainGen = header.generation;
+    return true;
+}
+
+bool
+Machine::restoreChainState(
+    const std::vector<std::vector<std::uint8_t>> &chain,
+    std::string &error)
+{
+    if (chain.empty()) {
+        error = "empty snapshot chain";
+        return false;
+    }
+    if (!restoreState(chain.front(), error))
+        return false;
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+        if (!applyDeltaState(chain[i], error)) {
+            std::ostringstream oss;
+            oss << "chain link " << i << ": " << error;
+            error = oss.str();
+            return false;
+        }
+    }
     return true;
 }
 

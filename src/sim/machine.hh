@@ -24,6 +24,7 @@
 #include "sim/memory.hh"
 #include "sim/processor.hh"
 #include "sim/trace.hh"
+#include "snapshot/format.hh"
 
 namespace fb::sim
 {
@@ -84,6 +85,16 @@ struct RunResult
     std::uint64_t correctedFaults = 0; ///< ECC scrub corrections
     /** First fault-safety (membership) violation, or empty. */
     std::string membershipViolation;
+
+    // Staged-checkpoint accounting (all zero unless a staged sink was
+    // installed). Deliberately excluded from the resume-equivalence
+    // comparison: checkpointing must never change what a run computes,
+    // only how its state is persisted.
+    std::uint64_t checkpointsFull = 0;  ///< full captures taken
+    std::uint64_t checkpointsDelta = 0; ///< delta captures taken
+    std::uint64_t checkpointDegradations = 0; ///< sink degradation events
+    /** Last degradation note reported by the staged sink, or empty. */
+    std::string checkpointDegradation;
 
     /** True if @p p was fenced off by the recovery protocol. */
     bool isDead(int p) const
@@ -237,11 +248,55 @@ class Machine : public ExecutionObserver
                            const std::vector<std::uint8_t> &bytes)>;
 
     /** Install the checkpoint sink (see MachineConfig::
-     * checkpointEveryCycles). Must precede run(). */
+     * checkpointEveryCycles). Must precede run(). Uninstalls any
+     * staged sink. */
     void setCheckpointSink(CheckpointSink sink)
     {
         _checkpointSink = std::move(sink);
+        _stagedSink = nullptr;
     }
+
+    /**
+     * Staged-checkpoint handshake: the sink's verdict on a capture it
+     * was handed, returned synchronously while the capture may still
+     * be queued for background persistence.
+     */
+    struct CheckpointAck
+    {
+        /** false: uninstall the sink, take no further checkpoints. */
+        bool keep = true;
+        /**
+         * true: the next capture must be a full re-base. An
+         * asynchronous writer sets this after it failed to persist an
+         * earlier capture — the on-disk chain head is then stale, and
+         * a delta against the in-memory predecessor would name a
+         * snapshot that never reached the store.
+         */
+        bool forceFull = false;
+        /** false: stop producing deltas; every later capture is full
+         *  (degradation ladder, INTERNALS section 18). */
+        bool deltasOk = true;
+        /** Non-empty: a degradation to record in RunResult. */
+        std::string degradation;
+    };
+
+    /**
+     * Receives each periodic capture as unassembled sections plus the
+     * chain-linked header (generation/baseFull/prev filled in). The
+     * sink owns both values — it may hand them to a background writer
+     * and return immediately; the machine never touches them again.
+     */
+    using StagedCheckpointSink = std::function<CheckpointAck(
+        snapshot::SnapshotHeader header,
+        std::vector<snapshot::Section> sections)>;
+
+    /**
+     * Install the staged (delta-capable) checkpoint sink and reset the
+     * chain bookkeeping: the first capture is full, then deltas until
+     * MachineConfig::checkpointRebaseEvery forces a re-base.
+     * Uninstalls any legacy byte sink. Must precede run().
+     */
+    void setStagedCheckpointSink(StagedCheckpointSink sink);
 
     /**
      * FNV-1a fingerprint over every result-relevant configuration
@@ -274,6 +329,24 @@ class Machine : public ExecutionObserver
      */
     bool restoreState(const std::vector<std::uint8_t> &bytes,
                       std::string &error);
+
+    /**
+     * Apply one delta snapshot on top of the current state, which must
+     * be exactly the state the delta was captured against (its prev
+     * link). Same fingerprint rules as restoreState(); on failure the
+     * machine must be discarded.
+     */
+    bool applyDeltaState(const std::vector<std::uint8_t> &bytes,
+                         std::string &error);
+
+    /**
+     * Restore a full chain as returned by SnapshotStore::
+     * loadLatestChain(): chain[0] must be a full snapshot, every later
+     * element a delta against its predecessor.
+     */
+    bool restoreChainState(
+        const std::vector<std::vector<std::uint8_t>> &chain,
+        std::string &error);
 
   private:
     class Port;
@@ -324,8 +397,58 @@ class Machine : public ExecutionObserver
     /** First membership violation observed (survives save/restore). */
     std::string _membershipViolation;
 
+    /** Build the full-snapshot section list (saveState's body). */
+    std::vector<snapshot::Section> buildFullSections() const;
+
+    /** Build the delta section list for the open epoch. */
+    std::vector<snapshot::Section> buildDeltaSections() const;
+
+    /** Open (or roll over) the delta epoch on every component. */
+    void beginDeltaEpoch();
+
+    /** Close the delta epoch on every component. */
+    void endDeltaEpoch();
+
+    /** Capture and hand one checkpoint to the staged sink. */
+    void takeStagedCheckpoint(std::uint64_t generation);
+
+    /** Epoch hook for the per-line sharer masks (Port mutations). */
+    void markSharerEpoch(std::size_t line)
+    {
+        if (_epochCoreTracking && !_epochSharerDirty[line]) {
+            _epochSharerDirty[line] = true;
+            _epochSharerLines.push_back(line);
+        }
+    }
+
     /** Periodic checkpoint consumer (null = checkpointing off). */
     CheckpointSink _checkpointSink;
+
+    /** Staged (delta-capable) checkpoint consumer. */
+    StagedCheckpointSink _stagedSink;
+
+    // Delta-chain bookkeeping for the staged sink (reset at install).
+    bool _deltaEpochOpen = false;  ///< a capture opened an epoch
+    bool _deltasDisabled = false;  ///< ladder: full snapshots only
+    bool _forceFullNext = false;   ///< sink requested a re-base
+    std::uint64_t _checkpointSeq = 0;     ///< captures since install
+    std::uint64_t _chainBaseGen = 0;      ///< open chain's anchor
+    std::uint64_t _lastCheckpointGen = 0; ///< prev link for deltas
+    std::uint64_t _restoredChainGen = 0;  ///< last restored generation
+    std::uint64_t _checkpointsFull = 0;
+    std::uint64_t _checkpointsDelta = 0;
+    std::uint64_t _checkpointDegradations = 0;
+    std::string _checkpointDegradation;
+
+    // Core delta-epoch bookkeeping (not serialized): sharer lines
+    // mutated since the last capture, and the index of the first sync
+    // record that was still open (mutable) when the epoch began —
+    // records before it are immutable, so a delta only re-encodes
+    // [_epochSyncPatchFrom, end).
+    bool _epochCoreTracking = false;
+    std::vector<bool> _epochSharerDirty;
+    std::vector<std::size_t> _epochSharerLines;
+    std::size_t _epochSyncPatchFrom = 0;
 
     // Oracle bookkeeping.
     std::vector<std::uint64_t> _lastArrival;

@@ -96,6 +96,32 @@ class SharedMemory
     /** Restore state captured with encodeState(). */
     bool decodeState(snapshot::Decoder &d);
 
+    /**
+     * Begin (or roll over) a delta epoch: from here on, pages whose
+     * contents or statistics change are additionally recorded in the
+     * epoch sets that encodeDeltaState() serializes. Called by the
+     * checkpoint path right after each capture so an epoch always
+     * spans exactly one checkpoint interval.
+     */
+    void beginDeltaEpoch();
+
+    /** Stop epoch tracking entirely (checkpointing disabled). */
+    void endDeltaEpoch();
+
+    /**
+     * Serialize only what changed since beginDeltaEpoch(): written
+     * pages in full (absolute words — a page stored back to all
+     * zeroes must still be represented), and for every stats-touched
+     * page its complete nonzero count set (absolute; counts are
+     * monotonic so entries never vanish), plus the total access
+     * counter. Appliable on top of the epoch's starting state only.
+     */
+    void encodeDeltaState(snapshot::Encoder &e) const;
+
+    /** Apply a delta captured with encodeDeltaState() on top of the
+     *  current state. */
+    bool decodeDeltaState(snapshot::Decoder &d);
+
   private:
     void touch(std::size_t addr);
     void markWritten(std::size_t addr);
@@ -114,6 +140,15 @@ class SharedMemory
     std::vector<bool> _contentDirty;        ///< page written since reset
     std::vector<std::size_t> _contentPages; ///< written, first-touch order
     std::uint64_t _totalAccesses = 0;
+
+    // Delta-epoch bookkeeping (not part of the serialized state): the
+    // pages changed since the last checkpoint capture, maintained only
+    // while a delta epoch is open.
+    bool _epochTracking = false;
+    std::vector<bool> _epochStatsDirty;
+    std::vector<std::size_t> _epochStatsPages;
+    std::vector<bool> _epochContentDirty;
+    std::vector<std::size_t> _epochContentPages;
 };
 
 } // namespace fb::sim

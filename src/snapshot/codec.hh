@@ -86,6 +86,20 @@ class Encoder
         _buf.insert(_buf.end(), s.begin(), s.end());
     }
 
+    /** Raw byte run (no length prefix — callers frame it themselves). */
+    void bytes(const std::uint8_t *data, std::size_t len)
+    {
+        _buf.insert(_buf.end(), data, data + len);
+    }
+
+    void bytes(const std::vector<std::uint8_t> &data)
+    {
+        bytes(data.data(), data.size());
+    }
+
+    /** Pre-size the buffer for @p n further bytes (pure optimization). */
+    void reserve(std::size_t n) { _buf.reserve(_buf.size() + n); }
+
     /** Length-prefixed bool vector, one byte per element. */
     void boolVec(const std::vector<bool> &v)
     {
@@ -97,9 +111,17 @@ class Encoder
     /** Length-prefixed u64 vector. */
     void u64Vec(const std::vector<std::uint64_t> &v)
     {
+        // One resize + direct stores instead of an insert per element:
+        // sync-record trails push megabytes through this path.
         u64(v.size());
-        for (auto x : v)
-            u64(x);
+        const std::size_t off = _buf.size();
+        _buf.resize(off + v.size() * 8);
+        std::uint8_t *p = _buf.data() + off;
+        for (std::uint64_t x : v) {
+            for (int i = 0; i < 8; ++i)
+                p[i] = static_cast<std::uint8_t>(x >> (8 * i));
+            p += 8;
+        }
     }
 
     /** BitVector: bit count then the bits packed 8 per byte. */

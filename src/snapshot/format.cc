@@ -12,21 +12,31 @@ namespace
 {
 
 // magic(8) + version(4) + fingerprint(8) + cycle(8) + generation(8) +
-// sectionCount(4) + headerCrc(4)
-constexpr std::size_t headerBytes = 8 + 4 + 8 + 8 + 8 + 4 + 4;
+// baseFull(8) + prev(8) + sectionCount(4) + headerCrc(4). The chain
+// fields sit after the generation so the generation keeps its v1
+// offset (28) — corruption injectors and offset-pinned tests rely on
+// that.
+constexpr std::size_t headerBytes = 8 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4;
 
 } // namespace
 
 std::vector<std::uint8_t>
 assemble(const SnapshotHeader &header, const std::vector<Section> &sections)
 {
+    std::size_t total = headerBytes;
+    for (const Section &s : sections)
+        total += 4 + 8 + 4 + s.payload.size();
+
     Encoder e;
+    e.reserve(total);
     for (std::uint8_t m : magic)
         e.u8(m);
     e.u32(header.version);
     e.u64(header.configFingerprint);
     e.u64(header.cycle);
     e.u64(header.generation);
+    e.u64(header.baseFull);
+    e.u64(header.prev);
     e.u32(static_cast<std::uint32_t>(sections.size()));
     e.u32(crc32(e.buffer()));
 
@@ -40,11 +50,9 @@ assemble(const SnapshotHeader &header, const std::vector<Section> &sections)
         Crc32 crc;
         crc.update(meta.buffer());
         crc.update(s.payload);
-        for (std::uint8_t byte : meta.buffer())
-            e.u8(byte);
+        e.bytes(meta.buffer());
         e.u32(crc.value());
-        for (std::uint8_t byte : s.payload)
-            e.u8(byte);
+        e.bytes(s.payload);
     }
     return e.take();
 }
@@ -69,6 +77,8 @@ peekHeader(const std::vector<std::uint8_t> &bytes, SnapshotHeader &header,
     header.configFingerprint = d.u64();
     header.cycle = d.u64();
     header.generation = d.u64();
+    header.baseFull = d.u64();
+    header.prev = d.u64();
     const std::uint32_t section_count = d.u32();
     (void)section_count;
     const std::uint32_t file_crc = d.u32();
@@ -98,6 +108,8 @@ disassemble(const std::vector<std::uint8_t> &bytes, SnapshotHeader &header,
     d.u64();  // fingerprint
     d.u64();  // cycle
     d.u64();  // generation
+    d.u64();  // baseFull
+    d.u64();  // prev
     const std::uint32_t section_count = d.u32();
     d.u32();  // header CRC
 

@@ -22,8 +22,13 @@
 namespace fb::snapshot
 {
 
-/** Current container format version. */
-constexpr std::uint32_t formatVersion = 1;
+/**
+ * Current container format version. Version 2 added the delta-chain
+ * linkage fields (`baseFull`, `prev`) to the header and the delta
+ * section ids; version-1 streams are rejected, not migrated — a
+ * snapshot store is regenerated from a live machine, never converted.
+ */
+constexpr std::uint32_t formatVersion = 2;
 
 /** 8-byte magic at offset 0: "FBSNAP" + version tag bytes. */
 constexpr std::uint8_t magic[8] = {'F', 'B', 'S', 'N', 'A', 'P',
@@ -40,15 +45,32 @@ enum class SectionId : std::uint32_t
     Processors = 6,   ///< per-processor core state
     Injector = 7,     ///< fault-plan cursors (optional)
     Watchdog = 8,     ///< armed timers and backoff state (optional)
+    MemoryDelta = 9,  ///< epoch-dirty memory pages + stats (delta only)
+    BusDelta = 10,    ///< epoch-dirty bank pages (delta only)
+    CoreDelta = 11,   ///< clock/fences + new sync records + sharer patches
+    CacheDelta = 12,  ///< per-cache epoch-filled lines + counters
 };
 
-/** Fixed-size metadata preceding the sections. */
+/**
+ * Fixed-size metadata preceding the sections.
+ *
+ * The chain linkage lives in the header so the store can reason about
+ * delta chains (prune safely, walk back past corrupt links) with a
+ * `peekHeader()` probe, without decoding any payload. A *full*
+ * snapshot carries `baseFull == prev == generation`; a *delta*
+ * carries `prev` = the generation it applies on top of and
+ * `baseFull` = the full snapshot anchoring its chain.
+ */
 struct SnapshotHeader
 {
     std::uint32_t version = formatVersion;
     std::uint64_t configFingerprint = 0;
     std::uint64_t cycle = 0;       ///< machine clock at capture
     std::uint64_t generation = 0;  ///< store generation number
+    std::uint64_t baseFull = 0;    ///< chain anchor (== generation: full)
+    std::uint64_t prev = 0;        ///< predecessor (== generation: full)
+
+    bool isDelta() const { return prev != generation; }
 };
 
 /** One typed, CRC-protected payload. */

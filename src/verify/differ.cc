@@ -12,6 +12,7 @@
 #include "isa/assembler.hh"
 #include "sim/machine.hh"
 #include "verify/generator.hh"
+#include "verify/resume.hh"
 
 namespace fb::verify
 {
@@ -468,6 +469,22 @@ runDifferential(const Scenario &sc, const DiffOptions &opt)
         if (auto why = diffAgainstBaseline(sc, fatal, rep.baseline, fp);
             !why.empty())
             return failed(v.name, why);
+    }
+
+    if (opt.checkpointing) {
+        // Checkpointed executor: the scenario once more through the
+        // staged delta-chain capture/restore oracle. The oracle's own
+        // reference run shares this matrix's baseline model, so any
+        // failure here is a checkpointing defect, not a variant
+        // divergence. The chain seed derives from the baseline
+        // fingerprint: deterministic per scenario, different across
+        // scenarios.
+        auto rr = checkChainResumeEquivalence(
+            sc, rep.baseline.hash(), true, 4, opt.maxCycles,
+            opt.machinePool, opt.programCache);
+        ++rep.variantsRun;
+        if (!rr.ok)
+            return failed("checkpoint/delta-chain", rr.failure);
     }
 
     if (opt.swBarrierReference) {

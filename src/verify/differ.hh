@@ -66,6 +66,20 @@ struct DiffOptions
     std::size_t memWords = 4096;
 
     /**
+     * Delta-chain checkpoint/restore oracle on every scenario: the
+     * baseline is re-run with a staged checkpoint sink capturing a
+     * full-snapshot-plus-deltas chain in memory, and a fresh machine
+     * restored through a whole chain runs to completion — both must
+     * match the uninterrupted run bit-for-bit
+     * (verify::checkChainResumeEquivalence). On by default: E17's
+     * delta+async overhead made checkpointing cheap enough that every
+     * campaign now exercises the durability path instead of trusting
+     * a separate sweep. Campaigns run it via runCampaign's item
+     * runners, which build their DiffOptions from these defaults.
+     */
+    bool checkpointing = true;
+
+    /**
      * When >= 2, adds a sequential-vs-sharded executor: the baseline
      * machine re-run under exec::ShardedMachine with this many host
      * threads and @ref shardQuantum cycles of permitted skew

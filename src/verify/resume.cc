@@ -1,8 +1,12 @@
 #include "verify/resume.hh"
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <vector>
+
+#include "snapshot/format.hh"
 
 #include "exec/machine_pool.hh"
 #include "exec/program_cache.hh"
@@ -172,6 +176,42 @@ class MachineSlot
     std::unique_ptr<sim::Machine> _owned;
 };
 
+/** Assemble (or intern) the scenario's programs. */
+bool
+buildPrograms(const Scenario &sc, exec::ProgramCache *program_cache,
+              std::vector<isa::Program> &programs, std::string &error)
+{
+    for (int p = 0; p < sc.procs(); ++p) {
+        const auto &source = sc.sources[static_cast<std::size_t>(p)];
+        isa::Program prog;
+        if (program_cache) {
+            auto interned = program_cache->intern(source);
+            if (!interned->ok) {
+                std::ostringstream oss;
+                oss << "assemble (processor " << p
+                    << "): " << interned->error;
+                error = oss.str();
+                return false;
+            }
+            prog = sc.encoding == Encoding::Markers
+                       ? interned->markers
+                       : interned->bits;
+        } else {
+            std::string err;
+            if (!isa::Assembler::assemble(source, prog, err)) {
+                std::ostringstream oss;
+                oss << "assemble (processor " << p << "): " << err;
+                error = oss.str();
+                return false;
+            }
+            if (sc.encoding == Encoding::Markers)
+                prog = prog.toMarkerEncoding();
+        }
+        programs.push_back(std::move(prog));
+    }
+    return true;
+}
+
 } // namespace
 
 ResumeReport
@@ -191,32 +231,9 @@ checkResumeEquivalence(const Scenario &sc, std::uint64_t k_seed,
         return failed("scenario has no programs");
 
     std::vector<isa::Program> programs;
-    for (int p = 0; p < sc.procs(); ++p) {
-        const auto &source = sc.sources[static_cast<std::size_t>(p)];
-        isa::Program prog;
-        if (program_cache) {
-            auto interned = program_cache->intern(source);
-            if (!interned->ok) {
-                std::ostringstream oss;
-                oss << "assemble (processor " << p
-                    << "): " << interned->error;
-                return failed(oss.str());
-            }
-            prog = sc.encoding == Encoding::Markers
-                       ? interned->markers
-                       : interned->bits;
-        } else {
-            std::string err;
-            if (!isa::Assembler::assemble(source, prog, err)) {
-                std::ostringstream oss;
-                oss << "assemble (processor " << p << "): " << err;
-                return failed(oss.str());
-            }
-            if (sc.encoding == Encoding::Markers)
-                prog = prog.toMarkerEncoding();
-        }
-        programs.push_back(std::move(prog));
-    }
+    if (std::string err;
+        !buildPrograms(sc, program_cache, programs, err))
+        return failed(std::move(err));
 
     const sim::MachineConfig base_cfg =
         baselineConfig(sc, fast_forward, max_cycles);
@@ -280,6 +297,124 @@ checkResumeEquivalence(const Scenario &sc, std::uint64_t k_seed,
         return failed("resumed run diverged: " + why);
     if (std::string why = diffFinalState(sc, ref, resumed); !why.empty())
         return failed("resumed run diverged: " + why);
+    return rep;
+}
+
+ResumeReport
+checkChainResumeEquivalence(const Scenario &sc, std::uint64_t k_seed,
+                            bool fast_forward,
+                            std::uint32_t rebase_every,
+                            std::uint64_t max_cycles,
+                            exec::MachinePool *pool,
+                            exec::ProgramCache *program_cache)
+{
+    ResumeReport rep;
+    auto failed = [&rep](std::string why) {
+        rep.ok = false;
+        rep.failure = std::move(why);
+        return rep;
+    };
+
+    if (sc.procs() == 0)
+        return failed("scenario has no programs");
+
+    std::vector<isa::Program> programs;
+    if (std::string err;
+        !buildPrograms(sc, program_cache, programs, err))
+        return failed(std::move(err));
+
+    const sim::MachineConfig base_cfg =
+        baselineConfig(sc, fast_forward, max_cycles);
+    auto load = [&](sim::Machine &m) {
+        for (int p = 0; p < sc.procs(); ++p)
+            m.loadProgram(p, programs[static_cast<std::size_t>(p)]);
+    };
+
+    // A: the uninterrupted reference.
+    MachineSlot refSlot(base_cfg, pool);
+    sim::Machine &ref = *refSlot;
+    load(ref);
+    const sim::RunResult ra = ref.run();
+    rep.referenceCycles = ra.cycles;
+
+    // Cadence: aim for several captures so a real chain forms — K
+    // around span / (4..11), randomized, at least 1.
+    std::uint64_t state = k_seed ^ 0x636861696e726573ULL;
+    const std::uint64_t span = ra.cycles == 0 ? 1 : ra.cycles;
+    const std::uint64_t denom = 4 + splitMix64(state) % 8;
+    const std::uint64_t k = std::max<std::uint64_t>(1, span / denom);
+    rep.checkpointCycle = k;
+
+    // B: staged (delta) checkpointing at period K; keep every capture
+    // assembled in memory, keyed by generation.
+    sim::MachineConfig cp_cfg = base_cfg;
+    cp_cfg.checkpointEveryCycles = k;
+    cp_cfg.checkpointRebaseEvery = std::max<std::uint32_t>(
+        1, rebase_every);
+    MachineSlot cpSlot(cp_cfg, pool);
+    sim::Machine &checkpointed = *cpSlot;
+    load(checkpointed);
+    std::map<std::uint64_t, snapshot::SnapshotHeader> headers;
+    std::map<std::uint64_t, std::vector<std::uint8_t>> captures;
+    checkpointed.setStagedCheckpointSink(
+        [&headers, &captures](
+            snapshot::SnapshotHeader header,
+            std::vector<snapshot::Section> sections) {
+            captures[header.generation] =
+                snapshot::assemble(header, sections);
+            headers[header.generation] = header;
+            return sim::Machine::CheckpointAck{};
+        });
+    const sim::RunResult rb = checkpointed.run();
+    rep.checkpointsTaken = captures.size();
+
+    if (std::string why = diffRunResults(ra, rb); !why.empty())
+        return failed("delta-checkpointing run diverged: " + why);
+    if (std::string why = diffFinalState(sc, ref, checkpointed);
+        !why.empty())
+        return failed("delta-checkpointing run diverged: " + why);
+
+    rep.snapshotTaken = !captures.empty();
+    if (!rep.snapshotTaken)
+        return rep;
+
+    // Pick a seeded head capture and walk its chain base-first.
+    std::vector<std::uint64_t> gens;
+    for (const auto &entry : captures)
+        gens.push_back(entry.first);
+    const std::uint64_t head =
+        gens[static_cast<std::size_t>(splitMix64(state) % gens.size())];
+    std::vector<std::vector<std::uint8_t>> chain;
+    std::uint64_t at = head;
+    for (;;) {
+        auto h = headers.find(at);
+        if (h == headers.end())
+            return failed("capture chain names a generation B never "
+                          "produced (gen " + std::to_string(at) + ")");
+        chain.push_back(captures[at]);
+        if (!h->second.isDelta())
+            break;
+        if (h->second.prev >= at)
+            return failed("capture chain does not descend (gen " +
+                          std::to_string(at) + ")");
+        at = h->second.prev;
+    }
+    std::reverse(chain.begin(), chain.end());
+    rep.chainLength = chain.size();
+
+    // C: restore the whole chain onto a fresh machine, run to the end.
+    MachineSlot resumeSlot(base_cfg, pool);
+    sim::Machine &resumed = *resumeSlot;
+    load(resumed);
+    std::string restore_error;
+    if (!resumed.restoreChainState(chain, restore_error))
+        return failed("chain restore failed: " + restore_error);
+    const sim::RunResult rc = resumed.run();
+
+    if (std::string why = diffRunResults(ra, rc); !why.empty())
+        return failed("chain-resumed run diverged: " + why);
+    if (std::string why = diffFinalState(sc, ref, resumed); !why.empty())
+        return failed("chain-resumed run diverged: " + why);
     return rep;
 }
 

@@ -51,6 +51,10 @@ struct ResumeReport
     /** False when the run ended before any snapshot was taken (the
      * check then degenerates to A-vs-B equivalence). */
     bool snapshotTaken = false;
+
+    // Delta-chain sweep only (checkChainResumeEquivalence).
+    std::uint64_t checkpointsTaken = 0; ///< captures B produced
+    std::uint64_t chainLength = 0;      ///< links C restored through
 };
 
 /**
@@ -73,6 +77,25 @@ ResumeReport checkResumeEquivalence(const Scenario &sc,
                                     std::uint64_t max_cycles = 5'000'000,
                                     exec::MachinePool *pool = nullptr,
                                     exec::ProgramCache *programs = nullptr);
+
+/**
+ * Delta-chain variant of the A/B/C check: B runs with a *staged*
+ * checkpoint sink at a randomized cadence chosen so several captures
+ * fire (full snapshots re-basing every @p rebase_every captures,
+ * dirty-page deltas in between), all captures are retained in memory,
+ * and C restores a seeded head capture through its entire delta chain
+ * (Machine::restoreChainState) before running to completion. Both B
+ * and C must match A bit-for-bit, proving that delta capture, the
+ * epoch bookkeeping, and chain re-application perturb nothing and
+ * lose nothing. The report's chainLength says how many links C
+ * actually replayed (1 = the head was a full snapshot).
+ */
+ResumeReport checkChainResumeEquivalence(
+    const Scenario &sc, std::uint64_t k_seed, bool fast_forward,
+    std::uint32_t rebase_every = 4,
+    std::uint64_t max_cycles = 5'000'000,
+    exec::MachinePool *pool = nullptr,
+    exec::ProgramCache *programs = nullptr);
 
 } // namespace fb::verify
 

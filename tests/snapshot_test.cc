@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -24,6 +25,7 @@
 #include "snapshot/codec.hh"
 #include "snapshot/format.hh"
 #include "snapshot/store.hh"
+#include "snapshot/writer.hh"
 #include "verify/generator.hh"
 #include "verify/resume.hh"
 
@@ -577,6 +579,706 @@ TEST(MachineSnapshot, CorruptBytesNeverRestore)
     }
 }
 
+// --- delta chains in the store ---------------------------------------
+
+/** A synthetic snapshot with explicit chain linkage. */
+std::vector<std::uint8_t>
+chainBytes(std::uint64_t cycle, std::uint64_t gen, std::uint64_t base,
+           std::uint64_t prev)
+{
+    SnapshotHeader h;
+    h.cycle = cycle;
+    h.generation = gen;
+    h.baseFull = base;
+    h.prev = prev;
+    return assemble(h, sampleSections());
+}
+
+/** Corrupt one byte deep inside @p path (payload, not header). */
+void
+rotFile(const std::string &path)
+{
+    std::string err;
+    std::vector<std::uint8_t> bytes;
+    ASSERT_TRUE(readFile(path, bytes, err)) << err;
+    ASSERT_GT(bytes.size(), 70u);
+    bytes[bytes.size() - 3] ^= 0x40;
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+}
+
+TEST(ChainStore, PruneNeverOrphansALiveChain)
+{
+    SnapshotStore store(freshDir("chainprune"), 2);
+    std::string err;
+    ASSERT_TRUE(store.save(1, chainBytes(10, 1, 1, 1), err)) << err;
+    ASSERT_TRUE(store.save(2, chainBytes(20, 2, 1, 1), err)) << err;
+    ASSERT_TRUE(store.save(3, chainBytes(30, 3, 1, 2), err)) << err;
+
+    // The retention window is {2, 3}, but generation 3's chain runs
+    // 3 -> 2 -> 1: pruning the full base would orphan both deltas.
+    auto entries = store.list();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].first, 1u);
+
+    // A re-based chain releases the old one: after full 4 + delta 5
+    // nothing retained links below 4 and the window applies again.
+    ASSERT_TRUE(store.save(4, chainBytes(40, 4, 4, 4), err)) << err;
+    ASSERT_TRUE(store.save(5, chainBytes(50, 5, 4, 4), err)) << err;
+    entries = store.list();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].first, 4u);
+    EXPECT_EQ(entries[1].first, 5u);
+
+    std::vector<std::vector<std::uint8_t>> chain;
+    std::uint64_t gen = 0;
+    std::vector<std::string> diags;
+    ASSERT_TRUE(store.loadLatestChain(chain, gen, diags));
+    EXPECT_EQ(gen, 5u);
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_EQ(chain[0], chainBytes(40, 4, 4, 4));  // base first
+    EXPECT_EQ(chain[1], chainBytes(50, 5, 4, 4));
+}
+
+TEST(ChainStore, WalkBackPastCorruptMidDelta)
+{
+    SnapshotStore store(freshDir("chainmid"), 8);
+    std::string err;
+    ASSERT_TRUE(store.save(1, chainBytes(10, 1, 1, 1), err)) << err;
+    ASSERT_TRUE(store.save(2, chainBytes(20, 2, 1, 1), err)) << err;
+    ASSERT_TRUE(store.save(3, chainBytes(30, 3, 1, 2), err)) << err;
+    rotFile(store.pathFor(2));
+
+    // Head 3 validates in isolation but its chain crosses the rotten
+    // link; head 2 is the rotten file itself; the full base must win.
+    std::vector<std::vector<std::uint8_t>> chain;
+    std::uint64_t gen = 0;
+    std::vector<std::string> diags;
+    ASSERT_TRUE(store.loadLatestChain(chain, gen, diags));
+    EXPECT_EQ(gen, 1u);
+    ASSERT_EQ(chain.size(), 1u);
+    EXPECT_FALSE(diags.empty());
+}
+
+TEST(ChainStore, MissingBaseDisqualifiesEveryDependentHead)
+{
+    SnapshotStore store(freshDir("chainnobase"), 8);
+    std::string err;
+    ASSERT_TRUE(store.save(1, chainBytes(10, 1, 1, 1), err)) << err;
+    ASSERT_TRUE(store.save(2, chainBytes(20, 2, 1, 1), err)) << err;
+    ASSERT_TRUE(store.save(3, chainBytes(30, 3, 1, 2), err)) << err;
+    std::filesystem::remove(store.pathFor(1));
+
+    std::vector<std::vector<std::uint8_t>> chain;
+    std::uint64_t gen = 777;
+    std::vector<std::string> diags;
+    EXPECT_FALSE(store.loadLatestChain(chain, gen, diags));
+    EXPECT_EQ(gen, 777u);  // untouched on failure
+    EXPECT_FALSE(diags.empty());
+}
+
+TEST(Store, StaleTmpFilesSweptAtConstruction)
+{
+    const std::string dir = freshDir("tmpsweep");
+    std::filesystem::create_directories(dir);
+    const std::string stale = dir + "/snap-7.fbsnap.tmp";
+    {
+        std::FILE *f = std::fopen(stale.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("half-written by a crashed writer", f);
+        std::fclose(f);
+    }
+    SnapshotStore store(dir, 3);
+    EXPECT_FALSE(std::filesystem::exists(stale));
+    std::string err;
+    ASSERT_TRUE(store.save(1, snapshotBytes(10, 1), err)) << err;
+    EXPECT_EQ(store.list().size(), 1u);
+}
+
+TEST(Store, AllGenerationsCorruptIsCleanNotFound)
+{
+    SnapshotStore store(freshDir("allrot"), 4);
+    std::string err;
+    for (std::uint64_t g = 1; g <= 3; ++g)
+        ASSERT_TRUE(store.save(g, snapshotBytes(g * 10, g), err)) << err;
+    for (std::uint64_t g = 1; g <= 3; ++g) {
+        std::FILE *f = std::fopen(store.pathFor(g).c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("rot", f);
+        std::fclose(f);
+    }
+
+    // The walk-back exhausts every candidate: the result must be a
+    // clean not-found with the out-param untouched — not generation
+    // zero, which a caller could mistake for a restorable state.
+    std::vector<std::uint8_t> bytes{0xaa};
+    std::uint64_t gen = 777;
+    std::vector<std::string> diags;
+    EXPECT_FALSE(store.loadLatest(bytes, gen, diags));
+    EXPECT_EQ(gen, 777u);
+    EXPECT_GE(diags.size(), 3u);  // one rejection per candidate
+
+    std::vector<std::vector<std::uint8_t>> chain;
+    diags.clear();
+    EXPECT_FALSE(store.loadLatestChain(chain, gen, diags));
+    EXPECT_EQ(gen, 777u);
+}
+
+// --- I/O-fault shim ---------------------------------------------------
+
+TEST(IoShim, FailNthWriteSurfacesErrno)
+{
+    SnapshotStore store(freshDir("shimwrite"), 4);
+    IoFaultShim shim;
+    shim.failNthWrite = 1;
+    store.setIoFaultShim(&shim);
+    std::string err;
+    EXPECT_FALSE(store.save(1, snapshotBytes(10, 1), err));
+    EXPECT_NE(err.find("No space left"), std::string::npos) << err;
+    EXPECT_EQ(shim.injected, 1u);
+    EXPECT_TRUE(store.list().empty());  // no final-name file appeared
+
+    // The fault was transient: the very next save succeeds.
+    EXPECT_TRUE(store.save(1, snapshotBytes(10, 1), err)) << err;
+    EXPECT_EQ(store.list().size(), 1u);
+}
+
+TEST(IoShim, ShortWriteTornFileIsSkippedOnLoad)
+{
+    SnapshotStore store(freshDir("shimshort"), 4);
+    std::string err;
+    ASSERT_TRUE(store.save(1, snapshotBytes(10, 1), err)) << err;
+
+    IoFaultShim shim;
+    shim.shortNthWrite = shim.writeCalls + 1;  // next write is torn
+    store.setIoFaultShim(&shim);
+    // The kernel "succeeds", so the save fsyncs and renames a torn
+    // file into place under its final name — the nastiest crash shape.
+    ASSERT_TRUE(store.save(2, snapshotBytes(20, 2), err)) << err;
+    ASSERT_EQ(shim.injected, 1u);
+    ASSERT_EQ(store.list().size(), 2u);
+
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t gen = 0;
+    std::vector<std::string> diags;
+    ASSERT_TRUE(store.loadLatest(bytes, gen, diags));
+    EXPECT_EQ(gen, 1u);  // torn generation 2 skipped, never trusted
+    EXPECT_EQ(bytes, snapshotBytes(10, 1));
+    EXPECT_FALSE(diags.empty());
+}
+
+TEST(IoShim, FailNthFsyncFailsSave)
+{
+    SnapshotStore store(freshDir("shimfsync"), 4);
+    IoFaultShim shim;
+    shim.failNthFsync = 1;
+    store.setIoFaultShim(&shim);
+    std::string err;
+    EXPECT_FALSE(store.save(1, snapshotBytes(10, 1), err));
+    EXPECT_NE(err.find("fsync"), std::string::npos) << err;
+    EXPECT_EQ(shim.injected, 1u);
+}
+
+TEST(IoShim, PersistentFailureKeepsFailing)
+{
+    SnapshotStore store(freshDir("shimpersist"), 4);
+    IoFaultShim shim;
+    shim.failNthWrite = 1;
+    shim.persistent = true;
+    store.setIoFaultShim(&shim);
+    std::string err;
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(store.save(1, snapshotBytes(10, 1), err));
+    EXPECT_GE(shim.injected, 3u);
+    store.setIoFaultShim(nullptr);  // the disk recovers
+    EXPECT_TRUE(store.save(1, snapshotBytes(10, 1), err)) << err;
+}
+
+// --- background writer ------------------------------------------------
+
+/**
+ * Run the standard 4-proc loop with a staged sink feeding @p writer
+ * at @p every cycles (re-base every @p rebase captures); returns the
+ * RunResult after draining the writer.
+ */
+sim::RunResult
+runWithWriter(AsyncSnapshotWriter &writer, std::uint64_t every,
+              std::uint32_t rebase)
+{
+    auto cfg = machineConfig(4);
+    cfg.checkpointEveryCycles = every;
+    cfg.checkpointRebaseEvery = rebase;
+    Machine m(cfg);
+    loadLoop(m, 4);
+    m.setStagedCheckpointSink(
+        [&writer](SnapshotHeader h, std::vector<Section> secs) {
+            auto v = writer.submit(std::move(h), std::move(secs));
+            Machine::CheckpointAck ack;
+            ack.keep = v.keep;
+            ack.forceFull = v.forceFull;
+            ack.deltasOk = v.deltasOk;
+            ack.degradation = std::move(v.degradation);
+            return ack;
+        });
+    auto result = m.run();
+    writer.drain();
+    return result;
+}
+
+/** Restore the newest chain in @p store and run it to completion;
+ * final state must match the uninterrupted @p ref machine. */
+void
+expectChainResumesTo(SnapshotStore &store, Machine &ref,
+                     const sim::RunResult &refResult)
+{
+    std::vector<std::vector<std::uint8_t>> chain;
+    std::uint64_t gen = 0;
+    std::vector<std::string> diags;
+    ASSERT_TRUE(store.loadLatestChain(chain, gen, diags));
+
+    Machine resumed(machineConfig(4));
+    loadLoop(resumed, 4);
+    std::string err;
+    ASSERT_TRUE(resumed.restoreChainState(chain, err)) << err;
+    auto result = resumed.run();
+    EXPECT_EQ(result.cycles, refResult.cycles);
+    EXPECT_EQ(result.syncEvents, refResult.syncEvents);
+    for (int p = 0; p < 4; ++p)
+        for (int r = 0; r < 32; ++r)
+            EXPECT_EQ(resumed.processor(p).reg(r),
+                      ref.processor(p).reg(r))
+                << "cpu" << p << " r" << r;
+    EXPECT_EQ(resumed.memory().peek(100), ref.memory().peek(100));
+}
+
+TEST(Writer, AsyncDeltaChainRestoresBitIdentically)
+{
+    Machine ref(machineConfig(4));
+    loadLoop(ref, 4);
+    auto refResult = ref.run();
+    ASSERT_FALSE(refResult.deadlocked);
+
+    SnapshotStore store(freshDir("writer_chain"), 32);
+    AsyncSnapshotWriter writer(store);
+    auto result = runWithWriter(writer, refResult.cycles / 10, 4);
+
+    EXPECT_EQ(result.cycles, refResult.cycles);
+    EXPECT_GE(result.checkpointsFull, 2u);
+    EXPECT_GE(result.checkpointsDelta, 4u);
+    EXPECT_EQ(result.checkpointDegradations, 0u);
+    auto ws = writer.stats();
+    EXPECT_EQ(ws.dropped, 0u);
+    EXPECT_EQ(ws.persisted, ws.submitted);
+    EXPECT_EQ(ws.asyncPersisted, ws.persisted);
+    EXPECT_EQ(ws.mode, WriterMode::AsyncDelta);
+
+    expectChainResumesTo(store, ref, refResult);
+}
+
+TEST(Writer, TransientWriteFaultRetriesWithoutDegrading)
+{
+    Machine ref(machineConfig(4));
+    loadLoop(ref, 4);
+    auto refResult = ref.run();
+
+    SnapshotStore store(freshDir("writer_transient"), 32);
+    IoFaultShim shim;
+    shim.failNthWrite = 2;
+    store.setIoFaultShim(&shim);
+    WriterConfig wc;
+    wc.backoffInitialMs = 0;  // no sleeping in tests
+    AsyncSnapshotWriter writer(store, wc);
+    auto result = runWithWriter(writer, refResult.cycles / 10, 4);
+
+    auto ws = writer.stats();
+    EXPECT_GE(ws.retries, 1u);
+    EXPECT_EQ(ws.dropped, 0u);
+    EXPECT_EQ(ws.mode, WriterMode::AsyncDelta);
+    EXPECT_EQ(result.checkpointDegradations, 0u);
+    expectChainResumesTo(store, ref, refResult);
+}
+
+TEST(Writer, DegradationLadderWalksDownToDisabled)
+{
+    SnapshotStore store(freshDir("writer_ladder"), 8);
+    IoFaultShim shim;
+    shim.failNthWrite = 1;
+    shim.persistent = true;  // the disk never recovers
+    store.setIoFaultShim(&shim);
+    WriterConfig wc;
+    wc.maxRetries = 1;
+    wc.backoffInitialMs = 0;
+    AsyncSnapshotWriter writer(store, wc);
+
+    SnapshotHeader full;
+    full.generation = full.baseFull = full.prev = 1;
+
+    // Rung 1: the async worker exhausts its retries and drops the
+    // capture; the ladder steps to sync-delta.
+    auto v = writer.submit(full, {});
+    EXPECT_TRUE(v.keep);
+    writer.drain();
+    EXPECT_EQ(writer.stats().mode, WriterMode::SyncDelta);
+
+    // Rung 2: inline persistence fails too -> sync-full.
+    full.generation = full.baseFull = full.prev = 2;
+    v = writer.submit(full, {});
+    EXPECT_TRUE(v.keep);
+    EXPECT_FALSE(v.deltasOk);
+    EXPECT_FALSE(v.degradation.empty());
+    EXPECT_EQ(writer.stats().mode, WriterMode::SyncFull);
+
+    // Rung 3: even an inline full snapshot fails -> disabled; the
+    // machine is told to stop checkpointing entirely.
+    full.generation = full.baseFull = full.prev = 3;
+    v = writer.submit(full, {});
+    EXPECT_FALSE(v.keep);
+    EXPECT_EQ(writer.stats().mode, WriterMode::Disabled);
+
+    auto ws = writer.stats();
+    EXPECT_EQ(ws.degradations, 3u);
+    EXPECT_EQ(ws.dropped, 3u);
+    EXPECT_EQ(ws.persisted, 0u);
+    EXPECT_FALSE(ws.lastError.empty());
+}
+
+TEST(Writer, BrokenChainDiscardsDeltasUntilReanchored)
+{
+    SnapshotStore store(freshDir("writer_reanchor"), 8);
+    IoFaultShim shim;
+    shim.failNthWrite = 1;  // transient: only the first write dies
+    store.setIoFaultShim(&shim);
+    WriterConfig wc;
+    wc.maxRetries = 0;  // no retry: the first capture is simply lost
+    wc.backoffInitialMs = 0;
+    AsyncSnapshotWriter writer(store, wc);
+
+    SnapshotHeader full;
+    full.generation = full.baseFull = full.prev = 1;
+    writer.submit(full, {});
+    writer.drain();  // dropped; the on-disk chain is now broken
+
+    // A delta naming the never-persisted predecessor is worthless;
+    // the writer must discard it and demand a re-base.
+    SnapshotHeader delta;
+    delta.generation = 2;
+    delta.baseFull = 1;
+    delta.prev = 1;
+    auto v = writer.submit(delta, {});
+    writer.drain();
+    EXPECT_TRUE(v.forceFull);
+    EXPECT_TRUE(store.list().empty());
+
+    // The re-based full lands and re-anchors; deltas flow again.
+    SnapshotHeader full3;
+    full3.generation = full3.baseFull = full3.prev = 3;
+    writer.submit(full3, {});
+    writer.drain();
+    SnapshotHeader delta4;
+    delta4.generation = 4;
+    delta4.baseFull = 3;
+    delta4.prev = 3;
+    v = writer.submit(delta4, {});
+    writer.drain();
+    EXPECT_FALSE(v.forceFull);
+
+    auto ws = writer.stats();
+    EXPECT_EQ(ws.dropped, 2u);
+    EXPECT_EQ(ws.persisted, 2u);
+    std::vector<std::vector<std::uint8_t>> chain;
+    std::uint64_t gen = 0;
+    std::vector<std::string> diags;
+    ASSERT_TRUE(store.loadLatestChain(chain, gen, diags));
+    EXPECT_EQ(gen, 4u);
+    EXPECT_EQ(chain.size(), 2u);
+}
+
+TEST(Writer, MachineRecordsDegradationInRunResult)
+{
+    Machine ref(machineConfig(4));
+    loadLoop(ref, 4);
+    auto refResult = ref.run();
+
+    SnapshotStore store(freshDir("writer_degrade"), 8);
+    IoFaultShim shim;
+    shim.failNthWrite = 1;
+    shim.persistent = true;
+    store.setIoFaultShim(&shim);
+    WriterConfig wc;
+    wc.maxRetries = 0;
+    wc.backoffInitialMs = 0;
+    AsyncSnapshotWriter writer(store, wc);
+    auto result = runWithWriter(writer, refResult.cycles / 10, 4);
+
+    // Checkpointing collapsed, the run did not: every counter and
+    // final register must match the uninterrupted reference.
+    EXPECT_GE(result.checkpointDegradations, 1u);
+    EXPECT_FALSE(result.checkpointDegradation.empty());
+    EXPECT_EQ(result.cycles, refResult.cycles);
+    EXPECT_EQ(result.syncEvents, refResult.syncEvents);
+    EXPECT_EQ(writer.stats().persisted, 0u);
+}
+
+/**
+ * The acceptance sweep for the shim: a delta-chain campaign re-run
+ * once per write ordinal with exactly that write failing (transient).
+ * The writer's retry must absorb every single-write fault — nothing
+ * drops, nothing degrades, and the persisted chain still restores
+ * bit-identically wherever the fault landed.
+ */
+TEST(IoShim, FailingEachWriteExactlyOnceNeverLosesTheChain)
+{
+    Machine ref(machineConfig(4));
+    loadLoop(ref, 4);
+    auto refResult = ref.run();
+    ASSERT_FALSE(refResult.deadlocked);
+    const std::uint64_t every = refResult.cycles / 6;
+
+    // Discover how many store writes a fault-free campaign issues.
+    std::uint64_t totalWrites = 0;
+    {
+        SnapshotStore store(freshDir("shimsweep_probe"), 32);
+        IoFaultShim probe;
+        store.setIoFaultShim(&probe);
+        AsyncSnapshotWriter writer(store);
+        runWithWriter(writer, every, 3);
+        totalWrites = probe.writeCalls;
+    }
+    ASSERT_GE(totalWrites, 6u);
+
+    for (std::uint64_t n = 1; n <= totalWrites; ++n) {
+        SnapshotStore store(
+            freshDir("shimsweep_" + std::to_string(n)), 32);
+        IoFaultShim shim;
+        shim.failNthWrite = n;
+        store.setIoFaultShim(&shim);
+        WriterConfig wc;
+        wc.backoffInitialMs = 0;
+        AsyncSnapshotWriter writer(store, wc);
+        auto result = runWithWriter(writer, every, 3);
+
+        auto ws = writer.stats();
+        EXPECT_EQ(ws.dropped, 0u) << "write " << n;
+        EXPECT_EQ(ws.mode, WriterMode::AsyncDelta) << "write " << n;
+        EXPECT_EQ(result.checkpointDegradations, 0u) << "write " << n;
+        EXPECT_EQ(shim.injected, 1u) << "write " << n;
+        expectChainResumesTo(store, ref, refResult);
+    }
+}
+
+// --- chain corruption -------------------------------------------------
+
+/**
+ * Build a real machine-produced delta-chain store, then attack every
+ * chain part with every corruption kind. Whatever the damage, the
+ * loader must hand back an older intact chain that restores and runs
+ * to the reference final state — the corrupt link is never trusted.
+ */
+TEST(ChainCorruption, EveryPartEveryKindFallsBackToAnIntactChain)
+{
+    Machine ref(machineConfig(4));
+    loadLoop(ref, 4);
+    auto refResult = ref.run();
+    ASSERT_FALSE(refResult.deadlocked);
+
+    // Persist synchronously (deterministic store contents), keep
+    // everything: several full anchors with deltas between them.
+    const std::string master = freshDir("chaincorrupt_master");
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+        files;
+    {
+        SnapshotStore store(master, 64);
+        auto cfg = machineConfig(4);
+        cfg.checkpointEveryCycles = refResult.cycles / 12;
+        cfg.checkpointRebaseEvery = 4;
+        Machine m(cfg);
+        loadLoop(m, 4);
+        m.setStagedCheckpointSink(
+            [&store](SnapshotHeader h, std::vector<Section> secs) {
+                std::string err;
+                EXPECT_TRUE(
+                    store.save(h.generation, assemble(h, secs), err))
+                    << err;
+                return Machine::CheckpointAck{};
+            });
+        m.run();
+        std::string err;
+        for (const auto &[gen, path] : store.list()) {
+            std::vector<std::uint8_t> bytes;
+            ASSERT_TRUE(readFile(path, bytes, err)) << err;
+            files.emplace_back(gen, bytes);
+        }
+    }
+    ASSERT_GE(files.size(), 8u);
+
+    using fault::ChainPart;
+    using fault::SnapshotCorruption;
+    int attacked = 0;
+    for (auto part : {ChainPart::Head, ChainPart::MidDelta,
+                      ChainPart::Base, ChainPart::Manifest}) {
+        for (auto kind :
+             {SnapshotCorruption::Truncate, SnapshotCorruption::BitFlip,
+              SnapshotCorruption::StaleGeneration}) {
+            for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+                // Manifest ignores the corruption kind; run it once.
+                if (part == ChainPart::Manifest &&
+                    (kind != SnapshotCorruption::Truncate || seed > 1))
+                    continue;
+                const std::string dir = freshDir(
+                    "chaincorrupt_" +
+                    std::string(fault::chainPartName(part)) + "_" +
+                    fault::snapshotCorruptionName(kind) + "_" +
+                    std::to_string(seed));
+                std::filesystem::create_directories(dir);
+                std::string err;
+                for (const auto &[gen, bytes] : files) {
+                    std::FILE *f = std::fopen(
+                        (dir + "/snap-" + std::to_string(gen) +
+                         ".fbsnap")
+                            .c_str(),
+                        "wb");
+                    ASSERT_NE(f, nullptr);
+                    std::fwrite(bytes.data(), 1, bytes.size(), f);
+                    std::fclose(f);
+                }
+                SnapshotStore store(dir, 64);
+                std::uint64_t victim = 0;
+                ASSERT_TRUE(fault::corruptChainSnapshot(
+                    store, part, kind, seed, err, &victim))
+                    << fault::chainPartName(part) << ": " << err;
+                ++attacked;
+
+                std::vector<std::vector<std::uint8_t>> chain;
+                std::uint64_t gen = 0;
+                std::vector<std::string> diags;
+                ASSERT_TRUE(store.loadLatestChain(chain, gen, diags))
+                    << fault::chainPartName(part) << "/"
+                    << fault::snapshotCorruptionName(kind);
+                EXPECT_FALSE(diags.empty());
+
+                // The victim (and for the manifest attack, the lying
+                // head) must not be the restored head.
+                if (part == ChainPart::Head ||
+                    part == ChainPart::Manifest) {
+                    EXPECT_LT(gen, victim == 0 ? files.back().first + 1
+                                               : victim)
+                        << fault::chainPartName(part);
+                }
+
+                Machine resumed(machineConfig(4));
+                loadLoop(resumed, 4);
+                ASSERT_TRUE(resumed.restoreChainState(chain, err))
+                    << fault::chainPartName(part) << "/"
+                    << fault::snapshotCorruptionName(kind) << ": "
+                    << err;
+                auto result = resumed.run();
+                EXPECT_EQ(result.cycles, refResult.cycles);
+                for (int p = 0; p < 4; ++p)
+                    for (int r = 0; r < 32; ++r)
+                        EXPECT_EQ(resumed.processor(p).reg(r),
+                                  ref.processor(p).reg(r))
+                            << fault::chainPartName(part) << " cpu"
+                            << p << " r" << r;
+            }
+        }
+    }
+    EXPECT_GE(attacked, 10);
+}
+
+// --- container-level delta rejection ---------------------------------
+
+TEST(MachineSnapshot, TruncatedProcessorSectionNeverRestores)
+{
+    auto cfg = machineConfig(2);
+    Machine m(cfg);
+    loadLoop(m, 2);
+    auto bytes = m.saveState();
+
+    SnapshotHeader header;
+    std::vector<Section> sections;
+    std::string err;
+    ASSERT_TRUE(disassemble(bytes, header, sections, err)) << err;
+    auto procSection = std::find_if(
+        sections.begin(), sections.end(), [](const Section &s) {
+            return s.id ==
+                   static_cast<std::uint32_t>(SectionId::Processors);
+        });
+    ASSERT_NE(procSection, sections.end());
+
+    // Re-assembled with valid CRCs and the matching fingerprint, the
+    // container passes every integrity check; only the payload decode
+    // can notice the missing processor state.
+    Machine victim(cfg);
+    loadLoop(victim, 2);
+    {
+        auto cut = sections;
+        auto &payload =
+            cut[static_cast<std::size_t>(
+                    procSection - sections.begin())]
+                .payload;
+        ASSERT_GT(payload.size(), 16u);
+        payload.resize(payload.size() / 2);
+        auto mutated = assemble(header, cut);
+        EXPECT_FALSE(victim.restoreState(mutated, err));
+        EXPECT_NE(err.find("processors"), std::string::npos) << err;
+    }
+    {
+        // Lie about the processor count instead: the leading u64
+        // says one fewer core than the stream carries.
+        auto cut = sections;
+        auto &payload =
+            cut[static_cast<std::size_t>(
+                    procSection - sections.begin())]
+                .payload;
+        payload[0] = 1;  // count 2 -> 1 (little-endian u64)
+        auto mutated = assemble(header, cut);
+        EXPECT_FALSE(victim.restoreState(mutated, err));
+        EXPECT_NE(err.find("processors"), std::string::npos) << err;
+    }
+
+    // The victim machine is still usable after both rejections.
+    ASSERT_TRUE(victim.restoreState(bytes, err)) << err;
+    auto result = victim.run();
+    EXPECT_FALSE(result.deadlocked);
+}
+
+TEST(MachineSnapshot, DeltaSnapshotRequiresItsChain)
+{
+    Machine probe(machineConfig(4));
+    loadLoop(probe, 4);
+    const auto probeResult = probe.run();
+
+    auto cfg = machineConfig(4);
+    cfg.checkpointEveryCycles = probeResult.cycles / 6;
+    cfg.checkpointRebaseEvery = 100;  // everything after gen 1 deltas
+    Machine m(cfg);
+    loadLoop(m, 4);
+    std::vector<std::vector<std::uint8_t>> captures;
+    m.setStagedCheckpointSink(
+        [&captures](SnapshotHeader h, std::vector<Section> secs) {
+            captures.push_back(assemble(h, secs));
+            return Machine::CheckpointAck{};
+        });
+    m.run();
+    ASSERT_GE(captures.size(), 3u);
+
+    // A bare delta must be rejected by restoreState with a pointer at
+    // the chain API, and applyDeltaState must reject a full snapshot.
+    Machine victim(machineConfig(4));
+    loadLoop(victim, 4);
+    std::string err;
+    EXPECT_FALSE(victim.restoreState(captures[1], err));
+    EXPECT_NE(err.find("chain"), std::string::npos) << err;
+    EXPECT_FALSE(victim.applyDeltaState(captures[0], err));
+
+    // Out-of-order replay is rejected too: applying delta 2 directly
+    // on the base (skipping delta 1) must fail, not corrupt.
+    ASSERT_TRUE(victim.restoreState(captures[0], err)) << err;
+    EXPECT_FALSE(victim.applyDeltaState(captures[2], err));
+}
+
 // --- resume-equivalence sweep ----------------------------------------
 
 /**
@@ -620,6 +1322,47 @@ TEST(ResumeEquivalence, SweepGeneratedScenarios)
     // The randomized K lands before the end of most runs; make sure
     // the sweep is actually exercising restore, not just A-vs-B.
     EXPECT_GT(withSnapshot, checked / 2);
+}
+
+/**
+ * The delta-chain flavor of the acceptance sweep: the same generated
+ * scenarios with fault plans and an active watchdog, but the re-run
+ * machine checkpoints through the staged sink into an in-memory
+ * full+delta chain, and the resumed machine restores through
+ * restoreChainState — fuzzy-barrier recovery state crossing a
+ * multi-link delta chain must still land bit-identically.
+ */
+TEST(ChainResumeEquivalence, SweepGeneratedScenariosWithFaults)
+{
+    exec::MachinePool pool;
+    exec::ProgramCache programs;
+    int checked = 0;
+    int withChain = 0;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        auto spec = verify::randomSpec(seed * 7 + 3);
+        spec.faults = fault::randomFaultPlan(seed * 7 + 3, spec.procs(),
+                                             spec.groupSizes);
+        spec.faultSeed = seed * 7 + 3;
+        spec.watchdog.enabled = true;
+        spec.watchdog.timeoutCycles = 2000;
+        spec.watchdog.maxAttempts = 3;
+        auto sc = verify::render(spec);
+        for (bool ff : {true, false}) {
+            auto rep = verify::checkChainResumeEquivalence(
+                sc, seed * 47 + ff, ff, 3, 5'000'000, &pool,
+                &programs);
+            EXPECT_TRUE(rep.ok)
+                << "seed " << seed << " ff=" << ff << ": "
+                << rep.failure;
+            ++checked;
+            if (rep.chainLength > 1)
+                ++withChain;
+        }
+    }
+    EXPECT_GE(checked, 80);
+    // Most scenarios must actually cross a delta link on restore —
+    // a sweep of single-snapshot chains would prove nothing new.
+    EXPECT_GT(withChain, checked / 4);
 }
 
 } // namespace

@@ -44,11 +44,27 @@
  *                        durably snapshot the machine into DIR every
  *                        EVERY cycles, retaining the newest KEEP
  *                        generations (default 3); incompatible with
- *                        --trace
- *   --restore DIR        resume from the newest valid snapshot in DIR
- *                        (walking back past torn/corrupt generations);
- *                        requires the same programs and flags the
- *                        snapshot was taken with
+ *                        --trace. With --shards, EVERY must be a
+ *                        multiple of the shard quantum (anything else
+ *                        would silently clamp every skew window).
+ *                        Captures are dirty-page deltas persisted by a
+ *                        background writer thread; a full snapshot
+ *                        re-bases the chain periodically
+ *   --checkpoint-rebase N
+ *                        take a full (re-basing) snapshot every Nth
+ *                        capture (default 8; 1 = full snapshots only)
+ *   --checkpoint-sync    persist every capture synchronously as a
+ *                        full snapshot (the pre-delta behaviour)
+ *   --io-fault SPEC      inject I/O faults into the checkpoint store:
+ *                        comma-separated failwrite:N / shortwrite:N /
+ *                        failfsync:N (1-based Nth call), plus an
+ *                        optional 'persistent' element to keep
+ *                        failing from the Nth call on
+ *   --restore DIR        resume from the newest restorable snapshot
+ *                        chain in DIR (walking back past torn/corrupt
+ *                        generations and broken chains); requires the
+ *                        same programs and flags the snapshot was
+ *                        taken with
  *   --check              only run the static region-branch check
  *
  * Exit codes:
@@ -75,6 +91,7 @@
 #include "fault/watchdog.hh"
 #include "snapshot/format.hh"
 #include "snapshot/store.hh"
+#include "snapshot/writer.hh"
 #include "support/strutil.hh"
 
 namespace
@@ -129,6 +146,10 @@ struct Options
     std::string checkpointDir;
     std::uint64_t checkpointEvery = 0;
     std::size_t checkpointKeep = 3;
+    std::uint32_t checkpointRebase = 8;
+    bool checkpointSync = false;
+    bool ioFault = false;
+    fb::snapshot::IoFaultShim ioShim;
     std::string restoreDir;
     std::vector<std::string> files;
     struct RegPreset
@@ -286,6 +307,36 @@ parseArgs(int argc, char **argv)
                 opt.checkpointKeep == 0)
                 usage("--checkpoint needs a directory, period >= 1 and "
                       "keep >= 1");
+        } else if (arg == "--checkpoint-rebase") {
+            opt.checkpointRebase = static_cast<std::uint32_t>(
+                parseIntOrDie(next(), "--checkpoint-rebase"));
+            if (opt.checkpointRebase == 0)
+                usage("--checkpoint-rebase needs N >= 1");
+        } else if (arg == "--checkpoint-sync") {
+            opt.checkpointSync = true;
+        } else if (arg == "--io-fault") {
+            opt.ioFault = true;
+            for (const auto &item : split(next(), ',')) {
+                if (item == "persistent") {
+                    opt.ioShim.persistent = true;
+                    continue;
+                }
+                auto parts = split(item, ':');
+                if (parts.size() != 2)
+                    usage("--io-fault expects failwrite:N, shortwrite:N,"
+                          " failfsync:N or persistent");
+                const std::uint64_t n = static_cast<std::uint64_t>(
+                    parseIntOrDie(parts[1], "--io-fault ordinal"));
+                if (parts[0] == "failwrite")
+                    opt.ioShim.failNthWrite = n;
+                else if (parts[0] == "shortwrite")
+                    opt.ioShim.shortNthWrite = n;
+                else if (parts[0] == "failfsync")
+                    opt.ioShim.failNthFsync = n;
+                else
+                    usage("--io-fault expects failwrite:N, shortwrite:N,"
+                          " failfsync:N or persistent");
+            }
         } else if (arg == "--restore") {
             opt.restoreDir = next();
         } else if (arg == "--check") {
@@ -303,6 +354,17 @@ parseArgs(int argc, char **argv)
     if (!opt.checkpointDir.empty() && opt.trace)
         usage("--checkpoint is incompatible with --trace (the timeline "
               "is not serialized)");
+    if (!opt.checkpointDir.empty() && opt.shards > 1 &&
+        opt.checkpointEvery % opt.shardQuantum != 0)
+        usage(("--checkpoint EVERY must be a multiple of the shard "
+               "quantum (" +
+               std::to_string(opt.shardQuantum) +
+               "): anything else silently clamps every skew window to "
+               "the checkpoint cadence")
+                  .c_str());
+    if (opt.ioFault && opt.checkpointDir.empty())
+        usage("--io-fault targets the checkpoint store; it requires "
+              "--checkpoint");
     return opt;
 }
 
@@ -390,6 +452,7 @@ main(int argc, char **argv)
         cfg.faultPlan = &plan;
     cfg.watchdog = opt.watchdog;
     cfg.checkpointEveryCycles = opt.checkpointEvery;
+    cfg.checkpointRebaseEvery = opt.checkpointRebase;
 
     // Machine construction is a lambda so the restore walk-back can
     // rebuild a pristine machine after a failed restoreState (which
@@ -411,9 +474,57 @@ main(int argc, char **argv)
 
     if (!opt.restoreDir.empty()) {
         snapshot::SnapshotStore restoreStore(opt.restoreDir);
-        auto entries = restoreStore.list();
         bool restored = false;
-        for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+
+        // Preferred path: the newest generation whose whole delta
+        // chain validates, replayed base-first.
+        {
+            std::vector<std::vector<std::uint8_t>> chain;
+            std::uint64_t generation = 0;
+            std::vector<std::string> diags;
+            std::string err;
+            if (restoreStore.loadLatestChain(chain, generation, diags)) {
+                for (const auto &d : diags)
+                    std::fprintf(stderr, "fbsim: skipping %s\n",
+                                 d.c_str());
+                if (machinePtr->restoreChainState(chain, err)) {
+                    snapshot::SnapshotHeader head;
+                    std::string perr;
+                    std::uint64_t cycle = 0;
+                    if (snapshot::peekHeader(chain.back(), head, perr))
+                        cycle = head.cycle;
+                    std::fprintf(
+                        stderr,
+                        "fbsim: restored generation %llu (cycle %llu, "
+                        "chain of %zu) from %s\n",
+                        static_cast<unsigned long long>(generation),
+                        static_cast<unsigned long long>(cycle),
+                        chain.size(),
+                        restoreStore.pathFor(generation).c_str());
+                    restored = true;
+                } else {
+                    std::fprintf(stderr,
+                                 "fbsim: skipping generation %llu: "
+                                 "chain restore failed: %s\n",
+                                 static_cast<unsigned long long>(
+                                     generation),
+                                 err.c_str());
+                    machinePtr = buildMachine();
+                }
+            } else {
+                for (const auto &d : diags)
+                    std::fprintf(stderr, "fbsim: skipping %s\n",
+                                 d.c_str());
+            }
+        }
+
+        // Fallback: per-file walk-back over full snapshots, for
+        // machine-level restore failures the store cannot see (a
+        // newer chain taken under incompatible flags, say, with an
+        // older intact full snapshot behind it).
+        auto entries = restoreStore.list();
+        for (auto it = entries.rbegin();
+             !restored && it != entries.rend(); ++it) {
             std::vector<std::uint8_t> bytes;
             std::string err;
             if (!snapshot::readFile(it->second, bytes, err)) {
@@ -436,6 +547,8 @@ main(int argc, char **argv)
                                  header.generation));
                 continue;
             }
+            if (header.isDelta())
+                continue; // chains were already tried above
             if (!machinePtr->restoreState(bytes, err)) {
                 std::fprintf(stderr, "fbsim: skipping %s: %s\n",
                              it->second.c_str(), err.c_str());
@@ -461,30 +574,54 @@ main(int argc, char **argv)
     }
 
     std::unique_ptr<snapshot::SnapshotStore> checkpointStore;
+    std::unique_ptr<snapshot::AsyncSnapshotWriter> checkpointWriter;
     if (!opt.checkpointDir.empty()) {
         checkpointStore = std::make_unique<snapshot::SnapshotStore>(
             opt.checkpointDir, opt.checkpointKeep);
-        machinePtr->setCheckpointSink(
-            [&checkpointStore](std::uint64_t cycle,
-                               const std::vector<std::uint8_t> &bytes) {
-                // The generation encoded by Machine::saveState is
-                // cycle / checkpointEveryCycles; recover it from the
-                // snapshot header so store filenames always agree
-                // with the embedded generation.
-                snapshot::SnapshotHeader header;
-                std::string err;
-                if (!snapshot::peekHeader(bytes, header, err) ||
-                    !checkpointStore->save(header.generation, bytes,
-                                           err)) {
-                    std::fprintf(stderr,
-                                 "fbsim: checkpoint at cycle %llu "
-                                 "failed: %s (disabling checkpoints)\n",
-                                 static_cast<unsigned long long>(cycle),
-                                 err.c_str());
-                    return false;
-                }
-                return true;
-            });
+        if (opt.ioFault)
+            checkpointStore->setIoFaultShim(&opt.ioShim);
+        if (!opt.checkpointSync) {
+            checkpointWriter =
+                std::make_unique<snapshot::AsyncSnapshotWriter>(
+                    *checkpointStore);
+            machinePtr->setStagedCheckpointSink(
+                [&writer = *checkpointWriter](
+                    snapshot::SnapshotHeader header,
+                    std::vector<snapshot::Section> sections) {
+                    auto verdict = writer.submit(std::move(header),
+                                                 std::move(sections));
+                    sim::Machine::CheckpointAck ack;
+                    ack.keep = verdict.keep;
+                    ack.forceFull = verdict.forceFull;
+                    ack.deltasOk = verdict.deltasOk;
+                    ack.degradation = std::move(verdict.degradation);
+                    return ack;
+                });
+        } else {
+            machinePtr->setCheckpointSink(
+                [&checkpointStore](
+                    std::uint64_t cycle,
+                    const std::vector<std::uint8_t> &bytes) {
+                    // The generation encoded by Machine::saveState is
+                    // cycle / checkpointEveryCycles; recover it from
+                    // the snapshot header so store filenames always
+                    // agree with the embedded generation.
+                    snapshot::SnapshotHeader header;
+                    std::string err;
+                    if (!snapshot::peekHeader(bytes, header, err) ||
+                        !checkpointStore->save(header.generation, bytes,
+                                               err)) {
+                        std::fprintf(
+                            stderr,
+                            "fbsim: checkpoint at cycle %llu "
+                            "failed: %s (disabling checkpoints)\n",
+                            static_cast<unsigned long long>(cycle),
+                            err.c_str());
+                        return false;
+                    }
+                    return true;
+                });
+        }
     }
 
     sim::Machine &machine = *machinePtr;
@@ -496,6 +633,12 @@ main(int argc, char **argv)
                      "or sharding does not apply here)\n",
                      shardedMachine.shards(), opt.shards);
     auto result = shardedMachine.run();
+
+    // The run is over but captures may still sit in the writer's
+    // queue; block until the store is quiescent before reporting (and
+    // before the process can exit and orphan a .tmp file).
+    if (checkpointWriter)
+        checkpointWriter->drain();
 
     std::printf("cycles:       %llu%s%s\n",
                 static_cast<unsigned long long>(result.cycles),
@@ -558,6 +701,34 @@ main(int argc, char **argv)
                         rec.survivors.size());
         }
     }
+
+    if (checkpointWriter) {
+        const auto ws = checkpointWriter->stats();
+        std::printf("checkpoints:  full=%llu delta=%llu persisted=%llu "
+                    "(async %llu, sync %llu) dropped=%llu retries=%llu "
+                    "mode=%s\n",
+                    static_cast<unsigned long long>(
+                        result.checkpointsFull),
+                    static_cast<unsigned long long>(
+                        result.checkpointsDelta),
+                    static_cast<unsigned long long>(ws.persisted),
+                    static_cast<unsigned long long>(ws.asyncPersisted),
+                    static_cast<unsigned long long>(ws.syncPersisted),
+                    static_cast<unsigned long long>(ws.dropped),
+                    static_cast<unsigned long long>(ws.retries),
+                    snapshot::writerModeName(ws.mode));
+        if (!result.checkpointDegradation.empty())
+            std::printf("              degraded: %s\n",
+                        result.checkpointDegradation.c_str());
+    }
+    if (opt.ioFault)
+        std::printf("io-faults:    writes=%llu fsyncs=%llu "
+                    "injected=%llu\n",
+                    static_cast<unsigned long long>(
+                        opt.ioShim.writeCalls),
+                    static_cast<unsigned long long>(
+                        opt.ioShim.fsyncCalls),
+                    static_cast<unsigned long long>(opt.ioShim.injected));
 
     if (opt.trace && machine.trace())
         std::printf("\n%s", machine.trace()->render(opt.traceWidth).c_str());
