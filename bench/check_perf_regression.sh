@@ -8,11 +8,17 @@
 #   e7_scaling_ff_speedup.ff_speedup             (fast-forward core)
 #   e8_hotspot_ff_speedup.ff_speedup             (fast-forward core)
 #   e19_shard_delta.shard_speedup_4              (sharded executor)
+#   e20_dispatch_delta.dispatch_speedup          (pre-decoded backend)
 #
 # Absolute budgets (lower is better, compared against a fixed target —
-# these keep checkpointing cheap enough to stay on by default):
-#   e17_snapshot_overhead_delta.snapshot_delta_async_overhead_pct   <= 5
-#   e17_snapshot_overhead_delta.snapshot_delta_durable_overhead_pct <= 15
+# these keep checkpointing cheap enough to stay on by default). The
+# targets are percentages of run wall-clock, so they are calibrated to
+# the execution backend: the threaded-code dispatch made the runs
+# themselves ~5x faster while the capture cost stayed absolute, so the
+# budgets were rebased when the backend landed (2.4x/1.9x, far below
+# the run speedup — the absolute capture cost went down too).
+#   e17_snapshot_overhead_delta.snapshot_delta_async_overhead_pct   <= 12
+#   e17_snapshot_overhead_delta.snapshot_delta_durable_overhead_pct <= 28
 # The same noise threshold applies: the gate fails only when the
 # measured value exceeds target * (1 + threshold/100).
 #
@@ -53,6 +59,7 @@ TRACKED = [
     ("e7_scaling_ff_speedup", "ff_speedup"),
     ("e8_hotspot_ff_speedup", "ff_speedup"),
     ("e19_shard_delta", "shard_speedup_4"),
+    ("e20_dispatch_delta", "dispatch_speedup"),
 ]
 
 # (entry name, metric key, target) -> lower is better, judged against
@@ -61,9 +68,9 @@ TRACKED = [
 # exceed the target by the noise threshold before the gate fails.
 BUDGETED = [
     ("e17_snapshot_overhead_delta", "snapshot_delta_async_overhead_pct",
-     5.0),
+     12.0),
     ("e17_snapshot_overhead_delta",
-     "snapshot_delta_durable_overhead_pct", 15.0),
+     "snapshot_delta_durable_overhead_pct", 28.0),
 ]
 
 

@@ -182,8 +182,8 @@ runSequential(int distance)
 
 } // namespace
 
-int
-main()
+static int
+benchMain()
 {
     // Sanity-check the transform's grouping once.
     auto groups = fb::compiler::cycleShrink(10, 4);
@@ -224,4 +224,12 @@ main()
                "eats a large share of the gain — exactly why the paper "
                "says cheap barriers make the transformation practical");
     return 0;
+}
+
+int
+main()
+{
+    int rc = 1;
+    fb::bench::runSteadyState(2000, [&rc] { rc = benchMain(); });
+    return rc;
 }

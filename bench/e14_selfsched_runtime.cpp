@@ -122,8 +122,8 @@ measure(bool self_sched)
 
 } // namespace
 
-int
-main()
+static int
+benchMain()
 {
     fb::Table table("E14 (section 7.4): run-time self-scheduling via "
                     "fetch-and-add vs static split, 64 non-uniform "
@@ -150,4 +150,12 @@ main()
                "price of shared-index traffic — the trade-off behind "
                "compiler-assisted run-time scheduling");
     return 0;
+}
+
+int
+main()
+{
+    int rc = 1;
+    fb::bench::runSteadyState(10000, [&rc] { rc = benchMain(); });
+    return rc;
 }

@@ -51,8 +51,8 @@ costPerEpisode(std::uint32_t latency, int region)
 
 } // namespace
 
-int
-main()
+static int
+benchMain()
 {
     fb::Table table("E15 (ablation, section 6): broadcast propagation "
                     "latency vs region size (extra cycles per episode, "
@@ -75,4 +75,12 @@ main()
                "returns to near zero — larger (slower-broadcast) "
                "machines just need proportionally larger regions");
     return 0;
+}
+
+int
+main()
+{
+    int rc = 1;
+    fb::bench::runSteadyState(1000, [&rc] { rc = benchMain(); });
+    return rc;
 }

@@ -99,8 +99,8 @@ measure(int procs, int heavy_extra, bool if_in_region)
 
 } // namespace
 
-int
-main()
+static int
+benchMain()
 {
     fb::Table table("E2 (Fig. 7): if-statements with unequal paths, "
                     "point barrier vs if-statement inside the region");
@@ -134,4 +134,12 @@ main()
                "(Fig. 7(b)(ii)); with a single-instruction barrier the "
                "short-path processor always waits");
     return 0;
+}
+
+int
+main()
+{
+    int rc = 1;
+    fb::bench::runSteadyState(5000, [&rc] { rc = benchMain(); });
+    return rc;
 }

@@ -120,8 +120,8 @@ measure(bool rotating, bool fuzzy)
 
 } // namespace
 
-int
-main()
+static int
+benchMain()
 {
     fb::Table table("E4 (Fig. 11): 4 iterations on 3 processors, "
                     "12 outer iterations (equal instruction counts in "
@@ -157,4 +157,12 @@ main()
                "eliminated (Fig. 11(c)); neither rotation nor regions "
                "alone suffices");
     return 0;
+}
+
+int
+main()
+{
+    int rc = 1;
+    fb::bench::runSteadyState(10000, [&rc] { rc = benchMain(); });
+    return rc;
 }

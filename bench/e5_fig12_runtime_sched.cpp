@@ -159,8 +159,8 @@ measure(Policy policy, bool fuzzy)
 
 } // namespace
 
-int
-main()
+static int
+benchMain()
 {
     fb::Table table("E5 (Fig. 12): run-time scheduling, 26 non-uniform "
                     "iterations on 4 processors, 8 outer rounds");
@@ -186,4 +186,12 @@ main()
                "idling at the inter-round barrier; the multi-version "
                "fuzzy regions absorb the residual imbalance");
     return 0;
+}
+
+int
+main()
+{
+    int rc = 1;
+    fb::bench::runSteadyState(10000, [&rc] { rc = benchMain(); });
+    return rc;
 }

@@ -118,8 +118,8 @@ measure(bool distributed)
 
 } // namespace
 
-int
-main()
+static int
+benchMain()
 {
     // Structural view via the transform library.
     std::vector<compiler::Statement> stmts(2);
@@ -161,4 +161,12 @@ main()
                "single execution of S2 into a loop containing all "
                "executions of S2, absorbing far more drift");
     return 0;
+}
+
+int
+main()
+{
+    int rc = 1;
+    fb::bench::runSteadyState(10000, [&rc] { rc = benchMain(); });
+    return rc;
 }

@@ -100,11 +100,9 @@ ffStress()
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+benchMain()
 {
-    if (argc > 1 && std::string(argv[1]) == "--ff-stress")
-        return ffStress();
     fb::Table table("E7 (section 1): per-episode barrier cost vs "
                     "processor count (cycles beyond work)");
     table.setHeader({"procs", "sw-centralized", "sw-dissemination",
@@ -133,4 +131,16 @@ main(int argc, char **argv)
                "(dissemination) with processors; the hardware mechanism "
                "stays O(1) — near-zero extra cycles per episode");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // --ff-stress is its own timed probe (run_all.sh runs it with
+    // and without FB_NO_FAST_FORWARD), so it stays a single run.
+    if (argc > 1 && std::string(argv[1]) == "--ff-stress")
+        return ffStress();
+    int rc = 1;
+    fb::bench::runSteadyState(500, [&rc] { rc = benchMain(); });
+    return rc;
 }

@@ -92,11 +92,9 @@ ffStress()
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+benchMain()
 {
-    if (argc > 1 && std::string(argv[1]) == "--ff-stress")
-        return ffStress();
     fb::Table table("E8 (sections 1/6): shared-memory traffic of "
                     "synchronization, 25 episodes");
     table.setHeader({"procs", "barrier", "mem accesses",
@@ -124,4 +122,16 @@ main(int argc, char **argv)
                "barrier needs no shared-memory traffic (its only "
                "accesses are the programs' own result stores)");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // --ff-stress is its own timed probe (run_all.sh runs it with
+    // and without FB_NO_FAST_FORWARD), so it stays a single run.
+    if (argc > 1 && std::string(argv[1]) == "--ff-stress")
+        return ffStress();
+    int rc = 1;
+    fb::bench::runSteadyState(500, [&rc] { rc = benchMain(); });
+    return rc;
 }

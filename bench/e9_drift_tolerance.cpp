@@ -62,8 +62,8 @@ measure(int region, double jitter)
 
 } // namespace
 
-int
-main()
+static int
+benchMain()
 {
     fb::Table table("E9 (section 2): stall likelihood vs barrier region "
                     "size under execution drift (4 procs, 60-instr "
@@ -88,4 +88,12 @@ main()
                "region grows, for every drift intensity; a region a few "
                "times larger than the typical drift eliminates stalls");
     return 0;
+}
+
+int
+main()
+{
+    int rc = 1;
+    fb::bench::runSteadyState(300, [&rc] { rc = benchMain(); });
+    return rc;
 }

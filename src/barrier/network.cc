@@ -36,7 +36,10 @@ BarrierNetwork::BarrierNetwork(int num_processors,
     : _syncLatency(sync_latency),
       _deliverAt(static_cast<std::size_t>(num_processors),
                  std::numeric_limits<std::uint64_t>::max()),
-      _complete(static_cast<std::size_t>(num_processors))
+      _complete(static_cast<std::size_t>(num_processors)),
+      _wireVisible(static_cast<std::size_t>(num_processors)),
+      _wireTag(static_cast<std::size_t>(num_processors)),
+      _wireEpoch(static_cast<std::size_t>(num_processors))
 {
     FB_ASSERT(num_processors > 0, "need at least one processor");
     _delivered.reserve(static_cast<std::size_t>(num_processors));
@@ -117,14 +120,60 @@ BarrierNetwork::evaluate(std::uint64_t now)
     for (auto &u : _units)
         _correctedFaults += static_cast<std::uint64_t>(u.scrub());
 
+    // Phase 0: latch every broadcast wire once. All observers' AND
+    // terms read the same signal, tag and epoch lines, so sampling
+    // them per processor (instead of per observer-member pair inside
+    // groupComplete) evaluates the identical combinational function.
+    const int n = numProcessors();
+    bool any_visible = false;
+    for (int p = 0; p < n; ++p) {
+        const auto sp = static_cast<std::size_t>(p);
+        const BarrierUnit &u = _units[sp];
+        const bool vis = u.readySignal() &&
+                         (_filter == nullptr || !_filter->suppress(p, now));
+        _wireVisible[sp] = vis ? 1 : 0;
+        any_visible = any_visible || vis;
+        _wireTag[sp] = u.tag();
+        _wireEpoch[sp] = u.epoch();
+    }
+
+    if (!any_visible) {
+        // Dark wires: no group's AND can be true, so phase 1 latches
+        // false everywhere and phase 2 reduces to cancelling any
+        // in-flight delivery whose term glitched dark (fault paths).
+        // This is the common case whenever every processor is off
+        // computing between barrier episodes.
+        std::fill(_complete.begin(), _complete.end(), false);
+        std::fill(_deliverAt.begin(), _deliverAt.end(), none);
+        _delivered.clear();
+        return 0;
+    }
+
     // Phase 1: latch which processors see a complete group, based on
-    // this cycle's broadcast signals, and start the propagation
-    // clock for groups that just completed. (_complete is a member
-    // so the per-cycle evaluation allocates nothing.)
-    for (int p = 0; p < numProcessors(); ++p) {
-        _complete[static_cast<std::size_t>(p)] = groupComplete(p, now);
-        auto &at = _deliverAt[static_cast<std::size_t>(p)];
-        if (_complete[static_cast<std::size_t>(p)] && at == none)
+    // this cycle's latched wires, and start the propagation clock for
+    // groups that just completed. (_complete is a member so the
+    // per-cycle evaluation allocates nothing.)
+    for (int p = 0; p < n; ++p) {
+        const auto sp = static_cast<std::size_t>(p);
+        bool complete = _wireVisible[sp] != 0;
+        if (complete) {
+            const BitVector &mask = _units[sp].mask();
+            const std::uint32_t tag = _wireTag[sp];
+            const std::uint32_t epoch = _wireEpoch[sp];
+            for (int q = 0; q < n; ++q) {
+                const auto sq = static_cast<std::size_t>(q);
+                if (!mask.test(sq))
+                    continue;
+                if (_wireVisible[sq] == 0 || _wireTag[sq] != tag ||
+                    _wireEpoch[sq] != epoch) {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        _complete[sp] = complete;
+        auto &at = _deliverAt[sp];
+        if (complete && at == none)
             at = now + _syncLatency;
     }
 

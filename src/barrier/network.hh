@@ -196,6 +196,13 @@ class BarrierNetwork
     std::vector<std::uint64_t> _deliverAt;
     /** Scratch for evaluate()'s phase-1 latch (hoisted allocation). */
     std::vector<bool> _complete;
+    /** Per-cycle latch of each broadcast wire (visibility, tag,
+     * epoch). Every observer's AND term reads the same wire, so
+     * evaluate() samples each signal once per processor instead of
+     * once per (observer, member) pair. Scratch, not serialized. */
+    std::vector<char> _wireVisible;
+    std::vector<std::uint32_t> _wireTag;
+    std::vector<std::uint32_t> _wireEpoch;
     /** Processors delivered by the latest evaluate(), ascending. */
     std::vector<int> _delivered;
     std::uint64_t _syncEvents = 0;

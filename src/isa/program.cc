@@ -89,22 +89,6 @@ Program::finalize()
     _finalized = true;
 }
 
-const Instruction &
-Program::at(std::size_t idx) const
-{
-    FB_ASSERT(idx < _instrs.size(), "instruction index " << idx
-                                                         << " out of range");
-    return _instrs[idx];
-}
-
-Instruction &
-Program::at(std::size_t idx)
-{
-    FB_ASSERT(idx < _instrs.size(), "instruction index " << idx
-                                                         << " out of range");
-    return _instrs[idx];
-}
-
 int
 Program::barrierId(std::size_t idx) const
 {

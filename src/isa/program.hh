@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "isa/instruction.hh"
+#include "support/logging.hh"
 
 namespace fb::isa
 {
@@ -79,11 +80,22 @@ class Program
     /** True if the program has no instructions. */
     bool empty() const { return _instrs.empty(); }
 
-    /** Access instruction @p idx. */
-    const Instruction &at(std::size_t idx) const;
+    /** Access instruction @p idx. Inline: this is the fetch of the
+     * per-cycle interpreter's fetch/decode/execute step. */
+    const Instruction &at(std::size_t idx) const
+    {
+        FB_ASSERT(idx < _instrs.size(),
+                  "instruction index " << idx << " out of range");
+        return _instrs[idx];
+    }
 
     /** Mutable access (used by the region-encoding converters). */
-    Instruction &at(std::size_t idx);
+    Instruction &at(std::size_t idx)
+    {
+        FB_ASSERT(idx < _instrs.size(),
+                  "instruction index " << idx << " out of range");
+        return _instrs[idx];
+    }
 
     /** Logical barrier id of instruction @p idx (-1 if none). */
     int barrierId(std::size_t idx) const;

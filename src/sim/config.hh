@@ -148,6 +148,20 @@ struct MachineConfig
     bool recordSyncEvents = true;
 
     /**
+     * Cap on the retained sync-record trail (0 = unbounded). A very
+     * long run with recordSyncEvents on grows the record vector — and
+     * with it every checkpoint's core section — without bound; with a
+     * window only the newest this-many completed records survive,
+     * rotating the rest out (RunResult::syncRecordsDropped counts
+     * them). Records still open, or already pinned by the current
+     * delta-checkpoint epoch, are never rotated out, so delta patching
+     * stays exact. Unlike the operational knobs below this changes
+     * what the run reports, so it participates in the config
+     * fingerprint.
+     */
+    std::size_t syncRecordWindow = 0;
+
+    /**
      * Fault schedule to inject (not owned; nullptr or an empty plan
      * disables injection entirely — the machine then builds no
      * injector and the run loop is byte-identical to the pre-fault
@@ -221,6 +235,22 @@ struct MachineConfig
      * entirely — the sequential core is unchanged.
      */
     std::uint64_t shardQuantum = 0;
+
+    /**
+     * Pre-decoded threaded-code execution backend: decode each loaded
+     * program once into a flat DecodedProgram and run straight-line,
+     * non-barrier, non-observable stretches through a computed-goto
+     * dispatch loop that macro-steps whole windows per call (the
+     * busy-stretch dual of fastForward's idle skip; requires
+     * fastForward in the sequential core, where the macro-step path
+     * reuses the shard-window machinery with a fixed quantum). Every
+     * counter, register, PRNG draw, trace record and snapshot byte
+     * stays bit-identical to the per-cycle loop — the equivalence
+     * corpus pins this — so the flag is excluded from the config
+     * fingerprint and the pool's structural key, like the other
+     * how-not-what knobs above.
+     */
+    bool predecode = true;
 };
 
 } // namespace fb::sim

@@ -1,0 +1,118 @@
+#include "sim/decoded.hh"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/processor.hh"
+#include "snapshot/format.hh"
+#include "support/logging.hh"
+
+namespace fb::sim
+{
+
+using isa::Opcode;
+
+namespace
+{
+
+bool
+isPrivateOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::LD:
+      case Opcode::ST:
+      case Opcode::FAA:     // memory port (bus, caches, counters)
+      case Opcode::SETTAG:
+      case Opcode::SETMASK: // barrier-unit mutation
+      case Opcode::HALT:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+programHash(const isa::Program &program)
+{
+    snapshot::Fnv1a h;
+    h.mix(program.size());
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        const isa::Instruction &instr = program.at(i);
+        h.mix(static_cast<std::uint64_t>(instr.op));
+        h.mix(static_cast<std::uint64_t>(instr.rd));
+        h.mix(static_cast<std::uint64_t>(instr.rs1));
+        h.mix(static_cast<std::uint64_t>(instr.rs2));
+        h.mix(static_cast<std::uint64_t>(instr.imm));
+        h.mix(instr.inRegion ? 1 : 0);
+    }
+    return h.value();
+}
+
+std::shared_ptr<const DecodedProgram>
+decodeProgram(const isa::Program &program)
+{
+    FB_ASSERT(program.finalized(), "cannot decode an unfinalized program");
+
+    // Process-wide memo keyed by the content hash. Decoding is a pure
+    // function of the program and the block is immutable, so sharing
+    // one block between machines is exactly what the ProgramCache
+    // already does for interned sources; this extends the sharing to
+    // callers that re-assemble the same program per run (the bench
+    // harnesses and the differ's direct-assembly variants), where
+    // re-decoding was a measurable fraction of short runs. The table
+    // is wholesale-cleared at a size cap so a long fuzz campaign over
+    // ever-fresh programs cannot grow it without bound. Trusting the
+    // hash for equality is the backend's existing contract:
+    // Machine::loadProgram validates caller-supplied blocks the same
+    // way.
+    static std::mutex memo_mu;
+    static std::unordered_map<std::uint64_t,
+                              std::shared_ptr<const DecodedProgram>>
+        memo;
+    constexpr std::size_t memoCap = 1024;
+    const std::uint64_t hash = programHash(program);
+    {
+        std::lock_guard<std::mutex> lk(memo_mu);
+        if (auto it = memo.find(hash); it != memo.end() &&
+                                       it->second->code.size() ==
+                                           program.size())
+            return it->second;
+    }
+
+    auto decoded = std::make_shared<DecodedProgram>();
+    decoded->code.reserve(program.size());
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        const isa::Instruction &instr = program.at(i);
+        // Operand ranges are the decoded loop's licence to index the
+        // register file without per-access checks.
+        FB_ASSERT(instr.rd >= 0 && instr.rd < isa::numRegisters &&
+                      instr.rs1 >= 0 && instr.rs1 < isa::numRegisters &&
+                      instr.rs2 >= 0 && instr.rs2 < isa::numRegisters,
+                  "register operand out of range at pc " << i);
+        DecodedInsn d;
+        d.imm = instr.imm;
+        d.cost = static_cast<std::uint32_t>(isa::baseLatency(instr.op));
+        FB_ASSERT(d.cost >= 1, "zero base latency at pc " << i);
+        d.op = instr.op;
+        d.rd = instr.rd;
+        d.rs1 = instr.rs1;
+        d.rs2 = instr.rs2;
+        d.privateOp = isPrivateOp(instr.op);
+        d.staticRegion = instr.inRegion || instr.op == Opcode::BRENTER;
+        d.bundleable = Processor::bundleable(instr);
+        decoded->code.push_back(d);
+    }
+    decoded->sourceHash = hash;
+
+    {
+        std::lock_guard<std::mutex> lk(memo_mu);
+        if (memo.size() >= memoCap)
+            memo.clear();
+        memo.emplace(hash, decoded);
+    }
+    return decoded;
+}
+
+} // namespace fb::sim

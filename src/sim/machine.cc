@@ -122,6 +122,8 @@ Machine::Machine(const MachineConfig &config) : _config(config)
     _programs.resize(static_cast<std::size_t>(config.numProcessors));
     for (auto &prog : _programs)
         prog.finalize();
+    _decodedPrograms.resize(
+        static_cast<std::size_t>(config.numProcessors));
 
     RandomSource master(config.seed);
     for (int p = 0; p < config.numProcessors; ++p) {
@@ -239,6 +241,10 @@ Machine::reset(const MachineConfig &config)
         prog = isa::Program();
         prog.finalize();
     }
+    for (int p = 0; p < config.numProcessors; ++p) {
+        _decodedPrograms[static_cast<std::size_t>(p)] = nullptr;
+        _processors[static_cast<std::size_t>(p)]->setDecoded(nullptr);
+    }
 
     // Same seeding protocol as the constructor: one master stream,
     // split per processor in ascending order, so a recycled machine's
@@ -281,6 +287,7 @@ Machine::reset(const MachineConfig &config)
     _checkpointDegradations = 0;
     _checkpointDegradation.clear();
     _syncRecords.clear();
+    _syncRecordsDropped = 0;
     _invalidationsSent = 0;
     _invalidationsAvoided = 0;
 
@@ -311,19 +318,46 @@ Machine::reset(const MachineConfig &config)
 }
 
 void
-Machine::loadProgram(int p, isa::Program program)
+Machine::loadProgram(int p, isa::Program program,
+                     std::shared_ptr<const DecodedProgram> decoded)
 {
     FB_ASSERT(p >= 0 && p < numProcessors(), "bad processor index");
     FB_ASSERT(program.finalized(), "program must be finalized");
     FB_ASSERT(_now == 0, "cannot load programs after run()");
-    _programs[static_cast<std::size_t>(p)] = std::move(program);
+    const auto sp = static_cast<std::size_t>(p);
+    if (!_config.predecode) {
+        decoded = nullptr;  // escape hatch: legacy per-cycle loop only
+    } else if (decoded != nullptr) {
+        // A shared decode (ProgramCache) must be the twin of this
+        // exact program, or the threaded loop would execute different
+        // code than the interpreter.
+        FB_ASSERT(decoded->sourceHash == programHash(program),
+                  "decoded block does not match the loaded program on "
+                  "cpu " << p);
+    } else if (program.size() > 0) {
+        decoded = decodeProgram(program);
+    }
+    _programs[sp] = std::move(program);
+    _decodedPrograms[sp] = std::move(decoded);
+    _processors[sp]->setDecoded(_decodedPrograms[sp].get());
 }
 
 void
 Machine::loadAllPrograms(const isa::Program &program)
 {
+    // Decode once, share the block across every processor.
+    std::shared_ptr<const DecodedProgram> decoded;
+    if (_config.predecode && program.size() > 0)
+        decoded = decodeProgram(program);
     for (int p = 0; p < numProcessors(); ++p)
-        loadProgram(p, program);
+        loadProgram(p, program, decoded);
+}
+
+std::shared_ptr<const DecodedProgram>
+Machine::decodedProgram(int p) const
+{
+    FB_ASSERT(p >= 0 && p < numProcessors(), "bad processor index");
+    return _decodedPrograms[static_cast<std::size_t>(p)];
 }
 
 Processor &
@@ -375,7 +409,22 @@ Machine::run(ShardWindowDriver *driver)
     // quantum is configured.
     const bool sharded =
         driver != nullptr && fast_forward && _config.shardQuantum != 0;
-    if (sharded)
+
+    // Macro-stepping (section 19): with the pre-decoded backend the
+    // sequential core reuses the exact same window machinery, inline
+    // on this thread — advanceShardRange over all processors instead
+    // of a driver rendezvous — so straight-line private stretches run
+    // through the threaded-code loop in one call. Identical window
+    // bounds, identical deadlock guard, identical results at any
+    // quantum (the sharded suite pins quantum-invariance), so the
+    // fixed quantum below is purely a batching knob.
+    constexpr std::uint64_t macroQuantum = 4096;
+    const bool macro = !sharded && driver == nullptr && fast_forward &&
+                       _config.predecode;
+    const bool windowed = sharded || macro;
+    const std::uint64_t quantum =
+        sharded ? _config.shardQuantum : macroQuantum;
+    if (windowed)
         _procNext.assign(static_cast<std::size_t>(n), 0);
 
     _active.clear();
@@ -425,7 +474,7 @@ Machine::run(ShardWindowDriver *driver)
                 _active[out++] = p;
                 continue;
             }
-            if (sharded &&
+            if (windowed &&
                 _procNext[static_cast<std::size_t>(p)] > _now) {
                 // Ran ahead through private ticks inside an earlier
                 // window: each of those ticks reported Progress and
@@ -438,7 +487,7 @@ Machine::run(ShardWindowDriver *driver)
             }
             TickResult tr =
                 _processors[static_cast<std::size_t>(p)]->tick(_now);
-            if (sharded)
+            if (windowed)
                 _procNext[static_cast<std::size_t>(p)] = _now + 1;
             if (tr == TickResult::Halted)
                 continue;  // halted for good: drop from the pool
@@ -495,6 +544,8 @@ Machine::run(ShardWindowDriver *driver)
                 }
                 i = j;
             }
+            if (_config.syncRecordWindow != 0)
+                pruneSyncRecords();
         }
 
         if (_trace) {
@@ -537,7 +588,7 @@ Machine::run(ShardWindowDriver *driver)
             break;
         }
 
-        if (sharded) {
+        if (windowed) {
             // Window bound: no processor may run ahead into a cycle
             // where a global action could affect it — a fault event
             // or thaw, a watchdog recovery (which can fence a live
@@ -549,7 +600,7 @@ Machine::run(ShardWindowDriver *driver)
             // NonBarrier test in isPrivateTick), which is exactly the
             // fuzzy barrier's license to keep computing while the
             // sync propagates.
-            std::uint64_t window = _now + 1 + _config.shardQuantum;
+            std::uint64_t window = _now + 1 + quantum;
             window = std::min(window, _config.maxCycles);
             if (_config.checkpointEveryCycles != 0) {
                 const std::uint64_t every =
@@ -580,8 +631,12 @@ Machine::run(ShardWindowDriver *driver)
                     }
                 }
             }
-            if (dispatch)
-                driver->advanceWindow(window);
+            if (dispatch) {
+                if (sharded)
+                    driver->advanceWindow(window);
+                else
+                    advanceShardRange(0, n, window);
+            }
 
             // Generalized fast-forward: a core that ran ahead needs
             // no coordinator attention before _procNext[p]; everyone
@@ -743,6 +798,7 @@ Machine::run(ShardWindowDriver *driver)
 
     result.cycles = _now;
     result.syncEvents = _network->syncEvents();
+    result.syncRecordsDropped = _syncRecordsDropped;
     result.busRequests = _bus->requests();
     result.busQueueDelay = _bus->totalQueueDelay();
     result.memAccesses = _memory->totalAccesses();
@@ -841,6 +897,43 @@ Machine::nextInterestingCycle() const
                         std::max(_watchdog->nextDeadline(), _now + 1));
 
     return next;
+}
+
+void
+Machine::pruneSyncRecords()
+{
+    const std::size_t window = _config.syncRecordWindow;
+    if (window == 0 || _syncRecords.size() <= window)
+        return;
+    std::size_t k = _syncRecords.size() - window;
+    // Records the open delta-checkpoint epoch still patches are
+    // pinned: the next CoreDelta re-encodes everything from
+    // _epochSyncPatchFrom, so rotating past it would leave the patch
+    // point dangling. (Prunes below it decrement it in lockstep, so
+    // it keeps naming the same record.)
+    if (_epochCoreTracking)
+        k = std::min(k, _epochSyncPatchFrom);
+    // Open records are pinned too — onCross() patches crossings into
+    // them by index. A processor killed inside a region leaves its
+    // record open forever, capping how far rotation can advance; that
+    // is bounded by the processor count and is the conservative
+    // choice (the un-crossed record is exactly the interesting one).
+    for (std::size_t open : _openSyncRecord) {
+        if (open != std::numeric_limits<std::size_t>::max())
+            k = std::min(k, open);
+    }
+    if (k == 0)
+        return;
+    _syncRecords.erase(
+        _syncRecords.begin(),
+        _syncRecords.begin() + static_cast<std::ptrdiff_t>(k));
+    _syncRecordsDropped += k;
+    for (std::size_t &open : _openSyncRecord) {
+        if (open != std::numeric_limits<std::size_t>::max())
+            open -= k;
+    }
+    if (_epochCoreTracking)
+        _epochSyncPatchFrom -= k;
 }
 
 std::string
@@ -963,11 +1056,16 @@ Machine::configFingerprint() const
     h.mix(static_cast<std::uint64_t>(_config.isrEntry));
     h.mix(_config.maxCycles);
     h.mix(_config.recordSyncEvents ? 1 : 0);
+    // The record window changes what the run retains (and the wire
+    // bytes of every checkpoint), so unlike the knobs excluded below
+    // it participates.
+    h.mix(_config.syncRecordWindow);
     h.mix(_config.fastForward ? 1 : 0);
-    // checkpointEveryCycles, checkpointRebaseEvery, shardCount and
-    // shardQuantum are deliberately excluded: none of them changes
-    // results, so snapshots taken at different cadences — or under a
-    // different shard layout — are mutually restorable.
+    // checkpointEveryCycles, checkpointRebaseEvery, shardCount,
+    // shardQuantum and predecode are deliberately excluded: none of
+    // them changes results, so snapshots taken at different cadences
+    // — or under a different shard layout or execution backend — are
+    // mutually restorable.
     h.mixString(_config.faultPlan != nullptr ? _config.faultPlan->toSpec()
                                              : std::string());
     h.mix(_config.watchdog.enabled ? 1 : 0);
@@ -1107,6 +1205,7 @@ Machine::buildFullSections() const
         e.u64(_openSyncRecord.size());
         for (std::size_t v : _openSyncRecord)
             e.u64(v);
+        e.u64(_syncRecordsDropped);
         e.u64(_syncRecords.size());
         for (const SyncRecord &r : _syncRecords)
             encodeSyncRecord(e, r);
@@ -1214,6 +1313,7 @@ Machine::buildDeltaSections() const
         e.u64(_openSyncRecord.size());
         for (std::size_t v : _openSyncRecord)
             e.u64(v);
+        e.u64(_syncRecordsDropped);
         e.u64(_epochSyncPatchFrom);
         e.u64(_syncRecords.size());
         for (std::size_t k = _epochSyncPatchFrom;
@@ -1473,6 +1573,7 @@ Machine::restoreState(const std::vector<std::uint8_t> &bytes,
             for (std::uint64_t k = 0; k < open && d.ok(); ++k)
                 _openSyncRecord.push_back(
                     static_cast<std::size_t>(d.u64()));
+            _syncRecordsDropped = d.u64();
             _syncRecords.clear();
             const std::uint64_t records = d.u64();
             for (std::uint64_t k = 0; k < records && d.ok(); ++k) {
@@ -1654,6 +1755,19 @@ Machine::applyDeltaState(const std::vector<std::uint8_t> &bytes,
             for (std::uint64_t k = 0; k < open && d.ok(); ++k)
                 _openSyncRecord.push_back(
                     static_cast<std::size_t>(d.u64()));
+            // Rotation first: the source may have pruned old records
+            // since its predecessor was captured; drop the same count
+            // from the front so the vector indices below line up.
+            const std::uint64_t dropped = d.u64();
+            if (!d.ok() || dropped < _syncRecordsDropped ||
+                dropped - _syncRecordsDropped > _syncRecords.size())
+                return fail("core-delta");
+            _syncRecords.erase(
+                _syncRecords.begin(),
+                _syncRecords.begin() +
+                    static_cast<std::ptrdiff_t>(dropped -
+                                                _syncRecordsDropped));
+            _syncRecordsDropped = dropped;
             // Sync-record patch: truncate to the first record that
             // was still open when the delta's epoch began, then
             // re-append everything from there.

@@ -66,6 +66,8 @@ struct RunResult
     std::string deadlockInfo;          ///< per-processor state dump
     std::vector<ProcessorStats> perProcessor;
     std::uint64_t syncEvents = 0;      ///< completed barrier episodes
+    /** Sync records rotated out by MachineConfig::syncRecordWindow. */
+    std::uint64_t syncRecordsDropped = 0;
     std::uint64_t busRequests = 0;
     std::uint64_t busQueueDelay = 0;
     std::uint64_t memAccesses = 0;
@@ -177,11 +179,25 @@ class Machine : public ExecutionObserver
      */
     void reset(const MachineConfig &config);
 
-    /** Load @p program into processor @p p. Must precede run(). */
-    void loadProgram(int p, isa::Program program);
+    /**
+     * Load @p program into processor @p p. Must precede run(). With
+     * MachineConfig::predecode the program's threaded-code twin is
+     * installed too: pass a shared @p decoded block (it must hash to
+     * this exact program — asserted) to reuse a cached decode, or
+     * leave it null to decode here. A null @p decoded with predecode
+     * off leaves the per-cycle interpreter alone.
+     */
+    void loadProgram(int p, isa::Program program,
+                     std::shared_ptr<const DecodedProgram> decoded =
+                         nullptr);
 
-    /** Load the same program into every processor. */
+    /** Load the same program into every processor (one shared decode). */
     void loadAllPrograms(const isa::Program &program);
+
+    /** The threaded-code block installed for processor @p p (null
+     * when predecode is off or no program is loaded). Exposed so
+     * tests can verify cached blocks are shared, not re-decoded. */
+    std::shared_ptr<const DecodedProgram> decodedProgram(int p) const;
 
     /** Access shared memory for setup/inspection. */
     SharedMemory &memory() { return *_memory; }
@@ -383,6 +399,9 @@ class Machine : public ExecutionObserver
     std::vector<std::unique_ptr<DataCache>> _caches;
     std::vector<std::unique_ptr<Port>> _ports;
     std::vector<isa::Program> _programs;
+    /** Threaded-code twins of _programs (null slots when predecode is
+     * off; shareable across machines via exec::ProgramCache). */
+    std::vector<std::shared_ptr<const DecodedProgram>> _decodedPrograms;
     std::vector<std::unique_ptr<Processor>> _processors;
     std::uint64_t _now = 0;
     std::unique_ptr<BarrierTrace> _trace;
@@ -450,10 +469,19 @@ class Machine : public ExecutionObserver
     std::vector<std::size_t> _epochSharerLines;
     std::size_t _epochSyncPatchFrom = 0;
 
-    // Oracle bookkeeping.
+    // Oracle bookkeeping. With MachineConfig::syncRecordWindow the
+    // record trail is a rotating window: _syncRecords holds the
+    // retained suffix and _syncRecordsDropped counts the rotated-out
+    // prefix, so _openSyncRecord / _epochSyncPatchFrom keep using
+    // absolute indices (vector position = absolute - dropped).
     std::vector<std::uint64_t> _lastArrival;
     std::vector<std::size_t> _openSyncRecord;
     std::vector<SyncRecord> _syncRecords;
+    std::uint64_t _syncRecordsDropped = 0;
+
+    /** Rotate records beyond the window out of _syncRecords, never
+     * touching open records or the current delta epoch's patch tail. */
+    void pruneSyncRecords();
 
     // Run-loop scratch (hoisted per-cycle heap allocations).
     /** Processors still ticking: not fenced, tick() != Halted. Kept

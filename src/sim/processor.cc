@@ -369,6 +369,18 @@ std::uint64_t
 Processor::runPrivate(std::uint64_t next, std::uint64_t stop)
 {
     while (next < stop && isPrivateTick(next)) {
+        // A private tick implies Running, so the decoded loop's entry
+        // conditions are met whenever a decoded program is installed.
+        // Multi-issue cores keep the generic path: isPrivateTick only
+        // vouches for the leading bundle slot.
+        if (_decoded != nullptr && _issueWidth == 1) {
+            const std::uint64_t advanced = runDecoded(next, stop);
+            FB_ASSERT(advanced > next,
+                      "decoded loop diverged from isPrivateTick on cpu "
+                          << _id << " at cycle " << next);
+            next = advanced;
+            continue;
+        }
         if (_busyCycles > 0) {
             const std::uint64_t k = std::min<std::uint64_t>(
                 _busyCycles, stop - next);
@@ -381,6 +393,248 @@ Processor::runPrivate(std::uint64_t next, std::uint64_t stop)
     }
     return next;
 }
+
+/*
+ * Threaded-code dispatch for the decoded private loop. With GNU
+ * labels-as-values each pre-decoded opcode jumps straight to its
+ * handler through a flat label table; elsewhere the same handler
+ * bodies compile as a dense switch.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define FB_THREADED_DISPATCH 1
+#define FB_OP(name) op_##name:
+#define FB_DONE goto op_issued
+#else
+#define FB_THREADED_DISPATCH 0
+#define FB_OP(name) case Opcode::name:
+#define FB_DONE break
+#endif
+
+std::uint64_t
+Processor::runDecoded(std::uint64_t next, std::uint64_t stop)
+{
+    const DecodedInsn *const code = _decoded->code.data();
+    const std::size_t code_size = _decoded->code.size();
+
+#if FB_THREADED_DISPATCH
+    // Indexed by Opcode value; the excluded (non-private) opcodes
+    // share a panicking handler — they can never reach the dispatch.
+    const void *const labels[] = {
+        &&op_ADD, &&op_SUB, &&op_MUL, &&op_DIV, &&op_AND, &&op_OR,
+        &&op_XOR, &&op_SLT, &&op_SHL, &&op_SHR, &&op_ADDI, &&op_MULI,
+        &&op_SLTI, &&op_LI, &&op_MOV, &&op_LD, &&op_ST, &&op_FAA,
+        &&op_BEQ, &&op_BNE, &&op_BLT, &&op_BGE, &&op_JMP, &&op_CALL,
+        &&op_RET, &&op_IRET, &&op_SETTAG, &&op_SETMASK, &&op_BRENTER,
+        &&op_BREXIT, &&op_NOP, &&op_HALT};
+#endif
+
+    // Loop constants. During a private stretch the unit's tag and the
+    // NonBarrier/armed distinction can only be changed by this core's
+    // own excluded actions (SETTAG/SETMASK end the stretch) — a
+    // concurrent delivery moves Ready to Synced without crossing the
+    // NonBarrier boundary (see isPrivateTick) — so participation and
+    // the NonBarrier test hold for the whole call.
+    const bool participating = _unit.participating();
+    const bool non_barrier =
+        _unit.state() == barrier::BarrierState::NonBarrier;
+    const std::uint64_t drain =
+        static_cast<std::uint64_t>(_pipelineDepth) - 1;
+
+    while (next < stop) {
+        if (_busyCycles > 0) {
+            // Busy countdowns are pure accounting (advanceWait's
+            // Running branch), bulk-applied.
+            const std::uint64_t k = std::min<std::uint64_t>(
+                _busyCycles, stop - next);
+            _busyCycles -= static_cast<std::uint32_t>(k);
+            next += k;
+            continue;
+        }
+
+        // Mirror maybeInterrupt() without committing: whether this
+        // tick is private is decided first, mutations follow.
+        std::size_t pc = _pc;
+        bool in_isr = _inIsr;
+        bool vector = false;
+        bool drop_force = false;
+        bool periodic = false;
+        if (!_inIsr) {
+            periodic = _interruptPeriod != 0 && next >= _nextInterrupt;
+            if (periodic || _forceInterrupt) {
+                if (_isrEntry >= 0 &&
+                    static_cast<std::size_t>(_isrEntry) < code_size) {
+                    pc = static_cast<std::size_t>(_isrEntry);
+                    in_isr = true;
+                    vector = true;
+                } else {
+                    drop_force = true;  // nowhere to vector: drop it
+                }
+            }
+        }
+
+        if (pc >= code_size)
+            break;  // running off the end halts — machine-visible
+        const DecodedInsn &di = code[pc];
+        if (!di.privateOp)
+            break;  // memory / barrier-control / HALT: coordinator's
+
+        bool effective_region = false;
+        if (!in_isr) {
+            const bool inherited =
+                !_callStack.empty() && _callStack.back();
+            effective_region =
+                di.staticRegion || _markerRegion || inherited;
+            // Not private iff the issue would touch the unit: arming
+            // (region while NonBarrier) or crossing/stalling
+            // (non-region while armed).
+            if (participating && effective_region == non_barrier)
+                break;
+        }
+
+        // Committed: this tick is private. Apply the interrupt
+        // decision (the deferred maybeInterrupt mutations), then
+        // issue. The barrier block of issue() is a no-op on every
+        // private tick, so execution reduces to the dispatch below.
+        if (vector) {
+            _savedPc = _pc;
+            _pc = pc;
+            _inIsr = true;
+            if (periodic)
+                _nextInterrupt += _interruptPeriod;
+            _forceInterrupt = false;
+            ++_interruptsTaken;
+        } else if (drop_force) {
+            _forceInterrupt = false;
+        }
+        _issueEffRegion = effective_region;
+
+        std::uint32_t cost = di.cost;
+        std::size_t next_pc = pc + 1;
+
+// Direct register-file access: r0 reads as 0 because nothing ever
+// writes _regs[0] (FB_WR guards rd != 0, mirroring executeAt).
+#define FB_R(idx) _regs[static_cast<std::size_t>(idx)]
+#define FB_WR(v)                                                       \
+    do {                                                               \
+        if (di.rd != 0)                                                \
+            FB_R(di.rd) = (v);                                         \
+    } while (0)
+
+#if FB_THREADED_DISPATCH
+        goto *labels[static_cast<std::size_t>(di.op)];
+#else
+        switch (di.op) {
+#endif
+        FB_OP(ADD) FB_WR(FB_R(di.rs1) + FB_R(di.rs2)); FB_DONE;
+        FB_OP(SUB) FB_WR(FB_R(di.rs1) - FB_R(di.rs2)); FB_DONE;
+        FB_OP(MUL) FB_WR(FB_R(di.rs1) * FB_R(di.rs2)); FB_DONE;
+        FB_OP(DIV) {
+            FB_ASSERT(FB_R(di.rs2) != 0, "division by zero at pc "
+                                             << pc << " on cpu " << _id);
+            FB_WR(FB_R(di.rs1) / FB_R(di.rs2));
+            FB_DONE;
+        }
+        FB_OP(AND) FB_WR(FB_R(di.rs1) & FB_R(di.rs2)); FB_DONE;
+        FB_OP(OR) FB_WR(FB_R(di.rs1) | FB_R(di.rs2)); FB_DONE;
+        FB_OP(XOR) FB_WR(FB_R(di.rs1) ^ FB_R(di.rs2)); FB_DONE;
+        FB_OP(SLT) FB_WR(FB_R(di.rs1) < FB_R(di.rs2) ? 1 : 0); FB_DONE;
+        FB_OP(SHL) FB_WR(FB_R(di.rs1) << (FB_R(di.rs2) & 63)); FB_DONE;
+        FB_OP(SHR) FB_WR(FB_R(di.rs1) >> (FB_R(di.rs2) & 63)); FB_DONE;
+        FB_OP(ADDI) FB_WR(FB_R(di.rs1) + di.imm); FB_DONE;
+        FB_OP(MULI) FB_WR(FB_R(di.rs1) * di.imm); FB_DONE;
+        FB_OP(SLTI) FB_WR(FB_R(di.rs1) < di.imm ? 1 : 0); FB_DONE;
+        FB_OP(LI) FB_WR(di.imm); FB_DONE;
+        FB_OP(MOV) FB_WR(FB_R(di.rs1)); FB_DONE;
+        FB_OP(BEQ) {
+            if (FB_R(di.rs1) == FB_R(di.rs2))
+                next_pc = static_cast<std::size_t>(di.imm);
+            FB_DONE;
+        }
+        FB_OP(BNE) {
+            if (FB_R(di.rs1) != FB_R(di.rs2))
+                next_pc = static_cast<std::size_t>(di.imm);
+            FB_DONE;
+        }
+        FB_OP(BLT) {
+            if (FB_R(di.rs1) < FB_R(di.rs2))
+                next_pc = static_cast<std::size_t>(di.imm);
+            FB_DONE;
+        }
+        FB_OP(BGE) {
+            if (FB_R(di.rs1) >= FB_R(di.rs2))
+                next_pc = static_cast<std::size_t>(di.imm);
+            FB_DONE;
+        }
+        FB_OP(JMP) next_pc = static_cast<std::size_t>(di.imm); FB_DONE;
+        FB_OP(CALL) {
+            FB_ASSERT(_callStack.size() < 4096,
+                      "call stack overflow on cpu " << _id);
+            FB_WR(static_cast<std::int64_t>(pc + 1));
+            _callStack.push_back(_issueEffRegion);
+            next_pc = static_cast<std::size_t>(di.imm);
+            FB_DONE;
+        }
+        FB_OP(RET) {
+            FB_ASSERT(!_callStack.empty(),
+                      "RET without matching CALL on cpu " << _id);
+            _callStack.pop_back();
+            next_pc = static_cast<std::size_t>(FB_R(di.rs1));
+            FB_DONE;
+        }
+        FB_OP(IRET) {
+            FB_ASSERT(_inIsr, "IRET outside an interrupt service routine");
+            _inIsr = false;
+            next_pc = _savedPc;
+            FB_DONE;
+        }
+        FB_OP(BRENTER) {
+            FB_ASSERT(!_inIsr,
+                      "region markers are not allowed inside ISRs");
+            _markerRegion = true;
+            FB_DONE;
+        }
+        FB_OP(BREXIT) {
+            FB_ASSERT(!_inIsr,
+                      "region markers are not allowed inside ISRs");
+            _markerRegion = false;
+            FB_DONE;
+        }
+        FB_OP(NOP) FB_DONE;
+        FB_OP(LD)
+        FB_OP(ST)
+        FB_OP(FAA)
+        FB_OP(SETTAG)
+        FB_OP(SETMASK)
+        FB_OP(HALT)
+        panic("non-private opcode reached the decoded dispatch");
+#if !FB_THREADED_DISPATCH
+        }
+#endif
+
+#if FB_THREADED_DISPATCH
+    op_issued:
+#endif
+#undef FB_R
+#undef FB_WR
+
+        if (_jitterMean > 0.0)
+            cost += static_cast<std::uint32_t>(
+                _jitter.nextJitter(_jitterMean));
+        _pc = next_pc;
+        _lastIssueCost = cost;
+        ++_instructions;
+        _busyCycles = cost > 0 ? cost - 1 : 0;
+        if (!effective_region) {
+            _lastNonRegionComplete = next + cost - 1 + drain;
+        }
+        ++next;
+    }
+    return next;
+}
+
+#undef FB_OP
+#undef FB_DONE
+#undef FB_THREADED_DISPATCH
 
 void
 Processor::advanceWait(std::uint64_t cycles)

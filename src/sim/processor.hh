@@ -13,6 +13,7 @@
 #include "barrier/unit.hh"
 #include "isa/program.hh"
 #include "sim/config.hh"
+#include "sim/decoded.hh"
 #include "snapshot/codec.hh"
 #include "support/random.hh"
 
@@ -181,9 +182,23 @@ class Processor
      * (excluding) @p stop, returning the first cycle not executed —
      * either @p stop or the first cycle whose tick is not private.
      * Busy countdowns are bulk-applied via advanceWait(), which is
-     * bit-identical to ticking them one by one.
+     * bit-identical to ticking them one by one. With a decoded
+     * program installed (and scalar issue), the stretch runs through
+     * the threaded-code loop instead of per-cycle tick() calls —
+     * same state transitions, same counters, same PRNG draws.
      */
     std::uint64_t runPrivate(std::uint64_t next, std::uint64_t stop);
+
+    /**
+     * Install (or clear, with nullptr) the pre-decoded twin of the
+     * bound program. The caller owns the DecodedProgram's lifetime
+     * (the Machine keeps a shared_ptr per slot) and guarantees it was
+     * decoded from the exact program this core executes.
+     */
+    void setDecoded(const DecodedProgram *decoded) { _decoded = decoded; }
+
+    /** True if @p instr may occupy a non-leading bundle slot. */
+    static bool bundleable(const isa::Instruction &instr);
 
     /** True once HALT executed or the stream ran off the end. */
     bool halted() const { return _halted; }
@@ -276,8 +291,14 @@ class Processor
     /** Issue up to issueWidth independent instructions this cycle. */
     TickResult issueBundle(std::uint64_t now);
 
-    /** True if @p instr may occupy a non-leading bundle slot. */
-    static bool bundleable(const isa::Instruction &instr);
+    /**
+     * The threaded-code core of runPrivate(): execute consecutive
+     * private ticks from @p next (whose tick the caller has verified
+     * is private, with the core Running) to @p stop through the
+     * decoded dispatch loop. Returns the first cycle not executed;
+     * always makes progress.
+     */
+    std::uint64_t runDecoded(std::uint64_t next, std::uint64_t stop);
 
     /** Begin a barrier-exit stall under the configured model. */
     TickResult beginStall(std::uint64_t now);
@@ -287,6 +308,8 @@ class Processor
 
     int _id;
     const isa::Program &_program;
+    /** Pre-decoded twin of _program (optional; owned by the Machine). */
+    const DecodedProgram *_decoded = nullptr;
     barrier::BarrierUnit &_unit;
     MemoryPort &_mem;
     int _pipelineDepth;

@@ -25,10 +25,12 @@ namespace fb::snapshot
 /**
  * Current container format version. Version 2 added the delta-chain
  * linkage fields (`baseFull`, `prev`) to the header and the delta
- * section ids; version-1 streams are rejected, not migrated — a
- * snapshot store is regenerated from a live machine, never converted.
+ * section ids; version 3 added the rotated-out sync-record count to
+ * the MachineCore and CoreDelta sections (the sync-record window).
+ * Older streams are rejected, not migrated — a snapshot store is
+ * regenerated from a live machine, never converted.
  */
-constexpr std::uint32_t formatVersion = 2;
+constexpr std::uint32_t formatVersion = 3;
 
 /** 8-byte magic at offset 0: "FBSNAP" + version tag bytes. */
 constexpr std::uint8_t magic[8] = {'F', 'B', 'S', 'N', 'A', 'P',

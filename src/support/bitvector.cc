@@ -23,14 +23,6 @@ BitVector::set(std::size_t idx, bool value)
         _words[wordOf(idx)] &= ~maskOf(idx);
 }
 
-bool
-BitVector::test(std::size_t idx) const
-{
-    FB_ASSERT(idx < _size, "BitVector index " << idx << " out of range "
-                                              << _size);
-    return (_words[wordOf(idx)] & maskOf(idx)) != 0;
-}
-
 void
 BitVector::setAll()
 {

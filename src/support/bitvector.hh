@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "support/logging.hh"
+
 namespace fb
 {
 
@@ -37,8 +39,14 @@ class BitVector
     /** Clear bit @p idx. */
     void clear(std::size_t idx) { set(idx, false); }
 
-    /** Read bit @p idx. */
-    bool test(std::size_t idx) const;
+    /** Read bit @p idx. Inline: this is the innermost operation of
+     * the barrier network's per-cycle AND evaluation. */
+    bool test(std::size_t idx) const
+    {
+        FB_ASSERT(idx < _size, "BitVector index "
+                                   << idx << " out of range " << _size);
+        return (_words[wordOf(idx)] & maskOf(idx)) != 0;
+    }
 
     /** Set every bit. */
     void setAll();

@@ -33,16 +33,32 @@ struct Variant
     std::uint64_t machineSeed = 1;
     sim::StallModel stall = sim::StallModel::hardware();
     bool fastForward = true;  ///< event-driven core vs per-cycle loop
+    bool predecode = true;    ///< threaded-code backend vs legacy decode
     int shardCount = 1;       ///< host threads (exec::ShardedMachine)
     std::uint64_t shardQuantum = 0;  ///< skew window (0 = sequential)
 };
 
-Fingerprint
-runOnMachine(const Scenario &sc,
-             const std::vector<isa::Program> &programs, sim::Machine &m)
+/**
+ * The programs of one encoding plus (optionally) their shared
+ * pre-decoded blocks. With a program cache the decoded vector is
+ * populated from the interned entries, so every pooled machine in a
+ * campaign reuses one decode per distinct source; without it the
+ * vector stays empty and loadProgram decodes privately.
+ */
+struct ProgramSet
 {
-    for (int p = 0; p < sc.procs(); ++p)
-        m.loadProgram(p, programs[static_cast<std::size_t>(p)]);
+    std::vector<isa::Program> programs;
+    std::vector<std::shared_ptr<const sim::DecodedProgram>> decoded;
+};
+
+Fingerprint
+runOnMachine(const Scenario &sc, const ProgramSet &set, sim::Machine &m)
+{
+    for (int p = 0; p < sc.procs(); ++p) {
+        const auto sp = static_cast<std::size_t>(p);
+        m.loadProgram(p, set.programs[sp],
+                      set.decoded.empty() ? nullptr : set.decoded[sp]);
+    }
     // ShardedMachine honors the machine's shard config and falls back
     // to the plain sequential run() when shardCount <= 1, so routing
     // every variant through it costs nothing for sequential variants.
@@ -69,8 +85,8 @@ runOnMachine(const Scenario &sc,
 }
 
 Fingerprint
-runVariant(const Scenario &sc, const std::vector<isa::Program> &programs,
-           const Variant &v, const DiffOptions &opt)
+runVariant(const Scenario &sc, const ProgramSet &set, const Variant &v,
+           const DiffOptions &opt)
 {
     sim::MachineConfig cfg;
     cfg.numProcessors = sc.procs();
@@ -82,6 +98,7 @@ runVariant(const Scenario &sc, const std::vector<isa::Program> &programs,
     cfg.stall = v.stall;
     cfg.maxCycles = opt.maxCycles;
     cfg.fastForward = v.fastForward;
+    cfg.predecode = v.predecode && opt.predecode;
     cfg.shardCount = v.shardCount;
     cfg.shardQuantum = v.shardQuantum;
     cfg.interruptPeriod = sc.interruptPeriod;
@@ -93,10 +110,10 @@ runVariant(const Scenario &sc, const std::vector<isa::Program> &programs,
 
     if (opt.machinePool) {
         auto lease = opt.machinePool->acquire(cfg);
-        return runOnMachine(sc, programs, *lease);
+        return runOnMachine(sc, set, *lease);
     }
     sim::Machine m(cfg);
-    return runOnMachine(sc, programs, m);
+    return runOnMachine(sc, set, m);
 }
 
 /**
@@ -333,10 +350,11 @@ runDifferential(const Scenario &sc, const DiffOptions &opt)
     const std::vector<int> fatal = sc.faults.fatalTargets();
 
     // Assemble both encodings up front. With an intern cache the
-    // assembled pair is shared campaign-wide and only copied into the
-    // per-call vectors; otherwise assemble locally as before.
-    std::vector<isa::Program> bits;
-    std::vector<isa::Program> markers;
+    // assembled pair — and its pre-decoded blocks — is shared
+    // campaign-wide and only copied into the per-call vectors;
+    // otherwise assemble locally as before.
+    ProgramSet bits;
+    ProgramSet markers;
     for (int p = 0; p < sc.procs(); ++p) {
         const auto &source = sc.sources[static_cast<std::size_t>(p)];
         isa::Program bitProg;
@@ -356,6 +374,8 @@ runDifferential(const Scenario &sc, const DiffOptions &opt)
             }
             bitProg = interned->bits;
             markerProg = interned->markers;
+            bits.decoded.push_back(interned->bitsDecoded);
+            markers.decoded.push_back(interned->markersDecoded);
         } else {
             std::string err;
             if (!isa::Assembler::assemble(source, bitProg, err)) {
@@ -376,8 +396,8 @@ runDifferential(const Scenario &sc, const DiffOptions &opt)
                  static_cast<std::int64_t>(bitProg.size()))) {
             return failed("setup", "ISR entry index outside program");
         }
-        markers.push_back(std::move(markerProg));
-        bits.push_back(std::move(bitProg));
+        markers.programs.push_back(std::move(markerProg));
+        bits.programs.push_back(std::move(bitProg));
     }
 
     const bool baseMarkers = sc.encoding == Encoding::Markers;
@@ -443,6 +463,19 @@ runDifferential(const Scenario &sc, const DiffOptions &opt)
         v.name = "core/legacy-loop";
         v.markers = baseMarkers;
         v.fastForward = false;
+        variants.push_back(v);
+    }
+    if (opt.legacyDispatch && opt.predecode) {
+        // Same machine as the baseline but decoding instruction by
+        // instruction: every fuzzed scenario continuously cross-checks
+        // the pre-decoded threaded-code backend (with its macro-step
+        // windows) against the legacy interpreter. Skipped when the
+        // whole matrix already runs without predecode — the variant
+        // would duplicate the baseline.
+        Variant v;
+        v.name = "core/legacy-dispatch";
+        v.markers = baseMarkers;
+        v.predecode = false;
         variants.push_back(v);
     }
     if (opt.shards >= 2) {

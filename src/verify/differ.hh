@@ -61,6 +61,7 @@ struct DiffOptions
     bool jitter = true;                 ///< random execution drift
     bool multiIssue = true;             ///< VLIW width 4
     bool legacyLoop = true;             ///< per-cycle loop (no fast-forward)
+    bool legacyDispatch = true;         ///< legacy interpreter (no predecode)
     bool swBarrierReference = true;     ///< real-thread cross-check
     std::uint64_t maxCycles = 5'000'000;
     std::size_t memWords = 4096;
@@ -89,6 +90,14 @@ struct DiffOptions
     int shards = 0;
     /** Skew quantum for the sharded executor (cycles). */
     std::uint64_t shardQuantum = 1024;
+
+    /**
+     * Master switch for the pre-decoded threaded-code backend: when
+     * false every executor in the matrix (baseline included) runs the
+     * legacy interpreter and the legacy-dispatch cross-check variant
+     * is skipped as redundant. The fbfuzz --no-predecode escape hatch.
+     */
+    bool predecode = true;
 
     /**
      * Optional campaign-engine hooks. When set, every variant runs on

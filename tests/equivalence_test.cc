@@ -31,7 +31,15 @@ namespace
 using namespace fb;
 using namespace fb::harness;
 
-/** Run one seed's scenario under both cores and compare. */
+/**
+ * Run one seed's scenario under the legacy per-cycle interpreter
+ * (the oracle), then under every backend combination the simulator
+ * ships — fast-forward with the pre-decoded threaded-code dispatch
+ * on and off, each at shard counts 1 and 4 — and require all of
+ * them bit-identical. Predecoded runs reuse the ProgramCache's
+ * interned threaded-code blocks when a cache is supplied, so the
+ * sweep also covers Machine::loadProgram's shared-block path.
+ */
 void
 checkSeed(std::uint64_t seed, bool with_faults,
           exec::MachinePool *pool = nullptr,
@@ -42,14 +50,35 @@ checkSeed(std::uint64_t seed, bool with_faults,
     if (with_faults)
         attachFaults(sc, corpusFaultSeed(seed));
     std::vector<isa::Program> programs;
-    ASSERT_TRUE(assemblePrograms(sc, programs, cache))
+    std::vector<std::shared_ptr<const sim::DecodedProgram>> decoded;
+    ASSERT_TRUE(assemblePrograms(sc, programs, cache, &decoded))
         << "seed " << seed;
 
     Knobs k = knobsFor(seed);
     const std::string ctx = describeSeed(seed, with_faults, k);
-    Observation ff = runOnce(sc, programs, k, true, pool);
-    Observation legacy = runOnce(sc, programs, k, false, pool);
-    expectIdentical(ff, legacy, ctx);
+    Observation legacy = runOnce(
+        sc, programs, configFor(sc, k, false, /*predecode=*/false),
+        pool);
+
+    struct Variant
+    {
+        bool predecode;
+        int shards;
+        const char *name;
+    };
+    constexpr Variant variants[] = {
+        {true, 1, " [predecode shards=1]"},
+        {false, 1, " [legacy-dispatch shards=1]"},
+        {true, 4, " [predecode shards=4]"},
+        {false, 4, " [legacy-dispatch shards=4]"},
+    };
+    for (const Variant &v : variants) {
+        sim::MachineConfig cfg =
+            configFor(sc, k, true, v.predecode, v.shards);
+        Observation obs = runOnce(sc, programs, cfg, pool,
+                                  v.predecode ? &decoded : nullptr);
+        expectIdentical(obs, legacy, ctx + v.name);
+    }
 }
 
 TEST(Equivalence, FastForwardMatchesLegacyOnFuzzPrograms)
@@ -111,6 +140,64 @@ TEST(Equivalence, DeadlockDetectionMatches)
     Observation legacy = runOnce(sc, programs, k, false);
     EXPECT_TRUE(legacy.result.deadlocked);
     expectIdentical(ff, legacy, "fig2-deadlock");
+}
+
+TEST(Equivalence, ProgramCacheSharesDecodedBlocks)
+{
+    // The intern cache carries one threaded-code block per source ×
+    // encoding. Every pooled machine that loads the same interned
+    // source must install that exact block (pointer identity — no
+    // per-lease re-decode), and a block handed to a *different*
+    // program must be rejected by loadProgram's hash check rather
+    // than silently executed.
+    const std::string src_a =
+        "settag 1\nsetmask 3\n.region\nnop\n.endregion\nnop\nhalt\n";
+    const std::string src_b =
+        "settag 1\nsetmask 3\n.region\nnop\n.endregion\n"
+        "addi r1, r1, 7\nhalt\n";
+
+    exec::ProgramCache cache;
+    auto interned = cache.intern(src_a);
+    ASSERT_TRUE(interned->ok);
+    ASSERT_NE(interned->bitsDecoded, nullptr);
+    EXPECT_EQ(cache.intern(src_a)->bitsDecoded.get(),
+              interned->bitsDecoded.get());
+
+    verify::Scenario sc;
+    sc.groupSizes = {2};
+    sc.episodes = 1;
+    sc.sources = {src_a, src_a};
+    std::vector<isa::Program> programs;
+    std::vector<std::shared_ptr<const sim::DecodedProgram>> decoded;
+    ASSERT_TRUE(assemblePrograms(sc, programs, &cache, &decoded));
+    ASSERT_EQ(decoded.size(), 2u);
+    EXPECT_EQ(decoded[0].get(), interned->bitsDecoded.get());
+
+    exec::MachinePool pool;
+    Knobs k;
+    const sim::MachineConfig cfg = configFor(sc, k, true);
+    const sim::DecodedProgram *installed[2] = {nullptr, nullptr};
+    for (int lease = 0; lease < 2; ++lease) {
+        auto m = pool.acquire(cfg);
+        for (int p = 0; p < sc.procs(); ++p)
+            m->loadProgram(p, programs[static_cast<std::size_t>(p)],
+                           decoded[static_cast<std::size_t>(p)]);
+        installed[lease] = m->decodedProgram(0).get();
+        EXPECT_EQ(installed[lease], interned->bitsDecoded.get());
+        EXPECT_FALSE(m->run().deadlocked);
+    }
+    // Both leases installed the one cached block.
+    EXPECT_EQ(installed[0], installed[1]);
+    EXPECT_GT(pool.reuses(), 0u);
+
+    // Wrong-program block: src_b assembles to a different program, so
+    // src_a's decode must not be accepted for it.
+    auto interned_b = cache.intern(src_b);
+    ASSERT_TRUE(interned_b->ok);
+    sim::Machine victim(cfg);
+    EXPECT_DEATH(victim.loadProgram(0, interned_b->bits,
+                                    interned->bitsDecoded),
+                 "decoded block does not match");
 }
 
 TEST(Equivalence, TimeoutMatches)

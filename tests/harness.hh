@@ -13,6 +13,7 @@
 #define FB_TESTS_HARNESS_HH
 
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "exec/sharded_machine.hh"
 #include "fault/plan.hh"
 #include "isa/assembler.hh"
+#include "sim/decoded.hh"
 #include "sim/machine.hh"
 #include "verify/scenario.hh"
 
@@ -62,7 +64,8 @@ knobsFor(std::uint64_t seed)
 }
 
 inline sim::MachineConfig
-configFor(const verify::Scenario &sc, const Knobs &k, bool fast_forward)
+configFor(const verify::Scenario &sc, const Knobs &k, bool fast_forward,
+          bool predecode = true, int shards = 1)
 {
     sim::MachineConfig cfg;
     cfg.numProcessors = sc.procs();
@@ -77,6 +80,11 @@ configFor(const verify::Scenario &sc, const Knobs &k, bool fast_forward)
     cfg.interruptPeriod = sc.interruptPeriod;
     cfg.isrEntry = sc.isrEntry;
     cfg.fastForward = fast_forward;
+    cfg.predecode = predecode;
+    if (shards > 1) {
+        cfg.shardCount = shards;
+        cfg.shardQuantum = 512;
+    }
     if (sc.hasFaults()) {
         cfg.faultPlan = &sc.faults;
         cfg.watchdog = sc.watchdog;
@@ -125,10 +133,15 @@ struct Observation
  */
 inline Observation
 observeRun(const verify::Scenario &sc,
-           const std::vector<isa::Program> &programs, sim::Machine &m)
+           const std::vector<isa::Program> &programs, sim::Machine &m,
+           const std::vector<std::shared_ptr<const sim::DecodedProgram>>
+               *decoded = nullptr)
 {
-    for (int p = 0; p < sc.procs(); ++p)
-        m.loadProgram(p, programs[static_cast<std::size_t>(p)]);
+    for (int p = 0; p < sc.procs(); ++p) {
+        const auto sp = static_cast<std::size_t>(p);
+        m.loadProgram(p, programs[sp],
+                      decoded ? (*decoded)[sp] : nullptr);
+    }
     Observation obs;
     exec::ShardedMachine sharded(m);
     obs.result = sharded.run();
@@ -149,14 +162,16 @@ observeRun(const verify::Scenario &sc,
 inline Observation
 runOnce(const verify::Scenario &sc,
         const std::vector<isa::Program> &programs,
-        const sim::MachineConfig &cfg, exec::MachinePool *pool = nullptr)
+        const sim::MachineConfig &cfg, exec::MachinePool *pool = nullptr,
+        const std::vector<std::shared_ptr<const sim::DecodedProgram>>
+            *decoded = nullptr)
 {
     if (pool) {
         auto lease = pool->acquire(cfg);
-        return observeRun(sc, programs, *lease);
+        return observeRun(sc, programs, *lease, decoded);
     }
     sim::Machine m(cfg);
-    return observeRun(sc, programs, m);
+    return observeRun(sc, programs, m, decoded);
 }
 
 /** Knob-level convenience overload (fast-forward vs legacy core). */
@@ -238,22 +253,32 @@ expectIdentical(const Observation &ff, const Observation &legacy,
 }
 
 /** Assemble the scenario's programs under its baseline encoding,
- * through the shared intern cache when @p cache is set. */
+ * through the shared intern cache when @p cache is set. With
+ * @p decoded, also hand back the cache's interned threaded-code
+ * blocks (null per program without a cache), so sweeps exercise the
+ * decoded-block sharing path of Machine::loadProgram. */
 inline bool
 assemblePrograms(const verify::Scenario &sc,
                  std::vector<isa::Program> &out,
-                 exec::ProgramCache *cache = nullptr)
+                 exec::ProgramCache *cache = nullptr,
+                 std::vector<std::shared_ptr<const sim::DecodedProgram>>
+                     *decoded = nullptr)
 {
     for (int p = 0; p < sc.procs(); ++p) {
         const auto &source = sc.sources[static_cast<std::size_t>(p)];
         isa::Program prog;
+        std::shared_ptr<const sim::DecodedProgram> block;
         if (cache) {
             auto interned = cache->intern(source);
             if (!interned->ok)
                 return false;
-            prog = sc.encoding == verify::Encoding::Markers
-                       ? interned->markers
-                       : interned->bits;
+            if (sc.encoding == verify::Encoding::Markers) {
+                prog = interned->markers;
+                block = interned->markersDecoded;
+            } else {
+                prog = interned->bits;
+                block = interned->bitsDecoded;
+            }
         } else {
             std::string err;
             if (!isa::Assembler::assemble(source, prog, err))
@@ -261,6 +286,8 @@ assemblePrograms(const verify::Scenario &sc,
             if (sc.encoding == verify::Encoding::Markers)
                 prog = prog.toMarkerEncoding();
         }
+        if (decoded)
+            decoded->push_back(std::move(block));
         out.push_back(std::move(prog));
     }
     return true;

@@ -504,6 +504,76 @@ TEST(MachineSnapshot, RestoreContinuesBitIdentically)
     EXPECT_EQ(resumed.checkSafetyProperty(), ref.checkSafetyProperty());
 }
 
+TEST(MachineSnapshot, SyncRecordWindowSurvivesChainedRestore)
+{
+    // A bounded sync-record trail (MachineConfig::syncRecordWindow)
+    // rotates old records out mid-run; checkpoints taken across those
+    // prunes carry the dropped-count and the retained suffix on the
+    // wire, and a delta chain restored on a fresh machine must land on
+    // the exact same trail, dropped count and final state as the
+    // uninterrupted reference.
+    auto cfg = machineConfig(4);
+    cfg.syncRecordWindow = 3;
+    Machine ref(cfg);
+    loadLoop(ref, 4);
+    auto refResult = ref.run();
+    ASSERT_FALSE(refResult.deadlocked);
+    // The loop synchronizes once per iteration, so the run crosses
+    // the window many times over.
+    ASSERT_GT(refResult.syncRecordsDropped, 0u);
+    ASSERT_EQ(ref.syncRecords().size(), 3u);
+
+    SnapshotStore store(freshDir("sync_window_chain"), 32);
+    AsyncSnapshotWriter writer(store);
+    auto cfg2 = cfg;
+    cfg2.checkpointEveryCycles = refResult.cycles / 10;
+    cfg2.checkpointRebaseEvery = 4;
+    Machine chk(cfg2);
+    loadLoop(chk, 4);
+    chk.setStagedCheckpointSink(
+        [&writer](SnapshotHeader h, std::vector<Section> secs) {
+            auto v = writer.submit(std::move(h), std::move(secs));
+            Machine::CheckpointAck ack;
+            ack.keep = v.keep;
+            ack.forceFull = v.forceFull;
+            ack.deltasOk = v.deltasOk;
+            ack.degradation = std::move(v.degradation);
+            return ack;
+        });
+    auto chkResult = chk.run();
+    writer.drain();
+    EXPECT_EQ(chkResult.cycles, refResult.cycles);
+    EXPECT_EQ(chkResult.syncRecordsDropped, refResult.syncRecordsDropped);
+    EXPECT_GE(chkResult.checkpointsDelta, 1u);
+
+    std::vector<std::vector<std::uint8_t>> chain;
+    std::uint64_t gen = 0;
+    std::vector<std::string> diags;
+    ASSERT_TRUE(store.loadLatestChain(chain, gen, diags));
+    Machine resumed(cfg);
+    loadLoop(resumed, 4);
+    std::string err;
+    ASSERT_TRUE(resumed.restoreChainState(chain, err)) << err;
+    auto result = resumed.run();
+
+    EXPECT_EQ(result.cycles, refResult.cycles);
+    EXPECT_EQ(result.syncRecordsDropped, refResult.syncRecordsDropped);
+    ASSERT_EQ(resumed.syncRecords().size(), ref.syncRecords().size());
+    for (std::size_t i = 0; i < ref.syncRecords().size(); ++i) {
+        const sim::SyncRecord &a = resumed.syncRecords()[i];
+        const sim::SyncRecord &b = ref.syncRecords()[i];
+        EXPECT_EQ(a.cycle, b.cycle) << "record " << i;
+        EXPECT_EQ(a.members, b.members) << "record " << i;
+        EXPECT_EQ(a.arrivals, b.arrivals) << "record " << i;
+        EXPECT_EQ(a.crossings, b.crossings) << "record " << i;
+    }
+    for (int p = 0; p < 4; ++p)
+        for (int r = 0; r < 32; ++r)
+            EXPECT_EQ(resumed.processor(p).reg(r),
+                      ref.processor(p).reg(r))
+                << "cpu" << p << " r" << r;
+}
+
 TEST(MachineSnapshot, SinkReturningFalseUninstalls)
 {
     auto cfg = machineConfig(2);

@@ -35,6 +35,14 @@
  *                  threads under a QUANTUM-cycle skew window (default
  *                  1024) and must reproduce the baseline fingerprint
  *                  exactly (see exec::ShardedMachine)
+ *   --no-predecode run every executor on the legacy instruction-by-
+ *                  instruction interpreter instead of the pre-decoded
+ *                  threaded-code backend (also drops the
+ *                  legacy-dispatch cross-check variant, which would
+ *                  duplicate the baseline). Results are identical;
+ *                  the flag is recorded in --cursor journals, so a
+ *                  campaign cannot silently resume under the other
+ *                  backend
  *   --jobs N       fuzz seeds on N worker threads; every seed in the
  *                  range is scanned (no stop at the first failure)
  *                  and results are reported in seed order, so the
@@ -104,6 +112,7 @@ struct Options
     std::uint64_t maxCycles = 5'000'000;
     int shards = 0;  ///< 0 = no sharded executor in the matrix
     std::uint64_t shardQuantum = 1024;
+    bool predecode = true;  ///< threaded-code backend for every executor
     int jobs = 0;  ///< 0 = sequential stop-at-first-failure mode
     std::string cursorFile;
     bool quiet = false;
@@ -163,7 +172,9 @@ parseArgs(int argc, char **argv)
                     usage("--shards quantum must be >= 1");
                 opt.shardQuantum = static_cast<std::uint64_t>(q);
             }
-        } else if (arg == "--jobs")
+        } else if (arg == "--no-predecode")
+            opt.predecode = false;
+        else if (arg == "--jobs")
             opt.jobs = static_cast<int>(nextInt());
         else if (arg == "--cursor")
             opt.cursorFile = next();
@@ -219,7 +230,8 @@ cursorHeader(const Options &opt)
         << " fault-seed=" << opt.faultSeed
         << " swref=" << (opt.swref ? 1 : 0)
         << " max-cycles=" << opt.maxCycles
-        << " shards=" << opt.shards << ":" << opt.shardQuantum;
+        << " shards=" << opt.shards << ":" << opt.shardQuantum
+        << " predecode=" << (opt.predecode ? 1 : 0);
     return oss.str();
 }
 
@@ -324,6 +336,7 @@ diffOptions(const Options &opt)
     d.maxCycles = opt.maxCycles;
     d.shards = opt.shards;
     d.shardQuantum = opt.shardQuantum;
+    d.predecode = opt.predecode;
     return d;
 }
 
@@ -435,6 +448,8 @@ describeFailure(std::uint64_t spec_seed, const verify::Scenario &sc,
     }
     if (opt.shards >= 2)
         out << " --shards " << opt.shards << ":" << opt.shardQuantum;
+    if (!opt.predecode)
+        out << " --no-predecode";
     out << "\n";
     return out.str();
 }
