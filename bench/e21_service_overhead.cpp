@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Experiment E21 (infrastructure ablation) — campaign service
+ * overhead.
+ *
+ * The coordinator/worker campaign service (exec/service) buys
+ * crash-tolerance — worker respawn, lease reassignment, CRC-framed
+ * transport, poison-seed quarantine — by moving execution out of the
+ * coordinator's address space into forked worker processes talking
+ * over pipes. This bench prices that robustness on the same
+ * verify-layer scenario workload E18 uses:
+ *
+ *   engine   — exec::runCampaign, jobs = W threads in-process;
+ *   service  — exec::svc::runCampaignService, W forked worker
+ *              processes, innerJobs = 1 (the fbfuzz --workers shape);
+ *   faulted  — the service again, under an injected kill:K schedule,
+ *              so a worker dies mid-campaign and its lease is
+ *              reassigned — the marginal cost of one recovery.
+ *
+ * Every mode must deliver a byte-identical result stream (each item's
+ * payload carries its machine-state fingerprint, so the identity
+ * check crosses the process boundary and the wire format). Only the
+ * wall clock may differ.
+ */
+
+#include "common.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "exec/campaign.hh"
+#include "exec/service/coordinator.hh"
+#include "verify/generator.hh"
+#include "verify/scenario.hh"
+
+namespace
+{
+
+using namespace fb;
+using namespace fb::bench;
+
+constexpr std::uint64_t kDistinctSeeds = 48;
+constexpr std::uint64_t kScenarios = 768;
+constexpr std::uint64_t kMaxCycles = 200'000;
+
+sim::MachineConfig
+configFor(const verify::Scenario &sc)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcessors = sc.procs();
+    cfg.memWords = 1 << 18;
+    cfg.cache.enabled = true;
+    cfg.seed = 1;
+    cfg.maxCycles = kMaxCycles;
+    cfg.interruptPeriod = sc.interruptPeriod;
+    cfg.isrEntry = sc.isrEntry;
+    return cfg;
+}
+
+/** FNV-1a over everything the campaign observes about one run. */
+std::uint64_t
+fingerprint(const sim::RunResult &r, sim::Machine &m, int procs)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(r.cycles);
+    mix(r.deadlocked ? 1 : 0);
+    mix(r.timedOut ? 1 : 0);
+    mix(r.syncEvents);
+    mix(r.busRequests);
+    mix(r.memAccesses);
+    for (const auto &p : r.perProcessor) {
+        mix(p.instructions);
+        mix(p.barrierEpisodes);
+        mix(p.barrierWaitCycles);
+    }
+    for (int p = 0; p < procs; ++p)
+        for (int reg = 0; reg < isa::numRegisters; ++reg)
+            mix(static_cast<std::uint64_t>(m.processor(p).reg(reg)));
+    return h;
+}
+
+std::atomic<std::uint64_t> gSimCycles{0};
+
+/**
+ * The shared runner: one scenario through a recycled machine, result
+ * fingerprint rendered into the payload so the stream-identity check
+ * crosses the worker pipe. Pure function of the index — the
+ * determinism contract both execution substrates rely on.
+ */
+exec::ItemResult
+runItem(const std::vector<verify::Scenario> &scenarios, std::uint64_t i,
+        exec::WorkerContext &ctx)
+{
+    const auto &sc = scenarios[static_cast<std::size_t>(i)];
+    std::vector<isa::Program> programs;
+    for (int p = 0; p < sc.procs(); ++p) {
+        auto interned =
+            ctx.programs.intern(sc.sources[static_cast<std::size_t>(p)]);
+        if (!interned->ok) {
+            std::fprintf(stderr, "E21 assembly failed: %s\n",
+                         interned->error.c_str());
+            std::exit(1);
+        }
+        programs.push_back(sc.encoding == verify::Encoding::Markers
+                               ? interned->markers
+                               : interned->bits);
+    }
+    auto lease = ctx.machines.acquire(configFor(sc));
+    for (int p = 0; p < sc.procs(); ++p)
+        lease->loadProgram(p, programs[static_cast<std::size_t>(p)]);
+    auto r = lease->run();
+    gSimCycles.fetch_add(r.cycles, std::memory_order_relaxed);
+    exec::ItemResult res;
+    char line[64];
+    std::snprintf(line, sizeof line, "item=%llu fp=%016llx\n",
+                  static_cast<unsigned long long>(i),
+                  static_cast<unsigned long long>(
+                      fingerprint(r, *lease, sc.procs())));
+    res.payload = line;
+    return res;
+}
+
+double
+runEngine(const std::vector<verify::Scenario> &scenarios, int jobs,
+          std::string &stream)
+{
+    exec::CampaignOptions opt;
+    opt.jobs = jobs;
+    const auto start = std::chrono::steady_clock::now();
+    exec::runCampaign(
+        scenarios.size(), opt,
+        [&](std::uint64_t i, exec::WorkerContext &ctx) {
+            return runItem(scenarios, i, ctx);
+        },
+        [&](std::uint64_t, const exec::ItemResult &r) {
+            stream += r.payload;
+        });
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+double
+runService(const std::vector<verify::Scenario> &scenarios, int workers,
+           const char *faultSpec, std::string &stream,
+           exec::svc::ServiceStats &stats)
+{
+    exec::svc::ServiceOptions opt;
+    opt.workers = workers;
+    opt.leaseItems = 16;
+    if (faultSpec != nullptr) {
+        std::string err;
+        if (!exec::svc::SvcFaultPlan::parse(faultSpec, opt.fault, err)) {
+            std::fprintf(stderr, "E21 bad fault spec: %s\n", err.c_str());
+            std::exit(1);
+        }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    stats = exec::svc::runCampaignService(
+        scenarios.size(), opt,
+        [&](std::uint64_t i, exec::WorkerContext &ctx) {
+            return runItem(scenarios, i, ctx);
+        },
+        [&](std::uint64_t, const exec::ItemResult &r) {
+            stream += r.payload;
+        });
+    const auto stop = std::chrono::steady_clock::now();
+    if (stats.aborted) {
+        std::fprintf(stderr, "E21 service aborted: %s\n",
+                     stats.error.c_str());
+        std::exit(1);
+    }
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int workers = 4;
+    for (int i = 1; i < argc - 1; ++i) {
+        if (std::strcmp(argv[i], "--workers") == 0)
+            workers = std::atoi(argv[i + 1]);
+    }
+    if (workers < 1) {
+        std::fprintf(stderr, "E21: bad --workers\n");
+        return 2;
+    }
+
+    std::vector<verify::Scenario> scenarios;
+    scenarios.reserve(kScenarios);
+    for (std::uint64_t i = 0; i < kScenarios; ++i)
+        scenarios.push_back(
+            verify::render(verify::randomSpec(1 + i % kDistinctSeeds)));
+
+    // The service modes fork, so they run while this process is still
+    // single-threaded; runEngine joins its pool before returning, so
+    // ordering service-after-engine would also be safe — but keeping
+    // the forks first makes the single-threaded-fork rule obvious.
+    std::string serviceStream, faultedStream, engineStream, serialStream;
+    exec::svc::ServiceStats svcStats, faultStats;
+    const double serviceSecs =
+        runService(scenarios, workers, nullptr, serviceStream, svcStats);
+    // One transient worker death a third of the way in: respawn +
+    // lease reassignment are the priced recovery path.
+    const double faultedSecs = runService(
+        scenarios, workers, "kill:64", faultedStream, faultStats);
+    const double engineSecs = runEngine(scenarios, workers, engineStream);
+    const double serialSecs = runEngine(scenarios, 1, serialStream);
+
+    if (serviceStream != serialStream || faultedStream != serialStream ||
+        engineStream != serialStream) {
+        std::fprintf(stderr,
+                     "E21: result streams differ across substrates\n");
+        return 1;
+    }
+    if (faultStats.workerDeaths == 0) {
+        std::fprintf(stderr,
+                     "E21: injected kill did not fire (campaign too "
+                     "short for the fault position?)\n");
+        return 1;
+    }
+
+    const double engineRate = kScenarios / engineSecs;
+    const double serviceRate = kScenarios / serviceSecs;
+    const double faultedRate = kScenarios / faultedSecs;
+    const double overheadPct = (serviceSecs / engineSecs - 1.0) * 100.0;
+    const double recoveryPct = (faultedSecs / serviceSecs - 1.0) * 100.0;
+
+    fb::Table table(
+        "E21 (infrastructure ablation): campaign service vs in-process "
+        "engine (" +
+        std::to_string(kScenarios) + " scenarios, " +
+        std::to_string(workers) + " workers)");
+    table.setHeader({"mode", "wall s", "scenarios/sec", "worker deaths",
+                     "leases reassigned", "frames"});
+    table.row()
+        .cell("engine (threads)")
+        .cell(engineSecs, 3)
+        .cell(engineRate, 0)
+        .cell("-")
+        .cell("-")
+        .cell("-");
+    table.row()
+        .cell("service (processes)")
+        .cell(serviceSecs, 3)
+        .cell(serviceRate, 0)
+        .cell(svcStats.workerDeaths)
+        .cell(svcStats.leasesReassigned)
+        .cell(svcStats.framesReceived);
+    table.row()
+        .cell("service + kill:64")
+        .cell(faultedSecs, 3)
+        .cell(faultedRate, 0)
+        .cell(faultStats.workerDeaths)
+        .cell(faultStats.leasesReassigned)
+        .cell(faultStats.framesReceived);
+    table.row()
+        .cell("engine (jobs=1)")
+        .cell(serialSecs, 3)
+        .cell(kScenarios / serialSecs, 0)
+        .cell("-")
+        .cell("-")
+        .cell("-");
+    table.print(std::cout);
+
+    std::printf("service-scenarios-per-sec: %.0f\n", serviceRate);
+    std::printf("service-overhead-pct: %.1f\n", overheadPct);
+    std::printf("service-recovery-overhead-pct: %.1f\n", recoveryPct);
+    std::printf("total-sim-cycles: %llu\n",
+                static_cast<unsigned long long>(gSimCycles.load()));
+    printClaim(
+        "process isolation is cheap relative to scenario execution: "
+        "forked workers with CRC-framed pipe transport track the "
+        "in-process engine's throughput, one injected worker death "
+        "costs a bounded recovery delta, and all substrates emit "
+        "byte-identical result streams");
+    return 0;
+}

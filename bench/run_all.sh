@@ -33,7 +33,7 @@ e7_scaling e8_hotspot e9_drift_tolerance e10_microbench
 e11_pipeline_ablation e12_encoding_ablation e13_cycle_shrinking
 e14_selfsched_runtime e15_sync_latency e16_fault_overhead
 e17_snapshot_overhead e18_campaign_throughput e19_shard_scaling
-e20_dispatch_overhead"
+e20_dispatch_overhead e21_service_overhead"
 for name in $EXPECTED; do
     if [ ! -x "$BENCH_DIR/$name" ]; then
         echo "run_all: missing experiment binary: $BENCH_DIR/$name" >&2
@@ -163,6 +163,25 @@ for name in $EXPECTED; do
             ENTRIES="$ENTRIES  {\"name\": \"e20_dispatch_delta\", \"dispatch_speedup\": $disp_speedup, \"cycles_per_sec_decoded\": $disp_dec, \"cycles_per_sec_legacy\": $disp_leg},
 "
             echo "run_all: dispatch overhead: decoded ${disp_dec} cycles/sec (${disp_speedup}x over legacy interpreter)"
+        fi
+    fi
+    if [ "$name" = "e21_service_overhead" ] && [ "$STATUS" -eq 0 ]; then
+        # Copy E21's service-overhead tallies into their own entry so
+        # the perf gate can track the cost of process isolation and of
+        # one injected worker-death recovery without table-scraping.
+        svc_rate=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^service-scenarios-per-sec:/ {print $2; exit}')
+        svc_ovh=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^service-overhead-pct:/ {print $2; exit}')
+        svc_rec=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^service-recovery-overhead-pct:/ {print $2; exit}')
+        if [ -z "$svc_rate" ] || [ -z "$svc_ovh" ] || [ -z "$svc_rec" ]; then
+            echo "run_all: FAIL e21_service_overhead: missing service tally lines" >&2
+            FAILURES=$((FAILURES + 1))
+        else
+            ENTRIES="$ENTRIES  {\"name\": \"e21_service_delta\", \"service_scenarios_per_sec\": $svc_rate, \"service_overhead_pct\": $svc_ovh, \"service_recovery_overhead_pct\": $svc_rec},
+"
+            echo "run_all: service overhead: ${svc_ovh}% over in-process engine, recovery +${svc_rec}%"
         fi
     fi
     if [ "$name" = "e18_campaign_throughput" ] && [ "$STATUS" -eq 0 ]; then

@@ -1,56 +1,49 @@
 #include "exec/campaign.hh"
 
 #include <atomic>
-#include <map>
+#include <exception>
 #include <memory>
-#include <mutex>
+#include <sstream>
 #include <utility>
 #include <vector>
 
+#include "exec/ordered_emitter.hh"
 #include "exec/pool.hh"
 #include "support/logging.hh"
 
 namespace fb::exec
 {
 
-namespace
-{
-
 /**
- * Reorders out-of-order completions into an ascending-index stream.
- * deliver() buffers a result, then flushes the contiguous prefix to
- * the consumer under the same lock — so consumer calls are both
- * ordered and serialized.
+ * Run one item with the per-task exception guard: a throwing runner
+ * becomes a failed result carrying the exception text instead of an
+ * unwound campaign. The payload is deterministic as long as the
+ * exception message is (it is part of the ordered output stream).
+ * Exposed so the service worker can apply the identical guard with
+ * the global item index (its inner campaign only sees lease-local
+ * indices).
  */
-class OrderedEmitter
+ItemResult
+runGuardedItem(const ItemRunner &run, std::uint64_t index, WorkerContext &ctx)
 {
-  public:
-    explicit OrderedEmitter(const ItemConsumer &consume)
-        : _consume(consume)
-    {
+    try {
+        return run(index, ctx);
+    } catch (const std::exception &e) {
+        ItemResult r;
+        r.failed = true;
+        std::ostringstream oss;
+        oss << "EXCEPTION item=" << index << ": " << e.what() << "\n";
+        r.payload = oss.str();
+        return r;
+    } catch (...) {
+        ItemResult r;
+        r.failed = true;
+        std::ostringstream oss;
+        oss << "EXCEPTION item=" << index << ": (non-standard exception)\n";
+        r.payload = oss.str();
+        return r;
     }
-
-    void
-    deliver(std::uint64_t index, ItemResult result)
-    {
-        std::lock_guard<std::mutex> lk(_mu);
-        _pending.emplace(index, std::move(result));
-        while (!_pending.empty() &&
-               _pending.begin()->first == _next) {
-            _consume(_next, _pending.begin()->second);
-            _pending.erase(_pending.begin());
-            ++_next;
-        }
-    }
-
-  private:
-    const ItemConsumer &_consume;
-    std::mutex _mu;
-    std::uint64_t _next = 0;
-    std::map<std::uint64_t, ItemResult> _pending;
-};
-
-} // namespace
+}
 
 CampaignStats
 runCampaign(std::uint64_t count, const CampaignOptions &options,
@@ -60,24 +53,36 @@ runCampaign(std::uint64_t count, const CampaignOptions &options,
     CampaignStats stats;
     stats.items = count;
 
-    ProgramCache programs;
+    // Campaign-wide interning: private per call unless the caller
+    // threads a longer-lived cache through (a service worker keeps
+    // one across all its leases).
+    ProgramCache localPrograms;
+    ProgramCache &programs =
+        options.programs != nullptr ? *options.programs : localPrograms;
 
     if (options.jobs == 1 || count <= 1) {
         // Inline fast path: same machine reuse and interning, no
         // threads. The parallel path produces the same stream by
         // construction (pure runner + ordered delivery).
-        MachinePool machines;
+        MachinePool localMachines;
+        MachinePool &machines = options.machines != nullptr
+                                    ? *options.machines
+                                    : localMachines;
+        const std::uint64_t builds0 = machines.builds();
+        const std::uint64_t reuses0 = machines.reuses();
+        const std::uint64_t misses0 = programs.misses();
+        const std::uint64_t hits0 = programs.hits();
         WorkerContext ctx{0, machines, programs};
         for (std::uint64_t i = 0; i < count; ++i) {
-            ItemResult r = run(i, ctx);
+            ItemResult r = runGuardedItem(run, i, ctx);
             if (r.failed)
                 ++stats.failures;
             consume(i, r);
         }
-        stats.machinesBuilt = machines.builds();
-        stats.machinesReused = machines.reuses();
-        stats.programsAssembled = programs.misses();
-        stats.programsInterned = programs.hits();
+        stats.machinesBuilt = machines.builds() - builds0;
+        stats.machinesReused = machines.reuses() - reuses0;
+        stats.programsAssembled = programs.misses() - misses0;
+        stats.programsInterned = programs.hits() - hits0;
         return stats;
     }
 
@@ -89,6 +94,8 @@ runCampaign(std::uint64_t count, const CampaignOptions &options,
     for (int j = 0; j < jobs; ++j)
         pools.push_back(std::make_unique<MachinePool>());
 
+    const std::uint64_t misses0 = programs.misses();
+    const std::uint64_t hits0 = programs.hits();
     OrderedEmitter emitter(consume);
     std::atomic<std::uint64_t> failures{0};
     std::uint64_t steals = 0;
@@ -100,7 +107,7 @@ runCampaign(std::uint64_t count, const CampaignOptions &options,
                     worker,
                     *pools[static_cast<std::size_t>(worker)],
                     programs};
-                ItemResult r = run(i, ctx);
+                ItemResult r = runGuardedItem(run, i, ctx);
                 if (r.failed)
                     failures.fetch_add(1, std::memory_order_relaxed);
                 emitter.deliver(i, std::move(r));
@@ -116,8 +123,8 @@ runCampaign(std::uint64_t count, const CampaignOptions &options,
         stats.machinesBuilt += p->builds();
         stats.machinesReused += p->reuses();
     }
-    stats.programsAssembled = programs.misses();
-    stats.programsInterned = programs.hits();
+    stats.programsAssembled = programs.misses() - misses0;
+    stats.programsInterned = programs.hits() - hits0;
     return stats;
 }
 

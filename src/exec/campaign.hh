@@ -39,6 +39,20 @@ struct CampaignOptions
     int jobs = 1;
     /** Bound on queued tasks per worker (submission backpressure). */
     std::size_t queueCapacity = 64;
+    /**
+     * Optional externally-owned program cache. When set, interned
+     * programs survive across runCampaign calls — a resident service
+     * worker runs one lease per call and must not re-assemble the
+     * same sources on every lease. Null = a private per-call cache.
+     */
+    ProgramCache *programs = nullptr;
+    /**
+     * Optional externally-owned machine pool for the inline
+     * (jobs == 1) path, so recycled machines also survive across
+     * calls. Ignored when jobs > 1 — parallel workers need private
+     * pools (MachinePool is deliberately not thread-safe).
+     */
+    MachinePool *machines = nullptr;
 };
 
 /**
@@ -50,10 +64,22 @@ struct CampaignOptions
 struct ItemResult
 {
     bool failed = false;
+    /**
+     * Set by the campaign service when the item was isolated after
+     * repeatedly killing its worker; the payload is then the
+     * quarantine artifact, not the runner's output.
+     */
+    bool quarantined = false;
     std::string payload;
 };
 
-/** Runs item @p index on a worker; must depend only on the index. */
+/**
+ * Runs item @p index on a worker; must depend only on the index. A
+ * runner that throws does not take down the campaign: the exception
+ * is caught per task and converted into a failed ItemResult whose
+ * payload carries the exception text (counted in
+ * CampaignStats::failures).
+ */
 using ItemRunner =
     std::function<ItemResult(std::uint64_t index, WorkerContext &ctx)>;
 
@@ -76,6 +102,18 @@ struct CampaignStats
     std::uint64_t programsInterned = 0;
     std::uint64_t tasksStolen = 0;
 };
+
+/**
+ * Run @p run on item @p index, converting a thrown exception into a
+ * failed ItemResult whose payload carries the exception text. This is
+ * the per-task guard runCampaign applies; the service worker calls it
+ * directly with the *global* item index, so an exception thrown
+ * inside a lease reports the same `EXCEPTION item=N` line the
+ * in-process engine would — lease-local indices never leak into
+ * output.
+ */
+ItemResult runGuardedItem(const ItemRunner &run, std::uint64_t index,
+                          WorkerContext &ctx);
 
 /**
  * Run items [0, count) and deliver each result to @p consume in

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Seed-ordered result streaming, shared by the in-process campaign
+ * engine and the multi-process campaign service.
+ *
+ * The emitter is the single place where out-of-order completions are
+ * turned back into the deterministic ascending-index stream the
+ * campaign output contract promises: deliver() buffers a result, then
+ * flushes the contiguous prefix to the consumer under the same lock,
+ * so consumer calls are both ordered and serialized.
+ *
+ * Unlike the original in-process-only version, deliver() tolerates
+ * duplicates: a campaign service that loses a worker re-runs the
+ * incomplete tail of its lease, and a result message dropped by the
+ * transport means the re-run can produce an index the coordinator has
+ * already seen (or will see twice). The first delivery wins; repeats
+ * are counted and discarded, so at-least-once execution upstream
+ * still yields exactly-once, in-order consumption downstream.
+ */
+
+#ifndef FB_EXEC_ORDERED_EMITTER_HH
+#define FB_EXEC_ORDERED_EMITTER_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "exec/campaign.hh"
+
+namespace fb::exec
+{
+
+class OrderedEmitter
+{
+  public:
+    explicit OrderedEmitter(const ItemConsumer &consume)
+        : _consume(consume)
+    {
+    }
+
+    /**
+     * Hand in the result for @p index. Returns true if this was the
+     * first delivery for the index (the result is queued or flushed),
+     * false for a duplicate (the result is discarded).
+     */
+    bool
+    deliver(std::uint64_t index, ItemResult result)
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        if (index < _next || _pending.count(index) != 0) {
+            ++_duplicates;
+            return false;
+        }
+        _pending.emplace(index, std::move(result));
+        while (!_pending.empty() &&
+               _pending.begin()->first == _next) {
+            _consume(_next, _pending.begin()->second);
+            _pending.erase(_pending.begin());
+            ++_next;
+        }
+        return true;
+    }
+
+    /**
+     * True if @p index has already been delivered (flushed or still
+     * buffered) — i.e. a re-run of it would be redundant.
+     */
+    bool
+    seen(std::uint64_t index) const
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        return index < _next || _pending.count(index) != 0;
+    }
+
+    /** Lowest index not yet flushed to the consumer. */
+    std::uint64_t
+    next() const
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        return _next;
+    }
+
+    /** Results buffered behind a gap. */
+    std::uint64_t
+    pendingCount() const
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        return _pending.size();
+    }
+
+    /** Duplicate deliveries discarded. */
+    std::uint64_t
+    duplicates() const
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        return _duplicates;
+    }
+
+  private:
+    const ItemConsumer &_consume;
+    mutable std::mutex _mu;
+    std::uint64_t _next = 0;
+    std::uint64_t _duplicates = 0;
+    std::map<std::uint64_t, ItemResult> _pending;
+};
+
+} // namespace fb::exec
+
+#endif // FB_EXEC_ORDERED_EMITTER_HH

@@ -1,0 +1,622 @@
+#include "exec/service/coordinator.hh"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/ordered_emitter.hh"
+#include "exec/service/worker.hh"
+#include "support/logging.hh"
+
+namespace fb::exec::svc
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+using Millis = std::chrono::milliseconds;
+
+/** One leased range of work (explicit indexes; may be sparse). */
+struct Lease
+{
+    std::uint64_t id = 0;
+    std::vector<std::uint64_t> items;
+    bool solo = false;  ///< quarantine probe for a single suspect item
+};
+
+/** Coordinator-side state of one worker slot. */
+struct WorkerSlot
+{
+    int slot = 0;
+    pid_t pid = -1;
+    int rfd = -1;  ///< worker -> coordinator (results)
+    int wfd = -1;  ///< coordinator -> worker (grants)
+    bool alive = false;
+    FrameReader reader;
+    bool hasLease = false;
+    Lease lease;
+    /** Items announced via ItemStart with no ItemDone yet. */
+    std::unordered_set<std::uint64_t> inFlight;
+    Clock::time_point lastActivity{};
+    int incarnation = 0;
+    int consecutiveDeaths = 0;
+    /** When a scheduled respawn becomes due (dead slots only). */
+    Clock::time_point spawnDue{};
+    bool spawnScheduled = false;
+};
+
+struct Coordinator
+{
+    std::uint64_t count;
+    const ServiceOptions &opt;
+    const ItemRunner &runner;
+    CursorJournal *journal;
+    ServiceStats stats;
+
+    OrderedEmitter emitter;
+    std::deque<Lease> pending;
+    std::vector<WorkerSlot> slots;
+    std::unordered_map<std::uint64_t, int> killCounts;
+    std::uint64_t nextLeaseId = 1;
+
+    Coordinator(std::uint64_t n, const ServiceOptions &o,
+                const ItemRunner &r, const ItemConsumer &consume,
+                CursorJournal *j)
+        : count(n), opt(o), runner(r), journal(j), emitter(consume)
+    {
+    }
+
+    bool
+    done() const
+    {
+        return emitter.next() >= count;
+    }
+
+    void
+    abort(const std::string &why)
+    {
+        if (!stats.aborted) {
+            stats.aborted = true;
+            stats.error = why;
+            warn("campaign service aborted: " + why);
+        }
+    }
+
+    std::string
+    artifactFor(std::uint64_t index, int kills) const
+    {
+        if (opt.quarantineArtifact)
+            return opt.quarantineArtifact(index, kills);
+        std::ostringstream oss;
+        oss << "QUARANTINE item=" << index << " kills=" << kills
+            << " (worker died on this item " << kills
+            << " times; isolated and withheld from further leases)\n";
+        return oss.str();
+    }
+
+    void
+    deliverQuarantine(std::uint64_t index)
+    {
+        ItemResult r;
+        r.failed = true;
+        r.quarantined = true;
+        r.payload = artifactFor(index, killCounts[index]);
+        ++stats.quarantined;
+        if (emitter.deliver(index, std::move(r)))
+            warnRatelimited("svc-quarantine",
+                            "campaign service: quarantined item " +
+                                std::to_string(index),
+                            1);
+    }
+
+    /**
+     * Build the initial lease queue, pre-delivering empty results for
+     * journal-passed items so the ordered stream stays contiguous.
+     */
+    void
+    buildLeases()
+    {
+        std::vector<std::uint64_t> todo;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            if (journal != nullptr && journal->state(i) == 'p') {
+                ++stats.itemsSkippedByJournal;
+                emitter.deliver(i, ItemResult{});
+                continue;
+            }
+            todo.push_back(i);
+        }
+        const std::uint64_t chunk = std::max<std::uint64_t>(
+            1, opt.leaseItems);
+        for (std::size_t off = 0; off < todo.size();
+             off += static_cast<std::size_t>(chunk)) {
+            Lease lease;
+            lease.id = nextLeaseId++;
+            const std::size_t end = std::min(
+                todo.size(), off + static_cast<std::size_t>(chunk));
+            lease.items.assign(todo.begin() + static_cast<std::ptrdiff_t>(off),
+                               todo.begin() + static_cast<std::ptrdiff_t>(end));
+            pending.push_back(std::move(lease));
+        }
+    }
+
+    bool
+    spawn(WorkerSlot &w)
+    {
+        int c2w[2], w2c[2];
+        if (::pipe(c2w) != 0)
+            return false;
+        if (::pipe(w2c) != 0) {
+            ::close(c2w[0]);
+            ::close(c2w[1]);
+            return false;
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(c2w[0]);
+            ::close(c2w[1]);
+            ::close(w2c[0]);
+            ::close(w2c[1]);
+            return false;
+        }
+        if (pid == 0) {
+            // Child: drop every coordinator-side and sibling fd so a
+            // sibling's death is visible as EOF on its own pipe, then
+            // run the worker loop on our two ends.
+            for (const WorkerSlot &other : slots) {
+                if (other.rfd >= 0)
+                    ::close(other.rfd);
+                if (other.wfd >= 0)
+                    ::close(other.wfd);
+            }
+            ::close(c2w[1]);
+            ::close(w2c[0]);
+            WorkerConfig cfg;
+            cfg.heartbeatIntervalMs = opt.heartbeatIntervalMs;
+            cfg.innerJobs = opt.innerJobs;
+            // Transient faults (kill/drop/garble/stallhb) arm exactly
+            // one incarnation of one worker: slot 0's first. Arming
+            // every first incarnation lets a reassigned item land on
+            // the same counter position of a still-armed sibling and
+            // cascade an innocent seed into quarantine. Only killitem
+            // is global — it is the item's own property, and
+            // quarantining it is the point.
+            cfg.fault = w.slot == 0 && w.incarnation == 0
+                            ? opt.fault
+                            : opt.fault.respawnPlan();
+            _exit(workerMain(c2w[0], w2c[1], runner, cfg));
+        }
+        ::close(c2w[0]);
+        ::close(w2c[1]);
+        w.pid = pid;
+        w.rfd = w2c[0];
+        w.wfd = c2w[1];
+        w.alive = true;
+        w.reader = FrameReader();
+        w.hasLease = false;
+        w.inFlight.clear();
+        w.lastActivity = Clock::now();
+        w.spawnScheduled = false;
+        if (w.incarnation > 0)
+            ++stats.respawns;
+        ++w.incarnation;
+        return true;
+    }
+
+    /** Reap, classify in-flight casualties, requeue the remainder. */
+    void
+    handleDeath(WorkerSlot &w, const char *why)
+    {
+        if (!w.alive)
+            return;
+        if (w.pid > 0) {
+            ::kill(w.pid, SIGKILL);
+            int status = 0;
+            while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+            }
+        }
+        if (w.rfd >= 0)
+            ::close(w.rfd);
+        if (w.wfd >= 0)
+            ::close(w.wfd);
+        w.rfd = w.wfd = -1;
+        w.alive = false;
+        w.pid = -1;
+        ++w.consecutiveDeaths;
+        ++stats.workerDeaths;
+        warnRatelimited(
+            "svc-worker-death",
+            "campaign service: worker " + std::to_string(w.slot) +
+                " lost (" + why + "); respawning and reassigning",
+            10);
+        if (stats.workerDeaths > opt.maxWorkerDeaths)
+            abort("worker-death budget exhausted (" +
+                  std::to_string(stats.workerDeaths) + " deaths)");
+
+        if (w.hasLease) {
+            // Anything announced but unfinished died with the worker.
+            for (std::uint64_t i : w.inFlight)
+                ++killCounts[i];
+
+            std::vector<std::uint64_t> normal;
+            std::vector<std::uint64_t> suspects;
+            for (std::uint64_t i : w.lease.items) {
+                if (emitter.seen(i))
+                    continue;
+                const auto it = killCounts.find(i);
+                const int kills = it == killCounts.end() ? 0 : it->second;
+                if (kills > opt.quarantineKillThreshold) {
+                    // The solo probe died too: first-class artifact,
+                    // never leased again.
+                    deliverQuarantine(i);
+                } else if (kills == opt.quarantineKillThreshold) {
+                    suspects.push_back(i);
+                } else {
+                    normal.push_back(i);
+                }
+            }
+            // Suspects get solo probes ahead of everything (they gate
+            // the ordered prefix); the innocent remainder re-runs as
+            // one reassigned lease. push_front keeps the oldest
+            // indexes first so the contiguous prefix — and with it
+            // the journal — advances as fast as possible.
+            if (!normal.empty()) {
+                Lease lease;
+                lease.id = nextLeaseId++;
+                lease.items = std::move(normal);
+                pending.push_front(std::move(lease));
+                ++stats.leasesReassigned;
+            }
+            for (auto it = suspects.rbegin(); it != suspects.rend();
+                 ++it) {
+                Lease lease;
+                lease.id = nextLeaseId++;
+                lease.items = {*it};
+                lease.solo = true;
+                pending.push_front(std::move(lease));
+                ++stats.leasesReassigned;
+            }
+            w.hasLease = false;
+            w.inFlight.clear();
+        }
+
+        // Exponential-backoff respawn, executed by the main loop when
+        // due (the coordinator never sleeps inline).
+        int backoff = opt.respawnBackoffInitialMs;
+        for (int d = 1; d < w.consecutiveDeaths &&
+                        backoff < opt.respawnBackoffMaxMs;
+             ++d)
+            backoff *= 2;
+        backoff = std::min(backoff, opt.respawnBackoffMaxMs);
+        w.spawnDue = Clock::now() + Millis(backoff);
+        w.spawnScheduled = true;
+    }
+
+    void
+    grant(WorkerSlot &w)
+    {
+        Lease lease = std::move(pending.front());
+        pending.pop_front();
+        Message msg;
+        msg.type = MsgType::LeaseGrant;
+        msg.a = lease.id;
+        msg.items = lease.items;
+        w.lease = std::move(lease);
+        w.hasLease = true;
+        w.inFlight.clear();
+        ++stats.leasesGranted;
+        if (!writeFrame(w, msg))
+            handleDeath(w, "grant write failed");
+    }
+
+    bool
+    writeFrame(WorkerSlot &w, const Message &msg)
+    {
+        const std::vector<std::uint8_t> frame = encodeFrame(msg);
+        std::size_t off = 0;
+        while (off < frame.size()) {
+            const ssize_t n = ::write(w.wfd, frame.data() + off,
+                                      frame.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    void
+    handleMessage(WorkerSlot &w, const Message &msg)
+    {
+        ++stats.framesReceived;
+        w.lastActivity = Clock::now();
+        switch (msg.type) {
+          case MsgType::Hello:
+          case MsgType::Heartbeat:
+            break;
+          case MsgType::ItemStart:
+            w.inFlight.insert(msg.a);
+            break;
+          case MsgType::ItemDone: {
+            w.inFlight.erase(msg.a);
+            ItemResult r;
+            r.failed = msg.flag;
+            r.payload = msg.text;
+            if (!emitter.deliver(msg.a, std::move(r)))
+                ++stats.duplicateResults;
+            break;
+          }
+          case MsgType::LeaseDone: {
+            if (!w.hasLease || msg.a != w.lease.id)
+                break;
+            // A lease can "complete" with undelivered items when the
+            // transport dropped result frames: re-lease exactly the
+            // holes. The re-run results deduplicate downstream, so
+            // at-least-once stays byte-identical.
+            std::vector<std::uint64_t> holes;
+            for (std::uint64_t i : w.lease.items)
+                if (!emitter.seen(i))
+                    holes.push_back(i);
+            if (!holes.empty()) {
+                Lease lease;
+                lease.id = nextLeaseId++;
+                lease.items = std::move(holes);
+                pending.push_front(std::move(lease));
+                ++stats.leasesReassigned;
+            }
+            w.hasLease = false;
+            w.inFlight.clear();
+            // A completed lease proves the worker healthy: reset the
+            // respawn backoff so an isolated early crash does not tax
+            // the rest of a long campaign.
+            w.consecutiveDeaths = 0;
+            break;
+          }
+          case MsgType::LeaseGrant:
+          case MsgType::Shutdown:
+            // Workers never send these; treat as protocol corruption.
+            ++stats.corruptStreams;
+            handleDeath(w, "protocol violation");
+            break;
+        }
+    }
+
+    void
+    drainReadable(WorkerSlot &w)
+    {
+        std::uint8_t buf[16384];
+        const ssize_t n = ::read(w.rfd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                return;
+            handleDeath(w, "read error");
+            return;
+        }
+        if (n == 0) {
+            handleDeath(w, "pipe EOF");
+            return;
+        }
+        w.reader.feed(buf, static_cast<std::size_t>(n));
+        Message msg;
+        std::string err;
+        for (;;) {
+            const FrameReader::Status st = w.reader.next(msg, err);
+            if (st == FrameReader::Status::None)
+                break;
+            if (st == FrameReader::Status::Corrupt) {
+                ++stats.corruptStreams;
+                warnRatelimited("svc-corrupt-frame",
+                                "campaign service: worker " +
+                                    std::to_string(w.slot) +
+                                    " stream corrupt (" + err +
+                                    "); recycling the connection",
+                                1);
+                handleDeath(w, "corrupt frame");
+                break;
+            }
+            handleMessage(w, msg);
+            if (!w.alive)
+                break;  // handleMessage may have recycled the worker
+        }
+    }
+
+    void
+    shutdownWorkers()
+    {
+        Message bye;
+        bye.type = MsgType::Shutdown;
+        for (WorkerSlot &w : slots) {
+            if (!w.alive)
+                continue;
+            (void)writeFrame(w, bye);
+            if (w.wfd >= 0)
+                ::close(w.wfd);
+            w.wfd = -1;
+        }
+        // Grace period: workers exit on Shutdown or grant-pipe EOF.
+        const Clock::time_point deadline =
+            Clock::now() + Millis(2000);
+        for (WorkerSlot &w : slots) {
+            if (!w.alive)
+                continue;
+            for (;;) {
+                int status = 0;
+                const pid_t got = ::waitpid(w.pid, &status, WNOHANG);
+                if (got == w.pid || got < 0)
+                    break;
+                if (Clock::now() >= deadline) {
+                    ::kill(w.pid, SIGKILL);
+                    while (::waitpid(w.pid, &status, 0) < 0 &&
+                           errno == EINTR) {
+                    }
+                    break;
+                }
+                ::poll(nullptr, 0, 10);
+            }
+            if (w.rfd >= 0)
+                ::close(w.rfd);
+            w.rfd = -1;
+            w.alive = false;
+            w.pid = -1;
+        }
+    }
+
+    void
+    run()
+    {
+        buildLeases();
+        if (done())
+            return;
+
+        slots.resize(static_cast<std::size_t>(opt.workers));
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            slots[i].slot = static_cast<int>(i);
+        for (WorkerSlot &w : slots) {
+            if (!spawn(w)) {
+                abort("cannot spawn worker: " +
+                      std::string(std::strerror(errno)));
+                return;
+            }
+        }
+
+        const Millis hbTimeout(opt.heartbeatTimeoutMs);
+        while (!done() && !stats.aborted) {
+            const Clock::time_point now = Clock::now();
+
+            // Respawns that have served their backoff.
+            for (WorkerSlot &w : slots) {
+                if (!w.alive && w.spawnScheduled && now >= w.spawnDue) {
+                    if (!spawn(w))
+                        abort("cannot respawn worker: " +
+                              std::string(std::strerror(errno)));
+                }
+            }
+
+            // Hand out work.
+            for (WorkerSlot &w : slots) {
+                if (pending.empty())
+                    break;
+                if (w.alive && !w.hasLease)
+                    grant(w);
+            }
+
+            // Wait for traffic, the next heartbeat deadline, or the
+            // next due respawn — whichever comes first.
+            std::vector<struct pollfd> pfds;
+            std::vector<WorkerSlot *> owners;
+            long long timeout = 200;
+            auto clampDeadline = [&](Clock::time_point when) {
+                const long long left =
+                    std::chrono::duration_cast<Millis>(when - now)
+                        .count();
+                timeout = std::min(timeout, std::max(1LL, left));
+            };
+            for (WorkerSlot &w : slots) {
+                if (w.alive) {
+                    pfds.push_back({w.rfd, POLLIN, 0});
+                    owners.push_back(&w);
+                    clampDeadline(w.lastActivity + hbTimeout);
+                } else if (w.spawnScheduled) {
+                    clampDeadline(w.spawnDue);
+                }
+            }
+            if (!pfds.empty()) {
+                const int rv = ::poll(pfds.data(),
+                                      static_cast<nfds_t>(pfds.size()),
+                                      static_cast<int>(timeout));
+                if (rv < 0 && errno != EINTR) {
+                    abort("poll: " + std::string(std::strerror(errno)));
+                    break;
+                }
+                for (std::size_t i = 0; i < pfds.size(); ++i) {
+                    if (!owners[i]->alive)
+                        continue;
+                    if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                        drainReadable(*owners[i]);
+                }
+            } else {
+                ::poll(nullptr, 0, static_cast<int>(timeout));
+            }
+
+            // Liveness: silence beyond the timeout means a wedged or
+            // netherworld worker — reclaim its lease the hard way.
+            const Clock::time_point after = Clock::now();
+            for (WorkerSlot &w : slots) {
+                if (w.alive && after - w.lastActivity > hbTimeout) {
+                    ++stats.heartbeatTimeouts;
+                    warnRatelimited(
+                        "svc-hb-timeout",
+                        "campaign service: worker " +
+                            std::to_string(w.slot) +
+                            " heartbeat timeout; killing and "
+                            "reassigning",
+                        1);
+                    handleDeath(w, "heartbeat timeout");
+                }
+            }
+        }
+
+        shutdownWorkers();
+    }
+};
+
+} // namespace
+
+ServiceStats
+runCampaignService(std::uint64_t count, const ServiceOptions &options,
+                   const ItemRunner &run, const ItemConsumer &consume,
+                   CursorJournal *journal)
+{
+    FB_ASSERT(options.workers >= 1, "campaign service needs a worker");
+    FB_ASSERT(options.quarantineKillThreshold >= 1,
+              "quarantine threshold must be >= 1");
+
+    // A dead worker must surface as EPIPE/EOF, not a fatal signal.
+    struct sigaction ignore{}, oldPipe{};
+    ignore.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignore, &oldPipe);
+
+    ServiceStats statsOut;
+    {
+        std::vector<bool> skipped(static_cast<std::size_t>(count), false);
+        if (journal != nullptr)
+            for (std::uint64_t i = 0; i < count; ++i)
+                skipped[static_cast<std::size_t>(i)] =
+                    journal->state(i) == 'p';
+
+        std::uint64_t failures = 0;
+        ItemConsumer wrapped = [&](std::uint64_t i,
+                                   const ItemResult &r) {
+            if (r.failed)
+                ++failures;
+            if (journal != nullptr &&
+                !skipped[static_cast<std::size_t>(i)])
+                journal->record(i, r.failed);
+            consume(i, r);
+        };
+
+        Coordinator coord(count, options, run, wrapped, journal);
+        coord.stats.items = count;
+        coord.run();
+        coord.stats.failures = failures;
+        statsOut = coord.stats;
+    }
+
+    ::sigaction(SIGPIPE, &oldPipe, nullptr);
+    return statsOut;
+}
+
+} // namespace fb::exec::svc

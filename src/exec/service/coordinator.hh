@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Crash-tolerant multi-process campaign coordinator.
+ *
+ * runCampaignService() is the process-level sibling of
+ * exec::runCampaign(): the same (count, runner, consumer) contract
+ * and the same seed-ordered, byte-deterministic output stream, but
+ * the items execute in leased ranges across forked worker processes,
+ * and the coordinator survives — by design, not by luck — the fault
+ * classes the simulator already injects into itself:
+ *
+ *   worker death    detected via pipe EOF or heartbeat timeout;
+ *                   the worker is respawned with exponential backoff
+ *                   and the incomplete remainder of its lease is
+ *                   deterministically reassigned
+ *   lost messages   at-least-once re-execution after reassignment,
+ *                   made exactly-once by OrderedEmitter deduplication
+ *   corrupt frames  CRC-framed transport; a garbled stream recycles
+ *                   the whole connection (kill + respawn + reassign)
+ *   poison items    an item whose worker dies on it twice is
+ *                   quarantined: probed once more solo on a fresh
+ *                   worker, and if that dies too it is reported as a
+ *                   first-class quarantine artifact instead of being
+ *                   retried forever
+ *   coordinator     per-item verdicts stream into the crash-safe
+ *   SIGKILL         CursorJournal as the ordered prefix completes, so
+ *                   a killed coordinator resumes a contiguous prefix
+ *
+ * Determinism contract: at any worker count, under any injected fault
+ * schedule that does not quarantine an item, the consumer observes a
+ * stream byte-identical to `runCampaign(jobs=1)` — quarantined items
+ * differ only in their own payload (the artifact) and are explicitly
+ * counted.
+ *
+ * The coordinator forks workers from its own image, so it must be
+ * called from a single-threaded process (the standard fork rule).
+ */
+
+#ifndef FB_EXEC_SERVICE_COORDINATOR_HH
+#define FB_EXEC_SERVICE_COORDINATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "exec/campaign.hh"
+#include "exec/service/journal.hh"
+#include "exec/service/wire.hh"
+
+namespace fb::exec::svc
+{
+
+/** Knobs for one campaign-service run. */
+struct ServiceOptions
+{
+    /** Worker processes (>= 1). */
+    int workers = 2;
+    /** Items per lease; smaller = finer reassignment granularity. */
+    std::uint64_t leaseItems = 16;
+    /** Worker heartbeat cadence. */
+    int heartbeatIntervalMs = 200;
+    /**
+     * Liveness timeout: a worker with no traffic for this long is
+     * declared dead and SIGKILLed. Must comfortably exceed both the
+     * heartbeat interval and the longest single item.
+     */
+    int heartbeatTimeoutMs = 30'000;
+    /** First respawn delay; doubles per consecutive death. */
+    int respawnBackoffInitialMs = 10;
+    /** Respawn delay cap. */
+    int respawnBackoffMaxMs = 2'000;
+    /** Worker kills on one item before it is quarantined (>= 1). */
+    int quarantineKillThreshold = 2;
+    /**
+     * Abort budget: total worker deaths before the service gives up
+     * (a pathological fleet should fail loudly, not spin forever).
+     */
+    std::uint64_t maxWorkerDeaths = 1024;
+    /** Threads inside each worker's campaign engine. */
+    int innerJobs = 1;
+    /** Injected process/transport faults (first incarnations). */
+    SvcFaultPlan fault;
+    /**
+     * Renders the quarantine artifact payload for an item (the
+     * consumer sees it as the item's result, `quarantined` set).
+     * Null = a generic single-line artifact.
+     */
+    std::function<std::string(std::uint64_t index, int kills)>
+        quarantineArtifact;
+};
+
+/** What the service did — the robustness counters are the story. */
+struct ServiceStats
+{
+    std::uint64_t items = 0;
+    std::uint64_t failures = 0;     ///< failed results (incl. quarantined)
+    std::uint64_t quarantined = 0;  ///< items reported as artifacts
+    std::uint64_t itemsSkippedByJournal = 0;
+    std::uint64_t leasesGranted = 0;
+    std::uint64_t leasesReassigned = 0;
+    std::uint64_t workerDeaths = 0;
+    std::uint64_t respawns = 0;
+    std::uint64_t heartbeatTimeouts = 0;
+    std::uint64_t corruptStreams = 0;
+    std::uint64_t framesReceived = 0;
+    std::uint64_t duplicateResults = 0;
+    bool aborted = false;    ///< true: error holds why, output incomplete
+    std::string error;
+};
+
+/**
+ * Run items [0, count) across worker processes and deliver results
+ * to @p consume in ascending index order (the runCampaign contract).
+ * When @p journal is non-null, items it records as passed are not
+ * re-run (the consumer sees an empty result for them, exactly like
+ * `fbfuzz --cursor` resume), failed items re-run to reproduce their
+ * reports, and every newly completed item is recorded as the ordered
+ * prefix advances.
+ */
+ServiceStats runCampaignService(std::uint64_t count,
+                                const ServiceOptions &options,
+                                const ItemRunner &run,
+                                const ItemConsumer &consume,
+                                CursorJournal *journal = nullptr);
+
+} // namespace fb::exec::svc
+
+#endif // FB_EXEC_SERVICE_COORDINATOR_HH

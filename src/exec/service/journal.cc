@@ -1,0 +1,211 @@
+#include "exec/service/journal.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/strutil.hh"
+
+namespace fb::exec::svc
+{
+
+namespace
+{
+
+/** Directory part of @p path, "." when it has none. */
+std::string
+dirnameOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+bool
+fsyncPath(const std::string &path, std::string &error)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        error = path + ": open for fsync: " + std::strerror(errno);
+        return false;
+    }
+    const bool ok = ::fsync(fd) == 0;
+    if (!ok)
+        error = path + ": fsync: " + std::strerror(errno);
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+CursorJournal::~CursorJournal()
+{
+    if (_file != nullptr)
+        std::fclose(_file);
+}
+
+std::uint64_t
+CursorJournal::passingPrefix() const
+{
+    std::uint64_t n = 0;
+    while (n < _state.size() &&
+           _state[static_cast<std::size_t>(n)] == 'p')
+        ++n;
+    return n;
+}
+
+bool
+CursorJournal::open(const std::string &path, const std::string &header,
+                    std::uint64_t count, std::string &error)
+{
+    _path = path;
+    _header = header;
+    _state.assign(static_cast<std::size_t>(count), 0);
+    _resumed = 0;
+
+    std::ifstream in(_path);
+    if (in) {
+        std::string line;
+        if (std::getline(in, line)) {
+            if (line != header) {
+                error = "--cursor " + _path +
+                        " records a different campaign\n  journal:  " +
+                        line + "\n  this run: " + header;
+                return false;
+            }
+            // Any malformed line is a torn tail from a mid-write
+            // kill: discard it and everything after it.
+            while (std::getline(in, line)) {
+                std::istringstream ls(line);
+                std::string word;
+                if (!(ls >> word))
+                    break;
+                if (word == "prefix") {
+                    std::int64_t n = -1;
+                    std::string extra;
+                    if (!(ls >> n) || n < 0 ||
+                        static_cast<std::uint64_t>(n) > count ||
+                        (ls >> extra))
+                        break;
+                    for (std::int64_t i = 0; i < n; ++i)
+                        _state[static_cast<std::size_t>(i)] = 'p';
+                } else if (word == "done") {
+                    std::int64_t idx = -1;
+                    std::string verdict, extra;
+                    if (!(ls >> idx >> verdict) || idx < 0 ||
+                        static_cast<std::uint64_t>(idx) >= count ||
+                        (verdict != "pass" && verdict != "fail") ||
+                        (ls >> extra))
+                        break;
+                    _state[static_cast<std::size_t>(idx)] =
+                        verdict == "pass" ? 'p' : 'f';
+                } else {
+                    break;
+                }
+            }
+            for (char s : _state)
+                if (s != 0)
+                    ++_resumed;
+        }
+        in.close();
+    }
+
+    // Rewrite canonically: drops the torn tail and duplicate lines,
+    // and folds the recorded prefix. Crash-safe (temp + rename).
+    std::lock_guard<std::mutex> lk(_mu);
+    return writeCanonical(error);
+}
+
+bool
+CursorJournal::writeCanonical(std::string &error)
+{
+    if (_file != nullptr) {
+        std::fclose(_file);
+        _file = nullptr;
+    }
+
+    const std::string tmp = _path + ".tmp";
+    {
+        std::FILE *out = std::fopen(tmp.c_str(), "w");
+        if (out == nullptr) {
+            error = "cannot write " + tmp + ": " + std::strerror(errno);
+            return false;
+        }
+        std::fprintf(out, "%s\n", _header.c_str());
+        // Fold the passing prefix once it is worth a record; always
+        // write it when at least one item is in it and compaction is
+        // the caller (threshold crossed), otherwise plain lines keep
+        // the journal trivially greppable for small sweeps.
+        const std::uint64_t prefix = passingPrefix();
+        std::uint64_t start = 0;
+        if (prefix >= _threshold) {
+            std::fprintf(out, "prefix %llu\n",
+                         static_cast<unsigned long long>(prefix));
+            start = prefix;
+        }
+        for (std::uint64_t i = start; i < _state.size(); ++i) {
+            const char s = _state[static_cast<std::size_t>(i)];
+            // 'f' records are dropped on purpose: failing items
+            // re-run on resume either way, and re-appending them on
+            // every resumed sweep is exactly the unbounded growth
+            // this rewrite exists to stop.
+            if (s == 'p')
+                std::fprintf(out, "done %llu pass\n",
+                             static_cast<unsigned long long>(i));
+        }
+        if (std::fflush(out) != 0 || ::fsync(::fileno(out)) != 0) {
+            error = tmp + ": flush: " + std::strerror(errno);
+            std::fclose(out);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        std::fclose(out);
+    }
+    if (::rename(tmp.c_str(), _path.c_str()) != 0) {
+        error = "rename " + tmp + " -> " + _path + ": " +
+                std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    std::string dirErr;
+    (void)fsyncPath(dirnameOf(_path), dirErr);  // best-effort
+
+    _file = std::fopen(_path.c_str(), "a");
+    if (_file == nullptr) {
+        error = "cannot append to " + _path + ": " + std::strerror(errno);
+        return false;
+    }
+    _appended = 0;
+    return true;
+}
+
+void
+CursorJournal::record(std::uint64_t index, bool failed)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    if (index >= _state.size() || _file == nullptr)
+        return;
+    _state[static_cast<std::size_t>(index)] = failed ? 'f' : 'p';
+    std::fprintf(_file, "done %llu %s\n",
+                 static_cast<unsigned long long>(index),
+                 failed ? "fail" : "pass");
+    std::fflush(_file);
+    ++_appended;
+
+    if (_appended >= _threshold && passingPrefix() >= _threshold) {
+        std::string error;
+        if (writeCanonical(error))
+            ++_compactions;
+        // On failure the append-mode file may be gone; journaling
+        // degrades to best-effort rather than killing the campaign.
+    }
+}
+
+} // namespace fb::exec::svc

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Crash-safe per-item verdict journal for resumable campaigns.
+ *
+ * This is the PR 4 fbfuzz sweep cursor promoted into a reusable
+ * component shared by `fbfuzz --cursor` and the campaign-service
+ * coordinator, extended with bounded growth. The file format:
+ *
+ *     <header line — binds the journal to its campaign parameters>
+ *     prefix N                (optional; items [0, N) completed+passed)
+ *     done I pass|fail        (one per completed item, any order)
+ *
+ * Verdicts are appended one line at a time and flushed, so a SIGKILL
+ * can tear at most the final line; the loader treats the first
+ * malformed line as the torn tail and discards it and everything
+ * after it. Passing items are skipped on resume; failing items are
+ * re-run so their reports (and the final failing set) match an
+ * uninterrupted campaign — which also means a `done I fail` record
+ * is semantically equivalent to no record at all, and compaction is
+ * free to drop it.
+ *
+ * Unbounded growth (the PR 4 bug): every resumed sweep re-runs its
+ * failing items and appends fresh verdict lines for them, so a
+ * journal resumed k times carried k duplicate lines per failing item
+ * — and the open-time canonical rewrite only helped across restarts,
+ * not within a long run. Compaction now bounds the file: once the
+ * contiguous passing prefix crosses a threshold, the journal is
+ * rewritten as one `prefix N` line plus the out-of-prefix passes,
+ * with the same write-temp / fsync / atomic-rename / fsync-directory
+ * discipline as SnapshotStore — a crash mid-compaction leaves the
+ * previous journal intact under its final name.
+ */
+
+#ifndef FB_EXEC_SERVICE_JOURNAL_HH
+#define FB_EXEC_SERVICE_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fb::exec::svc
+{
+
+class CursorJournal
+{
+  public:
+    CursorJournal() = default;
+    ~CursorJournal();
+
+    CursorJournal(const CursorJournal &) = delete;
+    CursorJournal &operator=(const CursorJournal &) = delete;
+
+    /**
+     * Open (creating if absent) the journal at @p path for a campaign
+     * of @p count items whose parameters render as @p header. An
+     * existing journal with a different header is rejected — the
+     * verdicts would not be comparable. On success the on-disk file
+     * has been rewritten in canonical form (torn tail dropped,
+     * duplicates collapsed, prefix folded). Returns false with a
+     * diagnostic in @p error on header mismatch or I/O failure.
+     */
+    bool open(const std::string &path, const std::string &header,
+              std::uint64_t count, std::string &error);
+
+    /** 0 = not recorded, 'p' = passed, 'f' = failed. */
+    char
+    state(std::uint64_t index) const
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        return index < _state.size()
+                   ? _state[static_cast<std::size_t>(index)]
+                   : 0;
+    }
+
+    /** Items with any recorded verdict when the journal was opened. */
+    std::uint64_t resumedItems() const { return _resumed; }
+
+    /**
+     * Record a verdict: append one line, flush, and compact when the
+     * passing prefix has crossed the threshold and enough lines have
+     * accumulated to make the rewrite worthwhile. Thread-safe.
+     */
+    void record(std::uint64_t index, bool failed);
+
+    /** Compactions performed over this journal's lifetime. */
+    std::uint64_t compactions() const { return _compactions; }
+
+    /**
+     * Compaction trigger: rewrite once the contiguous passing prefix
+     * is at least this many items AND at least this many lines have
+     * been appended since the last canonical write. >= 1.
+     */
+    void
+    setCompactionThreshold(std::uint64_t items)
+    {
+        _threshold = items < 1 ? 1 : items;
+    }
+
+    const std::string &path() const { return _path; }
+
+  private:
+    /** Longest contiguous run of 'p' from index 0. Lock held. */
+    std::uint64_t passingPrefix() const;
+
+    /** Canonical rewrite via temp + fsync + rename. Lock held. */
+    bool writeCanonical(std::string &error);
+
+    mutable std::mutex _mu;
+    std::string _path;
+    std::string _header;
+    std::vector<char> _state;
+    std::FILE *_file = nullptr;
+    std::uint64_t _resumed = 0;
+    std::uint64_t _appended = 0;
+    std::uint64_t _compactions = 0;
+    std::uint64_t _threshold = 4096;
+};
+
+} // namespace fb::exec::svc
+
+#endif // FB_EXEC_SERVICE_JOURNAL_HH

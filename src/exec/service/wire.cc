@@ -1,0 +1,253 @@
+#include "exec/service/wire.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "snapshot/codec.hh"
+#include "support/strutil.hh"
+
+namespace fb::exec::svc
+{
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::Hello: return "hello";
+      case MsgType::LeaseGrant: return "lease-grant";
+      case MsgType::Heartbeat: return "heartbeat";
+      case MsgType::ItemStart: return "item-start";
+      case MsgType::ItemDone: return "item-done";
+      case MsgType::LeaseDone: return "lease-done";
+      case MsgType::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t>
+encodeFrame(const Message &msg)
+{
+    snapshot::Encoder payload;
+    payload.u8(static_cast<std::uint8_t>(msg.type));
+    switch (msg.type) {
+      case MsgType::Hello:
+      case MsgType::Heartbeat:
+      case MsgType::ItemStart:
+      case MsgType::LeaseDone:
+        payload.u64(msg.a);
+        break;
+      case MsgType::LeaseGrant:
+        payload.u64(msg.a);
+        payload.u64Vec(msg.items);
+        break;
+      case MsgType::ItemDone:
+        payload.u64(msg.a);
+        payload.b(msg.flag);
+        payload.str(msg.text);
+        break;
+      case MsgType::Shutdown:
+        break;
+    }
+    const std::vector<std::uint8_t> &body = payload.buffer();
+
+    snapshot::Encoder frame;
+    frame.reserve(8 + body.size());
+    frame.u32(static_cast<std::uint32_t>(body.size()));
+    frame.u32(snapshot::crc32(body));
+    frame.bytes(body);
+    return frame.take();
+}
+
+void
+FrameReader::feed(const std::uint8_t *data, std::size_t len)
+{
+    if (_corrupt)
+        return;
+    // Compact the consumed prefix occasionally so the buffer does not
+    // grow with the whole campaign's traffic.
+    if (_consumed > 4096 && _consumed > _buf.size() / 2) {
+        _buf.erase(_buf.begin(),
+                   _buf.begin() + static_cast<std::ptrdiff_t>(_consumed));
+        _consumed = 0;
+    }
+    _buf.insert(_buf.end(), data, data + len);
+}
+
+FrameReader::Status
+FrameReader::next(Message &out, std::string &error)
+{
+    if (_corrupt) {
+        error = "stream already corrupt";
+        return Status::Corrupt;
+    }
+    const std::size_t avail = _buf.size() - _consumed;
+    if (avail < 8)
+        return Status::None;
+    snapshot::Decoder hdr(_buf.data() + _consumed, 8);
+    const std::uint32_t len = hdr.u32();
+    const std::uint32_t want_crc = hdr.u32();
+    if (len > kMaxFrameBytes) {
+        _corrupt = true;
+        std::ostringstream oss;
+        oss << "frame length " << len << " exceeds the " << kMaxFrameBytes
+            << "-byte cap (garbled length prefix)";
+        error = oss.str();
+        return Status::Corrupt;
+    }
+    if (avail < 8 + static_cast<std::size_t>(len))
+        return Status::None;
+    const std::uint8_t *body = _buf.data() + _consumed + 8;
+    if (snapshot::crc32(body, len) != want_crc) {
+        _corrupt = true;
+        error = "frame CRC mismatch (corrupt transport)";
+        return Status::Corrupt;
+    }
+
+    snapshot::Decoder d(body, len);
+    const std::uint8_t raw = d.u8();
+    Message msg;
+    msg.type = static_cast<MsgType>(raw);
+    switch (msg.type) {
+      case MsgType::Hello:
+      case MsgType::Heartbeat:
+      case MsgType::ItemStart:
+      case MsgType::LeaseDone:
+        msg.a = d.u64();
+        break;
+      case MsgType::LeaseGrant:
+        msg.a = d.u64();
+        d.u64Vec(msg.items);
+        break;
+      case MsgType::ItemDone:
+        msg.a = d.u64();
+        msg.flag = d.b();
+        msg.text = d.str();
+        break;
+      case MsgType::Shutdown:
+        break;
+      default:
+        _corrupt = true;
+        std::ostringstream oss;
+        oss << "unknown message type " << static_cast<int>(raw);
+        error = oss.str();
+        return Status::Corrupt;
+    }
+    if (!d.done()) {
+        _corrupt = true;
+        std::ostringstream oss;
+        oss << msgTypeName(msg.type) << " payload malformed ("
+            << (d.ok() ? "trailing bytes" : "truncated fields") << ")";
+        error = oss.str();
+        return Status::Corrupt;
+    }
+
+    _consumed += 8 + static_cast<std::size_t>(len);
+    ++_frames;
+    out = std::move(msg);
+    return Status::Ok;
+}
+
+bool
+SvcFaultPlan::parse(const std::string &spec, SvcFaultPlan &out,
+                    std::string &error)
+{
+    SvcFaultPlan plan;
+    // Split manually: fb::split drops empty fields, but an empty
+    // directive ("kill:5,,drop:1") is a typo worth diagnosing, not
+    // something to silently skip.
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t pos = spec.find(',', start);
+        if (pos == std::string::npos)
+            pos = spec.size();
+        parts.push_back(spec.substr(start, pos - start));
+        start = pos + 1;
+    }
+    for (const std::string &part : parts) {
+        if (part.empty()) {
+            error = "empty directive in svc-fault spec";
+            return false;
+        }
+        auto fields = split(part, ':');
+        if (fields.size() != 2) {
+            error = "svc-fault directive '" + part +
+                    "' is not of the form kind:N";
+            return false;
+        }
+        std::int64_t n = 0;
+        if (!parseInt(fields[1], n) || n < 0) {
+            error = "bad count in svc-fault directive '" + part + "'";
+            return false;
+        }
+        const std::uint64_t v = static_cast<std::uint64_t>(n);
+        if (fields[0] == "kill") {
+            if (v == 0) {
+                error = "kill:N needs N >= 1 (1-based item ordinal)";
+                return false;
+            }
+            plan.killNthItem = v;
+        } else if (fields[0] == "killitem") {
+            plan.killItemIndex = v;
+            plan.killItemArmed = true;
+        } else if (fields[0] == "drop") {
+            if (v == 0) {
+                error = "drop:N needs N >= 1 (1-based frame ordinal)";
+                return false;
+            }
+            plan.dropNthFrame = v;
+        } else if (fields[0] == "garble") {
+            if (v == 0) {
+                error = "garble:N needs N >= 1 (1-based frame ordinal)";
+                return false;
+            }
+            plan.garbleNthFrame = v;
+        } else if (fields[0] == "stallhb") {
+            if (v == 0) {
+                error = "stallhb:N needs N >= 1 (1-based heartbeat)";
+                return false;
+            }
+            plan.stallAfterHeartbeats = v;
+        } else {
+            error = "unknown svc-fault kind '" + fields[0] +
+                    "' (kill, killitem, drop, garble, stallhb)";
+            return false;
+        }
+    }
+    if (!plan.any()) {
+        error = "svc-fault spec names no faults";
+        return false;
+    }
+    out = plan;
+    return true;
+}
+
+std::string
+SvcFaultPlan::toSpec() const
+{
+    std::ostringstream oss;
+    const char *sep = "";
+    if (killNthItem != 0) {
+        oss << sep << "kill:" << killNthItem;
+        sep = ",";
+    }
+    if (killItemArmed) {
+        oss << sep << "killitem:" << killItemIndex;
+        sep = ",";
+    }
+    if (dropNthFrame != 0) {
+        oss << sep << "drop:" << dropNthFrame;
+        sep = ",";
+    }
+    if (garbleNthFrame != 0) {
+        oss << sep << "garble:" << garbleNthFrame;
+        sep = ",";
+    }
+    if (stallAfterHeartbeats != 0) {
+        oss << sep << "stallhb:" << stallAfterHeartbeats;
+        sep = ",";
+    }
+    return oss.str();
+}
+
+} // namespace fb::exec::svc

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Wire format and process-level fault injection for the campaign
+ * service (coordinator <-> worker pipes).
+ *
+ * Every message travels as one length-prefixed, CRC-framed frame:
+ *
+ *     u32  payload length (bytes, little-endian)
+ *     u32  CRC-32 of the payload (same polynomial as snapshots)
+ *     ...  payload: u8 message type, then the type's fields
+ *
+ * The framing is deliberately paranoid: a byte flipped anywhere in a
+ * frame fails the CRC, and an absurd length field (a garbled length
+ * prefix) is rejected before any allocation. Either way the stream is
+ * declared corrupt — after a framing error nothing downstream of it
+ * can be trusted, so the coordinator's recovery unit is the whole
+ * connection (kill the worker, respawn, reassign the lease), exactly
+ * like the snapshot store's recovery unit is the whole generation.
+ *
+ * The injectable fault plan (`SvcFaultPlan`) mirrors the snapshot
+ * layer's IoFaultShim: it models the process-level betrayals a real
+ * fleet sees — a worker dying mid-item, a message lost or corrupted
+ * in transit, a worker wedging silently — so tests and CI can drive
+ * every recovery path deterministically.
+ */
+
+#ifndef FB_EXEC_SERVICE_WIRE_HH
+#define FB_EXEC_SERVICE_WIRE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace fb::exec::svc
+{
+
+/** Message types; the u8 on the wire. */
+enum class MsgType : std::uint8_t
+{
+    Hello = 1,      ///< worker -> coord: {u64 pid}
+    LeaseGrant = 2, ///< coord -> worker: {u64 leaseId, u64Vec items}
+    Heartbeat = 3,  ///< worker -> coord: {u64 itemsDone}
+    ItemStart = 4,  ///< worker -> coord: {u64 index}
+    ItemDone = 5,   ///< worker -> coord: {u64 index, u8 failed, str payload}
+    LeaseDone = 6,  ///< worker -> coord: {u64 leaseId}
+    Shutdown = 7,   ///< coord -> worker: {}
+};
+
+const char *msgTypeName(MsgType type);
+
+/**
+ * One decoded message. A single struct covers every type: `a`/`b`
+ * carry the numeric fields in declaration order, `flag` the bool,
+ * `text` the payload string, `items` the lease item list. Unused
+ * fields are zero/empty and not encoded.
+ */
+struct Message
+{
+    MsgType type = MsgType::Hello;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    bool flag = false;
+    std::string text;
+    std::vector<std::uint64_t> items;
+};
+
+/** Encode @p msg as one complete frame (length + CRC + payload). */
+std::vector<std::uint8_t> encodeFrame(const Message &msg);
+
+/**
+ * Incremental frame decoder over a byte stream that arrives in
+ * arbitrary chunks. feed() appends bytes; next() extracts the next
+ * complete frame. A CRC mismatch, an oversize length prefix, or a
+ * payload that does not decode latches the corrupt flag — the stream
+ * is then permanently unusable (resynchronizing inside a corrupt
+ * byte stream would be guessing).
+ */
+class FrameReader
+{
+  public:
+    enum class Status
+    {
+        None,    ///< no complete frame buffered yet
+        Ok,      ///< one frame decoded into the out-param
+        Corrupt, ///< framing/CRC/decode failure; stream is dead
+    };
+
+    /** Frames larger than this are treated as a garbled length. */
+    static constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+    void feed(const std::uint8_t *data, std::size_t len);
+
+    Status next(Message &out, std::string &error);
+
+    bool corrupt() const { return _corrupt; }
+
+    std::uint64_t framesDecoded() const { return _frames; }
+
+  private:
+    std::vector<std::uint8_t> _buf;
+    std::size_t _consumed = 0;
+    bool _corrupt = false;
+    std::uint64_t _frames = 0;
+};
+
+/**
+ * Deterministic process/transport fault plan, parsed from a
+ * `--svc-fault` spec: comma-separated directives, each `kind:N`.
+ *
+ *   kill:N      the worker SIGKILLs itself just after announcing its
+ *               Nth item (1-based, counted per worker process).
+ *               A transient crash, not a poison seed: the respawn
+ *               completes the lease and the campaign.
+ *   killitem:I  the worker SIGKILLs itself whenever it is about to
+ *               run global item index I — in *every* incarnation,
+ *               including the solo quarantine probe. This is the
+ *               poison seed: two kills quarantine it, the solo probe
+ *               dies too, and the item is reported as an artifact.
+ *   drop:N      the worker's Nth outbound frame is silently discarded
+ *               — a lost result message; the item is re-run after
+ *               lease reassignment and the duplicate result is
+ *               deduplicated downstream.
+ *   garble:N    one byte of the worker's Nth outbound frame is
+ *               flipped — the coordinator's CRC check must catch it
+ *               and recycle the connection.
+ *   stallhb:N   after sending its Nth heartbeat the worker wedges:
+ *               it stops all outbound traffic and parks forever.
+ *               Only the coordinator's heartbeat timeout can reclaim
+ *               its lease.
+ *
+ * The transient directives (kill, drop, garble, stallhb) arm exactly
+ * one worker incarnation: slot 0's first. Arming every worker would
+ * let a reassigned item land on the same counter position of a
+ * still-armed sibling and cascade an innocent seed into quarantine —
+ * defeating the determinism contract the injector exists to test.
+ * killitem is global (every incarnation of every worker, including
+ * the solo probe): it models the item's own behaviour.
+ */
+struct SvcFaultPlan
+{
+    std::uint64_t killNthItem = 0;      ///< 1-based; 0 = never
+    std::uint64_t killItemIndex = 0;    ///< armed iff killItemArmed
+    bool killItemArmed = false;
+    std::uint64_t dropNthFrame = 0;     ///< 1-based; 0 = never
+    std::uint64_t garbleNthFrame = 0;   ///< 1-based; 0 = never
+    std::uint64_t stallAfterHeartbeats = 0; ///< 1-based; 0 = never
+
+    bool any() const
+    {
+        return killNthItem != 0 || killItemArmed || dropNthFrame != 0 ||
+               garbleNthFrame != 0 || stallAfterHeartbeats != 0;
+    }
+
+    /**
+     * The plan a respawned worker (incarnation > 0) runs under: only
+     * the positional poison-seed fault survives; the transient
+     * per-process faults fired on the first incarnation.
+     */
+    SvcFaultPlan
+    respawnPlan() const
+    {
+        SvcFaultPlan p;
+        p.killItemIndex = killItemIndex;
+        p.killItemArmed = killItemArmed;
+        return p;
+    }
+
+    static bool parse(const std::string &spec, SvcFaultPlan &out,
+                      std::string &error);
+
+    std::string toSpec() const;
+};
+
+} // namespace fb::exec::svc
+
+#endif // FB_EXEC_SERVICE_WIRE_HH

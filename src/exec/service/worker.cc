@@ -1,0 +1,247 @@
+#include "exec/service/worker.hh"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+#include "exec/machine_pool.hh"
+#include "exec/program_cache.hh"
+
+namespace fb::exec::svc
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Outbound pipe end with the transport fault shim applied per frame.
+ * Thread-safe: with innerJobs > 1 the campaign engine's workers
+ * announce item starts concurrently.
+ */
+class Transport
+{
+  public:
+    Transport(int fd, const SvcFaultPlan &fault)
+        : _fd(fd), _fault(fault)
+    {
+    }
+
+    /**
+     * Send one frame, applying drop/garble/stall faults. Exits the
+     * process with status 3 if the coordinator end is gone — there
+     * is nobody left to report results to.
+     */
+    void
+    send(const Message &msg)
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        if (_wedged)
+            return;
+        if (msg.type == MsgType::Heartbeat) {
+            ++_heartbeatsSent;
+            if (_fault.stallAfterHeartbeats != 0 &&
+                _heartbeatsSent >= _fault.stallAfterHeartbeats) {
+                // A wedged worker sends nothing ever again — only the
+                // coordinator's heartbeat timeout can reclaim it.
+                // Send this last heartbeat, then fall silent.
+                std::vector<std::uint8_t> f = encodeFrame(msg);
+                writeAll(f);
+                _wedged = true;
+                return;
+            }
+        }
+        ++_framesSent;
+        if (_fault.dropNthFrame != 0 &&
+            _framesSent == _fault.dropNthFrame)
+            return;  // lost in transit
+        std::vector<std::uint8_t> frame = encodeFrame(msg);
+        if (_fault.garbleNthFrame != 0 &&
+            _framesSent == _fault.garbleNthFrame && frame.size() > 8)
+            frame[8] ^= 0x40;  // flip a payload bit; CRC must catch it
+        writeAll(frame);
+    }
+
+    bool wedged() const
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        return _wedged;
+    }
+
+  private:
+    void
+    writeAll(const std::vector<std::uint8_t> &bytes)
+    {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            const ssize_t n =
+                ::write(_fd, bytes.data() + off, bytes.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                _exit(3);  // coordinator vanished (EPIPE & co.)
+            }
+            off += static_cast<std::size_t>(n);
+        }
+    }
+
+    int _fd;
+    SvcFaultPlan _fault;
+    mutable std::mutex _mu;
+    std::uint64_t _framesSent = 0;
+    std::uint64_t _heartbeatsSent = 0;
+    bool _wedged = false;
+};
+
+/** Park a wedged worker until the coordinator SIGKILLs it. */
+[[noreturn]] void
+parkForever()
+{
+    for (;;)
+        ::pause();
+}
+
+} // namespace
+
+int
+workerMain(int readFd, int writeFd, const ItemRunner &runner,
+           const WorkerConfig &config)
+{
+    // The coordinator owns SIGPIPE handling for its end; the worker
+    // treats a dead pipe as an exit condition inside Transport.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    Transport out(writeFd, config.fault);
+    FrameReader in;
+
+    // Survives across leases: the whole point of a resident worker.
+    MachinePool machines;
+    ProgramCache programs;
+
+    std::uint64_t itemsDone = 0;
+    // Incremented from the campaign engine's worker threads when
+    // innerJobs > 1; the kill-on-Nth-item comparison must not race.
+    std::atomic<std::uint64_t> itemsStarted{0};
+    Clock::time_point lastBeat = Clock::now();
+
+    {
+        Message hello;
+        hello.type = MsgType::Hello;
+        hello.a = static_cast<std::uint64_t>(::getpid());
+        out.send(hello);
+    }
+
+    auto maybeHeartbeat = [&]() {
+        const auto now = Clock::now();
+        if (now - lastBeat >=
+            std::chrono::milliseconds(config.heartbeatIntervalMs)) {
+            Message hb;
+            hb.type = MsgType::Heartbeat;
+            hb.a = itemsDone;
+            out.send(hb);
+            lastBeat = now;
+            if (out.wedged())
+                parkForever();
+        }
+    };
+
+    auto runLease = [&](const Message &grant) {
+        CampaignOptions copt;
+        copt.jobs = config.innerJobs;
+        copt.programs = &programs;
+        copt.machines = &machines;
+        const std::vector<std::uint64_t> &items = grant.items;
+        runCampaign(
+            items.size(), copt,
+            [&](std::uint64_t k, WorkerContext &ctx) {
+                const std::uint64_t index =
+                    items[static_cast<std::size_t>(k)];
+                const std::uint64_t started =
+                    itemsStarted.fetch_add(1) + 1;
+                // Announce the item before any chance of dying on it,
+                // so the coordinator can attribute the corpse.
+                Message start;
+                start.type = MsgType::ItemStart;
+                start.a = index;
+                out.send(start);
+                if ((config.fault.killNthItem != 0 &&
+                     started == config.fault.killNthItem) ||
+                    (config.fault.killItemArmed &&
+                     index == config.fault.killItemIndex)) {
+                    ::kill(::getpid(), SIGKILL);
+                    parkForever();  // not reached
+                }
+                // Guard here with the *global* index: the inner
+                // campaign's own guard would label an escaped
+                // exception with the lease-local position k.
+                return runGuardedItem(runner, index, ctx);
+            },
+            [&](std::uint64_t k, const ItemResult &r) {
+                Message done;
+                done.type = MsgType::ItemDone;
+                done.a = items[static_cast<std::size_t>(k)];
+                done.flag = r.failed;
+                done.text = r.payload;
+                out.send(done);
+                ++itemsDone;
+                maybeHeartbeat();
+            });
+        Message doneMsg;
+        doneMsg.type = MsgType::LeaseDone;
+        doneMsg.a = grant.a;
+        out.send(doneMsg);
+        if (out.wedged())
+            parkForever();
+    };
+
+    for (;;) {
+        struct pollfd pfd;
+        pfd.fd = readFd;
+        pfd.events = POLLIN;
+        const int rv = ::poll(&pfd, 1, config.heartbeatIntervalMs);
+        if (rv < 0) {
+            if (errno == EINTR)
+                continue;
+            return 3;
+        }
+        maybeHeartbeat();
+        if (rv == 0)
+            continue;
+        if ((pfd.revents & (POLLIN | POLLHUP)) == 0)
+            return 3;
+
+        std::uint8_t buf[4096];
+        const ssize_t n = ::read(readFd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return 3;
+        }
+        if (n == 0)
+            return 0;  // coordinator closed our grant pipe: done
+        in.feed(buf, static_cast<std::size_t>(n));
+
+        Message msg;
+        std::string err;
+        for (;;) {
+            const FrameReader::Status st = in.next(msg, err);
+            if (st == FrameReader::Status::None)
+                break;
+            if (st == FrameReader::Status::Corrupt)
+                return 3;  // grants unusable; die and be respawned
+            if (msg.type == MsgType::Shutdown)
+                return 0;
+            if (msg.type == MsgType::LeaseGrant)
+                runLease(msg);
+        }
+    }
+}
+
+} // namespace fb::exec::svc

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "support/logging.hh"
+
 namespace fb::snapshot
 {
 
@@ -70,6 +72,14 @@ AsyncSnapshotWriter::degradeTo(WriterMode mode, const std::string &why)
     _pendingDegradation =
         std::string("checkpoint writer degraded to ") +
         writerModeName(mode) + ": " + why;
+    // Operators of long-running services watch stderr, not RunResult:
+    // surface every ladder step there too. Keyed per rung, so the
+    // first writer to reach a rung reports immediately and a fleet of
+    // writers hitting the same failing disk collapses to one line per
+    // hundred instead of a stderr storm.
+    warnRatelimited(std::string("snapshot-writer-degrade:") +
+                        writerModeName(mode),
+                    _pendingDegradation);
 }
 
 void

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 
 #include "exec/campaign.hh"
 #include "exec/machine_pool.hh"
+#include "exec/ordered_emitter.hh"
 #include "exec/pool.hh"
 #include "exec/program_cache.hh"
 #include "fault/plan.hh"
@@ -303,6 +305,126 @@ TEST(Campaign, WorkStealingPoolRunsAllTasks)
     for (int i = 0; i < tasks; ++i)
         EXPECT_EQ(ran[static_cast<std::size_t>(i)].load(), 1)
             << "task " << i;
+}
+
+// A runner that throws must surface as a failed item carrying the
+// exception text — not tear down the campaign — and the output must
+// stay byte-identical across job counts with the failures in place.
+TEST(Campaign, ThrowingRunnerBecomesFailedResult)
+{
+    auto throwy = [](std::uint64_t i,
+                     exec::WorkerContext &) -> exec::ItemResult {
+        if (i % 11 == 4)
+            throw std::runtime_error("bug in item " +
+                                     std::to_string(i));
+        if (i % 13 == 6)
+            throw 42;  // non-standard exception
+        exec::ItemResult r;
+        r.payload = "ok " + std::to_string(i) + "\n";
+        return r;
+    };
+
+    constexpr std::uint64_t seeds = 60;
+    exec::CampaignStats s1, s4;
+    const std::string j1 = journalAt(1, seeds, &s1, throwy);
+    const std::string j4 = journalAt(4, seeds, &s4, throwy);
+    EXPECT_EQ(j1, j4);
+    std::uint64_t expectFails = 0;
+    for (std::uint64_t i = 0; i < seeds; ++i)
+        if (i % 11 == 4 || i % 13 == 6)
+            ++expectFails;
+    EXPECT_EQ(s1.failures, expectFails);
+    EXPECT_EQ(s4.failures, expectFails);
+    EXPECT_NE(j1.find("EXCEPTION item=4: bug in item 4"),
+              std::string::npos)
+        << j1;
+    EXPECT_NE(j1.find("EXCEPTION item=6: (non-standard exception)"),
+              std::string::npos)
+        << j1;
+}
+
+// --- OrderedEmitter --------------------------------------------------
+
+struct EmitterLog
+{
+    std::string out;
+    exec::ItemConsumer consume = [this](std::uint64_t i,
+                                        const exec::ItemResult &r) {
+        out += std::to_string(i) + ":" + r.payload + ";";
+    };
+};
+
+exec::ItemResult
+payload(const std::string &s, bool failed = false)
+{
+    exec::ItemResult r;
+    r.payload = s;
+    r.failed = failed;
+    return r;
+}
+
+// Adversarial completion orders: whatever order results arrive in,
+// consumption is in index order and each index is consumed exactly
+// once, with the stream flushed as far as the contiguous prefix.
+TEST(OrderedEmitter, ReordersArbitraryCompletionOrders)
+{
+    const std::vector<std::vector<std::uint64_t>> orders = {
+        {0, 1, 2, 3, 4, 5},  // already ordered
+        {5, 4, 3, 2, 1, 0},  // fully reversed
+        {3, 0, 5, 1, 4, 2},  // interleaved
+        {1, 2, 3, 4, 5, 0},  // prefix gated by the very first item
+    };
+    for (const auto &order : orders) {
+        EmitterLog log;
+        exec::OrderedEmitter em(log.consume);
+        for (std::uint64_t i : order)
+            EXPECT_TRUE(em.deliver(i, payload("p" + std::to_string(i))));
+        EXPECT_EQ(log.out, "0:p0;1:p1;2:p2;3:p3;4:p4;5:p5;");
+        EXPECT_EQ(em.next(), 6u);
+        EXPECT_EQ(em.pendingCount(), 0u);
+        EXPECT_EQ(em.duplicates(), 0u);
+    }
+}
+
+TEST(OrderedEmitter, GapGatesTheStreamUntilFilled)
+{
+    EmitterLog log;
+    exec::OrderedEmitter em(log.consume);
+    EXPECT_TRUE(em.deliver(1, payload("b")));
+    EXPECT_TRUE(em.deliver(3, payload("d")));
+    EXPECT_EQ(log.out, "");  // nothing flushes past the hole at 0
+    EXPECT_EQ(em.pendingCount(), 2u);
+    EXPECT_TRUE(em.seen(1));
+    EXPECT_FALSE(em.seen(0));
+
+    // Failed and quarantined gap items release the stream like any
+    // other delivery — a failure must not wedge the ordered prefix.
+    EXPECT_TRUE(em.deliver(0, payload("FAIL a", true)));
+    EXPECT_EQ(log.out, "0:FAIL a;1:b;");
+    {
+        exec::ItemResult q;
+        q.failed = true;
+        q.quarantined = true;
+        q.payload = "QUARANTINE c";
+        EXPECT_TRUE(em.deliver(2, std::move(q)));
+    }
+    EXPECT_EQ(log.out, "0:FAIL a;1:b;2:QUARANTINE c;3:d;");
+    EXPECT_EQ(em.next(), 4u);
+}
+
+// At-least-once upstream, exactly-once downstream: duplicates of both
+// already-flushed and still-pending indices are dropped and counted.
+TEST(OrderedEmitter, DuplicateDeliveriesAreDroppedAndCounted)
+{
+    EmitterLog log;
+    exec::OrderedEmitter em(log.consume);
+    EXPECT_TRUE(em.deliver(0, payload("x")));
+    EXPECT_FALSE(em.deliver(0, payload("x-again")));  // already flushed
+    EXPECT_TRUE(em.deliver(2, payload("z")));
+    EXPECT_FALSE(em.deliver(2, payload("z-again")));  // still pending
+    EXPECT_TRUE(em.deliver(1, payload("y")));
+    EXPECT_EQ(log.out, "0:x;1:y;2:z;");
+    EXPECT_EQ(em.duplicates(), 2u);
 }
 
 TEST(Campaign, ResumeEquivalenceOnPooledMachines)

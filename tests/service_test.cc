@@ -1,0 +1,650 @@
+/**
+ * @file
+ * Campaign-service tests (INTERNALS section 20): the CRC-framed wire
+ * protocol, the injectable process/transport fault plan, the
+ * crash-safe compacting cursor journal, and the coordinator/worker
+ * service itself — whose headline guarantee extends the campaign
+ * engine's: the consumer-visible stream is byte-identical at any
+ * worker count under any injected fault schedule that does not
+ * quarantine an item.
+ *
+ * The end-to-end tests fork real worker processes (the coordinator's
+ * normal mode), so they use trivial arithmetic runners rather than
+ * full differential scenarios; the differential workload rides the
+ * same code path via tools/fbfuzz and the service-robustness CI job.
+ */
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/campaign.hh"
+#include "exec/machine_pool.hh"
+#include "exec/program_cache.hh"
+#include "exec/service/coordinator.hh"
+#include "exec/service/journal.hh"
+#include "exec/service/wire.hh"
+
+namespace
+{
+
+using namespace fb;
+using namespace fb::exec;
+using namespace fb::exec::svc;
+using namespace std::string_literals;
+
+// --- wire format -----------------------------------------------------
+
+TEST(Wire, RoundTripsEveryMessageType)
+{
+    std::vector<Message> msgs;
+    {
+        Message m;
+        m.type = MsgType::Hello;
+        m.a = 4242;
+        msgs.push_back(m);
+    }
+    {
+        Message m;
+        m.type = MsgType::LeaseGrant;
+        m.a = 7;
+        m.items = {3, 5, 8, 13, 0xffff'ffff'ffff'fffeULL};
+        msgs.push_back(m);
+    }
+    {
+        Message m;
+        m.type = MsgType::Heartbeat;
+        m.a = 12;
+        msgs.push_back(m);
+    }
+    {
+        Message m;
+        m.type = MsgType::ItemStart;
+        m.a = 99;
+        msgs.push_back(m);
+    }
+    {
+        Message m;
+        m.type = MsgType::ItemDone;
+        m.a = 99;
+        m.flag = true;
+        m.text = "FAIL seed=99\nline two with \0 embedded"s;
+        msgs.push_back(m);
+    }
+    {
+        Message m;
+        m.type = MsgType::LeaseDone;
+        m.a = 7;
+        msgs.push_back(m);
+    }
+    {
+        Message m;
+        m.type = MsgType::Shutdown;
+        msgs.push_back(m);
+    }
+
+    // Concatenate all frames and feed them one byte at a time: the
+    // reader must reassemble every message across arbitrary chunking.
+    std::vector<std::uint8_t> stream;
+    for (const Message &m : msgs) {
+        auto f = encodeFrame(m);
+        stream.insert(stream.end(), f.begin(), f.end());
+    }
+    FrameReader reader;
+    std::vector<Message> got;
+    Message out;
+    std::string err;
+    for (std::uint8_t byte : stream) {
+        reader.feed(&byte, 1);
+        for (;;) {
+            auto st = reader.next(out, err);
+            if (st != FrameReader::Status::Ok)
+                break;
+            got.push_back(out);
+        }
+    }
+    ASSERT_EQ(got.size(), msgs.size());
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+        EXPECT_EQ(got[i].type, msgs[i].type) << i;
+        EXPECT_EQ(got[i].a, msgs[i].a) << i;
+        EXPECT_EQ(got[i].flag, msgs[i].flag) << i;
+        EXPECT_EQ(got[i].text, msgs[i].text) << i;
+        EXPECT_EQ(got[i].items, msgs[i].items) << i;
+    }
+    EXPECT_EQ(reader.framesDecoded(), msgs.size());
+    EXPECT_FALSE(reader.corrupt());
+}
+
+TEST(Wire, FlippedByteFailsCrcAndLatchesCorrupt)
+{
+    Message m;
+    m.type = MsgType::ItemDone;
+    m.a = 5;
+    m.text = "payload";
+    auto frame = encodeFrame(m);
+    frame[frame.size() - 1] ^= 0x01;  // flip a payload byte
+
+    FrameReader reader;
+    reader.feed(frame.data(), frame.size());
+    Message out;
+    std::string err;
+    EXPECT_EQ(reader.next(out, err), FrameReader::Status::Corrupt);
+    EXPECT_TRUE(reader.corrupt());
+    EXPECT_FALSE(err.empty());
+    // Latched: even a pristine frame is refused afterwards.
+    auto good = encodeFrame(m);
+    reader.feed(good.data(), good.size());
+    EXPECT_EQ(reader.next(out, err), FrameReader::Status::Corrupt);
+}
+
+TEST(Wire, OversizeLengthPrefixIsRejectedBeforeAllocation)
+{
+    // A garbled length prefix claiming a 1GB frame must be refused
+    // immediately, not buffered toward an OOM.
+    std::uint8_t junk[8] = {0xff, 0xff, 0xff, 0x3f, 0, 0, 0, 0};
+    FrameReader reader;
+    reader.feed(junk, sizeof junk);
+    Message out;
+    std::string err;
+    EXPECT_EQ(reader.next(out, err), FrameReader::Status::Corrupt);
+}
+
+TEST(Wire, FaultPlanParsesAndRoundTrips)
+{
+    SvcFaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(SvcFaultPlan::parse(
+        "kill:5,killitem:0,drop:3,garble:7,stallhb:2", plan, err))
+        << err;
+    EXPECT_EQ(plan.killNthItem, 5u);
+    EXPECT_TRUE(plan.killItemArmed);
+    EXPECT_EQ(plan.killItemIndex, 0u);
+    EXPECT_EQ(plan.dropNthFrame, 3u);
+    EXPECT_EQ(plan.garbleNthFrame, 7u);
+    EXPECT_EQ(plan.stallAfterHeartbeats, 2u);
+    EXPECT_TRUE(plan.any());
+
+    SvcFaultPlan again;
+    ASSERT_TRUE(SvcFaultPlan::parse(plan.toSpec(), again, err)) << err;
+    EXPECT_EQ(again.toSpec(), plan.toSpec());
+
+    // Respawned incarnations keep only the poison-seed directive.
+    SvcFaultPlan respawned = plan.respawnPlan();
+    EXPECT_EQ(respawned.killNthItem, 0u);
+    EXPECT_EQ(respawned.dropNthFrame, 0u);
+    EXPECT_TRUE(respawned.killItemArmed);
+
+    EXPECT_FALSE(SvcFaultPlan::parse("explode:1", plan, err));
+    EXPECT_FALSE(SvcFaultPlan::parse("kill", plan, err));
+    EXPECT_FALSE(SvcFaultPlan::parse("kill:", plan, err));
+    EXPECT_FALSE(SvcFaultPlan::parse("kill:0", plan, err));
+    EXPECT_FALSE(SvcFaultPlan::parse("kill:5,,drop:1", plan, err));
+    EXPECT_FALSE(SvcFaultPlan::parse("kill:x", plan, err));
+}
+
+// --- cursor journal --------------------------------------------------
+
+std::string
+freshJournalPath(const std::string &name)
+{
+    std::string path =
+        ::testing::TempDir() + "fb_service_test_" + name + ".cursor";
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".tmp");
+    return path;
+}
+
+TEST(CursorJournal, RecordsAndReloads)
+{
+    const std::string path = freshJournalPath("reload");
+    const std::string header = "test-journal v1 params=abc";
+    std::string err;
+    {
+        CursorJournal j;
+        ASSERT_TRUE(j.open(path, header, 10, err)) << err;
+        EXPECT_EQ(j.resumedItems(), 0u);
+        j.record(0, false);
+        j.record(1, true);
+        j.record(3, false);
+    }
+    CursorJournal j2;
+    ASSERT_TRUE(j2.open(path, header, 10, err)) << err;
+    EXPECT_EQ(j2.state(0), 'p');
+    EXPECT_EQ(j2.state(1), 'f');
+    EXPECT_EQ(j2.state(2), '\0');
+    EXPECT_EQ(j2.state(3), 'p');
+    EXPECT_EQ(j2.resumedItems(), 3u);
+}
+
+TEST(CursorJournal, HeaderMismatchIsRejected)
+{
+    const std::string path = freshJournalPath("header");
+    std::string err;
+    {
+        CursorJournal j;
+        ASSERT_TRUE(j.open(path, "campaign A", 5, err)) << err;
+        j.record(0, false);
+    }
+    CursorJournal j2;
+    EXPECT_FALSE(j2.open(path, "campaign B", 5, err));
+    EXPECT_NE(err.find("records a different campaign"),
+              std::string::npos)
+        << err;
+}
+
+TEST(CursorJournal, TornTailIsDiscarded)
+{
+    const std::string path = freshJournalPath("torn");
+    const std::string header = "test-journal torn";
+    std::string err;
+    {
+        CursorJournal j;
+        ASSERT_TRUE(j.open(path, header, 10, err)) << err;
+        j.record(0, false);
+        j.record(1, false);
+    }
+    // Simulate a SIGKILL mid-append: a valid line, then a torn one.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "done 2 pass\n";
+        out << "done 3 pa";  // torn mid-write
+    }
+    CursorJournal j2;
+    ASSERT_TRUE(j2.open(path, header, 10, err)) << err;
+    EXPECT_EQ(j2.state(2), 'p');
+    EXPECT_EQ(j2.state(3), '\0') << "torn line must not be trusted";
+
+    // And a torn line discards everything after it, even valid lines
+    // (nothing downstream of a tear is trustworthy).
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "garbage line\n";
+        out << "done 4 pass\n";
+    }
+    CursorJournal j3;
+    ASSERT_TRUE(j3.open(path, header, 10, err)) << err;
+    EXPECT_EQ(j3.state(4), '\0');
+}
+
+TEST(CursorJournal, CompactionBoundsGrowthAndPreservesState)
+{
+    const std::string path = freshJournalPath("compact");
+    const std::string header = "test-journal compact";
+    std::string err;
+    constexpr std::uint64_t items = 400;
+    {
+        CursorJournal j;
+        ASSERT_TRUE(j.open(path, header, items, err)) << err;
+        j.setCompactionThreshold(32);
+        for (std::uint64_t i = 0; i < items; ++i)
+            j.record(i, false);
+        EXPECT_GT(j.compactions(), 0u);
+    }
+    // A fully-passing 400-item journal compacts to a header, one
+    // prefix line, and at most a threshold's worth of records
+    // appended since the last compaction — far below one line per
+    // item.
+    const auto size = std::filesystem::file_size(path);
+    EXPECT_LT(size, 2048u) << "journal did not stay bounded";
+    {
+        std::ifstream in(path);
+        std::string first, second;
+        std::getline(in, first);
+        std::getline(in, second);
+        EXPECT_EQ(first, header);
+        ASSERT_EQ(second.rfind("prefix ", 0), 0u) << second;
+        std::uint64_t prefix =
+            std::stoull(second.substr(std::string("prefix ").size()));
+        EXPECT_GE(prefix, 32u);   // at least the threshold folded in
+        EXPECT_LE(prefix, items); // never past what was recorded
+    }
+    CursorJournal j2;
+    ASSERT_TRUE(j2.open(path, header, items, err)) << err;
+    for (std::uint64_t i = 0; i < items; ++i)
+        EXPECT_EQ(j2.state(i), 'p') << i;
+    EXPECT_EQ(j2.resumedItems(), items);
+}
+
+TEST(CursorJournal, FailRecordsAreDroppedByCompaction)
+{
+    // `done I fail` is semantically equivalent to no record (failing
+    // items re-run on resume either way) — re-appending them forever
+    // was exactly the PR 4 unbounded-growth bug. The canonical rewrite
+    // must drop them.
+    // The header must not contain the substring "fail" — the check
+    // below scans the whole file for leftover `done I fail` records.
+    const std::string path = freshJournalPath("dropped-verdicts");
+    const std::string header = "test-journal dropped-verdicts";
+    std::string err;
+    {
+        CursorJournal j;
+        ASSERT_TRUE(j.open(path, header, 8, err)) << err;
+        j.record(0, false);
+        j.record(1, true);
+        j.record(2, true);
+    }
+    {
+        // Reopen: canonical rewrite drops the fail lines on disk even
+        // though this opener still sees them in memory.
+        CursorJournal j;
+        ASSERT_TRUE(j.open(path, header, 8, err)) << err;
+        EXPECT_EQ(j.state(1), 'f');
+    }
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(text.find("fail"), std::string::npos) << text;
+    EXPECT_NE(text.find("done 0 pass"), std::string::npos) << text;
+}
+
+// --- the service itself ----------------------------------------------
+
+/**
+ * Deterministic synthetic workload: payload is a pure function of the
+ * index, every 7th item fails. Cheap enough that end-to-end service
+ * tests complete in milliseconds of actual work.
+ */
+ItemResult
+syntheticItem(std::uint64_t i, WorkerContext &)
+{
+    ItemResult r;
+    std::ostringstream oss;
+    if (i % 7 == 3) {
+        r.failed = true;
+        oss << "FAIL item=" << i << " detail=" << (i * 2654435761u % 997)
+            << "\n";
+    } else {
+        oss << "ok item=" << i << " v=" << (i * i % 1009) << "\n";
+    }
+    r.payload = oss.str();
+    return r;
+}
+
+/** Reference stream: the in-process engine at jobs=1. */
+std::string
+referenceStream(std::uint64_t count)
+{
+    CampaignOptions copt;
+    copt.jobs = 1;
+    std::string out;
+    runCampaign(count, copt, syntheticItem,
+                [&](std::uint64_t, const ItemResult &r) {
+                    out += r.payload;
+                });
+    return out;
+}
+
+struct ServiceRun
+{
+    std::string stream;
+    std::vector<std::uint64_t> quarantinedItems;
+    ServiceStats stats;
+};
+
+ServiceRun
+runService(std::uint64_t count, ServiceOptions sopt,
+           CursorJournal *journal = nullptr,
+           const ItemRunner &runner = syntheticItem)
+{
+    ServiceRun out;
+    out.stats = runCampaignService(
+        count, sopt, runner,
+        [&](std::uint64_t i, const ItemResult &r) {
+            out.stream += r.payload;
+            if (r.quarantined)
+                out.quarantinedItems.push_back(i);
+        },
+        journal);
+    return out;
+}
+
+TEST(Service, MatchesInProcessEngineAtAnyWorkerCount)
+{
+    constexpr std::uint64_t count = 60;
+    const std::string ref = referenceStream(count);
+    for (int workers : {1, 3}) {
+        ServiceOptions sopt;
+        sopt.workers = workers;
+        sopt.leaseItems = 7;
+        auto run = runService(count, sopt);
+        EXPECT_EQ(run.stream, ref) << workers << " workers";
+        EXPECT_FALSE(run.stats.aborted) << run.stats.error;
+        EXPECT_EQ(run.stats.failures, (count + 3) / 7);
+        EXPECT_EQ(run.stats.workerDeaths, 0u);
+        EXPECT_EQ(run.stats.quarantined, 0u);
+        EXPECT_GT(run.stats.leasesGranted, 0u);
+    }
+}
+
+TEST(Service, SurvivesWorkerKillByteIdentically)
+{
+    constexpr std::uint64_t count = 40;
+    const std::string ref = referenceStream(count);
+    ServiceOptions sopt;
+    sopt.workers = 2;
+    sopt.leaseItems = 5;
+    std::string err;
+    ASSERT_TRUE(SvcFaultPlan::parse("kill:3", sopt.fault, err)) << err;
+    auto run = runService(count, sopt);
+    EXPECT_EQ(run.stream, ref);
+    EXPECT_FALSE(run.stats.aborted) << run.stats.error;
+    EXPECT_EQ(run.stats.workerDeaths, 1u);
+    // No respawn assertion: the surviving worker may finish the whole
+    // campaign before the dead slot's backoff elapses, which is a
+    // legitimate (and faster) recovery.
+    EXPECT_GE(run.stats.leasesReassigned, 1u);
+    EXPECT_EQ(run.stats.quarantined, 0u)
+        << "a transient crash must not quarantine the item it died on";
+}
+
+TEST(Service, DroppedResultFrameIsReRunNotLost)
+{
+    constexpr std::uint64_t count = 40;
+    const std::string ref = referenceStream(count);
+    ServiceOptions sopt;
+    sopt.workers = 2;
+    sopt.leaseItems = 5;
+    std::string err;
+    // Frame 4 from worker 0: Hello, ItemStart, ItemDone, ItemStart —
+    // drops mid-lease traffic regardless of exact interleaving.
+    ASSERT_TRUE(SvcFaultPlan::parse("drop:4", sopt.fault, err)) << err;
+    auto run = runService(count, sopt);
+    EXPECT_EQ(run.stream, ref);
+    EXPECT_FALSE(run.stats.aborted) << run.stats.error;
+    EXPECT_EQ(run.stats.quarantined, 0u);
+}
+
+TEST(Service, GarbledFrameRecyclesTheConnection)
+{
+    constexpr std::uint64_t count = 40;
+    const std::string ref = referenceStream(count);
+    ServiceOptions sopt;
+    sopt.workers = 2;
+    sopt.leaseItems = 5;
+    std::string err;
+    ASSERT_TRUE(SvcFaultPlan::parse("garble:4", sopt.fault, err)) << err;
+    auto run = runService(count, sopt);
+    EXPECT_EQ(run.stream, ref);
+    EXPECT_FALSE(run.stats.aborted) << run.stats.error;
+    EXPECT_GE(run.stats.corruptStreams, 1u);
+    EXPECT_GE(run.stats.workerDeaths, 1u);
+    EXPECT_EQ(run.stats.quarantined, 0u);
+}
+
+TEST(Service, WedgedWorkerIsReclaimedByHeartbeatTimeout)
+{
+    constexpr std::uint64_t count = 60;
+    const std::string ref = referenceStream(count);
+    ServiceOptions sopt;
+    sopt.workers = 2;
+    sopt.leaseItems = 8;
+    sopt.heartbeatIntervalMs = 5;
+    sopt.heartbeatTimeoutMs = 150;
+    std::string err;
+    ASSERT_TRUE(SvcFaultPlan::parse("stallhb:1", sopt.fault, err)) << err;
+    // Slow the items slightly so worker 0 heartbeats (and therefore
+    // wedges) while still holding un-run lease items.
+    auto slowItem = [](std::uint64_t i, WorkerContext &ctx) {
+        ::usleep(2000);
+        return syntheticItem(i, ctx);
+    };
+    auto run = runService(count, sopt, nullptr, slowItem);
+    EXPECT_EQ(run.stream, ref);
+    EXPECT_FALSE(run.stats.aborted) << run.stats.error;
+    EXPECT_GE(run.stats.heartbeatTimeouts, 1u);
+    EXPECT_GE(run.stats.workerDeaths, 1u);
+    EXPECT_EQ(run.stats.quarantined, 0u);
+}
+
+TEST(Service, PoisonItemIsQuarantinedWithArtifact)
+{
+    constexpr std::uint64_t count = 30;
+    const std::string ref = referenceStream(count);
+    ServiceOptions sopt;
+    sopt.workers = 2;
+    sopt.leaseItems = 4;
+    std::string err;
+    ASSERT_TRUE(SvcFaultPlan::parse("killitem:11", sopt.fault, err))
+        << err;
+    sopt.quarantineArtifact = [](std::uint64_t index, int kills) {
+        std::ostringstream oss;
+        oss << "QUARANTINE item=" << index << " kills=" << kills << "\n";
+        return oss.str();
+    };
+    auto run = runService(count, sopt);
+    EXPECT_FALSE(run.stats.aborted) << run.stats.error;
+    EXPECT_EQ(run.stats.quarantined, 1u);
+    ASSERT_EQ(run.quarantinedItems.size(), 1u);
+    EXPECT_EQ(run.quarantinedItems[0], 11u);
+    // Threshold 2 kills, then the solo probe dies too: three total.
+    EXPECT_EQ(run.stats.workerDeaths, 3u);
+    EXPECT_NE(run.stream.find("QUARANTINE item=11 kills=3"),
+              std::string::npos)
+        << run.stream;
+
+    // Every seed except the poisoned one is byte-identical to the
+    // in-process reference: splice the reference's item-11 line out
+    // and the artifact line in.
+    std::string expected;
+    {
+        std::istringstream in(ref);
+        std::string line;
+        std::uint64_t i = 0;
+        while (std::getline(in, line)) {
+            if (i == 11)
+                expected += "QUARANTINE item=11 kills=3\n";
+            else
+                expected += line + "\n";
+            ++i;
+        }
+    }
+    EXPECT_EQ(run.stream, expected);
+}
+
+TEST(Service, ThrowingRunnerBecomesFailedResultNotWorkerLoss)
+{
+    // Satellite guarantee at the service level: an exception inside
+    // the runner is a failed item, not a dead worker.
+    constexpr std::uint64_t count = 20;
+    auto throwyItem = [](std::uint64_t i,
+                         WorkerContext &ctx) -> ItemResult {
+        if (i == 9)
+            throw std::runtime_error("synthetic runner bug");
+        return syntheticItem(i, ctx);
+    };
+    ServiceOptions sopt;
+    sopt.workers = 2;
+    sopt.leaseItems = 4;
+    auto run = runService(count, sopt, nullptr, throwyItem);
+    EXPECT_FALSE(run.stats.aborted) << run.stats.error;
+    EXPECT_EQ(run.stats.workerDeaths, 0u);
+    EXPECT_NE(run.stream.find("EXCEPTION item=9: synthetic runner bug"),
+              std::string::npos)
+        << run.stream;
+}
+
+TEST(Service, JournalSkipsRecordedPassesAndRecordsNewOnes)
+{
+    constexpr std::uint64_t count = 30;
+    const std::string path = freshJournalPath("service_resume");
+    const std::string header = "service resume test";
+    std::string err;
+
+    // First run: complete the campaign, journaling every verdict.
+    {
+        CursorJournal journal;
+        ASSERT_TRUE(journal.open(path, header, count, err)) << err;
+        ServiceOptions sopt;
+        sopt.workers = 2;
+        sopt.leaseItems = 4;
+        auto run = runService(count, sopt, &journal);
+        EXPECT_FALSE(run.stats.aborted) << run.stats.error;
+        EXPECT_EQ(run.stats.itemsSkippedByJournal, 0u);
+    }
+
+    // Second run against the same journal: passes skip (empty
+    // results), failures re-run and reproduce their exact payloads.
+    CursorJournal journal;
+    ASSERT_TRUE(journal.open(path, header, count, err)) << err;
+    ServiceOptions sopt;
+    sopt.workers = 2;
+    sopt.leaseItems = 4;
+    std::string stream;
+    std::uint64_t skippedSeen = 0;
+    auto stats = runCampaignService(
+        count, sopt, syntheticItem,
+        [&](std::uint64_t i, const ItemResult &r) {
+            if (r.payload.empty() && !r.failed)
+                ++skippedSeen;
+            stream += r.payload;
+            (void)i;
+        },
+        &journal);
+    EXPECT_FALSE(stats.aborted) << stats.error;
+    const std::uint64_t fails = (count + 3) / 7;
+    EXPECT_EQ(stats.itemsSkippedByJournal, count - fails);
+    EXPECT_EQ(skippedSeen, count - fails);
+    // The re-run stream is exactly the failing lines, in item order.
+    MachinePool machines;
+    ProgramCache programs;
+    WorkerContext ctx{0, machines, programs};
+    std::string expected;
+    for (std::uint64_t i = 0; i < count; ++i)
+        if (i % 7 == 3)
+            expected += syntheticItem(i, ctx).payload;
+    EXPECT_EQ(stream, expected);
+}
+
+TEST(Service, AbortsWhenDeathBudgetExhausted)
+{
+    // killitem with threshold raised so high the item is never
+    // quarantined: deaths accumulate until the budget trips, and the
+    // service reports an aborted, incomplete campaign instead of
+    // spinning forever.
+    constexpr std::uint64_t count = 10;
+    ServiceOptions sopt;
+    sopt.workers = 2;
+    sopt.leaseItems = 2;
+    sopt.quarantineKillThreshold = 1000;
+    sopt.maxWorkerDeaths = 4;
+    sopt.respawnBackoffInitialMs = 1;
+    sopt.respawnBackoffMaxMs = 5;
+    std::string err;
+    ASSERT_TRUE(SvcFaultPlan::parse("killitem:5", sopt.fault, err))
+        << err;
+    auto run = runService(count, sopt);
+    EXPECT_TRUE(run.stats.aborted);
+    EXPECT_NE(run.stats.error.find("budget"), std::string::npos)
+        << run.stats.error;
+}
+
+} // namespace

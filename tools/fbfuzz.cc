@@ -54,11 +54,41 @@
  *                  summary) is identical to an uninterrupted run. The
  *                  journal records the campaign parameters; resuming
  *                  with different flags is rejected. A torn final line
- *                  (killed mid-write) is discarded, not trusted.
+ *                  (killed mid-write) is discarded, not trusted, and
+ *                  the journal is compacted (crash-safely) once the
+ *                  contiguous passing prefix grows large, so resumed
+ *                  sweeps no longer grow it without bound
+ *   --cursor-compact N
+ *                  compaction threshold in journal records (default
+ *                  4096; mostly for tests)
+ *   --workers N    run the campaign as a multi-process service: a
+ *                  coordinator shards the seed space into leased
+ *                  ranges across N forked worker processes, survives
+ *                  worker crashes/wedges via heartbeat timeouts and
+ *                  exponential-backoff respawn, deterministically
+ *                  reassigns incomplete leases, and quarantines a
+ *                  seed that kills its worker twice (one solo probe,
+ *                  then a first-class QUARANTINE artifact). Output
+ *                  stays seed-ordered and byte-identical to --jobs 1
+ *                  for every seed that is not quarantined. Composes
+ *                  with --jobs N (threads inside each worker) and
+ *                  --cursor (the coordinator records the contiguous
+ *                  prefix, so a SIGKILLed coordinator resumes)
+ *   --svc-fault SPEC
+ *                  inject process/transport faults into the service
+ *                  (kill:N, killitem:I, drop:N, garble:N, stallhb:N —
+ *                  see src/exec/service/wire.hh); requires --workers
+ *   --lease N      seeds per lease (default 16)
+ *   --hb-timeout MS / --hb-interval MS
+ *                  service liveness tuning (defaults 30000 / 200)
  *   --quiet        only print failures and the final summary
  *
  * Exit status: 0 all runs passed, 1 a failure was found (or a replay
- * failed), 2 usage error.
+ * failed), 2 usage error. Service mode additionally: 4 when the only
+ * failures are quarantined seeds, 5 when the service aborted (worker
+ * respawn budget exhausted). A campaign that merely lost and
+ * respawned workers keeps the normal codes — worker loss is
+ * survivable by design and reported on stderr only.
  */
 
 #include <algorithm>
@@ -66,22 +96,29 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "exec/campaign.hh"
+#include "exec/service/coordinator.hh"
 #include "fault/plan.hh"
 #include "support/strutil.hh"
 #include "verify/differ.hh"
 #include "verify/generator.hh"
 #include "verify/shrink.hh"
 
+#include "fuzz_campaign.hh"
+
 namespace
 {
 
 using namespace fb;
+using fbtool::applyFaults;
+using fbtool::cursorHeader;
+using fbtool::describeFailure;
+using fbtool::diffOptions;
+using fbtool::runScenario;
 
 [[noreturn]] void
 usage(const char *msg = nullptr)
@@ -97,24 +134,21 @@ usage(const char *msg = nullptr)
     std::exit(2);
 }
 
-struct Options
+struct Options : fbtool::CampaignConfig
 {
-    std::uint64_t seed = 1;
-    int runs = 100;
     bool runsGiven = false;
     std::string replayFile;
     std::string saveFile;
     std::string outFile;
     bool minimize = false;
-    bool swref = true;
-    bool faults = false;
-    std::uint64_t faultSeed = 0;  ///< 0 = derive from the spec seed
-    std::uint64_t maxCycles = 5'000'000;
-    int shards = 0;  ///< 0 = no sharded executor in the matrix
-    std::uint64_t shardQuantum = 1024;
-    bool predecode = true;  ///< threaded-code backend for every executor
     int jobs = 0;  ///< 0 = sequential stop-at-first-failure mode
     std::string cursorFile;
+    std::uint64_t cursorCompact = 0;  ///< 0 = journal default
+    int workers = 0;  ///< 0 = in-process; N = coordinator + N workers
+    exec::svc::SvcFaultPlan svcFault;
+    std::uint64_t leaseItems = 16;
+    int hbIntervalMs = 200;
+    int hbTimeoutMs = 30'000;
     bool quiet = false;
 };
 
@@ -178,7 +212,34 @@ parseArgs(int argc, char **argv)
             opt.jobs = static_cast<int>(nextInt());
         else if (arg == "--cursor")
             opt.cursorFile = next();
-        else if (arg == "--quiet")
+        else if (arg == "--cursor-compact") {
+            std::int64_t n = nextInt();
+            if (n < 1)
+                usage("--cursor-compact must be at least 1");
+            opt.cursorCompact = static_cast<std::uint64_t>(n);
+        } else if (arg == "--workers") {
+            opt.workers = static_cast<int>(nextInt());
+            if (opt.workers < 1)
+                usage("--workers must be at least 1");
+        } else if (arg == "--svc-fault") {
+            std::string err;
+            if (!exec::svc::SvcFaultPlan::parse(next(), opt.svcFault,
+                                                err))
+                usage(("--svc-fault: " + err).c_str());
+        } else if (arg == "--lease") {
+            std::int64_t n = nextInt();
+            if (n < 1)
+                usage("--lease must be at least 1");
+            opt.leaseItems = static_cast<std::uint64_t>(n);
+        } else if (arg == "--hb-interval") {
+            opt.hbIntervalMs = static_cast<int>(nextInt());
+            if (opt.hbIntervalMs < 1)
+                usage("--hb-interval must be at least 1");
+        } else if (arg == "--hb-timeout") {
+            opt.hbTimeoutMs = static_cast<int>(nextInt());
+            if (opt.hbTimeoutMs < 1)
+                usage("--hb-timeout must be at least 1");
+        } else if (arg == "--quiet")
             opt.quiet = true;
         else
             usage(("unknown option " + arg).c_str());
@@ -192,152 +253,40 @@ parseArgs(int argc, char **argv)
     if (!opt.cursorFile.empty() &&
         (!opt.replayFile.empty() || !opt.saveFile.empty()))
         usage("--cursor only applies to fuzzing campaigns");
+    if (opt.workers > 0 &&
+        (!opt.replayFile.empty() || !opt.saveFile.empty()))
+        usage("--workers only applies to fuzzing campaigns");
+    if (opt.svcFault.any() && opt.workers == 0)
+        usage("--svc-fault requires --workers");
     return opt;
 }
 
 /**
- * Sweep-cursor journal: one verdict line per completed seed, behind a
- * header binding the journal to its campaign parameters. The journal
- * is the fuzz campaign's own crash-tolerant checkpoint — a killed
- * `--jobs N` sweep resumes with an identical failing-seed set.
- *
- * Crash tolerance is line-granular: verdicts are appended one line at
- * a time and flushed, so a SIGKILL can tear at most the last line,
- * which the loader detects (malformed) and discards along with
- * everything after it. On open the journal is rewritten with only the
- * records that survived validation, dropping any torn tail.
+ * The sweep cursor lives in exec::svc::CursorJournal now (the PR 4
+ * journal promoted for the campaign service, with bounded growth via
+ * crash-safe compaction); the header binding a journal to its
+ * campaign renders in fuzz_campaign.hh, shared with fbcampd so the
+ * two tools resume each other's journals.
  */
-struct Cursor
-{
-    std::string path;
-    std::vector<char> state;  ///< per seed index: 0 / 'p' pass / 'f' fail
-    std::FILE *file = nullptr;
-    std::mutex mu;
-
-    ~Cursor()
-    {
-        if (file)
-            std::fclose(file);
-    }
-};
-
-std::string
-cursorHeader(const Options &opt)
-{
-    std::ostringstream oss;
-    oss << "fbfuzz-cursor v1 seed=" << opt.seed << " runs=" << opt.runs
-        << " faults=" << (opt.faults ? 1 : 0)
-        << " fault-seed=" << opt.faultSeed
-        << " swref=" << (opt.swref ? 1 : 0)
-        << " max-cycles=" << opt.maxCycles
-        << " shards=" << opt.shards << ":" << opt.shardQuantum
-        << " predecode=" << (opt.predecode ? 1 : 0);
-    return oss.str();
-}
-
 bool
-openCursor(const Options &opt, Cursor &cur)
+openCursor(const Options &opt, exec::svc::CursorJournal &journal)
 {
-    cur.path = opt.cursorFile;
-    cur.state.assign(static_cast<std::size_t>(opt.runs), 0);
-    const std::string header = cursorHeader(opt);
-
-    std::ifstream in(cur.path);
-    if (in) {
-        std::string line;
-        if (std::getline(in, line)) {
-            if (line != header) {
-                std::fprintf(stderr,
-                             "fbfuzz: --cursor %s records a different "
-                             "campaign\n  journal:  %s\n  this run: "
-                             "%s\n",
-                             cur.path.c_str(), line.c_str(),
-                             header.c_str());
-                return false;
-            }
-            int resumed = 0;
-            while (std::getline(in, line)) {
-                std::istringstream ls(line);
-                std::string word, verdict;
-                std::int64_t idx = -1;
-                if (!(ls >> word >> idx >> verdict) || word != "done" ||
-                    idx < 0 || idx >= opt.runs ||
-                    (verdict != "pass" && verdict != "fail"))
-                    break;  // torn tail from a mid-write kill
-                cur.state[static_cast<std::size_t>(idx)] =
-                    verdict == "pass" ? 'p' : 'f';
-                ++resumed;
-            }
-            std::fprintf(stderr,
-                         "fbfuzz: cursor %s: resuming past %d recorded "
-                         "seed(s)\n",
-                         cur.path.c_str(), resumed);
-        }
-        in.close();
-    }
-
-    // Rewrite rather than append: this drops any torn trailing line
-    // and keeps the journal canonical.
-    cur.file = std::fopen(cur.path.c_str(), "w");
-    if (cur.file == nullptr) {
-        std::fprintf(stderr, "fbfuzz: cannot write --cursor %s\n",
-                     cur.path.c_str());
+    std::string error;
+    if (!journal.open(opt.cursorFile, cursorHeader(opt),
+                      static_cast<std::uint64_t>(opt.runs), error)) {
+        std::fprintf(stderr, "fbfuzz: %s\n", error.c_str());
         return false;
     }
-    std::fprintf(cur.file, "%s\n", header.c_str());
-    for (int i = 0; i < opt.runs; ++i) {
-        const char s = cur.state[static_cast<std::size_t>(i)];
-        if (s != 0)
-            std::fprintf(cur.file, "done %d %s\n", i,
-                         s == 'p' ? "pass" : "fail");
-    }
-    std::fflush(cur.file);
+    if (opt.cursorCompact != 0)
+        journal.setCompactionThreshold(opt.cursorCompact);
+    if (journal.resumedItems() != 0)
+        std::fprintf(stderr,
+                     "fbfuzz: cursor %s: resuming past %llu recorded "
+                     "seed(s)\n",
+                     opt.cursorFile.c_str(),
+                     static_cast<unsigned long long>(
+                         journal.resumedItems()));
     return true;
-}
-
-void
-recordCursor(Cursor *cur, int i, bool failed)
-{
-    if (cur == nullptr)
-        return;
-    std::lock_guard<std::mutex> lock(cur->mu);
-    cur->state[static_cast<std::size_t>(i)] = failed ? 'f' : 'p';
-    std::fprintf(cur->file, "done %d %s\n", i, failed ? "fail" : "pass");
-    std::fflush(cur->file);
-}
-
-/**
- * Attach a seeded random fault schedule to @p spec. The plan seed is
- * derived per-scenario so every fuzz run sees a different schedule,
- * yet (seed, fault-seed) reproduces the exact same plan; the watchdog
- * is always enabled because the plan may contain a fatal fault.
- */
-void
-applyFaults(verify::ProgramSpec &spec, const Options &opt,
-            std::uint64_t spec_seed)
-{
-    if (!opt.faults)
-        return;
-    const std::uint64_t fs =
-        opt.faultSeed != 0 ? opt.faultSeed + spec_seed : spec_seed;
-    spec.faults =
-        fault::randomFaultPlan(fs, spec.procs(), spec.groupSizes);
-    spec.faultSeed = fs;
-    spec.watchdog.enabled = true;
-    spec.watchdog.timeoutCycles = 2000;
-    spec.watchdog.maxAttempts = 3;
-}
-
-verify::DiffOptions
-diffOptions(const Options &opt)
-{
-    verify::DiffOptions d;
-    d.swBarrierReference = opt.swref;
-    d.maxCycles = opt.maxCycles;
-    d.shards = opt.shards;
-    d.shardQuantum = opt.shardQuantum;
-    d.predecode = opt.predecode;
-    return d;
 }
 
 void
@@ -428,32 +377,6 @@ replayMain(const Options &opt)
     return first.ok ? 0 : 1;
 }
 
-/** FAIL block for one diverging seed (identical in both fuzz modes). */
-std::string
-describeFailure(std::uint64_t spec_seed, const verify::Scenario &sc,
-                const verify::DiffReport &rep, const Options &opt)
-{
-    std::ostringstream out;
-    out << "FAIL seed=" << spec_seed << " procs=" << sc.procs()
-        << " groups=" << sc.groups() << " episodes=" << sc.episodes
-        << " encoding=" << verify::encodingName(sc.encoding);
-    if (sc.hasFaults())
-        out << " faults=" << sc.faults.toSpec();
-    out << "\n  executor " << rep.variant << ": " << rep.failure << "\n";
-    out << "reproduce with: fbfuzz --seed " << spec_seed << " --runs 1";
-    if (opt.faults) {
-        out << " --faults";
-        if (opt.faultSeed != 0)
-            out << " --fault-seed " << opt.faultSeed;
-    }
-    if (opt.shards >= 2)
-        out << " --shards " << opt.shards << ":" << opt.shardQuantum;
-    if (!opt.predecode)
-        out << " --no-predecode";
-    out << "\n";
-    return out.str();
-}
-
 /**
  * Parallel scan-everything mode (--jobs N), on the campaign engine:
  * seeds fan out across the work-stealing pool, every worker recycles
@@ -466,7 +389,7 @@ describeFailure(std::uint64_t spec_seed, const verify::Scenario &sc,
  * the worker count or OS scheduling.
  */
 int
-fuzzParallel(const Options &opt, Cursor *cursor)
+fuzzParallel(const Options &opt, exec::svc::CursorJournal *cursor)
 {
     const int runs = opt.runs;
     const int jobs = std::min(opt.jobs, runs);
@@ -479,32 +402,20 @@ fuzzParallel(const Options &opt, Cursor *cursor)
         // Seeds the journal already proved passing are skipped;
         // failing ones re-run so their FAIL reports (and the
         // failing-seed set) match an uninterrupted campaign. The
-        // consumer only writes state[i] after this runner finishes,
-        // so the read is race-free.
-        if (cursor != nullptr && cursor->state[i] == 'p')
+        // consumer only records item i after this runner finishes,
+        // so the read observes resume-time state only.
+        if (cursor != nullptr && cursor->state(i) == 'p')
             return r;
-        const std::uint64_t specSeed = opt.seed + i;
-        auto spec = verify::randomSpec(specSeed);
-        applyFaults(spec, opt, specSeed);
-        auto sc = verify::render(spec);
-        auto d = diffOptions(opt);
-        d.machinePool = &ctx.machines;
-        d.programCache = &ctx.programs;
-        auto rep = verify::runDifferential(sc, d);
-        if (!rep.ok) {
-            r.failed = true;
-            r.payload = describeFailure(specSeed, sc, rep, opt);
-        }
-        return r;
+        return runScenario(opt, i, ctx);
     };
 
     int failures = 0;
     std::int64_t firstFailing = -1;
     auto consume = [&](std::uint64_t i, const exec::ItemResult &r) {
         const bool skipped =
-            cursor != nullptr && cursor->state[i] == 'p';
-        if (!skipped)
-            recordCursor(cursor, static_cast<int>(i), r.failed);
+            cursor != nullptr && cursor->state(i) == 'p';
+        if (!skipped && cursor != nullptr)
+            cursor->record(i, r.failed);
         if (r.failed) {
             ++failures;
             if (firstFailing < 0)
@@ -535,16 +446,104 @@ fuzzParallel(const Options &opt, Cursor *cursor)
     return 1;
 }
 
+/**
+ * Multi-process service mode (--workers N): the coordinator in
+ * exec::svc shards the seed range into leases across forked worker
+ * processes and survives worker loss, wedges, and transport
+ * corruption (injectable via --svc-fault). Each worker runs the same
+ * differential runner as fuzzParallel — with --jobs threads inside —
+ * so for every seed that is not quarantined the printed FAIL blocks
+ * are byte-identical to the in-process modes at any worker count.
+ */
+int
+fuzzService(const Options &opt, exec::svc::CursorJournal *cursor)
+{
+    const int runs = opt.runs;
+
+    exec::svc::ServiceOptions sopt;
+    sopt.workers = opt.workers;
+    sopt.leaseItems = opt.leaseItems;
+    sopt.heartbeatIntervalMs = opt.hbIntervalMs;
+    sopt.heartbeatTimeoutMs = opt.hbTimeoutMs;
+    sopt.innerJobs = std::max(1, opt.jobs);
+    sopt.fault = opt.svcFault;
+    sopt.quarantineArtifact = [&](std::uint64_t i, int kills) {
+        return fbtool::quarantineArtifact(opt, opt.seed + i, kills);
+    };
+
+    // Identical scenario work to fuzzParallel; journal-passed seeds
+    // never reach the runner (the coordinator pre-delivers them), so
+    // no cursor check is needed here.
+    auto runner = [&](std::uint64_t i, exec::WorkerContext &ctx) {
+        return runScenario(opt, i, ctx);
+    };
+
+    int failures = 0;
+    int quarantined = 0;
+    std::int64_t firstFailing = -1;
+    auto consume = [&](std::uint64_t i, const exec::ItemResult &r) {
+        if (r.failed) {
+            ++failures;
+            if (r.quarantined)
+                ++quarantined;
+            else if (firstFailing < 0)
+                firstFailing = static_cast<std::int64_t>(i);
+            std::printf("%s", r.payload.c_str());
+        }
+    };
+
+    auto stats = exec::svc::runCampaignService(
+        static_cast<std::uint64_t>(runs), sopt, runner, consume,
+        cursor);
+
+    if (stats.workerDeaths != 0 || stats.corruptStreams != 0)
+        std::fprintf(
+            stderr,
+            "fbfuzz: service: %llu worker death(s), %llu respawn(s), "
+            "%llu lease(s) reassigned, %llu heartbeat timeout(s), "
+            "%llu corrupt stream(s)\n",
+            static_cast<unsigned long long>(stats.workerDeaths),
+            static_cast<unsigned long long>(stats.respawns),
+            static_cast<unsigned long long>(stats.leasesReassigned),
+            static_cast<unsigned long long>(stats.heartbeatTimeouts),
+            static_cast<unsigned long long>(stats.corruptStreams));
+    if (stats.aborted) {
+        std::fprintf(stderr, "fbfuzz: service aborted: %s\n",
+                     stats.error.c_str());
+        return 5;
+    }
+
+    std::printf("fbfuzz: %d/%d scenarios passed (seeds %llu..%llu, "
+                "%d workers)\n",
+                runs - failures, runs,
+                static_cast<unsigned long long>(opt.seed),
+                static_cast<unsigned long long>(
+                    opt.seed + static_cast<std::uint64_t>(runs) - 1),
+                opt.workers);
+    if (failures == quarantined)
+        return quarantined != 0 ? 4 : 0;
+    if (opt.minimize && firstFailing >= 0) {
+        const std::uint64_t specSeed =
+            opt.seed + static_cast<std::uint64_t>(firstFailing);
+        auto spec = verify::randomSpec(specSeed);
+        applyFaults(spec, opt, specSeed);
+        minimizeAndSave(spec, opt);
+    }
+    return 1;
+}
+
 int
 fuzzMain(const Options &opt)
 {
-    Cursor cursorStorage;
-    Cursor *cursor = nullptr;
+    exec::svc::CursorJournal cursorStorage;
+    exec::svc::CursorJournal *cursor = nullptr;
     if (!opt.cursorFile.empty()) {
         if (!openCursor(opt, cursorStorage))
             return 2;
         cursor = &cursorStorage;
     }
+    if (opt.workers > 0)
+        return fuzzService(opt, cursor);
     if (opt.jobs > 0)
         return fuzzParallel(opt, cursor);
     // Sequential stop-at-first-failure mode still recycles machines
@@ -556,14 +555,15 @@ fuzzMain(const Options &opt)
     d.programCache = &programCache;
     for (int i = 0; i < opt.runs; ++i) {
         if (cursor != nullptr &&
-            cursor->state[static_cast<std::size_t>(i)] == 'p')
+            cursor->state(static_cast<std::uint64_t>(i)) == 'p')
             continue;
         const std::uint64_t specSeed = opt.seed + static_cast<std::uint64_t>(i);
         auto spec = verify::randomSpec(specSeed);
         applyFaults(spec, opt, specSeed);
         auto sc = verify::render(spec);
         auto rep = verify::runDifferential(sc, d);
-        recordCursor(cursor, i, !rep.ok);
+        if (cursor != nullptr)
+            cursor->record(static_cast<std::uint64_t>(i), !rep.ok);
         if (!rep.ok) {
             std::printf("%s",
                         describeFailure(specSeed, sc, rep, opt).c_str());
