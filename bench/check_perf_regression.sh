@@ -9,6 +9,12 @@
 #   e8_hotspot_ff_speedup.ff_speedup             (fast-forward core)
 #   e19_shard_delta.shard_speedup_4              (sharded executor)
 #   e20_dispatch_delta.dispatch_speedup          (pre-decoded backend)
+#   e22_topology_delta.oactive_ratio             (O(active) bookkeeping)
+#
+# Configuration binding: e22's entry records the topology set it was
+# measured under; a baseline recorded under a different set is a hard
+# failure (not a skip) — comparing across network shapes would make
+# the numbers meaningless, exactly like comparing across shard counts.
 #
 # Absolute budgets (lower is better, compared against a fixed target —
 # these keep checkpointing cheap enough to stay on by default). The
@@ -60,6 +66,14 @@ TRACKED = [
     ("e8_hotspot_ff_speedup", "ff_speedup"),
     ("e19_shard_delta", "shard_speedup_4"),
     ("e20_dispatch_delta", "dispatch_speedup"),
+    ("e22_topology_delta", "oactive_ratio"),
+]
+
+# (entry name, config key) -> must be string-equal between baseline
+# and current whenever both entries exist; a mismatch is a hard
+# failure, never a silent skip.
+BOUND_CONFIG = [
+    ("e22_topology_delta", "topologies"),
 ]
 
 # (entry name, metric key, target) -> lower is better, judged against
@@ -84,6 +98,20 @@ baseline = load(baseline_path)
 current = load(current_path)
 
 failures = []
+for name, key in BOUND_CONFIG:
+    if name not in baseline or key not in baseline[name]:
+        continue  # old baseline predates the entry; TRACKED will skip it
+    if name not in current or key not in current[name]:
+        failures.append(f"{name}.{key}: missing from current run")
+        continue
+    base = str(baseline[name][key])
+    cur = str(current[name][key])
+    if base != cur:
+        failures.append(
+            f"{name}.{key}: baseline measured under '{base}' but the "
+            f"current run used '{cur}' — refresh the baseline instead "
+            "of comparing across topologies")
+
 for name, key in TRACKED:
     if name not in baseline or key not in baseline[name]:
         print(f"check_perf_regression: baseline lacks {name}.{key}; skipping")

@@ -33,7 +33,7 @@ e7_scaling e8_hotspot e9_drift_tolerance e10_microbench
 e11_pipeline_ablation e12_encoding_ablation e13_cycle_shrinking
 e14_selfsched_runtime e15_sync_latency e16_fault_overhead
 e17_snapshot_overhead e18_campaign_throughput e19_shard_scaling
-e20_dispatch_overhead e21_service_overhead"
+e20_dispatch_overhead e21_service_overhead e22_topology_scaling"
 for name in $EXPECTED; do
     if [ ! -x "$BENCH_DIR/$name" ]; then
         echo "run_all: missing experiment binary: $BENCH_DIR/$name" >&2
@@ -182,6 +182,27 @@ for name in $EXPECTED; do
             ENTRIES="$ENTRIES  {\"name\": \"e21_service_delta\", \"service_scenarios_per_sec\": $svc_rate, \"service_overhead_pct\": $svc_ovh, \"service_recovery_overhead_pct\": $svc_rec},
 "
             echo "run_all: service overhead: ${svc_ovh}% over in-process engine, recovery +${svc_rec}%"
+        fi
+    fi
+    if [ "$name" = "e22_topology_scaling" ] && [ "$STATUS" -eq 0 ]; then
+        # Copy E22's topology tallies into their own entry. The
+        # topology config string is part of the entry: the perf gate
+        # refuses to compare against a baseline measured under a
+        # different set of network shapes (same contract as the shard
+        # settings baked into e19's workload).
+        topo_adv=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^topology-sync-advantage-1024:/ {print $2; exit}')
+        topo_ratio=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^topology-oactive-ratio:/ {print $2; exit}')
+        topo_cfg=$(printf '%s\n' "$OUT_TEXT" |
+            awk '/^topology-config:/ {print $2; exit}')
+        if [ -z "$topo_adv" ] || [ -z "$topo_ratio" ] || [ -z "$topo_cfg" ]; then
+            echo "run_all: FAIL e22_topology_scaling: missing topology tally lines" >&2
+            FAILURES=$((FAILURES + 1))
+        else
+            ENTRIES="$ENTRIES  {\"name\": \"e22_topology_delta\", \"topologies\": \"$topo_cfg\", \"sync_advantage_1024\": $topo_adv, \"oactive_ratio\": $topo_ratio},
+"
+            echo "run_all: topology scaling: sync advantage ${topo_adv}x at 1024 procs, O(active) rate ratio ${topo_ratio}"
         fi
     fi
     if [ "$name" = "e18_campaign_throughput" ] && [ "$STATUS" -eq 0 ]; then

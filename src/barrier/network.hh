@@ -6,12 +6,15 @@
 #ifndef FB_BARRIER_NETWORK_HH
 #define FB_BARRIER_NETWORK_HH
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "barrier/topology.hh"
 #include "barrier/unit.hh"
 #include "snapshot/codec.hh"
+#include "support/hibitset.hh"
 #include "support/stats.hh"
 
 namespace fb::barrier
@@ -68,11 +71,21 @@ struct DeadlockReport
  * the same cycle and "simultaneously discover the occurrence of
  * synchronization" (paper section 6).
  *
+ * The network may be organized hierarchically (Topology): completion
+ * is still the same combinational AND, but delivery pays an extra
+ * 2 * span * level_latency cycles for the subtree the group spans.
+ * A flat topology is bit-identical to the paper's single-level model.
+ *
+ * Per-cycle cost is O(active), not O(processors): the network tracks
+ * the set of ready units, pending deliveries and dirty registers in
+ * hierarchical bitsets maintained on unit state edges, so evaluate()
+ * touches only units that are actually participating this cycle.
+ *
  * Synchronization never touches shared memory, so the network also
  * serves experiment E8: it counts sync events so the benches can show
  * zero hot-spot memory traffic for the hardware mechanism.
  */
-class BarrierNetwork
+class BarrierNetwork : public UnitEventListener
 {
   public:
     /**
@@ -84,12 +97,19 @@ class BarrierNetwork
      *        notes the interconnect grows with the processor count;
      *        larger machines would pay more here. All members still
      *        observe the delivery in the same cycle.
+     * @param topology shape of the synchronization wires; non-flat
+     *        shapes add per-level propagation latency on top of
+     *        @p sync_latency.
      */
     explicit BarrierNetwork(int num_processors,
-                            std::uint32_t sync_latency = 0);
+                            std::uint32_t sync_latency = 0,
+                            Topology topology = {});
 
     /** Number of processors. */
     int numProcessors() const { return static_cast<int>(_units.size()); }
+
+    /** The network's topology. */
+    const Topology &topology() const { return _topology; }
 
     /** Access processor @p p's unit. */
     BarrierUnit &unit(int p);
@@ -99,10 +119,11 @@ class BarrierNetwork
      * Evaluate the combinational sync logic for cycle @p now.
      * For every participating, ready processor p, synchronization is
      * delivered iff every processor q in p's mask is ready with a
-     * matching tag — sync_latency cycles after the AND first became
-     * true. The evaluation is two-phase (signals are latched, then
-     * sync is delivered), so all members of a group synchronize in
-     * the same call, exactly like the common-clock hardware.
+     * matching tag — the group's propagation latency after the AND
+     * first became true. The evaluation is two-phase (signals are
+     * latched, then sync is delivered), so all members of a group
+     * synchronize in the same call, exactly like the common-clock
+     * hardware.
      *
      * @return number of processors that synchronized this cycle.
      */
@@ -110,7 +131,7 @@ class BarrierNetwork
 
     /** True if some group's sync is in flight (latency not elapsed).
      * The machine counts this as progress for deadlock detection. */
-    bool deliveryPending() const;
+    bool deliveryPending() const { return !_pendingSet.empty(); }
 
     /** True if processor @p p specifically has a sync in flight. */
     bool deliveryPendingFor(int p) const;
@@ -122,6 +143,10 @@ class BarrierNetwork
      */
     std::uint64_t nextDeliveryCycle() const;
 
+    /** Cycle processor @p p's pending sync delivers (UINT64_MAX when
+     * none is in flight) — used for private-read horizons. */
+    std::uint64_t deliveryCycleFor(int p) const;
+
     /**
      * Processors delivered synchronization by the most recent
      * evaluate() call, in ascending processor order. Each delivery
@@ -129,6 +154,13 @@ class BarrierNetwork
      * set whose episodes() advanced this cycle.
      */
     const std::vector<int> &delivered() const { return _delivered; }
+
+    /**
+     * Units currently asserting their ready signal (Ready or Stalled),
+     * maintained on state edges. The watchdog iterates this instead
+     * of scanning every unit per cycle.
+     */
+    const HiBitset &readySet() const { return _readySet; }
 
     /** Completed group synchronizations (each group counts once). */
     std::uint64_t syncEvents() const { return _syncEvents; }
@@ -170,39 +202,62 @@ class BarrierNetwork
 
     /**
      * Return the network and every unit to its construction-time
-     * state under a (possibly different) propagation delay — machine
-     * reuse. The processor count is structural and stays fixed. Any
-     * installed pulse filter is cleared.
+     * state under a (possibly different) propagation delay and
+     * topology — machine reuse. The processor count is structural and
+     * stays fixed. Any installed pulse filter is cleared.
      */
-    void reset(std::uint32_t sync_latency);
+    void reset(std::uint32_t sync_latency, Topology topology = {});
 
     /**
      * Serialize all unit state plus in-flight deliveries and counters.
      * Per-call scratch (the phase-1 latch and the delivered list) is
-     * not captured: it is rebuilt by the next evaluate().
+     * not captured: it is rebuilt by the next evaluate(); the sparse
+     * ready/pending/scrub sets are derived state, rebuilt on decode.
      */
     void encodeState(snapshot::Encoder &e) const;
 
     /** Restore state captured with encodeState(). */
     bool decodeState(snapshot::Decoder &d);
 
+    // UnitEventListener — called by the units on state edges.
+    void readySignalChanged(int self, bool ready) override;
+    void unitDirtied(int self) override;
+
   private:
+    /** Derived per-unit values keyed on the unit's mask version. */
+    struct UnitCache
+    {
+        std::uint64_t version = std::numeric_limits<std::uint64_t>::max();
+        std::uint64_t memberHash = 0;  ///< hash of (mask | self)
+        std::uint64_t latency = 0;     ///< completion-to-delivery cycles
+        std::size_t lo = 0;            ///< lowest group member
+        std::size_t hi = 0;            ///< highest group member
+    };
+
     bool groupComplete(int p, std::uint64_t now) const;
+    const UnitCache &cacheFor(int p);
+    bool sameMemberSet(int p, int q) const;
+    void rebuildSets();
 
     std::vector<BarrierUnit> _units;
     std::uint32_t _syncLatency;
+    Topology _topology;
     /** Cycle at which processor p's pending sync delivers
      * (UINT64_MAX = none). */
     std::vector<std::uint64_t> _deliverAt;
-    /** Scratch for evaluate()'s phase-1 latch (hoisted allocation). */
-    std::vector<bool> _complete;
-    /** Per-cycle latch of each broadcast wire (visibility, tag,
-     * epoch). Every observer's AND term reads the same wire, so
-     * evaluate() samples each signal once per processor instead of
-     * once per (observer, member) pair. Scratch, not serialized. */
-    std::vector<char> _wireVisible;
-    std::vector<std::uint32_t> _wireTag;
-    std::vector<std::uint32_t> _wireEpoch;
+    /** Units asserting readySignal(), maintained on state edges. */
+    HiBitset _readySet;
+    /** Units with a corrupted (dirty) register awaiting scrub. */
+    HiBitset _scrubSet;
+    /** Units with _deliverAt != none (the in-flight deliveries). */
+    HiBitset _pendingSet;
+    /** Scratch: this cycle's visible wires (ready minus suppressed). */
+    HiBitset _visibleSet;
+    /** Scratch: units whose group AND latched true this cycle. */
+    HiBitset _completeSet;
+    /** Scratch: phase-2 worklist (pending | complete). */
+    HiBitset _phase2Set;
+    std::vector<UnitCache> _unitCache;
     /** Processors delivered by the latest evaluate(), ascending. */
     std::vector<int> _delivered;
     std::uint64_t _syncEvents = 0;

@@ -1,0 +1,103 @@
+#include "barrier/topology.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace fb::barrier
+{
+
+int
+Topology::spanLevels(std::size_t lo, std::size_t hi) const
+{
+    FB_ASSERT(lo <= hi, "span range inverted");
+    switch (kind) {
+      case Kind::Flat:
+        return 0;
+      case Kind::Tree: {
+        FB_ASSERT(param >= 2, "tree arity must be >= 2");
+        const std::size_t arity = static_cast<std::size_t>(param);
+        int levels = 0;
+        std::size_t block = 1;
+        while (lo / block != hi / block) {
+            block *= arity;
+            ++levels;
+        }
+        return levels;
+      }
+      case Kind::Cluster: {
+        FB_ASSERT(param >= 2, "cluster size must be >= 2");
+        const std::size_t size = static_cast<std::size_t>(param);
+        if (lo == hi)
+            return 0;
+        return lo / size == hi / size ? 1 : 2;
+      }
+    }
+    panic("unknown topology kind");
+}
+
+std::string
+Topology::toString() const
+{
+    std::ostringstream oss;
+    switch (kind) {
+      case Kind::Flat:
+        return "flat";
+      case Kind::Tree:
+        oss << "tree:" << param;
+        break;
+      case Kind::Cluster:
+        oss << "cluster:" << param;
+        break;
+    }
+    if (levelLatency != 1)
+        oss << ":" << levelLatency;
+    return oss.str();
+}
+
+bool
+Topology::parse(const std::string &text, Topology &out)
+{
+    if (text == "flat") {
+        out = Topology{};
+        return true;
+    }
+
+    std::size_t colon = text.find(':');
+    if (colon == std::string::npos)
+        return false;
+    const std::string name = text.substr(0, colon);
+
+    Topology t;
+    if (name == "tree")
+        t.kind = Kind::Tree;
+    else if (name == "cluster")
+        t.kind = Kind::Cluster;
+    else
+        return false;
+
+    const std::string rest = text.substr(colon + 1);
+    const std::size_t colon2 = rest.find(':');
+    const std::string param_str =
+        colon2 == std::string::npos ? rest : rest.substr(0, colon2);
+
+    char *end = nullptr;
+    long param = std::strtol(param_str.c_str(), &end, 10);
+    if (end == param_str.c_str() || *end != '\0' || param < 2)
+        return false;
+    t.param = static_cast<int>(param);
+
+    if (colon2 != std::string::npos) {
+        const std::string lat_str = rest.substr(colon2 + 1);
+        long lat = std::strtol(lat_str.c_str(), &end, 10);
+        if (end == lat_str.c_str() || *end != '\0' || lat < 1)
+            return false;
+        t.levelLatency = static_cast<std::uint32_t>(lat);
+    }
+
+    out = t;
+    return true;
+}
+
+} // namespace fb::barrier

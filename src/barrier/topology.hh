@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Hierarchical barrier network topologies.
+ *
+ * The paper's broadcast AND network (section 6) is flat: one set of
+ * dedicated wires spans all processors and a completed group is
+ * observed sync_latency cycles later, regardless of which processors
+ * form the group. Section 6 itself notes the interconnect grows with
+ * the machine; the 1024-core RISC-V barrier study (PAPERS.md) shows
+ * the standard fix — organize the wires as cores -> clusters -> root,
+ * pay a per-level propagation latency, and a group confined to one
+ * subtree never leaves it.
+ *
+ * The topology only changes *when* a completed group's synchronization
+ * is delivered, never *whether*: group completion is still the same
+ * combinational AND, and all members of a (symmetric-mask) group
+ * traverse the same number of levels, so the simultaneous-delivery
+ * guarantee of the flat network carries over unchanged. The delivery
+ * cycle is
+ *
+ *     completion + sync_latency + 2 * span * level_latency
+ *
+ * where span is the height of the smallest aligned subtree containing
+ * every group member (the combining point): the ready pulses climb
+ * `span` levels to the lowest common ancestor and the sync pulse
+ * descends `span` levels back. A flat topology has span == 0 always,
+ * which reduces the formula to the paper's sync_latency exactly.
+ */
+
+#ifndef FB_BARRIER_TOPOLOGY_HH
+#define FB_BARRIER_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fb::barrier
+{
+
+/**
+ * Shape and per-level latency of the synchronization network.
+ */
+struct Topology
+{
+    enum class Kind : std::uint8_t
+    {
+        Flat = 0,     ///< the paper's single-level broadcast network
+        Tree = 1,     ///< uniform ARITY-way tree over processor ids
+        Cluster = 2,  ///< two levels: SIZE-processor clusters + root
+    };
+
+    Kind kind = Kind::Flat;
+    /** Tree arity or cluster size (>= 2 when kind != Flat). */
+    int param = 0;
+    /** Cycles to cross one level, each direction. */
+    std::uint32_t levelLatency = 1;
+
+    bool flat() const { return kind == Kind::Flat; }
+
+    /**
+     * Levels between a leaf and the combining point of a group
+     * spanning processors [lo, hi]. Subtrees are aligned id blocks,
+     * so the combining point is found by widening the block until lo
+     * and hi fall into the same one.
+     */
+    int spanLevels(std::size_t lo, std::size_t hi) const;
+
+    /** Delivery delay added on top of the flat network's latency. */
+    std::uint64_t extraLatency(std::size_t lo, std::size_t hi) const
+    {
+        return 2ull * static_cast<std::uint64_t>(spanLevels(lo, hi)) *
+               levelLatency;
+    }
+
+    /** Render as the CLI syntax: flat | tree:A[:L] | cluster:S[:L]. */
+    std::string toString() const;
+
+    /**
+     * Parse the CLI syntax. Returns false (leaving @p out untouched)
+     * on malformed input, a param < 2, or a zero level latency.
+     */
+    static bool parse(const std::string &text, Topology &out);
+
+    bool operator==(const Topology &other) const
+    {
+        return kind == other.kind && param == other.param &&
+               levelLatency == other.levelLatency;
+    }
+};
+
+} // namespace fb::barrier
+
+#endif // FB_BARRIER_TOPOLOGY_HH

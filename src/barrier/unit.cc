@@ -18,12 +18,26 @@ BarrierUnit::BarrierUnit(int num_processors, int self)
 void
 BarrierUnit::setMask(std::uint64_t bits)
 {
-    FB_ASSERT(_numProcessors <= 64, "word mask limited to 64 processors");
+    // A 64-bit immediate can only name processors 0..63; in a larger
+    // machine the word form addresses that prefix and clears the rest
+    // (the wide all-processors form is setMaskAll()).
     for (int p = 0; p < _numProcessors; ++p) {
-        bool value = (bits >> p & 1) != 0 && p != _self;
+        bool value = p < 64 && (bits >> p & 1) != 0 && p != _self;
         _mask.set(static_cast<std::size_t>(p), value);
         _shadowMask.set(static_cast<std::size_t>(p), value);
     }
+    ++_maskVersion;
+}
+
+void
+BarrierUnit::setMaskAll()
+{
+    for (int p = 0; p < _numProcessors; ++p) {
+        const bool value = p != _self;
+        _mask.set(static_cast<std::size_t>(p), value);
+        _shadowMask.set(static_cast<std::size_t>(p), value);
+    }
+    ++_maskVersion;
 }
 
 void
@@ -35,6 +49,7 @@ BarrierUnit::setMaskBit(int processor, bool value)
         return;  // a processor never synchronizes with itself
     _mask.set(static_cast<std::size_t>(processor), value);
     _shadowMask.set(static_cast<std::size_t>(processor), value);
+    ++_maskVersion;
 }
 
 void
@@ -43,6 +58,8 @@ BarrierUnit::corruptTagBit(int bit)
     FB_ASSERT(bit >= 0 && bit < 32, "tag bit out of range");
     _tag ^= std::uint32_t{1} << bit;
     _dirty = true;
+    if (_listener != nullptr)
+        _listener->unitDirtied(_self);
 }
 
 void
@@ -53,6 +70,9 @@ BarrierUnit::corruptMaskBit(int processor)
     _mask.set(static_cast<std::size_t>(processor),
               !_mask.test(static_cast<std::size_t>(processor)));
     _dirty = true;
+    ++_maskVersion;
+    if (_listener != nullptr)
+        _listener->unitDirtied(_self);
 }
 
 int
@@ -73,8 +93,10 @@ BarrierUnit::scrub()
             mask_corrupt = true;
         }
     }
-    if (mask_corrupt)
+    if (mask_corrupt) {
         ++corrected;  // count the mask register once, not per bit
+        ++_maskVersion;
+    }
     _dirty = false;
     return corrected;
 }
@@ -88,6 +110,7 @@ BarrierUnit::arrive()
               "arrive() in state " << barrierStateName(_state));
     _state = BarrierState::Ready;
     _stalledThisEpisode = false;
+    notifyReady(true);
 }
 
 bool
@@ -138,11 +161,14 @@ BarrierUnit::deliverSync()
               "deliverSync() in state " << barrierStateName(_state));
     _state = BarrierState::Synced;
     ++_episodes;
+    notifyReady(false);
 }
 
 void
 BarrierUnit::reset()
 {
+    // The listener (network) rebuilds its sparse sets wholesale on
+    // reset/decode, so no edge notification is needed here.
     _state = BarrierState::NonBarrier;
     _tag = 0;
     _epoch = 0;
@@ -150,6 +176,7 @@ BarrierUnit::reset()
     _shadowTag = 0;
     _shadowMask.clearAll();
     _dirty = false;
+    ++_maskVersion;
     _episodes = 0;
     _stalledEpisodes = 0;
     _stallCycles = 0;
@@ -186,6 +213,7 @@ BarrierUnit::decodeState(snapshot::Decoder &d)
     _stalledEpisodes = d.u64();
     _stallCycles = d.u64();
     _stalledThisEpisode = d.b();
+    ++_maskVersion;
     return d.ok() &&
            _mask.size() == static_cast<std::size_t>(_numProcessors) &&
            _shadowMask.size() == static_cast<std::size_t>(_numProcessors);

@@ -18,6 +18,25 @@ namespace fb::barrier
 {
 
 /**
+ * Observer for the unit events the network tracks sparsely: ready
+ * signal edges (maintaining the ready set that replaces the per-cycle
+ * all-units scan) and register corruption (maintaining the scrub
+ * set). The network installs itself; the indirection only exists
+ * because unit.hh cannot depend on network.hh.
+ */
+class UnitEventListener
+{
+  public:
+    virtual ~UnitEventListener() = default;
+
+    /** Processor @p self's broadcast ready signal changed edges. */
+    virtual void readySignalChanged(int self, bool ready) = 0;
+
+    /** Processor @p self's tag/mask register was corrupted. */
+    virtual void unitDirtied(int self) = 0;
+};
+
+/**
  * The barrier hardware replicated in each processor (paper section 6).
  *
  * The unit is driven by two parties: the processor core, which reports
@@ -70,11 +89,29 @@ class BarrierUnit
     /** Set the participation mask from a bit-per-processor word. */
     void setMask(std::uint64_t bits);
 
+    /** Set every mask bit (except self) — the all-processors group.
+     * Unlike the word form this scales past 64 processors. */
+    void setMaskAll();
+
     /** Set one mask bit. */
     void setMaskBit(int processor, bool value = true);
 
     /** The participation mask (bit q = synchronize with processor q). */
     const BitVector &mask() const { return _mask; }
+
+    /**
+     * Monotonic counter bumped on every mask mutation (architectural
+     * writes, corruption, scrub restores, reset, decode). The network
+     * keys its per-unit derived caches — topology span, delivery
+     * latency, member-set hash — on it.
+     */
+    std::uint64_t maskVersion() const { return _maskVersion; }
+
+    /** Install (or clear) the network's event listener. */
+    void setListener(UnitEventListener *listener)
+    {
+        _listener = listener;
+    }
 
     /**
      * The core is ready to synchronize: it has exited the non-barrier
@@ -164,8 +201,17 @@ class BarrierUnit
     bool decodeState(snapshot::Decoder &d);
 
   private:
+    /** Report a ready-signal edge to the listener (if any). */
+    void notifyReady(bool ready)
+    {
+        if (_listener != nullptr)
+            _listener->readySignalChanged(_self, ready);
+    }
+
     int _numProcessors;
     int _self;
+    UnitEventListener *_listener = nullptr;
+    std::uint64_t _maskVersion = 0;
     BarrierState _state = BarrierState::NonBarrier;
     std::uint32_t _tag = 0;
     std::uint32_t _epoch = 0;

@@ -111,7 +111,13 @@ buildBarrierLoop(SimBarrierKind kind, int procs, int self, int episodes,
                           kind == SimBarrierKind::HardwarePoint;
     if (hardware) {
         oss << "settag 1\n";
-        oss << "setmask " << ((1ll << procs) - 1) << "\n";
+        // The literal mask names processors 0..procs-1 in a signed
+        // 64-bit immediate, which tops out at 62 members; beyond that
+        // emit the wide all-processors form (setmask -1).
+        if (procs > 62)
+            oss << "setmask -1\n";
+        else
+            oss << "setmask " << ((1ll << procs) - 1) << "\n";
     }
     oss << "li r19, " << procs << "\n";
     oss << "li r1, 0\n";

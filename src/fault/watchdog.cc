@@ -31,17 +31,21 @@ BarrierWatchdog::tick(const barrier::BarrierNetwork &net,
     // delivery is in flight for it, and the group AND is unsatisfied.
     // Per-tag state matches the hardware: the tag names the logical
     // barrier, and disjoint groups use distinct tags.
+    // Only units asserting readiness can be waiting, so walk the
+    // network's ready set instead of every processor: O(waiting), not
+    // O(nprocs), per cycle.
     std::map<std::uint32_t, int> waiting;  // tag -> first waiting proc
-    for (int p = 0; p < _numProcs; ++p) {
-        if (halted[static_cast<std::size_t>(p)])
-            continue;
+    net.readySet().forEach([&](std::size_t sp) {
+        const int p = static_cast<int>(sp);
+        if (halted[sp])
+            return;
         const auto &u = net.unit(p);
-        if (u.tag() == 0 || !u.readySignal())
-            continue;
+        if (u.tag() == 0)
+            return;
         if (net.deliveryPendingFor(p))
-            continue;  // the AND is satisfied; sync is propagating
+            return;  // the AND is satisfied; sync is propagating
         waiting.emplace(u.tag(), p);
-    }
+    });
 
     // Disarm timers for tags that are no longer stuck.
     for (auto it = _timers.begin(); it != _timers.end();) {
@@ -67,18 +71,17 @@ BarrierWatchdog::tick(const barrier::BarrierNetwork &net,
         const auto &u = net.unit(witness);
         std::set<int> halted_blockers;
         std::set<int> live_blockers;
-        for (int q = 0; q < _numProcs; ++q) {
-            if (!u.mask().test(static_cast<std::size_t>(q)))
-                continue;
+        u.mask().forEachSet([&](std::size_t sq) {
+            const int q = static_cast<int>(sq);
             const auto &other = net.unit(q);
             if (net.signalVisible(q, now) && other.tag() == u.tag() &&
                 other.epoch() == u.epoch())
-                continue;  // this input is satisfied
-            if (halted[static_cast<std::size_t>(q)])
+                return;  // this input is satisfied
+            if (halted[sq])
                 halted_blockers.insert(q);
             else
                 live_blockers.insert(q);
-        }
+        });
 
         if (!halted_blockers.empty()) {
             // Fast path: a fail-stopped blocker provably cannot

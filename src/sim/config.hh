@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "barrier/topology.hh"
 #include "fault/plan.hh"
 #include "fault/watchdog.hh"
 #include "sim/bus.hh"
@@ -114,6 +115,17 @@ struct MachineConfig
      * larger machines (section 6's extensibility caveat).
      */
     std::uint32_t syncLatency = 0;
+
+    /**
+     * Shape of the barrier broadcast wires (section 6's extensibility
+     * caveat, made concrete): a flat network pays @ref syncLatency
+     * alone; tree:A and cluster:S shapes add 2 * span * level_latency
+     * cycles for the subtree a group spans. This changes *reported*
+     * latencies (never episode ordering or register results — the
+     * simultaneous-delivery guarantee is topology-independent), so it
+     * participates in the config fingerprint.
+     */
+    barrier::Topology topology;
 
     StallModel stall;
 
@@ -251,6 +263,17 @@ struct MachineConfig
      * how-not-what knobs above.
      */
     bool predecode = true;
+
+    /**
+     * Allow the windowed dispatcher to execute *loads* on a shard's
+     * private fast path when the load provably cannot observe another
+     * processor's store inside the window (own-cache hit below the
+     * cross-processor write horizon). Pure optimization: values,
+     * counters and snapshot bytes are bit-identical either way — the
+     * equivalence corpus pins this — so like predecode it is excluded
+     * from the config fingerprint.
+     */
+    bool privateReads = true;
 };
 
 } // namespace fb::sim

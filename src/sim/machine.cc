@@ -49,8 +49,34 @@ class Machine::Port : public MemoryPort
     read(std::size_t addr, std::uint64_t now, std::uint32_t &cycles)
         override
     {
+        if (_machine._windowActive) {
+            // Private fast path inside a shard window: admitted only
+            // after privateReadable(), and no store executes during a
+            // window, so the hit is guaranteed and the peek race-free.
+            // The shared-memory statistics are replayed in processor
+            // order by flushDeferredReads() when the window closes.
+            auto result =
+                _machine._caches[static_cast<std::size_t>(_cpu)]
+                    ->access(addr);
+            FB_ASSERT(result.hit, "private-path load missed the cache "
+                                  "on cpu "
+                                      << _cpu);
+            cycles = result.cycles;
+            _machine._deferredReads[static_cast<std::size_t>(_cpu)]
+                .push_back(addr);
+            return _machine._memory->peek(addr);
+        }
         cycles = latency(addr, now);
         return _machine._memory->read(addr);
+    }
+
+    bool
+    privateReadable(std::size_t addr) const override
+    {
+        return _machine._config.privateReads &&
+               addr < _machine._memory->size() &&
+               _machine._caches[static_cast<std::size_t>(_cpu)]
+                   ->wouldHit(addr);
     }
 
     void
@@ -62,18 +88,43 @@ class Machine::Port : public MemoryPort
         std::size_t line = lineOf(addr);
         if (line >= _machine._lineSharers.size())
             return;  // cache model disabled
+        const int n = _machine.numProcessors();
         std::uint64_t &sharers = _machine._lineSharers[line];
-        const std::uint64_t self = 1ull << _cpu;
-        std::uint64_t others = sharers & ~self;
-        _machine._invalidationsAvoided +=
-            static_cast<std::uint64_t>(_machine.numProcessors() - 1) -
-            static_cast<std::uint64_t>(std::popcount(others));
-        while (others != 0) {
-            int p = std::countr_zero(others);
-            others &= others - 1;
-            _machine._caches[static_cast<std::size_t>(p)]
-                ->invalidate(addr);
-            ++_machine._invalidationsSent;
+        const std::uint64_t self = 1ull << (_cpu & 63);
+        if (n <= 64) {
+            std::uint64_t others = sharers & ~self;
+            _machine._invalidationsAvoided +=
+                static_cast<std::uint64_t>(n - 1) -
+                static_cast<std::uint64_t>(std::popcount(others));
+            while (others != 0) {
+                int p = std::countr_zero(others);
+                others &= others - 1;
+                _machine._caches[static_cast<std::size_t>(p)]
+                    ->invalidate(addr);
+                ++_machine._invalidationsSent;
+            }
+        } else {
+            // Beyond 64 processors the sharer word is a bucketed
+            // mask: bit b stands for every processor congruent to b
+            // mod 64. Invalidating an aliased non-holder is a
+            // tag-mismatch no-op, so the mask stays a conservative
+            // superset exactly like the narrow form.
+            std::uint64_t buckets = sharers;
+            std::uint64_t sent = 0;
+            while (buckets != 0) {
+                const int bit = std::countr_zero(buckets);
+                buckets &= buckets - 1;
+                for (int p = bit; p < n; p += 64) {
+                    if (p == _cpu)
+                        continue;
+                    _machine._caches[static_cast<std::size_t>(p)]
+                        ->invalidate(addr);
+                    ++sent;
+                }
+            }
+            _machine._invalidationsSent += sent;
+            _machine._invalidationsAvoided +=
+                static_cast<std::uint64_t>(n - 1) - sent;
         }
         sharers = self;
         _machine.markSharerEpoch(line);
@@ -93,10 +144,11 @@ class Machine::Port : public MemoryPort
         auto result =
             _machine._caches[static_cast<std::size_t>(_cpu)]->access(addr);
         // access() write-allocates, so after any access this cache
-        // may hold the line: record it in the sharer mask.
+        // may hold the line: record it in the sharer mask (bucketed
+        // by cpu mod 64 when the machine is wider than one word).
         std::size_t line = lineOf(addr);
         if (line < _machine._lineSharers.size()) {
-            _machine._lineSharers[line] |= 1ull << _cpu;
+            _machine._lineSharers[line] |= 1ull << (_cpu & 63);
             _machine.markSharerEpoch(line);
         }
         if (result.hit)
@@ -111,13 +163,16 @@ class Machine::Port : public MemoryPort
 
 Machine::Machine(const MachineConfig &config) : _config(config)
 {
-    FB_ASSERT(config.numProcessors > 0 && config.numProcessors <= 64,
-              "processor count must be in [1, 64]");
+    FB_ASSERT(config.numProcessors > 0 &&
+                  static_cast<std::size_t>(config.numProcessors) <=
+                      HiBitset::maxCapacity,
+              "processor count must be in [1, "
+                  << HiBitset::maxCapacity << "]");
     _memory = std::make_unique<SharedMemory>(config.memWords);
     _bus = std::make_unique<SharedBus>(config.busServiceCycles,
                                        config.busKind);
     _network = std::make_unique<barrier::BarrierNetwork>(
-        config.numProcessors, config.syncLatency);
+        config.numProcessors, config.syncLatency, config.topology);
 
     _programs.resize(static_cast<std::size_t>(config.numProcessors));
     for (auto &prog : _programs)
@@ -155,6 +210,7 @@ Machine::Machine(const MachineConfig &config) : _config(config)
     _traceStates.reserve(static_cast<std::size_t>(config.numProcessors));
     _traceHalted.reserve(static_cast<std::size_t>(config.numProcessors));
     _wdHalted.resize(static_cast<std::size_t>(config.numProcessors));
+    _deferredReads.resize(static_cast<std::size_t>(config.numProcessors));
 
     if (config.faultPlan != nullptr && !config.faultPlan->empty()) {
         _injector = std::make_unique<fault::FaultInjector>(
@@ -195,8 +251,11 @@ Machine::structuralKey(const MachineConfig &config)
 void
 Machine::reset(const MachineConfig &config)
 {
-    FB_ASSERT(config.numProcessors > 0 && config.numProcessors <= 64,
-              "processor count must be in [1, 64]");
+    FB_ASSERT(config.numProcessors > 0 &&
+                  static_cast<std::size_t>(config.numProcessors) <=
+                      HiBitset::maxCapacity,
+              "processor count must be in [1, "
+                  << HiBitset::maxCapacity << "]");
     FB_ASSERT(structuralKey(config) == structuralKey(_config),
               "Machine::reset across structural shapes (use a new "
               "Machine instead)");
@@ -235,7 +294,7 @@ Machine::reset(const MachineConfig &config)
     _memory->resetStats();
     _memory->resetContents();
     _bus->reset(config.busServiceCycles, config.busKind);
-    _network->reset(config.syncLatency);
+    _network->reset(config.syncLatency, config.topology);
 
     for (auto &prog : _programs) {
         prog = isa::Program();
@@ -290,6 +349,9 @@ Machine::reset(const MachineConfig &config)
     _syncRecordsDropped = 0;
     _invalidationsSent = 0;
     _invalidationsAvoided = 0;
+    _windowActive = false;
+    for (auto &dr : _deferredReads)
+        dr.clear();
 
     _injector.reset();
     if (config.faultPlan != nullptr && !config.faultPlan->empty()) {
@@ -431,6 +493,15 @@ Machine::run(ShardWindowDriver *driver)
     for (int p = 0; p < n; ++p)
         _active.push_back(p);
 
+    // Seed the watchdog's halted-or-fenced view once; from here it is
+    // maintained on the edges that change it (halt, kill, recovery
+    // fence) so the per-cycle watchdog block never scans all n cores.
+    for (int p = 0; p < n; ++p) {
+        _wdHalted[static_cast<std::size_t>(p)] =
+            _fenced[static_cast<std::size_t>(p)] ||
+            _processors[static_cast<std::size_t>(p)]->halted();
+    }
+
     for (;;) {
         if (_injector) {
             _injector->beginCycle(_now, *_network);
@@ -441,6 +512,7 @@ Machine::run(ShardWindowDriver *driver)
                         << _now;
                     warn(oss.str());
                     _processors[static_cast<std::size_t>(d)]->kill();
+                    _wdHalted[static_cast<std::size_t>(d)] = true;
                 }
             }
             for (int p : _active) {
@@ -489,8 +561,10 @@ Machine::run(ShardWindowDriver *driver)
                 _processors[static_cast<std::size_t>(p)]->tick(_now);
             if (windowed)
                 _procNext[static_cast<std::size_t>(p)] = _now + 1;
-            if (tr == TickResult::Halted)
+            if (tr == TickResult::Halted) {
+                _wdHalted[static_cast<std::size_t>(p)] = true;
                 continue;  // halted for good: drop from the pool
+            }
             _active[out++] = p;
             all_halted = false;
             if (tr == TickResult::Progress)
@@ -563,12 +637,8 @@ Machine::run(ShardWindowDriver *driver)
             // The watchdog only gets processor *halt* status — a
             // frozen core looks alive from the outside, which is
             // exactly the straggler-vs-dead ambiguity the backoff
-            // path must resolve.
-            for (int p = 0; p < n; ++p) {
-                _wdHalted[static_cast<std::size_t>(p)] =
-                    _fenced[static_cast<std::size_t>(p)] ||
-                    _processors[static_cast<std::size_t>(p)]->halted();
-            }
+            // path must resolve. _wdHalted is maintained on halt /
+            // kill / fence edges, so no per-cycle scan happens here.
             std::vector<int> dead =
                 _watchdog->tick(*_network, _wdHalted, _now);
             if (!dead.empty()) {
@@ -620,6 +690,12 @@ Machine::run(ShardWindowDriver *driver)
             // fast-forward skip below, which costs no synchronization.
             bool dispatch = false;
             if (window > _now + 1) {
+                // Publish per-core private-read horizons first: the
+                // dispatch decision below already consults them via
+                // isPrivateTick's load predicate, and the window's
+                // release barrier makes them visible to every shard.
+                if (_config.privateReads)
+                    computePrivateReadHorizons();
                 for (int p : _active) {
                     const auto sp = static_cast<std::size_t>(p);
                     if (_injector && _injector->frozen(p, _now))
@@ -632,10 +708,13 @@ Machine::run(ShardWindowDriver *driver)
                 }
             }
             if (dispatch) {
+                _windowActive = true;
                 if (sharded)
                     driver->advanceWindow(window);
                 else
                     advanceShardRange(0, n, window);
+                _windowActive = false;
+                flushDeferredReads();
             }
 
             // Generalized fast-forward: a core that ran ahead needs
@@ -863,6 +942,83 @@ Machine::advanceShardRange(int first, int last, std::uint64_t stop)
     }
 }
 
+void
+Machine::flushDeferredReads()
+{
+    const std::size_t line_words =
+        std::max<std::size_t>(1, _config.cache.lineWords);
+    for (int p = 0; p < numProcessors(); ++p) {
+        auto &reads = _deferredReads[static_cast<std::size_t>(p)];
+        if (reads.empty())
+            continue;
+        const std::uint64_t bit = 1ull << (p & 63);
+        for (std::size_t addr : reads) {
+            _memory->recordAccess(addr);
+            const std::size_t line = addr / line_words;
+            if (line < _lineSharers.size()) {
+                _lineSharers[line] |= bit;
+                markSharerEpoch(line);
+            }
+        }
+        reads.clear();
+    }
+}
+
+std::uint64_t
+Machine::writeBoundFor(int q) const
+{
+    const auto sq = static_cast<std::size_t>(q);
+    const Processor &proc = *_processors[sq];
+    if (proc.blockedAtBarrier()) {
+        // Stalled at a barrier: the earliest globally visible action
+        // is at its wake-up — the pending delivery if one is armed,
+        // else the soonest a future completion could deliver (next
+        // cycle's AND plus the flat propagation floor; hierarchical
+        // topologies only add latency), or a timer interrupt, whose
+        // service routine may store.
+        std::uint64_t bound = _network->deliveryCycleFor(q);
+        bound = std::min(
+            bound, _now + 1 + std::uint64_t{_config.syncLatency});
+        bound = std::min(bound, proc.nextEventCycle(_now));
+        return bound;
+    }
+    // Running: the skew cursor is the next cycle it can execute
+    // anything at all, stores included.
+    return _procNext[sq];
+}
+
+void
+Machine::computePrivateReadHorizons()
+{
+    // horizon(p) = min over every other core q of writeBoundFor(q),
+    // computed for all cores at once with the two-smallest trick.
+    // Fenced and halted cores are out of _active and can never store
+    // again; frozen cores cannot act before the window closes (the
+    // window is clamped to the injector's next activity, and a thaw
+    // is an injector activity).
+    constexpr std::uint64_t never =
+        std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t m1 = never;
+    std::uint64_t m2 = never;
+    int argmin = -1;
+    for (int q : _active) {
+        if (_injector && _injector->frozen(q, _now))
+            continue;
+        const std::uint64_t b = writeBoundFor(q);
+        if (b < m1) {
+            m2 = m1;
+            m1 = b;
+            argmin = q;
+        } else if (b < m2) {
+            m2 = b;
+        }
+    }
+    for (int p : _active) {
+        const auto sp = static_cast<std::size_t>(p);
+        _processors[sp]->setPrivateReadHorizon(p == argmin ? m2 : m1);
+    }
+}
+
 std::uint64_t
 Machine::nextInterestingCycle() const
 {
@@ -969,6 +1125,7 @@ Machine::applyRecovery(const std::vector<int> &dead, std::uint64_t now)
         if (_fenced[static_cast<std::size_t>(d)])
             continue;
         _fenced[static_cast<std::size_t>(d)] = true;
+        _wdHalted[static_cast<std::size_t>(d)] = true;
         _deadDeclared.push_back(d);
 
         RecoveryEvent event;
@@ -1010,14 +1167,16 @@ Machine::checkMembership(const std::vector<int> &members,
 {
     for (int m : members) {
         const auto &u = _network->unit(m);
-        for (int q = 0; q < numProcessors(); ++q) {
-            if (!u.mask().test(static_cast<std::size_t>(q)))
-                continue;
-            if (_fenced[static_cast<std::size_t>(q)])
-                continue;  // legitimately excluded by recovery
+        std::string violation;
+        u.mask().forEachSet([&](std::size_t sq) {
+            if (!violation.empty())
+                return;
+            const int q = static_cast<int>(sq);
+            if (_fenced[sq])
+                return;  // legitimately excluded by recovery
             const auto &other = _network->unit(q);
             if (other.tag() != u.tag() || other.epoch() != u.epoch())
-                continue;
+                return;
             if (std::find(members.begin(), members.end(), q) ==
                 members.end()) {
                 std::ostringstream oss;
@@ -1025,9 +1184,11 @@ Machine::checkMembership(const std::vector<int> &members,
                     << ": cpu" << m << " synchronized on tag "
                     << u.tag() << " epoch " << u.epoch()
                     << " without live member cpu" << q;
-                return oss.str();
+                violation = oss.str();
             }
-        }
+        });
+        if (!violation.empty())
+            return violation;
     }
     return "";
 }
@@ -1047,6 +1208,11 @@ Machine::configFingerprint() const
     h.mix(_config.busServiceCycles);
     h.mix(static_cast<std::uint64_t>(_config.busKind));
     h.mix(_config.syncLatency);
+    // The topology changes reported latencies (delivery cycles, wait
+    // counters), so it is as result-relevant as syncLatency itself.
+    h.mix(static_cast<std::uint64_t>(_config.topology.kind));
+    h.mix(static_cast<std::uint64_t>(_config.topology.param));
+    h.mix(_config.topology.levelLatency);
     h.mix(static_cast<std::uint64_t>(_config.stall.kind));
     h.mix(_config.stall.saveCycles);
     h.mix(_config.stall.restoreCycles);
@@ -1062,10 +1228,10 @@ Machine::configFingerprint() const
     h.mix(_config.syncRecordWindow);
     h.mix(_config.fastForward ? 1 : 0);
     // checkpointEveryCycles, checkpointRebaseEvery, shardCount,
-    // shardQuantum and predecode are deliberately excluded: none of
-    // them changes results, so snapshots taken at different cadences
-    // — or under a different shard layout or execution backend — are
-    // mutually restorable.
+    // shardQuantum, predecode and privateReads are deliberately
+    // excluded: none of them changes results, so snapshots taken at
+    // different cadences — or under a different shard layout or
+    // execution backend — are mutually restorable.
     h.mixString(_config.faultPlan != nullptr ? _config.faultPlan->toSpec()
                                              : std::string());
     h.mix(_config.watchdog.enabled ? 1 : 0);

@@ -502,7 +502,48 @@ class Machine : public ExecutionObserver
     std::vector<std::uint64_t> _procNext;
     std::vector<barrier::BarrierState> _traceStates;
     std::vector<bool> _traceHalted;
+    /** Per-processor halted-or-fenced flags handed to the watchdog.
+     * Maintained incrementally (halt edges, kills, recovery fences)
+     * so the per-cycle watchdog block is O(active), not O(n). */
     std::vector<bool> _wdHalted;
+
+    /**
+     * True while a shard window is being dispatched. Port::read routes
+     * through the deferred-statistics path during a window: the value
+     * comes from a race-free peek, the timing from the (asserted) own-
+     * cache hit, and the shared-memory statistics are queued per
+     * processor and replayed by flushDeferredReads() when the window
+     * closes. Written by the coordinator before the window's release
+     * barrier, cleared after the join, so shard threads read it with
+     * happens-before.
+     */
+    bool _windowActive = false;
+    /** Addresses read on the private fast path this window, per
+     * processor (each slot touched only by its owning shard). */
+    std::vector<std::vector<std::size_t>> _deferredReads;
+
+    /**
+     * Replay the statistics of every private-path load performed in
+     * the window just closed, in processor order: memory access
+     * counts, sharer-mask bits and the sharer delta-epoch marks. All
+     * of these are order-insensitive (sums, idempotent bit-sets, and
+     * sorted-at-encode page/line lists), so the replay is byte-
+     * identical to the sequential interleaving.
+     */
+    void flushDeferredReads();
+
+    /**
+     * Earliest future cycle at which processor @p q could execute a
+     * store (or any globally visible action): its skew cursor when
+     * running, or its barrier wake-up bound when blocked at a barrier.
+     * Private loads of other processors are admitted strictly below
+     * the minimum of these bounds.
+     */
+    std::uint64_t writeBoundFor(int q) const;
+
+    /** Publish per-processor private-read horizons for a window
+     * dispatch (min over the other processors' writeBoundFor()). */
+    void computePrivateReadHorizons();
 
     // Per-line sharer masks for the write-through coherence filter
     // (bit p = processor p's cache may hold the line; conservative

@@ -65,6 +65,7 @@ Processor::reset(int pipeline_depth, StallModel stall,
     _arrivePending = false;
     _arriveCycle = 0;
     _lastNonRegionComplete = 0;
+    _privReadHorizon = 0;
     _instructions = 0;
     _barrierWaitCycles = 0;
     _contextSwitchCycles = 0;
@@ -331,6 +332,17 @@ Processor::isPrivateTick(std::uint64_t now) const
     const Instruction &instr = _program.at(pc);
     switch (instr.op) {
       case Opcode::LD:
+        // A load is private when it provably cannot observe another
+        // core's store inside the window — its cycle lies strictly
+        // below the write horizon the Machine published for this
+        // window — and is timing-inert: an own-cache hit (no bus
+        // transaction, no allocation, sharer bit already recorded).
+        // Everything else goes to the coordinator as before.
+        if (now >= _privReadHorizon ||
+            !_mem.privateReadable(static_cast<std::size_t>(
+                reg(instr.rs1) + instr.imm)))
+            return false;
+        break;
       case Opcode::ST:
       case Opcode::FAA:     // memory port (bus, caches, counters)
       case Opcode::SETTAG:
@@ -475,7 +487,10 @@ Processor::runDecoded(std::uint64_t next, std::uint64_t stop)
         if (pc >= code_size)
             break;  // running off the end halts — machine-visible
         const DecodedInsn &di = code[pc];
-        if (!di.privateOp)
+        if (!di.privateOp &&
+            !(di.op == Opcode::LD && next < _privReadHorizon &&
+              _mem.privateReadable(static_cast<std::size_t>(
+                  _regs[static_cast<std::size_t>(di.rs1)] + di.imm))))
             break;  // memory / barrier-control / HALT: coordinator's
 
         bool effective_region = false;
@@ -600,7 +615,17 @@ Processor::runDecoded(std::uint64_t next, std::uint64_t stop)
             FB_DONE;
         }
         FB_OP(NOP) FB_DONE;
-        FB_OP(LD)
+        FB_OP(LD) {
+            // Reached only through the private-load pre-check above
+            // (own-cache hit below the write horizon); the memory
+            // port routes it through the deferred-statistics path.
+            std::uint32_t mem_cycles = 0;
+            const std::size_t a =
+                static_cast<std::size_t>(FB_R(di.rs1) + di.imm);
+            FB_WR(_mem.read(a, next, mem_cycles));
+            cost += mem_cycles;
+            FB_DONE;
+        }
         FB_OP(ST)
         FB_OP(FAA)
         FB_OP(SETTAG)
@@ -949,7 +974,12 @@ Processor::executeAt(std::uint64_t now)
         _unit.setTag(static_cast<std::uint32_t>(instr.imm));
         break;
       case Opcode::SETMASK:
-        _unit.setMask(static_cast<std::uint64_t>(instr.imm));
+        // imm -1 is the wide form: every processor in the machine
+        // (the 64-bit literal mask cannot name processors >= 63).
+        if (instr.imm == -1)
+            _unit.setMaskAll();
+        else
+            _unit.setMask(static_cast<std::uint64_t>(instr.imm));
         break;
       case Opcode::BRENTER:
         FB_ASSERT(!_inIsr, "region markers are not allowed inside ISRs");

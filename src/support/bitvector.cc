@@ -46,6 +46,28 @@ BitVector::count() const
     return total;
 }
 
+std::size_t
+BitVector::firstSet() const
+{
+    for (std::size_t i = 0; i < _words.size(); ++i) {
+        if (_words[i] != 0)
+            return i * bitsPerWord + static_cast<std::size_t>(
+                                         std::countr_zero(_words[i]));
+    }
+    return _size;
+}
+
+std::size_t
+BitVector::lastSet() const
+{
+    for (std::size_t i = _words.size(); i-- > 0;) {
+        if (_words[i] != 0)
+            return i * bitsPerWord + 63 -
+                   static_cast<std::size_t>(std::countl_zero(_words[i]));
+    }
+    return _size;
+}
+
 bool
 BitVector::covers(const BitVector &other) const
 {

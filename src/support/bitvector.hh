@@ -11,6 +11,7 @@
 #ifndef FB_SUPPORT_BITVECTOR_HH
 #define FB_SUPPORT_BITVECTOR_HH
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -68,6 +69,42 @@ class BitVector
 
     /** True if this and other share at least one set bit. */
     bool intersects(const BitVector &other) const;
+
+    /** Number of 64-bit words backing the vector. */
+    std::size_t wordCount() const { return _words.size(); }
+
+    /** Raw 64-bit word @p i (bit k of the word is bit i*64+k). Used
+     * by the barrier network's word-at-a-time AND evaluation. */
+    std::uint64_t word(std::size_t i) const
+    {
+        FB_ASSERT(i < _words.size(), "BitVector word index " << i
+                                                             << " bad");
+        return _words[i];
+    }
+
+    /** Index of the lowest set bit, or size() when none is set. */
+    std::size_t firstSet() const;
+
+    /** Index of the highest set bit, or size() when none is set. */
+    std::size_t lastSet() const;
+
+    /**
+     * Invoke @p fn(index) for every set bit in ascending order. Cost
+     * is O(words + set bits), not O(size): the innermost loop of the
+     * O(active) barrier evaluation.
+     */
+    template <typename Fn>
+    void forEachSet(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < _words.size(); ++i) {
+            std::uint64_t w = _words[i];
+            while (w != 0) {
+                const int bit = std::countr_zero(w);
+                w &= w - 1;
+                fn(i * bitsPerWord + static_cast<std::size_t>(bit));
+            }
+        }
+    }
 
     /** Bitwise AND (sizes must match). */
     BitVector operator&(const BitVector &other) const;

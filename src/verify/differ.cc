@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <sstream>
 #include <thread>
 
+#include "barrier/topology.hh"
 #include "exec/machine_pool.hh"
 #include "exec/program_cache.hh"
 #include "exec/sharded_machine.hh"
@@ -36,6 +38,8 @@ struct Variant
     bool predecode = true;    ///< threaded-code backend vs legacy decode
     int shardCount = 1;       ///< host threads (exec::ShardedMachine)
     std::uint64_t shardQuantum = 0;  ///< skew window (0 = sequential)
+    /** Sync network override; unset = DiffOptions::topology. */
+    std::optional<barrier::Topology> topology;
 };
 
 /**
@@ -101,6 +105,7 @@ runVariant(const Scenario &sc, const ProgramSet &set, const Variant &v,
     cfg.predecode = v.predecode && opt.predecode;
     cfg.shardCount = v.shardCount;
     cfg.shardQuantum = v.shardQuantum;
+    cfg.topology = v.topology ? *v.topology : opt.topology;
     cfg.interruptPeriod = sc.interruptPeriod;
     cfg.isrEntry = sc.isrEntry;
     if (sc.hasFaults()) {
@@ -477,6 +482,23 @@ runDifferential(const Scenario &sc, const DiffOptions &opt)
         v.markers = baseMarkers;
         v.predecode = false;
         variants.push_back(v);
+    }
+    if (opt.topologySweep) {
+        // Hierarchical sync networks only move delivery cycles; the
+        // result fields diffed below (episodes, registers, watched
+        // memory) must be identical to the flat baseline.
+        for (const char *spec : {"tree:4", "cluster:8"}) {
+            barrier::Topology topo;
+            const bool parsed = barrier::Topology::parse(spec, topo);
+            FB_ASSERT(parsed, "bad built-in topology spec " << spec);
+            if (topo == opt.topology)
+                continue;  // would duplicate the baseline
+            Variant v;
+            v.name = std::string("topology/") + spec;
+            v.markers = baseMarkers;
+            v.topology = topo;
+            variants.push_back(v);
+        }
     }
     if (opt.shards >= 2) {
         // Sequential-vs-sharded: the baseline machine re-run across

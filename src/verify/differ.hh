@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "barrier/topology.hh"
 #include "swbarrier/factory.hh"
 #include "verify/scenario.hh"
 
@@ -62,6 +63,20 @@ struct DiffOptions
     bool multiIssue = true;             ///< VLIW width 4
     bool legacyLoop = true;             ///< per-cycle loop (no fast-forward)
     bool legacyDispatch = true;         ///< legacy interpreter (no predecode)
+    /**
+     * Topology-sweep cross-check: re-run the baseline model under a
+     * tree and a cluster synchronization network. The topology only
+     * moves delivery cycles, so episodes, registers and watched
+     * memory must match the flat baseline bit-for-bit (INTERNALS
+     * section 21).
+     */
+    bool topologySweep = true;
+    /**
+     * Synchronization-network shape for the baseline and every
+     * non-sweep variant (the fbfuzz --topology flag). The sweep skips
+     * a shape equal to this one — it would duplicate the baseline.
+     */
+    barrier::Topology topology;
     bool swBarrierReference = true;     ///< real-thread cross-check
     std::uint64_t maxCycles = 5'000'000;
     std::size_t memWords = 4096;

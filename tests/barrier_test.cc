@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "barrier/network.hh"
 #include "barrier/state.hh"
+#include "barrier/topology.hh"
 #include "barrier/unit.hh"
 
 namespace fb::barrier
@@ -98,6 +101,29 @@ TEST(BarrierUnit, MaskExcludesSelf)
     EXPECT_FALSE(u.mask().test(2));
     u.setMaskBit(3, false);
     EXPECT_FALSE(u.mask().test(3));
+}
+
+TEST(BarrierUnit, WordMaskAddressesLow64Prefix)
+{
+    // A 64-bit SETMASK immediate can only name processors 0..63; in a
+    // wider machine it addresses that prefix and clears the rest. The
+    // wide all-processors form is setMaskAll().
+    BarrierUnit u(128, 0);
+    u.setMask(0b110);
+    EXPECT_TRUE(u.mask().test(1));
+    EXPECT_TRUE(u.mask().test(2));
+    EXPECT_EQ(u.mask().count(), 2u);
+
+    u.setMask(~0ull);
+    EXPECT_EQ(u.mask().count(), 63u);  // 0..63 minus self
+    EXPECT_FALSE(u.mask().test(64));
+    EXPECT_FALSE(u.mask().test(127));
+
+    u.setMaskAll();
+    EXPECT_EQ(u.mask().count(), 127u);  // everyone but self
+    EXPECT_FALSE(u.mask().test(0));
+    EXPECT_TRUE(u.mask().test(64));
+    EXPECT_TRUE(u.mask().test(127));
 }
 
 TEST(BarrierUnit, CrossFromNonBarrierIsNoOp)
@@ -315,6 +341,226 @@ TEST_F(NetworkTest, MaxBarriersForNStreams)
         net.unit(pr.b).cross();
     }
     EXPECT_EQ(net.syncEvents(), 3u);
+}
+
+// ----------------------------------------------------------------- Topology
+
+Topology
+topoOrDie(const char *spec)
+{
+    Topology t;
+    EXPECT_TRUE(Topology::parse(spec, t)) << spec;
+    return t;
+}
+
+TEST(TopologySpec, ParseAndFormat)
+{
+    Topology t = topoOrDie("flat");
+    EXPECT_TRUE(t.flat());
+    EXPECT_EQ(t.toString(), "flat");
+
+    t = topoOrDie("tree:4");
+    EXPECT_EQ(t.kind, Topology::Kind::Tree);
+    EXPECT_EQ(t.param, 4);
+    EXPECT_EQ(t.levelLatency, 1u);
+    EXPECT_EQ(t.toString(), "tree:4");
+
+    t = topoOrDie("tree:8:3");
+    EXPECT_EQ(t.param, 8);
+    EXPECT_EQ(t.levelLatency, 3u);
+    EXPECT_EQ(t.toString(), "tree:8:3");
+
+    t = topoOrDie("cluster:16");
+    EXPECT_EQ(t.kind, Topology::Kind::Cluster);
+    EXPECT_EQ(t.param, 16);
+    EXPECT_EQ(t.toString(), "cluster:16");
+
+    EXPECT_TRUE(topoOrDie("tree:4") == topoOrDie("tree:4"));
+    EXPECT_FALSE(topoOrDie("tree:4") == topoOrDie("tree:4:2"));
+    EXPECT_FALSE(topoOrDie("tree:4") == topoOrDie("cluster:4"));
+}
+
+TEST(TopologySpec, ParseRejectsMalformedSpecs)
+{
+    Topology t = topoOrDie("tree:4:2");
+    for (const char *bad :
+         {"", "flat:2", "ring:4", "tree", "tree:", "tree:1", "tree:x",
+          "tree:4:", "tree:4:0", "cluster:0", "cluster:-8"}) {
+        Topology out = t;
+        EXPECT_FALSE(Topology::parse(bad, out)) << bad;
+        // A failed parse must leave the output untouched.
+        EXPECT_TRUE(out == t) << bad;
+    }
+}
+
+TEST(TopologySpec, SpanLevels)
+{
+    const Topology flat;
+    EXPECT_EQ(flat.spanLevels(0, 1023), 0);
+    EXPECT_EQ(flat.extraLatency(0, 1023), 0u);
+
+    const Topology tree = topoOrDie("tree:4");
+    EXPECT_EQ(tree.spanLevels(5, 5), 0);    // singleton: no climb
+    EXPECT_EQ(tree.spanLevels(0, 3), 1);    // one leaf block
+    EXPECT_EQ(tree.spanLevels(4, 7), 1);    // aligned sibling block
+    EXPECT_EQ(tree.spanLevels(3, 4), 2);    // straddles two leaves
+    EXPECT_EQ(tree.spanLevels(0, 15), 2);
+    EXPECT_EQ(tree.spanLevels(0, 255), 4);
+    EXPECT_EQ(tree.spanLevels(0, 1023), 5);
+    EXPECT_EQ(tree.extraLatency(0, 3), 2u);  // 2 * span * level latency
+
+    const Topology cluster = topoOrDie("cluster:8");
+    EXPECT_EQ(cluster.spanLevels(2, 2), 0);
+    EXPECT_EQ(cluster.spanLevels(0, 7), 1);    // inside one cluster
+    EXPECT_EQ(cluster.spanLevels(8, 15), 1);
+    EXPECT_EQ(cluster.spanLevels(0, 8), 2);    // through the root
+    EXPECT_EQ(cluster.spanLevels(0, 1023), 2); // root is one hop, always
+    EXPECT_EQ(cluster.extraLatency(0, 1023), 4u);
+
+    const Topology deep = topoOrDie("tree:2:3");
+    EXPECT_EQ(deep.spanLevels(0, 1), 1);
+    EXPECT_EQ(deep.extraLatency(0, 1), 6u);  // level latency scales it
+}
+
+TEST_F(NetworkTest, TreeTopologyDelaysBySpan)
+{
+    // 16 processors on a 4-ary tree: a group confined to one leaf
+    // block pays 2 * 1 level, the all-processor group 2 * 2 levels,
+    // both on top of the base sync latency of 1.
+    BarrierNetwork net(16, 1, topoOrDie("tree:4"));
+    for (int p = 0; p < 4; ++p) {
+        arm(net, p, 1, 0b1111);
+        net.unit(p).arrive();
+    }
+    // Complete at cycle 10; delivery at 10 + 1 + 2*1*1 = 13.
+    EXPECT_EQ(net.evaluate(10), 0);
+    EXPECT_TRUE(net.deliveryPending());
+    EXPECT_EQ(net.evaluate(12), 0);
+    EXPECT_EQ(net.evaluate(13), 4);
+    for (int p = 0; p < 4; ++p) {
+        EXPECT_EQ(net.unit(p).state(), BarrierState::Synced);
+        net.unit(p).cross();
+    }
+
+    // The full machine spans two levels: 20 + 1 + 2*2*1 = 25.
+    for (int p = 0; p < 16; ++p) {
+        net.unit(p).setTag(2);
+        net.unit(p).setMaskAll();
+        net.unit(p).arrive();
+    }
+    EXPECT_EQ(net.evaluate(20), 0);
+    EXPECT_EQ(net.evaluate(24), 0);
+    EXPECT_EQ(net.evaluate(25), 16);
+    EXPECT_EQ(net.syncEvents(), 2u);
+}
+
+TEST_F(NetworkTest, ClusterTopologyPaysRootOnlyAcrossClusters)
+{
+    BarrierNetwork net(16, 1, topoOrDie("cluster:8"));
+    // Group inside cluster 0: 10 + 1 + 2*1 = 13.
+    arm(net, 0, 1, 0b11);
+    arm(net, 1, 1, 0b11);
+    net.unit(0).arrive();
+    net.unit(1).arrive();
+    EXPECT_EQ(net.evaluate(10), 0);
+    EXPECT_EQ(net.evaluate(13), 2);
+    net.unit(0).cross();
+    net.unit(1).cross();
+
+    // Group {0, 8} crosses clusters through the root: 20 + 1 + 2*2.
+    arm(net, 0, 2, 0b100000001);
+    arm(net, 8, 2, 0b100000001);
+    net.unit(0).arrive();
+    net.unit(8).arrive();
+    EXPECT_EQ(net.evaluate(20), 0);
+    EXPECT_EQ(net.evaluate(24), 0);
+    EXPECT_EQ(net.evaluate(25), 2);
+}
+
+TEST_F(NetworkTest, ExplicitFlatTopologyMatchesDefault)
+{
+    // A flat Topology value must reproduce the paper's single-level
+    // network bit for bit: delivery at completion + sync latency.
+    BarrierNetwork net(2, 3, Topology{});
+    arm(net, 0, 1, 0b11);
+    arm(net, 1, 1, 0b11);
+    net.unit(0).arrive();
+    net.unit(1).arrive();
+    EXPECT_EQ(net.evaluate(10), 0);
+    EXPECT_EQ(net.evaluate(12), 0);
+    EXPECT_EQ(net.evaluate(13), 2);
+}
+
+TEST_F(NetworkTest, ResetSwitchesTopology)
+{
+    BarrierNetwork net(4, 1, topoOrDie("tree:2"));
+    EXPECT_EQ(net.topology().toString(), "tree:2");
+    net.reset(0, topoOrDie("cluster:2"));
+    EXPECT_EQ(net.topology().toString(), "cluster:2");
+    // After the reset the new shape's latency applies: {0,1} inside
+    // one 2-cluster, span 1, delivery at 10 + 0 + 2.
+    arm(net, 0, 1, 0b11);
+    arm(net, 1, 1, 0b11);
+    net.unit(0).arrive();
+    net.unit(1).arrive();
+    EXPECT_EQ(net.evaluate(10), 0);
+    EXPECT_EQ(net.evaluate(12), 2);
+}
+
+// ------------------------------------------------------- wide networks
+
+TEST_F(NetworkTest, WideNetworkSyncsAllMembers)
+{
+    // 256 processors — four payload words of ready bits — on a
+    // hierarchical shape; every member of the machine-wide group
+    // observes delivery in the same evaluation.
+    BarrierNetwork net(256, 0, topoOrDie("tree:4"));
+    for (int p = 0; p < 256; ++p) {
+        net.unit(p).setTag(1);
+        net.unit(p).setMaskAll();
+        net.unit(p).arrive();
+    }
+    EXPECT_EQ(net.readySet().count(), 256u);
+    // Span of [0,255] on a 4-ary tree is 4 levels: 10 + 0 + 8 = 18.
+    EXPECT_EQ(net.evaluate(10), 0);
+    EXPECT_EQ(net.evaluate(17), 0);
+    EXPECT_EQ(net.evaluate(18), 256);
+    EXPECT_EQ(net.syncEvents(), 1u);
+    for (int p : {0, 63, 64, 255})
+        EXPECT_EQ(net.unit(p).state(), BarrierState::Synced);
+}
+
+TEST_F(NetworkTest, AnalyzeDeadlockAt256Processors)
+{
+    // The Fig. 2 diagnosis at scale: 255 processors stalled on a
+    // machine-wide barrier, processor 255 halted without arriving.
+    BarrierNetwork net(256);
+    for (int p = 0; p < 256; ++p) {
+        net.unit(p).setTag(1);
+        net.unit(p).setMaskAll();
+    }
+    for (int p = 0; p < 255; ++p) {
+        net.unit(p).arrive();
+        net.unit(p).noteStalled();
+    }
+    std::vector<bool> halted(256, false);
+    halted[255] = true;
+
+    EXPECT_FALSE(net.wouldDeadlock(std::vector<bool>(256, false)));
+    EXPECT_TRUE(net.wouldDeadlock(halted));
+
+    DeadlockReport rep = net.analyzeDeadlock(halted);
+    EXPECT_TRUE(rep.deadlocked);
+    ASSERT_EQ(rep.stuck.size(), 255u);
+    for (const auto &e : rep.stuck) {
+        EXPECT_EQ(e.state, BarrierState::Stalled);
+        EXPECT_EQ(e.tag, 1u);
+        ASSERT_EQ(e.unsatisfied.size(), 1u);
+        EXPECT_EQ(e.unsatisfied[0], 255);
+    }
+    EXPECT_EQ(rep.stuck[0].proc, 0);
+    EXPECT_EQ(rep.stuck[254].proc, 254);
+    EXPECT_FALSE(rep.toString().empty());
 }
 
 } // namespace

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "barrier/topology.hh"
 #include "exec/machine_pool.hh"
 #include "exec/program_cache.hh"
 #include "fault/plan.hh"
@@ -98,6 +99,57 @@ TEST(Equivalence, FastForwardMatchesLegacyUnderFaults)
     exec::ProgramCache cache;
     for (std::uint64_t seed = 1; seed <= kFaultSeeds; ++seed)
         checkSeed(seed, true, &pool, &cache);
+    EXPECT_GT(pool.reuses(), 0u);
+}
+
+TEST(Equivalence, TopologySweepPreservesResults)
+{
+    // Hierarchical barrier topologies move delivery *cycles*, never
+    // results: over a slice of the fuzz corpus, flat vs tree vs
+    // cluster must agree on every per-processor episode count, the
+    // differ's timing-invariant register set, and the safety oracle.
+    // (Cycle counts legitimately differ — that is the point of the
+    // topology — so the full bit-identity oracle does not apply.)
+    constexpr int kDiffedRegs[] = {1, 2, 3, 4, 5, 6, 25};
+    exec::MachinePool pool;
+    exec::ProgramCache cache;
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        verify::ProgramSpec spec = verify::randomSpec(seed);
+        verify::Scenario sc = verify::render(spec);
+        std::vector<isa::Program> programs;
+        ASSERT_TRUE(assemblePrograms(sc, programs, &cache))
+            << "seed " << seed;
+        Knobs k = knobsFor(seed);
+        const sim::MachineConfig cfg = configFor(sc, k, true);
+        Observation flat = runOnce(sc, programs, cfg, &pool);
+        ASSERT_FALSE(flat.result.deadlocked) << "seed " << seed;
+        ASSERT_FALSE(flat.result.timedOut) << "seed " << seed;
+
+        for (const char *name : {"tree:4", "cluster:8", "tree:2:3"}) {
+            sim::MachineConfig tcfg = cfg;
+            ASSERT_TRUE(barrier::Topology::parse(name, tcfg.topology));
+            Observation obs = runOnce(sc, programs, tcfg, &pool);
+            const std::string ctx =
+                describeSeed(seed, false, k) + " [" + name + "]";
+            EXPECT_EQ(obs.result.deadlocked, flat.result.deadlocked)
+                << ctx;
+            EXPECT_EQ(obs.result.timedOut, flat.result.timedOut) << ctx;
+            EXPECT_EQ(obs.safety, flat.safety) << ctx;
+            ASSERT_EQ(obs.result.perProcessor.size(),
+                      flat.result.perProcessor.size())
+                << ctx;
+            for (std::size_t p = 0; p < obs.regs.size(); ++p) {
+                EXPECT_EQ(obs.result.perProcessor[p].barrierEpisodes,
+                          flat.result.perProcessor[p].barrierEpisodes)
+                    << ctx << " cpu" << p;
+                for (int r : kDiffedRegs)
+                    EXPECT_EQ(
+                        obs.regs[p][static_cast<std::size_t>(r)],
+                        flat.regs[p][static_cast<std::size_t>(r)])
+                        << ctx << " cpu" << p << " r" << r;
+            }
+        }
+    }
     EXPECT_GT(pool.reuses(), 0u);
 }
 

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "barrier/network.hh"
+#include "barrier/topology.hh"
 #include "exec/machine_pool.hh"
 #include "exec/program_cache.hh"
 #include "fault/plan.hh"
@@ -26,6 +28,7 @@
 #include "snapshot/format.hh"
 #include "snapshot/store.hh"
 #include "snapshot/writer.hh"
+#include "support/logging.hh"
 #include "verify/generator.hh"
 #include "verify/resume.hh"
 
@@ -619,6 +622,180 @@ TEST(MachineSnapshot, FingerprintRejectsForeignConfig)
     Machine m4(differentPeriod);
     loadLoop(m4, 2);
     EXPECT_TRUE(m4.restoreState(bytes, err)) << err;
+}
+
+TEST(Codec, WideHierarchicalNetworkRoundTripsMidDelivery)
+{
+    // A 256-processor network (four payload words of mask bits) on a
+    // 4-ary tree, captured while a machine-wide delivery is in flight:
+    // the decoded copy must carry the wide masks, the rebuilt sparse
+    // sets and the pending delivery cycle, and deliver on schedule.
+    barrier::Topology topo;
+    ASSERT_TRUE(barrier::Topology::parse("tree:4", topo));
+    barrier::BarrierNetwork net(256, 1, topo);
+    for (int p = 0; p < 256; ++p) {
+        net.unit(p).setTag(1);
+        net.unit(p).setMaskAll();
+        net.unit(p).arrive();
+    }
+    // Group completes at cycle 10; span of [0,255] is 4 levels, so
+    // delivery is due at 10 + 1 + 2*4 = 19.
+    EXPECT_EQ(net.evaluate(10), 0);
+    ASSERT_TRUE(net.deliveryPending());
+
+    Encoder e;
+    net.encodeState(e);
+    barrier::BarrierNetwork copy(256, 1, topo);
+    Decoder d(e.buffer());
+    ASSERT_TRUE(copy.decodeState(d));
+
+    EXPECT_TRUE(copy.deliveryPending());
+    EXPECT_EQ(copy.nextDeliveryCycle(), net.nextDeliveryCycle());
+    EXPECT_EQ(copy.readySet().count(), 256u);
+    EXPECT_TRUE(copy.unit(0).mask().test(255));
+    EXPECT_TRUE(copy.unit(255).mask().test(0));
+    EXPECT_FALSE(copy.unit(255).mask().test(255));
+    EXPECT_EQ(copy.evaluate(net.nextDeliveryCycle() - 1), 0);
+    EXPECT_EQ(copy.evaluate(net.nextDeliveryCycle()), 256);
+    EXPECT_EQ(copy.syncEvents(), 1u);
+}
+
+std::string
+wideLoopSource(int iters, int work, int region)
+{
+    // Like loopSource, but the machine-wide mask uses the wide
+    // SETMASK form (-1 = all processors) so it works beyond 64 CPUs.
+    std::ostringstream oss;
+    oss << "settag 1\n";
+    oss << "setmask -1\n";
+    oss << "li r1, 0\n";
+    oss << "li r2, " << iters << "\n";
+    oss << "loop:\n";
+    for (int k = 0; k < work; ++k)
+        oss << "addi r3, r3, 1\n";
+    oss << ".region 1\n";
+    for (int k = 0; k < region; ++k)
+        oss << "addi r5, r5, 1\n";
+    oss << "addi r1, r1, 1\n";
+    oss << "bne r1, r2, loop\n";
+    oss << ".endregion\n";
+    oss << "halt\n";
+    return oss.str();
+}
+
+TEST(MachineSnapshot, WideHierarchicalMachineRestoresBitIdentically)
+{
+    // 72 processors (wide barrier masks) on a tree topology: a
+    // mid-run snapshot restored on a fresh machine must continue to
+    // the exact same cycle count, episodes and register files.
+    auto cfg = machineConfig(72);
+    ASSERT_TRUE(barrier::Topology::parse("tree:4", cfg.topology));
+    auto prog = assembleOrDie(wideLoopSource(6, 4, 2));
+    auto loadAll = [&prog](Machine &m) {
+        for (int p = 0; p < 72; ++p)
+            m.loadProgram(p, prog);
+    };
+
+    Machine ref(cfg);
+    loadAll(ref);
+    auto refResult = ref.run();
+    ASSERT_FALSE(refResult.deadlocked);
+    ASSERT_FALSE(refResult.timedOut);
+
+    auto cfg2 = cfg;
+    cfg2.checkpointEveryCycles = refResult.cycles / 4;
+    Machine chk(cfg2);
+    loadAll(chk);
+    std::vector<std::vector<std::uint8_t>> snaps;
+    chk.setCheckpointSink(
+        [&](std::uint64_t, const std::vector<std::uint8_t> &bytes) {
+            snaps.push_back(bytes);
+            return true;
+        });
+    chk.run();
+    ASSERT_GE(snaps.size(), 2u);
+
+    Machine resumed(cfg);
+    loadAll(resumed);
+    std::string err;
+    ASSERT_TRUE(resumed.restoreState(snaps[1], err)) << err;
+    auto resumedResult = resumed.run();
+
+    EXPECT_EQ(resumedResult.cycles, refResult.cycles);
+    EXPECT_EQ(resumedResult.syncEvents, refResult.syncEvents);
+    for (int p = 0; p < 72; ++p) {
+        EXPECT_EQ(resumedResult.perProcessor[static_cast<std::size_t>(p)]
+                      .barrierEpisodes,
+                  refResult.perProcessor[static_cast<std::size_t>(p)]
+                      .barrierEpisodes)
+            << "cpu" << p;
+        for (int r = 0; r < 32; ++r)
+            EXPECT_EQ(resumed.processor(p).reg(r),
+                      ref.processor(p).reg(r))
+                << "cpu" << p << " r" << r;
+    }
+}
+
+TEST(MachineSnapshot, FingerprintRejectsMismatchedTopology)
+{
+    // The topology shapes delivery timing, so a snapshot only replays
+    // correctly on the machine shape that produced it: the config
+    // fingerprint must bind kind, parameter and level latency.
+    auto cfg = machineConfig(2);
+    Machine m(cfg);
+    loadLoop(m, 2);
+    auto bytes = m.saveState();
+
+    std::string err;
+    for (const char *spec : {"tree:4", "cluster:2", "tree:4:2"}) {
+        auto other = cfg;
+        ASSERT_TRUE(barrier::Topology::parse(spec, other.topology));
+        Machine victim(other);
+        loadLoop(victim, 2);
+        EXPECT_FALSE(victim.restoreState(bytes, err)) << spec;
+        EXPECT_NE(err.find("fingerprint"), std::string::npos)
+            << spec << ": " << err;
+    }
+
+    // Same non-flat topology on both sides restores fine; the same
+    // shape with a different level latency does not.
+    auto treeCfg = cfg;
+    ASSERT_TRUE(barrier::Topology::parse("tree:4", treeCfg.topology));
+    Machine t1(treeCfg);
+    loadLoop(t1, 2);
+    auto treeBytes = t1.saveState();
+    Machine t2(treeCfg);
+    loadLoop(t2, 2);
+    EXPECT_TRUE(t2.restoreState(treeBytes, err)) << err;
+    auto slowCfg = cfg;
+    ASSERT_TRUE(barrier::Topology::parse("tree:4:2", slowCfg.topology));
+    Machine t3(slowCfg);
+    loadLoop(t3, 2);
+    EXPECT_FALSE(t3.restoreState(treeBytes, err));
+}
+
+TEST(MachineSnapshot, MismatchedTopologyRestoreDiesLoudly)
+{
+    // fbsim --restore treats an unrestorable snapshot as fatal; a
+    // topology-mismatched checkpoint must take that loud exit with
+    // the fingerprint diagnostic, never resume quietly.
+    auto cfg = machineConfig(2);
+    Machine m(cfg);
+    loadLoop(m, 2);
+    const auto bytes = m.saveState();
+    auto mismatched = cfg;
+    ASSERT_TRUE(
+        barrier::Topology::parse("cluster:2", mismatched.topology));
+    EXPECT_DEATH(
+        {
+            Machine victim(mismatched);
+            loadLoop(victim, 2);
+            std::string why;
+            const bool restored = victim.restoreState(bytes, why);
+            FB_ASSERT(restored,
+                      "cannot resume from snapshot: " << why);
+        },
+        "fingerprint");
 }
 
 TEST(MachineSnapshot, CorruptBytesNeverRestore)

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "support/bitvector.hh"
+#include "support/hibitset.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 #include "support/stats.hh"
@@ -176,6 +177,114 @@ TEST(BitVector, EmptyVector)
     EXPECT_TRUE(empty.covers(other));
     EXPECT_FALSE(empty.intersects(other));
     EXPECT_TRUE(empty == other);
+}
+
+TEST(BitVector, ForEachSetAscending)
+{
+    BitVector bv(200);
+    for (std::size_t i : {0u, 63u, 64u, 127u, 199u})
+        bv.set(i);
+    std::vector<std::size_t> seen;
+    bv.forEachSet([&](std::size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, (std::vector<std::size_t>{0, 63, 64, 127, 199}));
+}
+
+// ----------------------------------------------------------------- HiBitset
+
+TEST(HiBitset, StartsEmpty)
+{
+    HiBitset hs(300);
+    EXPECT_EQ(hs.size(), 300u);
+    EXPECT_TRUE(hs.empty());
+    EXPECT_EQ(hs.count(), 0u);
+    EXPECT_EQ(hs.first(), 300u);  // empty: first() == size()
+    for (std::size_t i = 0; i < 300; ++i)
+        EXPECT_FALSE(hs.test(i));
+}
+
+TEST(HiBitset, SetClearAcrossPayloadWords)
+{
+    // Members in three different payload words, exercising the
+    // summary-word maintenance on both set and clear.
+    HiBitset hs(300);
+    hs.set(0);
+    hs.set(63);
+    hs.set(64);
+    hs.set(255);
+    EXPECT_EQ(hs.count(), 4u);
+    EXPECT_EQ(hs.first(), 0u);
+    EXPECT_TRUE(hs.test(64));
+    EXPECT_FALSE(hs.test(65));
+    hs.clear(0);
+    hs.clear(63);  // word 0 now empty: summary bit must drop
+    EXPECT_EQ(hs.first(), 64u);
+    EXPECT_EQ(hs.count(), 2u);
+    hs.clear(64);
+    hs.clear(255);
+    EXPECT_TRUE(hs.empty());
+    // Clearing an already-clear bit is a no-op, not a corruption.
+    hs.clear(128);
+    EXPECT_TRUE(hs.empty());
+    EXPECT_EQ(hs.count(), 0u);
+}
+
+TEST(HiBitset, ForEachAscending)
+{
+    HiBitset hs(1024);
+    const std::vector<std::size_t> members = {3, 63, 64, 500, 1023};
+    for (std::size_t i : members)
+        hs.set(i);
+    std::vector<std::size_t> seen;
+    hs.forEach([&](std::size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, members);
+}
+
+TEST(HiBitset, ClearAllAndResize)
+{
+    HiBitset hs(1024);
+    for (std::size_t i = 0; i < 1024; i += 37)
+        hs.set(i);
+    EXPECT_FALSE(hs.empty());
+    hs.clearAll();
+    EXPECT_TRUE(hs.empty());
+    EXPECT_EQ(hs.count(), 0u);
+    hs.set(1000);
+    hs.resize(128);  // resize clears, too
+    EXPECT_TRUE(hs.empty());
+    EXPECT_EQ(hs.size(), 128u);
+}
+
+TEST(HiBitset, AssignFromAndUnion)
+{
+    HiBitset a(256), b(256), out(256);
+    a.set(1);
+    a.set(70);
+    b.set(70);
+    b.set(200);
+    out.set(5);  // stale content must vanish on assign
+    out.assignFrom(a);
+    EXPECT_EQ(out.count(), 2u);
+    EXPECT_TRUE(out.test(1));
+    EXPECT_TRUE(out.test(70));
+    EXPECT_FALSE(out.test(5));
+    out.assignUnion(a, b);
+    EXPECT_EQ(out.count(), 3u);
+    EXPECT_TRUE(out.test(1));
+    EXPECT_TRUE(out.test(70));
+    EXPECT_TRUE(out.test(200));
+}
+
+TEST(HiBitset, FullCapacity)
+{
+    // 4096 bits (64 payload words) is the documented ceiling — the
+    // 1024-processor machines sit well inside it.
+    HiBitset hs(HiBitset::maxCapacity);
+    hs.set(0);
+    hs.set(HiBitset::maxCapacity - 1);
+    EXPECT_EQ(hs.count(), 2u);
+    EXPECT_EQ(hs.first(), 0u);
+    hs.clear(0);
+    EXPECT_EQ(hs.first(), HiBitset::maxCapacity - 1);
 }
 
 // ------------------------------------------------------------- RandomSource

@@ -102,6 +102,30 @@ TEST(Differ, CleanScenarioPasses)
     EXPECT_EQ(rep.baseline.safety, "");
 }
 
+TEST(Differ, TopologySweepRunsHierarchicalVariants)
+{
+    Scenario sc = render(randomSpec(7));
+    DiffOptions off;
+    off.topologySweep = false;
+    DiffReport base = runDifferential(sc, off);
+    ASSERT_TRUE(base.ok) << base.variant << ": " << base.failure;
+
+    // The default matrix re-runs the scenario under tree:4 and
+    // cluster:8 and diffs the timing-invariant fields against the
+    // flat baseline.
+    DiffReport swept = runDifferential(sc);
+    ASSERT_TRUE(swept.ok) << swept.variant << ": " << swept.failure;
+    EXPECT_EQ(swept.variantsRun, base.variantsRun + 2);
+
+    // A hierarchical baseline passes the oracles too, and its own
+    // shape is deduplicated out of the sweep.
+    DiffOptions treeBase;
+    ASSERT_TRUE(barrier::Topology::parse("tree:4", treeBase.topology));
+    DiffReport tree = runDifferential(sc, treeBase);
+    ASSERT_TRUE(tree.ok) << tree.variant << ": " << tree.failure;
+    EXPECT_EQ(tree.variantsRun, base.variantsRun + 1);
+}
+
 TEST(Differ, WrongEpisodeExpectationIsReported)
 {
     Scenario sc = render(randomSpec(7));

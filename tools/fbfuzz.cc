@@ -23,6 +23,13 @@
  *   --out FILE     reproducer output path (default fbfuzz-<seed>.fbrepro)
  *   --save FILE    write the reproducer for --seed's scenario and exit
  *   --no-swref     skip the software-barrier thread cross-check
+ *   --topology SPEC
+ *                  run every executor under this synchronization
+ *                  network shape: flat (default), tree:ARITY[:LVL] or
+ *                  cluster:SIZE[:LVL]. The matrix's topology-sweep
+ *                  variants still cross-check the other shapes; the
+ *                  flag is recorded in --cursor journals and
+ *                  reproduce lines
  *   --faults       inject a seeded random fault schedule per scenario
  *                  (kills/freezes/pulse drops/bit flips; enables the
  *                  barrier watchdog and the fault-safety and
@@ -208,6 +215,11 @@ parseArgs(int argc, char **argv)
             }
         } else if (arg == "--no-predecode")
             opt.predecode = false;
+        else if (arg == "--topology") {
+            if (!barrier::Topology::parse(next(), opt.topology))
+                usage("--topology expects flat, tree:ARITY[:LVL] or "
+                      "cluster:SIZE[:LVL]");
+        }
         else if (arg == "--jobs")
             opt.jobs = static_cast<int>(nextInt());
         else if (arg == "--cursor")

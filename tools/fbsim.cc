@@ -18,6 +18,11 @@
  *   --stall hw           hardware stall model (default)
  *   --stall sw:SAVE:REST software stall: context save/restore cycles
  *   --bus shared|banked  interconnect contention model
+ *   --topology SPEC      synchronization network shape: flat (default),
+ *                        tree:ARITY[:LVL] or cluster:SIZE[:LVL] where
+ *                        LVL is the per-level propagation latency
+ *                        (default 1). Hierarchical shapes only add
+ *                        delivery latency; results stay equivalent
  *   --interrupt P:LABEL  timer interrupt every P cycles, ISR at LABEL
  *   --marker             convert programs to BRENTER/BREXIT encoding
  *   --trace [WIDTH]      print the barrier timeline (default width 100)
@@ -92,6 +97,7 @@
 #include <string>
 #include <vector>
 
+#include "barrier/topology.hh"
 #include "core/fuzzy_barrier.hh"
 #include "exec/sharded_machine.hh"
 #include "fault/plan.hh"
@@ -137,6 +143,7 @@ struct Options
     int pipeline = 1;
     sim::StallModel stall;
     sim::BusKind bus = sim::BusKind::Shared;
+    barrier::Topology topology;
     std::uint64_t interruptPeriod = 0;
     std::string isrLabel;
     bool marker = false;
@@ -229,6 +236,11 @@ parseArgs(int argc, char **argv)
                 opt.bus = sim::BusKind::Banked;
             else
                 usage("--bus expects 'shared' or 'banked'");
+        } else if (arg == "--topology") {
+            std::string v = next();
+            if (!barrier::Topology::parse(v, opt.topology))
+                usage("--topology expects flat, tree:ARITY[:LVL] or "
+                      "cluster:SIZE[:LVL]");
         } else if (arg == "--interrupt") {
             auto parts = split(next(), ':');
             if (parts.size() != 2)
@@ -443,6 +455,7 @@ main(int argc, char **argv)
     cfg.pipelineDepth = opt.pipeline;
     cfg.stall = opt.stall;
     cfg.busKind = opt.bus;
+    cfg.topology = opt.topology;
     cfg.maxCycles = opt.maxCycles;
     cfg.fastForward = opt.fastForward;
     cfg.predecode = opt.predecode;

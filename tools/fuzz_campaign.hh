@@ -24,6 +24,7 @@
 #include <sstream>
 #include <string>
 
+#include "barrier/topology.hh"
 #include "exec/campaign.hh"
 #include "fault/plan.hh"
 #include "verify/differ.hh"
@@ -44,6 +45,8 @@ struct CampaignConfig
     int shards = 0;  ///< 0 = no sharded executor in the matrix
     std::uint64_t shardQuantum = 1024;
     bool predecode = true;  ///< threaded-code backend for every executor
+    /** Baseline sync-network shape for every executor (--topology). */
+    fb::barrier::Topology topology;
 };
 
 /**
@@ -77,6 +80,7 @@ diffOptions(const CampaignConfig &cfg)
     d.shards = cfg.shards;
     d.shardQuantum = cfg.shardQuantum;
     d.predecode = cfg.predecode;
+    d.topology = cfg.topology;
     return d;
 }
 
@@ -95,7 +99,8 @@ cursorHeader(const CampaignConfig &cfg)
         << " swref=" << (cfg.swref ? 1 : 0)
         << " max-cycles=" << cfg.maxCycles
         << " shards=" << cfg.shards << ":" << cfg.shardQuantum
-        << " predecode=" << (cfg.predecode ? 1 : 0);
+        << " predecode=" << (cfg.predecode ? 1 : 0)
+        << " topology=" << cfg.topology.toString();
     return oss.str();
 }
 
@@ -113,6 +118,8 @@ reproduceFlags(const CampaignConfig &cfg)
         out << " --shards " << cfg.shards << ":" << cfg.shardQuantum;
     if (!cfg.predecode)
         out << " --no-predecode";
+    if (!cfg.topology.flat())
+        out << " --topology " << cfg.topology.toString();
     return out.str();
 }
 
